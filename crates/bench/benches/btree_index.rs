@@ -1,0 +1,90 @@
+//! The alphanumeric substrate: our from-scratch B+tree vs
+//! `std::collections::BTreeMap` on insert and point/range lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pictorial_relational::{BPlusTree, TupleId, Value};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn keys(n: usize) -> Vec<i64> {
+    let mut s = 0x1985_u64;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) % 1_000_000) as i64
+        })
+        .collect()
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let n = 50_000;
+    let ks = keys(n);
+
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("insert", "bplustree"), |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::with_order(32);
+            for (i, &k) in ks.iter().enumerate() {
+                t.insert(Value::Int(black_box(k)), TupleId(i as u64));
+            }
+            t.len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("insert", "std-btreemap"), |b| {
+        b.iter(|| {
+            let mut t: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+            for (i, &k) in ks.iter().enumerate() {
+                t.entry(black_box(k)).or_default().push(i as u64);
+            }
+            t.len()
+        })
+    });
+
+    let mut tree = BPlusTree::with_order(32);
+    let mut model: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+    for (i, &k) in ks.iter().enumerate() {
+        tree.insert(Value::Int(k), TupleId(i as u64));
+        model.entry(k).or_default().push(i as u64);
+    }
+    group.bench_function(BenchmarkId::new("lookup", "bplustree"), |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &k in ks.iter().take(5000) {
+                found += tree.get(&Value::Int(black_box(k))).len();
+            }
+            black_box(found)
+        })
+    });
+    group.bench_function(BenchmarkId::new("lookup", "std-btreemap"), |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for &k in ks.iter().take(5000) {
+                found += model.get(&black_box(k)).map_or(0, Vec::len);
+            }
+            black_box(found)
+        })
+    });
+    group.bench_function(BenchmarkId::new("range", "bplustree"), |b| {
+        b.iter(|| {
+            black_box(tree.range(Some(&Value::Int(250_000)), Some(&Value::Int(300_000))).len())
+        })
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_btree
+}
+criterion_main!(benches);

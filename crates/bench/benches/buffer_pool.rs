@@ -1,0 +1,54 @@
+//! Disk-image search through LRU buffer pools of varying size —
+//! the paging behaviour of §1 as wall-clock cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packed_rtree_core::PackStrategy;
+use rtree_bench::build_pack;
+use rtree_index::{RTreeConfig, SearchStats};
+use rtree_storage::{BufferPool, DiskRTree, Pager};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+use std::hint::black_box;
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let j = 20_000;
+    let mut data_rng = rng(1985);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+    let items = points::as_items(&pts);
+    let tree = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::with_branching(64));
+    let pager = Pager::temp().expect("temp pager");
+    let disk = DiskRTree::store(&tree, &pager).expect("store");
+    let mut query_rng = rng(0x5eed);
+    let windows = queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 200, 0.005);
+
+    let mut group = c.benchmark_group("buffer_pool");
+    group.sample_size(20);
+    for frames in [4usize, 64, 1024] {
+        group.bench_with_input(BenchmarkId::new("window-search", frames), &(), |b, ()| {
+            let pool = BufferPool::new(&pager, frames);
+            b.iter(|| {
+                let mut stats = SearchStats::default();
+                let mut total = 0usize;
+                for w in &windows {
+                    total += disk.search_within(&pool, black_box(w), &mut stats).expect("io").len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_buffer_pool
+}
+criterion_main!(benches);

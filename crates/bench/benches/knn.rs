@@ -1,0 +1,51 @@
+//! Nearest-neighbour search (the 1995 follow-up) on packed vs dynamic
+//! trees: packing tightens MBRs, which tightens branch-and-bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packed_rtree_core::PackStrategy;
+use rtree_bench::{build_insert, build_pack};
+use rtree_index::{RTreeConfig, SearchStats, SplitPolicy};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+use std::hint::black_box;
+
+fn bench_knn(c: &mut Criterion) {
+    let j = 10_000;
+    let mut data_rng = rng(1985);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+    let items = points::as_items(&pts);
+    let packed = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+    let dynamic = build_insert(&items, SplitPolicy::Quadratic, RTreeConfig::PAPER);
+    let mut query_rng = rng(0x5eed);
+    let qs = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 500);
+
+    let mut group = c.benchmark_group("knn");
+    for k in [1usize, 10, 100] {
+        for (name, tree) in [("pack", &packed), ("insert-quadratic", &dynamic)] {
+            group.bench_with_input(BenchmarkId::new(name, k), &qs, |b, qs| {
+                b.iter(|| {
+                    let mut stats = SearchStats::default();
+                    for &q in qs {
+                        black_box(tree.nearest_neighbors(black_box(q), k, &mut stats));
+                    }
+                    stats.nodes_visited
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_knn
+}
+criterion_main!(benches);

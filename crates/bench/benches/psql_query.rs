@@ -1,0 +1,56 @@
+//! End-to-end PSQL latency: parse + plan + execute for the paper's three
+//! canonical query shapes (window search, juxtaposition, nested mapping).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psql::database::PictorialDatabase;
+use psql::exec::query;
+use std::hint::black_box;
+
+fn bench_psql(c: &mut Criterion) {
+    let db = PictorialDatabase::with_us_map();
+    let mut group = c.benchmark_group("psql");
+
+    let cases = [
+        (
+            "window_search",
+            "select city, state, population, loc from cities on us-map \
+             at loc covered-by {82.5 +- 17.5, 25 +- 20} where population > 450000",
+        ),
+        (
+            "juxtaposition",
+            "select city, zone from cities, time-zones on us-map, time-zone-map \
+             at cities.loc covered-by time-zones.loc",
+        ),
+        (
+            "nested_mapping",
+            "select lake from lakes on lake-map at lakes.loc covered-by \
+             (select states.loc from states on state-map \
+              at states.loc covered-by {78 +- 22, 25 +- 25})",
+        ),
+        (
+            "index_scan",
+            "select city from cities where population > 5000000",
+        ),
+    ];
+    for (name, text) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(query(&db, black_box(text)).expect("valid query")))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_psql
+}
+criterion_main!(benches);

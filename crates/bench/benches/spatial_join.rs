@@ -1,0 +1,51 @@
+//! Juxtaposition cost: simultaneous R-tree descent vs nested loop
+//! (the "geographic join" of Figure 2.2 at benchmark scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packed_rtree_core::pack;
+use psql::join::{nested_loop_join, rtree_join, JoinStats};
+use psql::SpatialOp;
+use rtree_index::RTreeConfig;
+use rtree_workload::{points, rects, rng, PAPER_UNIVERSE};
+use std::hint::black_box;
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_join");
+    group.sample_size(20);
+    for n in [500usize, 2000] {
+        let mut data_rng = rng(1985);
+        let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, n);
+        let left = pack(points::as_items(&pts), RTreeConfig::PAPER);
+        let regions = rects::uniform(&mut data_rng, &PAPER_UNIVERSE, n / 10, 20.0, 120.0);
+        let right = pack(rects::as_items(&regions), RTreeConfig::PAPER);
+
+        group.bench_with_input(BenchmarkId::new("rtree-join", n), &(), |b, ()| {
+            b.iter(|| {
+                let mut stats = JoinStats::default();
+                black_box(rtree_join(&left, &right, SpatialOp::CoveredBy, &mut stats))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("nested-loop", n), &(), |b, ()| {
+            b.iter(|| {
+                let mut stats = JoinStats::default();
+                black_box(nested_loop_join(&left, &right, SpatialOp::CoveredBy, &mut stats))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_join
+}
+criterion_main!(benches);

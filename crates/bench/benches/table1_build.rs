@@ -1,0 +1,75 @@
+//! Construction cost: PACK (and variants) vs Guttman INSERT — the price
+//! of the initial packing Table 1's quality numbers buy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packed_rtree_core::{pack_with, PackStrategy};
+use rtree_bench::build_insert;
+use rtree_index::{RTreeConfig, SplitPolicy};
+use rtree_workload::{points, rng, PAPER_UNIVERSE};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(20);
+    for j in [900usize, 10_000] {
+        let mut data_rng = rng(1985);
+        let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+        let items = points::as_items(&pts);
+
+        for strategy in [
+            PackStrategy::NearestNeighbor,
+            PackStrategy::XSort,
+            PackStrategy::SortTileRecursive,
+            PackStrategy::Hilbert,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), j),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        black_box(pack_with(
+                            black_box(items.clone()),
+                            RTreeConfig::PAPER,
+                            strategy,
+                        ))
+                    })
+                },
+            );
+        }
+        // The literal O(n^2) NN scan only at the paper's scale.
+        if j <= 900 {
+            group.bench_with_input(BenchmarkId::new("pack-nn-naive", j), &items, |b, items| {
+                b.iter(|| {
+                    black_box(pack_with(
+                        black_box(items.clone()),
+                        RTreeConfig::PAPER,
+                        PackStrategy::NearestNeighborNaive,
+                    ))
+                })
+            });
+        }
+        for split in [SplitPolicy::Linear, SplitPolicy::Quadratic] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("insert-{split:?}"), j),
+                &items,
+                |b, items| b.iter(|| black_box(build_insert(black_box(items), split, RTreeConfig::PAPER))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_build
+}
+criterion_main!(benches);

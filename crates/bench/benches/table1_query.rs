@@ -1,0 +1,51 @@
+//! The Table 1 query workload as a throughput benchmark: random
+//! point-containment queries against packed vs dynamically built trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packed_rtree_core::PackStrategy;
+use rtree_bench::{build_insert, build_pack};
+use rtree_index::{RTreeConfig, SearchStats, SplitPolicy};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+use std::hint::black_box;
+
+fn bench_point_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_query");
+    for j in [900usize, 10_000] {
+        let mut data_rng = rng(1985);
+        let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+        let items = points::as_items(&pts);
+        let mut query_rng = rng(0x5eed);
+        let qs = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
+
+        let packed = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+        let dynamic = build_insert(&items, SplitPolicy::Linear, RTreeConfig::PAPER);
+
+        for (name, tree) in [("pack", &packed), ("insert-linear", &dynamic)] {
+            group.bench_with_input(BenchmarkId::new(name, j), &qs, |b, qs| {
+                b.iter(|| {
+                    let mut stats = SearchStats::default();
+                    for &q in qs {
+                        black_box(tree.point_query(black_box(q), &mut stats));
+                    }
+                    stats.nodes_visited
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_point_queries
+}
+criterion_main!(benches);

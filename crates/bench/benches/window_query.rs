@@ -1,0 +1,56 @@
+//! Window (range) queries across selectivities — the workload behind
+//! PSQL's `at loc covered-by {window}` clause.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packed_rtree_core::PackStrategy;
+use rtree_bench::{build_insert, build_pack};
+use rtree_index::{RTreeConfig, SearchStats, SplitPolicy};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+use std::hint::black_box;
+
+fn bench_window_queries(c: &mut Criterion) {
+    let j = 10_000;
+    let mut data_rng = rng(1985);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+    let items = points::as_items(&pts);
+    let packed = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+    let dynamic = build_insert(&items, SplitPolicy::Quadratic, RTreeConfig::PAPER);
+
+    let mut group = c.benchmark_group("window_query");
+    for selectivity in [0.0001, 0.01, 0.1] {
+        let mut query_rng = rng(0x5eed);
+        let windows = queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 200, selectivity);
+        for (name, tree) in [("pack", &packed), ("insert-quadratic", &dynamic)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("sel{selectivity}")),
+                &windows,
+                |b, windows| {
+                    b.iter(|| {
+                        let mut stats = SearchStats::default();
+                        let mut total = 0usize;
+                        for w in windows {
+                            total += tree.search_within(black_box(w), &mut stats).len();
+                        }
+                        black_box(total)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .without_plots()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_window_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! **EXT-2**: packing-strategy ablation — the paper's NN-PACK against its
+//! own sort criterion alone (x-sort) and its descendants (STR, Hilbert),
+//! on uniform, clustered and skewed data.
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin ablation_pack`
+
+use packed_rtree_core::PackStrategy;
+use rtree_bench::report::{f, Table};
+use rtree_bench::{build_pack, experiment_seed, measure};
+use rtree_geom::Point;
+use rtree_index::RTreeConfig;
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+
+fn main() {
+    let seed = experiment_seed();
+    let j = 900;
+    println!("EXT-2 — packing strategies at J={j}, M=4 (seed {seed})\n");
+
+    let mut data_rng = rng(seed);
+    let workloads: Vec<(&str, Vec<Point>)> = vec![
+        ("uniform", points::uniform(&mut data_rng, &PAPER_UNIVERSE, j)),
+        ("clustered", points::clustered(&mut data_rng, &PAPER_UNIVERSE, j, 8, 40.0)),
+        ("skewed", points::skewed(&mut data_rng, &PAPER_UNIVERSE, j, 3.0)),
+        ("diagonal", points::diagonal(&mut data_rng, &PAPER_UNIVERSE, j, 60.0)),
+    ];
+    let mut query_rng = rng(seed ^ 0x5eed_cafe);
+    let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
+
+    for (name, pts) in workloads {
+        let items = points::as_items(&pts);
+        let mut table = Table::new(["strategy", "C", "O", "D", "N", "A"]);
+        for strategy in [
+            PackStrategy::NearestNeighbor,
+            PackStrategy::XSort,
+            PackStrategy::SortTileRecursive,
+            PackStrategy::Hilbert,
+        ] {
+            let tree = build_pack(&items, strategy, RTreeConfig::PAPER);
+            let row = measure(&tree, &query_points);
+            table.row([
+                strategy.name().to_string(),
+                f(row.coverage, 0),
+                f(row.overlap, 0),
+                row.depth.to_string(),
+                row.nodes.to_string(),
+                f(row.avg_visited, 3),
+            ]);
+        }
+        println!("{name}:\n{}", table.render());
+    }
+    println!("x-sort alone builds full nodes but its leaf strips span the whole");
+    println!("y range — the NN refinement (and its STR/Hilbert descendants) is");
+    println!("what actually delivers low coverage and overlap.");
+}

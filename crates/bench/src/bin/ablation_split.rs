@@ -1,0 +1,54 @@
+//! **EXT-1**: split-policy ablation for Guttman's INSERT.
+//!
+//! The 1985 paper just says "Guttman's INSERT"; Guttman 1984 described
+//! three node-split algorithms. This sweep shows how much the choice
+//! matters — and that PACK beats all of them on structure at scale.
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin ablation_split`
+
+use packed_rtree_core::PackStrategy;
+use rtree_bench::report::{f, Table};
+use rtree_bench::{build_insert, build_pack, experiment_seed, measure};
+use rtree_index::{RTreeConfig, SplitPolicy};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+
+fn main() {
+    let seed = experiment_seed();
+    println!("EXT-1 — INSERT split-policy ablation (M=4, 1000 point queries, seed {seed})\n");
+
+    for j in [300usize, 900] {
+        let mut data_rng = rng(seed);
+        let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+        let items = points::as_items(&pts);
+        let mut query_rng = rng(seed ^ 0x5eed_cafe);
+        let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
+
+        let mut table = Table::new(["builder", "C", "O", "D", "N", "A"]);
+        for split in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+            let tree = build_insert(&items, split, RTreeConfig::PAPER);
+            let row = measure(&tree, &query_points);
+            table.row([
+                format!("INSERT {split:?}"),
+                f(row.coverage, 0),
+                f(row.overlap, 0),
+                row.depth.to_string(),
+                row.nodes.to_string(),
+                f(row.avg_visited, 3),
+            ]);
+        }
+        let packed = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+        let row = measure(&packed, &query_points);
+        table.row([
+            "PACK".to_string(),
+            f(row.coverage, 0),
+            f(row.overlap, 0),
+            row.depth.to_string(),
+            row.nodes.to_string(),
+            f(row.avg_visited, 3),
+        ]);
+        println!("J = {j}:\n{}", table.render());
+    }
+    println!("Better splits (quadratic, exhaustive) close part of the gap, at");
+    println!("ever-higher insertion cost — but none reach PACK's node count or");
+    println!("full occupancy, because requirement (2) of §3.2 still binds them.");
+}

@@ -1,0 +1,32 @@
+//! **Figure 2.1**: the paper's flagship direct-spatial-search query, with
+//! its plan, alphanumeric output, and pictorial output.
+//!
+//! Run with: `cargo run -p rtree-bench --bin fig2_1`
+
+use psql::database::PictorialDatabase;
+use psql::exec::execute;
+use psql::parser::parse_query;
+use psql::plan::plan;
+use psql::render::render;
+
+fn main() {
+    let db = PictorialDatabase::with_us_map();
+    let text = "select city, state, population, loc \
+                from cities on us-map \
+                at loc covered-by {82.5 +- 17.5, 25 +- 20} \
+                where population > 450000";
+    println!("Figure 2.1 — \"find all cities in the Eastern US with population > 450,000\"\n");
+    println!("PSQL> {text}\n");
+
+    let query = parse_query(text).expect("valid syntax");
+    let query_plan = plan(&db, &query).expect("valid semantics");
+    println!("plan:\n{}", query_plan.explain());
+
+    let result = execute(&db, &query).expect("executes");
+    println!("Figure 2.1a — alphanumeric output:\n{result}");
+    println!("Figure 2.1b — pictorial output:");
+    println!(
+        "{}",
+        render(db.picture("us-map").expect("exists"), &result.highlights, 110, 28)
+    );
+}

@@ -1,0 +1,68 @@
+//! **Figure 3.4**: the dead-space pathology that motivates PACK.
+//!
+//! Eight points forming two tight clusters of four. The ideal grouping
+//! (3.4b) is the two clusters; inserting via Guttman's INSERT (3.4c) can
+//! leave three leaves "with much useless space in the middle".
+//!
+//! Run with: `cargo run -p rtree-bench --bin fig3_4`
+
+use packed_rtree_core::pack;
+use rtree_bench::report::{f, Table};
+use rtree_geom::{rectset, Point, Rect};
+use rtree_index::{ItemId, RTree, RTreeConfig, SplitPolicy, TreeMetrics};
+
+/// The figure's eight points: two 1×1 clusters 10 apart, listed in the
+/// interleaved order a dynamic database would receive them.
+fn figure_points() -> Vec<(Rect, ItemId)> {
+    let pts = [
+        (0.0, 0.0),
+        (10.0, 10.0),
+        (1.0, 0.0),
+        (11.0, 10.0),
+        (0.0, 1.0),
+        (10.0, 11.0),
+        (1.0, 1.0),
+        (11.0, 11.0),
+    ];
+    pts.iter()
+        .enumerate()
+        .map(|(i, &(x, y))| (Rect::from_point(Point::new(x, y)), ItemId(i as u64)))
+        .collect()
+}
+
+fn leaf_report(name: &str, tree: &RTree, table: &mut Table) {
+    let leaves = tree.leaf_mbrs();
+    let m = TreeMetrics::measure(tree);
+    table.row([
+        name.to_string(),
+        leaves.len().to_string(),
+        f(m.coverage, 2),
+        f(rectset::overlap_area(&leaves), 2),
+    ]);
+}
+
+fn main() {
+    let items = figure_points();
+    println!("Figure 3.4 — eight points in two clusters of four (M=4, m=2)\n");
+
+    let packed = pack(items.clone(), RTreeConfig::PAPER);
+
+    let mut table = Table::new(["builder", "leaves", "coverage", "overlap"]);
+    leaf_report("PACK (fig 3.4b)", &packed, &mut table);
+    for split in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+        let mut tree = RTree::new(RTreeConfig::PAPER.with_split(split));
+        for &(mbr, id) in &items {
+            tree.insert(mbr, id);
+        }
+        leaf_report(&format!("INSERT {split:?}"), &tree, &mut table);
+    }
+    println!("{}", table.render());
+
+    println!("PACK leaf MBRs:");
+    for leaf in packed.leaf_mbrs() {
+        println!("  {leaf}  (area {:.2})", leaf.area());
+    }
+    println!("\nPACK recovers exactly the two 1x1 clusters (coverage 2.0,");
+    println!("overlap 0); the INSERT variants may split the interleaved");
+    println!("arrival order into more leaves with cross-cluster dead space.");
+}

@@ -1,0 +1,42 @@
+//! **Figure 3.6 / Theorem 3.3**: the pinwheel counterexample — disjoint
+//! regions that no grouping can pack with zero overlap.
+//!
+//! Run with: `cargo run -p rtree-bench --bin fig3_6`
+
+use packed_rtree_core::counterexample::{pinwheel, zero_overlap_grouping};
+
+fn main() {
+    println!("Figure 3.6 / Theorem 3.3 — the skewed-rectangle pinwheel\n");
+    let regions = pinwheel();
+    for (i, r) in regions.iter().enumerate() {
+        println!("R{i}: {r}");
+    }
+
+    // Every MBR containing R0 plus one neighbour swallows an outsider.
+    println!("\nproof step — MBR(R0, Rk) always swallows part of another region:");
+    for k in 1..regions.len() {
+        let mbr = regions[0].union(&regions[k]);
+        let swallowed: Vec<String> = (1..regions.len())
+            .filter(|&j| j != k && mbr.intersection_area(&regions[j]) > 0.0)
+            .map(|j| format!("R{j}"))
+            .collect();
+        println!("  MBR(R0,R{k}) = {mbr} swallows {}", swallowed.join(", "));
+    }
+
+    match zero_overlap_grouping(&regions, 4) {
+        None => println!("\nexhaustive search over all groupings of size 2..4: NO zero-overlap grouping exists — Theorem 3.3 confirmed."),
+        Some(witness) => println!("\nUNEXPECTED witness found: {witness:?} (Theorem 3.3 violated!)"),
+    }
+
+    // Control: a configuration that *is* packable with zero overlap.
+    let friendly = vec![
+        rtree_geom::Rect::new(0.0, 0.0, 1.0, 1.0),
+        rtree_geom::Rect::new(2.0, 0.0, 3.0, 1.0),
+        rtree_geom::Rect::new(10.0, 10.0, 11.0, 11.0),
+        rtree_geom::Rect::new(12.0, 10.0, 13.0, 11.0),
+    ];
+    match zero_overlap_grouping(&friendly, 4) {
+        Some(witness) => println!("control (two separated pairs): zero-overlap grouping {witness:?}"),
+        None => println!("control failed unexpectedly"),
+    }
+}

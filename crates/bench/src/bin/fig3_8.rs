@@ -1,0 +1,92 @@
+//! **Figure 3.8**: PACK level by level on the US cities map.
+//!
+//! 3.8a: the cities as points; 3.8b: the nearest-neighbour leaf groups;
+//! 3.8c: the next level's MBRs — "working ever backwards, until the root
+//! is finally reached".
+//!
+//! Run with: `cargo run -p rtree-bench --bin fig3_8`
+
+use packed_rtree_core::pack;
+use rtree_geom::{Point, Rect};
+use rtree_index::{ItemId, RTreeConfig};
+use rtree_workload::usmap;
+
+const W: usize = 100;
+const H: usize = 26;
+
+fn canvas() -> Vec<Vec<char>> {
+    vec![vec![' '; W]; H]
+}
+
+fn cell(frame: &Rect, p: Point) -> (usize, usize) {
+    let cx = ((p.x - frame.min_x) / frame.width() * (W - 1) as f64).round() as usize;
+    let cy = ((1.0 - (p.y - frame.min_y) / frame.height()) * (H - 1) as f64).round() as usize;
+    (cx.min(W - 1), cy.min(H - 1))
+}
+
+fn draw_rect(grid: &mut [Vec<char>], frame: &Rect, r: &Rect, ch: char) {
+    let (x0, y1) = cell(frame, Point::new(r.min_x, r.min_y));
+    let (x1, y0) = cell(frame, Point::new(r.max_x, r.max_y));
+    for c in grid[y0][x0..=x1].iter_mut() {
+        *c = ch;
+    }
+    for c in grid[y1][x0..=x1].iter_mut() {
+        *c = ch;
+    }
+    for row in grid.iter_mut().take(y1 + 1).skip(y0) {
+        row[x0] = ch;
+        row[x1] = ch;
+    }
+}
+
+fn show(grid: &[Vec<char>]) {
+    println!("+{}+", "-".repeat(W));
+    for row in grid {
+        println!("|{}|", row.iter().collect::<String>());
+    }
+    println!("+{}+", "-".repeat(W));
+}
+
+fn main() {
+    let frame = usmap::FRAME;
+    let cities = usmap::cities();
+    let items: Vec<(Rect, ItemId)> = cities
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (Rect::from_point(c.location), ItemId(i as u64)))
+        .collect();
+    let tree = pack(items, RTreeConfig::PAPER);
+
+    println!("Figure 3.8a — the {} cities as points:\n", cities.len());
+    let mut grid = canvas();
+    for c in &cities {
+        let (x, y) = cell(&frame, c.location);
+        grid[y][x] = '*';
+    }
+    show(&grid);
+
+    for level in 0..tree.depth() {
+        let mbrs = tree.mbrs_at_level(level);
+        println!(
+            "\nFigure 3.8{} — level-{level} MBRs ({} nodes):\n",
+            (b'b' + level as u8) as char,
+            mbrs.len()
+        );
+        let mut grid = canvas();
+        for c in &cities {
+            let (x, y) = cell(&frame, c.location);
+            grid[y][x] = '*';
+        }
+        for r in &mbrs {
+            draw_rect(&mut grid, &frame, r, if level == 0 { ':' } else { '#' });
+        }
+        show(&grid);
+    }
+
+    println!(
+        "\npacked tree: {} cities, {} nodes, depth {}",
+        tree.len(),
+        tree.node_count(),
+        tree.depth()
+    );
+}

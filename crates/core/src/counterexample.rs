@@ -1,0 +1,162 @@
+//! Theorem 3.3's counterexample (Figure 3.6): a set of disjoint regions
+//! that admits **no** zero-overlap grouping.
+//!
+//! The paper proves Theorem 3.3 by exhibiting a pinwheel of "skewed
+//! rectangular regions" around a central region `R0`: any MBR that wholly
+//! contains `R0` and at least one other region necessarily swallows part
+//! of a region outside the group. [`pinwheel`] constructs such a
+//! configuration and [`zero_overlap_grouping`] is the exhaustive checker
+//! that verifies (in tests and the `fig3_6` report binary) that no legal
+//! grouping has zero overlap — while e.g. a 2×2 grid of squares does.
+
+use rtree_geom::Rect;
+
+/// The Figure 3.6 configuration: a central region `R0` (index 0)
+/// surrounded by four long thin bars arranged as a pinwheel.
+///
+/// All five regions are pairwise disjoint, yet every partition into groups
+/// of 2–4 regions produces MBRs with positive pairwise intersection.
+pub fn pinwheel() -> Vec<Rect> {
+    vec![
+        Rect::new(4.0, 4.0, 5.0, 5.0), // R0: center
+        Rect::new(0.0, 8.0, 7.0, 9.0), // top bar, anchored left
+        Rect::new(8.0, 2.0, 9.0, 9.0), // right bar, anchored top
+        Rect::new(2.0, 0.0, 9.0, 1.0), // bottom bar, anchored right
+        Rect::new(0.0, 0.0, 1.0, 7.0), // left bar, anchored bottom
+    ]
+}
+
+/// Searches exhaustively for a grouping satisfying Theorem 3.3's three
+/// conditions:
+///
+/// 1. each region wholly inside exactly one group's MBR (trivially true of
+///    a partition);
+/// 2. each group holds **more than one** but at most `max_group` regions;
+/// 3. all group MBRs pairwise intersect with **zero area**.
+///
+/// Returns a witness partition if one exists. Exponential; intended for
+/// the ≤ 12 regions of demonstrations and tests.
+pub fn zero_overlap_grouping(regions: &[Rect], max_group: usize) -> Option<Vec<Vec<usize>>> {
+    assert!(regions.len() <= 12, "exhaustive search limited to 12 regions");
+    assert!(max_group >= 2);
+    let mut assignment: Vec<Vec<usize>> = Vec::new();
+    search(regions, max_group, 0, &mut assignment)
+}
+
+fn search(
+    regions: &[Rect],
+    max_group: usize,
+    next: usize,
+    groups: &mut Vec<Vec<usize>>,
+) -> Option<Vec<Vec<usize>>> {
+    if next == regions.len() {
+        // All regions placed: validate sizes and MBR disjointness. Also
+        // condition (1): no group's MBR may swallow a region of another
+        // group (it would then be inside two MBRs).
+        if groups.iter().any(|g| g.len() < 2 || g.len() > max_group) {
+            return None;
+        }
+        let mbrs: Vec<Rect> = groups
+            .iter()
+            .map(|g| Rect::mbr_of_rects(g.iter().map(|&i| regions[i])).expect("non-empty"))
+            .collect();
+        for i in 0..mbrs.len() {
+            for j in (i + 1)..mbrs.len() {
+                if mbrs[i].intersection_area(&mbrs[j]) > 0.0 {
+                    return None;
+                }
+            }
+        }
+        return Some(groups.clone());
+    }
+    // Place region `next` into an existing group…
+    for g in 0..groups.len() {
+        if groups[g].len() < max_group {
+            groups[g].push(next);
+            if let Some(w) = search(regions, max_group, next + 1, groups) {
+                return Some(w);
+            }
+            groups[g].pop();
+        }
+    }
+    // …or start a new one.
+    groups.push(vec![next]);
+    if let Some(w) = search(regions, max_group, next + 1, groups) {
+        return Some(w);
+    }
+    groups.pop();
+    None
+}
+
+/// Convenience: `true` if the configuration admits *no* zero-overlap
+/// grouping — i.e. it witnesses Theorem 3.3.
+pub fn is_counterexample(regions: &[Rect], max_group: usize) -> bool {
+    zero_overlap_grouping(regions, max_group).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinwheel_regions_are_pairwise_disjoint() {
+        let regions = pinwheel();
+        for i in 0..regions.len() {
+            for j in (i + 1)..regions.len() {
+                assert!(
+                    regions[i].disjoint(&regions[j]),
+                    "regions {i} and {j} intersect"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinwheel_defeats_zero_overlap() {
+        // Theorem 3.3: no grouping of the pinwheel into groups of 2–4 has
+        // zero-overlap MBRs.
+        assert!(is_counterexample(&pinwheel(), 4));
+    }
+
+    #[test]
+    fn mbr_with_r0_always_swallows_an_outsider() {
+        // The proof's core step: MBR(R0, X) intersects some region ∉ {R0, X}.
+        let regions = pinwheel();
+        for other in 1..regions.len() {
+            let mbr = regions[0].union(&regions[other]);
+            let swallowed = (1..regions.len())
+                .filter(|&k| k != other)
+                .any(|k| mbr.intersection_area(&regions[k]) > 0.0);
+            assert!(swallowed, "MBR(R0, R{other}) swallows nothing");
+        }
+    }
+
+    #[test]
+    fn grid_of_squares_is_not_a_counterexample() {
+        // Control: 4 well-separated pairs pack with zero overlap.
+        let regions = vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(2.0, 0.0, 3.0, 1.0),
+            Rect::new(10.0, 10.0, 11.0, 11.0),
+            Rect::new(12.0, 10.0, 13.0, 11.0),
+        ];
+        let witness = zero_overlap_grouping(&regions, 4).expect("groupable");
+        assert!(!witness.is_empty());
+        assert!(!is_counterexample(&regions, 4));
+    }
+
+    #[test]
+    fn grouping_respects_min_size_two() {
+        // A single isolated region cannot be grouped (condition 2); with
+        // 3 regions the only legal shape is one group of 3 (or one of 2 +
+        // an illegal singleton).
+        let regions = vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(2.0, 0.0, 3.0, 1.0),
+            Rect::new(4.0, 0.0, 5.0, 1.0),
+        ];
+        let witness = zero_overlap_grouping(&regions, 4).unwrap();
+        assert_eq!(witness.len(), 1);
+        assert_eq!(witness[0].len(), 3);
+    }
+}

@@ -1,0 +1,303 @@
+//! Grouping strategies: how one level's entries are partitioned into
+//! nodes.
+//!
+//! Every packing algorithm in this crate is "sort/select groups of `M`,
+//! recurse on the MBRs"; they differ only in this partition step. The
+//! [`group`] function dispatches on [`PackStrategy`]
+//! (re-exported from the [`mod@crate::pack`] module).
+
+use crate::hilbert;
+use crate::nn::{GridNeighbors, NaiveNeighbors, NeighborSet};
+use rtree_geom::{Point, Rect};
+
+/// The available packing strategies (see crate docs for provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackStrategy {
+    /// The paper's PACK (§3.3): ascending-x order, groups filled by
+    /// repeated nearest-neighbour selection (grid-accelerated).
+    #[default]
+    NearestNeighbor,
+    /// PACK with the pseudocode's literal O(n²) nearest-neighbour scan;
+    /// identical output to [`PackStrategy::NearestNeighbor`] up to
+    /// distance ties.
+    NearestNeighborNaive,
+    /// Plain ascending-x runs of `M` — the paper's sort criterion without
+    /// the NN refinement; poor on the y axis, used as an ablation.
+    XSort,
+    /// Sort-Tile-Recursive (Leutenegger, Lopez & Edgington 1997).
+    SortTileRecursive,
+    /// Hilbert-curve order (Kamel & Faloutsos 1993).
+    Hilbert,
+}
+
+impl PackStrategy {
+    /// All strategies, for sweeps and ablations.
+    pub const ALL: [PackStrategy; 5] = [
+        PackStrategy::NearestNeighbor,
+        PackStrategy::NearestNeighborNaive,
+        PackStrategy::XSort,
+        PackStrategy::SortTileRecursive,
+        PackStrategy::Hilbert,
+    ];
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PackStrategy::NearestNeighbor => "pack-nn",
+            PackStrategy::NearestNeighborNaive => "pack-nn-naive",
+            PackStrategy::XSort => "pack-xsort",
+            PackStrategy::SortTileRecursive => "pack-str",
+            PackStrategy::Hilbert => "pack-hilbert",
+        }
+    }
+}
+
+/// Partitions `rects` into groups of at most `m` indices each, according
+/// to `strategy`. Groups are returned in construction order; every index
+/// appears in exactly one group; all groups except possibly the last are
+/// full for the sort-based strategies (NN grouping fills every group it
+/// starts until the list runs out).
+pub fn group(strategy: PackStrategy, rects: &[Rect], m: usize) -> Vec<Vec<usize>> {
+    assert!(m >= 1);
+    if rects.is_empty() {
+        return Vec::new();
+    }
+    match strategy {
+        PackStrategy::NearestNeighbor => {
+            let set = GridNeighbors::new(rects);
+            nearest_neighbor_groups(rects, m, set)
+        }
+        PackStrategy::NearestNeighborNaive => {
+            let set = NaiveNeighbors::new(rects);
+            nearest_neighbor_groups(rects, m, set)
+        }
+        PackStrategy::XSort => xsort_groups(rects, m),
+        PackStrategy::SortTileRecursive => str_groups(rects, m),
+        PackStrategy::Hilbert => hilbert_groups(rects, m),
+    }
+}
+
+/// Indices of `rects` sorted by ascending center x (ties by y then index
+/// for determinism) — "Order objects of DLIST by some spatial criterion,
+/// e.g. ascending x-coordinate" (§3.3).
+fn x_order(rects: &[Rect]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..rects.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ca = rects[a].center();
+        let cb = rects[b].center();
+        ca.x.total_cmp(&cb.x).then(ca.y.total_cmp(&cb.y)).then(a.cmp(&b))
+    });
+    order
+}
+
+/// The paper's grouping loop: take the first remaining object `I1`, then
+/// `NN(DLIST, I1)` until the node is full.
+fn nearest_neighbor_groups<S: NeighborSet>(
+    rects: &[Rect],
+    m: usize,
+    mut set: S,
+) -> Vec<Vec<usize>> {
+    let order = x_order(rects);
+    let centers: Vec<Point> = rects.iter().map(Rect::center).collect();
+    let mut groups = Vec::with_capacity(rects.len().div_ceil(m));
+    for &i1 in &order {
+        if !set.remove(i1) {
+            continue; // already consumed as someone's neighbour
+        }
+        let mut grp = Vec::with_capacity(m);
+        grp.push(i1);
+        // I2 = NN(DLIST, I1); I3 = NN(DLIST, I1); … — all relative to I1.
+        while grp.len() < m {
+            match set.take_nearest(centers[i1]) {
+                Some(j) => grp.push(j),
+                None => break,
+            }
+        }
+        groups.push(grp);
+    }
+    groups
+}
+
+/// Runs of `m` in ascending-x order.
+fn xsort_groups(rects: &[Rect], m: usize) -> Vec<Vec<usize>> {
+    x_order(rects).chunks(m).map(<[usize]>::to_vec).collect()
+}
+
+/// Sort-Tile-Recursive: `S = ⌈√⌈n/m⌉⌉` vertical slabs by x, each slab
+/// chunked by y.
+fn str_groups(rects: &[Rect], m: usize) -> Vec<Vec<usize>> {
+    let n = rects.len();
+    let leaves = n.div_ceil(m);
+    let s = (leaves as f64).sqrt().ceil() as usize;
+    let slab_capacity = s * m;
+    let by_x = x_order(rects);
+    let mut groups = Vec::with_capacity(leaves);
+    for slab in by_x.chunks(slab_capacity) {
+        let mut slab: Vec<usize> = slab.to_vec();
+        slab.sort_by(|&a, &b| {
+            let ca = rects[a].center();
+            let cb = rects[b].center();
+            ca.y.total_cmp(&cb.y).then(ca.x.total_cmp(&cb.x)).then(a.cmp(&b))
+        });
+        for chunk in slab.chunks(m) {
+            groups.push(chunk.to_vec());
+        }
+    }
+    groups
+}
+
+/// Runs of `m` in Hilbert-curve order of the centers.
+fn hilbert_groups(rects: &[Rect], m: usize) -> Vec<Vec<usize>> {
+    let bounds = Rect::mbr_of_rects(rects.iter().copied()).expect("non-empty");
+    let mut keyed: Vec<(u64, usize)> = rects
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (hilbert::point_index(r.center(), &bounds), i))
+        .collect();
+    keyed.sort_unstable();
+    keyed
+        .chunks(m)
+        .map(|c| c.iter().map(|&(_, i)| i).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(points: &[(f64, f64)]) -> Vec<Rect> {
+        points
+            .iter()
+            .map(|&(x, y)| Rect::from_point(Point::new(x, y)))
+            .collect()
+    }
+
+    fn check_partition(groups: &[Vec<usize>], n: usize, m: usize) {
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "not a partition");
+        for g in groups {
+            assert!(!g.is_empty() && g.len() <= m);
+        }
+    }
+
+    fn scatter(n: usize) -> Vec<Rect> {
+        let mut s = 12345u64;
+        pts(&(0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1000) as f64;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1000) as f64;
+                (x, y)
+            })
+            .collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn all_strategies_partition_correctly() {
+        let rects = scatter(103);
+        for strategy in PackStrategy::ALL {
+            let groups = group(strategy, &rects, 4);
+            check_partition(&groups, 103, 4);
+            assert_eq!(
+                groups.len(),
+                103usize.div_ceil(4),
+                "{strategy:?} group count"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_no_groups() {
+        for strategy in PackStrategy::ALL {
+            assert!(group(strategy, &[], 4).is_empty());
+        }
+    }
+
+    #[test]
+    fn fewer_items_than_m_gives_one_group() {
+        let rects = scatter(3);
+        for strategy in PackStrategy::ALL {
+            let groups = group(strategy, &rects, 4);
+            assert_eq!(groups.len(), 1);
+            assert_eq!(groups[0].len(), 3);
+        }
+    }
+
+    #[test]
+    fn nn_grouping_matches_paper_example_shape() {
+        // Figure 3.4a's eight points: two tight clusters of four; the NN
+        // grouping must recover exactly the two clusters (Figure 3.4b).
+        let rects = pts(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 1.0),
+            (10.0, 10.0),
+            (11.0, 10.0),
+            (10.0, 11.0),
+            (11.0, 11.0),
+        ]);
+        for strategy in [PackStrategy::NearestNeighbor, PackStrategy::NearestNeighborNaive] {
+            let mut groups = group(strategy, &rects, 4);
+            for g in &mut groups {
+                g.sort_unstable();
+            }
+            groups.sort();
+            assert_eq!(groups, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]], "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn naive_and_grid_nn_agree_without_ties() {
+        // Points with unique pairwise distances: both NN providers must
+        // produce identical groups.
+        let rects = scatter(64);
+        let a = group(PackStrategy::NearestNeighbor, &rects, 4);
+        let b = group(PackStrategy::NearestNeighborNaive, &rects, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xsort_respects_x_order() {
+        let rects = pts(&[(5.0, 0.0), (1.0, 9.0), (3.0, 2.0), (9.0, 1.0), (2.0, 8.0)]);
+        let groups = group(PackStrategy::XSort, &rects, 2);
+        // x-order: 1 (x=1), 4 (x=2), 2 (x=3), 0 (x=5), 3 (x=9)
+        assert_eq!(groups, vec![vec![1, 4], vec![2, 0], vec![3]]);
+    }
+
+    #[test]
+    fn str_tiles_grid_perfectly() {
+        // A 4x4 grid with m=4 should tile into 4 disjoint groups.
+        let mut g = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                g.push((i as f64, j as f64));
+            }
+        }
+        let rects = pts(&g);
+        let groups = group(PackStrategy::SortTileRecursive, &rects, 4);
+        assert_eq!(groups.len(), 4);
+        // Group MBRs must be pairwise disjoint (perfect tiling).
+        let mbrs: Vec<Rect> = groups
+            .iter()
+            .map(|grp| Rect::mbr_of_rects(grp.iter().map(|&i| rects[i])).unwrap())
+            .collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(mbrs[i].intersection_area(&mbrs[j]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn large_branching_factor() {
+        let rects = scatter(1000);
+        for strategy in PackStrategy::ALL {
+            let groups = group(strategy, &rects, 50);
+            check_partition(&groups, 1000, 50);
+            assert_eq!(groups.len(), 20);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Re-packing degraded trees — §3.4's update problem and §4's proposed
+//! "dynamic invocation of the PACK algorithm".
+//!
+//! A PACKed tree updated with Guttman's INSERT/DELETE slowly regains the
+//! coverage and overlap of a dynamically built tree (the first few
+//! insertions *must* split, since packed nodes are full). The paper
+//! proposes periodic local reorganization; [`AutoRepack`] implements the
+//! amortized version: count updates and re-pack once they exceed a
+//! configured fraction of the tree, keeping search performance within a
+//! constant factor of freshly packed while amortizing the O(n log n) pack
+//! cost over many updates. The `update_degradation` experiment (EXT-4)
+//! quantifies both the decay and the recovery.
+
+use crate::grouping::PackStrategy;
+use crate::pack::pack_with;
+use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats};
+use rtree_geom::{Point, Rect};
+
+/// Re-packs an existing tree from scratch with the given strategy,
+/// restoring full-node occupancy and minimal coverage/overlap.
+pub fn repack(tree: &RTree, strategy: PackStrategy) -> RTree {
+    pack_with(tree.items(), tree.config(), strategy)
+}
+
+/// An R-tree that re-packs itself after a configurable amount of churn.
+///
+/// Wraps an [`RTree`]; inserts and removals are delegated to Guttman's
+/// algorithms, and when accumulated updates exceed
+/// `repack_fraction × len`, the whole tree is re-packed with
+/// [`PackStrategy::NearestNeighbor`] (or the strategy given to
+/// [`with_strategy`](AutoRepack::with_strategy)).
+#[derive(Debug, Clone)]
+pub struct AutoRepack {
+    tree: RTree,
+    strategy: PackStrategy,
+    updates_since_pack: usize,
+    repack_fraction: f64,
+    repacks: usize,
+}
+
+impl AutoRepack {
+    /// Packs `items` and begins tracking updates; `repack_fraction` is the
+    /// churn ratio that triggers reorganization (e.g. `0.25` = repack
+    /// after updates amounting to 25% of the current size).
+    pub fn new(items: Vec<(Rect, ItemId)>, config: RTreeConfig, repack_fraction: f64) -> Self {
+        assert!(repack_fraction > 0.0, "fraction must be positive");
+        AutoRepack {
+            tree: pack_with(items, config, PackStrategy::NearestNeighbor),
+            strategy: PackStrategy::NearestNeighbor,
+            updates_since_pack: 0,
+            repack_fraction,
+            repacks: 0,
+        }
+    }
+
+    /// Uses a different packing strategy for reorganizations.
+    pub fn with_strategy(mut self, strategy: PackStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The underlying tree (for searches and metrics).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// Number of reorganizations performed so far.
+    pub fn repacks(&self) -> usize {
+        self.repacks
+    }
+
+    /// Inserts an item; may trigger a repack.
+    pub fn insert(&mut self, mbr: Rect, item: ItemId) {
+        self.tree.insert(mbr, item);
+        self.note_update();
+    }
+
+    /// Removes an item; may trigger a repack. Returns whether it existed.
+    pub fn remove(&mut self, mbr: Rect, item: ItemId) -> bool {
+        let removed = self.tree.remove(mbr, item);
+        if removed {
+            self.note_update();
+        }
+        removed
+    }
+
+    /// Point query pass-through.
+    pub fn point_query(&self, p: Point, stats: &mut SearchStats) -> Vec<ItemId> {
+        self.tree.point_query(p, stats)
+    }
+
+    /// Window query pass-through (the paper's `SEARCH` semantics).
+    pub fn search_within(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
+        self.tree.search_within(window, stats)
+    }
+
+    /// Forces an immediate reorganization.
+    pub fn force_repack(&mut self) {
+        self.tree = repack(&self.tree, self.strategy);
+        self.updates_since_pack = 0;
+        self.repacks += 1;
+    }
+
+    fn note_update(&mut self) {
+        self.updates_since_pack += 1;
+        let threshold = (self.tree.len() as f64 * self.repack_fraction).max(1.0);
+        if self.updates_since_pack as f64 >= threshold {
+            self.force_repack();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_index::TreeMetrics;
+
+    fn points(range: std::ops::Range<u64>, seed: u64) -> Vec<(Rect, ItemId)> {
+        let mut s = seed;
+        range
+            .map(|i| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1_000_000) as f64 / 1000.0;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1_000_000) as f64 / 1000.0;
+                (Rect::from_point(Point::new(x, y)), ItemId(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn repack_restores_packed_quality() {
+        let items = points(0..300, 1);
+        let mut tree = pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor);
+        let fresh = TreeMetrics::measure(&tree);
+        // Degrade: churn 300 updates through Guttman INSERT/DELETE.
+        let churn = points(1000..1300, 2);
+        for &(r, id) in &churn {
+            tree.insert(r, id);
+        }
+        for &(r, id) in &items[..150] {
+            assert!(tree.remove(r, id));
+        }
+        for &(r, id) in &churn[..150] {
+            assert!(tree.remove(r, id));
+        }
+        let degraded = TreeMetrics::measure(&tree);
+        let repacked_tree = repack(&tree, PackStrategy::NearestNeighbor);
+        let repacked = TreeMetrics::measure(&repacked_tree);
+        // Repacking restores full occupancy (fewer nodes) and fresh-pack
+        // quality: node count and depth back to packed levels, coverage on
+        // the same scale as the original pack of a same-sized set.
+        assert!(repacked.nodes < degraded.nodes, "{} !< {}", repacked.nodes, degraded.nodes);
+        assert!(repacked.depth <= degraded.depth);
+        assert!(repacked.coverage < fresh.coverage * 2.0);
+        repacked_tree.validate_with(false).unwrap();
+        assert_eq!(repacked_tree.len(), tree.len());
+    }
+
+    #[test]
+    fn auto_repack_triggers_on_churn() {
+        let mut auto = AutoRepack::new(points(0..200, 3), RTreeConfig::PAPER, 0.25);
+        assert_eq!(auto.repacks(), 0);
+        for (i, &(r, id)) in points(500..600, 4).iter().enumerate() {
+            auto.insert(r, id);
+            let _ = i;
+        }
+        assert!(auto.repacks() >= 1, "100 updates on 200 items at 25% must repack");
+        auto.tree().validate_with(false).unwrap();
+        assert_eq!(auto.tree().len(), 300);
+    }
+
+    #[test]
+    fn auto_repack_preserves_contents() {
+        let items = points(0..100, 5);
+        let mut auto = AutoRepack::new(items.clone(), RTreeConfig::PAPER, 0.1);
+        let extra = points(200..260, 6);
+        for &(r, id) in &extra {
+            auto.insert(r, id);
+        }
+        for &(r, id) in &items[..30] {
+            assert!(auto.remove(r, id));
+        }
+        let mut stats = SearchStats::default();
+        for &(r, id) in items[30..].iter().chain(&extra) {
+            assert!(auto.point_query(r.center(), &mut stats).contains(&id));
+        }
+        for &(r, _) in &items[..30] {
+            // Removed points may coincide with others; just check absence
+            // of their ids.
+            let hits = auto.point_query(r.center(), &mut stats);
+            for &(_, gone) in &items[..30] {
+                assert!(!hits.contains(&gone));
+            }
+        }
+    }
+
+    #[test]
+    fn removing_missing_item_does_not_count_as_update() {
+        let mut auto = AutoRepack::new(points(0..10, 7), RTreeConfig::PAPER, 10.0);
+        assert!(!auto.remove(Rect::from_point(Point::new(-1.0, -1.0)), ItemId(999)));
+        assert_eq!(auto.repacks(), 0);
+    }
+
+    #[test]
+    fn force_repack_resets_counter() {
+        let mut auto = AutoRepack::new(points(0..50, 8), RTreeConfig::PAPER, 1000.0);
+        auto.force_repack();
+        assert_eq!(auto.repacks(), 1);
+        auto.tree().validate_with(false).unwrap();
+    }
+}

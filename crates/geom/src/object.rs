@@ -1,0 +1,190 @@
+//! The unified spatial-object type stored in pictorial relations.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::region::Region;
+use crate::segment::Segment;
+use std::fmt;
+
+/// Any of the paper's three spatial object classes (§3): a point, a line
+/// segment, or a polygonal region.
+///
+/// "Since the leaf nodes of an R-tree contain pointers to tuples and not the
+/// actual tuples themselves, points and regions may be freely intermixed
+/// within any R-tree" — this enum is what those tuple-side `loc` values hold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialObject {
+    /// A point object, e.g. a city on the US map (Figure 3.1).
+    Point(Point),
+    /// A segment object, e.g. a highway section.
+    Segment(Segment),
+    /// A region object, e.g. a state (Figure 3.2), lake or time zone.
+    Region(Region),
+}
+
+impl SpatialObject {
+    /// Minimal bounding rectangle — the `I` of the R-tree leaf entry.
+    pub fn mbr(&self) -> Rect {
+        match self {
+            SpatialObject::Point(p) => Rect::from_point(*p),
+            SpatialObject::Segment(s) => s.mbr(),
+            SpatialObject::Region(r) => r.mbr(),
+        }
+    }
+
+    /// A representative point (the object itself, midpoint, or centroid),
+    /// used for labeling in pictorial output and as the nearest-neighbour
+    /// anchor when packing heterogeneous objects.
+    pub fn representative(&self) -> Point {
+        match self {
+            SpatialObject::Point(p) => *p,
+            SpatialObject::Segment(s) => s.midpoint(),
+            SpatialObject::Region(r) => r.centroid(),
+        }
+    }
+
+    /// Exact test: does the object have a point inside window `w`?
+    ///
+    /// The R-tree's `SEARCH` prunes by MBR; this predicate is the exact
+    /// refinement applied to candidates at the leaves.
+    pub fn intersects_window(&self, w: &Rect) -> bool {
+        match self {
+            SpatialObject::Point(p) => w.contains_point(*p),
+            SpatialObject::Segment(s) => s.intersects_rect(w),
+            SpatialObject::Region(r) => {
+                if !r.mbr().intersects(w) {
+                    return false;
+                }
+                // Region boundary crosses the window, a vertex is inside,
+                // or the window is wholly inside the region.
+                r.vertices().iter().any(|&v| w.contains_point(v))
+                    || w.corners().iter().any(|&c| r.contains_point(c))
+                    || {
+                        let n = r.vertices().len();
+                        (0..n).any(|i| {
+                            Segment::new(r.vertices()[i], r.vertices()[(i + 1) % n])
+                                .intersects_rect(w)
+                        })
+                    }
+            }
+        }
+    }
+
+    /// Exact test: is the object entirely inside window `w`?
+    ///
+    /// This is the paper's `WITHIN` of the leaf loop in `SEARCH` (§3.1) and
+    /// PSQL's `covered-by` against a constant window.
+    pub fn within_window(&self, w: &Rect) -> bool {
+        w.covers(&self.mbr())
+    }
+
+    /// Area of the object: 0 for points and segments, polygon area for
+    /// regions — PSQL's `area` function (§2.1).
+    pub fn area(&self) -> f64 {
+        match self {
+            SpatialObject::Point(_) | SpatialObject::Segment(_) => 0.0,
+            SpatialObject::Region(r) => r.area(),
+        }
+    }
+
+    /// Short class name for display: `point`, `segment` or `region`.
+    pub fn class(&self) -> &'static str {
+        match self {
+            SpatialObject::Point(_) => "point",
+            SpatialObject::Segment(_) => "segment",
+            SpatialObject::Region(_) => "region",
+        }
+    }
+}
+
+impl fmt::Display for SpatialObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialObject::Point(p) => write!(f, "point {p}"),
+            SpatialObject::Segment(s) => write!(f, "segment {s}"),
+            SpatialObject::Region(r) => write!(f, "region({} vertices)", r.vertices().len()),
+        }
+    }
+}
+
+impl From<Point> for SpatialObject {
+    fn from(p: Point) -> Self {
+        SpatialObject::Point(p)
+    }
+}
+
+impl From<Segment> for SpatialObject {
+    fn from(s: Segment) -> Self {
+        SpatialObject::Segment(s)
+    }
+}
+
+impl From<Region> for SpatialObject {
+    fn from(r: Region) -> Self {
+        SpatialObject::Region(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbr_per_class() {
+        let p = SpatialObject::from(Point::new(1.0, 2.0));
+        assert_eq!(p.mbr(), Rect::new(1.0, 2.0, 1.0, 2.0));
+        let s = SpatialObject::from(Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 3.0)));
+        assert_eq!(s.mbr(), Rect::new(0.0, 0.0, 2.0, 3.0));
+        let r = SpatialObject::from(Region::rectangle(Rect::new(0.0, 0.0, 5.0, 5.0)));
+        assert_eq!(r.mbr(), Rect::new(0.0, 0.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn point_window_tests() {
+        let p = SpatialObject::from(Point::new(1.0, 1.0));
+        let w = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert!(p.intersects_window(&w));
+        assert!(p.within_window(&w));
+        assert!(!p.intersects_window(&Rect::new(3.0, 3.0, 4.0, 4.0)));
+    }
+
+    #[test]
+    fn region_window_containment_cases() {
+        let region = SpatialObject::from(Region::rectangle(Rect::new(2.0, 2.0, 6.0, 6.0)));
+        // Window inside the region: intersects but not within.
+        let inner = Rect::new(3.0, 3.0, 4.0, 4.0);
+        assert!(region.intersects_window(&inner));
+        assert!(!region.within_window(&inner));
+        // Window containing the region.
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(region.within_window(&outer));
+        // Window crossing the boundary.
+        let crossing = Rect::new(0.0, 3.0, 3.0, 4.0);
+        assert!(region.intersects_window(&crossing));
+        // Disjoint window.
+        assert!(!region.intersects_window(&Rect::new(7.0, 7.0, 8.0, 8.0)));
+    }
+
+    #[test]
+    fn segment_window_tests() {
+        let s = SpatialObject::from(Segment::new(Point::new(0.0, 1.0), Point::new(4.0, 1.0)));
+        assert!(s.intersects_window(&Rect::new(1.0, 0.0, 2.0, 2.0)));
+        assert!(!s.intersects_window(&Rect::new(1.0, 2.0, 2.0, 3.0)));
+        assert!(s.within_window(&Rect::new(-1.0, 0.0, 5.0, 2.0)));
+    }
+
+    #[test]
+    fn area_function() {
+        assert_eq!(SpatialObject::from(Point::new(0.0, 0.0)).area(), 0.0);
+        let r = SpatialObject::from(Region::rectangle(Rect::new(0.0, 0.0, 3.0, 2.0)));
+        assert_eq!(r.area(), 6.0);
+    }
+
+    #[test]
+    fn representatives() {
+        let s = SpatialObject::from(Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)));
+        assert_eq!(s.representative(), Point::new(1.0, 1.0));
+        let r = SpatialObject::from(Region::rectangle(Rect::new(0.0, 0.0, 2.0, 2.0)));
+        assert_eq!(r.representative(), Point::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests on spatial objects: consistency of the exact predicates
+//! that refine R-tree candidates.
+
+use proptest::prelude::*;
+use rtree_geom::{Point, Rect, Region, Segment, SpatialObject};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0..100.0f64, -100.0..100.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_window() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+fn arb_object() -> impl Strategy<Value = SpatialObject> {
+    prop_oneof![
+        arb_point().prop_map(SpatialObject::Point),
+        (arb_point(), arb_point()).prop_map(|(a, b)| SpatialObject::Segment(Segment::new(a, b))),
+        arb_window().prop_map(|r| SpatialObject::Region(Region::rectangle(r))),
+        prop::collection::vec(arb_point(), 3..8).prop_filter_map("degenerate polygon", |pts| {
+            Region::new(pts).ok().map(SpatialObject::Region)
+        }),
+    ]
+}
+
+proptest! {
+    /// `within_window ⇒ intersects_window` (containment is stronger).
+    #[test]
+    fn within_implies_intersects(obj in arb_object(), w in arb_window()) {
+        if obj.within_window(&w) {
+            prop_assert!(obj.intersects_window(&w), "{obj} within {w} but not intersecting");
+        }
+    }
+
+    /// The MBR is a sound filter: if the exact test says the object
+    /// touches the window, the MBR must intersect it too.
+    #[test]
+    fn mbr_filter_is_sound(obj in arb_object(), w in arb_window()) {
+        if obj.intersects_window(&w) {
+            prop_assert!(obj.mbr().intersects(&w));
+        }
+    }
+
+    /// The MBR contains the representative point and every polygon vertex.
+    #[test]
+    fn mbr_contains_representative(obj in arb_object()) {
+        prop_assert!(obj.mbr().contains_point(obj.representative()));
+        if let SpatialObject::Region(r) = &obj {
+            for &v in r.vertices() {
+                prop_assert!(obj.mbr().contains_point(v));
+            }
+        }
+    }
+
+    /// Object covered by its own MBR.
+    #[test]
+    fn object_within_own_mbr(obj in arb_object()) {
+        prop_assert!(obj.within_window(&obj.mbr()));
+        prop_assert!(obj.intersects_window(&obj.mbr()));
+    }
+
+    /// Window fully containing the MBR ⇒ within; disjoint MBR ⇒ not
+    /// intersecting (the two pruning directions R-tree search relies on).
+    #[test]
+    fn pruning_directions(obj in arb_object(), w in arb_window()) {
+        if w.covers(&obj.mbr()) {
+            prop_assert!(obj.within_window(&w));
+        }
+        if !w.intersects(&obj.mbr()) {
+            prop_assert!(!obj.intersects_window(&w));
+        }
+    }
+
+    /// Segment/rect intersection is symmetric in the segment's endpoint
+    /// order.
+    #[test]
+    fn segment_direction_irrelevant(a in arb_point(), b in arb_point(), w in arb_window()) {
+        let fwd = Segment::new(a, b).intersects_rect(&w);
+        let rev = Segment::new(b, a).intersects_rect(&w);
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Region area is invariant under vertex rotation of the boundary
+    /// list, and contains_point is stable across it.
+    #[test]
+    fn region_vertex_rotation_invariance(
+        pts in prop::collection::vec(arb_point(), 3..8),
+        probe in arb_point(),
+        shift in 0usize..8,
+    ) {
+        if let Ok(region) = Region::new(pts.clone()) {
+            let n = pts.len();
+            let mut rotated = pts.clone();
+            rotated.rotate_left(shift % n);
+            let region2 = Region::new(rotated).expect("same vertex count");
+            prop_assert!((region.area() - region2.area()).abs() < 1e-9);
+            prop_assert_eq!(region.contains_point(probe), region2.contains_point(probe));
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The pictorial database: pictures + relations + their associations.
+//!
+//! Realizes Figure 1.1's integrated architecture: the alphanumeric
+//! processor is a [`Catalog`] of relations with B+tree indexes, the
+//! pictorial processor a set of [`Picture`]s with packed R-trees, and the
+//! association between them is the `loc` pointer column (§2.1) plus the
+//! *backward* map from objects to tuples maintained here.
+
+use crate::error::PsqlError;
+use crate::picture::Picture;
+use pictorial_relational::{Catalog, ColumnType, Schema, TupleId, Value};
+use rtree_geom::{Rect, SpatialObject};
+use rtree_index::RTreeConfig;
+use std::collections::HashMap;
+
+/// The integrated pictorial + alphanumeric database PSQL runs against.
+#[derive(Debug)]
+pub struct PictorialDatabase {
+    catalog: Catalog,
+    pictures: HashMap<String, Picture>,
+    /// `(relation, loc-column) → picture` association.
+    associations: HashMap<(String, String), String>,
+    /// `(relation, loc-column) → object id → tuples` backward pointers.
+    backlinks: HashMap<(String, String), HashMap<u64, Vec<TupleId>>>,
+    /// Named location constants usable in `at`-clauses (§2.2: "a name of
+    /// a location predefined outside the retrieve mapping").
+    locations: HashMap<String, Rect>,
+    config: RTreeConfig,
+}
+
+impl PictorialDatabase {
+    /// Creates an empty database whose pictures index with `config`.
+    pub fn new(config: RTreeConfig) -> Self {
+        PictorialDatabase {
+            catalog: Catalog::new(),
+            pictures: HashMap::new(),
+            associations: HashMap::new(),
+            backlinks: HashMap::new(),
+            locations: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The alphanumeric catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (for creating relations and indexes).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Creates a picture.
+    pub fn create_picture(&mut self, name: &str, frame: Rect) -> Result<(), PsqlError> {
+        if self.pictures.contains_key(name) {
+            return Err(PsqlError::Semantic(format!("picture {name:?} already exists")));
+        }
+        self.pictures
+            .insert(name.to_owned(), Picture::new(name, frame, self.config));
+        Ok(())
+    }
+
+    /// Borrows a picture.
+    pub fn picture(&self, name: &str) -> Result<&Picture, PsqlError> {
+        self.pictures
+            .get(name)
+            .ok_or_else(|| PsqlError::Semantic(format!("no such picture {name:?}")))
+    }
+
+    /// Mutable picture access.
+    pub fn picture_mut(&mut self, name: &str) -> Result<&mut Picture, PsqlError> {
+        self.pictures
+            .get_mut(name)
+            .ok_or_else(|| PsqlError::Semantic(format!("no such picture {name:?}")))
+    }
+
+    /// Adds an object to a picture, returning the pointer value for `loc`
+    /// columns.
+    pub fn add_object(
+        &mut self,
+        picture: &str,
+        object: SpatialObject,
+        label: &str,
+    ) -> Result<u64, PsqlError> {
+        Ok(self.picture_mut(picture)?.add(object, label))
+    }
+
+    /// Declares that `relation.column` points into `picture` — one
+    /// association per picture a relation is tied to ("a pictorial
+    /// relation could be associated with more than one picture", §2.1).
+    pub fn associate(
+        &mut self,
+        relation: &str,
+        column: &str,
+        picture: &str,
+    ) -> Result<(), PsqlError> {
+        let rel = self.catalog.relation(relation)?;
+        match rel.schema().column(column) {
+            Some(c) if c.ty == ColumnType::Pointer => {}
+            Some(_) => {
+                return Err(PsqlError::Semantic(format!(
+                    "{relation}.{column} is not a pointer column"
+                )))
+            }
+            None => {
+                return Err(PsqlError::Semantic(format!(
+                    "no column {column:?} in {relation:?}"
+                )))
+            }
+        }
+        self.picture(picture)?;
+        self.associations
+            .insert((relation.to_owned(), column.to_owned()), picture.to_owned());
+        // Backfill backward pointers for tuples inserted before the
+        // association was declared, so association order doesn't matter.
+        let col_idx = self
+            .catalog
+            .relation(relation)?
+            .schema()
+            .index_of(column)
+            .expect("column checked above");
+        let mut map: HashMap<u64, Vec<TupleId>> = HashMap::new();
+        for (tid, tuple) in self.catalog.relation(relation)?.scan() {
+            if let Some(obj) = tuple[col_idx].as_pointer() {
+                map.entry(obj).or_default().push(tid);
+            }
+        }
+        self.backlinks
+            .insert((relation.to_owned(), column.to_owned()), map);
+        Ok(())
+    }
+
+    /// The picture `relation.column` points into.
+    pub fn association(&self, relation: &str, column: &str) -> Option<&str> {
+        self.associations
+            .get(&(relation.to_owned(), column.to_owned()))
+            .map(String::as_str)
+    }
+
+    /// The `loc` (pointer) columns of a relation, with their pictures.
+    pub fn loc_columns(&self, relation: &str) -> Vec<(String, String)> {
+        self.associations
+            .iter()
+            .filter(|((r, _), _)| r == relation)
+            .map(|((_, c), p)| (c.clone(), p.clone()))
+            .collect()
+    }
+
+    /// Inserts a tuple, maintaining indexes and object→tuple backlinks
+    /// for every associated pointer column.
+    pub fn insert(&mut self, relation: &str, tuple: Vec<Value>) -> Result<TupleId, PsqlError> {
+        let schema = self.catalog.relation(relation)?.schema().clone();
+        let tid = self.catalog.insert(relation, tuple.clone())?;
+        for (i, col) in schema.columns().iter().enumerate() {
+            if col.ty == ColumnType::Pointer {
+                if let Some(obj) = tuple[i].as_pointer() {
+                    let key = (relation.to_owned(), col.name.clone());
+                    if self.associations.contains_key(&key) {
+                        self.backlinks.entry(key).or_default().entry(obj).or_default().push(tid);
+                    }
+                }
+            }
+        }
+        Ok(tid)
+    }
+
+    /// Deletes a tuple, maintaining indexes and backlinks.
+    pub fn delete(&mut self, relation: &str, tid: TupleId) -> Result<Vec<Value>, PsqlError> {
+        let schema = self.catalog.relation(relation)?.schema().clone();
+        let tuple = self.catalog.delete(relation, tid)?;
+        for (i, col) in schema.columns().iter().enumerate() {
+            if col.ty == ColumnType::Pointer {
+                if let Some(obj) = tuple[i].as_pointer() {
+                    let key = (relation.to_owned(), col.name.clone());
+                    if let Some(map) = self.backlinks.get_mut(&key) {
+                        if let Some(list) = map.get_mut(&obj) {
+                            list.retain(|&t| t != tid);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(tuple)
+    }
+
+    /// Tuples whose `relation.column` pointer equals `object` — the
+    /// forward direct search of §2.1 ("the identifier's value … is used
+    /// to select the relation's tuples … when it retrieves using the
+    /// picture").
+    pub fn tuples_of_object(&self, relation: &str, column: &str, object: u64) -> &[TupleId] {
+        self.backlinks
+            .get(&(relation.to_owned(), column.to_owned()))
+            .and_then(|m| m.get(&object))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Defines (or replaces) a named location constant for `at`-clauses:
+    /// `at loc covered-by eastern-us` resolves `eastern-us` through this
+    /// registry.
+    pub fn define_location(&mut self, name: &str, window: Rect) {
+        self.locations.insert(name.to_owned(), window);
+    }
+
+    /// Looks up a named location.
+    pub fn location(&self, name: &str) -> Option<Rect> {
+        self.locations.get(name).copied()
+    }
+
+    /// Re-packs every picture's R-tree (done once after bulk loading).
+    pub fn pack_all(&mut self) {
+        for pic in self.pictures.values_mut() {
+            pic.pack();
+        }
+    }
+
+    /// Builds the synthetic US database of `rtree-workload`: pictures
+    /// `us-map`, `state-map`, `time-zone-map`, `lake-map`, `highway-map`
+    /// and relations `cities`, `states`, `time-zones`, `lakes`,
+    /// `highways`, all packed — the standing example of §2.
+    pub fn with_us_map() -> Self {
+        use rtree_workload::usmap;
+
+        let mut db = PictorialDatabase::new(RTreeConfig::PAPER);
+        let frame = usmap::FRAME;
+        for pic in ["us-map", "state-map", "time-zone-map", "lake-map", "highway-map"] {
+            db.create_picture(pic, frame).expect("fresh picture");
+        }
+
+        let mk = |cols: &[(&str, ColumnType)]| {
+            Schema::new(
+                cols.iter()
+                    .map(|&(n, t)| pictorial_relational::Column::new(n, t))
+                    .collect(),
+            )
+            .expect("valid schema")
+        };
+
+        // cities(city, state, population, loc) on us-map.
+        db.catalog_mut()
+            .create_relation(
+                "cities",
+                mk(&[
+                    ("city", ColumnType::Str),
+                    ("state", ColumnType::Str),
+                    ("population", ColumnType::Int),
+                    ("loc", ColumnType::Pointer),
+                ]),
+            )
+            .expect("fresh relation");
+        db.associate("cities", "loc", "us-map").expect("assoc");
+        for c in usmap::cities() {
+            let obj = db
+                .add_object("us-map", SpatialObject::Point(c.location), c.name)
+                .expect("picture exists");
+            db.insert(
+                "cities",
+                vec![
+                    c.name.into(),
+                    c.state.into(),
+                    c.population.into(),
+                    Value::Pointer(obj),
+                ],
+            )
+            .expect("valid tuple");
+        }
+        db.catalog_mut().create_index("cities", "population").expect("index");
+
+        // states(state, population-density, loc) on state-map.
+        db.catalog_mut()
+            .create_relation(
+                "states",
+                mk(&[
+                    ("state", ColumnType::Str),
+                    ("population-density", ColumnType::Float),
+                    ("loc", ColumnType::Pointer),
+                ]),
+            )
+            .expect("fresh relation");
+        db.associate("states", "loc", "state-map").expect("assoc");
+        for (i, s) in usmap::states().into_iter().enumerate() {
+            let density = 20.0 + (i as f64 * 13.7) % 90.0; // synthetic
+            let obj = db
+                .add_object("state-map", SpatialObject::Region(s.region.clone()), s.name)
+                .expect("picture exists");
+            db.insert(
+                "states",
+                vec![s.name.into(), density.into(), Value::Pointer(obj)],
+            )
+            .expect("valid tuple");
+        }
+
+        // time-zones(zone, hour-diff, loc) on time-zone-map.
+        db.catalog_mut()
+            .create_relation(
+                "time-zones",
+                mk(&[
+                    ("zone", ColumnType::Str),
+                    ("hour-diff", ColumnType::Int),
+                    ("loc", ColumnType::Pointer),
+                ]),
+            )
+            .expect("fresh relation");
+        db.associate("time-zones", "loc", "time-zone-map").expect("assoc");
+        for (name, hour_diff, region) in usmap::time_zones() {
+            let obj = db
+                .add_object("time-zone-map", SpatialObject::Region(region), name)
+                .expect("picture exists");
+            db.insert(
+                "time-zones",
+                vec![name.into(), hour_diff.into(), Value::Pointer(obj)],
+            )
+            .expect("valid tuple");
+        }
+
+        // lakes(lake, area, volume, loc) on lake-map.
+        db.catalog_mut()
+            .create_relation(
+                "lakes",
+                mk(&[
+                    ("lake", ColumnType::Str),
+                    ("area", ColumnType::Float),
+                    ("volume", ColumnType::Float),
+                    ("loc", ColumnType::Pointer),
+                ]),
+            )
+            .expect("fresh relation");
+        db.associate("lakes", "loc", "lake-map").expect("assoc");
+        for (name, area, volume, region) in usmap::lakes() {
+            let obj = db
+                .add_object("lake-map", SpatialObject::Region(region), name)
+                .expect("picture exists");
+            db.insert(
+                "lakes",
+                vec![name.into(), area.into(), volume.into(), Value::Pointer(obj)],
+            )
+            .expect("valid tuple");
+        }
+
+        // highways(hwy-name, hwy-section, loc) on highway-map.
+        db.catalog_mut()
+            .create_relation(
+                "highways",
+                mk(&[
+                    ("hwy-name", ColumnType::Str),
+                    ("hwy-section", ColumnType::Int),
+                    ("loc", ColumnType::Pointer),
+                ]),
+            )
+            .expect("fresh relation");
+        db.associate("highways", "loc", "highway-map").expect("assoc");
+        for h in usmap::highways() {
+            let label = format!("{}#{}", h.highway, h.section);
+            let obj = db
+                .add_object("highway-map", SpatialObject::Segment(h.segment), &label)
+                .expect("picture exists");
+            db.insert(
+                "highways",
+                vec![
+                    h.highway.into(),
+                    (h.section as i64).into(),
+                    Value::Pointer(obj),
+                ],
+            )
+            .expect("valid tuple");
+        }
+
+        db.pack_all();
+        // The Figure 2.1 window as a predefined location (§2.2).
+        db.define_location("eastern-us", usmap::EASTERN_WINDOW);
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::Point;
+
+    #[test]
+    fn us_map_loads() {
+        let db = PictorialDatabase::with_us_map();
+        assert_eq!(db.catalog().relation("cities").unwrap().len(), 42);
+        assert_eq!(db.picture("us-map").unwrap().len(), 42);
+        assert_eq!(db.picture("time-zone-map").unwrap().len(), 4);
+        assert_eq!(db.association("cities", "loc"), Some("us-map"));
+        db.picture("us-map").unwrap().tree().validate_with(false).unwrap();
+    }
+
+    #[test]
+    fn backlinks_resolve_objects_to_tuples() {
+        let db = PictorialDatabase::with_us_map();
+        let pic = db.picture("us-map").unwrap();
+        // Find the object labelled "Boston" and map it back to a tuple.
+        let boston = pic.object_ids().find(|&id| pic.label(id) == Some("Boston")).unwrap();
+        let tids = db.tuples_of_object("cities", "loc", boston);
+        assert_eq!(tids.len(), 1);
+        let tuple = db.catalog().relation("cities").unwrap().get(tids[0]).unwrap();
+        assert_eq!(tuple[0], Value::str("Boston"));
+    }
+
+    #[test]
+    fn delete_clears_backlink() {
+        let mut db = PictorialDatabase::with_us_map();
+        let pic = db.picture("us-map").unwrap();
+        let boston = pic.object_ids().find(|&id| pic.label(id) == Some("Boston")).unwrap();
+        let tid = db.tuples_of_object("cities", "loc", boston)[0];
+        db.delete("cities", tid).unwrap();
+        assert!(db.tuples_of_object("cities", "loc", boston).is_empty());
+    }
+
+    #[test]
+    fn associate_after_insert_backfills_backlinks() {
+        // Tuples inserted before associate() must still be reachable
+        // through the picture.
+        let mut db = PictorialDatabase::new(RTreeConfig::PAPER);
+        db.create_picture("pic", Rect::new(0.0, 0.0, 10.0, 10.0)).unwrap();
+        db.catalog_mut()
+            .create_relation(
+                "things",
+                pictorial_relational::Schema::new(vec![
+                    pictorial_relational::Column::new("name", ColumnType::Str),
+                    pictorial_relational::Column::new("loc", ColumnType::Pointer),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        let obj = db
+            .add_object("pic", SpatialObject::Point(Point::new(1.0, 1.0)), "a")
+            .unwrap();
+        // Insert BEFORE associating.
+        let tid = db
+            .insert("things", vec!["a".into(), Value::Pointer(obj)])
+            .unwrap();
+        assert!(db.tuples_of_object("things", "loc", obj).is_empty());
+        db.associate("things", "loc", "pic").unwrap();
+        assert_eq!(db.tuples_of_object("things", "loc", obj), &[tid]);
+    }
+
+    #[test]
+    fn associate_rejects_non_pointer_column() {
+        let mut db = PictorialDatabase::with_us_map();
+        assert!(db.associate("cities", "population", "us-map").is_err());
+        assert!(db.associate("cities", "nope", "us-map").is_err());
+        assert!(db.associate("cities", "loc", "no-map").is_err());
+    }
+
+    #[test]
+    fn duplicate_picture_rejected() {
+        let mut db = PictorialDatabase::with_us_map();
+        assert!(db
+            .create_picture("us-map", Rect::new(0.0, 0.0, 1.0, 1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn dynamic_object_and_tuple_insert() {
+        let mut db = PictorialDatabase::with_us_map();
+        let obj = db
+            .add_object("us-map", SpatialObject::Point(Point::new(50.0, 25.0)), "Springfield")
+            .unwrap();
+        let tid = db
+            .insert(
+                "cities",
+                vec!["Springfield".into(), "IL".into(), 600_000i64.into(), Value::Pointer(obj)],
+            )
+            .unwrap();
+        assert_eq!(db.tuples_of_object("cities", "loc", obj), &[tid]);
+        assert_eq!(db.catalog().relation("cities").unwrap().len(), 43);
+    }
+}

@@ -1,0 +1,37 @@
+//! PSQL error type.
+
+use pictorial_relational::RelationalError;
+use std::fmt;
+
+/// Anything that can go wrong lexing, parsing, planning or executing a
+/// PSQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PsqlError {
+    /// Lexical error.
+    Lex(String),
+    /// Syntax error.
+    Parse(String),
+    /// Semantic error (unknown relation/picture/column, ambiguity, …).
+    Semantic(String),
+    /// Error from the relational substrate.
+    Relational(RelationalError),
+}
+
+impl fmt::Display for PsqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsqlError::Lex(m) => write!(f, "lex error: {m}"),
+            PsqlError::Parse(m) => write!(f, "parse error: {m}"),
+            PsqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+            PsqlError::Relational(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PsqlError {}
+
+impl From<RelationalError> for PsqlError {
+    fn from(e: RelationalError) -> Self {
+        PsqlError::Relational(e)
+    }
+}

@@ -1,0 +1,233 @@
+//! Juxtaposition: the simultaneous R-tree join of §2.2.
+//!
+//! "Juxtaposition is performed by simultaneous search on the two (or
+//! more) spatial organizations which correspond to the same area … The
+//! simultaneous use of several spatial organizations is analogous to the
+//! use of two or more secondary indexes during the query processing."
+//!
+//! [`rtree_join`] descends both trees in lock-step, recursing only into
+//! node pairs whose MBRs intersect; candidate leaf-entry pairs are
+//! emitted for exact refinement by the caller. [`nested_loop_join`] is
+//! the baseline the `fig2_2` experiment compares against.
+
+use crate::spatial::SpatialOp;
+use rtree_geom::Rect;
+use rtree_index::{ItemId, Node, RTree};
+
+/// Counters for join executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Node pairs (or node/leaf-entry pairs) examined.
+    pub node_pairs_visited: u64,
+    /// Candidate item pairs emitted (before exact refinement).
+    pub candidates: u64,
+}
+
+/// Joins two R-trees, returning item-id pairs whose MBRs pass
+/// [`SpatialOp::mbr_filter`]. For `Disjoined` — which no hierarchy of
+/// bounding rectangles can prune — this degrades to the full cross
+/// product of MBR-disjoint pairs.
+pub fn rtree_join(a: &RTree, b: &RTree, op: SpatialOp, stats: &mut JoinStats) -> Vec<(ItemId, ItemId)> {
+    let mut out = Vec::new();
+    if a.is_empty() || b.is_empty() {
+        return out;
+    }
+    if op == SpatialOp::Disjoined {
+        // No pruning possible: enumerate and filter.
+        for &(ra, ia) in &a.items() {
+            for &(rb, ib) in &b.items() {
+                stats.node_pairs_visited += 1;
+                if !ra.intersects(&rb) {
+                    stats.candidates += 1;
+                    out.push((ia, ib));
+                }
+            }
+        }
+        return out;
+    }
+    join_nodes(a, a.root(), b, b.root(), op, stats, &mut out);
+    out
+}
+
+fn join_nodes(
+    a: &RTree,
+    na: rtree_index::NodeId,
+    b: &RTree,
+    nb: rtree_index::NodeId,
+    op: SpatialOp,
+    stats: &mut JoinStats,
+    out: &mut Vec<(ItemId, ItemId)>,
+) {
+    stats.node_pairs_visited += 1;
+    let node_a = a.node(na);
+    let node_b = b.node(nb);
+    match (node_a.is_leaf(), node_b.is_leaf()) {
+        (true, true) => {
+            for ea in &node_a.entries {
+                for eb in &node_b.entries {
+                    if ea.mbr.intersects(&eb.mbr) && op.mbr_filter(&ea.mbr, &eb.mbr) {
+                        stats.candidates += 1;
+                        out.push((ea.child.expect_item(), eb.child.expect_item()));
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // Descend the deeper (left) side.
+            for ea in &node_a.entries {
+                if intersects_node(&ea.mbr, node_b) {
+                    join_nodes(a, ea.child.expect_node(), b, nb, op, stats, out);
+                }
+            }
+        }
+        (true, false) => {
+            for eb in &node_b.entries {
+                if intersects_node(&eb.mbr, node_a) {
+                    join_nodes(a, na, b, eb.child.expect_node(), op, stats, out);
+                }
+            }
+        }
+        (false, false) => {
+            for ea in &node_a.entries {
+                for eb in &node_b.entries {
+                    if ea.mbr.intersects(&eb.mbr) {
+                        join_nodes(
+                            a,
+                            ea.child.expect_node(),
+                            b,
+                            eb.child.expect_node(),
+                            op,
+                            stats,
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn intersects_node(mbr: &Rect, node: &Node) -> bool {
+    node.mbr().is_some_and(|m| m.intersects(mbr))
+}
+
+/// The baseline: compare every item pair directly.
+pub fn nested_loop_join(
+    a: &RTree,
+    b: &RTree,
+    op: SpatialOp,
+    stats: &mut JoinStats,
+) -> Vec<(ItemId, ItemId)> {
+    let mut out = Vec::new();
+    for &(ra, ia) in &a.items() {
+        for &(rb, ib) in &b.items() {
+            stats.node_pairs_visited += 1;
+            let keep = if op == SpatialOp::Disjoined {
+                !ra.intersects(&rb)
+            } else {
+                ra.intersects(&rb) && op.mbr_filter(&ra, &rb)
+            };
+            if keep {
+                stats.candidates += 1;
+                out.push((ia, ib));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packed_rtree_core::pack;
+    use rtree_geom::Point;
+    use rtree_index::RTreeConfig;
+
+    fn tree_of_points(points: &[(f64, f64)]) -> RTree {
+        pack(
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (Rect::from_point(Point::new(x, y)), ItemId(i as u64)))
+                .collect(),
+            RTreeConfig::PAPER,
+        )
+    }
+
+    fn tree_of_rects(rects: &[Rect]) -> RTree {
+        pack(
+            rects
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r, ItemId(i as u64)))
+                .collect(),
+            RTreeConfig::PAPER,
+        )
+    }
+
+    fn grid_points(n: usize) -> Vec<(f64, f64)> {
+        (0..n).map(|i| ((i % 10) as f64 * 7.0, (i / 10) as f64 * 7.0)).collect()
+    }
+
+    fn tiles() -> Vec<Rect> {
+        let mut out = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                let x = i as f64 * 17.5;
+                let y = j as f64 * 17.5;
+                out.push(Rect::new(x, y, x + 17.5, y + 17.5));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn join_matches_nested_loop() {
+        let a = tree_of_points(&grid_points(80));
+        let b = tree_of_rects(&tiles());
+        for op in [SpatialOp::CoveredBy, SpatialOp::Overlapping, SpatialOp::Covering, SpatialOp::Disjoined] {
+            let mut s1 = JoinStats::default();
+            let mut s2 = JoinStats::default();
+            let mut fast = rtree_join(&a, &b, op, &mut s1);
+            let mut slow = nested_loop_join(&a, &b, op, &mut s2);
+            fast.sort();
+            slow.sort();
+            assert_eq!(fast, slow, "{op}");
+        }
+    }
+
+    #[test]
+    fn join_prunes_node_pairs() {
+        let a = tree_of_points(&grid_points(100));
+        let b = tree_of_rects(&tiles());
+        let mut fast = JoinStats::default();
+        let mut slow = JoinStats::default();
+        rtree_join(&a, &b, SpatialOp::CoveredBy, &mut fast);
+        nested_loop_join(&a, &b, SpatialOp::CoveredBy, &mut slow);
+        assert!(
+            fast.node_pairs_visited < slow.node_pairs_visited,
+            "simultaneous search should beat nested loop: {} vs {}",
+            fast.node_pairs_visited,
+            slow.node_pairs_visited
+        );
+    }
+
+    #[test]
+    fn empty_tree_join() {
+        let a = tree_of_points(&[]);
+        let b = tree_of_rects(&tiles());
+        let mut stats = JoinStats::default();
+        assert!(rtree_join(&a, &b, SpatialOp::CoveredBy, &mut stats).is_empty());
+        assert!(rtree_join(&b, &a, SpatialOp::CoveredBy, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn different_heights_join() {
+        // One big tree against a tiny one exercises the mixed-depth arms.
+        let a = tree_of_points(&grid_points(100));
+        let b = tree_of_rects(&[Rect::new(0.0, 0.0, 70.0, 70.0)]);
+        let mut stats = JoinStats::default();
+        let pairs = rtree_join(&a, &b, SpatialOp::CoveredBy, &mut stats);
+        assert_eq!(pairs.len(), 100, "all grid points inside the one tile");
+    }
+}

@@ -1,0 +1,279 @@
+//! PSQL lexer.
+//!
+//! Identifiers may contain interior hyphens (`us-map`, `covered-by`,
+//! `time-zones`), matching the paper's naming; a `-` is part of an
+//! identifier when it is directly surrounded by identifier characters.
+//! `+-` spells the paper's `±` in window literals. Negative numbers are
+//! written with a leading `-` immediately before the digits.
+
+use crate::error::PsqlError;
+use crate::token::Token;
+
+/// Tokenizes a PSQL query string.
+pub fn lex(input: &str) -> Result<Vec<Token>, PsqlError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '±' => {
+                out.push(Token::PlusMinus);
+                i += 1;
+            }
+            '+' => {
+                if chars.get(i + 1) == Some(&'-') {
+                    out.push(Token::PlusMinus);
+                    i += 2;
+                } else {
+                    return Err(PsqlError::Lex(format!("stray '+' at offset {i}")));
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => return Err(PsqlError::Lex("unterminated string".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' if chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                let (n, used) = lex_number(&chars[i..])?;
+                out.push(Token::Number(n));
+                i += used;
+            }
+            c if c.is_ascii_digit() => {
+                let (n, used) = lex_number(&chars[i..])?;
+                out.push(Token::Number(n));
+                i += used;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() {
+                    let c = chars[i];
+                    if c.is_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else if c == '-'
+                        && chars
+                            .get(i + 1)
+                            .is_some_and(|n| n.is_alphanumeric() || *n == '_')
+                    {
+                        // Interior hyphen: part of the identifier.
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let word: String = chars[start..i].iter().collect();
+                out.push(keyword_or_ident(&word));
+            }
+            other => {
+                return Err(PsqlError::Lex(format!(
+                    "unexpected character {other:?} at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(chars: &[char]) -> Result<(f64, usize), PsqlError> {
+    let mut i = 0;
+    if chars[0] == '-' {
+        i = 1;
+    }
+    let start = i;
+    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+        i += 1;
+    }
+    if i == start {
+        return Err(PsqlError::Lex("expected digits".into()));
+    }
+    let text: String = chars[..i].iter().collect();
+    text.parse::<f64>()
+        .map(|n| (n, i))
+        .map_err(|e| PsqlError::Lex(format!("bad number {text:?}: {e}")))
+}
+
+fn keyword_or_ident(word: &str) -> Token {
+    match word.to_ascii_lowercase().as_str() {
+        "select" => Token::Select,
+        "from" => Token::From,
+        "on" => Token::On,
+        "at" => Token::At,
+        "where" => Token::Where,
+        "and" => Token::And,
+        "or" => Token::Or,
+        "not" => Token::Not,
+        "order" => Token::Order,
+        "by" => Token::By,
+        "asc" => Token::Asc,
+        "desc" => Token::Desc,
+        "limit" => Token::Limit,
+        "covering" => Token::Covering,
+        "covered-by" => Token::CoveredBy,
+        "overlapping" => Token::Overlapping,
+        "disjoined" => Token::Disjoined,
+        _ => Token::Ident(word.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_1_query_lexes() {
+        let toks = lex(
+            "select city,state,population,loc from cities on us-map \
+             at loc covered-by {4 +- 4, 11 +- 9} where population > 450000",
+        )
+        .unwrap();
+        assert_eq!(toks[0], Token::Select);
+        assert!(toks.contains(&Token::Ident("us-map".into())));
+        assert!(toks.contains(&Token::CoveredBy));
+        assert!(toks.contains(&Token::PlusMinus));
+        assert!(toks.contains(&Token::Number(450000.0)));
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        let toks = lex("time-zones us-map hour-diff").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("time-zones".into()),
+                Token::Ident("us-map".into()),
+                Token::Ident("hour-diff".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn covered_by_is_keyword_not_ident() {
+        assert_eq!(lex("covered-by").unwrap(), vec![Token::CoveredBy]);
+        assert_eq!(lex("COVERED-BY").unwrap(), vec![Token::CoveredBy]);
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        assert_eq!(
+            lex("3.5 -2 10").unwrap(),
+            vec![Token::Number(3.5), Token::Number(-2.0), Token::Number(10.0)]
+        );
+    }
+
+    #[test]
+    fn plus_minus_and_unicode_pm() {
+        assert_eq!(lex("4 +- 4").unwrap()[1], Token::PlusMinus);
+        assert_eq!(lex("4 ± 4").unwrap()[1], Token::PlusMinus);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            lex("= <> < <= > >=").unwrap(),
+            vec![Token::Eq, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            lex("'New York'").unwrap(),
+            vec![Token::Str("New York".into())]
+        );
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn dotted_references() {
+        let toks = lex("cities.loc").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("cities".into()),
+                Token::Dot,
+                Token::Ident("loc".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(lex("select @").is_err());
+        assert!(lex("+5").is_err());
+    }
+
+    #[test]
+    fn trailing_hyphen_not_part_of_ident() {
+        // `x -1` lexes as ident then number; `x- 1` is an error case the
+        // hyphen rule avoids by not consuming the dangling hyphen.
+        let toks = lex("x -1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("x".into()), Token::Number(-1.0)]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The spatial comparison operators of §2.2.
+//!
+//! "The spatial operators are comparison predicates which receive two
+//! area specifications … and return true or false depending on whether or
+//! not the two argument locations satisfy the corresponding spatial
+//! relation on the picture."
+
+use rtree_geom::{Rect, SpatialObject};
+
+/// PSQL's spatial comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialOp {
+    /// `loc1 covering loc2`: loc1 contains loc2 entirely.
+    Covering,
+    /// `loc1 covered-by loc2`: loc1 lies entirely within loc2.
+    CoveredBy,
+    /// `loc1 overlapping loc2`: the locations share interior area (or one
+    /// contains the other).
+    Overlapping,
+    /// `loc1 disjoined loc2`: the locations share no point.
+    Disjoined,
+}
+
+impl SpatialOp {
+    /// Operator with the argument roles swapped:
+    /// `a op b ⇔ b op.flip() a`.
+    pub fn flip(self) -> SpatialOp {
+        match self {
+            SpatialOp::Covering => SpatialOp::CoveredBy,
+            SpatialOp::CoveredBy => SpatialOp::Covering,
+            SpatialOp::Overlapping => SpatialOp::Overlapping,
+            SpatialOp::Disjoined => SpatialOp::Disjoined,
+        }
+    }
+
+    /// Evaluates the operator between an object and a constant window.
+    pub fn eval_window(self, obj: &SpatialObject, window: &Rect) -> bool {
+        match self {
+            SpatialOp::CoveredBy => obj.within_window(window),
+            SpatialOp::Covering => match obj {
+                // Only regions can cover a window with positive area.
+                SpatialObject::Region(r) => {
+                    r.mbr().covers(window) && window.corners().iter().all(|&c| r.contains_point(c))
+                }
+                SpatialObject::Point(p) => window.is_degenerate() && window.contains_point(*p),
+                SpatialObject::Segment(_) => false,
+            },
+            SpatialOp::Overlapping => obj.intersects_window(window),
+            SpatialOp::Disjoined => !obj.intersects_window(window),
+        }
+    }
+
+    /// Evaluates the operator between two objects.
+    ///
+    /// The filter step works on MBRs (what the R-trees store); the
+    /// refinement step applies exact geometry where the classes allow
+    /// (point/region containment, region/region for rectangular regions).
+    pub fn eval_objects(self, a: &SpatialObject, b: &SpatialObject) -> bool {
+        match self {
+            SpatialOp::Covering => SpatialOp::CoveredBy.eval_objects(b, a),
+            SpatialOp::CoveredBy => match b {
+                SpatialObject::Region(region) => {
+                    // Exact for points; corner containment for the rest
+                    // (exact when the region is convex, e.g. the map's
+                    // rectangular states and zones).
+                    region.mbr().covers(&a.mbr())
+                        && a.mbr().corners().iter().all(|&c| region.contains_point(c))
+                }
+                _ => b.mbr().covers(&a.mbr()),
+            },
+            SpatialOp::Overlapping => match b {
+                SpatialObject::Region(region) => {
+                    a.mbr().intersects(&region.mbr())
+                        && SpatialObject::Region(region.clone()).intersects_window(&a.mbr())
+                }
+                _ => a.mbr().overlaps(&b.mbr()) || a.mbr().intersects(&b.mbr()),
+            },
+            SpatialOp::Disjoined => !SpatialOp::Overlapping.eval_objects(a, b),
+        }
+    }
+
+    /// MBR-level filter: can `a op b` possibly hold given only bounding
+    /// rectangles? Used to prune R-tree descents before exact refinement.
+    pub fn mbr_filter(self, a: &Rect, b: &Rect) -> bool {
+        match self {
+            SpatialOp::Covering => a.covers(b),
+            SpatialOp::CoveredBy => b.covers(a),
+            SpatialOp::Overlapping => a.intersects(b),
+            // Disjointness can never be pruned by MBRs (every pair is a
+            // candidate); the caller must enumerate.
+            SpatialOp::Disjoined => true,
+        }
+    }
+
+    /// The operator's name in PSQL syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpatialOp::Covering => "covering",
+            SpatialOp::CoveredBy => "covered-by",
+            SpatialOp::Overlapping => "overlapping",
+            SpatialOp::Disjoined => "disjoined",
+        }
+    }
+}
+
+impl std::fmt::Display for SpatialOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::{Point, Region, Segment};
+
+    fn point(x: f64, y: f64) -> SpatialObject {
+        SpatialObject::Point(Point::new(x, y))
+    }
+
+    fn region(x0: f64, y0: f64, x1: f64, y1: f64) -> SpatialObject {
+        SpatialObject::Region(Region::rectangle(Rect::new(x0, y0, x1, y1)))
+    }
+
+    #[test]
+    fn covered_by_window() {
+        let w = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(SpatialOp::CoveredBy.eval_window(&point(5.0, 5.0), &w));
+        assert!(!SpatialOp::CoveredBy.eval_window(&point(15.0, 5.0), &w));
+        assert!(SpatialOp::CoveredBy.eval_window(&region(1.0, 1.0, 9.0, 9.0), &w));
+        assert!(!SpatialOp::CoveredBy.eval_window(&region(5.0, 5.0, 15.0, 9.0), &w));
+    }
+
+    #[test]
+    fn covering_window() {
+        let w = Rect::new(2.0, 2.0, 4.0, 4.0);
+        assert!(SpatialOp::Covering.eval_window(&region(0.0, 0.0, 10.0, 10.0), &w));
+        assert!(!SpatialOp::Covering.eval_window(&region(3.0, 3.0, 10.0, 10.0), &w));
+        assert!(!SpatialOp::Covering.eval_window(&point(3.0, 3.0), &w));
+    }
+
+    #[test]
+    fn overlap_and_disjoint_window() {
+        let w = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let crossing = SpatialObject::Segment(Segment::new(
+            Point::new(-5.0, 5.0),
+            Point::new(15.0, 5.0),
+        ));
+        assert!(SpatialOp::Overlapping.eval_window(&crossing, &w));
+        assert!(!SpatialOp::Disjoined.eval_window(&crossing, &w));
+        let far = point(50.0, 50.0);
+        assert!(SpatialOp::Disjoined.eval_window(&far, &w));
+    }
+
+    #[test]
+    fn point_covered_by_region_object() {
+        let zone = region(0.0, 0.0, 20.0, 50.0);
+        assert!(SpatialOp::CoveredBy.eval_objects(&point(10.0, 25.0), &zone));
+        assert!(!SpatialOp::CoveredBy.eval_objects(&point(30.0, 25.0), &zone));
+        // Flip: the zone covers the point.
+        assert!(SpatialOp::Covering.eval_objects(&zone, &point(10.0, 25.0)));
+    }
+
+    #[test]
+    fn region_region_relations() {
+        let big = region(0.0, 0.0, 10.0, 10.0);
+        let small = region(2.0, 2.0, 4.0, 4.0);
+        let apart = region(20.0, 20.0, 30.0, 30.0);
+        assert!(SpatialOp::CoveredBy.eval_objects(&small, &big));
+        assert!(SpatialOp::Covering.eval_objects(&big, &small));
+        assert!(SpatialOp::Overlapping.eval_objects(&small, &big));
+        assert!(SpatialOp::Disjoined.eval_objects(&small, &apart));
+        assert!(!SpatialOp::CoveredBy.eval_objects(&big, &small));
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        for op in [
+            SpatialOp::Covering,
+            SpatialOp::CoveredBy,
+            SpatialOp::Overlapping,
+            SpatialOp::Disjoined,
+        ] {
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn mbr_filter_is_necessary_condition() {
+        let a = region(0.0, 0.0, 5.0, 5.0);
+        let b = region(2.0, 2.0, 8.0, 8.0);
+        for op in [SpatialOp::Covering, SpatialOp::CoveredBy, SpatialOp::Overlapping] {
+            if op.eval_objects(&a, &b) {
+                assert!(op.mbr_filter(&a.mbr(), &b.mbr()), "{op}");
+            }
+        }
+    }
+}

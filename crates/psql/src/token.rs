@@ -1,0 +1,118 @@
+//! PSQL tokens.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword `select`.
+    Select,
+    /// Keyword `from`.
+    From,
+    /// Keyword `on`.
+    On,
+    /// Keyword `at`.
+    At,
+    /// Keyword `where`.
+    Where,
+    /// Keyword `and`.
+    And,
+    /// Keyword `or`.
+    Or,
+    /// Keyword `not`.
+    Not,
+    /// Keyword `order` (of `order by`).
+    Order,
+    /// Keyword `by` (of `order by`).
+    By,
+    /// Keyword `asc`.
+    Asc,
+    /// Keyword `desc`.
+    Desc,
+    /// Keyword `limit`.
+    Limit,
+    /// Spatial operator `covering`.
+    Covering,
+    /// Spatial operator `covered-by`.
+    CoveredBy,
+    /// Spatial operator `overlapping`.
+    Overlapping,
+    /// Spatial operator `disjoined`.
+    Disjoined,
+    /// Identifier (may contain interior hyphens: `us-map`,
+    /// `time-zones`).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (single quotes).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `+-` — the paper's `±` in window literals.
+    PlusMinus,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Select => f.write_str("select"),
+            Token::From => f.write_str("from"),
+            Token::On => f.write_str("on"),
+            Token::At => f.write_str("at"),
+            Token::Where => f.write_str("where"),
+            Token::And => f.write_str("and"),
+            Token::Or => f.write_str("or"),
+            Token::Not => f.write_str("not"),
+            Token::Order => f.write_str("order"),
+            Token::By => f.write_str("by"),
+            Token::Asc => f.write_str("asc"),
+            Token::Desc => f.write_str("desc"),
+            Token::Limit => f.write_str("limit"),
+            Token::Covering => f.write_str("covering"),
+            Token::CoveredBy => f.write_str("covered-by"),
+            Token::Overlapping => f.write_str("overlapping"),
+            Token::Disjoined => f.write_str("disjoined"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBrace => f.write_str("{"),
+            Token::RBrace => f.write_str("}"),
+            Token::PlusMinus => f.write_str("+-"),
+            Token::Star => f.write_str("*"),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+        }
+    }
+}

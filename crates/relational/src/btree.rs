@@ -1,0 +1,478 @@
+//! A from-scratch in-memory B+tree for alphanumeric column indexes.
+//!
+//! R-trees "can be loosely described as a higher-dimensional
+//! generalization of B-trees" (§3); this is the one-dimensional ancestor,
+//! used to index the alphanumeric columns of pictorial relations ("the
+//! usual way", §2.1) — e.g. `population` in the Figure 2.1 query.
+//!
+//! Design: order-`B` nodes with `Vec` storage; duplicate keys keep a
+//! posting list of [`TupleId`]s. Deletion removes postings and empties
+//! keys lazily without rebalancing (structure stays a valid search tree;
+//! occupancy can drop below half after heavy deletion — acceptable for an
+//! in-memory secondary index and documented here).
+
+use crate::heap::TupleId;
+use crate::value::Value;
+
+/// Maximum keys per node for [`BPlusTree::new`].
+pub const DEFAULT_ORDER: usize = 16;
+
+/// A B+tree multimap from [`Value`] keys to [`TupleId`] postings.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    order: usize,
+    root: Node,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<Value>,
+        postings: Vec<Vec<TupleId>>,
+    },
+    Internal {
+        /// `separators[i]` is the smallest key reachable in
+        /// `children[i + 1]`.
+        separators: Vec<Value>,
+        children: Vec<Node>,
+    },
+}
+
+impl BPlusTree {
+    /// Creates an empty tree with [`DEFAULT_ORDER`].
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree with a given node order (max keys per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order < 3`.
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "order must be at least 3");
+        BPlusTree {
+            order,
+            root: Node::Leaf {
+                keys: Vec::new(),
+                postings: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    /// Number of postings (key/tuple pairs).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no postings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a posting.
+    pub fn insert(&mut self, key: Value, tid: TupleId) {
+        self.len += 1;
+        if let Some((sep, right)) = self.root.insert(key, tid, self.order) {
+            // Root split: grow upward.
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    keys: Vec::new(),
+                    postings: Vec::new(),
+                },
+            );
+            self.root = Node::Internal {
+                separators: vec![sep],
+                children: vec![old_root, *right],
+            };
+        }
+    }
+
+    /// Removes one posting; `true` if it was present.
+    pub fn remove(&mut self, key: &Value, tid: TupleId) -> bool {
+        let removed = self.root.remove(key, tid);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// All tuple ids for an exact key, in insertion order.
+    pub fn get(&self, key: &Value) -> &[TupleId] {
+        self.root.get(key)
+    }
+
+    /// Postings with `lo ≤ key ≤ hi` (either bound optional), in key
+    /// order.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<(Value, TupleId)> {
+        let mut out = Vec::new();
+        self.root.range(lo, hi, &mut out);
+        out
+    }
+
+    /// Checks structural invariants (sorted keys, separator correctness,
+    /// uniform depth), returning the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut depth = None;
+        self.root.validate(None, None, 0, &mut depth, self.order)?;
+        let counted = self.root.count();
+        if counted != self.len {
+            return Err(format!("len {} != counted {}", self.len, counted));
+        }
+        Ok(())
+    }
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Node {
+    /// Inserts; on split returns the separator and the new right sibling.
+    fn insert(&mut self, key: Value, tid: TupleId, order: usize) -> Option<(Value, Box<Node>)> {
+        match self {
+            Node::Leaf { keys, postings } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => {
+                        postings[i].push(tid);
+                        None
+                    }
+                    Err(i) => {
+                        keys.insert(i, key);
+                        postings.insert(i, vec![tid]);
+                        if keys.len() > order {
+                            let mid = keys.len() / 2;
+                            let right_keys = keys.split_off(mid);
+                            let right_postings = postings.split_off(mid);
+                            let sep = right_keys[0].clone();
+                            Some((
+                                sep,
+                                Box::new(Node::Leaf {
+                                    keys: right_keys,
+                                    postings: right_postings,
+                                }),
+                            ))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                let idx = separators.partition_point(|s| *s <= key);
+                let split = children[idx].insert(key, tid, order)?;
+                let (sep, right) = split;
+                separators.insert(idx, sep);
+                children.insert(idx + 1, *right);
+                if separators.len() > order {
+                    let mid = separators.len() / 2;
+                    // separators[mid] moves up; right gets mid+1.. keys.
+                    let up = separators[mid].clone();
+                    let right_seps = separators.split_off(mid + 1);
+                    separators.pop(); // drop the promoted separator
+                    let right_children = children.split_off(mid + 1);
+                    return Some((
+                        up,
+                        Box::new(Node::Internal {
+                            separators: right_seps,
+                            children: right_children,
+                        }),
+                    ));
+                }
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &Value, tid: TupleId) -> bool {
+        match self {
+            Node::Leaf { keys, postings } => match keys.binary_search(key) {
+                Ok(i) => {
+                    let list = &mut postings[i];
+                    if let Some(pos) = list.iter().position(|&t| t == tid) {
+                        list.remove(pos);
+                        if list.is_empty() {
+                            keys.remove(i);
+                            postings.remove(i);
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Err(_) => false,
+            },
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                let idx = separators.partition_point(|s| s <= key);
+                children[idx].remove(key, tid)
+            }
+        }
+    }
+
+    fn get(&self, key: &Value) -> &[TupleId] {
+        match self {
+            Node::Leaf { keys, postings } => match keys.binary_search(key) {
+                Ok(i) => &postings[i],
+                Err(_) => &[],
+            },
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                let idx = separators.partition_point(|s| s <= key);
+                children[idx].get(key)
+            }
+        }
+    }
+
+    fn range(&self, lo: Option<&Value>, hi: Option<&Value>, out: &mut Vec<(Value, TupleId)>) {
+        match self {
+            Node::Leaf { keys, postings } => {
+                for (k, list) in keys.iter().zip(postings) {
+                    if lo.is_some_and(|l| k < l) {
+                        continue;
+                    }
+                    if hi.is_some_and(|h| k > h) {
+                        break;
+                    }
+                    for &tid in list {
+                        out.push((k.clone(), tid));
+                    }
+                }
+            }
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                // Children overlapping [lo, hi].
+                let start = match lo {
+                    Some(l) => separators.partition_point(|s| s <= l),
+                    None => 0,
+                };
+                let end = match hi {
+                    Some(h) => separators.partition_point(|s| s <= h),
+                    None => separators.len(),
+                };
+                for child in &children[start..=end] {
+                    child.range(lo, hi, out);
+                }
+            }
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            Node::Leaf { postings, .. } => postings.iter().map(Vec::len).sum(),
+            Node::Internal { children, .. } => children.iter().map(Node::count).sum(),
+        }
+    }
+
+    fn validate(
+        &self,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        depth: usize,
+        leaf_depth: &mut Option<usize>,
+        order: usize,
+    ) -> Result<(), String> {
+        match self {
+            Node::Leaf { keys, postings } => {
+                if keys.len() != postings.len() {
+                    return Err("keys/postings length mismatch".into());
+                }
+                if keys.len() > order {
+                    return Err(format!("leaf with {} keys > order {}", keys.len(), order));
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(format!("unsorted leaf keys: {} >= {}", w[0], w[1]));
+                    }
+                }
+                for k in keys {
+                    if lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h) {
+                        return Err(format!("leaf key {k} out of separator bounds"));
+                    }
+                }
+                if postings.iter().any(Vec::is_empty) {
+                    return Err("empty posting list retained".into());
+                }
+                match leaf_depth {
+                    None => *leaf_depth = Some(depth),
+                    Some(d) if *d != depth => {
+                        return Err(format!("leaves at depths {d} and {depth}"))
+                    }
+                    _ => {}
+                }
+                Ok(())
+            }
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                if children.len() != separators.len() + 1 {
+                    return Err("child/separator count mismatch".into());
+                }
+                if separators.len() > order {
+                    return Err(format!("internal with {} separators", separators.len()));
+                }
+                for w in separators.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err("unsorted separators".into());
+                    }
+                }
+                for (i, child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&separators[i - 1]) };
+                    let child_hi = if i == separators.len() {
+                        hi
+                    } else {
+                        Some(&separators[i])
+                    };
+                    child.validate(child_lo, child_hi, depth + 1, leaf_depth, order)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn key(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn insert_get() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..100 {
+            t.insert(key(i * 7 % 101), TupleId(i as u64));
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 100);
+        // Every key findable.
+        for i in 0..100i64 {
+            let k = key(i * 7 % 101);
+            assert!(t.get(&k).contains(&TupleId(i as u64)), "key {k}");
+        }
+        assert!(t.get(&key(555)).is_empty());
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..10 {
+            t.insert(key(42), TupleId(i));
+        }
+        assert_eq!(t.get(&key(42)).len(), 10);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_postings() {
+        let mut t = BPlusTree::with_order(4);
+        t.insert(key(1), TupleId(10));
+        t.insert(key(1), TupleId(11));
+        assert!(t.remove(&key(1), TupleId(10)));
+        assert!(!t.remove(&key(1), TupleId(10)));
+        assert_eq!(t.get(&key(1)), &[TupleId(11)]);
+        assert!(t.remove(&key(1), TupleId(11)));
+        assert!(t.get(&key(1)).is_empty());
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut t = BPlusTree::with_order(4);
+        for i in 0..50 {
+            t.insert(key(i), TupleId(i as u64));
+        }
+        let r = t.range(Some(&key(10)), Some(&key(19)));
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, key(10));
+        assert_eq!(r[9].0, key(19));
+        // Keys in order.
+        for w in r.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Open bounds.
+        assert_eq!(t.range(None, None).len(), 50);
+        assert_eq!(t.range(Some(&key(45)), None).len(), 5);
+        assert_eq!(t.range(None, Some(&key(4))).len(), 5);
+        assert!(t.range(Some(&key(100)), Some(&key(200))).is_empty());
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut t = BPlusTree::with_order(4);
+        let words = ["delta", "alpha", "echo", "charlie", "bravo"];
+        for (i, w) in words.iter().enumerate() {
+            t.insert(Value::str(w), TupleId(i as u64));
+        }
+        t.validate().unwrap();
+        let all = t.range(None, None);
+        let sorted: Vec<&str> = all.iter().map(|(k, _)| k.as_str().unwrap()).collect();
+        assert_eq!(sorted, ["alpha", "bravo", "charlie", "delta", "echo"]);
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let mut t = BPlusTree::with_order(3); // small order → many splits
+        let mut model: BTreeMap<i64, Vec<TupleId>> = BTreeMap::new();
+        let mut s = 99u64;
+        for step in 0..2000u64 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = ((s >> 33) % 200) as i64;
+            let tid = TupleId(step);
+            if (s >> 7).is_multiple_of(3) {
+                // Remove a random posting of k, if any.
+                let removed_model = model.get_mut(&k).and_then(|v| v.pop());
+                match removed_model {
+                    Some(tid) => {
+                        if model.get(&k).is_some_and(Vec::is_empty) {
+                            model.remove(&k);
+                        }
+                        assert!(t.remove(&key(k), tid), "step {step}: lost posting");
+                    }
+                    None => assert!(!t.remove(&key(k), TupleId(u64::MAX))),
+                }
+            } else {
+                t.insert(key(k), tid);
+                model.entry(k).or_default().push(tid);
+            }
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), model.values().map(Vec::len).sum::<usize>());
+        for (k, tids) in &model {
+            let mut got = t.get(&key(*k)).to_vec();
+            let mut expect = tids.clone();
+            got.sort();
+            expect.sort();
+            assert_eq!(got, expect, "key {k}");
+        }
+        // Full range matches model order.
+        let all = t.range(None, None);
+        let expect_count: usize = model.values().map(Vec::len).sum();
+        assert_eq!(all.len(), expect_count);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_order_rejected() {
+        BPlusTree::with_order(2);
+    }
+}

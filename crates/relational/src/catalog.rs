@@ -1,0 +1,189 @@
+//! The catalog: named relations and their secondary indexes.
+
+use crate::btree::BPlusTree;
+use crate::error::RelationalError;
+use crate::heap::{Relation, TupleId};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A database catalog: relations by name, plus B+tree indexes on
+/// alphanumeric columns. Index maintenance is automatic for inserts and
+/// deletes that go through the catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    relations: HashMap<String, Relation>,
+    /// `(relation, column) → index`.
+    indexes: HashMap<(String, String), BPlusTree>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a relation.
+    pub fn create_relation(&mut self, name: &str, schema: Schema) -> Result<(), RelationalError> {
+        if self.relations.contains_key(name) {
+            return Err(RelationalError::RelationExists(name.to_owned()));
+        }
+        self.relations
+            .insert(name.to_owned(), Relation::new(name, schema));
+        Ok(())
+    }
+
+    /// Borrows a relation.
+    pub fn relation(&self, name: &str) -> Result<&Relation, RelationalError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::NoSuchRelation(name.to_owned()))
+    }
+
+    /// Relation names, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Creates a B+tree index on `relation.column`, back-filling existing
+    /// tuples.
+    pub fn create_index(&mut self, relation: &str, column: &str) -> Result<(), RelationalError> {
+        let rel = self
+            .relations
+            .get(relation)
+            .ok_or_else(|| RelationalError::NoSuchRelation(relation.to_owned()))?;
+        let idx = rel
+            .schema()
+            .index_of(column)
+            .ok_or_else(|| RelationalError::NoSuchColumn(column.to_owned()))?;
+        let mut tree = BPlusTree::new();
+        for (tid, tuple) in rel.scan() {
+            tree.insert(tuple[idx].clone(), tid);
+        }
+        self.indexes
+            .insert((relation.to_owned(), column.to_owned()), tree);
+        Ok(())
+    }
+
+    /// The index on `relation.column`, if one exists.
+    pub fn index(&self, relation: &str, column: &str) -> Option<&BPlusTree> {
+        self.indexes
+            .get(&(relation.to_owned(), column.to_owned()))
+    }
+
+    /// Inserts a tuple, maintaining all indexes on the relation.
+    pub fn insert(&mut self, relation: &str, tuple: Vec<Value>) -> Result<TupleId, RelationalError> {
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| RelationalError::NoSuchRelation(relation.to_owned()))?;
+        let schema = rel.schema().clone();
+        let tid = rel.insert(tuple.clone())?;
+        for ((r, col), tree) in self.indexes.iter_mut() {
+            if r == relation {
+                let idx = schema.index_of(col).expect("index column exists");
+                tree.insert(tuple[idx].clone(), tid);
+            }
+        }
+        Ok(tid)
+    }
+
+    /// Deletes a tuple, maintaining all indexes on the relation.
+    pub fn delete(&mut self, relation: &str, tid: TupleId) -> Result<Vec<Value>, RelationalError> {
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| RelationalError::NoSuchRelation(relation.to_owned()))?;
+        let schema = rel.schema().clone();
+        let tuple = rel.delete(tid)?;
+        for ((r, col), tree) in self.indexes.iter_mut() {
+            if r == relation {
+                let idx = schema.index_of(col).expect("index column exists");
+                tree.remove(&tuple[idx], tid);
+            }
+        }
+        Ok(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn catalog_with_cities() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_relation(
+            "cities",
+            Schema::new(vec![
+                Column::new("city", ColumnType::Str),
+                Column::new("population", ColumnType::Int),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let cat = catalog_with_cities();
+        assert!(cat.relation("cities").is_ok());
+        assert!(cat.relation("nope").is_err());
+        assert_eq!(cat.relation_names(), vec!["cities"]);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut cat = catalog_with_cities();
+        let schema = Schema::new(vec![]).unwrap();
+        assert!(matches!(
+            cat.create_relation("cities", schema),
+            Err(RelationalError::RelationExists(_))
+        ));
+    }
+
+    #[test]
+    fn index_backfill_and_maintenance() {
+        let mut cat = catalog_with_cities();
+        let a = cat
+            .insert("cities", vec!["Boston".into(), 4_900_000i64.into()])
+            .unwrap();
+        cat.create_index("cities", "population").unwrap();
+        // Backfilled.
+        assert_eq!(
+            cat.index("cities", "population").unwrap().get(&Value::Int(4_900_000)),
+            &[a]
+        );
+        // Maintained on insert.
+        let b = cat
+            .insert("cities", vec!["Miami".into(), 6_100_000i64.into()])
+            .unwrap();
+        assert_eq!(
+            cat.index("cities", "population").unwrap().get(&Value::Int(6_100_000)),
+            &[b]
+        );
+        // Maintained on delete.
+        cat.delete("cities", a).unwrap();
+        assert!(cat
+            .index("cities", "population")
+            .unwrap()
+            .get(&Value::Int(4_900_000))
+            .is_empty());
+        // Range through the index.
+        let big = cat
+            .index("cities", "population")
+            .unwrap()
+            .range(Some(&Value::Int(1_000_000)), None);
+        assert_eq!(big.len(), 1);
+    }
+
+    #[test]
+    fn index_on_missing_column_rejected() {
+        let mut cat = catalog_with_cities();
+        assert!(cat.create_index("cities", "altitude").is_err());
+        assert!(cat.create_index("towns", "city").is_err());
+    }
+}

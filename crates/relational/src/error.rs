@@ -1,0 +1,57 @@
+//! Error type for the relational layer.
+
+use crate::schema::ColumnType;
+use std::fmt;
+
+/// Anything that can go wrong below the query language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// Schema declared two columns with the same name.
+    DuplicateColumn(String),
+    /// Tuple arity differs from schema arity.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Tuple length.
+        got: usize,
+    },
+    /// Value type differs from column type.
+    TypeMismatch {
+        /// Offending column.
+        column: String,
+        /// Declared type.
+        expected: ColumnType,
+        /// Provided type.
+        got: ColumnType,
+    },
+    /// Unknown column referenced.
+    NoSuchColumn(String),
+    /// Unknown relation referenced.
+    NoSuchRelation(String),
+    /// Relation name already taken.
+    RelationExists(String),
+    /// Tuple id not present (deleted or never allocated).
+    NoSuchTuple(u64),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
+            RelationalError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema has {expected} columns, tuple has {got}")
+            }
+            RelationalError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "column {column:?} expects {expected}, got {got}"),
+            RelationalError::NoSuchColumn(c) => write!(f, "no such column {c:?}"),
+            RelationalError::NoSuchRelation(r) => write!(f, "no such relation {r:?}"),
+            RelationalError::RelationExists(r) => write!(f, "relation {r:?} already exists"),
+            RelationalError::NoSuchTuple(id) => write!(f, "no such tuple #{id}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}

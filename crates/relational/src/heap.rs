@@ -1,0 +1,198 @@
+//! Heap-organized relations with stable tuple ids.
+
+use crate::error::RelationalError;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// Stable identifier of a tuple within one relation — what the R-tree
+/// leaves point back at (the paper's "tuple-identifier").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u64);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A relation: schema plus a slotted heap of tuples.
+///
+/// Tuple ids are never reused, so pointers held by spatial indexes stay
+/// valid or dangle detectably.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    slots: Vec<Option<Vec<Value>>>,
+    live: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Relation {
+            name: name.to_owned(),
+            schema,
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no live tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a tuple after schema validation, returning its id.
+    pub fn insert(&mut self, tuple: Vec<Value>) -> Result<TupleId, RelationalError> {
+        self.schema.check(&tuple)?;
+        let id = TupleId(self.slots.len() as u64);
+        self.slots.push(Some(tuple));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Fetches a tuple by id.
+    pub fn get(&self, id: TupleId) -> Result<&[Value], RelationalError> {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(|s| s.as_deref())
+            .ok_or(RelationalError::NoSuchTuple(id.0))
+    }
+
+    /// Deletes a tuple by id; the id is never reused.
+    pub fn delete(&mut self, id: TupleId) -> Result<Vec<Value>, RelationalError> {
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .ok_or(RelationalError::NoSuchTuple(id.0))?;
+        let tuple = slot.take().ok_or(RelationalError::NoSuchTuple(id.0))?;
+        self.live -= 1;
+        Ok(tuple)
+    }
+
+    /// Replaces a tuple in place (schema-checked).
+    pub fn update(&mut self, id: TupleId, tuple: Vec<Value>) -> Result<(), RelationalError> {
+        self.schema.check(&tuple)?;
+        let slot = self
+            .slots
+            .get_mut(id.0 as usize)
+            .ok_or(RelationalError::NoSuchTuple(id.0))?;
+        if slot.is_none() {
+            return Err(RelationalError::NoSuchTuple(id.0));
+        }
+        *slot = Some(tuple);
+        Ok(())
+    }
+
+    /// Iterates `(TupleId, &tuple)` over live tuples in id order.
+    pub fn scan(&self) -> impl Iterator<Item = (TupleId, &[Value])> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|t| (TupleId(i as u64), t)))
+    }
+
+    /// Value of `column` in tuple `id`.
+    pub fn value(&self, id: TupleId, column: &str) -> Result<&Value, RelationalError> {
+        let idx = self
+            .schema
+            .index_of(column)
+            .ok_or_else(|| RelationalError::NoSuchColumn(column.to_owned()))?;
+        Ok(&self.get(id)?[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn rel() -> Relation {
+        Relation::new(
+            "cities",
+            Schema::new(vec![
+                Column::new("city", ColumnType::Str),
+                Column::new("population", ColumnType::Int),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_get_scan() {
+        let mut r = rel();
+        let a = r.insert(vec!["Boston".into(), 4_900_000i64.into()]).unwrap();
+        let b = r.insert(vec!["Miami".into(), 6_100_000i64.into()]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a).unwrap()[0], Value::str("Boston"));
+        assert_eq!(r.value(b, "population").unwrap(), &Value::Int(6_100_000));
+        let ids: Vec<TupleId> = r.scan().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn delete_keeps_ids_stable() {
+        let mut r = rel();
+        let a = r.insert(vec!["A".into(), 1i64.into()]).unwrap();
+        let b = r.insert(vec!["B".into(), 2i64.into()]).unwrap();
+        r.delete(a).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.get(a).is_err());
+        assert_eq!(r.get(b).unwrap()[0], Value::str("B"));
+        // New insert gets a fresh id, not a's.
+        let c = r.insert(vec!["C".into(), 3i64.into()]).unwrap();
+        assert_ne!(c, a);
+    }
+
+    #[test]
+    fn double_delete_fails() {
+        let mut r = rel();
+        let a = r.insert(vec!["A".into(), 1i64.into()]).unwrap();
+        r.delete(a).unwrap();
+        assert!(matches!(r.delete(a), Err(RelationalError::NoSuchTuple(_))));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut r = rel();
+        let a = r.insert(vec!["A".into(), 1i64.into()]).unwrap();
+        r.update(a, vec!["A".into(), 10i64.into()]).unwrap();
+        assert_eq!(r.value(a, "population").unwrap(), &Value::Int(10));
+        assert!(r.update(a, vec!["bad".into()]).is_err());
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let mut r = rel();
+        assert!(r.insert(vec![Value::Int(5), Value::Int(1)]).is_err());
+        assert!(r.insert(vec![Value::str("x")]).is_err());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn unknown_column_error() {
+        let mut r = rel();
+        let a = r.insert(vec!["A".into(), 1i64.into()]).unwrap();
+        assert!(matches!(
+            r.value(a, "altitude"),
+            Err(RelationalError::NoSuchColumn(_))
+        ));
+    }
+}

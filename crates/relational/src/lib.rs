@@ -1,0 +1,36 @@
+//! Alphanumeric relational substrate for the pictorial database.
+//!
+//! The paper's architecture (Figure 1.1) pairs a conventional
+//! "alphanumeric data processor" with the pictorial processor; PSQL
+//! "extends the power of SQL for retrieving alphanumeric data" (§2). This
+//! crate is that conventional half, built from scratch:
+//!
+//! * typed [`Value`]s and [`Schema`]s — including the `pointer` type of
+//!   the paper's `loc` columns ("an extra column named *loc* of type
+//!   pointer which stores pointers to the picture", §2.1);
+//! * heap [`Relation`]s of tuples with stable [`TupleId`]s;
+//! * a from-scratch [`BPlusTree`] index for alphanumeric columns
+//!   ("the relation columns that correspond to alphanumeric domains are
+//!   indexed the usual way") — R-trees being their two-dimensional
+//!   generalization is the paper's founding analogy;
+//! * boolean [`Predicate`]s over tuples (the `where`-clause machinery);
+//! * a [`Catalog`] naming relations and their indexes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod btree;
+pub mod catalog;
+pub mod error;
+pub mod heap;
+pub mod predicate;
+pub mod schema;
+pub mod value;
+
+pub use btree::BPlusTree;
+pub use catalog::Catalog;
+pub use error::RelationalError;
+pub use heap::{Relation, TupleId};
+pub use predicate::{CompareOp, Predicate};
+pub use schema::{Column, ColumnType, Schema};
+pub use value::Value;

@@ -1,0 +1,166 @@
+//! Boolean predicates over tuples — the alphanumeric `where`-clause.
+
+use crate::error::RelationalError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// Applies the operator; comparisons involving NULL are false
+    /// (SQL-style three-valued logic collapsed to false).
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        if matches!(a, Value::Null) || matches!(b, Value::Null) {
+            return false;
+        }
+        let ord = a.cmp(b);
+        match self {
+            CompareOp::Eq => ord.is_eq(),
+            CompareOp::Ne => ord.is_ne(),
+            CompareOp::Lt => ord.is_lt(),
+            CompareOp::Le => ord.is_le(),
+            CompareOp::Gt => ord.is_gt(),
+            CompareOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// A predicate tree over one relation's tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// `column op constant`.
+    Compare {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CompareOp,
+        /// Right-hand constant.
+        value: Value,
+    },
+    /// Both subpredicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either subpredicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Subpredicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience: `column op value`.
+    pub fn compare(column: &str, op: CompareOp, value: Value) -> Predicate {
+        Predicate::Compare {
+            column: column.to_owned(),
+            op,
+            value,
+        }
+    }
+
+    /// Evaluates against a tuple under `schema`.
+    pub fn eval(&self, schema: &Schema, tuple: &[Value]) -> Result<bool, RelationalError> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Compare { column, op, value } => {
+                let idx = schema
+                    .index_of(column)
+                    .ok_or_else(|| RelationalError::NoSuchColumn(column.clone()))?;
+                Ok(op.eval(&tuple[idx], value))
+            }
+            Predicate::And(a, b) => Ok(a.eval(schema, tuple)? && b.eval(schema, tuple)?),
+            Predicate::Or(a, b) => Ok(a.eval(schema, tuple)? || b.eval(schema, tuple)?),
+            Predicate::Not(p) => Ok(!p.eval(schema, tuple)?),
+        }
+    }
+
+    /// `a AND b`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `a OR b`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("city", ColumnType::Str),
+            Column::new("population", ColumnType::Int),
+        ])
+        .unwrap()
+    }
+
+    fn boston() -> Vec<Value> {
+        vec![Value::str("Boston"), Value::Int(4_900_000)]
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let p = Predicate::compare("population", CompareOp::Gt, Value::Int(450_000));
+        assert!(p.eval(&s, &boston()).unwrap());
+        let p2 = Predicate::compare("city", CompareOp::Eq, Value::str("Miami"));
+        assert!(!p2.eval(&s, &boston()).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let big = Predicate::compare("population", CompareOp::Ge, Value::Int(1_000_000));
+        let is_boston = Predicate::compare("city", CompareOp::Eq, Value::str("Boston"));
+        assert!(big.clone().and(is_boston.clone()).eval(&s, &boston()).unwrap());
+        assert!(big
+            .clone()
+            .or(Predicate::compare("city", CompareOp::Eq, Value::str("X")))
+            .eval(&s, &boston())
+            .unwrap());
+        assert!(!Predicate::Not(Box::new(big)).eval(&s, &boston()).unwrap());
+        assert!(Predicate::True.eval(&s, &boston()).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = schema();
+        let tuple = vec![Value::Null, Value::Int(1)];
+        let p = Predicate::compare("city", CompareOp::Eq, Value::str("Boston"));
+        assert!(!p.eval(&s, &tuple).unwrap());
+        let p2 = Predicate::compare("city", CompareOp::Ne, Value::str("Boston"));
+        assert!(!p2.eval(&s, &tuple).unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        let p = Predicate::compare("altitude", CompareOp::Eq, Value::Int(1));
+        assert!(p.eval(&s, &boston()).is_err());
+    }
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        let s = schema();
+        let p = Predicate::compare("population", CompareOp::Lt, Value::Float(5e6));
+        assert!(p.eval(&s, &boston()).unwrap());
+    }
+}

@@ -1,0 +1,178 @@
+//! Relation schemas.
+
+use crate::error::RelationalError;
+use crate::value::Value;
+use std::fmt;
+
+/// Column data types. `Pointer` marks pictorial `loc` columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Pictorial pointer (`loc`).
+    Pointer,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Str => "str",
+            ColumnType::Pointer => "pointer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: &str, ty: ColumnType) -> Self {
+        Column {
+            name: name.to_owned(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Self, RelationalError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(RelationalError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column lookup by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Validates a tuple against this schema (arity and types; NULL fits
+    /// any column).
+    pub fn check(&self, tuple: &[Value]) -> Result<(), RelationalError> {
+        if tuple.len() != self.arity() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.arity(),
+                got: tuple.len(),
+            });
+        }
+        for (v, c) in tuple.iter().zip(&self.columns) {
+            if let Some(t) = v.column_type() {
+                if t != c.ty {
+                    return Err(RelationalError::TypeMismatch {
+                        column: c.name.clone(),
+                        expected: c.ty,
+                        got: t,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cities_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("city", ColumnType::Str),
+            Column::new("state", ColumnType::Str),
+            Column::new("population", ColumnType::Int),
+            Column::new("loc", ColumnType::Pointer),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = cities_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("population"), Some(2));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.column("loc").unwrap().ty, ColumnType::Pointer);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = Schema::new(vec![
+            Column::new("a", ColumnType::Int),
+            Column::new("a", ColumnType::Str),
+        ]);
+        assert!(matches!(r, Err(RelationalError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn tuple_check() {
+        let s = cities_schema();
+        let ok = vec![
+            Value::str("Boston"),
+            Value::str("MA"),
+            Value::Int(4_900_000),
+            Value::Pointer(7),
+        ];
+        assert!(s.check(&ok).is_ok());
+        let wrong_type = vec![
+            Value::str("Boston"),
+            Value::str("MA"),
+            Value::str("many"),
+            Value::Pointer(7),
+        ];
+        assert!(matches!(
+            s.check(&wrong_type),
+            Err(RelationalError::TypeMismatch { .. })
+        ));
+        let wrong_arity = vec![Value::str("Boston")];
+        assert!(matches!(
+            s.check(&wrong_arity),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
+        // NULL fits anywhere.
+        let with_null = vec![
+            Value::Null,
+            Value::str("MA"),
+            Value::Int(1),
+            Value::Pointer(0),
+        ];
+        assert!(s.check(&with_null).is_ok());
+    }
+}

@@ -1,0 +1,176 @@
+//! Typed values, including the pictorial `pointer` type.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A value of a relation column.
+///
+/// `Pointer` is the paper's backward identifier "of type pointer which
+/// points to the area on the picture (to the leaf-node of the R-tree)"
+/// (§2.1): it holds the object id that the picture's R-tree indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Pointer into a picture's object table (the `loc` column).
+    Pointer(u64),
+}
+
+impl Value {
+    /// Convenience constructor from `&str`.
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+
+    /// The value's type, or `None` for NULL.
+    pub fn column_type(&self) -> Option<crate::schema::ColumnType> {
+        use crate::schema::ColumnType::*;
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(Int),
+            Value::Float(_) => Some(Float),
+            Value::Str(_) => Some(Str),
+            Value::Pointer(_) => Some(Pointer),
+        }
+    }
+
+    /// Numeric view (ints widen to float), `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Pointer view.
+    pub fn as_pointer(&self) -> Option<u64> {
+        match self {
+            Value::Pointer(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 1, // numerics compare with each other
+            Value::Str(_) => 2,
+            Value::Pointer(_) => 3,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+/// Total order: NULL < numerics (ints and floats interleaved by value) <
+/// strings < pointers. Floats order by `total_cmp`. This deterministic
+/// cross-type order is what the B+tree and sort operators use.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Pointer(a), Value::Pointer(b)) => a.cmp(b),
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Pointer(p) => write!(f, "loc@{p}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_ordering() {
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+        assert_eq!(Value::Int(2).cmp(&Value::Float(2.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn type_rank_ordering() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Int(i64::MAX) < Value::str("a"));
+        assert!(Value::str("zzz") < Value::Pointer(0));
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert!(Value::str("alpha") < Value::str("beta"));
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Pointer(9).as_pointer(), Some(9));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Pointer(4).to_string(), "loc@4");
+        assert_eq!(Value::str("Boston").to_string(), "Boston");
+    }
+}

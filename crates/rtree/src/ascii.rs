@@ -1,0 +1,74 @@
+//! Human-readable dumps of tree structure, for debugging and the figure
+//! reproductions.
+
+use crate::node::Child;
+use crate::tree::RTree;
+use std::fmt::Write as _;
+
+impl RTree {
+    /// Indented outline of the tree: one line per node with level, id,
+    /// MBR and entry count; leaf entries listed beneath.
+    ///
+    /// ```text
+    /// n5 level=1 [0.000,11.000]x[0.000,11.000] (2 entries)
+    ///   n0 level=0 [0.000,1.000]x[0.000,1.000] (3 entries)
+    ///     #0 [0.000,0.000]x[0.000,0.000]
+    ///     ...
+    /// ```
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_rec(self.root(), 0, &mut out);
+        out
+    }
+
+    fn dump_rec(&self, id: crate::node::NodeId, indent: usize, out: &mut String) {
+        let node = self.node(id);
+        let mbr = node
+            .mbr()
+            .map(|m| m.to_string())
+            .unwrap_or_else(|| "<empty>".into());
+        let _ = writeln!(
+            out,
+            "{:indent$}{id} level={} {mbr} ({} entries)",
+            "",
+            node.level,
+            node.len(),
+            indent = indent * 2
+        );
+        for e in &node.entries {
+            match e.child {
+                Child::Node(c) => self.dump_rec(c, indent + 1, out),
+                Child::Item(item) => {
+                    let _ = writeln!(out, "{:indent$}{item} {}", "", e.mbr, indent = (indent + 1) * 2);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use crate::node::ItemId;
+    use rtree_geom::{Point, Rect};
+
+    #[test]
+    fn dump_contains_all_items_and_nodes() {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for i in 0..9u64 {
+            t.insert(Rect::from_point(Point::new(i as f64, 0.0)), ItemId(i));
+        }
+        let dump = t.dump();
+        for i in 0..9 {
+            assert!(dump.contains(&format!("#{i} ")), "missing item {i}:\n{dump}");
+        }
+        assert_eq!(dump.matches("level=").count(), t.node_count());
+    }
+
+    #[test]
+    fn empty_dump_shows_empty_root() {
+        let t = RTree::new(RTreeConfig::PAPER);
+        assert!(t.dump().contains("<empty>"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Bottom-up tree construction, the primitive under every packing
+//! algorithm.
+//!
+//! `PACK` (and its descendants in `packed-rtree-core`) decide *which*
+//! entries share a node; this builder turns those groupings into a
+//! well-formed [`RTree`], level by level, "working ever backwards, until
+//! the root is finally reached and created" (§3.3).
+
+use crate::config::RTreeConfig;
+use crate::node::{Entry, ItemId, Node, NodeId};
+use crate::tree::RTree;
+use rtree_geom::Rect;
+
+/// Incremental bottom-up builder.
+///
+/// Usage: create leaves with [`add_leaf`](Self::add_leaf), then build each
+/// internal level with [`add_internal`](Self::add_internal) over the
+/// `(NodeId, Rect)` handles of the level below, and finish with
+/// [`finish`](Self::finish) (single root) or
+/// [`finish_empty`](Self::finish_empty).
+pub struct BottomUpBuilder {
+    tree: RTree,
+    items: usize,
+}
+
+impl BottomUpBuilder {
+    /// Starts building a tree with the given configuration.
+    pub fn new(config: RTreeConfig) -> Self {
+        let mut tree = RTree::new(config);
+        // Discard the implicit empty root; the builder installs its own.
+        let root = tree.root();
+        tree.dealloc(root);
+        BottomUpBuilder { tree, items: 0 }
+    }
+
+    /// Creates a leaf node from up to `M` item entries, returning its
+    /// handle and MBR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or exceeds the branching factor.
+    pub fn add_leaf(&mut self, entries: Vec<(Rect, ItemId)>) -> (NodeId, Rect) {
+        assert!(!entries.is_empty(), "empty leaf group");
+        assert!(
+            entries.len() <= self.tree.config().max_entries,
+            "leaf group of {} exceeds M={}",
+            entries.len(),
+            self.tree.config().max_entries
+        );
+        self.items += entries.len();
+        let mut node = Node::new(0);
+        node.entries = entries
+            .into_iter()
+            .map(|(mbr, item)| Entry::item(mbr, item))
+            .collect();
+        let mbr = node.mbr().expect("non-empty");
+        (self.tree.alloc(node), mbr)
+    }
+
+    /// Creates an internal node at `level ≥ 1` from up to `M` child
+    /// handles, returning its handle and MBR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty, exceeds the branching factor, or any
+    /// child is not at `level - 1`.
+    pub fn add_internal(&mut self, level: u32, children: Vec<(NodeId, Rect)>) -> (NodeId, Rect) {
+        assert!(level >= 1, "internal nodes start at level 1");
+        assert!(!children.is_empty(), "empty internal group");
+        assert!(
+            children.len() <= self.tree.config().max_entries,
+            "group of {} exceeds M={}",
+            children.len(),
+            self.tree.config().max_entries
+        );
+        for &(child, _) in &children {
+            assert_eq!(
+                self.tree.node(child).level,
+                level - 1,
+                "child {child} not at level {}",
+                level - 1
+            );
+        }
+        let mut node = Node::new(level);
+        node.entries = children
+            .into_iter()
+            .map(|(id, mbr)| Entry::node(mbr, id))
+            .collect();
+        let mbr = node.mbr().expect("non-empty");
+        (self.tree.alloc(node), mbr)
+    }
+
+    /// Finishes with `root` as the tree's root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a live node of this builder.
+    pub fn finish(mut self, root: NodeId) -> RTree {
+        let _ = self.tree.node(root); // liveness check
+        self.tree.set_root(root);
+        *self.tree.len_mut() = self.items;
+        self.tree
+    }
+
+    /// Finishes an empty tree (no leaves were added).
+    pub fn finish_empty(mut self) -> RTree {
+        assert_eq!(self.items, 0, "items were added; call finish(root)");
+        let root = self.tree.alloc(Node::new(0));
+        self.tree.set_root(root);
+        self.tree
+    }
+
+    /// The configuration being built against.
+    pub fn config(&self) -> RTreeConfig {
+        self.tree.config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::Point;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    #[test]
+    fn single_leaf_becomes_root() {
+        let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
+        let (leaf, _) = b.add_leaf(vec![(pt(0.0, 0.0), ItemId(0)), (pt(1.0, 1.0), ItemId(1))]);
+        let t = b.finish(leaf);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.depth(), 0);
+        t.validate_with(false).unwrap();
+    }
+
+    #[test]
+    fn two_level_build() {
+        let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
+        let l1 = b.add_leaf(vec![(pt(0.0, 0.0), ItemId(0)), (pt(1.0, 1.0), ItemId(1))]);
+        let l2 = b.add_leaf(vec![(pt(10.0, 10.0), ItemId(2)), (pt(11.0, 11.0), ItemId(3))]);
+        let (root, _) = b.add_internal(1, vec![l1, l2]);
+        let t = b.finish(root);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.len(), 4);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_build() {
+        let t = BottomUpBuilder::new(RTreeConfig::PAPER).finish_empty();
+        assert!(t.is_empty());
+        t.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds M")]
+    fn oversized_leaf_group_rejected() {
+        let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
+        b.add_leaf((0..5).map(|i| (pt(i as f64, 0.0), ItemId(i))).collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "not at level")]
+    fn level_mismatch_rejected() {
+        let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
+        let l1 = b.add_leaf(vec![(pt(0.0, 0.0), ItemId(0))]);
+        b.add_internal(2, vec![l1]);
+    }
+
+    #[test]
+    fn built_tree_is_searchable() {
+        let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
+        let l1 = b.add_leaf(vec![(pt(0.0, 0.0), ItemId(0)), (pt(1.0, 1.0), ItemId(1))]);
+        let l2 = b.add_leaf(vec![(pt(10.0, 10.0), ItemId(2)), (pt(11.0, 11.0), ItemId(3))]);
+        let (root, _) = b.add_internal(1, vec![l1, l2]);
+        let t = b.finish(root);
+        let mut stats = crate::SearchStats::default();
+        let hits = t.search_within(&Rect::new(-1.0, -1.0, 2.0, 2.0), &mut stats);
+        assert_eq!(hits.len(), 2);
+        // Dynamic insert on a built tree keeps working (the paper's §3.4).
+        let mut t = t;
+        t.insert(pt(5.0, 5.0), ItemId(4));
+        t.validate_with(false).unwrap();
+        assert_eq!(t.len(), 5);
+    }
+}

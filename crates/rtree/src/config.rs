@@ -1,0 +1,136 @@
+//! R-tree configuration: branching factor and split policy.
+
+/// How an overflowing node is split into two (Guttman 1984 §3.5).
+///
+/// The 1985 paper compares PACK against "Guttman's INSERT" without fixing a
+/// split policy; [`SplitPolicy::Quadratic`] is the customary default (and
+/// Guttman's own recommendation), and the `ablation_split` experiment in
+/// `rtree-bench` sweeps all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// Guttman's linear-cost split: pick the two entries with the greatest
+    /// normalized separation as seeds, distribute the rest arbitrarily
+    /// (here: by least enlargement, in input order).
+    Linear,
+    /// Guttman's quadratic-cost split: pick the pair wasting the most area
+    /// as seeds, then repeatedly assign the entry with the strongest
+    /// preference.
+    #[default]
+    Quadratic,
+    /// Exhaustive split: try every 2-partition honouring the minimum fill
+    /// and keep the one with the least total area. Exponential in the
+    /// branching factor; only permitted for small nodes (`M + 1 ≤ 16`)
+    /// and intended for the branching-factor-4 experiments of the paper.
+    Exhaustive,
+}
+
+/// Branching-factor and fill-factor parameters of an R-tree.
+///
+/// `max_entries` is the paper's branching factor `M` ("each node of an
+/// R-tree with branching factor four, for example, points to a maximum of
+/// four descendents"); `min_entries` is Guttman's `m ≤ M/2` ("every node
+/// except the root must be m-filled", §3.2 requirement (1)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (`M`). Must be ≥ 2.
+    pub max_entries: usize,
+    /// Minimum entries per non-root node (`m`). Must satisfy
+    /// `1 ≤ m ≤ M/2`.
+    pub min_entries: usize,
+    /// Node-split policy for dynamic insertion.
+    pub split: SplitPolicy,
+}
+
+impl RTreeConfig {
+    /// The paper's experimental configuration: branching factor 4,
+    /// minimum fill 2, quadratic split (§3, §3.5).
+    pub const PAPER: RTreeConfig = RTreeConfig {
+        max_entries: 4,
+        min_entries: 2,
+        split: SplitPolicy::Quadratic,
+    };
+
+    /// Creates a configuration, validating the Guttman constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries < 2`, `min_entries < 1`, or
+    /// `min_entries > max_entries / 2`.
+    pub fn new(max_entries: usize, min_entries: usize, split: SplitPolicy) -> Self {
+        assert!(max_entries >= 2, "branching factor must be at least 2");
+        assert!(min_entries >= 1, "minimum fill must be at least 1");
+        assert!(
+            min_entries <= max_entries / 2,
+            "Guttman requires m <= M/2 (got m={min_entries}, M={max_entries})"
+        );
+        if split == SplitPolicy::Exhaustive {
+            assert!(
+                max_entries < 16,
+                "exhaustive split is exponential; limited to M+1 <= 16"
+            );
+        }
+        RTreeConfig {
+            max_entries,
+            min_entries,
+            split,
+        }
+    }
+
+    /// Configuration with branching factor `m_max` and the conventional
+    /// 40% minimum fill (clamped to `M/2`), quadratic split.
+    pub fn with_branching(m_max: usize) -> Self {
+        let m = ((m_max * 2) / 5).clamp(1, m_max / 2);
+        RTreeConfig::new(m_max, m, SplitPolicy::Quadratic)
+    }
+
+    /// Same configuration with a different split policy.
+    pub fn with_split(self, split: SplitPolicy) -> Self {
+        RTreeConfig::new(self.max_entries, self.min_entries, split)
+    }
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config() {
+        let c = RTreeConfig::PAPER;
+        assert_eq!(c.max_entries, 4);
+        assert_eq!(c.min_entries, 2);
+        assert_eq!(c.split, SplitPolicy::Quadratic);
+    }
+
+    #[test]
+    #[should_panic(expected = "m <= M/2")]
+    fn min_fill_above_half_rejected() {
+        RTreeConfig::new(4, 3, SplitPolicy::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_branching_rejected() {
+        RTreeConfig::new(1, 1, SplitPolicy::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive")]
+    fn exhaustive_limited_to_small_nodes() {
+        RTreeConfig::new(50, 20, SplitPolicy::Exhaustive);
+    }
+
+    #[test]
+    fn with_branching_fill_factor() {
+        let c = RTreeConfig::with_branching(50);
+        assert_eq!(c.max_entries, 50);
+        assert_eq!(c.min_entries, 20);
+        let small = RTreeConfig::with_branching(2);
+        assert_eq!(small.min_entries, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Guttman's INSERT: ChooseLeaf, SplitNode, AdjustTree.
+//!
+//! This is the dynamic construction path whose dead-space pathology
+//! (Figure 3.4c) the paper contrasts with PACK. It also serves §3.4's
+//! update problem: INSERT works unchanged on PACKed trees.
+
+use crate::node::{Child, Entry, ItemId, Node, NodeId};
+use crate::split::split_entries;
+use crate::tree::RTree;
+use rtree_geom::Rect;
+
+impl RTree {
+    /// Inserts an item with the given bounding rectangle (Guttman's
+    /// INSERT).
+    ///
+    /// Descends from the root choosing at each step the subtree requiring
+    /// the *least enlargement* to cover `mbr` (ties broken by smaller
+    /// area), splits the leaf on overflow per the configured
+    /// [`SplitPolicy`](crate::SplitPolicy), and propagates MBR updates and
+    /// splits back to the root, growing the tree upward when the root
+    /// itself splits.
+    pub fn insert(&mut self, mbr: Rect, item: ItemId) {
+        self.insert_entry_at_level(Entry::item(mbr, item), 0);
+        *self.len_mut() += 1;
+    }
+
+    /// Inserts an entry at a given tree level.
+    ///
+    /// Level 0 inserts a leaf entry; higher levels re-attach orphaned
+    /// subtrees during [`remove`](RTree::remove)'s CondenseTree. The
+    /// target level must exist (`level ≤ depth`).
+    pub(crate) fn insert_entry_at_level(&mut self, entry: Entry, level: u32) {
+        debug_assert!(level <= self.depth(), "insert level above root");
+        // ChooseLeaf / ChooseNode: record the descent path as
+        // (node, index-of-chosen-child) so AdjustTree can walk back up.
+        let mut path: Vec<(NodeId, usize)> = Vec::new();
+        let mut current = self.root();
+        while self.node(current).level > level {
+            let node = self.node(current);
+            let chosen = choose_subtree(node, &entry.mbr);
+            path.push((current, chosen));
+            current = node.entries[chosen].child.expect_node();
+        }
+
+        // Install the entry; split on overflow.
+        self.node_mut(current).entries.push(entry);
+        let mut split_off: Option<NodeId> = self.split_if_overflowing(current);
+
+        // AdjustTree: walk the path bottom-up, fixing MBRs and inserting
+        // split partners.
+        for (parent, child_idx) in path.into_iter().rev() {
+            let child_id = self.node(parent).entries[child_idx].child.expect_node();
+            let child_mbr = self.node(child_id).mbr().expect("child not empty");
+            self.node_mut(parent).entries[child_idx].mbr = child_mbr;
+            if let Some(new_node) = split_off.take() {
+                let new_mbr = self.node(new_node).mbr().expect("split node not empty");
+                self.node_mut(parent)
+                    .entries
+                    .push(Entry::node(new_mbr, new_node));
+                split_off = self.split_if_overflowing(parent);
+            }
+        }
+
+        // Root split: grow the tree upward.
+        if let Some(new_node) = split_off {
+            let old_root = self.root();
+            let root_level = self.node(old_root).level + 1;
+            let mut new_root = Node::new(root_level);
+            new_root.entries.push(Entry::node(
+                self.node(old_root).mbr().expect("root not empty"),
+                old_root,
+            ));
+            new_root.entries.push(Entry::node(
+                self.node(new_node).mbr().expect("split node not empty"),
+                new_node,
+            ));
+            let new_root_id = self.alloc(new_root);
+            self.set_root(new_root_id);
+        }
+    }
+
+    /// Splits `id` if it exceeds `M` entries, returning the id of the newly
+    /// allocated sibling.
+    fn split_if_overflowing(&mut self, id: NodeId) -> Option<NodeId> {
+        if self.node(id).len() <= self.config().max_entries {
+            return None;
+        }
+        let level = self.node(id).level;
+        let entries = std::mem::take(&mut self.node_mut(id).entries);
+        let config = self.config();
+        let (group_a, group_b) = split_entries(&config, entries);
+        self.node_mut(id).entries = group_a;
+        let mut sibling = Node::new(level);
+        sibling.entries = group_b;
+        Some(self.alloc(sibling))
+    }
+}
+
+/// Guttman's ChooseLeaf criterion: least enlargement, ties by least area.
+fn choose_subtree(node: &Node, mbr: &Rect) -> usize {
+    debug_assert!(!node.is_empty());
+    let mut best = 0usize;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, e) in node.entries.iter().enumerate() {
+        match e.child {
+            Child::Node(_) => {}
+            Child::Item(_) => unreachable!("choose_subtree on a leaf"),
+        }
+        let enlargement = e.mbr.enlargement(mbr);
+        let area = e.mbr.area();
+        if enlargement < best_enlargement
+            || (enlargement == best_enlargement && area < best_area)
+        {
+            best = i;
+            best_enlargement = enlargement;
+            best_area = area;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RTreeConfig, SplitPolicy};
+    use rtree_geom::Point;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    #[test]
+    fn first_insert_goes_to_root_leaf() {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        t.insert(pt(1.0, 1.0), ItemId(0));
+        t.assert_valid();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn overflow_splits_root_and_grows() {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for i in 0..5 {
+            t.insert(pt(i as f64, i as f64), ItemId(i));
+            t.assert_valid();
+        }
+        assert_eq!(t.depth(), 1, "5 points with M=4 must split once");
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.node_count(), 3); // root + 2 leaves
+    }
+
+    #[test]
+    fn many_inserts_stay_valid_all_policies() {
+        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+            let mut t = RTree::new(RTreeConfig::new(4, 2, policy));
+            // Deterministic scatter.
+            let mut x = 7u64;
+            for i in 0..300u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let px = (x >> 33) as f64 % 1000.0;
+                let py = (x >> 13) as f64 % 1000.0;
+                t.insert(pt(px, py), ItemId(i));
+            }
+            t.assert_valid();
+            assert_eq!(t.len(), 300);
+            assert!(t.depth() >= 3, "{policy:?}: depth {}", t.depth());
+        }
+    }
+
+    #[test]
+    fn duplicate_rectangles_allowed() {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for i in 0..20 {
+            t.insert(pt(5.0, 5.0), ItemId(i));
+        }
+        t.assert_valid();
+        assert_eq!(t.len(), 20);
+    }
+
+    #[test]
+    fn mbr_tracks_inserts() {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        t.insert(pt(1.0, 2.0), ItemId(0));
+        t.insert(pt(-5.0, 7.0), ItemId(1));
+        t.insert(pt(10.0, -3.0), ItemId(2));
+        assert_eq!(t.mbr(), Some(Rect::new(-5.0, -3.0, 10.0, 7.0)));
+    }
+
+    #[test]
+    fn rect_items_insertable() {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for i in 0..50u64 {
+            let x = (i % 10) as f64 * 10.0;
+            let y = (i / 10) as f64 * 10.0;
+            t.insert(Rect::new(x, y, x + 15.0, y + 15.0), ItemId(i));
+        }
+        t.assert_valid();
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn larger_branching_factor() {
+        let mut t = RTree::new(RTreeConfig::with_branching(16));
+        for i in 0..500u64 {
+            let x = (i as f64 * 37.0) % 1000.0;
+            let y = (i as f64 * 91.0) % 1000.0;
+            t.insert(pt(x, y), ItemId(i));
+        }
+        t.assert_valid();
+        assert!(t.depth() <= 3);
+    }
+}

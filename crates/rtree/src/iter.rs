@@ -1,0 +1,129 @@
+//! Traversal iterators over tree structure.
+
+use crate::node::{Child, ItemId, Node, NodeId};
+use crate::tree::RTree;
+use rtree_geom::Rect;
+
+/// Depth-first iterator over `(NodeId, &Node)` starting at the root.
+pub struct DfsNodes<'a> {
+    tree: &'a RTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for DfsNodes<'a> {
+    type Item = (NodeId, &'a Node);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.stack.pop()?;
+        let node = self.tree.node(id);
+        for e in node.entries.iter().rev() {
+            if let Child::Node(c) = e.child {
+                self.stack.push(c);
+            }
+        }
+        Some((id, node))
+    }
+}
+
+/// Iterator over all leaf entries `(Rect, ItemId)` in depth-first order.
+pub struct LeafEntries<'a> {
+    nodes: DfsNodes<'a>,
+    current: std::slice::Iter<'a, crate::node::Entry>,
+}
+
+impl<'a> Iterator for LeafEntries<'a> {
+    type Item = (Rect, ItemId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            for e in self.current.by_ref() {
+                if let Child::Item(item) = e.child {
+                    return Some((e.mbr, item));
+                }
+            }
+            let (_, node) = self.nodes.next()?;
+            if node.is_leaf() {
+                self.current = node.entries.iter();
+            }
+        }
+    }
+}
+
+impl RTree {
+    /// Depth-first traversal of all nodes.
+    pub fn dfs(&self) -> DfsNodes<'_> {
+        DfsNodes {
+            tree: self,
+            stack: vec![self.root()],
+        }
+    }
+
+    /// Iterates over all leaf entries in depth-first order.
+    pub fn leaf_entries(&self) -> LeafEntries<'_> {
+        LeafEntries {
+            nodes: self.dfs(),
+            current: [].iter(),
+        }
+    }
+
+    /// Collects the node MBRs at a given level (level 0 = leaves).
+    pub fn mbrs_at_level(&self, level: u32) -> Vec<Rect> {
+        self.dfs()
+            .filter(|(_, n)| n.level == level)
+            .filter_map(|(_, n)| n.mbr())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use rtree_geom::Point;
+
+    fn build(n: u64) -> RTree {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for i in 0..n {
+            let x = (i * 17 % 101) as f64;
+            let y = (i * 29 % 97) as f64;
+            t.insert(Rect::from_point(Point::new(x, y)), ItemId(i));
+        }
+        t
+    }
+
+    #[test]
+    fn dfs_visits_every_node_once() {
+        let t = build(100);
+        let visited: Vec<NodeId> = t.dfs().map(|(id, _)| id).collect();
+        assert_eq!(visited.len(), t.node_count());
+        let mut dedup = visited.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), visited.len());
+    }
+
+    #[test]
+    fn leaf_entries_yields_every_item() {
+        let t = build(73);
+        let mut items: Vec<u64> = t.leaf_entries().map(|(_, id)| id.0).collect();
+        items.sort_unstable();
+        assert_eq!(items, (0..73).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn leaf_entries_on_empty_tree() {
+        let t = RTree::new(RTreeConfig::PAPER);
+        assert_eq!(t.leaf_entries().count(), 0);
+    }
+
+    #[test]
+    fn mbrs_at_level_partition_by_level() {
+        let t = build(100);
+        let mut total = 0;
+        for level in 0..=t.depth() {
+            total += t.mbrs_at_level(level).len();
+        }
+        assert_eq!(total, t.node_count());
+        assert_eq!(t.mbrs_at_level(t.depth()).len(), 1, "one root");
+    }
+}

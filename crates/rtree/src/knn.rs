@@ -1,0 +1,198 @@
+//! Branch-and-bound k-nearest-neighbour search.
+//!
+//! Not part of the 1985 paper, but the natural extension Roussopoulos
+//! himself published a decade later (Roussopoulos, Kelley & Vincent,
+//! SIGMOD 1995); included because packed trees make it markedly cheaper
+//! and the `knn` bench uses it as an ablation workload.
+
+use crate::node::{Child, ItemId};
+use crate::stats::SearchStats;
+use crate::tree::RTree;
+use rtree_geom::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A nearest-neighbour result: item, its MBR, and squared distance from
+/// the query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The matching item.
+    pub item: ItemId,
+    /// Its bounding rectangle.
+    pub mbr: Rect,
+    /// Squared distance from the query point to the MBR.
+    pub distance_sq: f64,
+}
+
+/// Min-heap wrapper ordered by distance.
+struct HeapEntry {
+    dist: f64,
+    kind: HeapKind,
+}
+
+enum HeapKind {
+    Node(crate::node::NodeId),
+    Item(ItemId, Rect),
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on distance.
+        other.dist.total_cmp(&self.dist)
+    }
+}
+
+impl RTree {
+    /// Returns the `k` items whose MBRs are nearest to `p`, ordered by
+    /// ascending distance (ties in arbitrary order).
+    ///
+    /// Best-first branch and bound: a priority queue of nodes and items
+    /// keyed by `min_distance_sq`; a node is expanded only if it could
+    /// still contribute a closer result, so visited-node counts directly
+    /// reflect how well the tree's MBRs cluster.
+    pub fn nearest_neighbors(&self, p: Point, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        stats.queries += 1;
+        let mut out = Vec::with_capacity(k);
+        if k == 0 || self.is_empty() {
+            return out;
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            kind: HeapKind::Node(self.root()),
+        });
+        while let Some(HeapEntry { dist, kind }) = heap.pop() {
+            match kind {
+                HeapKind::Item(item, mbr) => {
+                    out.push(Neighbor {
+                        item,
+                        mbr,
+                        distance_sq: dist,
+                    });
+                    stats.items_reported += 1;
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapKind::Node(id) => {
+                    stats.nodes_visited += 1;
+                    let node = self.node(id);
+                    if node.is_leaf() {
+                        stats.leaf_nodes_visited += 1;
+                    }
+                    for e in &node.entries {
+                        let d = e.mbr.min_distance_sq(p);
+                        match e.child {
+                            Child::Node(c) => heap.push(HeapEntry {
+                                dist: d,
+                                kind: HeapKind::Node(c),
+                            }),
+                            Child::Item(item) => heap.push(HeapEntry {
+                                dist: d,
+                                kind: HeapKind::Item(item, e.mbr),
+                            }),
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The single nearest item to `p`, if the tree is non-empty.
+    pub fn nearest_neighbor(&self, p: Point, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nearest_neighbors(p, 1, stats).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+
+    fn build_grid(n: usize) -> RTree {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for i in 0..n {
+            let x = (i % 10) as f64 * 10.0;
+            let y = (i / 10) as f64 * 10.0;
+            t.insert(Rect::from_point(Point::new(x, y)), ItemId(i as u64));
+        }
+        t
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let t = RTree::new(RTreeConfig::PAPER);
+        let mut stats = SearchStats::default();
+        assert!(t.nearest_neighbors(Point::new(0.0, 0.0), 3, &mut stats).is_empty());
+        let t2 = build_grid(5);
+        assert!(t2.nearest_neighbors(Point::new(0.0, 0.0), 0, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn nearest_is_exact() {
+        let t = build_grid(100);
+        let mut stats = SearchStats::default();
+        let n = t.nearest_neighbor(Point::new(34.0, 56.0), &mut stats).unwrap();
+        assert_eq!(n.item, ItemId(63)); // grid point (30, 60)
+        assert_eq!(n.distance_sq, 16.0 + 16.0);
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let t = build_grid(100);
+        let items = t.items();
+        let mut stats = SearchStats::default();
+        for (qx, qy) in [(0.0, 0.0), (45.5, 45.5), (91.0, 2.0), (-10.0, 120.0)] {
+            let q = Point::new(qx, qy);
+            let got = t.nearest_neighbors(q, 7, &mut stats);
+            assert_eq!(got.len(), 7);
+            let mut brute: Vec<(f64, ItemId)> = items
+                .iter()
+                .map(|&(mbr, id)| (mbr.min_distance_sq(q), id))
+                .collect();
+            brute.sort_by(|a, b| a.0.total_cmp(&b.0));
+            // Distances must agree (ids may differ under ties).
+            for (i, n) in got.iter().enumerate() {
+                assert_eq!(n.distance_sq, brute[i].0, "rank {i} at {q}");
+            }
+            // Results are sorted ascending.
+            for w in got.windows(2) {
+                assert!(w[0].distance_sq <= w[1].distance_sq);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let t = build_grid(5);
+        let mut stats = SearchStats::default();
+        let got = t.nearest_neighbors(Point::new(0.0, 0.0), 50, &mut stats);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn knn_prunes_nodes() {
+        let t = build_grid(100);
+        let mut stats = SearchStats::default();
+        t.nearest_neighbor(Point::new(5.0, 5.0), &mut stats);
+        // Best-first search should not touch every node for k=1.
+        assert!(
+            (stats.nodes_visited as usize) < t.node_count(),
+            "visited {} of {}",
+            stats.nodes_visited,
+            t.node_count()
+        );
+    }
+}

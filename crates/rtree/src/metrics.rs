@@ -1,0 +1,113 @@
+//! Whole-tree quality metrics: the `C`, `O`, `D`, `N` columns of Table 1.
+
+use crate::tree::RTree;
+use rtree_geom::rectset;
+
+/// The structural quality measures defined in §3.1 and reported in
+/// Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeMetrics {
+    /// **Coverage** `C`: "the total area of all the MBRs of all leaf
+    /// R-tree nodes" — the sum of leaf-node MBR areas.
+    pub coverage: f64,
+    /// **Overlap** `O`: "the total area contained within two or more leaf
+    /// MBRs" — exact area of the ≥2-covered region.
+    pub overlap: f64,
+    /// Depth `D`: edges from root to leaf (0 when the root is a leaf).
+    pub depth: u32,
+    /// Total node count `N`, including the root.
+    pub nodes: usize,
+    /// Indexed items `J` (for convenience; the paper's independent
+    /// variable).
+    pub items: usize,
+}
+
+impl TreeMetrics {
+    /// Computes all metrics for a tree.
+    pub fn measure(tree: &RTree) -> TreeMetrics {
+        let leaf_mbrs = tree.leaf_mbrs();
+        TreeMetrics {
+            coverage: rectset::total_area(&leaf_mbrs),
+            overlap: rectset::overlap_area(&leaf_mbrs),
+            depth: tree.depth(),
+            nodes: tree.node_count(),
+            items: tree.len(),
+        }
+    }
+}
+
+impl RTree {
+    /// Convenience: [`TreeMetrics::measure`] on `self`.
+    pub fn metrics(&self) -> TreeMetrics {
+        TreeMetrics::measure(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use crate::node::ItemId;
+    use rtree_geom::{Point, Rect};
+
+    #[test]
+    fn empty_tree_metrics() {
+        let t = RTree::new(RTreeConfig::PAPER);
+        let m = t.metrics();
+        assert_eq!(m.coverage, 0.0);
+        assert_eq!(m.overlap, 0.0);
+        assert_eq!(m.depth, 0);
+        assert_eq!(m.nodes, 1);
+        assert_eq!(m.items, 0);
+    }
+
+    #[test]
+    fn single_leaf_coverage() {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        t.insert(Rect::new(0.0, 0.0, 2.0, 2.0), ItemId(0));
+        t.insert(Rect::new(4.0, 0.0, 6.0, 2.0), ItemId(1));
+        let m = t.metrics();
+        // One leaf (the root) with MBR [0,6]x[0,2].
+        assert_eq!(m.coverage, 12.0);
+        assert_eq!(m.overlap, 0.0);
+        assert_eq!(m.items, 2);
+    }
+
+    #[test]
+    fn coverage_sums_leaf_areas() {
+        // Force a split so there are 2+ leaves; coverage is the SUM of
+        // leaf MBR areas even if they overlap.
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for (i, &(x, y)) in [
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (10.0, 10.0),
+            (11.0, 11.0),
+            (0.5, 0.5),
+        ]
+        .iter()
+        .enumerate()
+        {
+            t.insert(Rect::from_point(Point::new(x, y)), ItemId(i as u64));
+        }
+        assert_eq!(t.depth(), 1);
+        let leaf_sum: f64 = t.leaf_mbrs().iter().map(|r| r.area()).sum();
+        assert_eq!(t.metrics().coverage, leaf_sum);
+    }
+
+    #[test]
+    fn overlap_detected() {
+        // Two leaves forced to overlap: insert two clusters of fat rects
+        // that interleave.
+        let mut t = RTree::new(RTreeConfig::new(2, 1, crate::SplitPolicy::Quadratic));
+        t.insert(Rect::new(0.0, 0.0, 10.0, 10.0), ItemId(0));
+        t.insert(Rect::new(20.0, 0.0, 30.0, 10.0), ItemId(1));
+        t.insert(Rect::new(5.0, 0.0, 25.0, 10.0), ItemId(2));
+        t.assert_valid();
+        let m = t.metrics();
+        if t.leaf_mbrs().len() >= 2 {
+            // The middle rect straddles both clusters; leaves must overlap.
+            assert!(m.overlap > 0.0, "expected overlap, got {m:?}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! R-tree nodes and entries.
+//!
+//! Mirrors the paper's PASCAL declarations (§3):
+//!
+//! ```text
+//! type ENTRY = record  X1,X2,Y1,Y2: integer; POINTER: integer  end;
+//!      NODE  = record  CLASS: (leaf, non_leaf);
+//!                      DESC: array [1..4] of ENTRY;
+//!                      VALID: integer  end;
+//! ```
+//!
+//! with `DESC`/`VALID` replaced by a `Vec<Entry>` and `CLASS` generalized to
+//! a `level` (0 = leaf) so that intermediate levels can be reasoned about
+//! during packing and condensing.
+
+use rtree_geom::Rect;
+use std::fmt;
+
+/// Identifier of a node within an [`RTree`](crate::RTree)'s arena.
+///
+/// Node ids are indices into the arena `Vec` — the direct analogue of the
+/// paper's `RTREE: array [1..MaxNodes] of NODE` subscripts. Slots are
+/// recycled after deletion, so ids are only meaningful for live nodes of
+/// the tree that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Opaque identifier of an indexed data object — the paper's
+/// "tuple-identifier" pointing to a tuple of a pictorial relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u64);
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What an entry points at: a child node (`non_leaf` entries) or a data
+/// item (`leaf` entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Child {
+    /// Pointer to a descendant node (`CLASS = non_leaf`).
+    Node(NodeId),
+    /// Pointer to a database tuple (`CLASS = leaf`).
+    Item(ItemId),
+}
+
+impl Child {
+    /// The node id, panicking if this is an item pointer.
+    #[inline]
+    pub fn expect_node(self) -> NodeId {
+        match self {
+            Child::Node(id) => id,
+            Child::Item(item) => panic!("expected node child, found item {item}"),
+        }
+    }
+
+    /// The item id, panicking if this is a node pointer.
+    #[inline]
+    pub fn expect_item(self) -> ItemId {
+        match self {
+            Child::Item(id) => id,
+            Child::Node(node) => panic!("expected item child, found node {node}"),
+        }
+    }
+}
+
+/// One slot of a node: a minimal bounding rectangle plus a pointer
+/// (the paper's `ENTRY`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Minimal rectangle bounding everything reachable through `child`.
+    pub mbr: Rect,
+    /// The descendant node or data item.
+    pub child: Child,
+}
+
+impl Entry {
+    /// Leaf entry pointing at a data item.
+    #[inline]
+    pub fn item(mbr: Rect, item: ItemId) -> Self {
+        Entry {
+            mbr,
+            child: Child::Item(item),
+        }
+    }
+
+    /// Internal entry pointing at a child node.
+    #[inline]
+    pub fn node(mbr: Rect, node: NodeId) -> Self {
+        Entry {
+            mbr,
+            child: Child::Node(node),
+        }
+    }
+}
+
+/// An R-tree node: a level tag plus up to `M` entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Height above the leaves: 0 for leaf nodes (the paper's
+    /// `CLASS = leaf`), positive for internal nodes.
+    pub level: u32,
+    /// The valid entries (the paper's `DESC[1..VALID]`).
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// Creates an empty node at the given level.
+    pub fn new(level: u32) -> Self {
+        Node {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` if this is a leaf (`CLASS = leaf`).
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of valid entries (the paper's `VALID`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the node has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Minimal rectangle bounding all entries, or `None` for an empty node.
+    pub fn mbr(&self) -> Option<Rect> {
+        Rect::mbr_of_rects(self.entries.iter().map(|e| e.mbr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_classification() {
+        assert!(Node::new(0).is_leaf());
+        assert!(!Node::new(1).is_leaf());
+    }
+
+    #[test]
+    fn node_mbr_is_union_of_entries() {
+        let mut n = Node::new(0);
+        assert_eq!(n.mbr(), None);
+        n.entries.push(Entry::item(Rect::new(0.0, 0.0, 1.0, 1.0), ItemId(1)));
+        n.entries.push(Entry::item(Rect::new(3.0, -1.0, 4.0, 0.5), ItemId(2)));
+        assert_eq!(n.mbr(), Some(Rect::new(0.0, -1.0, 4.0, 1.0)));
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn child_accessors() {
+        let n = Child::Node(NodeId(3));
+        assert_eq!(n.expect_node(), NodeId(3));
+        let i = Child::Item(ItemId(7));
+        assert_eq!(i.expect_item(), ItemId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected node child")]
+    fn expect_node_on_item_panics() {
+        Child::Item(ItemId(1)).expect_node();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected item child")]
+    fn expect_item_on_node_panics() {
+        Child::Node(NodeId(1)).expect_item();
+    }
+}

@@ -1,0 +1,272 @@
+//! Direct spatial search — the paper's recursive `SEARCH` procedure (§3.1)
+//! and its variants.
+
+use crate::node::{Child, ItemId, NodeId};
+use crate::stats::SearchStats;
+use crate::tree::RTree;
+use rtree_geom::{Point, Rect};
+
+impl RTree {
+    /// The paper's `SEARCH` (§3.1): descend every entry whose MBR
+    /// `INTERSECTS` the target window; at the leaves report entries
+    /// `WITHIN` (entirely inside) the window.
+    ///
+    /// Answers "list all points and regions within target window" — the
+    /// query form behind PSQL's `loc covered-by ⟨window⟩`.
+    pub fn search_within(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        self.search_window_impl(window, true, stats, &mut |item, _| out.push(item));
+        out
+    }
+
+    /// Reports leaf entries whose MBR intersects the window (the common
+    /// window-query semantics; PSQL's `overlapping`/`covering` operators
+    /// refine this candidate set with exact geometry).
+    pub fn search_intersecting(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        self.search_window_impl(window, false, stats, &mut |item, _| out.push(item));
+        out
+    }
+
+    /// Streaming variant: invokes `visit(item, mbr)` for every leaf entry
+    /// matching the window under the chosen semantics (`within = true`
+    /// reproduces the paper's `SEARCH`).
+    pub fn search_visit<F: FnMut(ItemId, Rect)>(
+        &self,
+        window: &Rect,
+        within: bool,
+        stats: &mut SearchStats,
+        visit: &mut F,
+    ) {
+        self.search_window_impl(window, within, stats, visit);
+    }
+
+    fn search_window_impl<F: FnMut(ItemId, Rect)>(
+        &self,
+        window: &Rect,
+        within: bool,
+        stats: &mut SearchStats,
+        visit: &mut F,
+    ) {
+        stats.queries += 1;
+        self.search_rec(self.root(), window, within, stats, visit);
+    }
+
+    fn search_rec<F: FnMut(ItemId, Rect)>(
+        &self,
+        id: NodeId,
+        window: &Rect,
+        within: bool,
+        stats: &mut SearchStats,
+        visit: &mut F,
+    ) {
+        stats.nodes_visited += 1;
+        let node = self.node(id);
+        if node.is_leaf() {
+            stats.leaf_nodes_visited += 1;
+            for e in &node.entries {
+                let hit = if within {
+                    e.mbr.covered_by(window) // the paper's WITHIN
+                } else {
+                    e.mbr.intersects(window)
+                };
+                if hit {
+                    stats.items_reported += 1;
+                    visit(e.child.expect_item(), e.mbr);
+                }
+            }
+        } else {
+            for e in &node.entries {
+                if e.mbr.intersects(window) {
+                    // the paper's INTERSECTS pruning
+                    self.search_rec(e.child.expect_node(), window, within, stats, visit);
+                }
+            }
+        }
+    }
+
+    /// The Table 1 query: "Is point (x, y) contained in the database?"
+    ///
+    /// Descends only entries whose MBR contains the point and reports leaf
+    /// entries whose MBR contains it. Returns all matching items (multiple
+    /// items may share a location).
+    pub fn point_query(&self, p: Point, stats: &mut SearchStats) -> Vec<ItemId> {
+        stats.queries += 1;
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = self.node(id);
+            if node.is_leaf() {
+                stats.leaf_nodes_visited += 1;
+            }
+            for e in &node.entries {
+                if e.mbr.contains_point(p) {
+                    match e.child {
+                        Child::Node(c) => stack.push(c),
+                        Child::Item(item) => {
+                            stats.items_reported += 1;
+                            out.push(item);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if any indexed rectangle contains the point — the Boolean
+    /// reading of the Table 1 query, with early exit.
+    pub fn contains_point(&self, p: Point, stats: &mut SearchStats) -> bool {
+        stats.queries += 1;
+        let mut stack = vec![self.root()];
+        let mut found = false;
+        while let Some(id) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = self.node(id);
+            if node.is_leaf() {
+                stats.leaf_nodes_visited += 1;
+                if node.entries.iter().any(|e| e.mbr.contains_point(p)) {
+                    found = true;
+                    break;
+                }
+            } else {
+                for e in &node.entries {
+                    if e.mbr.contains_point(p) {
+                        stack.push(e.child.expect_node());
+                    }
+                }
+            }
+        }
+        out_stats(stats, found);
+        found
+    }
+}
+
+#[inline]
+fn out_stats(stats: &mut SearchStats, found: bool) {
+    if found {
+        stats.items_reported += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    fn build(points: &[(f64, f64)]) -> RTree {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            t.insert(pt(x, y), ItemId(i as u64));
+        }
+        t
+    }
+
+    #[test]
+    fn empty_tree_search() {
+        let t = RTree::new(RTreeConfig::PAPER);
+        let mut stats = SearchStats::default();
+        assert!(t.search_within(&Rect::new(0.0, 0.0, 10.0, 10.0), &mut stats).is_empty());
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.nodes_visited, 1); // root is still visited
+    }
+
+    #[test]
+    fn within_vs_intersecting_on_rects() {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        t.insert(Rect::new(0.0, 0.0, 4.0, 4.0), ItemId(0)); // straddles window
+        t.insert(Rect::new(1.0, 1.0, 2.0, 2.0), ItemId(1)); // inside window
+        let window = Rect::new(0.5, 0.5, 3.0, 3.0);
+        let mut stats = SearchStats::default();
+        let within = t.search_within(&window, &mut stats);
+        assert_eq!(within, vec![ItemId(1)]);
+        let intersecting = t.search_intersecting(&window, &mut stats);
+        assert_eq!(intersecting.len(), 2);
+    }
+
+    #[test]
+    fn search_matches_brute_force() {
+        let points: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let f = i as f64;
+                ((f * 37.7) % 100.0, (f * 91.3) % 100.0)
+            })
+            .collect();
+        let t = build(&points);
+        let mut stats = SearchStats::default();
+        for q in 0..50 {
+            let f = q as f64;
+            let x0 = (f * 13.3) % 80.0;
+            let y0 = (f * 7.9) % 80.0;
+            let window = Rect::new(x0, y0, x0 + 20.0, y0 + 20.0);
+            let mut got = t.search_within(&window, &mut stats);
+            got.sort();
+            let mut expect: Vec<ItemId> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, &(x, y))| window.contains_point(Point::new(x, y)))
+                .map(|(i, _)| ItemId(i as u64))
+                .collect();
+            expect.sort();
+            assert_eq!(got, expect, "window {window}");
+        }
+        assert_eq!(stats.queries, 50);
+        assert!(stats.nodes_visited >= 50);
+    }
+
+    #[test]
+    fn point_query_finds_exact_points() {
+        let points: Vec<(f64, f64)> = (0..100)
+            .map(|i| ((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let t = build(&points);
+        let mut stats = SearchStats::default();
+        let hits = t.point_query(Point::new(3.0, 7.0), &mut stats);
+        assert_eq!(hits, vec![ItemId(73)]);
+        assert!(t.contains_point(Point::new(3.0, 7.0), &mut stats));
+        assert!(!t.contains_point(Point::new(3.5, 7.5), &mut stats));
+        assert_eq!(stats.queries, 3);
+    }
+
+    #[test]
+    fn whole_space_window_returns_everything() {
+        let points: Vec<(f64, f64)> = (0..64).map(|i| (i as f64, (i * 3 % 17) as f64)).collect();
+        let t = build(&points);
+        let mut stats = SearchStats::default();
+        let all = t.search_within(&Rect::new(-1.0, -1.0, 100.0, 100.0), &mut stats);
+        assert_eq!(all.len(), 64);
+        // Full-space query visits every node.
+        assert_eq!(stats.nodes_visited as usize, t.node_count());
+    }
+
+    #[test]
+    fn visit_streams_mbrs() {
+        let t = build(&[(1.0, 1.0), (2.0, 2.0), (50.0, 50.0)]);
+        let mut stats = SearchStats::default();
+        let mut seen = Vec::new();
+        t.search_visit(
+            &Rect::new(0.0, 0.0, 10.0, 10.0),
+            true,
+            &mut stats,
+            &mut |item, mbr| seen.push((item, mbr)),
+        );
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|(_, m)| m.max_x <= 10.0));
+    }
+
+    #[test]
+    fn stats_accumulate_across_queries() {
+        let t = build(&[(1.0, 1.0), (2.0, 2.0)]);
+        let mut stats = SearchStats::default();
+        for _ in 0..10 {
+            t.point_query(Point::new(1.0, 1.0), &mut stats);
+        }
+        assert_eq!(stats.queries, 10);
+        assert_eq!(stats.avg_nodes_visited(), stats.nodes_visited as f64 / 10.0);
+    }
+}

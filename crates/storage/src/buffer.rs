@@ -1,0 +1,270 @@
+//! LRU buffer pool over a [`Pager`].
+//!
+//! "R-trees … are better in dealing with paging and disk I/O buffering"
+//! (§1): this pool is where that claim is measured. Fixed number of
+//! frames, strict LRU eviction, write-back of dirty frames, and hit/miss
+//! counters that the `io_sweep` experiment reads.
+
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+
+/// Buffer pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Page requests served from memory.
+    pub hits: u64,
+    /// Page requests that required a disk read.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back.
+    pub writebacks: u64,
+}
+
+impl BufferStats {
+    /// Hit ratio in `[0, 1]`; 0 for no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    page_id: PageId,
+    page: Page,
+    dirty: bool,
+    last_used: u64,
+}
+
+struct PoolState {
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    tick: u64,
+    stats: BufferStats,
+}
+
+/// A fixed-capacity LRU buffer pool.
+pub struct BufferPool<'a> {
+    pager: &'a Pager,
+    capacity: usize,
+    state: Mutex<PoolState>,
+}
+
+impl<'a> BufferPool<'a> {
+    /// Creates a pool of `capacity` frames over `pager`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(pager: &'a Pager, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        BufferPool {
+            pager,
+            capacity,
+            state: Mutex::new(PoolState {
+                frames: Vec::with_capacity(capacity),
+                map: HashMap::with_capacity(capacity),
+                tick: 0,
+                stats: BufferStats::default(),
+            }),
+        }
+    }
+
+    /// Runs `f` with read access to the page, faulting it in if needed.
+    pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&Page) -> T) -> io::Result<T> {
+        let mut st = self.state.lock();
+        let frame = self.fault(&mut st, id)?;
+        Ok(f(&st.frames[frame].page))
+    }
+
+    /// Runs `f` with write access to the page, marking the frame dirty.
+    pub fn with_page_mut<T>(&self, id: PageId, f: impl FnOnce(&mut Page) -> T) -> io::Result<T> {
+        let mut st = self.state.lock();
+        let frame = self.fault(&mut st, id)?;
+        st.frames[frame].dirty = true;
+        Ok(f(&mut st.frames[frame].page))
+    }
+
+    /// Writes all dirty frames back to the pager.
+    pub fn flush(&self) -> io::Result<()> {
+        let mut st = self.state.lock();
+        for frame in st.frames.iter_mut() {
+            if frame.dirty {
+                self.pager.write_page(frame.page_id, &frame.page)?;
+                frame.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// The underlying pager.
+    pub fn pager(&self) -> &'a Pager {
+        self.pager
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.state.lock().stats
+    }
+
+    /// Resets counters (not contents).
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = BufferStats::default();
+    }
+
+    /// Drops every cached frame (writing back dirty ones), so the next
+    /// accesses all miss — used between experiment phases for cold-cache
+    /// measurements.
+    pub fn clear(&self) -> io::Result<()> {
+        self.flush()?;
+        let mut st = self.state.lock();
+        st.frames.clear();
+        st.map.clear();
+        Ok(())
+    }
+
+    /// Ensures `id` is resident and returns its frame index.
+    fn fault(&self, st: &mut PoolState, id: PageId) -> io::Result<usize> {
+        st.tick += 1;
+        let tick = st.tick;
+        if let Some(&idx) = st.map.get(&id) {
+            st.stats.hits += 1;
+            st.frames[idx].last_used = tick;
+            return Ok(idx);
+        }
+        st.stats.misses += 1;
+        let page = self.pager.read_page(id)?;
+        let idx = if st.frames.len() < self.capacity {
+            st.frames.push(Frame {
+                page_id: id,
+                page,
+                dirty: false,
+                last_used: tick,
+            });
+            st.frames.len() - 1
+        } else {
+            // Strict LRU victim.
+            let victim = st
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            st.stats.evictions += 1;
+            if st.frames[victim].dirty {
+                self.pager.write_page(st.frames[victim].page_id, &st.frames[victim].page)?;
+                st.stats.writebacks += 1;
+            }
+            let old = st.frames[victim].page_id;
+            st.map.remove(&old);
+            st.frames[victim] = Frame {
+                page_id: id,
+                page,
+                dirty: false,
+                last_used: tick,
+            };
+            victim
+        };
+        st.map.insert(id, idx);
+        Ok(idx)
+    }
+}
+
+impl Drop for BufferPool<'_> {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_first_access() {
+        let pager = Pager::temp().unwrap();
+        let id = pager.allocate();
+        let pool = BufferPool::new(&pager, 4);
+        pool.with_page(id, |_| ()).unwrap();
+        pool.with_page(id, |_| ()).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn writes_survive_eviction() {
+        let pager = Pager::temp().unwrap();
+        let ids: Vec<PageId> = (0..8).map(|_| pager.allocate()).collect();
+        let pool = BufferPool::new(&pager, 2);
+        for (i, &id) in ids.iter().enumerate() {
+            pool.with_page_mut(id, |p| p.bytes_mut()[0] = i as u8 + 1).unwrap();
+        }
+        // Re-read everything; early pages were evicted and written back.
+        for (i, &id) in ids.iter().enumerate() {
+            let v = pool.with_page(id, |p| p.bytes()[0]).unwrap();
+            assert_eq!(v, i as u8 + 1);
+        }
+        let s = pool.stats();
+        assert!(s.evictions > 0);
+        assert!(s.writebacks > 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let pager = Pager::temp().unwrap();
+        let a = pager.allocate();
+        let b = pager.allocate();
+        let c = pager.allocate();
+        let pool = BufferPool::new(&pager, 2);
+        pool.with_page(a, |_| ()).unwrap(); // a
+        pool.with_page(b, |_| ()).unwrap(); // a b
+        pool.with_page(a, |_| ()).unwrap(); // b a (a recent)
+        pool.with_page(c, |_| ()).unwrap(); // evicts b
+        pool.reset_stats();
+        pool.with_page(a, |_| ()).unwrap(); // hit
+        assert_eq!(pool.stats().hits, 1);
+        pool.with_page(b, |_| ()).unwrap(); // miss
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    fn flush_persists_dirty_pages() {
+        let pager = Pager::temp().unwrap();
+        let id = pager.allocate();
+        {
+            let pool = BufferPool::new(&pager, 2);
+            pool.with_page_mut(id, |p| p.bytes_mut()[5] = 42).unwrap();
+            pool.flush().unwrap();
+        }
+        assert_eq!(pager.read_page(id).unwrap().bytes()[5], 42);
+    }
+
+    #[test]
+    fn clear_forces_cold_cache() {
+        let pager = Pager::temp().unwrap();
+        let id = pager.allocate();
+        let pool = BufferPool::new(&pager, 2);
+        pool.with_page(id, |_| ()).unwrap();
+        pool.clear().unwrap();
+        pool.reset_stats();
+        pool.with_page(id, |_| ()).unwrap();
+        assert_eq!(pool.stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let pager = Pager::temp().unwrap();
+        let _ = BufferPool::new(&pager, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! R-tree node ⇄ page serialization.
+//!
+//! Fixed little-endian layout, one node per page (the paper's
+//! node-fills-a-block organization):
+//!
+//! ```text
+//! offset 0   u32  level          (0 = leaf)
+//! offset 4   u32  entry count
+//! offset 8   entries, 40 bytes each:
+//!            f64 min_x, f64 min_y, f64 max_x, f64 max_y, u64 child
+//! ```
+//!
+//! `child` holds an [`ItemId`] in leaves and a [`PageId`] (zero-extended)
+//! in internal nodes — exactly the paper's `POINTER` field, "interpreted
+//! as pointers to other R-tree nodes if CLASS is non_leaf and to database
+//! tuples if CLASS is leaf".
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+use rtree_geom::Rect;
+use rtree_index::ItemId;
+
+/// Bytes per serialized entry.
+pub const ENTRY_SIZE: usize = 40;
+/// Bytes of node header.
+pub const HEADER_SIZE: usize = 8;
+/// Maximum entries a page can hold — the natural "disk branching factor"
+/// (102 with 4 KiB pages).
+pub const MAX_ENTRIES_PER_PAGE: usize = (PAGE_SIZE - HEADER_SIZE) / ENTRY_SIZE;
+
+/// A decoded on-disk entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskEntry {
+    /// Bounding rectangle.
+    pub mbr: Rect,
+    /// Child page (internal) or item id (leaf), per the node's level.
+    pub child: u64,
+}
+
+/// A decoded on-disk node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskNode {
+    /// Height above the leaves (0 = leaf).
+    pub level: u32,
+    /// The node's entries.
+    pub entries: Vec<DiskEntry>,
+}
+
+impl DiskNode {
+    /// `true` if this node's entries point at items.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Child as a page id (internal nodes).
+    pub fn child_page(&self, i: usize) -> PageId {
+        debug_assert!(!self.is_leaf());
+        PageId(u32::try_from(self.entries[i].child).expect("page id fits u32"))
+    }
+
+    /// Child as an item id (leaf nodes).
+    pub fn child_item(&self, i: usize) -> ItemId {
+        debug_assert!(self.is_leaf());
+        ItemId(self.entries[i].child)
+    }
+}
+
+/// Serializes a node into a page.
+///
+/// # Panics
+///
+/// Panics if the node has more than [`MAX_ENTRIES_PER_PAGE`] entries.
+pub fn encode(node: &DiskNode, page: &mut Page) {
+    assert!(
+        node.entries.len() <= MAX_ENTRIES_PER_PAGE,
+        "{} entries exceed page capacity {}",
+        node.entries.len(),
+        MAX_ENTRIES_PER_PAGE
+    );
+    let bytes = page.bytes_mut();
+    bytes[0..4].copy_from_slice(&node.level.to_le_bytes());
+    bytes[4..8].copy_from_slice(&(node.entries.len() as u32).to_le_bytes());
+    for (i, e) in node.entries.iter().enumerate() {
+        let at = HEADER_SIZE + i * ENTRY_SIZE;
+        bytes[at..at + 8].copy_from_slice(&e.mbr.min_x.to_le_bytes());
+        bytes[at + 8..at + 16].copy_from_slice(&e.mbr.min_y.to_le_bytes());
+        bytes[at + 16..at + 24].copy_from_slice(&e.mbr.max_x.to_le_bytes());
+        bytes[at + 24..at + 32].copy_from_slice(&e.mbr.max_y.to_le_bytes());
+        bytes[at + 32..at + 40].copy_from_slice(&e.child.to_le_bytes());
+    }
+}
+
+/// Deserializes a node from a page.
+pub fn decode(page: &Page) -> DiskNode {
+    let bytes = page.bytes();
+    let level = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    assert!(count <= MAX_ENTRIES_PER_PAGE, "corrupt page: count {count}");
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = HEADER_SIZE + i * ENTRY_SIZE;
+        let f = |o: usize| f64::from_le_bytes(bytes[at + o..at + o + 8].try_into().expect("8"));
+        entries.push(DiskEntry {
+            mbr: Rect::new(f(0), f(8), f(16), f(24)),
+            child: u64::from_le_bytes(bytes[at + 32..at + 40].try_into().expect("8")),
+        });
+    }
+    DiskNode { level, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_node(level: u32, n: usize) -> DiskNode {
+        DiskNode {
+            level,
+            entries: (0..n)
+                .map(|i| DiskEntry {
+                    mbr: Rect::new(i as f64, -(i as f64), i as f64 + 0.5, i as f64 + 1.25),
+                    child: 1000 + i as u64,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_leaf() {
+        let node = sample_node(0, 7);
+        let mut page = Page::zeroed();
+        encode(&node, &mut page);
+        assert_eq!(decode(&page), node);
+    }
+
+    #[test]
+    fn roundtrip_internal_full_page() {
+        let node = sample_node(3, MAX_ENTRIES_PER_PAGE);
+        let mut page = Page::zeroed();
+        encode(&node, &mut page);
+        let back = decode(&page);
+        assert_eq!(back, node);
+        assert!(!back.is_leaf());
+        assert_eq!(back.child_page(0), PageId(1000));
+    }
+
+    #[test]
+    fn roundtrip_empty_node() {
+        let node = DiskNode { level: 0, entries: vec![] };
+        let mut page = Page::zeroed();
+        encode(&node, &mut page);
+        assert_eq!(decode(&page), node);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed page capacity")]
+    fn overflow_rejected() {
+        let node = sample_node(0, MAX_ENTRIES_PER_PAGE + 1);
+        encode(&node, &mut Page::zeroed());
+    }
+
+    #[test]
+    fn capacity_is_paper_scale() {
+        // 4 KiB pages must give a branching factor of ~100.
+        assert_eq!(MAX_ENTRIES_PER_PAGE, 102);
+    }
+
+    #[test]
+    fn leaf_child_is_item() {
+        let node = sample_node(0, 2);
+        assert_eq!(node.child_item(1), ItemId(1001));
+    }
+}

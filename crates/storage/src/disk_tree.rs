@@ -1,0 +1,378 @@
+//! A page-resident R-tree image with I/O-counted search.
+//!
+//! [`DiskRTree::store`] lays an in-memory [`RTree`] out one node per page
+//! (children before parents, so a packed tree's pages are written in a
+//! single sequential pass); searches then run through a [`BufferPool`],
+//! so the `A` metric of Table 1 becomes real page requests and the pool's
+//! hit/miss counters quantify "dealing with paging and disk I/O
+//! buffering" (§1). Used by the EXT-5 `io_sweep` experiment.
+
+use crate::buffer::BufferPool;
+use crate::codec::{self, DiskEntry, DiskNode, MAX_ENTRIES_PER_PAGE};
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+use rtree_geom::{Point, Rect};
+use rtree_index::{Child, ItemId, NodeId, RTree, SearchStats};
+use std::io;
+
+/// Identifies a [`DiskRTree`] meta page ("PRTREE85" little-endian).
+const META_MAGIC: u64 = u64::from_le_bytes(*b"PRTREE85");
+
+/// Handle to an R-tree stored in a page file.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskRTree {
+    root: PageId,
+    depth: u32,
+    len: usize,
+    pages: u32,
+}
+
+impl DiskRTree {
+    /// Writes `tree` into `pager`, one node per page, and returns the
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, or if the tree's branching factor exceeds
+    /// [`MAX_ENTRIES_PER_PAGE`].
+    pub fn store(tree: &RTree, pager: &Pager) -> io::Result<DiskRTree> {
+        if tree.config().max_entries > MAX_ENTRIES_PER_PAGE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "branching factor {} exceeds page capacity {}",
+                    tree.config().max_entries,
+                    MAX_ENTRIES_PER_PAGE
+                ),
+            ));
+        }
+        let mut pages_written = 0u32;
+        let root = Self::store_node(tree, tree.root(), pager, &mut pages_written)?;
+        Ok(DiskRTree {
+            root,
+            depth: tree.depth(),
+            len: tree.len(),
+            pages: pages_written,
+        })
+    }
+
+    /// Like [`store`](DiskRTree::store), but also writes a **meta page**
+    /// recording root/depth/length so the tree can be
+    /// [`open`](DiskRTree::open)ed from the file later. The meta page is
+    /// allocated first, so on a fresh pager it is page 0.
+    pub fn store_with_meta(tree: &RTree, pager: &Pager) -> io::Result<DiskRTree> {
+        let meta_page = pager.allocate();
+        let disk = Self::store(tree, pager)?;
+        let mut page = Page::zeroed();
+        let b = page.bytes_mut();
+        b[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        b[8..12].copy_from_slice(&disk.root.0.to_le_bytes());
+        b[12..16].copy_from_slice(&disk.depth.to_le_bytes());
+        b[16..24].copy_from_slice(&(disk.len as u64).to_le_bytes());
+        b[24..28].copy_from_slice(&disk.pages.to_le_bytes());
+        pager.write_page(meta_page, &page)?;
+        pager.sync()?;
+        Ok(disk)
+    }
+
+    /// Reopens a tree previously written by
+    /// [`store_with_meta`](DiskRTree::store_with_meta), reading the meta
+    /// page (page 0 by default).
+    pub fn open(pager: &Pager, meta_page: PageId) -> io::Result<DiskRTree> {
+        let page = pager.read_page(meta_page)?;
+        let b = page.bytes();
+        let magic = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
+        if magic != META_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a packed-rtree meta page",
+            ));
+        }
+        Ok(DiskRTree {
+            root: PageId(u32::from_le_bytes(b[8..12].try_into().expect("4"))),
+            depth: u32::from_le_bytes(b[12..16].try_into().expect("4")),
+            len: u64::from_le_bytes(b[16..24].try_into().expect("8")) as usize,
+            pages: u32::from_le_bytes(b[24..28].try_into().expect("4")),
+        })
+    }
+
+    /// [`open`](DiskRTree::open) with the conventional meta page 0.
+    pub fn open_default(pager: &Pager) -> io::Result<DiskRTree> {
+        Self::open(pager, PageId(0))
+    }
+
+    fn store_node(
+        tree: &RTree,
+        id: NodeId,
+        pager: &Pager,
+        pages_written: &mut u32,
+    ) -> io::Result<PageId> {
+        let node = tree.node(id);
+        let mut entries = Vec::with_capacity(node.len());
+        for e in &node.entries {
+            let child = match e.child {
+                Child::Item(item) => item.0,
+                Child::Node(c) => {
+                    // Post-order: children are on disk before the parent.
+                    Self::store_node(tree, c, pager, pages_written)?.0 as u64
+                }
+            };
+            entries.push(DiskEntry { mbr: e.mbr, child });
+        }
+        let page_id = pager.allocate();
+        let mut page = Page::zeroed();
+        codec::encode(
+            &DiskNode {
+                level: node.level,
+                entries,
+            },
+            &mut page,
+        );
+        pager.write_page(page_id, &page)?;
+        *pages_written += 1;
+        Ok(page_id)
+    }
+
+    /// Root page of the stored tree.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Depth (root level), as in Table 1's `D`.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages the tree occupies (= node count).
+    pub fn pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// The paper's `SEARCH` against the disk image: descend entries
+    /// intersecting `window`, report leaf entries within it. Each node
+    /// touched is one page request through `pool`.
+    pub fn search_within(
+        &self,
+        pool: &BufferPool<'_>,
+        window: &Rect,
+        stats: &mut SearchStats,
+    ) -> io::Result<Vec<ItemId>> {
+        stats.queries += 1;
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = pool.with_page(pid, codec::decode)?;
+            if node.is_leaf() {
+                stats.leaf_nodes_visited += 1;
+                for (i, e) in node.entries.iter().enumerate() {
+                    if e.mbr.covered_by(window) {
+                        stats.items_reported += 1;
+                        out.push(node.child_item(i));
+                    }
+                }
+            } else {
+                for (i, e) in node.entries.iter().enumerate() {
+                    if e.mbr.intersects(window) {
+                        stack.push(node.child_page(i));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The Table 1 point query against the disk image.
+    pub fn point_query(
+        &self,
+        pool: &BufferPool<'_>,
+        p: Point,
+        stats: &mut SearchStats,
+    ) -> io::Result<Vec<ItemId>> {
+        stats.queries += 1;
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = pool.with_page(pid, codec::decode)?;
+            if node.is_leaf() {
+                stats.leaf_nodes_visited += 1;
+                for (i, e) in node.entries.iter().enumerate() {
+                    if e.mbr.contains_point(p) {
+                        stats.items_reported += 1;
+                        out.push(node.child_item(i));
+                    }
+                }
+            } else {
+                for (i, e) in node.entries.iter().enumerate() {
+                    if e.mbr.contains_point(p) {
+                        stack.push(node.child_page(i));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_index::RTreeConfig;
+
+    fn sample_tree(n: u64) -> RTree {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for i in 0..n {
+            let x = (i * 37 % 1009) as f64;
+            let y = (i * 91 % 997) as f64;
+            t.insert(Rect::from_point(Point::new(x, y)), ItemId(i));
+        }
+        t
+    }
+
+    #[test]
+    fn store_and_search_matches_memory() {
+        let tree = sample_tree(300);
+        let pager = Pager::temp().unwrap();
+        let disk = DiskRTree::store(&tree, &pager).unwrap();
+        assert_eq!(disk.pages() as usize, tree.node_count());
+        assert_eq!(disk.depth(), tree.depth());
+        assert_eq!(disk.len(), 300);
+
+        let pool = BufferPool::new(&pager, 64);
+        let window = Rect::new(100.0, 100.0, 600.0, 600.0);
+        let mut mem_stats = SearchStats::default();
+        let mut disk_stats = SearchStats::default();
+        let mut expect = tree.search_within(&window, &mut mem_stats);
+        let mut got = disk.search_within(&pool, &window, &mut disk_stats).unwrap();
+        expect.sort();
+        got.sort();
+        assert_eq!(got, expect);
+        // Same pruning → same nodes visited.
+        assert_eq!(mem_stats.nodes_visited, disk_stats.nodes_visited);
+    }
+
+    #[test]
+    fn point_query_matches_memory() {
+        let tree = sample_tree(200);
+        let pager = Pager::temp().unwrap();
+        let disk = DiskRTree::store(&tree, &pager).unwrap();
+        let pool = BufferPool::new(&pager, 32);
+        let mut s1 = SearchStats::default();
+        let mut s2 = SearchStats::default();
+        for i in 0..50u64 {
+            let p = Point::new((i * 37 % 1009) as f64, (i * 91 % 997) as f64);
+            let mut a = tree.point_query(p, &mut s1);
+            let mut b = disk.point_query(&pool, p, &mut s2).unwrap();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "query {i}");
+        }
+        assert_eq!(s1.nodes_visited, s2.nodes_visited);
+    }
+
+    #[test]
+    fn small_pool_misses_large_pool_hits() {
+        let tree = sample_tree(500);
+        let pager = Pager::temp().unwrap();
+        let disk = DiskRTree::store(&tree, &pager).unwrap();
+        let queries: Vec<Point> = (0..200)
+            .map(|i| Point::new((i * 13 % 1009) as f64, (i * 29 % 997) as f64))
+            .collect();
+
+        let run = |cap: usize| {
+            let pool = BufferPool::new(&pager, cap);
+            let mut stats = SearchStats::default();
+            for &q in &queries {
+                disk.point_query(&pool, q, &mut stats).unwrap();
+            }
+            pool.stats().hit_ratio()
+        };
+        let small = run(2);
+        let large = run(tree.node_count() + 8);
+        assert!(
+            large > small,
+            "bigger pool should hit more: {large} vs {small}"
+        );
+        assert!(large > 0.8, "full-tree pool should mostly hit: {large}");
+    }
+
+    #[test]
+    fn empty_tree_roundtrip() {
+        let tree = RTree::new(RTreeConfig::PAPER);
+        let pager = Pager::temp().unwrap();
+        let disk = DiskRTree::store(&tree, &pager).unwrap();
+        let pool = BufferPool::new(&pager, 4);
+        let mut stats = SearchStats::default();
+        let hits = disk
+            .search_within(&pool, &Rect::new(0.0, 0.0, 1.0, 1.0), &mut stats)
+            .unwrap();
+        assert!(hits.is_empty());
+        assert!(disk.is_empty());
+    }
+
+    #[test]
+    fn persistence_roundtrip_through_file() {
+        let path = std::env::temp_dir().join(format!(
+            "packed-rtree-persist-{}.db",
+            std::process::id()
+        ));
+        let tree = sample_tree(250);
+        let expected_window = Rect::new(100.0, 100.0, 500.0, 500.0);
+        let expected = {
+            let mut s = SearchStats::default();
+            let mut v = tree.search_within(&expected_window, &mut s);
+            v.sort();
+            v
+        };
+        {
+            let pager = Pager::create(&path).unwrap();
+            let disk = DiskRTree::store_with_meta(&tree, &pager).unwrap();
+            // Meta page is 0; nodes are written children-first, so the
+            // root lands on the last page.
+            assert_eq!(disk.root(), PageId(tree.node_count() as u32));
+        }
+        // Reopen the file cold and search through the meta page.
+        {
+            let pager = Pager::open(&path).unwrap();
+            let disk = DiskRTree::open_default(&pager).unwrap();
+            assert_eq!(disk.len(), 250);
+            assert_eq!(disk.depth(), tree.depth());
+            let pool = BufferPool::new(&pager, 32);
+            let mut s = SearchStats::default();
+            let mut got = disk.search_within(&pool, &expected_window, &mut s).unwrap();
+            got.sort();
+            assert_eq!(got, expected);
+            // New allocations go past the existing pages.
+            let fresh = pager.allocate();
+            assert!(fresh.0 as usize > tree.node_count());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_garbage_meta() {
+        let pager = Pager::temp().unwrap();
+        let id = pager.allocate();
+        pager.write_page(id, &Page::zeroed()).unwrap();
+        let err = DiskRTree::open(&pager, id).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_branching_rejected() {
+        let t = RTree::new(RTreeConfig::with_branching(200));
+        let pager = Pager::temp().unwrap();
+        assert!(DiskRTree::store(&t, &pager).is_err());
+    }
+}

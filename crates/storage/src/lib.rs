@@ -1,0 +1,39 @@
+//! Simulated disk substrate: page files, an LRU buffer pool, and
+//! page-resident R-trees with I/O accounting.
+//!
+//! The paper motivates R-trees over quad-trees partly because "the storage
+//! organization of R-trees is based on B-trees, \[so\] they are better in
+//! dealing with paging and disk I/O buffering" (§1), and notes that
+//! practical branching factors are those "that fill a logical disk block"
+//! (§3). The authors ran on 1985 hardware we do not have; this crate
+//! substitutes a **simulated disk**: real files accessed in fixed 4 KiB
+//! pages through a pinning LRU buffer pool, with read/write/hit/miss
+//! counters. Node-per-page layout means pages touched ≈ nodes visited, so
+//! the Table 1 `A` metric translates directly into I/O — the `io_sweep`
+//! experiment (EXT-5) measures exactly that.
+//!
+//! # Layers
+//!
+//! * [`page`] — fixed-size page type and ids;
+//! * [`pager`] — a file of pages with allocation and a free list;
+//! * [`buffer`] — the LRU buffer pool;
+//! * [`codec`] — R-tree node ⇄ page serialization (fixed little-endian
+//!   layout, no external serialization crates);
+//! * [`disk_tree`] — a page-resident R-tree image supporting the paper's
+//!   searches with I/O counted.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buffer;
+pub mod codec;
+pub mod disk_tree;
+pub mod page;
+pub mod paged_tree;
+pub mod pager;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use disk_tree::DiskRTree;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use paged_tree::PagedRTree;
+pub use pager::{IoStats, Pager};

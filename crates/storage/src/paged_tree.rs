@@ -1,0 +1,710 @@
+//! A fully dynamic page-resident R-tree: Guttman INSERT/DELETE/SEARCH
+//! operating directly on disk pages through the buffer pool.
+//!
+//! [`DiskRTree`](crate::DiskRTree) is a read-only image; `PagedRTree` is
+//! the read-write sibling a database would actually run: one node per
+//! 4 KiB page, ChooseLeaf/AdjustTree walking pages, node splits via the
+//! same Guttman algorithms as the in-memory tree
+//! ([`rtree_index::split::split_rect_entries`]), CondenseTree with orphan
+//! re-insertion, and a meta page making the whole index reopenable.
+//!
+//! This realizes the paper's deployment story end to end: PACK the
+//! static picture once ([`PagedRTree::from_tree`] writes the packed tree
+//! sequentially), then serve direct spatial search *and* occasional
+//! updates from disk (§3.4).
+
+use crate::buffer::BufferPool;
+use crate::codec::{self, DiskEntry, DiskNode, MAX_ENTRIES_PER_PAGE};
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+use rtree_geom::{Point, Rect};
+use rtree_index::split::split_rect_entries;
+use rtree_index::{Child, ItemId, NodeId, RTree, RTreeConfig, SearchStats};
+use std::io;
+
+/// Magic for `PagedRTree` meta pages (distinct from the read-only
+/// image's).
+const META_MAGIC: u64 = u64::from_le_bytes(*b"PRTDYN85");
+
+/// A mutable, page-resident R-tree over a [`Pager`] + [`BufferPool`].
+pub struct PagedRTree<'a> {
+    pool: BufferPool<'a>,
+    meta: PageId,
+    root: PageId,
+    depth: u32,
+    len: usize,
+    config: RTreeConfig,
+}
+
+impl<'a> PagedRTree<'a> {
+    /// Creates an empty paged tree: allocates a meta page and an empty
+    /// leaf root.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or if `config.max_entries` exceeds
+    /// [`MAX_ENTRIES_PER_PAGE`].
+    pub fn create(pager: &'a Pager, config: RTreeConfig, pool_frames: usize) -> io::Result<Self> {
+        check_config(&config)?;
+        let meta = pager.allocate();
+        let root = pager.allocate();
+        let pool = BufferPool::new(pager, pool_frames);
+        let tree = PagedRTree {
+            pool,
+            meta,
+            root,
+            depth: 0,
+            len: 0,
+            config,
+        };
+        tree.write_node(root, &DiskNode { level: 0, entries: Vec::new() })?;
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Converts an in-memory tree (typically freshly PACKed) into a paged
+    /// tree, writing nodes children-first.
+    pub fn from_tree(tree: &RTree, pager: &'a Pager, pool_frames: usize) -> io::Result<Self> {
+        check_config(&tree.config())?;
+        let meta = pager.allocate();
+        let pool = BufferPool::new(pager, pool_frames);
+        let mut paged = PagedRTree {
+            pool,
+            meta,
+            root: PageId(0), // fixed up below
+            depth: tree.depth(),
+            len: tree.len(),
+            config: tree.config(),
+        };
+        paged.root = paged.copy_node(tree, tree.root(), pager)?;
+        paged.write_meta()?;
+        Ok(paged)
+    }
+
+    fn copy_node(&mut self, tree: &RTree, id: NodeId, pager: &Pager) -> io::Result<PageId> {
+        let node = tree.node(id);
+        let mut entries = Vec::with_capacity(node.len());
+        for e in &node.entries {
+            let child = match e.child {
+                Child::Item(item) => item.0,
+                Child::Node(c) => self.copy_node(tree, c, pager)?.0 as u64,
+            };
+            entries.push(DiskEntry { mbr: e.mbr, child });
+        }
+        let page_id = pager.allocate();
+        self.write_node(page_id, &DiskNode { level: node.level, entries })?;
+        Ok(page_id)
+    }
+
+    /// Reopens a paged tree from its meta page.
+    pub fn open(pager: &'a Pager, meta: PageId, pool_frames: usize) -> io::Result<Self> {
+        let page = pager.read_page(meta)?;
+        let b = page.bytes();
+        let magic = u64::from_le_bytes(b[0..8].try_into().expect("8"));
+        if magic != META_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PagedRTree meta page"));
+        }
+        let root = PageId(u32::from_le_bytes(b[8..12].try_into().expect("4")));
+        let depth = u32::from_le_bytes(b[12..16].try_into().expect("4"));
+        let len = u64::from_le_bytes(b[16..24].try_into().expect("8")) as usize;
+        let max_entries = u32::from_le_bytes(b[24..28].try_into().expect("4")) as usize;
+        let min_entries = u32::from_le_bytes(b[28..32].try_into().expect("4")) as usize;
+        let split = match b[32] {
+            0 => rtree_index::SplitPolicy::Linear,
+            2 => rtree_index::SplitPolicy::Exhaustive,
+            _ => rtree_index::SplitPolicy::Quadratic,
+        };
+        let config = RTreeConfig::new(max_entries, min_entries, split);
+        Ok(PagedRTree {
+            pool: BufferPool::new(pager, pool_frames),
+            meta,
+            root,
+            depth,
+            len,
+            config,
+        })
+    }
+
+    /// Flushes dirty pages and the meta page to the pager.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.write_meta()?;
+        self.pool.flush()
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Root level (Table 1's `D`).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    /// Buffer-pool statistics for the tree's page traffic.
+    pub fn pool_stats(&self) -> crate::buffer::BufferStats {
+        self.pool.stats()
+    }
+
+    fn write_meta(&self) -> io::Result<()> {
+        let mut page = Page::zeroed();
+        let b = page.bytes_mut();
+        b[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        b[8..12].copy_from_slice(&self.root.0.to_le_bytes());
+        b[12..16].copy_from_slice(&self.depth.to_le_bytes());
+        b[16..24].copy_from_slice(&(self.len as u64).to_le_bytes());
+        b[24..28].copy_from_slice(&(self.config.max_entries as u32).to_le_bytes());
+        b[28..32].copy_from_slice(&(self.config.min_entries as u32).to_le_bytes());
+        b[32] = match self.config.split {
+            rtree_index::SplitPolicy::Linear => 0,
+            rtree_index::SplitPolicy::Quadratic => 1,
+            rtree_index::SplitPolicy::Exhaustive => 2,
+        };
+        self.pool.with_page_mut(self.meta, |p| *p = page)?;
+        Ok(())
+    }
+
+    fn read_node(&self, id: PageId) -> io::Result<DiskNode> {
+        self.pool.with_page(id, codec::decode)
+    }
+
+    fn write_node(&self, id: PageId, node: &DiskNode) -> io::Result<()> {
+        self.pool.with_page_mut(id, |p| codec::encode(node, p))
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// The paper's `SEARCH` against pages.
+    pub fn search_within(&self, window: &Rect, stats: &mut SearchStats) -> io::Result<Vec<ItemId>> {
+        stats.queries += 1;
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = self.read_node(pid)?;
+            if node.is_leaf() {
+                stats.leaf_nodes_visited += 1;
+                for (i, e) in node.entries.iter().enumerate() {
+                    if e.mbr.covered_by(window) {
+                        stats.items_reported += 1;
+                        out.push(node.child_item(i));
+                    }
+                }
+            } else {
+                for (i, e) in node.entries.iter().enumerate() {
+                    if e.mbr.intersects(window) {
+                        stack.push(node.child_page(i));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The Table 1 point query against pages.
+    pub fn point_query(&self, p: Point, stats: &mut SearchStats) -> io::Result<Vec<ItemId>> {
+        stats.queries += 1;
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(pid) = stack.pop() {
+            stats.nodes_visited += 1;
+            let node = self.read_node(pid)?;
+            if node.is_leaf() {
+                stats.leaf_nodes_visited += 1;
+                for (i, e) in node.entries.iter().enumerate() {
+                    if e.mbr.contains_point(p) {
+                        stats.items_reported += 1;
+                        out.push(node.child_item(i));
+                    }
+                }
+            } else {
+                for (i, e) in node.entries.iter().enumerate() {
+                    if e.mbr.contains_point(p) {
+                        stack.push(node.child_page(i));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Guttman INSERT on pages.
+    pub fn insert(&mut self, mbr: Rect, item: ItemId) -> io::Result<()> {
+        self.insert_entry_at_level(DiskEntry { mbr, child: item.0 }, 0)?;
+        self.len += 1;
+        self.write_meta()
+    }
+
+    fn insert_entry_at_level(&mut self, entry: DiskEntry, level: u32) -> io::Result<()> {
+        debug_assert!(level <= self.depth);
+        // ChooseLeaf, recording the descent path.
+        let mut path: Vec<(PageId, usize)> = Vec::new();
+        let mut current = self.root;
+        let mut node = self.read_node(current)?;
+        while node.level > level {
+            let chosen = choose_subtree(&node, &entry.mbr);
+            path.push((current, chosen));
+            current = node.child_page(chosen);
+            node = self.read_node(current)?;
+        }
+
+        node.entries.push(entry);
+        let mut split_off = self.split_if_overflowing(current, &mut node)?;
+        self.write_node(current, &node)?;
+
+        // AdjustTree.
+        for (parent_id, child_idx) in path.into_iter().rev() {
+            let mut parent = self.read_node(parent_id)?;
+            let child_id = parent.child_page(child_idx);
+            let child = self.read_node(child_id)?;
+            parent.entries[child_idx].mbr = node_mbr(&child).expect("child not empty");
+            if let Some((new_mbr, new_page)) = split_off.take() {
+                parent.entries.push(DiskEntry {
+                    mbr: new_mbr,
+                    child: new_page.0 as u64,
+                });
+                split_off = self.split_if_overflowing(parent_id, &mut parent)?;
+            }
+            self.write_node(parent_id, &parent)?;
+        }
+
+        // Root split: grow upward.
+        if let Some((new_mbr, new_page)) = split_off {
+            let old_root = self.root;
+            let old = self.read_node(old_root)?;
+            let new_root = DiskNode {
+                level: old.level + 1,
+                entries: vec![
+                    DiskEntry {
+                        mbr: node_mbr(&old).expect("root not empty"),
+                        child: old_root.0 as u64,
+                    },
+                    DiskEntry {
+                        mbr: new_mbr,
+                        child: new_page.0 as u64,
+                    },
+                ],
+            };
+            let new_root_id = self.allocate_page()?;
+            self.write_node(new_root_id, &new_root)?;
+            self.root = new_root_id;
+            self.depth = old.level + 1;
+        }
+        Ok(())
+    }
+
+    /// Splits `node` (already containing the overflow entry) if needed;
+    /// returns the new sibling's MBR and page.
+    fn split_if_overflowing(
+        &mut self,
+        _id: PageId,
+        node: &mut DiskNode,
+    ) -> io::Result<Option<(Rect, PageId)>> {
+        if node.entries.len() <= self.config.max_entries {
+            return Ok(None);
+        }
+        let entries = std::mem::take(&mut node.entries);
+        let (a, b) = split_rect_entries(&self.config, entries, |e: &DiskEntry| e.mbr);
+        node.entries = a;
+        let sibling = DiskNode {
+            level: node.level,
+            entries: b,
+        };
+        let sibling_mbr = node_mbr(&sibling).expect("non-empty");
+        let sibling_id = self.allocate_page()?;
+        self.write_node(sibling_id, &sibling)?;
+        Ok(Some((sibling_mbr, sibling_id)))
+    }
+
+    fn allocate_page(&self) -> io::Result<PageId> {
+        Ok(self.pool_pager().allocate())
+    }
+
+    fn pool_pager(&self) -> &Pager {
+        // BufferPool keeps the pager reference; expose through a helper.
+        self.pool.pager()
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Guttman DELETE on pages: FindLeaf + CondenseTree with orphan
+    /// re-insertion. Returns whether the entry existed.
+    pub fn remove(&mut self, mbr: Rect, item: ItemId) -> io::Result<bool> {
+        let Some(path) = self.find_leaf_path(&mbr, item)? else {
+            return Ok(false);
+        };
+        let leaf_id = *path.last().expect("path has leaf");
+        let mut leaf = self.read_node(leaf_id)?;
+        let pos = leaf
+            .entries
+            .iter()
+            .position(|e| e.mbr == mbr && e.child == item.0)
+            .expect("find_leaf_path verified");
+        leaf.entries.remove(pos);
+        self.write_node(leaf_id, &leaf)?;
+        self.len -= 1;
+
+        self.condense(&path)?;
+        self.write_meta()?;
+        Ok(true)
+    }
+
+    fn find_leaf_path(&self, mbr: &Rect, item: ItemId) -> io::Result<Option<Vec<PageId>>> {
+        let mut path = vec![self.root];
+        if self.find_leaf_rec(self.root, mbr, item, &mut path)? {
+            Ok(Some(path))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn find_leaf_rec(
+        &self,
+        id: PageId,
+        mbr: &Rect,
+        item: ItemId,
+        path: &mut Vec<PageId>,
+    ) -> io::Result<bool> {
+        let node = self.read_node(id)?;
+        if node.is_leaf() {
+            return Ok(node.entries.iter().any(|e| e.mbr == *mbr && e.child == item.0));
+        }
+        for (i, e) in node.entries.iter().enumerate() {
+            if e.mbr.covers(mbr) {
+                let child = node.child_page(i);
+                path.push(child);
+                if self.find_leaf_rec(child, mbr, item, path)? {
+                    return Ok(true);
+                }
+                path.pop();
+            }
+        }
+        Ok(false)
+    }
+
+    fn condense(&mut self, path: &[PageId]) -> io::Result<()> {
+        let mut eliminated: Vec<(u32, Vec<DiskEntry>)> = Vec::new();
+        for window in (1..path.len()).rev() {
+            let node_id = path[window];
+            let parent_id = path[window - 1];
+            let node = self.read_node(node_id)?;
+            let mut parent = self.read_node(parent_id)?;
+            let child_idx = parent
+                .entries
+                .iter()
+                .position(|e| e.child == node_id.0 as u64)
+                .expect("path link");
+            if node.entries.len() < self.config.min_entries {
+                parent.entries.remove(child_idx);
+                self.pool_pager().free(node_id);
+                if !node.entries.is_empty() {
+                    eliminated.push((node.level, node.entries));
+                }
+            } else {
+                parent.entries[child_idx].mbr = node_mbr(&node).expect("non-empty");
+            }
+            self.write_node(parent_id, &parent)?;
+        }
+
+        for (level, entries) in eliminated {
+            for entry in entries {
+                if level <= self.depth {
+                    self.insert_entry_at_level(entry, level)?;
+                } else {
+                    self.reinsert_subtree_items(entry, level)?;
+                }
+            }
+        }
+
+        // Shorten a single-child non-leaf root.
+        loop {
+            let root = self.read_node(self.root)?;
+            if root.is_leaf() || root.entries.len() != 1 {
+                break;
+            }
+            let child = root.child_page(0);
+            self.pool_pager().free(self.root);
+            self.root = child;
+            self.depth = self.read_node(child)?.level;
+        }
+        Ok(())
+    }
+
+    fn reinsert_subtree_items(&mut self, entry: DiskEntry, level: u32) -> io::Result<()> {
+        if level == 0 {
+            return self.insert_entry_at_level(entry, 0);
+        }
+        let page = PageId(u32::try_from(entry.child).expect("page id"));
+        let node = self.read_node(page)?;
+        self.pool_pager().free(page);
+        for e in node.entries {
+            self.reinsert_subtree_items(e, node.level)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Validation (test support)
+    // ------------------------------------------------------------------
+
+    /// Structural validation mirroring [`RTree::validate`]; reads every
+    /// page.
+    pub fn validate(&self) -> io::Result<Result<(), String>> {
+        self.validate_with(true)
+    }
+
+    /// Like [`validate`](PagedRTree::validate) but with the minimum-fill
+    /// check optional — packed images may carry one legitimately
+    /// under-filled node per level (§3.3).
+    pub fn validate_with(&self, check_min_fill: bool) -> io::Result<Result<(), String>> {
+        let mut leaf_items = 0usize;
+        let mut stack = vec![(self.root, None::<Rect>, true)];
+        while let Some((id, expected, is_root)) = stack.pop() {
+            let node = self.read_node(id)?;
+            if node.entries.len() > self.config.max_entries {
+                return Ok(Err(format!("{id}: overflow")));
+            }
+            if !is_root && check_min_fill && node.entries.len() < self.config.min_entries {
+                return Ok(Err(format!("{id}: underflow ({})", node.entries.len())));
+            }
+            if is_root && node.level != self.depth {
+                return Ok(Err(format!(
+                    "root level {} != recorded depth {}",
+                    node.level, self.depth
+                )));
+            }
+            if let Some(expect) = expected {
+                match node_mbr(&node) {
+                    Some(actual) if actual == expect => {}
+                    other => return Ok(Err(format!("{id}: mbr mismatch {other:?} vs {expect}"))),
+                }
+            }
+            if node.is_leaf() {
+                leaf_items += node.entries.len();
+            } else {
+                for (i, e) in node.entries.iter().enumerate() {
+                    stack.push((node.child_page(i), Some(e.mbr), false));
+                }
+            }
+        }
+        if leaf_items != self.len {
+            return Ok(Err(format!("{leaf_items} items != len {}", self.len)));
+        }
+        Ok(Ok(()))
+    }
+}
+
+fn check_config(config: &RTreeConfig) -> io::Result<()> {
+    if config.max_entries > MAX_ENTRIES_PER_PAGE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "branching factor {} exceeds page capacity {}",
+                config.max_entries, MAX_ENTRIES_PER_PAGE
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn node_mbr(node: &DiskNode) -> Option<Rect> {
+    Rect::mbr_of_rects(node.entries.iter().map(|e| e.mbr))
+}
+
+/// ChooseLeaf criterion: least enlargement, ties by least area.
+fn choose_subtree(node: &DiskNode, mbr: &Rect) -> usize {
+    debug_assert!(!node.entries.is_empty());
+    let mut best = 0usize;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, e) in node.entries.iter().enumerate() {
+        let enlargement = e.mbr.enlargement(mbr);
+        let area = e.mbr.area();
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
+            best = i;
+            best_enlargement = enlargement;
+            best_area = area;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    fn scatter(n: u64) -> Vec<(Rect, ItemId)> {
+        let mut s = 7u64;
+        (0..n)
+            .map(|i| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((s >> 33) % 1000) as f64;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = ((s >> 33) % 1000) as f64;
+                (pt(x, y), ItemId(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_search_on_pages() {
+        let pager = Pager::temp().unwrap();
+        let mut tree = PagedRTree::create(&pager, RTreeConfig::PAPER, 32).unwrap();
+        let items = scatter(200);
+        for &(mbr, id) in &items {
+            tree.insert(mbr, id).unwrap();
+        }
+        tree.validate().unwrap().unwrap();
+        assert_eq!(tree.len(), 200);
+        assert!(tree.depth() >= 3);
+
+        let window = Rect::new(200.0, 200.0, 700.0, 700.0);
+        let mut stats = SearchStats::default();
+        let mut got = tree.search_within(&window, &mut stats).unwrap();
+        got.sort();
+        let mut expect: Vec<ItemId> = items
+            .iter()
+            .filter(|(r, _)| r.covered_by(&window))
+            .map(|&(_, id)| id)
+            .collect();
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn paged_matches_memory_tree_exactly() {
+        // Same inserts, same config: the paged tree and the in-memory
+        // tree must agree on every query (they share the split code).
+        let pager = Pager::temp().unwrap();
+        let mut paged = PagedRTree::create(&pager, RTreeConfig::PAPER, 64).unwrap();
+        let mut memory = RTree::new(RTreeConfig::PAPER);
+        let items = scatter(300);
+        for &(mbr, id) in &items {
+            paged.insert(mbr, id).unwrap();
+            memory.insert(mbr, id);
+        }
+        assert_eq!(paged.depth(), memory.depth());
+        let mut s1 = SearchStats::default();
+        let mut s2 = SearchStats::default();
+        for i in 0..50 {
+            let q = Point::new((i * 37 % 1000) as f64, (i * 91 % 1000) as f64);
+            let mut a = paged.point_query(q, &mut s1).unwrap();
+            let mut b = memory.point_query(q, &mut s2);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "query {i}");
+        }
+        assert_eq!(s1.nodes_visited, s2.nodes_visited, "identical structure");
+    }
+
+    #[test]
+    fn remove_all_on_pages() {
+        let pager = Pager::temp().unwrap();
+        let mut tree = PagedRTree::create(&pager, RTreeConfig::PAPER, 32).unwrap();
+        let items = scatter(150);
+        for &(mbr, id) in &items {
+            tree.insert(mbr, id).unwrap();
+        }
+        for &(mbr, id) in &items {
+            assert!(tree.remove(mbr, id).unwrap(), "missing {id}");
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.depth(), 0);
+        tree.validate().unwrap().unwrap();
+        assert!(!tree.remove(items[0].0, items[0].1).unwrap());
+    }
+
+    #[test]
+    fn interleaved_updates_stay_valid() {
+        let pager = Pager::temp().unwrap();
+        let mut tree = PagedRTree::create(&pager, RTreeConfig::PAPER, 16).unwrap();
+        let items = scatter(240);
+        for chunk in items.chunks(40) {
+            for &(mbr, id) in chunk {
+                tree.insert(mbr, id).unwrap();
+            }
+            for &(mbr, id) in &chunk[..20] {
+                assert!(tree.remove(mbr, id).unwrap());
+            }
+            tree.validate().unwrap().unwrap();
+        }
+        assert_eq!(tree.len(), 120);
+    }
+
+    #[test]
+    fn from_packed_tree_and_reopen() {
+        let path = std::env::temp_dir().join(format!("paged-rtree-{}.db", std::process::id()));
+        let items = scatter(400);
+        let packed = packed_tree(&items);
+        {
+            let pager = Pager::create(&path).unwrap();
+            let mut paged = PagedRTree::from_tree(&packed, &pager, 32).unwrap();
+            paged.validate_with(false).unwrap().unwrap();
+            // A few dynamic updates on the packed image (§3.4).
+            paged.insert(pt(1.5, 2.5), ItemId(9999)).unwrap();
+            assert!(paged.remove(items[0].0, items[0].1).unwrap());
+            paged.flush().unwrap();
+        }
+        {
+            let pager = Pager::open(&path).unwrap();
+            let paged = PagedRTree::open(&pager, PageId(0), 32).unwrap();
+            assert_eq!(paged.len(), 400);
+            assert_eq!(paged.config(), RTreeConfig::PAPER, "config (incl. split policy) survives reopen");
+            paged.validate_with(false).unwrap().unwrap();
+            let mut stats = SearchStats::default();
+            let hits = paged.point_query(Point::new(1.5, 2.5), &mut stats).unwrap();
+            assert!(hits.contains(&ItemId(9999)));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn packed_tree(items: &[(Rect, ItemId)]) -> RTree {
+        // Local bottom-up pack (avoids a dev-dependency cycle with
+        // packed-rtree-core): plain x-sort runs.
+        use rtree_index::builder::BottomUpBuilder;
+        let mut sorted: Vec<(Rect, ItemId)> = items.to_vec();
+        sorted.sort_by(|a, b| a.0.center().x.total_cmp(&b.0.center().x));
+        let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
+        let mut handles: Vec<(NodeId, Rect)> = sorted
+            .chunks(4)
+            .map(|chunk| b.add_leaf(chunk.to_vec()))
+            .collect();
+        let mut level = 1;
+        while handles.len() > 1 {
+            handles = handles
+                .chunks(4)
+                .map(|chunk| b.add_internal(level, chunk.to_vec()))
+                .collect();
+            level += 1;
+        }
+        b.finish(handles[0].0)
+    }
+
+    #[test]
+    fn oversized_config_rejected() {
+        let pager = Pager::temp().unwrap();
+        assert!(PagedRTree::create(&pager, RTreeConfig::with_branching(500), 8).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Workload generators for the packed R-tree experiments.
+//!
+//! Provides the paper's experimental workload (§3.5: uniformly random
+//! points in `[0,1000]²`, point-containment queries) plus the richer
+//! distributions used by the extension experiments, and a synthetic
+//! US-like map (cities, states, lakes, highways, time zones) standing in
+//! for the paper's digitized pictures (Figures 2.1, 2.2, 3.1, 3.2, 3.8).
+//!
+//! Everything is deterministic given a seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod points;
+pub mod queries;
+pub mod rects;
+pub mod segments;
+pub mod usmap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's universe: points drawn from `[0, 1000]²` (§3.5).
+pub const PAPER_UNIVERSE: rtree_geom::Rect = rtree_geom::Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 1000.0,
+    max_y: 1000.0,
+};
+
+/// The `J` column of Table 1: the numbers of data objects the paper
+/// sweeps.
+pub const PAPER_J_VALUES: [usize; 17] = [
+    10, 25, 50, 75, 100, 125, 150, 175, 200, 250, 300, 400, 500, 600, 700, 800, 900,
+];
+
+/// Creates the deterministic RNG used throughout the harness.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,205 @@
+//! Point distributions.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+use rtree_geom::{Point, Rect};
+
+/// `n` points uniform over `universe` — the paper's §3.5 workload
+/// ("randomly generated with a uniform distribution in the plane").
+pub fn uniform<R: Rng>(rng: &mut R, universe: &Rect, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(universe.min_x..=universe.max_x),
+                rng.gen_range(universe.min_y..=universe.max_y),
+            )
+        })
+        .collect()
+}
+
+/// `n` points in `k` Gaussian clusters with standard deviation `sigma`,
+/// cluster centers uniform over `universe`; samples falling outside are
+/// clamped to the boundary.
+///
+/// Models populated regions — cities cluster along coasts and rivers, not
+/// uniformly (Figure 3.8a's map).
+pub fn clustered<R: Rng>(
+    rng: &mut R,
+    universe: &Rect,
+    n: usize,
+    k: usize,
+    sigma: f64,
+) -> Vec<Point> {
+    assert!(k >= 1);
+    let centers: Vec<Point> = uniform(rng, universe, k);
+    let normal = Gaussian { sigma };
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.gen_range(0..k)];
+            let dx = normal.sample(rng);
+            let dy = normal.sample(rng);
+            Point::new(
+                (c.x + dx).clamp(universe.min_x, universe.max_x),
+                (c.y + dy).clamp(universe.min_y, universe.max_y),
+            )
+        })
+        .collect()
+}
+
+/// An evenly spaced `cols × rows` grid over `universe` (cell centers).
+///
+/// The worst case for the paper's plain x-sort packing and a stress test
+/// for Lemma 3.1 (maximal duplicate x-coordinates).
+pub fn grid(universe: &Rect, cols: usize, rows: usize) -> Vec<Point> {
+    assert!(cols >= 1 && rows >= 1);
+    let dx = universe.width() / cols as f64;
+    let dy = universe.height() / rows as f64;
+    let mut out = Vec::with_capacity(cols * rows);
+    for i in 0..cols {
+        for j in 0..rows {
+            out.push(Point::new(
+                universe.min_x + (i as f64 + 0.5) * dx,
+                universe.min_y + (j as f64 + 0.5) * dy,
+            ));
+        }
+    }
+    out
+}
+
+/// `n` points with Zipf-skewed density toward the lower-left corner:
+/// coordinates are `u^alpha`-distorted uniforms. `alpha = 1` is uniform;
+/// larger values concentrate mass near the origin corner.
+pub fn skewed<R: Rng>(rng: &mut R, universe: &Rect, n: usize, alpha: f64) -> Vec<Point> {
+    assert!(alpha >= 1.0);
+    (0..n)
+        .map(|_| {
+            let ux: f64 = rng.gen::<f64>().powf(alpha);
+            let uy: f64 = rng.gen::<f64>().powf(alpha);
+            Point::new(
+                universe.min_x + ux * universe.width(),
+                universe.min_y + uy * universe.height(),
+            )
+        })
+        .collect()
+}
+
+/// Points along a diagonal band — an adversarial layout where x-order and
+/// spatial proximity coincide (best case for x-sort, used in ablations).
+pub fn diagonal<R: Rng>(rng: &mut R, universe: &Rect, n: usize, width: f64) -> Vec<Point> {
+    (0..n)
+        .map(|_| {
+            let t: f64 = rng.gen();
+            let jitter: f64 = rng.gen_range(-width / 2.0..=width / 2.0);
+            Point::new(
+                universe.min_x + t * universe.width(),
+                (universe.min_y + t * universe.height() + jitter)
+                    .clamp(universe.min_y, universe.max_y),
+            )
+        })
+        .collect()
+}
+
+/// Converts points into the `(Rect, ItemId)` pairs the index consumes.
+pub fn as_items(points: &[Point]) -> Vec<(Rect, rtree_index::ItemId)> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (Rect::from_point(p), rtree_index::ItemId(i as u64)))
+        .collect()
+}
+
+/// Box–Muller Gaussian with mean 0.
+struct Gaussian {
+    sigma: f64,
+}
+
+impl Distribution<f64> for Gaussian {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        self.sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_UNIVERSE;
+
+    #[test]
+    fn uniform_points_inside_universe() {
+        let mut rng = crate::rng(1);
+        let pts = uniform(&mut rng, &PAPER_UNIVERSE, 500);
+        assert_eq!(pts.len(), 500);
+        assert!(pts.iter().all(|&p| PAPER_UNIVERSE.contains_point(p)));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_by_seed() {
+        let a = uniform(&mut crate::rng(42), &PAPER_UNIVERSE, 50);
+        let b = uniform(&mut crate::rng(42), &PAPER_UNIVERSE, 50);
+        let c = uniform(&mut crate::rng(43), &PAPER_UNIVERSE, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_points_inside_and_clumped() {
+        let mut rng = crate::rng(2);
+        let pts = clustered(&mut rng, &PAPER_UNIVERSE, 1000, 5, 20.0);
+        assert!(pts.iter().all(|&p| PAPER_UNIVERSE.contains_point(p)));
+        // Clumpiness: mean nearest-neighbour distance well below uniform's.
+        let mnn = |pts: &[Point]| {
+            pts.iter()
+                .map(|p| {
+                    pts.iter()
+                        .filter(|q| *q != p)
+                        .map(|q| p.distance(*q))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / pts.len() as f64
+        };
+        let uni = uniform(&mut rng, &PAPER_UNIVERSE, 1000);
+        assert!(mnn(&pts) < mnn(&uni) * 0.8);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let pts = grid(&PAPER_UNIVERSE, 10, 5);
+        assert_eq!(pts.len(), 50);
+        let m = Rect::mbr_of_points(pts.iter().copied()).unwrap();
+        assert!(PAPER_UNIVERSE.covers(&m));
+    }
+
+    #[test]
+    fn skewed_mass_near_origin() {
+        let mut rng = crate::rng(3);
+        let pts = skewed(&mut rng, &PAPER_UNIVERSE, 2000, 3.0);
+        let near = pts
+            .iter()
+            .filter(|p| p.x < 250.0 && p.y < 250.0)
+            .count();
+        // With alpha=3, P(x < 1/4 scale) = (1/4)^(1/3) ≈ 0.63 per axis.
+        assert!(near > 2000 / 4, "only {near} points in the hot corner");
+    }
+
+    #[test]
+    fn diagonal_band() {
+        let mut rng = crate::rng(4);
+        let pts = diagonal(&mut rng, &PAPER_UNIVERSE, 300, 50.0);
+        for p in &pts {
+            let expected_y = p.x; // square universe: diagonal is y = x
+            assert!((p.y - expected_y).abs() <= 25.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn as_items_assigns_sequential_ids() {
+        let pts = grid(&PAPER_UNIVERSE, 3, 3);
+        let items = as_items(&pts);
+        assert_eq!(items.len(), 9);
+        assert_eq!(items[4].1, rtree_index::ItemId(4));
+        assert_eq!(items[4].0, Rect::from_point(pts[4]));
+    }
+}

@@ -1,0 +1,68 @@
+//! Query workloads.
+
+use rand::Rng;
+use rtree_geom::{Point, Rect};
+
+/// The paper's §3.5 query workload: random points for the query
+/// "Is point (x, y) contained in the database?". The paper uses 1000 of
+/// these per configuration.
+pub fn point_queries<R: Rng>(rng: &mut R, universe: &Rect, n: usize) -> Vec<Point> {
+    crate::points::uniform(rng, universe, n)
+}
+
+/// `n` square windows whose area is `selectivity × area(universe)`, with
+/// centers uniform over the universe (clipped at the boundary).
+///
+/// `selectivity = 0.01` gives windows covering 1% of the space — the knob
+/// swept by the `selectivity_sweep` experiment (EXT-6).
+pub fn window_queries<R: Rng>(
+    rng: &mut R,
+    universe: &Rect,
+    n: usize,
+    selectivity: f64,
+) -> Vec<Rect> {
+    assert!(selectivity > 0.0 && selectivity <= 1.0);
+    let side = (universe.area() * selectivity).sqrt();
+    (0..n)
+        .map(|_| {
+            let cx = rng.gen_range(universe.min_x..=universe.max_x);
+            let cy = rng.gen_range(universe.min_y..=universe.max_y);
+            Rect::new(
+                (cx - side / 2.0).max(universe.min_x),
+                (cy - side / 2.0).max(universe.min_y),
+                (cx + side / 2.0).min(universe.max_x),
+                (cy + side / 2.0).min(universe.max_y),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_UNIVERSE;
+
+    #[test]
+    fn windows_have_requested_area() {
+        let mut rng = crate::rng(8);
+        let ws = window_queries(&mut rng, &PAPER_UNIVERSE, 100, 0.01);
+        let target = PAPER_UNIVERSE.area() * 0.01;
+        for w in &ws {
+            assert!(PAPER_UNIVERSE.covers(w));
+            // Clipping can shrink boundary windows but never enlarge.
+            assert!(w.area() <= target + 1e-6);
+            assert!(w.area() > 0.0);
+        }
+        // Most interior windows hit the target exactly.
+        let exact = ws.iter().filter(|w| (w.area() - target).abs() < 1e-6).count();
+        assert!(exact > 50);
+    }
+
+    #[test]
+    fn point_queries_inside() {
+        let mut rng = crate::rng(9);
+        let ps = point_queries(&mut rng, &PAPER_UNIVERSE, 1000);
+        assert_eq!(ps.len(), 1000);
+        assert!(ps.iter().all(|&p| PAPER_UNIVERSE.contains_point(p)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Rectangle (region MBR) distributions.
+
+use rand::Rng;
+use rtree_geom::Rect;
+
+/// `n` random rectangles with centers uniform over `universe` and sides
+/// uniform in `[min_side, max_side]`, clipped to the universe.
+pub fn uniform<R: Rng>(
+    rng: &mut R,
+    universe: &Rect,
+    n: usize,
+    min_side: f64,
+    max_side: f64,
+) -> Vec<Rect> {
+    assert!(min_side >= 0.0 && min_side <= max_side);
+    (0..n)
+        .map(|_| {
+            let w = rng.gen_range(min_side..=max_side);
+            let h = rng.gen_range(min_side..=max_side);
+            let cx = rng.gen_range(universe.min_x..=universe.max_x);
+            let cy = rng.gen_range(universe.min_y..=universe.max_y);
+            Rect::new(
+                (cx - w / 2.0).max(universe.min_x),
+                (cy - h / 2.0).max(universe.min_y),
+                (cx + w / 2.0).min(universe.max_x),
+                (cy + h / 2.0).min(universe.max_y),
+            )
+        })
+        .collect()
+}
+
+/// A `cols × rows` tiling of `universe` into disjoint rectangles, each
+/// shrunk by `gap` on every side. Models region layers like states or
+/// time zones where objects tile the space.
+pub fn tiling(universe: &Rect, cols: usize, rows: usize, gap: f64) -> Vec<Rect> {
+    assert!(cols >= 1 && rows >= 1);
+    let dx = universe.width() / cols as f64;
+    let dy = universe.height() / rows as f64;
+    assert!(gap * 2.0 < dx && gap * 2.0 < dy, "gap too large for cell");
+    let mut out = Vec::with_capacity(cols * rows);
+    for i in 0..cols {
+        for j in 0..rows {
+            let x0 = universe.min_x + i as f64 * dx;
+            let y0 = universe.min_y + j as f64 * dy;
+            out.push(Rect::new(x0 + gap, y0 + gap, x0 + dx - gap, y0 + dy - gap));
+        }
+    }
+    out
+}
+
+/// Converts rectangles into indexable items.
+pub fn as_items(rects: &[Rect]) -> Vec<(Rect, rtree_index::ItemId)> {
+    rects
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, rtree_index::ItemId(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_UNIVERSE;
+
+    #[test]
+    fn uniform_rects_inside_universe() {
+        let mut rng = crate::rng(5);
+        let rs = uniform(&mut rng, &PAPER_UNIVERSE, 200, 5.0, 50.0);
+        assert_eq!(rs.len(), 200);
+        for r in &rs {
+            assert!(PAPER_UNIVERSE.covers(r), "{r}");
+            assert!(r.width() <= 50.0 + 1e-9 && r.height() <= 50.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tiling_is_disjoint_and_covers_grid() {
+        let tiles = tiling(&PAPER_UNIVERSE, 5, 4, 2.0);
+        assert_eq!(tiles.len(), 20);
+        for (i, a) in tiles.iter().enumerate() {
+            for b in &tiles[(i + 1)..] {
+                assert!(a.disjoint(b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gap too large")]
+    fn oversized_gap_rejected() {
+        tiling(&PAPER_UNIVERSE, 100, 100, 6.0);
+    }
+}

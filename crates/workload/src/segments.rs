@@ -1,0 +1,76 @@
+//! Segment (highway) generators.
+
+use rand::Rng;
+use rtree_geom::{Point, Segment};
+
+/// A polyline random walk of `hops` segments starting at `start`, with
+/// step length uniform in `[min_step, max_step]` and bounded turning —
+/// a synthetic highway (§2.1's `highways` relation stores one tuple per
+/// section).
+pub fn highway<R: Rng>(
+    rng: &mut R,
+    start: Point,
+    hops: usize,
+    min_step: f64,
+    max_step: f64,
+) -> Vec<Segment> {
+    assert!(min_step > 0.0 && min_step <= max_step);
+    let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut at = start;
+    let mut out = Vec::with_capacity(hops);
+    for _ in 0..hops {
+        heading += rng.gen_range(-0.5..0.5);
+        let step = rng.gen_range(min_step..=max_step);
+        let next = Point::new(at.x + step * heading.cos(), at.y + step * heading.sin());
+        out.push(Segment::new(at, next));
+        at = next;
+    }
+    out
+}
+
+/// `n` independent random segments with endpoints uniform in `universe`.
+pub fn uniform<R: Rng>(rng: &mut R, universe: &rtree_geom::Rect, n: usize) -> Vec<Segment> {
+    (0..n)
+        .map(|_| {
+            let a = Point::new(
+                rng.gen_range(universe.min_x..=universe.max_x),
+                rng.gen_range(universe.min_y..=universe.max_y),
+            );
+            let b = Point::new(
+                rng.gen_range(universe.min_x..=universe.max_x),
+                rng.gen_range(universe.min_y..=universe.max_y),
+            );
+            Segment::new(a, b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_UNIVERSE;
+
+    #[test]
+    fn highway_is_connected() {
+        let mut rng = crate::rng(6);
+        let hw = highway(&mut rng, Point::new(500.0, 500.0), 30, 5.0, 20.0);
+        assert_eq!(hw.len(), 30);
+        for w in hw.windows(2) {
+            assert_eq!(w[0].b, w[1].a, "polyline must be connected");
+        }
+        for s in &hw {
+            let len = s.length();
+            assert!((5.0..=20.0 + 1e-9).contains(&len));
+        }
+    }
+
+    #[test]
+    fn uniform_segments_inside() {
+        let mut rng = crate::rng(7);
+        let segs = uniform(&mut rng, &PAPER_UNIVERSE, 100);
+        assert_eq!(segs.len(), 100);
+        for s in &segs {
+            assert!(PAPER_UNIVERSE.contains_point(s.a) && PAPER_UNIVERSE.contains_point(s.b));
+        }
+    }
+}

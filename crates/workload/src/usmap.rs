@@ -1,0 +1,302 @@
+//! A synthetic US-like map: the stand-in for the paper's digitized
+//! pictures.
+//!
+//! The paper's examples run over `us-map`, `state-map`, `time-zone-map`
+//! and `lake-map` pictures with relations `cities`, `states`,
+//! `time-zones`, `lakes` and `highways` (§2.1). The original digitized
+//! pictures are not available, so this module ships a hand-written
+//! synthetic equivalent: ~40 named cities at roughly plausible positions,
+//! states as rectangular regions, four vertical time-zone bands, a few
+//! lakes, and highway polylines. Coordinates live in a 100 × 50 frame
+//! (x grows eastward, y northward).
+//!
+//! The *content* is illustrative; what matters is that it exercises the
+//! same code paths: points, regions and segments intermixed, multiple
+//! pictures over one geographic frame, and spatially meaningful queries
+//! ("cities in the Eastern US with population over 450,000", Figure 2.1).
+
+use rtree_geom::{Point, Rect, Region, Segment};
+
+/// The map frame shared by all pictures.
+pub const FRAME: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 100.0,
+    max_y: 50.0,
+};
+
+/// The Eastern-US window of the paper's Figure 2.1 query, translated to
+/// this frame: roughly the right third of the map.
+pub const EASTERN_WINDOW: Rect = Rect {
+    min_x: 65.0,
+    min_y: 5.0,
+    max_x: 100.0,
+    max_y: 45.0,
+};
+
+/// A named city: a point object with alphanumeric attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct City {
+    /// City name.
+    pub name: &'static str,
+    /// Two-letter state code.
+    pub state: &'static str,
+    /// Synthetic population count.
+    pub population: i64,
+    /// Location on the map.
+    pub location: Point,
+}
+
+/// A named rectangular region (state, time zone, or lake).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedRegion {
+    /// Region name.
+    pub name: &'static str,
+    /// Region extent.
+    pub region: Region,
+}
+
+/// A highway section: one tuple of the `highways` relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HighwaySection {
+    /// Highway name, e.g. `I-90`.
+    pub highway: &'static str,
+    /// Section number along the highway.
+    pub section: u32,
+    /// The segment geometry.
+    pub segment: Segment,
+}
+
+/// The synthetic `cities` relation (Figure 3.1 / 3.8a).
+pub fn cities() -> Vec<City> {
+    const C: &[(&str, &str, i64, f64, f64)] = &[
+        ("Seattle", "WA", 3_400_000, 8.0, 46.0),
+        ("Portland", "OR", 2_100_000, 7.0, 41.5),
+        ("San Francisco", "CA", 4_600_000, 3.0, 30.0),
+        ("Los Angeles", "CA", 12_400_000, 8.0, 22.5),
+        ("San Diego", "CA", 3_200_000, 9.5, 20.0),
+        ("Las Vegas", "NV", 2_200_000, 14.0, 25.0),
+        ("Phoenix", "AZ", 4_700_000, 17.0, 19.0),
+        ("Salt Lake City", "UT", 1_200_000, 19.0, 31.5),
+        ("Denver", "CO", 2_900_000, 28.0, 29.5),
+        ("Albuquerque", "NM", 900_000, 25.0, 21.0),
+        ("El Paso", "TX", 850_000, 27.0, 15.0),
+        ("Dallas", "TX", 7_400_000, 40.0, 16.5),
+        ("Houston", "TX", 6_900_000, 42.5, 12.0),
+        ("San Antonio", "TX", 2_500_000, 39.0, 11.5),
+        ("Oklahoma City", "OK", 1_400_000, 39.5, 21.0),
+        ("Kansas City", "MO", 2_100_000, 43.0, 27.0),
+        ("Omaha", "NE", 950_000, 41.0, 31.0),
+        ("Minneapolis", "MN", 3_600_000, 45.0, 38.5),
+        ("Chicago", "IL", 9_400_000, 53.0, 32.5),
+        ("St Louis", "MO", 2_800_000, 48.0, 26.5),
+        ("Memphis", "TN", 1_300_000, 51.0, 19.0),
+        ("New Orleans", "LA", 1_200_000, 50.5, 9.5),
+        ("Nashville", "TN", 2_000_000, 56.0, 21.5),
+        ("Indianapolis", "IN", 2_100_000, 57.5, 28.0),
+        ("Detroit", "MI", 4_300_000, 61.0, 34.5),
+        ("Columbus", "OH", 2_100_000, 62.5, 29.0),
+        ("Cincinnati", "OH", 2_200_000, 60.0, 26.5),
+        ("Atlanta", "GA", 6_100_000, 63.0, 16.0),
+        ("Jacksonville", "FL", 1_600_000, 68.0, 10.0),
+        ("Miami", "FL", 6_100_000, 72.0, 2.5),
+        ("Tampa", "FL", 3_200_000, 67.0, 6.0),
+        ("Charlotte", "NC", 2_700_000, 68.0, 19.0),
+        ("Raleigh", "NC", 1_400_000, 71.5, 20.5),
+        ("Richmond", "VA", 1_300_000, 73.5, 24.5),
+        ("Washington", "DC", 6_300_000, 74.5, 26.5),
+        ("Baltimore", "MD", 2_800_000, 75.5, 27.5),
+        ("Philadelphia", "PA", 6_200_000, 77.5, 29.0),
+        ("Pittsburgh", "PA", 2_300_000, 67.5, 28.5),
+        ("New York", "NY", 19_600_000, 80.0, 31.0),
+        ("Boston", "MA", 4_900_000, 84.0, 34.5),
+        ("Buffalo", "NY", 1_100_000, 70.5, 34.0),
+        ("Cleveland", "OH", 2_000_000, 63.5, 31.5),
+    ];
+    C.iter()
+        .map(|&(name, state, population, x, y)| City {
+            name,
+            state,
+            population,
+            location: Point::new(x, y),
+        })
+        .collect()
+}
+
+/// The synthetic `states` relation: a coarse rectangular carving of the
+/// frame (Figure 3.2's region layer).
+pub fn states() -> Vec<NamedRegion> {
+    const S: &[(&str, f64, f64, f64, f64)] = &[
+        ("Washington", 0.0, 42.0, 13.0, 50.0),
+        ("Oregon", 0.0, 36.0, 13.0, 42.0),
+        ("California", 0.0, 18.0, 12.0, 36.0),
+        ("Nevada-Utah", 12.0, 22.0, 22.0, 36.0),
+        ("Arizona-NM", 12.0, 12.0, 28.0, 22.0),
+        ("Mountain", 22.0, 22.0, 34.0, 40.0),
+        ("Texas", 28.0, 5.0, 46.0, 22.0),
+        ("Plains", 34.0, 22.0, 46.0, 40.0),
+        ("Upper Midwest", 46.0, 30.0, 60.0, 46.0),
+        ("Mid South", 46.0, 14.0, 60.0, 30.0),
+        ("Gulf", 46.0, 4.0, 60.0, 14.0),
+        ("Great Lakes", 60.0, 26.0, 72.0, 40.0),
+        ("Southeast", 60.0, 10.0, 72.0, 26.0),
+        ("Florida", 64.0, 0.0, 74.0, 10.0),
+        ("Mid Atlantic", 72.0, 18.0, 82.0, 32.0),
+        ("New England", 78.0, 30.0, 92.0, 42.0),
+    ];
+    S.iter()
+        .map(|&(name, x0, y0, x1, y1)| NamedRegion {
+            name,
+            region: Region::rectangle(Rect::new(x0, y0, x1, y1)),
+        })
+        .collect()
+}
+
+/// The synthetic `time-zones` relation: four vertical bands with their
+/// UTC offsets (Figure 2.2b's layer). Returned as `(name, hour_diff,
+/// region)` tuples.
+pub fn time_zones() -> Vec<(&'static str, i64, Region)> {
+    vec![
+        ("Pacific", -8, Region::rectangle(Rect::new(0.0, 0.0, 20.0, 50.0))),
+        ("Mountain", -7, Region::rectangle(Rect::new(20.0, 0.0, 42.0, 50.0))),
+        ("Central", -6, Region::rectangle(Rect::new(42.0, 0.0, 62.0, 50.0))),
+        ("Eastern", -5, Region::rectangle(Rect::new(62.0, 0.0, 100.0, 50.0))),
+    ]
+}
+
+/// The synthetic `lakes` relation: `(name, area, volume, region)`.
+pub fn lakes() -> Vec<(&'static str, f64, f64, Region)> {
+    vec![
+        ("Superior", 16.0, 290.0, Region::rectangle(Rect::new(50.0, 40.0, 58.0, 43.0))),
+        ("Michigan", 10.0, 118.0, Region::rectangle(Rect::new(55.0, 33.0, 58.0, 39.5))),
+        ("Erie", 5.0, 12.0, Region::rectangle(Rect::new(62.0, 31.0, 68.0, 33.5))),
+        ("Ontario", 4.0, 39.0, Region::rectangle(Rect::new(70.0, 34.0, 74.0, 36.0))),
+        ("Great Salt", 2.0, 0.4, Region::rectangle(Rect::new(17.5, 31.0, 19.5, 33.0))),
+        ("Okeechobee", 1.5, 0.1, Region::rectangle(Rect::new(70.0, 3.5, 72.0, 5.0))),
+    ]
+}
+
+/// The synthetic `highways` relation: transcontinental polylines broken
+/// into sections.
+pub fn highways() -> Vec<HighwaySection> {
+    fn route(name: &'static str, waypoints: &[(f64, f64)]) -> Vec<HighwaySection> {
+        waypoints
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| HighwaySection {
+                highway: name,
+                section: i as u32 + 1,
+                segment: Segment::new(
+                    Point::new(w[0].0, w[0].1),
+                    Point::new(w[1].0, w[1].1),
+                ),
+            })
+            .collect()
+    }
+    let mut out = Vec::new();
+    // I-90: Seattle → Chicago → Boston.
+    out.extend(route(
+        "I-90",
+        &[(8.0, 46.0), (19.0, 40.0), (32.0, 38.0), (45.0, 38.5), (53.0, 32.5), (61.0, 34.5), (70.5, 34.0), (84.0, 34.5)],
+    ));
+    // I-10: Los Angeles → Phoenix → Houston → Jacksonville.
+    out.extend(route(
+        "I-10",
+        &[(8.0, 22.5), (17.0, 19.0), (27.0, 15.0), (39.0, 11.5), (42.5, 12.0), (50.5, 9.5), (62.0, 12.0), (68.0, 10.0)],
+    ));
+    // I-95: Miami → Washington → New York → Boston.
+    out.extend(route(
+        "I-95",
+        &[(72.0, 2.5), (68.0, 10.0), (71.5, 20.5), (74.5, 26.5), (77.5, 29.0), (80.0, 31.0), (84.0, 34.5)],
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cities_inside_frame() {
+        for c in cities() {
+            assert!(FRAME.contains_point(c.location), "{} outside frame", c.name);
+            assert!(c.population > 0);
+        }
+    }
+
+    #[test]
+    fn city_names_unique() {
+        let cs = cities();
+        let mut names: Vec<&str> = cs.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn eastern_window_selects_east_coast() {
+        let eastern: Vec<&'static str> = cities()
+            .into_iter()
+            .filter(|c| EASTERN_WINDOW.contains_point(c.location))
+            .map(|c| c.name)
+            .collect();
+        assert!(eastern.contains(&"New York"));
+        assert!(eastern.contains(&"Boston"));
+        assert!(eastern.contains(&"Washington"));
+        assert!(!eastern.contains(&"Los Angeles"));
+        assert!(!eastern.contains(&"Chicago"));
+    }
+
+    #[test]
+    fn time_zones_tile_the_frame() {
+        let zones = time_zones();
+        let total: f64 = zones.iter().map(|(_, _, r)| r.area()).sum();
+        assert_eq!(total, FRAME.area());
+        // Every city is in exactly one zone.
+        for c in cities() {
+            let n = zones
+                .iter()
+                .filter(|(_, _, r)| r.contains_point(c.location))
+                .count();
+            assert!(n >= 1, "{} in no zone", c.name);
+        }
+    }
+
+    #[test]
+    fn states_inside_frame_and_cities_mostly_covered() {
+        let ss = states();
+        for s in &ss {
+            assert!(FRAME.covers(&s.region.mbr()), "{}", s.name);
+        }
+        let covered = cities()
+            .iter()
+            .filter(|c| ss.iter().any(|s| s.region.contains_point(c.location)))
+            .count();
+        assert!(covered as f64 >= cities().len() as f64 * 0.9);
+    }
+
+    #[test]
+    fn highways_are_connected_polylines() {
+        let hs = highways();
+        assert!(!hs.is_empty());
+        for name in ["I-90", "I-10", "I-95"] {
+            let sections: Vec<&HighwaySection> =
+                hs.iter().filter(|h| h.highway == name).collect();
+            assert!(sections.len() >= 5, "{name}");
+            for w in sections.windows(2) {
+                assert_eq!(w[0].segment.b, w[1].segment.a, "{name} disconnected");
+                assert_eq!(w[0].section + 1, w[1].section);
+            }
+        }
+    }
+
+    #[test]
+    fn lakes_have_positive_area() {
+        for (name, area, volume, region) in lakes() {
+            assert!(area > 0.0 && volume > 0.0, "{name}");
+            assert!(region.area() > 0.0);
+            assert!(FRAME.covers(&region.mbr()));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's Figure 2.1: direct spatial search in PSQL with dual
+//! alphanumeric + pictorial output.
+//!
+//! "Find all the cities in a given area" — the area entered by
+//! coordinates (here the Eastern US window), filtered by population,
+//! with the qualifying cities displayed both as a table and highlighted
+//! on the map.
+//!
+//! Run with: `cargo run --example psql_cities`
+
+use packed_rtree::psql::database::PictorialDatabase;
+use packed_rtree::psql::exec::query;
+use packed_rtree::psql::render::render;
+
+fn main() {
+    let db = PictorialDatabase::with_us_map();
+
+    let text = "select city, state, population, loc \
+                from cities \
+                on us-map \
+                at loc covered-by {82.5 +- 17.5, 25 +- 20} \
+                where population > 450000";
+    println!("PSQL> {text}\n");
+
+    let result = query(&db, text).expect("valid query");
+
+    // Channel 1: the "standard terminal" (Figure 2.1a).
+    println!("{result}");
+
+    // Channel 2: the "graphics monitor" (Figure 2.1b) — qualifying
+    // cities highlighted with their names on the picture.
+    let map = render(
+        db.picture("us-map").expect("picture exists"),
+        &result.highlights,
+        110,
+        28,
+    );
+    println!("{map}");
+
+    // A second query showing a pictorial function: big lakes by area.
+    let text2 = "select lake, area(loc), volume from lakes where area(loc) >= 4";
+    println!("PSQL> {text2}\n");
+    let result2 = query(&db, text2).expect("valid query");
+    println!("{result2}");
+}

@@ -1,0 +1,74 @@
+//! Quick start: bulk-load an R-tree with PACK, search it, and compare
+//! against Guttman's dynamic INSERT.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use packed_rtree::geom::{Point, Rect};
+use packed_rtree::index::{ItemId, RTree, RTreeConfig, SearchStats, SplitPolicy};
+use packed_rtree::pack::pack;
+use packed_rtree::workload::{points, queries, rng, PAPER_UNIVERSE};
+
+fn main() {
+    // The paper's workload: uniformly random points in [0, 1000]^2.
+    let mut rng = rng(1985);
+    let pts = points::uniform(&mut rng, &PAPER_UNIVERSE, 900);
+    let items = points::as_items(&pts);
+
+    // Bulk-load with the paper's PACK algorithm (nearest-neighbour
+    // grouping over ascending-x order)...
+    let packed = pack(items.clone(), RTreeConfig::PAPER);
+
+    // ...and build the same data dynamically with Guttman INSERT.
+    let mut dynamic = RTree::new(RTreeConfig::PAPER.with_split(SplitPolicy::Linear));
+    for (mbr, id) in items {
+        dynamic.insert(mbr, id);
+    }
+
+    println!("== structure (Table 1's C, O, D, N) ==");
+    for (name, tree) in [("PACK", &packed), ("INSERT", &dynamic)] {
+        let m = tree.metrics();
+        println!(
+            "{name:7} coverage={:9.0}  overlap={:8.0}  depth={}  nodes={}",
+            m.coverage, m.overlap, m.depth, m.nodes
+        );
+    }
+
+    // The paper's query: "Is point (x, y) contained in the database?"
+    let query_points = queries::point_queries(&mut rng, &PAPER_UNIVERSE, 1000);
+    let mut packed_stats = SearchStats::default();
+    let mut dynamic_stats = SearchStats::default();
+    for &q in &query_points {
+        packed.point_query(q, &mut packed_stats);
+        dynamic.point_query(q, &mut dynamic_stats);
+    }
+    println!("\n== search cost (Table 1's A, 1000 random point queries) ==");
+    println!("PACK    A = {:.3} nodes/query", packed_stats.avg_nodes_visited());
+    println!("INSERT  A = {:.3} nodes/query", dynamic_stats.avg_nodes_visited());
+
+    // Window search: everything within a 100x100 window.
+    let window = Rect::new(450.0, 450.0, 550.0, 550.0);
+    let mut stats = SearchStats::default();
+    let hits = packed.search_within(&window, &mut stats);
+    println!(
+        "\nwindow {window}: {} points found visiting {} of {} nodes",
+        hits.len(),
+        stats.nodes_visited,
+        packed.node_count()
+    );
+
+    // Nearest-neighbour search (the 1995 follow-up, cheap on packed trees).
+    let q = Point::new(500.0, 500.0);
+    let mut nn_stats = SearchStats::default();
+    let neighbors = packed.nearest_neighbors(q, 5, &mut nn_stats);
+    println!("\n5 nearest to {q}:");
+    for n in neighbors {
+        println!("  {} at distance {:.2}", n.item, n.distance_sq.sqrt());
+    }
+
+    // Packed trees remain ordinary R-trees: dynamic updates still work.
+    let mut tree = packed;
+    tree.insert(Rect::from_point(q), ItemId(10_000));
+    assert!(tree.remove(Rect::from_point(q), ItemId(10_000)));
+    println!("\ninsert + delete on the packed tree: ok (tree still valid)");
+    tree.validate_with(false).expect("valid after updates");
+}

@@ -1,0 +1,65 @@
+//! §3.4's update problem: a PACKed tree degrades gracefully under
+//! Guttman INSERT/DELETE and recovers after re-packing — the paper's
+//! proposed "dynamic invocation of the PACK algorithm".
+//!
+//! Run with: `cargo run --example update_lifecycle`
+
+use packed_rtree::index::{RTreeConfig, SearchStats};
+use packed_rtree::pack::{AutoRepack, PackStrategy};
+use packed_rtree::workload::{points, queries, rng, PAPER_UNIVERSE};
+
+fn main() {
+    let mut rng = rng(42);
+    let pts = points::uniform(&mut rng, &PAPER_UNIVERSE, 600);
+    let items = points::as_items(&pts);
+    let query_points = queries::point_queries(&mut rng, &PAPER_UNIVERSE, 500);
+
+    // Auto-repacking tree: reorganize after churn worth 30% of the data.
+    let mut tree = AutoRepack::new(items.clone(), RTreeConfig::PAPER, 0.30)
+        .with_strategy(PackStrategy::NearestNeighbor);
+
+    let cost = |t: &AutoRepack| {
+        let mut stats = SearchStats::default();
+        for &q in &query_points {
+            t.point_query(q, &mut stats);
+        }
+        stats.avg_nodes_visited()
+    };
+
+    println!("freshly packed:       A = {:.2} nodes/query", cost(&tree));
+
+    // Churn: repeatedly delete the oldest tenth and insert fresh points.
+    let mut next_id = 10_000u64;
+    let mut live = items;
+    for round in 1..=6 {
+        // Delete 60 old points.
+        for (mbr, id) in live.drain(..60) {
+            assert!(tree.remove(mbr, id));
+        }
+        // Insert 60 new ones.
+        let fresh = points::uniform(&mut rng, &PAPER_UNIVERSE, 60);
+        for p in fresh {
+            let mbr = packed_rtree::geom::Rect::from_point(p);
+            let id = packed_rtree::index::ItemId(next_id);
+            next_id += 1;
+            tree.insert(mbr, id);
+            live.push((mbr, id));
+        }
+        println!(
+            "after churn round {round}: A = {:.2} nodes/query  (repacks so far: {})",
+            cost(&tree),
+            tree.repacks()
+        );
+    }
+
+    // Force a final reorganization and compare.
+    tree.force_repack();
+    println!("after final repack:   A = {:.2} nodes/query", cost(&tree));
+    tree.tree().validate_with(false).expect("valid tree");
+    println!(
+        "\ntree: {} items, {} nodes, depth {}",
+        tree.tree().len(),
+        tree.tree().node_count(),
+        tree.tree().depth()
+    );
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration: workload generators → packing algorithms →
+//! searches → disk images, checked against brute force.
+
+use packed_rtree::geom::{Point, Rect};
+use packed_rtree::index::{ItemId, RTreeConfig, SearchStats, SplitPolicy};
+use packed_rtree::pack::{pack_with, PackStrategy};
+use packed_rtree::storage::{BufferPool, DiskRTree, Pager};
+use packed_rtree::workload::{points, queries, rng, PAPER_UNIVERSE};
+
+fn brute_force_within(items: &[(Rect, ItemId)], w: &Rect) -> Vec<ItemId> {
+    let mut out: Vec<ItemId> = items
+        .iter()
+        .filter(|(r, _)| r.covered_by(w))
+        .map(|&(_, id)| id)
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn every_strategy_matches_brute_force_on_every_distribution() {
+    let mut r = rng(11);
+    let distributions: Vec<(&str, Vec<Point>)> = vec![
+        ("uniform", points::uniform(&mut r, &PAPER_UNIVERSE, 400)),
+        ("clustered", points::clustered(&mut r, &PAPER_UNIVERSE, 400, 6, 30.0)),
+        ("grid", points::grid(&PAPER_UNIVERSE, 20, 20)),
+        ("skewed", points::skewed(&mut r, &PAPER_UNIVERSE, 400, 2.5)),
+        ("diagonal", points::diagonal(&mut r, &PAPER_UNIVERSE, 400, 40.0)),
+    ];
+    let windows = queries::window_queries(&mut r, &PAPER_UNIVERSE, 25, 0.02);
+
+    for (dist_name, pts) in distributions {
+        let items = points::as_items(&pts);
+        for strategy in PackStrategy::ALL {
+            let tree = pack_with(items.clone(), RTreeConfig::PAPER, strategy);
+            tree.validate_with(false)
+                .unwrap_or_else(|e| panic!("{dist_name}/{strategy:?}: {e}"));
+            let mut stats = SearchStats::default();
+            for w in &windows {
+                let mut got = tree.search_within(w, &mut stats);
+                got.sort();
+                assert_eq!(
+                    got,
+                    brute_force_within(&items, w),
+                    "{dist_name}/{strategy:?} window {w}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pack_insert_delete_roundtrip_preserves_search() {
+    // Pack half the data, insert the other half dynamically, delete a
+    // quarter — results must match brute force over the survivors.
+    let mut r = rng(13);
+    let pts = points::uniform(&mut r, &PAPER_UNIVERSE, 600);
+    let items = points::as_items(&pts);
+    let (packed_half, dynamic_half) = items.split_at(300);
+
+    let mut tree = pack_with(packed_half.to_vec(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor);
+    for &(mbr, id) in dynamic_half {
+        tree.insert(mbr, id);
+    }
+    // Delete every 4th item.
+    let mut survivors = Vec::new();
+    for (i, &(mbr, id)) in items.iter().enumerate() {
+        if i % 4 == 0 {
+            assert!(tree.remove(mbr, id), "lost {id}");
+        } else {
+            survivors.push((mbr, id));
+        }
+    }
+    tree.validate_with(false).unwrap();
+    assert_eq!(tree.len(), survivors.len());
+
+    let windows = queries::window_queries(&mut r, &PAPER_UNIVERSE, 30, 0.03);
+    let mut stats = SearchStats::default();
+    for w in &windows {
+        let mut got = tree.search_within(w, &mut stats);
+        got.sort();
+        assert_eq!(got, brute_force_within(&survivors, w), "window {w}");
+    }
+}
+
+#[test]
+fn disk_image_agrees_with_memory_for_all_strategies() {
+    let mut r = rng(17);
+    let pts = points::uniform(&mut r, &PAPER_UNIVERSE, 800);
+    let items = points::as_items(&pts);
+    let windows = queries::window_queries(&mut r, &PAPER_UNIVERSE, 20, 0.01);
+
+    for strategy in [PackStrategy::NearestNeighbor, PackStrategy::SortTileRecursive] {
+        let tree = pack_with(items.clone(), RTreeConfig::with_branching(32), strategy);
+        let pager = Pager::temp().unwrap();
+        let disk = DiskRTree::store(&tree, &pager).unwrap();
+        let pool = BufferPool::new(&pager, 16);
+        let mut mem_stats = SearchStats::default();
+        let mut disk_stats = SearchStats::default();
+        for w in &windows {
+            let mut mem = tree.search_within(w, &mut mem_stats);
+            let mut dsk = disk.search_within(&pool, w, &mut disk_stats).unwrap();
+            mem.sort();
+            dsk.sort();
+            assert_eq!(mem, dsk, "{strategy:?} window {w}");
+        }
+        assert_eq!(mem_stats.nodes_visited, disk_stats.nodes_visited);
+    }
+}
+
+#[test]
+fn insert_policies_and_pack_agree_on_results() {
+    // Different builds of the same data must return identical result
+    // sets for identical queries (performance differs, answers don't).
+    let mut r = rng(19);
+    let pts = points::uniform(&mut r, &PAPER_UNIVERSE, 500);
+    let items = points::as_items(&pts);
+    let windows = queries::window_queries(&mut r, &PAPER_UNIVERSE, 20, 0.02);
+
+    let mut trees = Vec::new();
+    trees.push(pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor));
+    for split in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+        let mut t = packed_rtree::index::RTree::new(RTreeConfig::PAPER.with_split(split));
+        for &(mbr, id) in &items {
+            t.insert(mbr, id);
+        }
+        trees.push(t);
+    }
+    let mut stats = SearchStats::default();
+    for w in &windows {
+        let mut reference: Option<Vec<ItemId>> = None;
+        for t in &trees {
+            let mut got = t.search_within(w, &mut stats);
+            got.sort();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(&got, r, "window {w}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_is_consistent_across_builds() {
+    let mut r = rng(23);
+    let pts = points::uniform(&mut r, &PAPER_UNIVERSE, 400);
+    let items = points::as_items(&pts);
+    let packed = pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::Hilbert);
+    let mut dynamic = packed_rtree::index::RTree::new(RTreeConfig::PAPER);
+    for &(mbr, id) in &items {
+        dynamic.insert(mbr, id);
+    }
+    let mut stats = SearchStats::default();
+    for &q in points::uniform(&mut r, &PAPER_UNIVERSE, 50).iter() {
+        let a = packed.nearest_neighbors(q, 5, &mut stats);
+        let b = dynamic.nearest_neighbors(q, 5, &mut stats);
+        let da: Vec<f64> = a.iter().map(|n| n.distance_sq).collect();
+        let db: Vec<f64> = b.iter().map(|n| n.distance_sq).collect();
+        assert_eq!(da, db, "query {q}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Workspace-level property-based tests: randomized operation sequences
+//! against brute-force models, spanning packing, dynamic updates, search
+//! and the theorems.
+
+use packed_rtree::geom::{Point, Rect};
+use packed_rtree::index::{ItemId, RTree, RTreeConfig, SearchStats, SplitPolicy};
+use packed_rtree::pack::zero_overlap::zero_overlap_partition;
+use packed_rtree::pack::{pack_with, PackStrategy};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_items(max: usize) -> impl Strategy<Value = Vec<(Rect, ItemId)>> {
+    prop::collection::vec(arb_point(), 0..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, p)| (Rect::from_point(p), ItemId(i as u64)))
+            .collect()
+    })
+}
+
+fn arb_window() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+fn arb_config() -> impl Strategy<Value = RTreeConfig> {
+    (2usize..12, prop::sample::select(vec![SplitPolicy::Linear, SplitPolicy::Quadratic]))
+        .prop_map(|(m, split)| RTreeConfig::new(m.max(2), (m / 2).max(1), split))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packing any point set with any strategy yields a valid tree
+    /// containing exactly the input items.
+    #[test]
+    fn packing_preserves_contents(items in arb_items(300)) {
+        for strategy in PackStrategy::ALL {
+            let tree = pack_with(items.clone(), RTreeConfig::PAPER, strategy);
+            prop_assert!(tree.validate_with(false).is_ok());
+            let mut got: Vec<ItemId> = tree.items().into_iter().map(|(_, id)| id).collect();
+            got.sort();
+            let mut expect: Vec<ItemId> = items.iter().map(|&(_, id)| id).collect();
+            expect.sort();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Window search on a packed tree equals brute force.
+    #[test]
+    fn packed_search_equals_brute_force(
+        items in arb_items(200),
+        window in arb_window(),
+    ) {
+        let tree = pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor);
+        let mut stats = SearchStats::default();
+        let mut got = tree.search_within(&window, &mut stats);
+        got.sort();
+        let mut expect: Vec<ItemId> = items
+            .iter()
+            .filter(|(r, _)| r.covered_by(&window))
+            .map(|&(_, id)| id)
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Dynamic insert/remove sequences keep the tree valid and searches
+    /// correct, at any branching factor and split policy.
+    #[test]
+    fn dynamic_ops_match_model(
+        config in arb_config(),
+        items in arb_items(150),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..50),
+        window in arb_window(),
+    ) {
+        let mut tree = RTree::new(config);
+        let mut model: Vec<(Rect, ItemId)> = Vec::new();
+        for &(mbr, id) in &items {
+            tree.insert(mbr, id);
+            model.push((mbr, id));
+        }
+        for idx in removals {
+            if model.is_empty() {
+                break;
+            }
+            let k = idx.index(model.len());
+            let (mbr, id) = model.swap_remove(k);
+            prop_assert!(tree.remove(mbr, id));
+        }
+        prop_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        prop_assert_eq!(tree.len(), model.len());
+
+        let mut stats = SearchStats::default();
+        let mut got = tree.search_intersecting(&window, &mut stats);
+        got.sort();
+        let mut expect: Vec<ItemId> = model
+            .iter()
+            .filter(|(r, _)| r.intersects(&window))
+            .map(|&(_, id)| id)
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// kNN on a packed tree returns exactly the k smallest distances.
+    #[test]
+    fn knn_matches_brute_force(
+        items in arb_items(150),
+        q in arb_point(),
+        k in 1usize..20,
+    ) {
+        let tree = pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::SortTileRecursive);
+        let mut stats = SearchStats::default();
+        let got = tree.nearest_neighbors(q, k, &mut stats);
+        let mut brute: Vec<f64> = items.iter().map(|(r, _)| r.min_distance_sq(q)).collect();
+        brute.sort_by(f64::total_cmp);
+        let expect: Vec<f64> = brute.into_iter().take(k).collect();
+        let got_d: Vec<f64> = got.iter().map(|n| n.distance_sq).collect();
+        prop_assert_eq!(got_d, expect);
+    }
+
+    /// Theorem 3.2 holds for arbitrary distinct point sets and group
+    /// sizes.
+    #[test]
+    fn zero_overlap_theorem(
+        pts in prop::collection::vec(arb_point(), 1..80),
+        group in 2usize..8,
+    ) {
+        let mut dedup = pts;
+        dedup.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+        dedup.dedup();
+        let witness = zero_overlap_partition(&dedup, group).expect("distinct points");
+        prop_assert!(witness.is_disjoint());
+        prop_assert_eq!(witness.groups.len(), dedup.len().div_ceil(group));
+    }
+
+    /// A packed tree never has more nodes than the dynamically built
+    /// tree over the same data (full occupancy ⇒ minimal node count).
+    #[test]
+    fn pack_node_count_is_minimal(items in arb_items(250)) {
+        prop_assume!(items.len() >= 8);
+        let packed = pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor);
+        let mut dynamic = RTree::new(RTreeConfig::PAPER);
+        for &(mbr, id) in &items {
+            dynamic.insert(mbr, id);
+        }
+        prop_assert!(packed.node_count() <= dynamic.node_count());
+    }
+}

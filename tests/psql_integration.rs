@@ -1,0 +1,206 @@
+//! End-to-end PSQL over a database built from scratch through the public
+//! API (no `with_us_map` shortcut): pictures, relations, associations,
+//! packed indexes, queries, updates.
+
+use packed_rtree::geom::{Point, Rect, Region, SpatialObject};
+use packed_rtree::index::RTreeConfig;
+use packed_rtree::psql::database::PictorialDatabase;
+use packed_rtree::psql::exec::query;
+use packed_rtree::relational::{Column, ColumnType, Schema, Value};
+
+/// A little industrial-plant floor plan: machines (points), safety zones
+/// (regions), conveyors (segments) — showing the system is not tied to
+/// maps.
+fn build_factory() -> PictorialDatabase {
+    let mut db = PictorialDatabase::new(RTreeConfig::PAPER);
+    let frame = Rect::new(0.0, 0.0, 60.0, 40.0);
+    db.create_picture("floor-plan", frame).unwrap();
+
+    db.catalog_mut()
+        .create_relation(
+            "machines",
+            Schema::new(vec![
+                Column::new("name", ColumnType::Str),
+                Column::new("power-kw", ColumnType::Float),
+                Column::new("loc", ColumnType::Pointer),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+    db.associate("machines", "loc", "floor-plan").unwrap();
+
+    db.catalog_mut()
+        .create_relation(
+            "zones",
+            Schema::new(vec![
+                Column::new("zone", ColumnType::Str),
+                Column::new("hazard-level", ColumnType::Int),
+                Column::new("loc", ColumnType::Pointer),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+    db.associate("zones", "loc", "floor-plan").unwrap();
+
+    let machines = [
+        ("press-1", 75.0, 5.0, 5.0),
+        ("press-2", 80.0, 8.0, 6.0),
+        ("lathe-1", 12.0, 25.0, 20.0),
+        ("lathe-2", 11.5, 28.0, 22.0),
+        ("oven-1", 200.0, 50.0, 35.0),
+        ("robot-1", 30.0, 52.0, 33.0),
+        ("packer-1", 8.0, 55.0, 8.0),
+    ];
+    for (name, kw, x, y) in machines {
+        let obj = db
+            .add_object("floor-plan", SpatialObject::Point(Point::new(x, y)), name)
+            .unwrap();
+        db.insert(
+            "machines",
+            vec![name.into(), kw.into(), Value::Pointer(obj)],
+        )
+        .unwrap();
+    }
+    let zones = [
+        ("press-area", 3i64, Rect::new(0.0, 0.0, 12.0, 12.0)),
+        ("machining", 2, Rect::new(20.0, 15.0, 35.0, 28.0)),
+        ("hot-zone", 5, Rect::new(45.0, 28.0, 60.0, 40.0)),
+        ("shipping", 1, Rect::new(45.0, 0.0, 60.0, 14.0)),
+    ];
+    for (name, hazard, rect) in zones {
+        let obj = db
+            .add_object(
+                "floor-plan",
+                SpatialObject::Region(Region::rectangle(rect)),
+                name,
+            )
+            .unwrap();
+        db.insert("zones", vec![name.into(), hazard.into(), Value::Pointer(obj)]).unwrap();
+    }
+    db.catalog_mut().create_index("machines", "power-kw").unwrap();
+    db.pack_all();
+    db
+}
+
+#[test]
+fn window_search_on_custom_database() {
+    let db = build_factory();
+    let result = query(
+        &db,
+        "select name, power-kw from machines on floor-plan \
+         at loc covered-by {26.5 +- 8.5, 21 +- 8}",
+    )
+    .unwrap();
+    let mut names: Vec<String> = result.column("name").unwrap().iter().map(|v| v.to_string()).collect();
+    names.sort();
+    assert_eq!(names, vec!["lathe-1", "lathe-2"]);
+}
+
+#[test]
+fn juxtaposition_machines_in_zones() {
+    let db = build_factory();
+    let result = query(
+        &db,
+        "select name, zone, hazard-level from machines, zones \
+         at machines.loc covered-by zones.loc \
+         where hazard-level >= 3",
+    )
+    .unwrap();
+    let mut pairs: Vec<(String, String)> = result
+        .rows
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].to_string()))
+        .collect();
+    pairs.sort();
+    assert_eq!(
+        pairs,
+        vec![
+            ("oven-1".to_string(), "hot-zone".to_string()),
+            ("press-1".to_string(), "press-area".to_string()),
+            ("press-2".to_string(), "press-area".to_string()),
+            ("robot-1".to_string(), "hot-zone".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn alphanumeric_index_drives_access() {
+    let db = build_factory();
+    let result = query(&db, "select name from machines where power-kw >= 50").unwrap();
+    let mut names: Vec<String> = result.column("name").unwrap().iter().map(|v| v.to_string()).collect();
+    names.sort();
+    assert_eq!(names, vec!["oven-1", "press-1", "press-2"]);
+}
+
+#[test]
+fn updates_are_visible_to_subsequent_queries() {
+    let mut db = build_factory();
+    // A new machine appears in the machining zone.
+    let obj = db
+        .add_object(
+            "floor-plan",
+            SpatialObject::Point(Point::new(30.0, 25.0)),
+            "mill-1",
+        )
+        .unwrap();
+    db.insert("machines", vec!["mill-1".into(), 45.0.into(), Value::Pointer(obj)]).unwrap();
+
+    let result = query(
+        &db,
+        "select name from machines, zones at machines.loc covered-by zones.loc \
+         where zone = 'machining'",
+    )
+    .unwrap();
+    let mut names: Vec<String> = result.column("name").unwrap().iter().map(|v| v.to_string()).collect();
+    names.sort();
+    assert_eq!(names, vec!["lathe-1", "lathe-2", "mill-1"]);
+
+    // Delete a machine; it must disappear from spatial results.
+    let tid = db
+        .catalog()
+        .relation("machines")
+        .unwrap()
+        .scan()
+        .find(|(_, t)| t[0] == Value::str("lathe-1"))
+        .map(|(tid, _)| tid)
+        .unwrap();
+    db.delete("machines", tid).unwrap();
+    let result2 = query(
+        &db,
+        "select name from machines on floor-plan at loc covered-by {26.5 +- 8.5, 21 +- 8}",
+    )
+    .unwrap();
+    let mut names2: Vec<String> =
+        result2.column("name").unwrap().iter().map(|v| v.to_string()).collect();
+    names2.sort();
+    // mill-1 (inserted above at (30, 25)) is inside this window too.
+    assert_eq!(names2, vec!["lathe-2", "mill-1"]);
+}
+
+#[test]
+fn pictorial_functions_on_custom_objects() {
+    let db = build_factory();
+    let result = query(
+        &db,
+        "select zone, area(loc) from zones where area(loc) > 150",
+    )
+    .unwrap();
+    let mut got: Vec<(String, String)> = result
+        .rows
+        .iter()
+        .map(|r| (r[0].to_string(), r[1].to_string()))
+        .collect();
+    got.sort();
+    // press-area 144, machining 195, hot-zone 180, shipping 210.
+    assert_eq!(got.len(), 3);
+    assert_eq!(got[0].0, "hot-zone");
+}
+
+#[test]
+fn us_map_smoke_all_relations() {
+    let db = PictorialDatabase::with_us_map();
+    for rel in ["cities", "states", "time-zones", "lakes", "highways"] {
+        let result = query(&db, &format!("select * from {rel}")).unwrap();
+        assert!(!result.is_empty(), "{rel} should have tuples");
+    }
+}
