@@ -10,7 +10,9 @@ fn keys(n: usize) -> Vec<i64> {
     let mut s = 0x1985_u64;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) % 1_000_000) as i64
         })
         .collect()
@@ -68,7 +70,10 @@ fn bench_btree(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("range", "bplustree"), |b| {
         b.iter(|| {
-            black_box(tree.range(Some(&Value::Int(250_000)), Some(&Value::Int(300_000))).len())
+            black_box(
+                tree.range(Some(&Value::Int(250_000)), Some(&Value::Int(300_000)))
+                    .len(),
+            )
         })
     });
     group.finish();

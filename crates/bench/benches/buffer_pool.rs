@@ -14,7 +14,11 @@ fn bench_buffer_pool(c: &mut Criterion) {
     let mut data_rng = rng(1985);
     let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
     let items = points::as_items(&pts);
-    let tree = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::with_branching(64));
+    let tree = build_pack(
+        &items,
+        PackStrategy::NearestNeighbor,
+        RTreeConfig::with_branching(64),
+    );
     let pager = Pager::temp().expect("temp pager");
     let disk = DiskRTree::store(&tree, &pager).expect("store");
     let mut query_rng = rng(0x5eed);
@@ -29,7 +33,10 @@ fn bench_buffer_pool(c: &mut Criterion) {
                 let mut stats = SearchStats::default();
                 let mut total = 0usize;
                 for w in &windows {
-                    total += disk.search_within(&pool, black_box(w), &mut stats).expect("io").len();
+                    total += disk
+                        .search_within(&pool, black_box(w), &mut stats)
+                        .expect("io")
+                        .len();
                 }
                 black_box(total)
             })

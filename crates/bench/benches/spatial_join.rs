@@ -28,7 +28,12 @@ fn bench_join(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("nested-loop", n), &(), |b, ()| {
             b.iter(|| {
                 let mut stats = JoinStats::default();
-                black_box(nested_loop_join(&left, &right, SpatialOp::CoveredBy, &mut stats))
+                black_box(nested_loop_join(
+                    &left,
+                    &right,
+                    SpatialOp::CoveredBy,
+                    &mut stats,
+                ))
             })
         });
     }

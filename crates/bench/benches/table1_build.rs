@@ -22,19 +22,15 @@ fn bench_build(c: &mut Criterion) {
             PackStrategy::SortTileRecursive,
             PackStrategy::Hilbert,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), j),
-                &items,
-                |b, items| {
-                    b.iter(|| {
-                        black_box(pack_with(
-                            black_box(items.clone()),
-                            RTreeConfig::PAPER,
-                            strategy,
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), j), &items, |b, items| {
+                b.iter(|| {
+                    black_box(pack_with(
+                        black_box(items.clone()),
+                        RTreeConfig::PAPER,
+                        strategy,
+                    ))
+                })
+            });
         }
         // The literal O(n^2) NN scan only at the paper's scale.
         if j <= 900 {
@@ -52,7 +48,9 @@ fn bench_build(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("insert-{split:?}"), j),
                 &items,
-                |b, items| b.iter(|| black_box(build_insert(black_box(items), split, RTreeConfig::PAPER))),
+                |b, items| {
+                    b.iter(|| black_box(build_insert(black_box(items), split, RTreeConfig::PAPER)))
+                },
             );
         }
     }

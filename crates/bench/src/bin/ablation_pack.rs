@@ -18,10 +18,22 @@ fn main() {
 
     let mut data_rng = rng(seed);
     let workloads: Vec<(&str, Vec<Point>)> = vec![
-        ("uniform", points::uniform(&mut data_rng, &PAPER_UNIVERSE, j)),
-        ("clustered", points::clustered(&mut data_rng, &PAPER_UNIVERSE, j, 8, 40.0)),
-        ("skewed", points::skewed(&mut data_rng, &PAPER_UNIVERSE, j, 3.0)),
-        ("diagonal", points::diagonal(&mut data_rng, &PAPER_UNIVERSE, j, 60.0)),
+        (
+            "uniform",
+            points::uniform(&mut data_rng, &PAPER_UNIVERSE, j),
+        ),
+        (
+            "clustered",
+            points::clustered(&mut data_rng, &PAPER_UNIVERSE, j, 8, 40.0),
+        ),
+        (
+            "skewed",
+            points::skewed(&mut data_rng, &PAPER_UNIVERSE, j, 3.0),
+        ),
+        (
+            "diagonal",
+            points::diagonal(&mut data_rng, &PAPER_UNIVERSE, j, 60.0),
+        ),
     ];
     let mut query_rng = rng(seed ^ 0x5eed_cafe);
     let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);

@@ -24,7 +24,11 @@ fn main() {
         let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
 
         let mut table = Table::new(["builder", "C", "O", "D", "N", "A"]);
-        for split in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+        for split in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::Exhaustive,
+        ] {
             let tree = build_insert(&items, split, RTreeConfig::PAPER);
             let row = measure(&tree, &query_points);
             table.row([

@@ -27,6 +27,11 @@ fn main() {
     println!("Figure 2.1b — pictorial output:");
     println!(
         "{}",
-        render(db.picture("us-map").expect("exists"), &result.highlights, 110, 28)
+        render(
+            db.picture("us-map").expect("exists"),
+            &result.highlights,
+            110,
+            28
+        )
     );
 }

@@ -22,7 +22,10 @@ fn main() {
     println!("Figure 2.2c — juxtaposed output:\n{result}");
 
     println!("Figure 2.2a/b — the two input pictures:");
-    println!("{}", render(db.picture("us-map").expect("exists"), &[], 80, 20));
+    println!(
+        "{}",
+        render(db.picture("us-map").expect("exists"), &[], 80, 20)
+    );
     println!(
         "{}",
         render(db.picture("time-zone-map").expect("exists"), &[], 80, 20)

@@ -19,7 +19,10 @@ fn main() {
     let city_tree = pack(city_items, RTreeConfig::PAPER);
     println!("Figure 3.1 — packed R-tree of the cities relation (points):\n");
     println!("{}", city_tree.dump());
-    println!("legend: #k is the tuple-identifier of {:?} etc.\n", cities[0].name);
+    println!(
+        "legend: #k is the tuple-identifier of {:?} etc.\n",
+        cities[0].name
+    );
 
     // Figure 3.2: states as regions. Note regions can overlap across
     // nodes — zero overlap is not always attainable (Theorem 3.3).

@@ -18,7 +18,11 @@ fn main() {
     println!("Figure 3.3 — window position vs pruning effectiveness\n");
     let mut rng = rng(experiment_seed());
     let pts = points::uniform(&mut rng, &PAPER_UNIVERSE, 800);
-    let tree = build_insert(&points::as_items(&pts), SplitPolicy::Linear, RTreeConfig::PAPER);
+    let tree = build_insert(
+        &points::as_items(&pts),
+        SplitPolicy::Linear,
+        RTreeConfig::PAPER,
+    );
     println!(
         "dynamic tree: {} points, {} nodes, depth {}",
         tree.len(),
@@ -36,14 +40,24 @@ fn main() {
     // Sweep a fixed-size window over a grid of positions; for each,
     // record how many root entries it intersects and the search cost.
     let side = 120.0;
-    let mut table = Table::new(["root entries hit", "windows", "avg nodes visited", "avg hits"]);
+    let mut table = Table::new([
+        "root entries hit",
+        "windows",
+        "avg nodes visited",
+        "avg hits",
+    ]);
     let mut by_root_hits: std::collections::BTreeMap<usize, (usize, u64, u64)> =
         std::collections::BTreeMap::new();
     for i in 0..9 {
         for j in 0..9 {
             let cx = 100.0 + i as f64 * 100.0;
             let cy = 100.0 + j as f64 * 100.0;
-            let w = Rect::new(cx - side / 2.0, cy - side / 2.0, cx + side / 2.0, cy + side / 2.0);
+            let w = Rect::new(
+                cx - side / 2.0,
+                cy - side / 2.0,
+                cx + side / 2.0,
+                cy + side / 2.0,
+            );
             let root_hits = root.entries.iter().filter(|e| e.mbr.intersects(&w)).count();
             let mut stats = SearchStats::default();
             let found = tree.search_within(&w, &mut stats);

@@ -49,7 +49,11 @@ fn main() {
 
     let mut table = Table::new(["builder", "leaves", "coverage", "overlap"]);
     leaf_report("PACK (fig 3.4b)", &packed, &mut table);
-    for split in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+    for split in [
+        SplitPolicy::Linear,
+        SplitPolicy::Quadratic,
+        SplitPolicy::Exhaustive,
+    ] {
         let mut tree = RTree::new(RTreeConfig::PAPER.with_split(split));
         for &(mbr, id) in &items {
             tree.insert(mbr, id);

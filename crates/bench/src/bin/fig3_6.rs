@@ -36,7 +36,9 @@ fn main() {
         rtree_geom::Rect::new(12.0, 10.0, 13.0, 11.0),
     ];
     match zero_overlap_grouping(&friendly, 4) {
-        Some(witness) => println!("control (two separated pairs): zero-overlap grouping {witness:?}"),
+        Some(witness) => {
+            println!("control (two separated pairs): zero-overlap grouping {witness:?}")
+        }
         None => println!("control failed unexpectedly"),
     }
 }

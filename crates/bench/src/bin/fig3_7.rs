@@ -39,7 +39,10 @@ fn main() {
     }
 
     let mut table = Table::new(["grouping", "leaves", "coverage", "overlap"]);
-    for (name, leaves) in [("(a) across strips", &grouping_a), ("(b) along strips", &grouping_b)] {
+    for (name, leaves) in [
+        ("(a) across strips", &grouping_a),
+        ("(b) along strips", &grouping_b),
+    ] {
         table.row([
             name.to_string(),
             leaves.len().to_string(),
@@ -51,7 +54,10 @@ fn main() {
 
     let ca = rectset::total_area(&grouping_a);
     let cb = rectset::total_area(&grouping_b);
-    println!("grouping (a) coverage is {:.1}x grouping (b) with identical overlap (0).", ca / cb);
+    println!(
+        "grouping (a) coverage is {:.1}x grouping (b) with identical overlap (0).",
+        ca / cb
+    );
     println!("\"Although there is zero overlap, the coverage is unacceptably high.");
     println!(" The simultaneous minimization of both coverage and overlap is a");
     println!(" complex task\" — which is why PACK uses nearest-neighbour grouping.");

@@ -28,13 +28,22 @@ fn main() -> std::io::Result<()> {
     let disk_p = DiskRTree::store(&packed, &pager_p)?;
     let pager_d = Pager::temp()?;
     let disk_d = DiskRTree::store(&dynamic, &pager_d)?;
-    println!("space: PACK {} pages vs INSERT {} pages\n", disk_p.pages(), disk_d.pages());
+    println!(
+        "space: PACK {} pages vs INSERT {} pages\n",
+        disk_p.pages(),
+        disk_d.pages()
+    );
 
     let mut query_rng = rng(seed ^ 0x5eed_cafe);
     let windows = queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 500, 0.005);
 
     let mut table = Table::new([
-        "pool frames", "tree", "page requests", "disk reads", "hit %", "reads/query",
+        "pool frames",
+        "tree",
+        "page requests",
+        "disk reads",
+        "hit %",
+        "reads/query",
     ]);
     for frames in [8usize, 32, 128, 512] {
         for (name, disk, pager) in [("PACK", &disk_p, &pager_p), ("INSERT", &disk_d, &pager_d)] {

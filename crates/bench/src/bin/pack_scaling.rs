@@ -1,6 +1,7 @@
 //! **EXT-8**: construction-cost scaling — the literal O(n²) PACK of the
 //! paper's pseudocode vs the grid-accelerated nearest-neighbour search,
-//! vs the sort-based packers and dynamic INSERT.
+//! vs the sort-based packers and dynamic INSERT — plus the thread sweep
+//! of the parallel PACK pipeline and the query hot-path comparison.
 //!
 //! The paper notes selecting all `M` group members simultaneously "could
 //! be combinatorially explosive"; even its one-at-a-time NN is quadratic
@@ -8,13 +9,19 @@
 //! stops being viable and that the grid makes PACK's build cost
 //! comparable to a sort.
 //!
+//! The second half measures `pack_parallel` at 1M points across thread
+//! counts (output is bit-identical at every count, so only wall-clock
+//! differs) and steady-state window-query cost through the stats path
+//! vs the allocation-free `SearchScratch` path. Results are written to
+//! `BENCH_pack.json` at the repo root as the machine-readable baseline.
+//!
 //! Run with: `cargo run --release -p rtree-bench --bin pack_scaling`
 
-use packed_rtree_core::{pack_with, PackStrategy};
+use packed_rtree_core::{default_threads, pack_parallel_with, pack_with, PackStrategy};
 use rtree_bench::report::{f, Table};
 use rtree_bench::{build_insert, experiment_seed};
-use rtree_index::{RTreeConfig, SplitPolicy};
-use rtree_workload::{points, rng, PAPER_UNIVERSE};
+use rtree_index::{RTreeConfig, SearchScratch, SearchStats, SplitPolicy};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
 use std::time::Instant;
 
 fn main() {
@@ -22,7 +29,12 @@ fn main() {
     println!("EXT-8 — build-cost scaling, M=4 (seed {seed}); times in ms\n");
 
     let mut table = Table::new([
-        "n", "pack-nn(grid)", "pack-nn-naive", "pack-str", "pack-hilbert", "insert-quad",
+        "n",
+        "pack-nn(grid)",
+        "pack-nn-naive",
+        "pack-str",
+        "pack-hilbert",
+        "insert-quad",
     ]);
     for n in [1_000usize, 4_000, 16_000, 64_000] {
         let mut data_rng = rng(seed);
@@ -36,21 +48,40 @@ fn main() {
             start.elapsed().as_secs_f64() * 1000.0
         };
 
-        let grid = time(&|| pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor).len());
+        let grid = time(&|| {
+            pack_with(
+                items.clone(),
+                RTreeConfig::PAPER,
+                PackStrategy::NearestNeighbor,
+            )
+            .len()
+        });
         // The naive O(n²) scan becomes painful quickly; cap it.
         let naive = if n <= 16_000 {
             f(
                 time(&|| {
-                    pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::NearestNeighborNaive)
-                        .len()
+                    pack_with(
+                        items.clone(),
+                        RTreeConfig::PAPER,
+                        PackStrategy::NearestNeighborNaive,
+                    )
+                    .len()
                 }),
                 1,
             )
         } else {
             "(skipped)".to_string()
         };
-        let str_t = time(&|| pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::SortTileRecursive).len());
-        let hil = time(&|| pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::Hilbert).len());
+        let str_t = time(&|| {
+            pack_with(
+                items.clone(),
+                RTreeConfig::PAPER,
+                PackStrategy::SortTileRecursive,
+            )
+            .len()
+        });
+        let hil =
+            time(&|| pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::Hilbert).len());
         let ins = time(&|| build_insert(&items, SplitPolicy::Quadratic, RTreeConfig::PAPER).len());
 
         table.row([
@@ -65,5 +96,118 @@ fn main() {
     println!("{}", table.render());
     println!("The grid NN keeps the paper's algorithm near sort cost (O(n log n)-ish);");
     println!("the pseudocode's literal NN scan grows quadratically and falls behind");
-    println!("dynamic insertion well before 100k objects.");
+    println!("dynamic insertion well before 100k objects.\n");
+
+    parallel_sweep(seed);
+}
+
+/// The parallel-pipeline baseline: build throughput across thread counts
+/// at 1M points, and query ns/op through both search paths.
+fn parallel_sweep(seed: u64) {
+    let hw = default_threads();
+    let n = 1_000_000usize;
+    println!("Parallel PACK sweep — n = {n}, M=4, hardware threads = {hw}\n");
+
+    let mut data_rng = rng(seed ^ 0x9e3779b97f4a7c15);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, n);
+    let items = points::as_items(&pts);
+
+    let mut table = Table::new(["threads", "build ms", "items/s", "speedup"]);
+    let mut build_rows = Vec::new();
+    let mut seq_ms = 0.0f64;
+    let mut reference = None;
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let tree = pack_parallel_with(
+            items.clone(),
+            RTreeConfig::PAPER,
+            PackStrategy::NearestNeighbor,
+            threads,
+        );
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(tree.len(), n);
+        // Determinism spot-check rides along with the measurement.
+        match &reference {
+            None => {
+                seq_ms = ms;
+                reference = Some(tree);
+            }
+            Some(seq) => assert_eq!(&tree, seq, "parallel output diverged at {threads} threads"),
+        }
+        let rate = n as f64 / (ms / 1000.0);
+        table.row([threads.to_string(), f(ms, 1), f(rate, 0), f(seq_ms / ms, 2)]);
+        build_rows.push((threads, ms, rate, seq_ms / ms));
+    }
+    println!("{}", table.render());
+
+    // Query hot path: steady-state window queries, stats path vs the
+    // reusable-scratch path. Same queries, same tree, same results.
+    let tree = reference.expect("built above");
+    let mut q_rng = rng(seed ^ 0x5851f42d4c957f2d);
+    let windows = queries::window_queries(&mut q_rng, &PAPER_UNIVERSE, 2_000, 0.0001);
+
+    let mut stats = SearchStats::default();
+    // Warm-up (page in the tree), then measure.
+    for w in windows.iter().take(200) {
+        std::hint::black_box(tree.search_within(w, &mut stats));
+    }
+    let mut stats = SearchStats::default();
+    let start = Instant::now();
+    for w in &windows {
+        std::hint::black_box(tree.search_within(w, &mut stats));
+    }
+    let stats_ns = start.elapsed().as_nanos() as f64 / windows.len() as f64;
+
+    let mut scratch = SearchScratch::new();
+    // Full warm-up pass: after seeing the whole workload once the scratch
+    // buffers have reached their high-water marks and must never grow again.
+    for w in &windows {
+        std::hint::black_box(tree.search_within_into(w, &mut scratch));
+    }
+    let warm = scratch.capacities();
+    let start = Instant::now();
+    for w in &windows {
+        std::hint::black_box(tree.search_within_into(w, &mut scratch));
+    }
+    let scratch_ns = start.elapsed().as_nanos() as f64 / windows.len() as f64;
+    assert_eq!(scratch.capacities(), warm, "steady state reallocated");
+
+    let mut qt = Table::new(["query path", "ns/op", "avg nodes visited"]);
+    qt.row([
+        "stats (alloc per query)".into(),
+        f(stats_ns, 0),
+        f(stats.avg_nodes_visited(), 2),
+    ]);
+    qt.row([
+        "scratch (alloc-free)".into(),
+        f(scratch_ns, 0),
+        "same traversal".into(),
+    ]);
+    println!("{}", qt.render());
+
+    let json = format!(
+        "{{\n  \"experiment\": \"pack_parallel_baseline\",\n  \"seed\": {seed},\n  \
+         \"n\": {n},\n  \"branching\": 4,\n  \"hardware_threads\": {hw},\n  \
+         \"build\": [\n{}\n  ],\n  \
+         \"window_query\": {{\n    \"queries\": {qn},\n    \"selectivity\": 0.0001,\n    \
+         \"stats_path_ns_per_op\": {stats_ns:.0},\n    \"scratch_path_ns_per_op\": {scratch_ns:.0},\n    \
+         \"avg_nodes_visited\": {anv:.3}\n  }}\n}}\n",
+        build_rows
+            .iter()
+            .map(|(t, ms, rate, speedup)| format!(
+                "    {{\"threads\": {t}, \"ms\": {ms:.1}, \"items_per_s\": {rate:.0}, \"speedup\": {speedup:.3}}}"
+            ))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        qn = windows.len(),
+        anv = stats.avg_nodes_visited(),
+    );
+    match std::fs::write("BENCH_pack.json", &json) {
+        Ok(()) => println!("wrote BENCH_pack.json"),
+        Err(e) => println!("could not write BENCH_pack.json: {e}"),
+    }
+    if hw == 1 {
+        println!("note: this host exposes a single hardware thread; speedups ≈ 1.0 are");
+        println!("expected here — the sweep still verifies bit-identical output per count.");
+    }
 }

@@ -21,7 +21,11 @@ fn main() -> std::io::Result<()> {
     let mut data_rng = rng(seed);
     let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
     let items = points::as_items(&pts);
-    let packed = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::with_branching(64));
+    let packed = build_pack(
+        &items,
+        PackStrategy::NearestNeighbor,
+        RTreeConfig::with_branching(64),
+    );
 
     let pager = Pager::temp()?;
     let mut tree = PagedRTree::from_tree(&packed, &pager, 64)?;
@@ -43,9 +47,7 @@ fn main() -> std::io::Result<()> {
         Ok(stats.avg_nodes_visited())
     };
 
-    let mut table = Table::new([
-        "churn (ops)", "pages/op (write)", "A (pages/query)", "len",
-    ]);
+    let mut table = Table::new(["churn (ops)", "pages/op (write)", "A (pages/query)", "len"]);
     table.row([
         "0".to_string(),
         "-".to_string(),

@@ -21,7 +21,11 @@ fn main() {
     let dynamic = build_insert(&items, SplitPolicy::Linear, RTreeConfig::PAPER);
 
     let mut table = Table::new([
-        "selectivity", "avg hits", "A (pack)", "A (insert)", "insert/pack",
+        "selectivity",
+        "avg hits",
+        "A (pack)",
+        "A (insert)",
+        "insert/pack",
     ]);
     for selectivity in [0.0001, 0.001, 0.01, 0.05, 0.1, 0.25] {
         let mut query_rng = rng(seed ^ 0x5eed_cafe);

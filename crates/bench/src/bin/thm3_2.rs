@@ -18,21 +18,38 @@ fn main() {
     let mut rng = rng(rtree_bench::experiment_seed());
 
     let cases: Vec<(&str, Vec<Point>)> = vec![
-        ("uniform-100", points::uniform(&mut rng, &PAPER_UNIVERSE, 100)),
+        (
+            "uniform-100",
+            points::uniform(&mut rng, &PAPER_UNIVERSE, 100),
+        ),
         (
             "vertical-line-48",
-            (0..48).map(|i| Point::new(500.0, i as f64 * 10.0)).collect(),
+            (0..48)
+                .map(|i| Point::new(500.0, i as f64 * 10.0))
+                .collect(),
         ),
         ("grid-10x10", points::grid(&PAPER_UNIVERSE, 10, 10)),
         (
             "two-columns-40",
             (0..40)
-                .map(|i| Point::new(if i % 2 == 0 { 100.0 } else { 900.0 }, (i / 2) as f64 * 20.0))
+                .map(|i| {
+                    Point::new(
+                        if i % 2 == 0 { 100.0 } else { 900.0 },
+                        (i / 2) as f64 * 20.0,
+                    )
+                })
                 .collect(),
         ),
     ];
 
-    let mut table = Table::new(["case", "points", "F(S) before", "angle (rad)", "groups", "disjoint"]);
+    let mut table = Table::new([
+        "case",
+        "points",
+        "F(S) before",
+        "angle (rad)",
+        "groups",
+        "disjoint",
+    ]);
     for (name, pts) in cases {
         let before = transform::distinct_x_count(&pts);
         let witness = zero_overlap_partition(&pts, 4).expect("distinct points");

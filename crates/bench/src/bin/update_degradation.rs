@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release -p rtree-bench --bin update_degradation`
 
 use packed_rtree_core::{pack, repack, PackStrategy};
-use rtree_bench::report::{f, Table};
 use rtree_bench::experiment_seed;
+use rtree_bench::report::{f, Table};
 use rtree_geom::Rect;
 use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats, TreeMetrics};
 use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
@@ -34,7 +34,13 @@ fn main() {
     let mut tree = pack(live.clone(), RTreeConfig::PAPER);
     let fresh = query_cost(&tree, &qs);
 
-    let mut table = Table::new(["churn (% of J)", "A (degraded)", "N", "A (repacked)", "N (repacked)"]);
+    let mut table = Table::new([
+        "churn (% of J)",
+        "A (degraded)",
+        "N",
+        "A (repacked)",
+        "N (repacked)",
+    ]);
     let mut next_id = 100_000u64;
     let mut churned = 0usize;
     for round in 1..=10 {

@@ -62,11 +62,7 @@ pub fn measure(tree: &RTree, query_points: &[Point]) -> Table1Row {
 /// generation order with the given split policy (Table 1 uses
 /// [`SplitPolicy::Linear`], the policy whose behaviour best matches the
 /// 1985 numbers; `ablation_split` sweeps the rest).
-pub fn build_insert(
-    items: &[(Rect, ItemId)],
-    split: SplitPolicy,
-    branching: RTreeConfig,
-) -> RTree {
+pub fn build_insert(items: &[(Rect, ItemId)], split: SplitPolicy, branching: RTreeConfig) -> RTree {
     let mut tree = RTree::new(branching.with_split(split));
     for &(mbr, id) in items {
         tree.insert(mbr, id);

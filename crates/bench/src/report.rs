@@ -39,8 +39,13 @@ impl Table {
                     line.push_str("  ");
                 }
                 // Right-align numbers, left-align text.
-                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
-                    && cell.chars().all(|c| c.is_ascii_digit() || ".-eE+".contains(c))
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-')
+                    && cell
+                        .chars()
+                        .all(|c| c.is_ascii_digit() || ".-eE+".contains(c))
                 {
                     line.push_str(&format!("{cell:>w$}"));
                 } else {

@@ -8,7 +8,9 @@
 use std::process::Command;
 
 fn run(bin: &str) -> String {
-    let out = Command::new(bin).output().unwrap_or_else(|e| panic!("{bin}: {e}"));
+    let out = Command::new(bin)
+        .output()
+        .unwrap_or_else(|e| panic!("{bin}: {e}"));
     assert!(
         out.status.success(),
         "{bin} exited with {:?}\nstderr: {}",

@@ -37,7 +37,10 @@ pub fn pinwheel() -> Vec<Rect> {
 /// Returns a witness partition if one exists. Exponential; intended for
 /// the ≤ 12 regions of demonstrations and tests.
 pub fn zero_overlap_grouping(regions: &[Rect], max_group: usize) -> Option<Vec<Vec<usize>>> {
-    assert!(regions.len() <= 12, "exhaustive search limited to 12 regions");
+    assert!(
+        regions.len() <= 12,
+        "exhaustive search limited to 12 regions"
+    );
     assert!(max_group >= 2);
     let mut assignment: Vec<Vec<usize>> = Vec::new();
     search(regions, max_group, 0, &mut assignment)

@@ -52,113 +52,238 @@ impl PackStrategy {
     }
 }
 
+/// Target number of groups per slab: slabs hold `SLAB_GROUPS × m`
+/// entries (rounded to the strategy's alignment unit), so small inputs
+/// fit in a single slab and large levels decompose into many independent
+/// grouping problems.
+pub const SLAB_GROUPS: usize = 512;
+
+/// A deterministic partition of one level's sorted entries into
+/// independent, contiguous *slabs*.
+///
+/// The boundaries are a pure function of `(strategy, n, m)` — never of
+/// thread count — which is what makes the parallel packer bit-identical
+/// to the sequential one: both group slab by slab, and every slab's
+/// group count (hence its nodes' arena ids) is known before any grouping
+/// runs. Every slab except possibly the last holds a multiple of `m`
+/// entries, so a slab of `e` entries always produces exactly `⌈e/m⌉`
+/// groups, all full except possibly the final group of the final slab.
+#[derive(Debug, Clone, Copy)]
+pub struct SlabPlan {
+    n: usize,
+    m: usize,
+    slab_len: usize,
+    /// STR's own x-slab capacity `s·m` (0 for the other strategies);
+    /// `slab_len` is a multiple of it, so slab-local tiling equals
+    /// global tiling.
+    str_capacity: usize,
+}
+
+impl SlabPlan {
+    /// Plans the slab decomposition for `n` entries grouped by `m` under
+    /// `strategy`. `n` must be non-zero.
+    pub fn new(strategy: PackStrategy, n: usize, m: usize) -> SlabPlan {
+        assert!(m >= 1, "branching factor must be at least 1");
+        assert!(n >= 1, "cannot plan zero entries");
+        let (unit, str_capacity) = match strategy {
+            PackStrategy::SortTileRecursive => {
+                // S = ⌈√⌈n/m⌉⌉ vertical slabs of s·m entries each
+                // (Leutenegger et al.), computed from the *global* n.
+                let s = (n.div_ceil(m) as f64).sqrt().ceil() as usize;
+                (s.max(1) * m, s.max(1) * m)
+            }
+            _ => (m, 0),
+        };
+        let target = SLAB_GROUPS.saturating_mul(m);
+        let slab_len = (target / unit).max(1).saturating_mul(unit);
+        SlabPlan {
+            n,
+            m,
+            slab_len,
+            str_capacity,
+        }
+    }
+
+    /// Number of entries a full slab holds (always a multiple of `m`).
+    #[inline]
+    pub fn slab_len(&self) -> usize {
+        self.slab_len
+    }
+
+    /// The grouping arity `m` this plan was built for.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of slabs.
+    #[inline]
+    pub fn slab_count(&self) -> usize {
+        self.n.div_ceil(self.slab_len)
+    }
+
+    /// Entry range (into the level's sort order) of slab `k`.
+    #[inline]
+    pub fn slab_range(&self, k: usize) -> std::ops::Range<usize> {
+        let lo = k * self.slab_len;
+        lo..((lo + self.slab_len).min(self.n))
+    }
+
+    /// Number of groups slab `k` produces.
+    #[inline]
+    pub fn groups_in_slab(&self, k: usize) -> usize {
+        self.slab_range(k).len().div_ceil(self.m)
+    }
+
+    /// Index of slab `k`'s first group within the level's group sequence.
+    #[inline]
+    pub fn group_offset(&self, k: usize) -> usize {
+        // Every slab before k is full and slab_len is a multiple of m.
+        k * (self.slab_len / self.m)
+    }
+
+    /// Total groups across all slabs: `⌈n/m⌉`.
+    #[inline]
+    pub fn total_groups(&self) -> usize {
+        self.n.div_ceil(self.m)
+    }
+
+    /// STR's x-slab capacity (`s·m`), 0 for non-STR plans.
+    #[inline]
+    pub fn str_capacity(&self) -> usize {
+        self.str_capacity
+    }
+}
+
 /// Partitions `rects` into groups of at most `m` indices each, according
 /// to `strategy`. Groups are returned in construction order; every index
 /// appears in exactly one group; all groups except possibly the last are
-/// full for the sort-based strategies (NN grouping fills every group it
-/// starts until the list runs out).
+/// full.
+///
+/// Grouping is slab-local under the [`SlabPlan`]: the level's sort order
+/// is cut at deterministic boundaries and each slab is grouped
+/// independently — identically to how the parallel packer distributes
+/// the slabs over worker threads.
 pub fn group(strategy: PackStrategy, rects: &[Rect], m: usize) -> Vec<Vec<usize>> {
     assert!(m >= 1);
     if rects.is_empty() {
         return Vec::new();
     }
+    let ord = order(strategy, rects);
+    let plan = SlabPlan::new(strategy, rects.len(), m);
+    let mut groups = Vec::with_capacity(plan.total_groups());
+    for k in 0..plan.slab_count() {
+        groups.extend(group_slab(strategy, rects, &ord[plan.slab_range(k)], &plan));
+    }
+    groups
+}
+
+/// The level's global sort order under `strategy`: ascending center x
+/// (ties by y then index) for the paper-family strategies — "Order
+/// objects of DLIST by some spatial criterion, e.g. ascending
+/// x-coordinate" (§3.3) — or Hilbert-curve order of the centers.
+pub fn order(strategy: PackStrategy, rects: &[Rect]) -> Vec<usize> {
+    let mut ord: Vec<usize> = (0..rects.len()).collect();
+    match strategy {
+        PackStrategy::Hilbert => {
+            let keys = hilbert_keys(rects);
+            ord.sort_unstable_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+        }
+        _ => ord.sort_unstable_by(|&a, &b| x_cmp(rects, a, b)),
+    }
+    ord
+}
+
+/// The ascending-x comparator (ties by y then index, for a total order
+/// free of equal elements). Shared with the parallel sort so both
+/// produce the same permutation.
+#[inline]
+pub(crate) fn x_cmp(rects: &[Rect], a: usize, b: usize) -> std::cmp::Ordering {
+    let ca = rects[a].center();
+    let cb = rects[b].center();
+    ca.x.total_cmp(&cb.x)
+        .then(ca.y.total_cmp(&cb.y))
+        .then(a.cmp(&b))
+}
+
+/// Hilbert sort keys of all rect centers (within the level's MBR).
+pub(crate) fn hilbert_keys(rects: &[Rect]) -> Vec<u64> {
+    let bounds = Rect::mbr_of_rects(rects.iter().copied()).expect("non-empty");
+    rects
+        .iter()
+        .map(|r| hilbert::rect_index(r, &bounds))
+        .collect()
+}
+
+/// Groups one slab of the level's sort order (global indices into
+/// `rects`, already ordered by [`order`]). Produces exactly
+/// `⌈ord.len()/m⌉` groups, full except possibly the last.
+pub fn group_slab(
+    strategy: PackStrategy,
+    rects: &[Rect],
+    ord: &[usize],
+    plan: &SlabPlan,
+) -> Vec<Vec<usize>> {
+    let m = plan.m();
     match strategy {
         PackStrategy::NearestNeighbor => {
-            let set = GridNeighbors::new(rects);
-            nearest_neighbor_groups(rects, m, set)
+            let centers: Vec<Point> = ord.iter().map(|&i| rects[i].center()).collect();
+            nearest_neighbor_groups(ord, m, GridNeighbors::from_centers(centers))
         }
         PackStrategy::NearestNeighborNaive => {
-            let set = NaiveNeighbors::new(rects);
-            nearest_neighbor_groups(rects, m, set)
+            let centers: Vec<Point> = ord.iter().map(|&i| rects[i].center()).collect();
+            nearest_neighbor_groups(ord, m, NaiveNeighbors::from_centers(centers))
         }
-        PackStrategy::XSort => xsort_groups(rects, m),
-        PackStrategy::SortTileRecursive => str_groups(rects, m),
-        PackStrategy::Hilbert => hilbert_groups(rects, m),
+        PackStrategy::XSort | PackStrategy::Hilbert => {
+            ord.chunks(m).map(<[usize]>::to_vec).collect()
+        }
+        PackStrategy::SortTileRecursive => {
+            // slab_len is a multiple of str_capacity, so slab-local
+            // tiling cuts at the same boundaries as global tiling.
+            let mut groups = Vec::with_capacity(ord.len().div_ceil(m));
+            for x_slab in ord.chunks(plan.str_capacity().max(1)) {
+                let mut x_slab: Vec<usize> = x_slab.to_vec();
+                x_slab.sort_by(|&a, &b| {
+                    let ca = rects[a].center();
+                    let cb = rects[b].center();
+                    ca.y.total_cmp(&cb.y)
+                        .then(ca.x.total_cmp(&cb.x))
+                        .then(a.cmp(&b))
+                });
+                for chunk in x_slab.chunks(m) {
+                    groups.push(chunk.to_vec());
+                }
+            }
+            groups
+        }
     }
 }
 
-/// Indices of `rects` sorted by ascending center x (ties by y then index
-/// for determinism) — "Order objects of DLIST by some spatial criterion,
-/// e.g. ascending x-coordinate" (§3.3).
-fn x_order(rects: &[Rect]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..rects.len()).collect();
-    order.sort_by(|&a, &b| {
-        let ca = rects[a].center();
-        let cb = rects[b].center();
-        ca.x.total_cmp(&cb.x).then(ca.y.total_cmp(&cb.y)).then(a.cmp(&b))
-    });
-    order
-}
-
-/// The paper's grouping loop: take the first remaining object `I1`, then
-/// `NN(DLIST, I1)` until the node is full.
-fn nearest_neighbor_groups<S: NeighborSet>(
-    rects: &[Rect],
-    m: usize,
-    mut set: S,
-) -> Vec<Vec<usize>> {
-    let order = x_order(rects);
-    let centers: Vec<Point> = rects.iter().map(Rect::center).collect();
-    let mut groups = Vec::with_capacity(rects.len().div_ceil(m));
-    for &i1 in &order {
+/// The paper's grouping loop over one slab: take the first remaining
+/// object `I1` (in slab order, i.e. ascending x), then `NN(DLIST, I1)`
+/// until the node is full.
+///
+/// `set` indexes the slab locally (0..ord.len() in slab order); returned
+/// groups carry the global indices from `ord`.
+fn nearest_neighbor_groups<S: NeighborSet>(ord: &[usize], m: usize, mut set: S) -> Vec<Vec<usize>> {
+    let mut groups = Vec::with_capacity(ord.len().div_ceil(m));
+    for i1 in 0..ord.len() {
         if !set.remove(i1) {
             continue; // already consumed as someone's neighbour
         }
         let mut grp = Vec::with_capacity(m);
-        grp.push(i1);
+        grp.push(ord[i1]);
         // I2 = NN(DLIST, I1); I3 = NN(DLIST, I1); … — all relative to I1.
+        let anchor = set.center(i1);
         while grp.len() < m {
-            match set.take_nearest(centers[i1]) {
-                Some(j) => grp.push(j),
+            match set.take_nearest(anchor) {
+                Some(j) => grp.push(ord[j]),
                 None => break,
             }
         }
         groups.push(grp);
     }
     groups
-}
-
-/// Runs of `m` in ascending-x order.
-fn xsort_groups(rects: &[Rect], m: usize) -> Vec<Vec<usize>> {
-    x_order(rects).chunks(m).map(<[usize]>::to_vec).collect()
-}
-
-/// Sort-Tile-Recursive: `S = ⌈√⌈n/m⌉⌉` vertical slabs by x, each slab
-/// chunked by y.
-fn str_groups(rects: &[Rect], m: usize) -> Vec<Vec<usize>> {
-    let n = rects.len();
-    let leaves = n.div_ceil(m);
-    let s = (leaves as f64).sqrt().ceil() as usize;
-    let slab_capacity = s * m;
-    let by_x = x_order(rects);
-    let mut groups = Vec::with_capacity(leaves);
-    for slab in by_x.chunks(slab_capacity) {
-        let mut slab: Vec<usize> = slab.to_vec();
-        slab.sort_by(|&a, &b| {
-            let ca = rects[a].center();
-            let cb = rects[b].center();
-            ca.y.total_cmp(&cb.y).then(ca.x.total_cmp(&cb.x)).then(a.cmp(&b))
-        });
-        for chunk in slab.chunks(m) {
-            groups.push(chunk.to_vec());
-        }
-    }
-    groups
-}
-
-/// Runs of `m` in Hilbert-curve order of the centers.
-fn hilbert_groups(rects: &[Rect], m: usize) -> Vec<Vec<usize>> {
-    let bounds = Rect::mbr_of_rects(rects.iter().copied()).expect("non-empty");
-    let mut keyed: Vec<(u64, usize)> = rects
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (hilbert::point_index(r.center(), &bounds), i))
-        .collect();
-    keyed.sort_unstable();
-    keyed
-        .chunks(m)
-        .map(|c| c.iter().map(|&(_, i)| i).collect())
-        .collect()
 }
 
 #[cfg(test)]
@@ -185,9 +310,13 @@ mod tests {
         let mut s = 12345u64;
         pts(&(0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1000) as f64;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1000) as f64;
                 (x, y)
             })
@@ -239,13 +368,20 @@ mod tests {
             (10.0, 11.0),
             (11.0, 11.0),
         ]);
-        for strategy in [PackStrategy::NearestNeighbor, PackStrategy::NearestNeighborNaive] {
+        for strategy in [
+            PackStrategy::NearestNeighbor,
+            PackStrategy::NearestNeighborNaive,
+        ] {
             let mut groups = group(strategy, &rects, 4);
             for g in &mut groups {
                 g.sort_unstable();
             }
             groups.sort();
-            assert_eq!(groups, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]], "{strategy:?}");
+            assert_eq!(
+                groups,
+                vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]],
+                "{strategy:?}"
+            );
         }
     }
 

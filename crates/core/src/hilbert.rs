@@ -80,6 +80,14 @@ pub fn point_index(p: Point, bounds: &Rect) -> u64 {
     xy_to_d(DEFAULT_ORDER, x, y)
 }
 
+/// Hilbert index of a rectangle's center within `bounds` — the sort key
+/// of Hilbert packing. Shared by the sequential and parallel packers so
+/// both orderings agree bit for bit.
+#[inline]
+pub fn rect_index(r: &Rect, bounds: &Rect) -> u64 {
+    point_index(r.center(), bounds)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,7 +120,8 @@ mod tests {
         let mut prev = d_to_xy(order, 0);
         for d in 1..(1u64 << (2 * order)) {
             let cur = d_to_xy(order, d);
-            let manhattan = (cur.0 as i64 - prev.0 as i64).abs() + (cur.1 as i64 - prev.1 as i64).abs();
+            let manhattan =
+                (cur.0 as i64 - prev.0 as i64).abs() + (cur.1 as i64 - prev.1 as i64).abs();
             assert_eq!(manhattan, 1, "jump at d={d}");
             prev = cur;
         }

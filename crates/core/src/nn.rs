@@ -27,6 +27,9 @@ pub trait NeighborSet {
     fn take_nearest(&mut self, query: Point) -> Option<usize>;
     /// Removes a specific item by index. Returns `false` if already gone.
     fn remove(&mut self, index: usize) -> bool;
+    /// The center point item `index` was built from (valid whether or not
+    /// the item has been removed).
+    fn center(&self, index: usize) -> Point;
 }
 
 /// O(n)-per-query scan over MBR centers.
@@ -39,10 +42,17 @@ pub struct NaiveNeighbors {
 impl NaiveNeighbors {
     /// Builds from item bounding rectangles.
     pub fn new(rects: &[Rect]) -> Self {
+        Self::from_centers(rects.iter().map(Rect::center).collect())
+    }
+
+    /// Builds directly from precomputed MBR centers (the slab-local
+    /// grouping path, which already holds the centers).
+    pub fn from_centers(centers: Vec<Point>) -> Self {
+        let n = centers.len();
         NaiveNeighbors {
-            centers: rects.iter().map(Rect::center).collect(),
-            alive: vec![true; rects.len()],
-            remaining: rects.len(),
+            centers,
+            alive: vec![true; n],
+            remaining: n,
         }
     }
 }
@@ -77,6 +87,10 @@ impl NeighborSet for NaiveNeighbors {
             false
         }
     }
+
+    fn center(&self, index: usize) -> Point {
+        self.centers[index]
+    }
 }
 
 /// Uniform-grid nearest-neighbour index over MBR centers.
@@ -99,7 +113,11 @@ pub struct GridNeighbors {
 impl GridNeighbors {
     /// Builds from item bounding rectangles.
     pub fn new(rects: &[Rect]) -> Self {
-        let centers: Vec<Point> = rects.iter().map(Rect::center).collect();
+        Self::from_centers(rects.iter().map(Rect::center).collect())
+    }
+
+    /// Builds directly from precomputed MBR centers.
+    pub fn from_centers(centers: Vec<Point>) -> Self {
         let n = centers.len();
         let bounds = Rect::mbr_of_points(centers.iter().copied())
             .unwrap_or_else(|| Rect::new(0.0, 0.0, 1.0, 1.0));
@@ -112,10 +130,10 @@ impl GridNeighbors {
         let ny = ((bounds.height() / cell).ceil() as usize + 1).max(1);
         let mut cells = vec![Vec::new(); nx * ny];
         for (i, c) in centers.iter().enumerate() {
-            let cx = (((c.x - bounds.min_x) / cell).floor() as isize)
-                .clamp(0, nx as isize - 1) as usize;
-            let cy = (((c.y - bounds.min_y) / cell).floor() as isize)
-                .clamp(0, ny as isize - 1) as usize;
+            let cx =
+                (((c.x - bounds.min_x) / cell).floor() as isize).clamp(0, nx as isize - 1) as usize;
+            let cy =
+                (((c.y - bounds.min_y) / cell).floor() as isize).clamp(0, ny as isize - 1) as usize;
             cells[cy * nx + cx].push(i as u32);
         }
         GridNeighbors {
@@ -207,6 +225,10 @@ impl NeighborSet for GridNeighbors {
             false
         }
     }
+
+    fn center(&self, index: usize) -> Point {
+        self.centers[index]
+    }
 }
 
 #[cfg(test)]
@@ -224,9 +246,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 100_000) as f64 / 100.0;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 100_000) as f64 / 100.0;
                 (x, y)
             })
@@ -316,7 +342,7 @@ mod tests {
     #[test]
     fn rect_items_use_centers() {
         let rects = vec![
-            Rect::new(0.0, 0.0, 2.0, 2.0),   // center (1,1)
+            Rect::new(0.0, 0.0, 2.0, 2.0),     // center (1,1)
             Rect::new(10.0, 10.0, 14.0, 14.0), // center (12,12)
         ];
         let mut nn = NaiveNeighbors::new(&rects);

@@ -5,10 +5,9 @@
 //! per group, and repeat on the node MBRs "working ever backwards, until
 //! the root is finally reached and created".
 
-use crate::grouping::{self, PackStrategy};
-use rtree_index::builder::BottomUpBuilder;
-use rtree_index::{ItemId, RTree, RTreeConfig};
+use crate::grouping::PackStrategy;
 use rtree_geom::Rect;
+use rtree_index::{ItemId, RTree, RTreeConfig};
 
 /// Packs `items` into an R-tree with the paper's algorithm
 /// (ascending-x order + nearest-neighbour grouping, grid-accelerated).
@@ -46,39 +45,12 @@ pub fn pack_hilbert(items: Vec<(Rect, ItemId)>, config: RTreeConfig) -> RTree {
 }
 
 /// Packs with an explicit [`PackStrategy`].
-pub fn pack_with(
-    items: Vec<(Rect, ItemId)>,
-    config: RTreeConfig,
-    strategy: PackStrategy,
-) -> RTree {
-    let mut builder = BottomUpBuilder::new(config);
-    if items.is_empty() {
-        return builder.finish_empty();
-    }
-    let m = config.max_entries;
-
-    // Leaf level.
-    let rects: Vec<Rect> = items.iter().map(|&(r, _)| r).collect();
-    let groups = grouping::group(strategy, &rects, m);
-    let mut handles: Vec<(rtree_index::NodeId, Rect)> = groups
-        .into_iter()
-        .map(|grp| builder.add_leaf(grp.into_iter().map(|i| items[i]).collect()))
-        .collect();
-
-    // Internal levels, until a single root remains.
-    let mut level = 1;
-    while handles.len() > 1 {
-        let rects: Vec<Rect> = handles.iter().map(|&(_, r)| r).collect();
-        let groups = grouping::group(strategy, &rects, m);
-        handles = groups
-            .into_iter()
-            .map(|grp| {
-                builder.add_internal(level, grp.into_iter().map(|i| handles[i]).collect())
-            })
-            .collect();
-        level += 1;
-    }
-    builder.finish(handles[0].0)
+///
+/// Runs the shared level-building engine single-threaded; see
+/// [`crate::parallel::pack_parallel_with`] for the multi-threaded entry
+/// point (bit-identical output at every thread count).
+pub fn pack_with(items: Vec<(Rect, ItemId)>, config: RTreeConfig, strategy: PackStrategy) -> RTree {
+    crate::parallel::pack_parallel_with(items, config, strategy, 1)
 }
 
 #[cfg(test)]
@@ -91,9 +63,13 @@ mod tests {
         let mut s = seed;
         (0..n)
             .map(|i| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1000.0;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1000.0;
                 (Rect::from_point(Point::new(x, y)), ItemId(i))
             })
@@ -122,7 +98,8 @@ mod tests {
         let items = points(333, 9);
         for strategy in PackStrategy::ALL {
             let t = pack_with(items.clone(), RTreeConfig::PAPER, strategy);
-            t.validate_with(false).unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            t.validate_with(false)
+                .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
             assert_eq!(t.len(), 333);
             // Every item findable by point query.
             let mut stats = SearchStats::default();

@@ -13,8 +13,8 @@
 
 use crate::grouping::PackStrategy;
 use crate::pack::pack_with;
-use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats};
 use rtree_geom::{Point, Rect};
+use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats};
 
 /// Re-packs an existing tree from scratch with the given strategy,
 /// restoring full-node occupancy and minimal coverage/overlap.
@@ -119,9 +119,13 @@ mod tests {
         let mut s = seed;
         range
             .map(|i| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1_000_000) as f64 / 1000.0;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1_000_000) as f64 / 1000.0;
                 (Rect::from_point(Point::new(x, y)), ItemId(i))
             })
@@ -131,7 +135,11 @@ mod tests {
     #[test]
     fn repack_restores_packed_quality() {
         let items = points(0..300, 1);
-        let mut tree = pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor);
+        let mut tree = pack_with(
+            items.clone(),
+            RTreeConfig::PAPER,
+            PackStrategy::NearestNeighbor,
+        );
         let fresh = TreeMetrics::measure(&tree);
         // Degrade: churn 300 updates through Guttman INSERT/DELETE.
         let churn = points(1000..1300, 2);
@@ -150,7 +158,12 @@ mod tests {
         // Repacking restores full occupancy (fewer nodes) and fresh-pack
         // quality: node count and depth back to packed levels, coverage on
         // the same scale as the original pack of a same-sized set.
-        assert!(repacked.nodes < degraded.nodes, "{} !< {}", repacked.nodes, degraded.nodes);
+        assert!(
+            repacked.nodes < degraded.nodes,
+            "{} !< {}",
+            repacked.nodes,
+            degraded.nodes
+        );
         assert!(repacked.depth <= degraded.depth);
         assert!(repacked.coverage < fresh.coverage * 2.0);
         repacked_tree.validate_with(false).unwrap();
@@ -165,7 +178,10 @@ mod tests {
             auto.insert(r, id);
             let _ = i;
         }
-        assert!(auto.repacks() >= 1, "100 updates on 200 items at 25% must repack");
+        assert!(
+            auto.repacks() >= 1,
+            "100 updates on 200 items at 25% must repack"
+        );
         auto.tree().validate_with(false).unwrap();
         assert_eq!(auto.tree().len(), 300);
     }

@@ -43,7 +43,9 @@ pub enum ZeroOverlapError {
 impl std::fmt::Display for ZeroOverlapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ZeroOverlapError::DuplicatePoints => f.write_str("duplicate points cannot be separated by rotation"),
+            ZeroOverlapError::DuplicatePoints => {
+                f.write_str("duplicate points cannot be separated by rotation")
+            }
             ZeroOverlapError::Empty => f.write_str("empty point set"),
         }
     }
@@ -66,10 +68,7 @@ pub fn zero_overlap_partition(
     let rotated = transform::rotate_all(points, angle);
     let mut order: Vec<usize> = (0..points.len()).collect();
     order.sort_by(|&a, &b| rotated[a].x.total_cmp(&rotated[b].x));
-    let groups: Vec<Vec<usize>> = order
-        .chunks(max_per_group)
-        .map(<[usize]>::to_vec)
-        .collect();
+    let groups: Vec<Vec<usize>> = order.chunks(max_per_group).map(<[usize]>::to_vec).collect();
     let rotated_mbrs: Vec<Rect> = groups
         .iter()
         .map(|g| Rect::mbr_of_points(g.iter().map(|&i| rotated[i])).expect("non-empty"))
@@ -104,7 +103,9 @@ mod tests {
 
     #[test]
     fn simple_case() {
-        let pts: Vec<Point> = (0..8).map(|i| Point::new(i as f64, (i * 3 % 5) as f64)).collect();
+        let pts: Vec<Point> = (0..8)
+            .map(|i| Point::new(i as f64, (i * 3 % 5) as f64))
+            .collect();
         let w = zero_overlap_partition(&pts, 4).unwrap();
         assert_eq!(w.groups.len(), 2);
         assert!(w.is_disjoint());
@@ -144,7 +145,10 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(zero_overlap_partition(&[], 4).unwrap_err(), ZeroOverlapError::Empty);
+        assert_eq!(
+            zero_overlap_partition(&[], 4).unwrap_err(),
+            ZeroOverlapError::Empty
+        );
     }
 
     #[test]

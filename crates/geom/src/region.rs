@@ -100,10 +100,7 @@ impl Region {
     pub fn centroid(&self) -> Point {
         let vertex_average = {
             let n = self.vertices.len() as f64;
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, &p| acc + p);
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, &p| acc + p);
             Point::new(sum.x / n, sum.y / n)
         };
         let a = self.signed_area();

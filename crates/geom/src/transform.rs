@@ -78,10 +78,18 @@ mod tests {
 
     #[test]
     fn distinct_x_detection() {
-        let pts = [Point::new(0.0, 0.0), Point::new(0.0, 1.0), Point::new(1.0, 0.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+        ];
         assert!(!all_x_distinct(&pts));
         assert_eq!(distinct_x_count(&pts), 2);
-        let ok = [Point::new(0.0, 0.0), Point::new(0.5, 1.0), Point::new(1.0, 0.0)];
+        let ok = [
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 1.0),
+            Point::new(1.0, 0.0),
+        ];
         assert!(all_x_distinct(&ok));
         assert_eq!(distinct_x_count(&ok), 3);
     }
@@ -116,7 +124,11 @@ mod tests {
 
     #[test]
     fn already_distinct_needs_no_rotation() {
-        let pts = [Point::new(0.0, 5.0), Point::new(1.0, 2.0), Point::new(2.0, 9.0)];
+        let pts = [
+            Point::new(0.0, 5.0),
+            Point::new(1.0, 2.0),
+            Point::new(2.0, 9.0),
+        ];
         assert_eq!(rotation_with_distinct_x(&pts), Some(0.0));
     }
 
@@ -126,7 +138,10 @@ mod tests {
         assert_eq!(distinct_x_count_rotated(&pts, 0.0), distinct_x_count(&pts));
         // Quarter turn turns the shared-x pair into a shared-y pair with
         // distinct x.
-        assert_eq!(distinct_x_count_rotated(&pts, std::f64::consts::FRAC_PI_2), 2);
+        assert_eq!(
+            distinct_x_count_rotated(&pts, std::f64::consts::FRAC_PI_2),
+            2
+        );
     }
 
     #[test]

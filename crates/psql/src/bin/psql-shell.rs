@@ -96,7 +96,10 @@ fn run_meta(db: &PictorialDatabase, command: &str, auto_map: &mut bool) -> MetaR
         "\\help" | "\\h" => print!("{HELP}"),
         "\\nomap" => {
             *auto_map = !*auto_map;
-            println!("automatic map rendering: {}", if *auto_map { "on" } else { "off" });
+            println!(
+                "automatic map rendering: {}",
+                if *auto_map { "on" } else { "off" }
+            );
         }
         "\\tables" => {
             println!("relations:");
@@ -140,8 +143,11 @@ fn run_query(db: &PictorialDatabase, text: &str, auto_map: bool) {
             println!("{result}");
             if auto_map && !result.highlights.is_empty() {
                 // Render each picture that has highlighted objects.
-                let mut pictures: Vec<&str> =
-                    result.highlights.iter().map(|h| h.picture.as_str()).collect();
+                let mut pictures: Vec<&str> = result
+                    .highlights
+                    .iter()
+                    .map(|h| h.picture.as_str())
+                    .collect();
                 pictures.sort_unstable();
                 pictures.dedup();
                 for pic_name in pictures {

@@ -54,7 +54,9 @@ impl PictorialDatabase {
     /// Creates a picture.
     pub fn create_picture(&mut self, name: &str, frame: Rect) -> Result<(), PsqlError> {
         if self.pictures.contains_key(name) {
-            return Err(PsqlError::Semantic(format!("picture {name:?} already exists")));
+            return Err(PsqlError::Semantic(format!(
+                "picture {name:?} already exists"
+            )));
         }
         self.pictures
             .insert(name.to_owned(), Picture::new(name, frame, self.config));
@@ -157,7 +159,12 @@ impl PictorialDatabase {
                 if let Some(obj) = tuple[i].as_pointer() {
                     let key = (relation.to_owned(), col.name.clone());
                     if self.associations.contains_key(&key) {
-                        self.backlinks.entry(key).or_default().entry(obj).or_default().push(tid);
+                        self.backlinks
+                            .entry(key)
+                            .or_default()
+                            .entry(obj)
+                            .or_default()
+                            .push(tid);
                     }
                 }
             }
@@ -224,7 +231,13 @@ impl PictorialDatabase {
 
         let mut db = PictorialDatabase::new(RTreeConfig::PAPER);
         let frame = usmap::FRAME;
-        for pic in ["us-map", "state-map", "time-zone-map", "lake-map", "highway-map"] {
+        for pic in [
+            "us-map",
+            "state-map",
+            "time-zone-map",
+            "lake-map",
+            "highway-map",
+        ] {
             db.create_picture(pic, frame).expect("fresh picture");
         }
 
@@ -265,7 +278,9 @@ impl PictorialDatabase {
             )
             .expect("valid tuple");
         }
-        db.catalog_mut().create_index("cities", "population").expect("index");
+        db.catalog_mut()
+            .create_index("cities", "population")
+            .expect("index");
 
         // states(state, population-density, loc) on state-map.
         db.catalog_mut()
@@ -302,7 +317,8 @@ impl PictorialDatabase {
                 ]),
             )
             .expect("fresh relation");
-        db.associate("time-zones", "loc", "time-zone-map").expect("assoc");
+        db.associate("time-zones", "loc", "time-zone-map")
+            .expect("assoc");
         for (name, hour_diff, region) in usmap::time_zones() {
             let obj = db
                 .add_object("time-zone-map", SpatialObject::Region(region), name)
@@ -349,7 +365,8 @@ impl PictorialDatabase {
                 ]),
             )
             .expect("fresh relation");
-        db.associate("highways", "loc", "highway-map").expect("assoc");
+        db.associate("highways", "loc", "highway-map")
+            .expect("assoc");
         for h in usmap::highways() {
             let label = format!("{}#{}", h.highway, h.section);
             let obj = db
@@ -385,7 +402,11 @@ mod tests {
         assert_eq!(db.picture("us-map").unwrap().len(), 42);
         assert_eq!(db.picture("time-zone-map").unwrap().len(), 4);
         assert_eq!(db.association("cities", "loc"), Some("us-map"));
-        db.picture("us-map").unwrap().tree().validate_with(false).unwrap();
+        db.picture("us-map")
+            .unwrap()
+            .tree()
+            .validate_with(false)
+            .unwrap();
     }
 
     #[test]
@@ -393,10 +414,18 @@ mod tests {
         let db = PictorialDatabase::with_us_map();
         let pic = db.picture("us-map").unwrap();
         // Find the object labelled "Boston" and map it back to a tuple.
-        let boston = pic.object_ids().find(|&id| pic.label(id) == Some("Boston")).unwrap();
+        let boston = pic
+            .object_ids()
+            .find(|&id| pic.label(id) == Some("Boston"))
+            .unwrap();
         let tids = db.tuples_of_object("cities", "loc", boston);
         assert_eq!(tids.len(), 1);
-        let tuple = db.catalog().relation("cities").unwrap().get(tids[0]).unwrap();
+        let tuple = db
+            .catalog()
+            .relation("cities")
+            .unwrap()
+            .get(tids[0])
+            .unwrap();
         assert_eq!(tuple[0], Value::str("Boston"));
     }
 
@@ -404,7 +433,10 @@ mod tests {
     fn delete_clears_backlink() {
         let mut db = PictorialDatabase::with_us_map();
         let pic = db.picture("us-map").unwrap();
-        let boston = pic.object_ids().find(|&id| pic.label(id) == Some("Boston")).unwrap();
+        let boston = pic
+            .object_ids()
+            .find(|&id| pic.label(id) == Some("Boston"))
+            .unwrap();
         let tid = db.tuples_of_object("cities", "loc", boston)[0];
         db.delete("cities", tid).unwrap();
         assert!(db.tuples_of_object("cities", "loc", boston).is_empty());
@@ -415,7 +447,8 @@ mod tests {
         // Tuples inserted before associate() must still be reachable
         // through the picture.
         let mut db = PictorialDatabase::new(RTreeConfig::PAPER);
-        db.create_picture("pic", Rect::new(0.0, 0.0, 10.0, 10.0)).unwrap();
+        db.create_picture("pic", Rect::new(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
         db.catalog_mut()
             .create_relation(
                 "things",
@@ -458,12 +491,21 @@ mod tests {
     fn dynamic_object_and_tuple_insert() {
         let mut db = PictorialDatabase::with_us_map();
         let obj = db
-            .add_object("us-map", SpatialObject::Point(Point::new(50.0, 25.0)), "Springfield")
+            .add_object(
+                "us-map",
+                SpatialObject::Point(Point::new(50.0, 25.0)),
+                "Springfield",
+            )
             .unwrap();
         let tid = db
             .insert(
                 "cities",
-                vec!["Springfield".into(), "IL".into(), 600_000i64.into(), Value::Pointer(obj)],
+                vec![
+                    "Springfield".into(),
+                    "IL".into(),
+                    600_000i64.into(),
+                    Value::Pointer(obj),
+                ],
             )
             .unwrap();
         assert_eq!(db.tuples_of_object("cities", "loc", obj), &[tid]);

@@ -10,7 +10,7 @@ use crate::result::{Highlight, ResultSet};
 use crate::spatial::SpatialOp;
 use pictorial_relational::{ColumnType, TupleId, Value};
 use rtree_geom::SpatialObject;
-use rtree_index::{ItemId, SearchStats};
+use rtree_index::{ItemId, SearchScratch};
 
 /// Plans and executes a query with the built-in pictorial functions.
 pub fn execute(db: &PictorialDatabase, query: &Query) -> Result<ResultSet, PsqlError> {
@@ -34,8 +34,11 @@ pub fn execute_plan(
     plan: &Plan,
     functions: &FunctionRegistry,
 ) -> Result<ResultSet, PsqlError> {
-    let mut stats = SearchStats::default();
-    let rows = candidate_rows(db, plan, functions, &mut stats)?;
+    // One scratch per plan execution: every tree search in this query
+    // (including the per-inner-tuple searches of nested mappings) reuses
+    // the same traversal buffers instead of allocating per query.
+    let mut scratch = SearchScratch::new();
+    let rows = candidate_rows(db, plan, functions, &mut scratch)?;
 
     // Residual where-clause.
     #[allow(unused_mut)]
@@ -58,7 +61,13 @@ pub fn execute_plan(
             let v = column_value(db, plan, &row, *key)?.clone();
             keyed.push((v, row));
         }
-        keyed.sort_by(|a, b| if *ascending { a.0.cmp(&b.0) } else { b.0.cmp(&a.0) });
+        keyed.sort_by(|a, b| {
+            if *ascending {
+                a.0.cmp(&b.0)
+            } else {
+                b.0.cmp(&a.0)
+            }
+        });
         kept = keyed.into_iter().map(|(_, row)| row).collect();
     }
     if let Some(n) = plan.limit {
@@ -73,9 +82,9 @@ pub fn execute_plan(
             Projection::Column { name, .. } | Projection::Function { name, .. } => name.clone(),
         })
         .collect();
-    let has_aggregate = plan.projection.iter().any(|p| {
-        matches!(p, Projection::Function { function, .. } if functions.is_aggregate(function))
-    });
+    let has_aggregate = plan.projection.iter().any(
+        |p| matches!(p, Projection::Function { function, .. } if functions.is_aggregate(function)),
+    );
     let mut out_rows = Vec::with_capacity(if has_aggregate { 1 } else { kept.len() });
     if has_aggregate {
         // §2.1's aggregate pictorial functions (northest-of, …): the
@@ -84,9 +93,7 @@ pub fn execute_plan(
         let mut out = Vec::with_capacity(plan.projection.len());
         for p in &plan.projection {
             match p {
-                Projection::Function { function, arg, .. }
-                    if functions.is_aggregate(function) =>
-                {
+                Projection::Function { function, arg, .. } if functions.is_aggregate(function) => {
                     let mut objects = Vec::with_capacity(kept.len());
                     for row in &kept {
                         objects.push(object_of(db, plan, row, *arg)?);
@@ -109,7 +116,11 @@ pub fn execute_plan(
                     Projection::Column { source, .. } => {
                         out.push(column_value(db, plan, row, *source)?.clone());
                     }
-                    Projection::Function { function, arg, name: _ } => {
+                    Projection::Function {
+                        function,
+                        arg,
+                        name: _,
+                    } => {
                         let obj = object_of(db, plan, row, *arg)?;
                         out.push(functions.apply(function, &obj)?);
                     }
@@ -159,7 +170,7 @@ fn candidate_rows(
     db: &PictorialDatabase,
     plan: &Plan,
     functions: &FunctionRegistry,
-    stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
 ) -> Result<Vec<Vec<TupleId>>, PsqlError> {
     match &plan.spatial {
         SpatialStrategy::None => {
@@ -188,7 +199,7 @@ fn candidate_rows(
             window,
         } => {
             let pic = db.picture(picture)?;
-            let objs = pic.search_window(*op, window, stats);
+            let objs = pic.search_window_fast(*op, window, scratch);
             Ok(objects_to_rows(db, plan, *column, &objs))
         }
         SpatialStrategy::Nested {
@@ -230,7 +241,9 @@ fn candidate_rows(
                 let inner_obj = inner_picture.object(obj_id).ok_or_else(|| {
                     PsqlError::Semantic(format!("dangling pointer {obj_id} in nested result"))
                 })?;
-                for cand in pic.search_window(SpatialOp::Overlapping, &inner_obj.mbr(), stats) {
+                for cand in
+                    pic.search_window_fast(SpatialOp::Overlapping, &inner_obj.mbr(), scratch)
+                {
                     let outer_obj = pic.object(cand).expect("candidate exists");
                     if op.eval_objects(outer_obj, inner_obj) && dedupe.insert(cand) {
                         objs.push(cand);
@@ -660,7 +673,11 @@ mod tests {
             .collect();
         assert_eq!(zones, vec!["Central", "Eastern"]);
         // Order key need not be projected.
-        let result3 = query(&db, "select city from cities order by population desc limit 1").unwrap();
+        let result3 = query(
+            &db,
+            "select city from cities order by population desc limit 1",
+        )
+        .unwrap();
         assert_eq!(result3.rows[0][0], Value::str("New York"));
     }
 

@@ -178,10 +178,22 @@ mod tests {
             SpatialObject::Segment(Segment::new(Point::new(0.0, 1.0), Point::new(4.0, 7.0))),
             SpatialObject::Segment(Segment::new(Point::new(4.0, 7.0), Point::new(9.0, 3.0))),
         ];
-        assert_eq!(reg.apply_aggregate("northest-of", &objs).unwrap(), Value::Float(7.0));
-        assert_eq!(reg.apply_aggregate("westest-of", &objs).unwrap(), Value::Float(0.0));
-        assert_eq!(reg.apply_aggregate("count-of", &objs).unwrap(), Value::Int(2));
-        assert_eq!(reg.apply_aggregate("northest-of", &[]).unwrap(), Value::Null);
+        assert_eq!(
+            reg.apply_aggregate("northest-of", &objs).unwrap(),
+            Value::Float(7.0)
+        );
+        assert_eq!(
+            reg.apply_aggregate("westest-of", &objs).unwrap(),
+            Value::Float(0.0)
+        );
+        assert_eq!(
+            reg.apply_aggregate("count-of", &objs).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            reg.apply_aggregate("northest-of", &[]).unwrap(),
+            Value::Null
+        );
         assert!(reg.is_aggregate("northest-of"));
         assert!(!reg.is_aggregate("area"));
         assert!(reg.apply_aggregate("nope", &objs).is_err());

@@ -27,7 +27,12 @@ pub struct JoinStats {
 /// [`SpatialOp::mbr_filter`]. For `Disjoined` — which no hierarchy of
 /// bounding rectangles can prune — this degrades to the full cross
 /// product of MBR-disjoint pairs.
-pub fn rtree_join(a: &RTree, b: &RTree, op: SpatialOp, stats: &mut JoinStats) -> Vec<(ItemId, ItemId)> {
+pub fn rtree_join(
+    a: &RTree,
+    b: &RTree,
+    op: SpatialOp,
+    stats: &mut JoinStats,
+) -> Vec<(ItemId, ItemId)> {
     let mut out = Vec::new();
     if a.is_empty() || b.is_empty() {
         return out;
@@ -166,7 +171,9 @@ mod tests {
     }
 
     fn grid_points(n: usize) -> Vec<(f64, f64)> {
-        (0..n).map(|i| ((i % 10) as f64 * 7.0, (i / 10) as f64 * 7.0)).collect()
+        (0..n)
+            .map(|i| ((i % 10) as f64 * 7.0, (i / 10) as f64 * 7.0))
+            .collect()
     }
 
     fn tiles() -> Vec<Rect> {
@@ -185,7 +192,12 @@ mod tests {
     fn join_matches_nested_loop() {
         let a = tree_of_points(&grid_points(80));
         let b = tree_of_rects(&tiles());
-        for op in [SpatialOp::CoveredBy, SpatialOp::Overlapping, SpatialOp::Covering, SpatialOp::Disjoined] {
+        for op in [
+            SpatialOp::CoveredBy,
+            SpatialOp::Overlapping,
+            SpatialOp::Covering,
+            SpatialOp::Disjoined,
+        ] {
             let mut s1 = JoinStats::default();
             let mut s2 = JoinStats::default();
             let mut fast = rtree_join(&a, &b, op, &mut s1);

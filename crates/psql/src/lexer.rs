@@ -188,10 +188,8 @@ mod tests {
 
     #[test]
     fn figure_2_1_query_lexes() {
-        let toks = lex(
-            "select city,state,population,loc from cities on us-map \
-             at loc covered-by {4 +- 4, 11 +- 9} where population > 450000",
-        )
+        let toks = lex("select city,state,population,loc from cities on us-map \
+             at loc covered-by {4 +- 4, 11 +- 9} where population > 450000")
         .unwrap();
         assert_eq!(toks[0], Token::Select);
         assert!(toks.contains(&Token::Ident("us-map".into())));
@@ -237,7 +235,14 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             lex("= <> < <= > >=").unwrap(),
-            vec![Token::Eq, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
         );
     }
 

@@ -45,7 +45,9 @@ impl Parser {
         match self.next() {
             Some(t) if t == *want => Ok(()),
             Some(t) => Err(PsqlError::Parse(format!("expected {want}, found {t}"))),
-            None => Err(PsqlError::Parse(format!("expected {want}, found end of input"))),
+            None => Err(PsqlError::Parse(format!(
+                "expected {want}, found end of input"
+            ))),
         }
     }
 
@@ -53,7 +55,9 @@ impl Parser {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
             Some(t) => Err(PsqlError::Parse(format!("expected identifier, found {t}"))),
-            None => Err(PsqlError::Parse("expected identifier, found end of input".into())),
+            None => Err(PsqlError::Parse(
+                "expected identifier, found end of input".into(),
+            )),
         }
     }
 
@@ -61,7 +65,9 @@ impl Parser {
         match self.next() {
             Some(Token::Number(n)) => Ok(n),
             Some(t) => Err(PsqlError::Parse(format!("expected number, found {t}"))),
-            None => Err(PsqlError::Parse("expected number, found end of input".into())),
+            None => Err(PsqlError::Parse(
+                "expected number, found end of input".into(),
+            )),
         }
     }
 
@@ -111,7 +117,9 @@ impl Parser {
             self.next();
             let n = self.number()?;
             if n < 0.0 || n.fract() != 0.0 {
-                return Err(PsqlError::Parse("limit must be a non-negative integer".into()));
+                return Err(PsqlError::Parse(
+                    "limit must be a non-negative integer".into(),
+                ));
             }
             Some(n as usize)
         } else {
@@ -238,7 +246,9 @@ impl Parser {
         let dy = self.number()?;
         self.expect(&Token::RBrace)?;
         if dx < 0.0 || dy < 0.0 {
-            return Err(PsqlError::Parse("window half-extents must be non-negative".into()));
+            return Err(PsqlError::Parse(
+                "window half-extents must be non-negative".into(),
+            ));
         }
         Ok(Rect::new(cx - dx, cy - dy, cx + dx, cy + dy))
     }
@@ -373,7 +383,10 @@ mod tests {
         assert_eq!(q.on, vec!["us-map", "time-zone-map"]);
         let at = q.at.unwrap();
         assert_eq!(at.lhs, ColumnRef::qualified("cities", "loc"));
-        assert_eq!(at.rhs, LocTerm::Column(ColumnRef::qualified("time-zones", "loc")));
+        assert_eq!(
+            at.rhs,
+            LocTerm::Column(ColumnRef::qualified("time-zones", "loc"))
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::spatial::SpatialOp;
 use packed_rtree_core::pack;
 use rtree_geom::{Rect, SpatialObject};
-use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats};
+use rtree_index::{ItemId, RTree, RTreeConfig, SearchScratch, SearchStats};
 
 /// A picture: named spatial objects over a frame, indexed by an R-tree.
 ///
@@ -95,12 +95,7 @@ impl Picture {
 
     /// Direct spatial search: object ids satisfying `obj op window`,
     /// pruned through the R-tree and refined with exact geometry.
-    pub fn search_window(
-        &self,
-        op: SpatialOp,
-        window: &Rect,
-        stats: &mut SearchStats,
-    ) -> Vec<u64> {
+    pub fn search_window(&self, op: SpatialOp, window: &Rect, stats: &mut SearchStats) -> Vec<u64> {
         let candidates: Vec<ItemId> = match op {
             // The paper's SEARCH: WITHIN at the leaves.
             SpatialOp::CoveredBy => self.tree.search_within(window, stats),
@@ -120,6 +115,40 @@ impl Picture {
             .filter(|&id| op.eval_window(&self.objects[id as usize], window))
             .collect()
     }
+
+    /// [`search_window`](Self::search_window) without statistics: the
+    /// executor's hot path. Tree traversal reuses `scratch`, so repeated
+    /// queries (e.g. one per inner tuple of a nested mapping) allocate
+    /// nothing once the scratch buffers have warmed up.
+    pub fn search_window_fast(
+        &self,
+        op: SpatialOp,
+        window: &Rect,
+        scratch: &mut SearchScratch,
+    ) -> Vec<u64> {
+        match op {
+            SpatialOp::CoveredBy => {
+                self.refine(op, window, self.tree.search_within_into(window, scratch))
+            }
+            SpatialOp::Overlapping | SpatialOp::Covering => self.refine(
+                op,
+                window,
+                self.tree.search_intersecting_into(window, scratch),
+            ),
+            SpatialOp::Disjoined => self
+                .object_ids()
+                .filter(|&id| op.eval_window(&self.objects[id as usize], window))
+                .collect(),
+        }
+    }
+
+    fn refine(&self, op: SpatialOp, window: &Rect, candidates: &[ItemId]) -> Vec<u64> {
+        candidates
+            .iter()
+            .map(|&ItemId(id)| id)
+            .filter(|&id| op.eval_window(&self.objects[id as usize], window))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +157,11 @@ mod tests {
     use rtree_geom::{Point, Region};
 
     fn sample() -> Picture {
-        let mut pic = Picture::new("test", Rect::new(0.0, 0.0, 100.0, 100.0), RTreeConfig::PAPER);
+        let mut pic = Picture::new(
+            "test",
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            RTreeConfig::PAPER,
+        );
         for i in 0..20 {
             let p = Point::new((i * 5) as f64, (i * 5) as f64);
             pic.add(SpatialObject::Point(p), &format!("pt{i}"));
@@ -153,10 +186,18 @@ mod tests {
     fn pack_preserves_searchability() {
         let mut pic = sample();
         let mut stats = SearchStats::default();
-        let before = pic.search_window(SpatialOp::CoveredBy, &Rect::new(0.0, 0.0, 26.0, 26.0), &mut stats);
+        let before = pic.search_window(
+            SpatialOp::CoveredBy,
+            &Rect::new(0.0, 0.0, 26.0, 26.0),
+            &mut stats,
+        );
         pic.pack();
         pic.tree().validate_with(false).unwrap();
-        let mut after = pic.search_window(SpatialOp::CoveredBy, &Rect::new(0.0, 0.0, 26.0, 26.0), &mut stats);
+        let mut after = pic.search_window(
+            SpatialOp::CoveredBy,
+            &Rect::new(0.0, 0.0, 26.0, 26.0),
+            &mut stats,
+        );
         let mut before = before;
         before.sort_unstable();
         after.sort_unstable();

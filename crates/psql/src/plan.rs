@@ -160,7 +160,10 @@ impl Plan {
             out.push_str("filter: residual where-clause\n");
         }
         if let Some((_, asc)) = &self.order_by {
-            out.push_str(&format!("sort: order by ({})\n", if *asc { "asc" } else { "desc" }));
+            out.push_str(&format!(
+                "sort: order by ({})\n",
+                if *asc { "asc" } else { "desc" }
+            ));
         }
         if let Some(n) = self.limit {
             out.push_str(&format!("limit: {n}\n"));
@@ -190,7 +193,10 @@ pub fn plan(db: &PictorialDatabase, query: &Query) -> Result<Plan, PsqlError> {
         db.picture(p)?;
     }
 
-    let resolver = Resolver { db, from: &query.from };
+    let resolver = Resolver {
+        db,
+        from: &query.from,
+    };
 
     let spatial = match &query.at {
         None => SpatialStrategy::None,
@@ -219,7 +225,10 @@ pub fn plan(db: &PictorialDatabase, query: &Query) -> Result<Plan, PsqlError> {
                             col.name.clone()
                         };
                         projection.push(Projection::Column {
-                            source: ResolvedColumn { rel: rel_idx, col: col_idx },
+                            source: ResolvedColumn {
+                                rel: rel_idx,
+                                col: col_idx,
+                            },
                             name,
                         });
                     }
@@ -382,9 +391,7 @@ fn pick_index(db: &PictorialDatabase, relation: &str, where_clause: Option<&Expr
     // Walk the top-level AND chain for an indexed comparison.
     fn find(db: &PictorialDatabase, relation: &str, expr: &Expr) -> Option<Access> {
         match expr {
-            Expr::And(a, b) => {
-                find(db, relation, a).or_else(|| find(db, relation, b))
-            }
+            Expr::And(a, b) => find(db, relation, a).or_else(|| find(db, relation, b)),
             Expr::Compare {
                 lhs: Operand::Column(cr),
                 op,
@@ -504,9 +511,7 @@ impl Resolver<'_> {
         self.db
             .association(rel_name, col_name)
             .map(str::to_owned)
-            .ok_or_else(|| {
-                PsqlError::Semantic(format!("{cr} is not associated with any picture"))
-            })
+            .ok_or_else(|| PsqlError::Semantic(format!("{cr} is not associated with any picture")))
     }
 }
 
@@ -522,10 +527,9 @@ mod tests {
     #[test]
     fn window_query_plans_spatial_search() {
         let db = db();
-        let q = parse_query(
-            "select city from cities on us-map at loc covered-by {50 +- 50, 25 +- 25}",
-        )
-        .unwrap();
+        let q =
+            parse_query("select city from cities on us-map at loc covered-by {50 +- 50, 25 +- 25}")
+                .unwrap();
         let p = plan(&db, &q).unwrap();
         assert!(matches!(p.spatial, SpatialStrategy::Window { .. }));
         assert!(p.explain().contains("r-tree search on us-map"));
@@ -595,10 +599,8 @@ mod tests {
     #[test]
     fn named_location_resolves_to_window() {
         let db = db();
-        let q = parse_query(
-            "select city from cities on us-map at loc covered-by eastern-us",
-        )
-        .unwrap();
+        let q =
+            parse_query("select city from cities on us-map at loc covered-by eastern-us").unwrap();
         let p = plan(&db, &q).unwrap();
         match &p.spatial {
             SpatialStrategy::Window { window, .. } => {

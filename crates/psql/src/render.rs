@@ -165,7 +165,12 @@ mod tests {
             "select zone, loc from time-zones on time-zone-map at loc overlapping {10 +- 9, 25 +- 25}",
         )
         .unwrap();
-        let text = render(db.picture("time-zone-map").unwrap(), &zones.highlights, 80, 24);
+        let text = render(
+            db.picture("time-zone-map").unwrap(),
+            &zones.highlights,
+            80,
+            24,
+        );
         assert!(text.contains('#'), "highlighted region outline expected");
         let hw = query(&db, "select hwy-name, loc from highways on highway-map at loc overlapping {50 +- 50, 25 +- 25} where hwy-name = 'I-10'").unwrap();
         let text2 = render(db.picture("highway-map").unwrap(), &hw.highlights, 80, 24);

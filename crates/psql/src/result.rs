@@ -86,7 +86,12 @@ impl fmt::Display for ResultSet {
             line(f, row)?;
         }
         writeln!(f, "{rule}")?;
-        writeln!(f, "({} row{})", self.len(), if self.len() == 1 { "" } else { "s" })
+        writeln!(
+            f,
+            "({} row{})",
+            self.len(),
+            if self.len() == 1 { "" } else { "s" }
+        )
     }
 }
 

@@ -142,10 +142,8 @@ mod tests {
     #[test]
     fn overlap_and_disjoint_window() {
         let w = Rect::new(0.0, 0.0, 10.0, 10.0);
-        let crossing = SpatialObject::Segment(Segment::new(
-            Point::new(-5.0, 5.0),
-            Point::new(15.0, 5.0),
-        ));
+        let crossing =
+            SpatialObject::Segment(Segment::new(Point::new(-5.0, 5.0), Point::new(15.0, 5.0)));
         assert!(SpatialOp::Overlapping.eval_window(&crossing, &w));
         assert!(!SpatialOp::Disjoined.eval_window(&crossing, &w));
         let far = point(50.0, 50.0);
@@ -189,7 +187,11 @@ mod tests {
     fn mbr_filter_is_necessary_condition() {
         let a = region(0.0, 0.0, 5.0, 5.0);
         let b = region(2.0, 2.0, 8.0, 8.0);
-        for op in [SpatialOp::Covering, SpatialOp::CoveredBy, SpatialOp::Overlapping] {
+        for op in [
+            SpatialOp::Covering,
+            SpatialOp::CoveredBy,
+            SpatialOp::Overlapping,
+        ] {
             if op.eval_objects(&a, &b) {
                 assert!(op.mbr_filter(&a.mbr(), &b.mbr()), "{op}");
             }

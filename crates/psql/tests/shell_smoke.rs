@@ -25,9 +25,8 @@ fn run_session(script: &str) -> String {
 
 #[test]
 fn scripted_query_session() {
-    let out = run_session(
-        "select city, population from cities where population > 9000000;\n\\quit\n",
-    );
+    let out =
+        run_session("select city, population from cities where population > 9000000;\n\\quit\n");
     assert!(out.contains("New York"), "missing result:\n{out}");
     assert!(out.contains("Chicago"));
     assert!(out.contains("(3 rows)"));
@@ -53,7 +52,10 @@ fn meta_commands() {
     let out = run_session("\\tables\n\\explain select city from cities where population > 5000000;\n\\map lake-map\n\\badcmd\n\\quit\n");
     assert!(out.contains("cities(city:str, state:str, population:int, loc:pointer)"));
     assert!(out.contains("b+tree index on population"));
-    assert!(out.contains("Superior") == false, "\\map renders without highlights/labels");
+    assert!(
+        !out.contains("Superior"),
+        "\\map renders without highlights/labels"
+    );
     assert!(out.contains("unknown command"));
 }
 
@@ -62,7 +64,10 @@ fn errors_are_reported_not_fatal() {
     let out = run_session(
         "select nope from nowhere;\nselect city from cities where population > 9000000;\n\\quit\n",
     );
-    assert!(out.contains("no such relation") || out.contains("semantic error"), "{out}");
+    assert!(
+        out.contains("no such relation") || out.contains("semantic error"),
+        "{out}"
+    );
     // The session continued after the error.
     assert!(out.contains("New York"));
 }

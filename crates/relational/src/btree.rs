@@ -136,33 +136,31 @@ impl Node {
     /// Inserts; on split returns the separator and the new right sibling.
     fn insert(&mut self, key: Value, tid: TupleId, order: usize) -> Option<(Value, Box<Node>)> {
         match self {
-            Node::Leaf { keys, postings } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        postings[i].push(tid);
+            Node::Leaf { keys, postings } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    postings[i].push(tid);
+                    None
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    postings.insert(i, vec![tid]);
+                    if keys.len() > order {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_postings = postings.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        Some((
+                            sep,
+                            Box::new(Node::Leaf {
+                                keys: right_keys,
+                                postings: right_postings,
+                            }),
+                        ))
+                    } else {
                         None
                     }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        postings.insert(i, vec![tid]);
-                        if keys.len() > order {
-                            let mid = keys.len() / 2;
-                            let right_keys = keys.split_off(mid);
-                            let right_postings = postings.split_off(mid);
-                            let sep = right_keys[0].clone();
-                            Some((
-                                sep,
-                                Box::new(Node::Leaf {
-                                    keys: right_keys,
-                                    postings: right_postings,
-                                }),
-                            ))
-                        } else {
-                            None
-                        }
-                    }
                 }
-            }
+            },
             Node::Internal {
                 separators,
                 children,
@@ -435,7 +433,9 @@ mod tests {
         let mut model: BTreeMap<i64, Vec<TupleId>> = BTreeMap::new();
         let mut s = 99u64;
         for step in 0..2000u64 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = ((s >> 33) % 200) as i64;
             let tid = TupleId(step);
             if (s >> 7).is_multiple_of(3) {

@@ -69,12 +69,15 @@ impl Catalog {
 
     /// The index on `relation.column`, if one exists.
     pub fn index(&self, relation: &str, column: &str) -> Option<&BPlusTree> {
-        self.indexes
-            .get(&(relation.to_owned(), column.to_owned()))
+        self.indexes.get(&(relation.to_owned(), column.to_owned()))
     }
 
     /// Inserts a tuple, maintaining all indexes on the relation.
-    pub fn insert(&mut self, relation: &str, tuple: Vec<Value>) -> Result<TupleId, RelationalError> {
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        tuple: Vec<Value>,
+    ) -> Result<TupleId, RelationalError> {
         let rel = self
             .relations
             .get_mut(relation)
@@ -154,7 +157,9 @@ mod tests {
         cat.create_index("cities", "population").unwrap();
         // Backfilled.
         assert_eq!(
-            cat.index("cities", "population").unwrap().get(&Value::Int(4_900_000)),
+            cat.index("cities", "population")
+                .unwrap()
+                .get(&Value::Int(4_900_000)),
             &[a]
         );
         // Maintained on insert.
@@ -162,7 +167,9 @@ mod tests {
             .insert("cities", vec!["Miami".into(), 6_100_000i64.into()])
             .unwrap();
         assert_eq!(
-            cat.index("cities", "population").unwrap().get(&Value::Int(6_100_000)),
+            cat.index("cities", "population")
+                .unwrap()
+                .get(&Value::Int(6_100_000)),
             &[b]
         );
         // Maintained on delete.

@@ -39,7 +39,10 @@ impl fmt::Display for RelationalError {
         match self {
             RelationalError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
             RelationalError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} columns, tuple has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, tuple has {got}"
+                )
             }
             RelationalError::TypeMismatch {
                 column,

@@ -138,7 +138,9 @@ mod tests {
     #[test]
     fn insert_get_scan() {
         let mut r = rel();
-        let a = r.insert(vec!["Boston".into(), 4_900_000i64.into()]).unwrap();
+        let a = r
+            .insert(vec!["Boston".into(), 4_900_000i64.into()])
+            .unwrap();
         let b = r.insert(vec!["Miami".into(), 6_100_000i64.into()]).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r.get(a).unwrap()[0], Value::str("Boston"));

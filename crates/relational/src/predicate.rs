@@ -130,7 +130,11 @@ mod tests {
         let s = schema();
         let big = Predicate::compare("population", CompareOp::Ge, Value::Int(1_000_000));
         let is_boston = Predicate::compare("city", CompareOp::Eq, Value::str("Boston"));
-        assert!(big.clone().and(is_boston.clone()).eval(&s, &boston()).unwrap());
+        assert!(big
+            .clone()
+            .and(is_boston.clone())
+            .eval(&s, &boston())
+            .unwrap());
         assert!(big
             .clone()
             .or(Predicate::compare("city", CompareOp::Eq, Value::str("X")))

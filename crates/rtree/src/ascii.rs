@@ -39,7 +39,13 @@ impl RTree {
             match e.child {
                 Child::Node(c) => self.dump_rec(c, indent + 1, out),
                 Child::Item(item) => {
-                    let _ = writeln!(out, "{:indent$}{item} {}", "", e.mbr, indent = (indent + 1) * 2);
+                    let _ = writeln!(
+                        out,
+                        "{:indent$}{item} {}",
+                        "",
+                        e.mbr,
+                        indent = (indent + 1) * 2
+                    );
                 }
             }
         }
@@ -61,7 +67,10 @@ mod tests {
         }
         let dump = t.dump();
         for i in 0..9 {
-            assert!(dump.contains(&format!("#{i} ")), "missing item {i}:\n{dump}");
+            assert!(
+                dump.contains(&format!("#{i} ")),
+                "missing item {i}:\n{dump}"
+            );
         }
         assert_eq!(dump.matches("level=").count(), t.node_count());
     }

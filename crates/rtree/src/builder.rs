@@ -23,14 +23,102 @@ pub struct BottomUpBuilder {
     items: usize,
 }
 
+/// A contiguous range of arena slots handed out by
+/// [`BottomUpBuilder::reserve`].
+///
+/// The node ids of the range are known before the nodes exist, which is
+/// what lets a parallel packer assign every group its final id up front
+/// and materialize nodes into disjoint sub-slices from worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ReservedRange {
+    start: u32,
+    len: usize,
+}
+
+impl ReservedRange {
+    /// The id of the `offset`-th slot of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is outside the range.
+    #[inline]
+    pub fn id(&self, offset: usize) -> NodeId {
+        assert!(offset < self.len, "offset {offset} outside reserved range");
+        NodeId(self.start + offset as u32)
+    }
+
+    /// Number of reserved slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 impl BottomUpBuilder {
     /// Starts building a tree with the given configuration.
     pub fn new(config: RTreeConfig) -> Self {
-        let mut tree = RTree::new(config);
-        // Discard the implicit empty root; the builder installs its own.
-        let root = tree.root();
-        tree.dealloc(root);
-        BottomUpBuilder { tree, items: 0 }
+        // Start from a completely empty arena: ids are handed out densely
+        // from 0, so level-by-level construction (sequential or through
+        // reserved ranges) yields identical layouts.
+        BottomUpBuilder {
+            tree: RTree::empty_arena(config),
+            items: 0,
+        }
+    }
+
+    /// Reserves `count` contiguous arena slots for one level's nodes and
+    /// returns their id range.
+    ///
+    /// Fill every slot through
+    /// [`reserved_slots_mut`](Self::reserved_slots_mut) and then seal the
+    /// range with [`commit_reserved`](Self::commit_reserved). Equivalent
+    /// to `count` calls of [`add_leaf`](Self::add_leaf) /
+    /// [`add_internal`](Self::add_internal) in offset order, but the ids
+    /// are known up front so the nodes can be built out of order (e.g. by
+    /// worker threads writing disjoint sub-slices).
+    pub fn reserve(&mut self, count: usize) -> ReservedRange {
+        let start = self.tree.arena_reserve(count);
+        ReservedRange { start, len: count }
+    }
+
+    /// Mutable slice over a reserved range's slots, in offset order.
+    ///
+    /// Slot `i` of the slice corresponds to node id `range.id(i)`. Split
+    /// the slice (`split_at_mut`) to hand disjoint parts to threads.
+    pub fn reserved_slots_mut(&mut self, range: &ReservedRange) -> &mut [Option<Node>] {
+        self.tree.arena_slice_mut(range.start, range.len)
+    }
+
+    /// Seals a reserved range after all slots have been filled with nodes
+    /// of the given `level`, folding their items into the tree's count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is still empty, holds a node of a different
+    /// level, or violates the `1..=M` entry-count bounds.
+    pub fn commit_reserved(&mut self, range: &ReservedRange, level: u32) {
+        let max = self.tree.config().max_entries;
+        let mut items = 0usize;
+        for offset in 0..range.len {
+            let slot = range.id(offset);
+            let node = self.tree.node(slot);
+            assert_eq!(node.level, level, "{slot}: wrong level in reserved range");
+            assert!(
+                !node.entries.is_empty() && node.len() <= max,
+                "{slot}: {} entries outside 1..={max}",
+                node.len()
+            );
+            if node.is_leaf() {
+                items += node.len();
+            }
+        }
+        self.items += items;
     }
 
     /// Creates a leaf node from up to `M` item entries, returning its
@@ -139,7 +227,10 @@ mod tests {
     fn two_level_build() {
         let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
         let l1 = b.add_leaf(vec![(pt(0.0, 0.0), ItemId(0)), (pt(1.0, 1.0), ItemId(1))]);
-        let l2 = b.add_leaf(vec![(pt(10.0, 10.0), ItemId(2)), (pt(11.0, 11.0), ItemId(3))]);
+        let l2 = b.add_leaf(vec![
+            (pt(10.0, 10.0), ItemId(2)),
+            (pt(11.0, 11.0), ItemId(3)),
+        ]);
         let (root, _) = b.add_internal(1, vec![l1, l2]);
         let t = b.finish(root);
         assert_eq!(t.depth(), 1);
@@ -171,10 +262,66 @@ mod tests {
     }
 
     #[test]
+    fn reserve_matches_incremental_build() {
+        // Building through a reserved range must be indistinguishable
+        // from the equivalent add_leaf/add_internal sequence.
+        let leaves = [
+            vec![(pt(0.0, 0.0), ItemId(0)), (pt(1.0, 1.0), ItemId(1))],
+            vec![(pt(10.0, 10.0), ItemId(2)), (pt(11.0, 11.0), ItemId(3))],
+        ];
+        let mut a = BottomUpBuilder::new(RTreeConfig::PAPER);
+        let ha: Vec<_> = leaves.iter().map(|l| a.add_leaf(l.clone())).collect();
+        let (root_a, _) = a.add_internal(1, ha);
+        let ta = a.finish(root_a);
+
+        let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
+        let range = b.reserve(2);
+        {
+            let slots = b.reserved_slots_mut(&range);
+            for (slot, group) in slots.iter_mut().zip(&leaves) {
+                let mut node = Node::new(0);
+                node.entries = group.iter().map(|&(r, id)| Entry::item(r, id)).collect();
+                *slot = Some(node);
+            }
+        }
+        b.commit_reserved(&range, 0);
+        let hb: Vec<_> = (0..2)
+            .map(|i| {
+                let id = range.id(i);
+                // Recompute the handle MBRs the way a packer would.
+                (
+                    id,
+                    Rect::mbr_of_rects(leaves[i].iter().map(|&(r, _)| r)).unwrap(),
+                )
+            })
+            .collect();
+        let (root_b, _) = b.add_internal(1, hb);
+        let tb = b.finish(root_b);
+        assert_eq!(ta, tb);
+        tb.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or foreign NodeId")]
+    fn commit_rejects_unfilled_slots() {
+        let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
+        let range = b.reserve(2);
+        b.reserved_slots_mut(&range)[0] = Some({
+            let mut n = Node::new(0);
+            n.entries.push(Entry::item(pt(0.0, 0.0), ItemId(0)));
+            n
+        });
+        b.commit_reserved(&range, 0); // slot 1 still empty
+    }
+
+    #[test]
     fn built_tree_is_searchable() {
         let mut b = BottomUpBuilder::new(RTreeConfig::PAPER);
         let l1 = b.add_leaf(vec![(pt(0.0, 0.0), ItemId(0)), (pt(1.0, 1.0), ItemId(1))]);
-        let l2 = b.add_leaf(vec![(pt(10.0, 10.0), ItemId(2)), (pt(11.0, 11.0), ItemId(3))]);
+        let l2 = b.add_leaf(vec![
+            (pt(10.0, 10.0), ItemId(2)),
+            (pt(11.0, 11.0), ItemId(3)),
+        ]);
         let (root, _) = b.add_internal(1, vec![l1, l2]);
         let t = b.finish(root);
         let mut stats = crate::SearchStats::default();

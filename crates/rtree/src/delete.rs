@@ -41,7 +41,8 @@ impl RTree {
     /// `None`.
     fn find_leaf_path(&self, mbr: &Rect, item: ItemId) -> Option<Vec<NodeId>> {
         let mut path = vec![self.root()];
-        self.find_leaf_rec(self.root(), mbr, item, &mut path).then_some(path)
+        self.find_leaf_rec(self.root(), mbr, item, &mut path)
+            .then_some(path)
     }
 
     fn find_leaf_rec(&self, id: NodeId, mbr: &Rect, item: ItemId, path: &mut Vec<NodeId>) -> bool {
@@ -153,7 +154,9 @@ mod tests {
         let mut x = 42u64;
         (0..n)
             .map(|i| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let px = (x >> 33) as f64 % 1000.0;
                 let py = (x >> 13) as f64 % 1000.0;
                 (pt(px, py), ItemId(i))

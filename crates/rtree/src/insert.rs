@@ -109,9 +109,7 @@ fn choose_subtree(node: &Node, mbr: &Rect) -> usize {
         }
         let enlargement = e.mbr.enlargement(mbr);
         let area = e.mbr.area();
-        if enlargement < best_enlargement
-            || (enlargement == best_enlargement && area < best_area)
-        {
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
             best = i;
             best_enlargement = enlargement;
             best_area = area;
@@ -154,12 +152,18 @@ mod tests {
 
     #[test]
     fn many_inserts_stay_valid_all_policies() {
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::Exhaustive,
+        ] {
             let mut t = RTree::new(RTreeConfig::new(4, 2, policy));
             // Deterministic scatter.
             let mut x = 7u64;
             for i in 0..300u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let px = (x >> 33) as f64 % 1000.0;
                 let py = (x >> 13) as f64 % 1000.0;
                 t.insert(pt(px, py), ItemId(i));

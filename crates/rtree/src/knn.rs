@@ -135,16 +135,22 @@ mod tests {
     fn empty_and_zero_k() {
         let t = RTree::new(RTreeConfig::PAPER);
         let mut stats = SearchStats::default();
-        assert!(t.nearest_neighbors(Point::new(0.0, 0.0), 3, &mut stats).is_empty());
+        assert!(t
+            .nearest_neighbors(Point::new(0.0, 0.0), 3, &mut stats)
+            .is_empty());
         let t2 = build_grid(5);
-        assert!(t2.nearest_neighbors(Point::new(0.0, 0.0), 0, &mut stats).is_empty());
+        assert!(t2
+            .nearest_neighbors(Point::new(0.0, 0.0), 0, &mut stats)
+            .is_empty());
     }
 
     #[test]
     fn nearest_is_exact() {
         let t = build_grid(100);
         let mut stats = SearchStats::default();
-        let n = t.nearest_neighbor(Point::new(34.0, 56.0), &mut stats).unwrap();
+        let n = t
+            .nearest_neighbor(Point::new(34.0, 56.0), &mut stats)
+            .unwrap();
         assert_eq!(n.item, ItemId(63)); // grid point (30, 60)
         assert_eq!(n.distance_sq, 16.0 + 16.0);
     }

@@ -41,8 +41,10 @@ pub mod split;
 pub mod stats;
 pub mod tree;
 
+pub use builder::{BottomUpBuilder, ReservedRange};
 pub use config::{RTreeConfig, SplitPolicy};
 pub use metrics::TreeMetrics;
 pub use node::{Child, Entry, ItemId, Node, NodeId};
+pub use search::SearchScratch;
 pub use stats::SearchStats;
 pub use tree::RTree;

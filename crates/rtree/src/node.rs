@@ -167,8 +167,10 @@ mod tests {
     fn node_mbr_is_union_of_entries() {
         let mut n = Node::new(0);
         assert_eq!(n.mbr(), None);
-        n.entries.push(Entry::item(Rect::new(0.0, 0.0, 1.0, 1.0), ItemId(1)));
-        n.entries.push(Entry::item(Rect::new(3.0, -1.0, 4.0, 0.5), ItemId(2)));
+        n.entries
+            .push(Entry::item(Rect::new(0.0, 0.0, 1.0, 1.0), ItemId(1)));
+        n.entries
+            .push(Entry::item(Rect::new(3.0, -1.0, 4.0, 0.5), ItemId(2)));
         assert_eq!(n.mbr(), Some(Rect::new(0.0, -1.0, 4.0, 1.0)));
         assert_eq!(n.len(), 2);
     }

@@ -6,6 +6,73 @@ use crate::stats::SearchStats;
 use crate::tree::RTree;
 use rtree_geom::{Point, Rect};
 
+/// Reusable traversal state for the allocation-free query paths.
+///
+/// Window and point queries need two growable buffers: the explicit
+/// descent stack and the result list. Owning them in a scratch value and
+/// passing it to the `*_into` query methods means the buffers are
+/// allocated once and reused — steady-state queries touch the heap only
+/// while the buffers are still growing toward the workload's high-water
+/// mark, after which they allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct SearchScratch {
+    stack: Vec<NodeId>,
+    out: Vec<ItemId>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// The hits of the most recent `*_into` query.
+    pub fn hits(&self) -> &[ItemId] {
+        &self.out
+    }
+
+    /// Current capacity of the two buffers `(stack, results)` — stable
+    /// capacities across queries demonstrate the zero-allocation steady
+    /// state.
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.stack.capacity(), self.out.capacity())
+    }
+}
+
+/// Where traversal counters go. The statistics-free implementation is a
+/// set of empty inlined methods, so the fast path pays nothing for the
+/// instrumentation the paper's Table 1 experiments need.
+trait Sink {
+    fn query(&mut self) {}
+    fn node(&mut self, _is_leaf: bool) {}
+    fn item(&mut self) {}
+}
+
+/// The no-op sink of the `*_into` fast paths.
+struct NoStats;
+
+impl Sink for NoStats {}
+
+impl Sink for SearchStats {
+    #[inline]
+    fn query(&mut self) {
+        self.queries += 1;
+    }
+
+    #[inline]
+    fn node(&mut self, is_leaf: bool) {
+        self.nodes_visited += 1;
+        if is_leaf {
+            self.leaf_nodes_visited += 1;
+        }
+    }
+
+    #[inline]
+    fn item(&mut self) {
+        self.items_reported += 1;
+    }
+}
+
 impl RTree {
     /// The paper's `SEARCH` (§3.1): descend every entry whose MBR
     /// `INTERSECTS` the target window; at the leaves report entries
@@ -15,7 +82,10 @@ impl RTree {
     /// query form behind PSQL's `loc covered-by ⟨window⟩`.
     pub fn search_within(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
         let mut out = Vec::new();
-        self.search_window_impl(window, true, stats, &mut |item, _| out.push(item));
+        let mut stack = Vec::new();
+        self.window_traverse(window, true, &mut stack, stats, &mut |item, _| {
+            out.push(item)
+        });
         out
     }
 
@@ -24,7 +94,45 @@ impl RTree {
     /// refine this candidate set with exact geometry).
     pub fn search_intersecting(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
         let mut out = Vec::new();
-        self.search_window_impl(window, false, stats, &mut |item, _| out.push(item));
+        let mut stack = Vec::new();
+        self.window_traverse(window, false, &mut stack, stats, &mut |item, _| {
+            out.push(item)
+        });
+        out
+    }
+
+    /// [`search_within`](Self::search_within) without statistics or
+    /// per-call allocation: results land in (and are borrowed from) the
+    /// reusable `scratch`.
+    pub fn search_within_into<'s>(
+        &self,
+        window: &Rect,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [ItemId] {
+        self.window_into(window, true, scratch)
+    }
+
+    /// [`search_intersecting`](Self::search_intersecting) without
+    /// statistics or per-call allocation.
+    pub fn search_intersecting_into<'s>(
+        &self,
+        window: &Rect,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [ItemId] {
+        self.window_into(window, false, scratch)
+    }
+
+    fn window_into<'s>(
+        &self,
+        window: &Rect,
+        within: bool,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [ItemId] {
+        let SearchScratch { stack, out } = scratch;
+        out.clear();
+        self.window_traverse(window, within, stack, &mut NoStats, &mut |item, _| {
+            out.push(item)
+        });
         out
     }
 
@@ -38,48 +146,47 @@ impl RTree {
         stats: &mut SearchStats,
         visit: &mut F,
     ) {
-        self.search_window_impl(window, within, stats, visit);
+        let mut stack = Vec::new();
+        self.window_traverse(window, within, &mut stack, stats, visit);
     }
 
-    fn search_window_impl<F: FnMut(ItemId, Rect)>(
+    /// The paper's `SEARCH` as one iterative loop over an explicit stack.
+    ///
+    /// Children are pushed in reverse entry order, so nodes are visited
+    /// in exactly the order the recursive formulation visits them (and
+    /// all counters agree with it).
+    fn window_traverse<S: Sink, F: FnMut(ItemId, Rect)>(
         &self,
         window: &Rect,
         within: bool,
-        stats: &mut SearchStats,
+        stack: &mut Vec<NodeId>,
+        sink: &mut S,
         visit: &mut F,
     ) {
-        stats.queries += 1;
-        self.search_rec(self.root(), window, within, stats, visit);
-    }
-
-    fn search_rec<F: FnMut(ItemId, Rect)>(
-        &self,
-        id: NodeId,
-        window: &Rect,
-        within: bool,
-        stats: &mut SearchStats,
-        visit: &mut F,
-    ) {
-        stats.nodes_visited += 1;
-        let node = self.node(id);
-        if node.is_leaf() {
-            stats.leaf_nodes_visited += 1;
-            for e in &node.entries {
-                let hit = if within {
-                    e.mbr.covered_by(window) // the paper's WITHIN
-                } else {
-                    e.mbr.intersects(window)
-                };
-                if hit {
-                    stats.items_reported += 1;
-                    visit(e.child.expect_item(), e.mbr);
+        sink.query();
+        stack.clear();
+        stack.push(self.root());
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            sink.node(node.is_leaf());
+            if node.is_leaf() {
+                for e in &node.entries {
+                    let hit = if within {
+                        e.mbr.covered_by(window) // the paper's WITHIN
+                    } else {
+                        e.mbr.intersects(window)
+                    };
+                    if hit {
+                        sink.item();
+                        visit(e.child.expect_item(), e.mbr);
+                    }
                 }
-            }
-        } else {
-            for e in &node.entries {
-                if e.mbr.intersects(window) {
-                    // the paper's INTERSECTS pruning
-                    self.search_rec(e.child.expect_node(), window, within, stats, visit);
+            } else {
+                for e in node.entries.iter().rev() {
+                    if e.mbr.intersects(window) {
+                        // the paper's INTERSECTS pruning
+                        stack.push(e.child.expect_node());
+                    }
                 }
             }
         }
@@ -91,28 +198,46 @@ impl RTree {
     /// entries whose MBR contains it. Returns all matching items (multiple
     /// items may share a location).
     pub fn point_query(&self, p: Point, stats: &mut SearchStats) -> Vec<ItemId> {
-        stats.queries += 1;
         let mut out = Vec::new();
-        let mut stack = vec![self.root()];
+        let mut stack = Vec::new();
+        self.point_traverse(p, &mut stack, stats, &mut out);
+        out
+    }
+
+    /// [`point_query`](Self::point_query) without statistics or per-call
+    /// allocation.
+    pub fn point_query_into<'s>(&self, p: Point, scratch: &'s mut SearchScratch) -> &'s [ItemId] {
+        let SearchScratch { stack, out } = scratch;
+        out.clear();
+        self.point_traverse(p, stack, &mut NoStats, out);
+        out
+    }
+
+    fn point_traverse<S: Sink>(
+        &self,
+        p: Point,
+        stack: &mut Vec<NodeId>,
+        sink: &mut S,
+        out: &mut Vec<ItemId>,
+    ) {
+        sink.query();
+        stack.clear();
+        stack.push(self.root());
         while let Some(id) = stack.pop() {
-            stats.nodes_visited += 1;
             let node = self.node(id);
-            if node.is_leaf() {
-                stats.leaf_nodes_visited += 1;
-            }
+            sink.node(node.is_leaf());
             for e in &node.entries {
                 if e.mbr.contains_point(p) {
                     match e.child {
                         Child::Node(c) => stack.push(c),
                         Child::Item(item) => {
-                            stats.items_reported += 1;
+                            sink.item();
                             out.push(item);
                         }
                     }
                 }
             }
         }
-        out
     }
 
     /// `true` if any indexed rectangle contains the point — the Boolean
@@ -138,15 +263,10 @@ impl RTree {
                 }
             }
         }
-        out_stats(stats, found);
+        if found {
+            stats.items_reported += 1;
+        }
         found
-    }
-}
-
-#[inline]
-fn out_stats(stats: &mut SearchStats, found: bool) {
-    if found {
-        stats.items_reported += 1;
     }
 }
 
@@ -171,7 +291,9 @@ mod tests {
     fn empty_tree_search() {
         let t = RTree::new(RTreeConfig::PAPER);
         let mut stats = SearchStats::default();
-        assert!(t.search_within(&Rect::new(0.0, 0.0, 10.0, 10.0), &mut stats).is_empty());
+        assert!(t
+            .search_within(&Rect::new(0.0, 0.0, 10.0, 10.0), &mut stats)
+            .is_empty());
         assert_eq!(stats.queries, 1);
         assert_eq!(stats.nodes_visited, 1); // root is still visited
     }
@@ -257,6 +379,77 @@ mod tests {
         );
         assert_eq!(seen.len(), 2);
         assert!(seen.iter().all(|(_, m)| m.max_x <= 10.0));
+    }
+
+    #[test]
+    fn fast_paths_match_stats_paths() {
+        let points: Vec<(f64, f64)> = (0..300)
+            .map(|i| {
+                let f = i as f64;
+                ((f * 37.7) % 100.0, (f * 91.3) % 100.0)
+            })
+            .collect();
+        let t = build(&points);
+        let mut stats = SearchStats::default();
+        let mut scratch = SearchScratch::new();
+        for q in 0..40 {
+            let f = q as f64;
+            let x0 = (f * 13.3) % 70.0;
+            let y0 = (f * 7.9) % 70.0;
+            let window = Rect::new(x0, y0, x0 + 25.0, y0 + 25.0);
+            assert_eq!(
+                t.search_within_into(&window, &mut scratch),
+                t.search_within(&window, &mut stats).as_slice()
+            );
+            assert_eq!(
+                t.search_intersecting_into(&window, &mut scratch),
+                t.search_intersecting(&window, &mut stats).as_slice()
+            );
+            let p = Point::new(x0, y0);
+            assert_eq!(
+                t.point_query_into(p, &mut scratch),
+                t.point_query(p, &mut stats).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_stop_growing() {
+        // After a warm-up pass over the whole workload, repeating the
+        // same queries must leave both scratch capacities untouched —
+        // the zero-allocation steady state.
+        let points: Vec<(f64, f64)> = (0..500)
+            .map(|i| ((i % 25) as f64 * 4.0, (i / 25) as f64 * 5.0))
+            .collect();
+        let t = build(&points);
+        let mut scratch = SearchScratch::new();
+        let windows: Vec<Rect> = (0..30)
+            .map(|q| {
+                let f = q as f64;
+                Rect::new(f, f, f + 30.0, f + 30.0)
+            })
+            .collect();
+        for w in &windows {
+            t.search_within_into(w, &mut scratch);
+        }
+        let warm = scratch.capacities();
+        for _ in 0..5 {
+            for w in &windows {
+                t.search_within_into(w, &mut scratch);
+                t.search_intersecting_into(w, &mut scratch);
+            }
+            assert_eq!(scratch.capacities(), warm, "scratch reallocated");
+        }
+    }
+
+    #[test]
+    fn scratch_hits_reflect_last_query() {
+        let t = build(&[(1.0, 1.0), (2.0, 2.0), (50.0, 50.0)]);
+        let mut scratch = SearchScratch::new();
+        t.search_within_into(&Rect::new(0.0, 0.0, 10.0, 10.0), &mut scratch);
+        assert_eq!(scratch.hits().len(), 2);
+        t.search_within_into(&Rect::new(40.0, 40.0, 60.0, 60.0), &mut scratch);
+        assert_eq!(scratch.hits(), &[ItemId(2)]);
     }
 
     #[test]

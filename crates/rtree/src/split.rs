@@ -257,7 +257,11 @@ fn exhaustive_split<T>(
         let mut mbr_b: Option<Rect> = None;
         for (i, e) in entries.iter().enumerate() {
             let er = mbr_of(e);
-            let target = if mask & (1 << i) == 0 { &mut mbr_a } else { &mut mbr_b };
+            let target = if mask & (1 << i) == 0 {
+                &mut mbr_a
+            } else {
+                &mut mbr_b
+            };
             *target = Some(match target {
                 Some(r) => r.union(&er),
                 None => er,
@@ -293,9 +297,7 @@ mod tests {
         points
             .iter()
             .enumerate()
-            .map(|(i, &(x, y))| {
-                Entry::item(Rect::from_point(Point::new(x, y)), ItemId(i as u64))
-            })
+            .map(|(i, &(x, y))| Entry::item(Rect::from_point(Point::new(x, y)), ItemId(i as u64)))
             .collect()
     }
 
@@ -304,11 +306,7 @@ mod tests {
         assert!(a.len() >= config.min_entries && b.len() >= config.min_entries);
         assert!(a.len() <= config.max_entries && b.len() <= config.max_entries);
         // Every original entry appears exactly once.
-        let mut ids: Vec<u64> = a
-            .iter()
-            .chain(b)
-            .map(|e| e.child.expect_item().0)
-            .collect();
+        let mut ids: Vec<u64> = a.iter().chain(b).map(|e| e.child.expect_item().0).collect();
         ids.sort_unstable();
         let mut expect: Vec<u64> = before.iter().map(|e| e.child.expect_item().0).collect();
         expect.sort_unstable();
@@ -316,12 +314,22 @@ mod tests {
     }
 
     fn two_clusters() -> Vec<Entry> {
-        entries_at(&[(0.0, 0.0), (1.0, 1.0), (0.5, 0.5), (100.0, 100.0), (101.0, 99.0)])
+        entries_at(&[
+            (0.0, 0.0),
+            (1.0, 1.0),
+            (0.5, 0.5),
+            (100.0, 100.0),
+            (101.0, 99.0),
+        ])
     }
 
     #[test]
     fn all_policies_produce_legal_partitions() {
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::Exhaustive,
+        ] {
             let config = RTreeConfig::new(4, 2, policy);
             let entries = two_clusters();
             let (a, b) = split_entries(&config, entries.clone());
@@ -365,9 +373,7 @@ mod tests {
         let entries: Vec<Entry> = [0.0, 1.0, 2.0, 10.0, 11.0]
             .iter()
             .enumerate()
-            .map(|(i, &x)| {
-                Entry::item(Rect::new(x, 0.0, x + 1.0, 1.0), ItemId(i as u64))
-            })
+            .map(|(i, &x)| Entry::item(Rect::new(x, 0.0, x + 1.0, 1.0), ItemId(i as u64)))
             .collect();
         let (a, b) = split_entries(&config, entries.clone());
         check_partition(&config, &entries, &a, &b);
@@ -379,9 +385,14 @@ mod tests {
     fn min_fill_is_forced() {
         // Adversarial: one far outlier; with m=2 the outlier group must
         // still end up with 2 entries.
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::Exhaustive,
+        ] {
             let config = RTreeConfig::new(4, 2, policy);
-            let entries = entries_at(&[(0.0, 0.0), (0.1, 0.1), (0.2, 0.0), (0.3, 0.1), (99.0, 99.0)]);
+            let entries =
+                entries_at(&[(0.0, 0.0), (0.1, 0.1), (0.2, 0.0), (0.3, 0.1), (99.0, 99.0)]);
             let (a, b) = split_entries(&config, entries.clone());
             check_partition(&config, &entries, &a, &b);
         }

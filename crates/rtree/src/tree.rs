@@ -27,7 +27,7 @@ use rtree_geom::Rect;
 /// let hits = tree.search_within(&Rect::new(0.0, 0.0, 3.0, 6.0), &mut stats);
 /// assert_eq!(hits.len(), 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RTree {
     nodes: Vec<Option<Node>>,
     free: Vec<NodeId>,
@@ -110,6 +110,40 @@ impl RTree {
         self.nodes[id.index()]
             .as_mut()
             .expect("stale or foreign NodeId")
+    }
+
+    /// An arena with no nodes at all, used by the bottom-up builder so
+    /// that packed construction can hand out dense, contiguous ids from
+    /// slot 0. The `root` field is a placeholder until `set_root`.
+    pub(crate) fn empty_arena(config: RTreeConfig) -> Self {
+        RTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NodeId(0),
+            config,
+            len: 0,
+        }
+    }
+
+    /// Reserves `count` contiguous arena slots and returns the first
+    /// index. The slots start out empty and must all be filled (via
+    /// [`arena_slice_mut`](Self::arena_slice_mut)) before the tree is
+    /// used; requires an empty free list so the range is truly dense.
+    pub(crate) fn arena_reserve(&mut self, count: usize) -> u32 {
+        assert!(
+            self.free.is_empty(),
+            "arena_reserve on a tree with recycled slots"
+        );
+        let start = u32::try_from(self.nodes.len()).expect("arena overflow");
+        u32::try_from(self.nodes.len() + count).expect("arena overflow");
+        self.nodes.resize_with(self.nodes.len() + count, || None);
+        start
+    }
+
+    /// Mutable view of a reserved slot range, for bulk (possibly
+    /// parallel, via `split_at_mut`) node materialization.
+    pub(crate) fn arena_slice_mut(&mut self, start: u32, len: usize) -> &mut [Option<Node>] {
+        &mut self.nodes[start as usize..start as usize + len]
     }
 
     pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
@@ -203,17 +237,27 @@ impl RTree {
                 .nodes
                 .get(id.index())
                 .ok_or_else(|| format!("{id}: out of bounds"))?;
-            let node = slot.as_ref().ok_or_else(|| format!("{id}: freed node reachable"))?;
+            let node = slot
+                .as_ref()
+                .ok_or_else(|| format!("{id}: freed node reachable"))?;
             if seen[id.index()] {
                 return Err(format!("{id}: reachable twice"));
             }
             seen[id.index()] = true;
 
             if node.len() > self.config.max_entries {
-                return Err(format!("{id}: {} entries > M={}", node.len(), self.config.max_entries));
+                return Err(format!(
+                    "{id}: {} entries > M={}",
+                    node.len(),
+                    self.config.max_entries
+                ));
             }
             if !is_root && check_min_fill && node.len() < self.config.min_entries {
-                return Err(format!("{id}: {} entries < m={}", node.len(), self.config.min_entries));
+                return Err(format!(
+                    "{id}: {} entries < m={}",
+                    node.len(),
+                    self.config.min_entries
+                ));
             }
             if is_root && node.level > 0 && node.len() < 2 {
                 return Err(format!("{id}: non-leaf root with {} entries", node.len()));
@@ -222,7 +266,9 @@ impl RTree {
                 match node.mbr() {
                     Some(actual) if actual == expect => {}
                     Some(actual) => {
-                        return Err(format!("{id}: parent entry mbr {expect} != node mbr {actual}"))
+                        return Err(format!(
+                            "{id}: parent entry mbr {expect} != node mbr {actual}"
+                        ))
                     }
                     None => return Err(format!("{id}: empty non-root node")),
                 }
@@ -245,7 +291,10 @@ impl RTree {
                     }
                     Child::Item(_) => {
                         if !node.is_leaf() {
-                            return Err(format!("{id}: item entry in non-leaf (level {})", node.level));
+                            return Err(format!(
+                                "{id}: item entry in non-leaf (level {})",
+                                node.level
+                            ));
                         }
                         leaf_items += 1;
                     }
@@ -259,7 +308,10 @@ impl RTree {
             }
         }
         if leaf_items != self.len {
-            return Err(format!("item count {} != recorded len {}", leaf_items, self.len));
+            return Err(format!(
+                "item count {} != recorded len {}",
+                leaf_items, self.len
+            ));
         }
         Ok(())
     }
@@ -327,17 +379,20 @@ mod tests {
         ));
         let leaf_id = t.alloc(leaf);
         let mut leaf2 = Node::new(0);
-        leaf2
-            .entries
-            .push(Entry::item(Rect::from_point(Point::new(5.0, 5.0)), ItemId(2)));
-        leaf2
-            .entries
-            .push(Entry::item(Rect::from_point(Point::new(6.0, 6.0)), ItemId(3)));
+        leaf2.entries.push(Entry::item(
+            Rect::from_point(Point::new(5.0, 5.0)),
+            ItemId(2),
+        ));
+        leaf2.entries.push(Entry::item(
+            Rect::from_point(Point::new(6.0, 6.0)),
+            ItemId(3),
+        ));
         let leaf2_id = t.alloc(leaf2);
         let old_root = t.root();
         t.dealloc(old_root);
         let mut root = Node::new(1);
-        root.entries.push(Entry::node(Rect::new(0.0, 0.0, 9.0, 9.0), leaf_id)); // too big
+        root.entries
+            .push(Entry::node(Rect::new(0.0, 0.0, 9.0, 9.0), leaf_id)); // too big
         root.entries
             .push(Entry::node(Rect::new(5.0, 5.0, 6.0, 6.0), leaf2_id));
         let root_id = t.alloc(root);

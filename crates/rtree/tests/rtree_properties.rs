@@ -138,7 +138,7 @@ proptest! {
         }
         let m = tree.metrics();
         prop_assert!(m.overlap <= m.coverage + 1e-9 * m.coverage.max(1.0));
-        prop_assert!(m.nodes >= m.depth as usize + 1);
+        prop_assert!(m.nodes > m.depth as usize);
         prop_assert_eq!(m.items, items.len());
         let mut listed: Vec<ItemId> = tree.items().into_iter().map(|(_, id)| id).collect();
         listed.sort();

@@ -160,7 +160,8 @@ impl<'a> BufferPool<'a> {
                 .expect("non-empty");
             st.stats.evictions += 1;
             if st.frames[victim].dirty {
-                self.pager.write_page(st.frames[victim].page_id, &st.frames[victim].page)?;
+                self.pager
+                    .write_page(st.frames[victim].page_id, &st.frames[victim].page)?;
                 st.stats.writebacks += 1;
             }
             let old = st.frames[victim].page_id;
@@ -207,7 +208,8 @@ mod tests {
         let ids: Vec<PageId> = (0..8).map(|_| pager.allocate()).collect();
         let pool = BufferPool::new(&pager, 2);
         for (i, &id) in ids.iter().enumerate() {
-            pool.with_page_mut(id, |p| p.bytes_mut()[0] = i as u8 + 1).unwrap();
+            pool.with_page_mut(id, |p| p.bytes_mut()[0] = i as u8 + 1)
+                .unwrap();
         }
         // Re-read everything; early pages were evicted and written back.
         for (i, &id) in ids.iter().enumerate() {

@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn roundtrip_empty_node() {
-        let node = DiskNode { level: 0, entries: vec![] };
+        let node = DiskNode {
+            level: 0,
+            entries: vec![],
+        };
         let mut page = Page::zeroed();
         encode(&node, &mut page);
         assert_eq!(decode(&page), node);

@@ -323,10 +323,8 @@ mod tests {
 
     #[test]
     fn persistence_roundtrip_through_file() {
-        let path = std::env::temp_dir().join(format!(
-            "packed-rtree-persist-{}.db",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("packed-rtree-persist-{}.db", std::process::id()));
         let tree = sample_tree(250);
         let expected_window = Rect::new(100.0, 100.0, 500.0, 500.0);
         let expected = {

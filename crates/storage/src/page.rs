@@ -35,7 +35,10 @@ impl Page {
     /// A zero-filled page.
     pub fn zeroed() -> Self {
         Page {
-            bytes: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("size"),
+            bytes: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("size"),
         }
     }
 

@@ -57,7 +57,13 @@ impl<'a> PagedRTree<'a> {
             len: 0,
             config,
         };
-        tree.write_node(root, &DiskNode { level: 0, entries: Vec::new() })?;
+        tree.write_node(
+            root,
+            &DiskNode {
+                level: 0,
+                entries: Vec::new(),
+            },
+        )?;
         tree.write_meta()?;
         Ok(tree)
     }
@@ -92,7 +98,13 @@ impl<'a> PagedRTree<'a> {
             entries.push(DiskEntry { mbr: e.mbr, child });
         }
         let page_id = pager.allocate();
-        self.write_node(page_id, &DiskNode { level: node.level, entries })?;
+        self.write_node(
+            page_id,
+            &DiskNode {
+                level: node.level,
+                entries,
+            },
+        )?;
         Ok(page_id)
     }
 
@@ -102,7 +114,10 @@ impl<'a> PagedRTree<'a> {
         let b = page.bytes();
         let magic = u64::from_le_bytes(b[0..8].try_into().expect("8"));
         if magic != META_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a PagedRTree meta page"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a PagedRTree meta page",
+            ));
         }
         let root = PageId(u32::from_le_bytes(b[8..12].try_into().expect("4")));
         let depth = u32::from_le_bytes(b[12..16].try_into().expect("4"));
@@ -385,7 +400,10 @@ impl<'a> PagedRTree<'a> {
     ) -> io::Result<bool> {
         let node = self.read_node(id)?;
         if node.is_leaf() {
-            return Ok(node.entries.iter().any(|e| e.mbr == *mbr && e.child == item.0));
+            return Ok(node
+                .entries
+                .iter()
+                .any(|e| e.mbr == *mbr && e.child == item.0));
         }
         for (i, e) in node.entries.iter().enumerate() {
             if e.mbr.covers(mbr) {
@@ -559,9 +577,13 @@ mod tests {
         let mut s = 7u64;
         (0..n)
             .map(|i| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let x = ((s >> 33) % 1000) as f64;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let y = ((s >> 33) % 1000) as f64;
                 (pt(x, y), ItemId(i))
             })
@@ -671,7 +693,11 @@ mod tests {
             let pager = Pager::open(&path).unwrap();
             let paged = PagedRTree::open(&pager, PageId(0), 32).unwrap();
             assert_eq!(paged.len(), 400);
-            assert_eq!(paged.config(), RTreeConfig::PAPER, "config (incl. split policy) survives reopen");
+            assert_eq!(
+                paged.config(),
+                RTreeConfig::PAPER,
+                "config (incl. split policy) survives reopen"
+            );
             paged.validate_with(false).unwrap().unwrap();
             let mut stats = SearchStats::default();
             let hits = paged.point_query(Point::new(1.5, 2.5), &mut stats).unwrap();

@@ -78,7 +78,10 @@ impl Pager {
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large"))?;
         Ok(Pager {
             file,
-            state: Mutex::new(AllocState { next, free: Vec::new() }),
+            state: Mutex::new(AllocState {
+                next,
+                free: Vec::new(),
+            }),
             stats: IoStats::default(),
         })
     }

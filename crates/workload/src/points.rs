@@ -176,10 +176,7 @@ mod tests {
     fn skewed_mass_near_origin() {
         let mut rng = crate::rng(3);
         let pts = skewed(&mut rng, &PAPER_UNIVERSE, 2000, 3.0);
-        let near = pts
-            .iter()
-            .filter(|p| p.x < 250.0 && p.y < 250.0)
-            .count();
+        let near = pts.iter().filter(|p| p.x < 250.0 && p.y < 250.0).count();
         // With alpha=3, P(x < 1/4 scale) = (1/4)^(1/3) ≈ 0.63 per axis.
         assert!(near > 2000 / 4, "only {near} points in the hot corner");
     }

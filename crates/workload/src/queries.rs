@@ -54,7 +54,10 @@ mod tests {
             assert!(w.area() > 0.0);
         }
         // Most interior windows hit the target exactly.
-        let exact = ws.iter().filter(|w| (w.area() - target).abs() < 1e-6).count();
+        let exact = ws
+            .iter()
+            .filter(|w| (w.area() - target).abs() < 1e-6)
+            .count();
         assert!(exact > 50);
     }
 

@@ -157,22 +157,68 @@ pub fn states() -> Vec<NamedRegion> {
 /// region)` tuples.
 pub fn time_zones() -> Vec<(&'static str, i64, Region)> {
     vec![
-        ("Pacific", -8, Region::rectangle(Rect::new(0.0, 0.0, 20.0, 50.0))),
-        ("Mountain", -7, Region::rectangle(Rect::new(20.0, 0.0, 42.0, 50.0))),
-        ("Central", -6, Region::rectangle(Rect::new(42.0, 0.0, 62.0, 50.0))),
-        ("Eastern", -5, Region::rectangle(Rect::new(62.0, 0.0, 100.0, 50.0))),
+        (
+            "Pacific",
+            -8,
+            Region::rectangle(Rect::new(0.0, 0.0, 20.0, 50.0)),
+        ),
+        (
+            "Mountain",
+            -7,
+            Region::rectangle(Rect::new(20.0, 0.0, 42.0, 50.0)),
+        ),
+        (
+            "Central",
+            -6,
+            Region::rectangle(Rect::new(42.0, 0.0, 62.0, 50.0)),
+        ),
+        (
+            "Eastern",
+            -5,
+            Region::rectangle(Rect::new(62.0, 0.0, 100.0, 50.0)),
+        ),
     ]
 }
 
 /// The synthetic `lakes` relation: `(name, area, volume, region)`.
 pub fn lakes() -> Vec<(&'static str, f64, f64, Region)> {
     vec![
-        ("Superior", 16.0, 290.0, Region::rectangle(Rect::new(50.0, 40.0, 58.0, 43.0))),
-        ("Michigan", 10.0, 118.0, Region::rectangle(Rect::new(55.0, 33.0, 58.0, 39.5))),
-        ("Erie", 5.0, 12.0, Region::rectangle(Rect::new(62.0, 31.0, 68.0, 33.5))),
-        ("Ontario", 4.0, 39.0, Region::rectangle(Rect::new(70.0, 34.0, 74.0, 36.0))),
-        ("Great Salt", 2.0, 0.4, Region::rectangle(Rect::new(17.5, 31.0, 19.5, 33.0))),
-        ("Okeechobee", 1.5, 0.1, Region::rectangle(Rect::new(70.0, 3.5, 72.0, 5.0))),
+        (
+            "Superior",
+            16.0,
+            290.0,
+            Region::rectangle(Rect::new(50.0, 40.0, 58.0, 43.0)),
+        ),
+        (
+            "Michigan",
+            10.0,
+            118.0,
+            Region::rectangle(Rect::new(55.0, 33.0, 58.0, 39.5)),
+        ),
+        (
+            "Erie",
+            5.0,
+            12.0,
+            Region::rectangle(Rect::new(62.0, 31.0, 68.0, 33.5)),
+        ),
+        (
+            "Ontario",
+            4.0,
+            39.0,
+            Region::rectangle(Rect::new(70.0, 34.0, 74.0, 36.0)),
+        ),
+        (
+            "Great Salt",
+            2.0,
+            0.4,
+            Region::rectangle(Rect::new(17.5, 31.0, 19.5, 33.0)),
+        ),
+        (
+            "Okeechobee",
+            1.5,
+            0.1,
+            Region::rectangle(Rect::new(70.0, 3.5, 72.0, 5.0)),
+        ),
     ]
 }
 
@@ -186,10 +232,7 @@ pub fn highways() -> Vec<HighwaySection> {
             .map(|(i, w)| HighwaySection {
                 highway: name,
                 section: i as u32 + 1,
-                segment: Segment::new(
-                    Point::new(w[0].0, w[0].1),
-                    Point::new(w[1].0, w[1].1),
-                ),
+                segment: Segment::new(Point::new(w[0].0, w[0].1), Point::new(w[1].0, w[1].1)),
             })
             .collect()
     }
@@ -197,17 +240,43 @@ pub fn highways() -> Vec<HighwaySection> {
     // I-90: Seattle → Chicago → Boston.
     out.extend(route(
         "I-90",
-        &[(8.0, 46.0), (19.0, 40.0), (32.0, 38.0), (45.0, 38.5), (53.0, 32.5), (61.0, 34.5), (70.5, 34.0), (84.0, 34.5)],
+        &[
+            (8.0, 46.0),
+            (19.0, 40.0),
+            (32.0, 38.0),
+            (45.0, 38.5),
+            (53.0, 32.5),
+            (61.0, 34.5),
+            (70.5, 34.0),
+            (84.0, 34.5),
+        ],
     ));
     // I-10: Los Angeles → Phoenix → Houston → Jacksonville.
     out.extend(route(
         "I-10",
-        &[(8.0, 22.5), (17.0, 19.0), (27.0, 15.0), (39.0, 11.5), (42.5, 12.0), (50.5, 9.5), (62.0, 12.0), (68.0, 10.0)],
+        &[
+            (8.0, 22.5),
+            (17.0, 19.0),
+            (27.0, 15.0),
+            (39.0, 11.5),
+            (42.5, 12.0),
+            (50.5, 9.5),
+            (62.0, 12.0),
+            (68.0, 10.0),
+        ],
     ));
     // I-95: Miami → Washington → New York → Boston.
     out.extend(route(
         "I-95",
-        &[(72.0, 2.5), (68.0, 10.0), (71.5, 20.5), (74.5, 26.5), (77.5, 29.0), (80.0, 31.0), (84.0, 34.5)],
+        &[
+            (72.0, 2.5),
+            (68.0, 10.0),
+            (71.5, 20.5),
+            (74.5, 26.5),
+            (77.5, 29.0),
+            (80.0, 31.0),
+            (84.0, 34.5),
+        ],
     ));
     out
 }
@@ -281,8 +350,7 @@ mod tests {
         let hs = highways();
         assert!(!hs.is_empty());
         for name in ["I-90", "I-10", "I-95"] {
-            let sections: Vec<&HighwaySection> =
-                hs.iter().filter(|h| h.highway == name).collect();
+            let sections: Vec<&HighwaySection> = hs.iter().filter(|h| h.highway == name).collect();
             assert!(sections.len() >= 5, "{name}");
             for w in sections.windows(2) {
                 assert_eq!(w[0].segment.b, w[1].segment.a, "{name} disconnected");

@@ -31,10 +31,18 @@ fn main() -> std::io::Result<()> {
     println!("tree            pages  depth");
     let pager_p = Pager::temp()?;
     let disk_packed = DiskRTree::store(&packed, &pager_p)?;
-    println!("PACK            {:5}  {}", disk_packed.pages(), disk_packed.depth());
+    println!(
+        "PACK            {:5}  {}",
+        disk_packed.pages(),
+        disk_packed.depth()
+    );
     let pager_d = Pager::temp()?;
     let disk_dynamic = DiskRTree::store(&dynamic, &pager_d)?;
-    println!("INSERT          {:5}  {}", disk_dynamic.pages(), disk_dynamic.depth());
+    println!(
+        "INSERT          {:5}  {}",
+        disk_dynamic.pages(),
+        disk_dynamic.depth()
+    );
 
     println!("\npool size  tree    page requests  disk reads  hit ratio");
     for pool_size in [4usize, 16, 64, 256] {

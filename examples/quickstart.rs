@@ -42,8 +42,14 @@ fn main() {
         dynamic.point_query(q, &mut dynamic_stats);
     }
     println!("\n== search cost (Table 1's A, 1000 random point queries) ==");
-    println!("PACK    A = {:.3} nodes/query", packed_stats.avg_nodes_visited());
-    println!("INSERT  A = {:.3} nodes/query", dynamic_stats.avg_nodes_visited());
+    println!(
+        "PACK    A = {:.3} nodes/query",
+        packed_stats.avg_nodes_visited()
+    );
+    println!(
+        "INSERT  A = {:.3} nodes/query",
+        dynamic_stats.avg_nodes_visited()
+    );
 
     // Window search: everything within a 100x100 window.
     let window = Rect::new(450.0, 450.0, 550.0, 550.0);

@@ -36,7 +36,10 @@ fn main() {
     // Theorem 3.3: the pinwheel of disjoint regions that cannot be packed
     // with zero overlap.
     let regions = pinwheel();
-    println!("\nTheorem 3.3: pinwheel of {} disjoint regions", regions.len());
+    println!(
+        "\nTheorem 3.3: pinwheel of {} disjoint regions",
+        regions.len()
+    );
     for (i, r) in regions.iter().enumerate() {
         println!("  R{i} = {r}");
     }

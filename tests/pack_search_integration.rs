@@ -22,10 +22,16 @@ fn every_strategy_matches_brute_force_on_every_distribution() {
     let mut r = rng(11);
     let distributions: Vec<(&str, Vec<Point>)> = vec![
         ("uniform", points::uniform(&mut r, &PAPER_UNIVERSE, 400)),
-        ("clustered", points::clustered(&mut r, &PAPER_UNIVERSE, 400, 6, 30.0)),
+        (
+            "clustered",
+            points::clustered(&mut r, &PAPER_UNIVERSE, 400, 6, 30.0),
+        ),
         ("grid", points::grid(&PAPER_UNIVERSE, 20, 20)),
         ("skewed", points::skewed(&mut r, &PAPER_UNIVERSE, 400, 2.5)),
-        ("diagonal", points::diagonal(&mut r, &PAPER_UNIVERSE, 400, 40.0)),
+        (
+            "diagonal",
+            points::diagonal(&mut r, &PAPER_UNIVERSE, 400, 40.0),
+        ),
     ];
     let windows = queries::window_queries(&mut r, &PAPER_UNIVERSE, 25, 0.02);
 
@@ -58,7 +64,11 @@ fn pack_insert_delete_roundtrip_preserves_search() {
     let items = points::as_items(&pts);
     let (packed_half, dynamic_half) = items.split_at(300);
 
-    let mut tree = pack_with(packed_half.to_vec(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor);
+    let mut tree = pack_with(
+        packed_half.to_vec(),
+        RTreeConfig::PAPER,
+        PackStrategy::NearestNeighbor,
+    );
     for &(mbr, id) in dynamic_half {
         tree.insert(mbr, id);
     }
@@ -90,7 +100,10 @@ fn disk_image_agrees_with_memory_for_all_strategies() {
     let items = points::as_items(&pts);
     let windows = queries::window_queries(&mut r, &PAPER_UNIVERSE, 20, 0.01);
 
-    for strategy in [PackStrategy::NearestNeighbor, PackStrategy::SortTileRecursive] {
+    for strategy in [
+        PackStrategy::NearestNeighbor,
+        PackStrategy::SortTileRecursive,
+    ] {
         let tree = pack_with(items.clone(), RTreeConfig::with_branching(32), strategy);
         let pager = Pager::temp().unwrap();
         let disk = DiskRTree::store(&tree, &pager).unwrap();
@@ -118,8 +131,16 @@ fn insert_policies_and_pack_agree_on_results() {
     let windows = queries::window_queries(&mut r, &PAPER_UNIVERSE, 20, 0.02);
 
     let mut trees = Vec::new();
-    trees.push(pack_with(items.clone(), RTreeConfig::PAPER, PackStrategy::NearestNeighbor));
-    for split in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::Exhaustive] {
+    trees.push(pack_with(
+        items.clone(),
+        RTreeConfig::PAPER,
+        PackStrategy::NearestNeighbor,
+    ));
+    for split in [
+        SplitPolicy::Linear,
+        SplitPolicy::Quadratic,
+        SplitPolicy::Exhaustive,
+    ] {
         let mut t = packed_rtree::index::RTree::new(RTreeConfig::PAPER.with_split(split));
         for &(mbr, id) in &items {
             t.insert(mbr, id);

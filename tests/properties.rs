@@ -26,7 +26,10 @@ fn arb_window() -> impl Strategy<Value = Rect> {
 }
 
 fn arb_config() -> impl Strategy<Value = RTreeConfig> {
-    (2usize..12, prop::sample::select(vec![SplitPolicy::Linear, SplitPolicy::Quadratic]))
+    (
+        2usize..12,
+        prop::sample::select(vec![SplitPolicy::Linear, SplitPolicy::Quadratic]),
+    )
         .prop_map(|(m, split)| RTreeConfig::new(m.max(2), (m / 2).max(1), split))
 }
 

@@ -75,9 +75,15 @@ fn build_factory() -> PictorialDatabase {
                 name,
             )
             .unwrap();
-        db.insert("zones", vec![name.into(), hazard.into(), Value::Pointer(obj)]).unwrap();
+        db.insert(
+            "zones",
+            vec![name.into(), hazard.into(), Value::Pointer(obj)],
+        )
+        .unwrap();
     }
-    db.catalog_mut().create_index("machines", "power-kw").unwrap();
+    db.catalog_mut()
+        .create_index("machines", "power-kw")
+        .unwrap();
     db.pack_all();
     db
 }
@@ -91,7 +97,12 @@ fn window_search_on_custom_database() {
          at loc covered-by {26.5 +- 8.5, 21 +- 8}",
     )
     .unwrap();
-    let mut names: Vec<String> = result.column("name").unwrap().iter().map(|v| v.to_string()).collect();
+    let mut names: Vec<String> = result
+        .column("name")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
     names.sort();
     assert_eq!(names, vec!["lathe-1", "lathe-2"]);
 }
@@ -127,7 +138,12 @@ fn juxtaposition_machines_in_zones() {
 fn alphanumeric_index_drives_access() {
     let db = build_factory();
     let result = query(&db, "select name from machines where power-kw >= 50").unwrap();
-    let mut names: Vec<String> = result.column("name").unwrap().iter().map(|v| v.to_string()).collect();
+    let mut names: Vec<String> = result
+        .column("name")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
     names.sort();
     assert_eq!(names, vec!["oven-1", "press-1", "press-2"]);
 }
@@ -143,7 +159,11 @@ fn updates_are_visible_to_subsequent_queries() {
             "mill-1",
         )
         .unwrap();
-    db.insert("machines", vec!["mill-1".into(), 45.0.into(), Value::Pointer(obj)]).unwrap();
+    db.insert(
+        "machines",
+        vec!["mill-1".into(), 45.0.into(), Value::Pointer(obj)],
+    )
+    .unwrap();
 
     let result = query(
         &db,
@@ -151,7 +171,12 @@ fn updates_are_visible_to_subsequent_queries() {
          where zone = 'machining'",
     )
     .unwrap();
-    let mut names: Vec<String> = result.column("name").unwrap().iter().map(|v| v.to_string()).collect();
+    let mut names: Vec<String> = result
+        .column("name")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
     names.sort();
     assert_eq!(names, vec!["lathe-1", "lathe-2", "mill-1"]);
 
@@ -170,8 +195,12 @@ fn updates_are_visible_to_subsequent_queries() {
         "select name from machines on floor-plan at loc covered-by {26.5 +- 8.5, 21 +- 8}",
     )
     .unwrap();
-    let mut names2: Vec<String> =
-        result2.column("name").unwrap().iter().map(|v| v.to_string()).collect();
+    let mut names2: Vec<String> = result2
+        .column("name")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
     names2.sort();
     // mill-1 (inserted above at (30, 25)) is inside this window too.
     assert_eq!(names2, vec!["lathe-2", "mill-1"]);
