@@ -1,0 +1,348 @@
+//! **EXT-8**: the crash/reopen matrix — scripted fault injection against
+//! both page-resident trees, over every (or a sampled set of) physical
+//! write positions, across several seeds.
+//!
+//! For each seed the harness commits a baseline image, snapshots the
+//! file, then repeatedly replays a deterministic update workload with a
+//! simulated crash at write *k* (torn or dropped write, then total I/O
+//! failure), reopens the file cold, and classifies what recovery sees:
+//!
+//! * `DiskRTree::store_with_meta` (rebuild-and-swap) must roll back to
+//!   the previous image at **every** crash point — same epoch, same
+//!   query answers — or commit fully when no fault fires;
+//! * `PagedRTree` (in-place updates) must reopen at a committed epoch
+//!   and either present a clean pre-/post-commit tree or *report* the
+//!   inconsistency (checksum or validation failure) — never panic,
+//!   never silently serve a wrong-but-plausible tree.
+//!
+//! Any violation fails the run with a nonzero exit. Environment:
+//! `CRASH_SEEDS` (comma-separated, default `7,42,1985`) and
+//! `CRASH_POINTS` (crash points sampled per phase, `0` = every write,
+//! the default).
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin crash_matrix`
+
+use rtree_bench::report::Table;
+use rtree_geom::Rect;
+use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats};
+use rtree_storage::fault::{FaultKind, FaultPager, FaultScript};
+use rtree_storage::{BufferPool, DiskRTree, PageId, PagedRTree, Pager, StorageError};
+use rtree_workload::{points, rng, PAPER_UNIVERSE};
+use std::io;
+use std::path::PathBuf;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_seeds() -> Vec<u64> {
+    std::env::var("CRASH_SEEDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| vec![7, 42, 1985])
+}
+
+/// Crash points to exercise: all of `1..=total`, or `budget` evenly
+/// spaced ones (always including the first and last write).
+fn crash_points(total: u64, budget: u64) -> Vec<u64> {
+    if budget == 0 || budget >= total {
+        return (1..=total).collect();
+    }
+    let mut ks: Vec<u64> = (0..budget)
+        .map(|i| 1 + i * (total - 1) / (budget - 1).max(1))
+        .collect();
+    ks.dedup();
+    ks
+}
+
+fn scratch(tag: &str, seed: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "crash-matrix-{tag}-{seed}-{}.db",
+        std::process::id()
+    ))
+}
+
+fn tree_of(seed: u64, n: usize, branching: usize) -> RTree {
+    let mut r = rng(seed);
+    let mut tree = RTree::new(RTreeConfig::with_branching(branching));
+    for (i, p) in points::uniform(&mut r, &PAPER_UNIVERSE, n)
+        .into_iter()
+        .enumerate()
+    {
+        tree.insert(Rect::from_point(p), ItemId(i as u64));
+    }
+    tree
+}
+
+/// One alternating fault kind per crash point, so the matrix covers both
+/// torn and dropped writes.
+fn kind_for(k: u64) -> FaultKind {
+    if k % 2 == 1 {
+        FaultKind::TornWrite
+    } else {
+        FaultKind::FailWrite
+    }
+}
+
+struct DiskOutcome {
+    trials: u64,
+    rollbacks: u64,
+    violations: u64,
+}
+
+fn disk_matrix(seed: u64, budget: u64) -> io::Result<DiskOutcome> {
+    let path = scratch("disk", seed);
+    let tree_a = tree_of(seed, 150, 8);
+    let tree_b = tree_of(seed ^ 0xb00b5, 260, 8);
+    let window = {
+        let (w, h) = (PAPER_UNIVERSE.width() * 0.4, PAPER_UNIVERSE.height() * 0.4);
+        Rect::new(
+            PAPER_UNIVERSE.min_x,
+            PAPER_UNIVERSE.min_y,
+            PAPER_UNIVERSE.min_x + w,
+            PAPER_UNIVERSE.min_y + h,
+        )
+    };
+    let answers = |pager: &Pager, disk: &DiskRTree| -> io::Result<Vec<ItemId>> {
+        let pool = BufferPool::new(pager, 64);
+        let mut stats = SearchStats::default();
+        let mut v = disk.search_within(&pool, &window, &mut stats)?;
+        v.sort();
+        Ok(v)
+    };
+
+    {
+        let pager = Pager::create(&path)?;
+        DiskRTree::store_with_meta(&tree_a, &pager)?;
+    }
+    let snapshot = std::fs::read(&path)?;
+    let expect_a = {
+        let pager = Pager::open(&path)?;
+        let disk = DiskRTree::open_default(&pager)?;
+        answers(&pager, &disk)?
+    };
+
+    let total_writes = {
+        let pager = Pager::open(&path)?;
+        let faulty = FaultPager::new(&pager, FaultScript::new());
+        DiskRTree::store_with_meta(&tree_b, &faulty)?;
+        faulty.writes_seen()
+    };
+
+    let mut out = DiskOutcome {
+        trials: 0,
+        rollbacks: 0,
+        violations: 0,
+    };
+    for k in crash_points(total_writes, budget) {
+        out.trials += 1;
+        std::fs::write(&path, &snapshot)?;
+        {
+            let pager = Pager::open(&path)?;
+            let script = FaultScript::new().on_write(k, kind_for(k), true);
+            let faulty = FaultPager::new(&pager, script);
+            if DiskRTree::store_with_meta(&tree_b, &faulty).is_ok() {
+                eprintln!("seed {seed} disk k={k}: store survived its own crash");
+                out.violations += 1;
+                continue;
+            }
+        }
+        let pager = Pager::open(&path)?;
+        match DiskRTree::open_default(&pager) {
+            Ok(disk) if disk.epoch() == 1 && disk.len() == tree_a.len() => {
+                match answers(&pager, &disk) {
+                    Ok(hits) if hits == expect_a => out.rollbacks += 1,
+                    Ok(_) => {
+                        eprintln!("seed {seed} disk k={k}: rolled-back image answers wrong");
+                        out.violations += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("seed {seed} disk k={k}: rolled-back image unreadable: {e}");
+                        out.violations += 1;
+                    }
+                }
+            }
+            Ok(disk) => {
+                eprintln!(
+                    "seed {seed} disk k={k}: unexpected epoch {} / len {}",
+                    disk.epoch(),
+                    disk.len()
+                );
+                out.violations += 1;
+            }
+            Err(e) => {
+                eprintln!("seed {seed} disk k={k}: reopen failed: {e}");
+                out.violations += 1;
+            }
+        }
+    }
+
+    // Control: with no fault the replacement must commit as epoch 2.
+    std::fs::write(&path, &snapshot)?;
+    {
+        let pager = Pager::open(&path)?;
+        DiskRTree::store_with_meta(&tree_b, &pager)?;
+        let disk = DiskRTree::open_default(&pager)?;
+        if disk.epoch() != 2 || disk.len() != tree_b.len() {
+            eprintln!("seed {seed} disk control: commit did not land");
+            out.violations += 1;
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    Ok(out)
+}
+
+struct PagedOutcome {
+    trials: u64,
+    clean_pre: u64,
+    clean_post: u64,
+    detected: u64,
+    violations: u64,
+}
+
+fn paged_matrix(seed: u64, budget: u64) -> io::Result<PagedOutcome> {
+    let path = scratch("paged", seed);
+    let mut r = rng(seed ^ 0xdead);
+    let pts = points::uniform(&mut r, &PAPER_UNIVERSE, 120);
+    let items: Vec<(Rect, ItemId)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (Rect::from_point(p), ItemId(i as u64)))
+        .collect();
+    let (pre_len, post_len) = (70usize, 70 + 50 - 15);
+
+    {
+        let pager = Pager::create(&path)?;
+        let mut tree = PagedRTree::create(&pager, RTreeConfig::with_branching(8), 16)?;
+        for &(mbr, id) in &items[..70] {
+            tree.insert(mbr, id)?;
+        }
+        tree.close()?;
+    }
+    let snapshot = std::fs::read(&path)?;
+
+    let apply = |store: &dyn rtree_storage::PageStore| -> rtree_storage::StorageResult<()> {
+        let mut tree = PagedRTree::open(store, PageId(0), 16)?;
+        for &(mbr, id) in &items[70..120] {
+            tree.insert(mbr, id)?;
+        }
+        for &(mbr, id) in &items[..15] {
+            tree.remove(mbr, id)?;
+        }
+        tree.commit()
+    };
+
+    let total_writes = {
+        let pager = Pager::open(&path)?;
+        let faulty = FaultPager::new(&pager, FaultScript::new());
+        apply(&faulty).map_err(io::Error::from)?;
+        faulty.writes_seen()
+    };
+
+    let mut out = PagedOutcome {
+        trials: 0,
+        clean_pre: 0,
+        clean_post: 0,
+        detected: 0,
+        violations: 0,
+    };
+    for k in crash_points(total_writes, budget) {
+        out.trials += 1;
+        std::fs::write(&path, &snapshot)?;
+        {
+            let pager = Pager::open(&path)?;
+            let script = FaultScript::new().on_write(k, kind_for(k), true);
+            let faulty = FaultPager::new(&pager, script);
+            if apply(&faulty).is_ok() {
+                eprintln!("seed {seed} paged k={k}: workload survived its own crash");
+                out.violations += 1;
+                continue;
+            }
+        }
+        let pager = Pager::open(&path)?;
+        let tree = match PagedRTree::open(&pager, PageId(0), 16) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("seed {seed} paged k={k}: reopen failed: {e}");
+                out.violations += 1;
+                continue;
+            }
+        };
+        match tree.validate_with(false) {
+            Ok(Ok(())) if tree.len() == pre_len => out.clean_pre += 1,
+            Ok(Ok(())) if tree.len() == post_len => out.clean_post += 1,
+            Ok(Ok(())) => {
+                eprintln!(
+                    "seed {seed} paged k={k}: clean tree with impossible len {}",
+                    tree.len()
+                );
+                out.violations += 1;
+            }
+            Ok(Err(_)) | Err(StorageError::Corrupt { .. }) => out.detected += 1,
+            Err(e) => {
+                eprintln!("seed {seed} paged k={k}: validation I/O error: {e}");
+                out.violations += 1;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    Ok(out)
+}
+
+fn main() -> io::Result<()> {
+    let seeds = env_seeds();
+    let budget = env_u64("CRASH_POINTS", 0);
+    println!(
+        "EXT-8 — crash/reopen matrix (seeds {seeds:?}, points/phase: {})",
+        {
+            if budget == 0 {
+                "all".to_string()
+            } else {
+                budget.to_string()
+            }
+        }
+    );
+    println!();
+
+    let mut table = Table::new([
+        "seed",
+        "disk trials",
+        "rollbacks",
+        "paged trials",
+        "clean pre",
+        "clean post",
+        "detected",
+        "violations",
+    ]);
+    let mut violations = 0u64;
+    for &seed in &seeds {
+        let d = disk_matrix(seed, budget)?;
+        let p = paged_matrix(seed, budget)?;
+        violations += d.violations + p.violations;
+        table.row([
+            seed.to_string(),
+            d.trials.to_string(),
+            d.rollbacks.to_string(),
+            p.trials.to_string(),
+            p.clean_pre.to_string(),
+            p.clean_post.to_string(),
+            p.detected.to_string(),
+            (d.violations + p.violations).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("disk = rebuild-and-swap commit: every crash point must roll back");
+    println!("bit-for-bit; paged = in-place updates: reopen must be a clean");
+    println!("pre/post-commit tree or a *reported* inconsistency (DESIGN.md §9).");
+    if violations > 0 {
+        return Err(io::Error::other(format!(
+            "{violations} crash-safety violations"
+        )));
+    }
+    println!("\nPASS — no crash-safety violations.");
+    Ok(())
+}

@@ -81,6 +81,7 @@ fn main() -> std::io::Result<()> {
             tree.len().to_string(),
         ]);
     }
+    tree.close()?;
     println!("{}", table.render());
     println!("Updates cost a handful of page writes each (leaf + ancestor");
     println!("MBR adjustments + occasional splits); query cost degrades only");

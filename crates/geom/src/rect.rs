@@ -157,11 +157,20 @@ impl Rect {
     }
 
     /// Area of the intersection with `other` (zero when disjoint).
+    ///
+    /// Total on junk input: the result is always a non-negative,
+    /// non-NaN number. NaN coordinates fall out of the `min`/`max`
+    /// lattice (IEEE `min`/`max` ignore NaN) and the final guard keeps a
+    /// degenerate axis from turning an unbounded one into `0 × ∞ = NaN`.
     #[inline]
     pub fn intersection_area(&self, other: &Rect) -> f64 {
         let w = (self.max_x.min(other.max_x) - self.min_x.max(other.min_x)).max(0.0);
         let h = (self.max_y.min(other.max_y) - self.min_y.max(other.min_y)).max(0.0);
-        w * h
+        if w == 0.0 || h == 0.0 {
+            0.0
+        } else {
+            w * h
+        }
     }
 
     /// `true` if the rectangles share at least one point (the paper's
@@ -397,5 +406,76 @@ mod tests {
     fn from_corners_normalizes() {
         let a = Rect::from_corners(Point::new(3.0, 1.0), Point::new(0.0, 4.0));
         assert_eq!(a, r(0.0, 1.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn intersection_area_degenerate_rects() {
+        let unit = r(0.0, 0.0, 1.0, 1.0);
+        // A point rectangle inside, on the edge, and outside.
+        let point = r(0.5, 0.5, 0.5, 0.5);
+        assert_eq!(point.intersection_area(&unit), 0.0);
+        assert_eq!(unit.intersection_area(&point), 0.0);
+        assert_eq!(r(1.0, 0.5, 1.0, 0.5).intersection_area(&unit), 0.0);
+        assert_eq!(r(2.0, 2.0, 2.0, 2.0).intersection_area(&unit), 0.0);
+        // A zero-width line segment overlapping the interior.
+        assert_eq!(r(0.5, -1.0, 0.5, 2.0).intersection_area(&unit), 0.0);
+        // Degenerate-but-touching still counts as intersecting.
+        assert!(point.intersects(&unit));
+    }
+
+    #[test]
+    fn intersection_area_zero_times_infinity_is_zero() {
+        // Regression: a zero-width intersection crossed with an unbounded
+        // axis used to produce `0.0 × ∞ = NaN`. Unbounded rects can only
+        // arise through the struct literal (Rect::new debug-asserts
+        // finiteness), which is exactly how untrusted data enters.
+        let line = Rect {
+            min_x: 0.5,
+            min_y: f64::NEG_INFINITY,
+            max_x: 0.5,
+            max_y: f64::INFINITY,
+        };
+        let tall = Rect {
+            min_x: 0.0,
+            min_y: f64::NEG_INFINITY,
+            max_x: 1.0,
+            max_y: f64::INFINITY,
+        };
+        let area = line.intersection_area(&tall);
+        assert_eq!(area, 0.0, "got {area}");
+        // Two unbounded rects legitimately intersect in infinite area.
+        assert_eq!(tall.intersection_area(&tall), f64::INFINITY);
+    }
+
+    #[test]
+    fn intersection_area_nan_inputs_never_return_nan() {
+        let unit = r(0.0, 0.0, 1.0, 1.0);
+        let cases = [
+            Rect {
+                min_x: f64::NAN,
+                min_y: 0.0,
+                max_x: 0.5,
+                max_y: 1.0,
+            },
+            Rect {
+                min_x: 0.0,
+                min_y: 0.0,
+                max_x: f64::NAN,
+                max_y: 1.0,
+            },
+            Rect {
+                min_x: f64::NAN,
+                min_y: f64::NAN,
+                max_x: f64::NAN,
+                max_y: f64::NAN,
+            },
+        ];
+        for (i, bad) in cases.iter().enumerate() {
+            for (a, b) in [(bad, &unit), (&unit, bad)] {
+                let area = a.intersection_area(b);
+                assert!(!area.is_nan(), "case {i}: NaN leaked");
+                assert!(area >= 0.0, "case {i}: negative area {area}");
+            }
+        }
     }
 }

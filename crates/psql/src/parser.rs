@@ -373,6 +373,61 @@ mod tests {
     }
 
     #[test]
+    fn window_with_negative_centers() {
+        // Centers left of / below the origin: `-5` must lex as one
+        // negative number, not a stray minus.
+        let q =
+            parse_query("select city from cities on us-map at loc covered-by {-5 +- 2, -10 +- 3}")
+                .unwrap();
+        let at = q.at.unwrap();
+        assert_eq!(at.rhs, LocTerm::Window(Rect::new(-7.0, -13.0, -3.0, -7.0)));
+    }
+
+    #[test]
+    fn window_with_mixed_signs() {
+        let q =
+            parse_query("select city from cities on us-map at loc covered-by {-5 +- 2, 10 +- 3}")
+                .unwrap();
+        assert_eq!(
+            q.at.unwrap().rhs,
+            LocTerm::Window(Rect::new(-7.0, 7.0, -3.0, 13.0))
+        );
+    }
+
+    #[test]
+    fn window_negative_centers_tight_spacing() {
+        // `+-` hugging the center and no blank after the comma must lex
+        // identically to the spaced form.
+        let q = parse_query("select city from cities on us-map at loc covered-by {-5+- 2,-10 +-3}")
+            .unwrap();
+        assert_eq!(
+            q.at.unwrap().rhs,
+            LocTerm::Window(Rect::new(-7.0, -13.0, -3.0, -7.0))
+        );
+    }
+
+    #[test]
+    fn window_negative_fractional_centers_with_sign_glyph() {
+        let q = parse_query(
+            "select city from cities on us-map at loc covered-by {-0.5 ± 0.25, 2.5 ± 0.5}",
+        )
+        .unwrap();
+        assert_eq!(
+            q.at.unwrap().rhs,
+            LocTerm::Window(Rect::new(-0.75, 2.0, -0.25, 3.0))
+        );
+    }
+
+    #[test]
+    fn window_negative_half_extent_rejected() {
+        // A negative center is meaningful; a negative half-extent is not.
+        let err =
+            parse_query("select city from cities on us-map at loc covered-by {-5 +- -2, 1 +- 1}")
+                .unwrap_err();
+        assert!(err.to_string().contains("half-extents"), "{err}");
+    }
+
+    #[test]
     fn figure_2_2_juxtaposition() {
         let q = parse_query(
             "select city, zone from cities, time-zones on us-map, time-zone-map \

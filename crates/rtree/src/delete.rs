@@ -249,6 +249,69 @@ mod tests {
         t.assert_valid();
     }
 
+    /// Delete-heavy randomized stress across seeds, branching factors and
+    /// split policies, running the full invariant validator after every
+    /// single removal. Exercises the CondenseTree edge cases: internal
+    /// orphans re-attached at their original level, orphans whose level
+    /// exceeds the (shrunken) tree depth, duplicate rectangles, and
+    /// cascading eliminations from consecutive deletes.
+    #[test]
+    fn condense_orphan_stress_randomized() {
+        use crate::config::SplitPolicy;
+        let configs = [
+            RTreeConfig::new(3, 1, SplitPolicy::Linear),
+            RTreeConfig::new(4, 2, SplitPolicy::Quadratic),
+            RTreeConfig::new(5, 2, SplitPolicy::Exhaustive),
+            RTreeConfig::PAPER,
+        ];
+        for &seed in &[3u64, 17, 1985] {
+            for config in configs {
+                let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                let mut next = move || {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    s >> 33
+                };
+                let ctx = format!("seed {seed}, config {config:?}");
+                let mut t = RTree::new(config);
+                let mut live: Vec<(Rect, ItemId)> = Vec::new();
+                let mut next_id = 0u64;
+                for step in 0..600 {
+                    // Grow first, then bias hard toward deletion so the
+                    // tree repeatedly shrinks through underflow cascades.
+                    let insert_pct = if step < 250 { 65 } else { 25 };
+                    if live.is_empty() || next() % 100 < insert_pct {
+                        // 1-in-4 inserts duplicate an existing rectangle,
+                        // so FindLeaf must disambiguate by item id.
+                        let rect = if !live.is_empty() && next() % 4 == 0 {
+                            live[next() as usize % live.len()].0
+                        } else {
+                            pt((next() % 1000) as f64, (next() % 1000) as f64)
+                        };
+                        let id = ItemId(next_id);
+                        next_id += 1;
+                        t.insert(rect, id);
+                        live.push((rect, id));
+                    } else {
+                        let (rect, id) = live.swap_remove(next() as usize % live.len());
+                        assert!(t.remove(rect, id), "{ctx}: step {step}: {id:?} missing");
+                        t.assert_valid();
+                    }
+                    assert_eq!(t.len(), live.len(), "{ctx}: step {step}");
+                }
+                // Drain to empty, validating the depth-shrink path (incl.
+                // orphans above the new depth) on every removal.
+                while let Some((rect, id)) = live.pop() {
+                    assert!(t.remove(rect, id), "{ctx}: drain: {id:?} missing");
+                    t.assert_valid();
+                }
+                assert!(t.is_empty(), "{ctx}");
+                assert_eq!(t.depth(), 0, "{ctx}");
+            }
+        }
+    }
+
     #[test]
     fn condense_shrinks_depth() {
         let items = scatter(200);

@@ -1,15 +1,23 @@
-//! LRU buffer pool over a [`Pager`].
+//! LRU buffer pool over a [`PageStore`].
 //!
 //! "R-trees … are better in dealing with paging and disk I/O buffering"
 //! (§1): this pool is where that claim is measured. Fixed number of
 //! frames, strict LRU eviction, write-back of dirty frames, and hit/miss
 //! counters that the `io_sweep` experiment reads.
+//!
+//! # Durability contract
+//!
+//! Callers that care about their writes must end with an explicit
+//! [`close`](BufferPool::close) (or [`flush`](BufferPool::flush)) and
+//! handle the error. `Drop` is only a best-effort backstop: it attempts
+//! a flush and **logs** failures to stderr — it cannot report them, so
+//! relying on it silently trades away write errors.
 
+use crate::error::StorageResult;
 use crate::page::{Page, PageId};
-use crate::pager::Pager;
+use crate::pager::PageStore;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io;
 
 /// Buffer pool counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -52,21 +60,21 @@ struct PoolState {
 
 /// A fixed-capacity LRU buffer pool.
 pub struct BufferPool<'a> {
-    pager: &'a Pager,
+    store: &'a dyn PageStore,
     capacity: usize,
     state: Mutex<PoolState>,
 }
 
 impl<'a> BufferPool<'a> {
-    /// Creates a pool of `capacity` frames over `pager`.
+    /// Creates a pool of `capacity` frames over `store`.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
-    pub fn new(pager: &'a Pager, capacity: usize) -> Self {
+    pub fn new(store: &'a dyn PageStore, capacity: usize) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         BufferPool {
-            pager,
+            store,
             capacity,
             state: Mutex::new(PoolState {
                 frames: Vec::with_capacity(capacity),
@@ -78,35 +86,53 @@ impl<'a> BufferPool<'a> {
     }
 
     /// Runs `f` with read access to the page, faulting it in if needed.
-    pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&Page) -> T) -> io::Result<T> {
+    pub fn with_page<T>(&self, id: PageId, f: impl FnOnce(&Page) -> T) -> StorageResult<T> {
         let mut st = self.state.lock();
         let frame = self.fault(&mut st, id)?;
         Ok(f(&st.frames[frame].page))
     }
 
     /// Runs `f` with write access to the page, marking the frame dirty.
-    pub fn with_page_mut<T>(&self, id: PageId, f: impl FnOnce(&mut Page) -> T) -> io::Result<T> {
+    pub fn with_page_mut<T>(&self, id: PageId, f: impl FnOnce(&mut Page) -> T) -> StorageResult<T> {
         let mut st = self.state.lock();
         let frame = self.fault(&mut st, id)?;
         st.frames[frame].dirty = true;
         Ok(f(&mut st.frames[frame].page))
     }
 
-    /// Writes all dirty frames back to the pager.
-    pub fn flush(&self) -> io::Result<()> {
+    /// Writes all dirty frames back to the store.
+    ///
+    /// On error, frames successfully written so far are marked clean; the
+    /// failing frame stays dirty, so a later retry (or `close`) writes it
+    /// again.
+    pub fn flush(&self) -> StorageResult<()> {
         let mut st = self.state.lock();
         for frame in st.frames.iter_mut() {
             if frame.dirty {
-                self.pager.write_page(frame.page_id, &frame.page)?;
+                self.store.write_page(frame.page_id, &frame.page)?;
                 frame.dirty = false;
             }
         }
         Ok(())
     }
 
-    /// The underlying pager.
-    pub fn pager(&self) -> &'a Pager {
-        self.pager
+    /// Flushes all dirty frames and consumes the pool, reporting any
+    /// write failure. This is the durability-correct way to finish with
+    /// a pool; dropping one without closing leaves only the best-effort
+    /// backstop.
+    pub fn close(self) -> StorageResult<()> {
+        self.flush()
+        // Drop then finds no dirty frames and is a no-op.
+    }
+
+    /// `true` if any frame holds unwritten changes.
+    pub fn has_dirty_frames(&self) -> bool {
+        self.state.lock().frames.iter().any(|f| f.dirty)
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &'a dyn PageStore {
+        self.store
     }
 
     /// Counter snapshot.
@@ -122,7 +148,7 @@ impl<'a> BufferPool<'a> {
     /// Drops every cached frame (writing back dirty ones), so the next
     /// accesses all miss — used between experiment phases for cold-cache
     /// measurements.
-    pub fn clear(&self) -> io::Result<()> {
+    pub fn clear(&self) -> StorageResult<()> {
         self.flush()?;
         let mut st = self.state.lock();
         st.frames.clear();
@@ -131,7 +157,7 @@ impl<'a> BufferPool<'a> {
     }
 
     /// Ensures `id` is resident and returns its frame index.
-    fn fault(&self, st: &mut PoolState, id: PageId) -> io::Result<usize> {
+    fn fault(&self, st: &mut PoolState, id: PageId) -> StorageResult<usize> {
         st.tick += 1;
         let tick = st.tick;
         if let Some(&idx) = st.map.get(&id) {
@@ -140,7 +166,7 @@ impl<'a> BufferPool<'a> {
             return Ok(idx);
         }
         st.stats.misses += 1;
-        let page = self.pager.read_page(id)?;
+        let page = self.store.read_page(id)?;
         let idx = if st.frames.len() < self.capacity {
             st.frames.push(Frame {
                 page_id: id,
@@ -160,7 +186,7 @@ impl<'a> BufferPool<'a> {
                 .expect("non-empty");
             st.stats.evictions += 1;
             if st.frames[victim].dirty {
-                self.pager
+                self.store
                     .write_page(st.frames[victim].page_id, &st.frames[victim].page)?;
                 st.stats.writebacks += 1;
             }
@@ -180,14 +206,19 @@ impl<'a> BufferPool<'a> {
 }
 
 impl Drop for BufferPool<'_> {
+    /// Best-effort backstop only: attempts a flush and logs failures.
+    /// Use [`close`](BufferPool::close) to actually observe write errors.
     fn drop(&mut self) {
-        let _ = self.flush();
+        if let Err(e) = self.flush() {
+            eprintln!("warning: BufferPool dropped with unflushed dirty frames: {e}");
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::Pager;
 
     #[test]
     fn hit_after_first_access() {
@@ -222,6 +253,43 @@ mod tests {
     }
 
     #[test]
+    fn dirty_eviction_survives_cold_reopen() {
+        // Fill a 2-frame pool, dirty a page, force its eviction purely by
+        // pool pressure, then reopen the file cold: the evicted dirty
+        // frame must have been written back at eviction time — the
+        // durability path in `fault()`.
+        let path = std::env::temp_dir().join(format!(
+            "pool-evict-durability-{}-{:?}.db",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let pager = Pager::create(&path).unwrap();
+            let a = pager.allocate();
+            let b = pager.allocate();
+            let c = pager.allocate();
+            let pool = BufferPool::new(&pager, 2);
+            pool.with_page_mut(a, |p| p.bytes_mut()[7] = 0xA7).unwrap();
+            // Pressure: b fills the second frame, c evicts a (LRU).
+            pool.with_page(b, |_| ()).unwrap();
+            pool.with_page(c, |_| ()).unwrap();
+            let s = pool.stats();
+            assert_eq!(s.evictions, 1, "a must have been evicted");
+            assert_eq!(s.writebacks, 1, "the evicted dirty frame was written");
+            // Deliberately neither flush nor close: no dirty frames are
+            // left (asserted above via `writebacks`), so the write-back
+            // at eviction alone must have persisted the page.
+            assert!(!pool.has_dirty_frames());
+        }
+        {
+            let pager = Pager::open(&path).unwrap();
+            let page = pager.read_page(PageId(0)).unwrap();
+            assert_eq!(page.bytes()[7], 0xA7, "evicted dirty page lost");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn lru_evicts_least_recent() {
         let pager = Pager::temp().unwrap();
         let a = pager.allocate();
@@ -249,6 +317,56 @@ mod tests {
             pool.flush().unwrap();
         }
         assert_eq!(pager.read_page(id).unwrap().bytes()[5], 42);
+    }
+
+    #[test]
+    fn close_reports_success() {
+        let pager = Pager::temp().unwrap();
+        let id = pager.allocate();
+        let pool = BufferPool::new(&pager, 2);
+        pool.with_page_mut(id, |p| p.bytes_mut()[5] = 42).unwrap();
+        pool.close().unwrap();
+        assert_eq!(pager.read_page(id).unwrap().bytes()[5], 42);
+    }
+
+    #[test]
+    fn flush_failure_is_reported_and_retryable() {
+        // Regression: BufferPool used to swallow flush errors in Drop
+        // (`let _ = self.flush()`). With an injected write failure, the
+        // explicit flush/close path must surface the error, keep the
+        // frame dirty, and let a retry complete the write.
+        use crate::fault::{FaultKind, FaultPager, FaultScript};
+        let pager = Pager::temp().unwrap();
+        let script = FaultScript::new().on_write(1, FaultKind::FailWrite, false);
+        let faulty = FaultPager::new(&pager, script);
+        let id = faulty.allocate();
+        let pool = BufferPool::new(&faulty, 2);
+        pool.with_page_mut(id, |p| p.bytes_mut()[0] = 9).unwrap();
+        assert!(pool.flush().is_err(), "flush must report the write failure");
+        assert!(pool.has_dirty_frames(), "failed frame must stay dirty");
+        // The fault was one-shot: the retry inside close() succeeds.
+        pool.close().unwrap();
+        assert_eq!(pager.read_page(id).unwrap().bytes()[0], 9);
+    }
+
+    #[test]
+    fn close_reports_persistent_write_failure() {
+        use crate::fault::{FaultKind, FaultPager, FaultScript};
+        let pager = Pager::temp().unwrap();
+        // crash=true: every write after the first failure also fails, so
+        // not even the Drop backstop can save the page — close() is the
+        // only place the caller learns about the loss.
+        let script = FaultScript::new().on_write(1, FaultKind::FailWrite, true);
+        let faulty = FaultPager::new(&pager, script);
+        let id = faulty.allocate();
+        let pool = BufferPool::new(&faulty, 2);
+        pool.with_page_mut(id, |p| p.bytes_mut()[0] = 9).unwrap();
+        assert!(pool.close().is_err(), "close must surface the flush error");
+        assert_eq!(
+            pager.read_page(id).unwrap().bytes()[0],
+            0,
+            "nothing reached the file"
+        );
     }
 
     #[test]

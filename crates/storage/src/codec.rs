@@ -14,8 +14,14 @@
 //! in internal nodes — exactly the paper's `POINTER` field, "interpreted
 //! as pointers to other R-tree nodes if CLASS is non_leaf and to database
 //! tuples if CLASS is leaf".
+//!
+//! [`encode`] tags the page as [`PageType::Node`]; [`decode`] validates
+//! the tag and structural bounds and reports violations as an error
+//! string (the storage layers wrap it into
+//! [`StorageError::Corrupt`](crate::StorageError::Corrupt) with the page
+//! id attached). The page-level CRC is the pager's job.
 
-use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::page::{Page, PageId, PageType, PAYLOAD_SIZE};
 use rtree_geom::Rect;
 use rtree_index::ItemId;
 
@@ -24,8 +30,12 @@ pub const ENTRY_SIZE: usize = 40;
 /// Bytes of node header.
 pub const HEADER_SIZE: usize = 8;
 /// Maximum entries a page can hold — the natural "disk branching factor"
-/// (102 with 4 KiB pages).
-pub const MAX_ENTRIES_PER_PAGE: usize = (PAGE_SIZE - HEADER_SIZE) / ENTRY_SIZE;
+/// (102 with 4 KiB pages and the 8-byte checksum footer).
+pub const MAX_ENTRIES_PER_PAGE: usize = (PAYLOAD_SIZE - HEADER_SIZE) / ENTRY_SIZE;
+
+/// Sanity bound on node levels; real trees at branching ~100 are depth
+/// ≤ 10 even at billions of items, so anything larger is corruption.
+const MAX_LEVEL: u32 = 64;
 
 /// A decoded on-disk entry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +74,7 @@ impl DiskNode {
     }
 }
 
-/// Serializes a node into a page.
+/// Serializes a node into a page and tags it as [`PageType::Node`].
 ///
 /// # Panics
 ///
@@ -87,14 +97,29 @@ pub fn encode(node: &DiskNode, page: &mut Page) {
         bytes[at + 24..at + 32].copy_from_slice(&e.mbr.max_y.to_le_bytes());
         bytes[at + 32..at + 40].copy_from_slice(&e.child.to_le_bytes());
     }
+    page.set_type(PageType::Node);
 }
 
-/// Deserializes a node from a page.
-pub fn decode(page: &Page) -> DiskNode {
+/// Deserializes a node from a page, validating the page-type tag and
+/// structural bounds. Returns the corruption reason on failure.
+pub fn decode(page: &Page) -> Result<DiskNode, String> {
+    let tag = page.tag();
+    // `Free` (0) is accepted: an allocated-but-never-written page reads
+    // as all zeroes, which decodes as an empty leaf.
+    if tag != PageType::Node as u8 && tag != PageType::Free as u8 {
+        return Err(format!("expected node page, found tag {tag}"));
+    }
     let bytes = page.bytes();
     let level = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
     let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
-    assert!(count <= MAX_ENTRIES_PER_PAGE, "corrupt page: count {count}");
+    if count > MAX_ENTRIES_PER_PAGE {
+        return Err(format!(
+            "entry count {count} exceeds page capacity {MAX_ENTRIES_PER_PAGE}"
+        ));
+    }
+    if level > MAX_LEVEL {
+        return Err(format!("implausible node level {level}"));
+    }
     let mut entries = Vec::with_capacity(count);
     for i in 0..count {
         let at = HEADER_SIZE + i * ENTRY_SIZE;
@@ -104,7 +129,7 @@ pub fn decode(page: &Page) -> DiskNode {
             child: u64::from_le_bytes(bytes[at + 32..at + 40].try_into().expect("8")),
         });
     }
-    DiskNode { level, entries }
+    Ok(DiskNode { level, entries })
 }
 
 #[cfg(test)]
@@ -128,7 +153,8 @@ mod tests {
         let node = sample_node(0, 7);
         let mut page = Page::zeroed();
         encode(&node, &mut page);
-        assert_eq!(decode(&page), node);
+        assert_eq!(page.tag(), PageType::Node as u8);
+        assert_eq!(decode(&page).unwrap(), node);
     }
 
     #[test]
@@ -136,7 +162,7 @@ mod tests {
         let node = sample_node(3, MAX_ENTRIES_PER_PAGE);
         let mut page = Page::zeroed();
         encode(&node, &mut page);
-        let back = decode(&page);
+        let back = decode(&page).unwrap();
         assert_eq!(back, node);
         assert!(!back.is_leaf());
         assert_eq!(back.child_page(0), PageId(1000));
@@ -150,7 +176,14 @@ mod tests {
         };
         let mut page = Page::zeroed();
         encode(&node, &mut page);
-        assert_eq!(decode(&page), node);
+        assert_eq!(decode(&page).unwrap(), node);
+    }
+
+    #[test]
+    fn zeroed_page_decodes_as_empty_leaf() {
+        let node = decode(&Page::zeroed()).unwrap();
+        assert!(node.is_leaf());
+        assert!(node.entries.is_empty());
     }
 
     #[test]
@@ -161,9 +194,36 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_count_rejected_not_panicking() {
+        let mut page = Page::zeroed();
+        encode(&sample_node(0, 3), &mut page);
+        page.bytes_mut()[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode(&page).unwrap_err();
+        assert!(err.contains("entry count"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_level_rejected() {
+        let mut page = Page::zeroed();
+        encode(&sample_node(0, 1), &mut page);
+        page.bytes_mut()[0..4].copy_from_slice(&9999u32.to_le_bytes());
+        assert!(decode(&page).unwrap_err().contains("level"));
+    }
+
+    #[test]
+    fn wrong_page_type_rejected() {
+        let mut page = Page::zeroed();
+        encode(&sample_node(0, 1), &mut page);
+        page.set_type(PageType::Meta);
+        assert!(decode(&page).unwrap_err().contains("tag"));
+    }
+
+    #[test]
     fn capacity_is_paper_scale() {
-        // 4 KiB pages must give a branching factor of ~100.
+        // 4 KiB pages must give a branching factor of ~100 even with the
+        // 8-byte checksum footer (8 + 102·40 = 4088 = PAYLOAD_SIZE).
         assert_eq!(MAX_ENTRIES_PER_PAGE, 102);
+        const { assert!(HEADER_SIZE + MAX_ENTRIES_PER_PAGE * ENTRY_SIZE <= PAYLOAD_SIZE) }
     }
 
     #[test]

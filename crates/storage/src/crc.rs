@@ -1,0 +1,69 @@
+//! CRC-32 (IEEE 802.3) used for page checksums.
+//!
+//! Table-driven, table built at compile time — no external crate, per
+//! the workspace's offline-build constraint.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE polynomial, init/final xor `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let mut data = vec![0u8; 4096];
+        data[100] = 0x55;
+        let base = crc32(&data);
+        for bit in 0..8 {
+            data[2000] ^= 1 << bit;
+            assert_ne!(crc32(&data), base, "bit {bit} undetected");
+            data[2000] ^= 1 << bit;
+        }
+        assert_eq!(crc32(&data), base);
+    }
+
+    #[test]
+    fn zeros_are_not_fixed_point() {
+        // An all-zero payload must not checksum to zero, so a page of
+        // zeroes with a zero CRC field is distinguishable from a sealed
+        // page (the pager special-cases fully zeroed pages instead).
+        assert_ne!(crc32(&[0u8; 4092]), 0);
+    }
+}

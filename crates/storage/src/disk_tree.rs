@@ -6,16 +6,28 @@
 //! so the `A` metric of Table 1 becomes real page requests and the pool's
 //! hit/miss counters quantify "dealing with paging and disk I/O
 //! buffering" (§1). Used by the EXT-5 `io_sweep` experiment.
+//!
+//! # Crash safety
+//!
+//! [`store_with_meta`](DiskRTree::store_with_meta) is a full commit:
+//! node pages are appended to fresh pages (never overwriting a previous
+//! image), synced, and only then does the two-slot meta pair (pages
+//! 0–1, see [`meta`](crate::meta)) flip to the new epoch. A crash at any
+//! point during the store leaves the previously committed tree — or, on
+//! a fresh file, a cleanly detected "no valid meta" state — never a
+//! half-written index that parses.
 
 use crate::buffer::BufferPool;
 use crate::codec::{self, DiskEntry, DiskNode, MAX_ENTRIES_PER_PAGE};
-use crate::page::{Page, PageId};
-use crate::pager::Pager;
+use crate::error::{StorageError, StorageResult};
+use crate::meta::{self, META_SLOTS};
+use crate::page::{Page, PageId, PageType};
+use crate::pager::PageStore;
 use rtree_geom::{Point, Rect};
 use rtree_index::{Child, ItemId, NodeId, RTree, SearchStats};
 use std::io;
 
-/// Identifies a [`DiskRTree`] meta page ("PRTREE85" little-endian).
+/// Identifies a [`DiskRTree`] meta slot ("PRTREE85" little-endian).
 const META_MAGIC: u64 = u64::from_le_bytes(*b"PRTREE85");
 
 /// Handle to an R-tree stored in a page file.
@@ -25,17 +37,20 @@ pub struct DiskRTree {
     depth: u32,
     len: usize,
     pages: u32,
+    epoch: u64,
 }
 
 impl DiskRTree {
-    /// Writes `tree` into `pager`, one node per page, and returns the
-    /// handle.
+    /// Writes `tree` into `store`, one node per page, and returns the
+    /// handle. No meta record is written — the image is unreachable
+    /// after a reopen until [`store_with_meta`](DiskRTree::store_with_meta)
+    /// commits one.
     ///
     /// # Errors
     ///
     /// Fails on I/O errors, or if the tree's branching factor exceeds
     /// [`MAX_ENTRIES_PER_PAGE`].
-    pub fn store(tree: &RTree, pager: &Pager) -> io::Result<DiskRTree> {
+    pub fn store(tree: &RTree, store: &dyn PageStore) -> StorageResult<DiskRTree> {
         if tree.config().max_entries > MAX_ENTRIES_PER_PAGE {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -44,69 +59,82 @@ impl DiskRTree {
                     tree.config().max_entries,
                     MAX_ENTRIES_PER_PAGE
                 ),
-            ));
+            )
+            .into());
         }
         let mut pages_written = 0u32;
-        let root = Self::store_node(tree, tree.root(), pager, &mut pages_written)?;
+        let root = Self::store_node(tree, tree.root(), store, &mut pages_written)?;
         Ok(DiskRTree {
             root,
             depth: tree.depth(),
             len: tree.len(),
             pages: pages_written,
+            epoch: 0,
         })
     }
 
-    /// Like [`store`](DiskRTree::store), but also writes a **meta page**
-    /// recording root/depth/length so the tree can be
-    /// [`open`](DiskRTree::open)ed from the file later. The meta page is
-    /// allocated first, so on a fresh pager it is page 0.
-    pub fn store_with_meta(tree: &RTree, pager: &Pager) -> io::Result<DiskRTree> {
-        let meta_page = pager.allocate();
-        let disk = Self::store(tree, pager)?;
-        let mut page = Page::zeroed();
-        let b = page.bytes_mut();
-        b[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
-        b[8..12].copy_from_slice(&disk.root.0.to_le_bytes());
-        b[12..16].copy_from_slice(&disk.depth.to_le_bytes());
-        b[16..24].copy_from_slice(&(disk.len as u64).to_le_bytes());
-        b[24..28].copy_from_slice(&disk.pages.to_le_bytes());
-        pager.write_page(meta_page, &page)?;
-        pager.sync()?;
-        Ok(disk)
-    }
-
-    /// Reopens a tree previously written by
-    /// [`store_with_meta`](DiskRTree::store_with_meta), reading the meta
-    /// page (page 0 by default).
-    pub fn open(pager: &Pager, meta_page: PageId) -> io::Result<DiskRTree> {
-        let page = pager.read_page(meta_page)?;
-        let b = page.bytes();
-        let magic = u64::from_le_bytes(b[0..8].try_into().expect("8 bytes"));
-        if magic != META_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a packed-rtree meta page",
-            ));
+    /// Like [`store`](DiskRTree::store), but commits the image through
+    /// the two-slot **meta pair** on pages 0–1 so the tree can be
+    /// [`open`](DiskRTree::open)ed from the file later.
+    ///
+    /// On a fresh file the meta pair is allocated first (pages 0 and 1).
+    /// On a file holding an earlier image this *replaces* it atomically:
+    /// new nodes are appended to fresh pages, and the meta flip is the
+    /// commit point — a crash anywhere during the store leaves the old
+    /// tree intact (the old image's pages are not reclaimed; this is a
+    /// rebuild-and-swap, not an in-place update).
+    pub fn store_with_meta(tree: &RTree, store: &dyn PageStore) -> StorageResult<DiskRTree> {
+        // Reserve the meta pair on a fresh (or degenerate) file.
+        while store.page_count() < META_SLOTS {
+            store.allocate();
         }
+        let prev_epoch = meta::load_newest(store, PageId(0), META_MAGIC)?
+            .map(|(_, e)| e)
+            .unwrap_or(0);
+        let disk = Self::store(tree, store)?;
+        let epoch = prev_epoch + 1;
+        meta::commit(store, PageId(0), META_MAGIC, epoch, PageType::Meta, |b| {
+            b[0..4].copy_from_slice(&disk.root.0.to_le_bytes());
+            b[4..8].copy_from_slice(&disk.depth.to_le_bytes());
+            b[8..16].copy_from_slice(&(disk.len as u64).to_le_bytes());
+            b[16..20].copy_from_slice(&disk.pages.to_le_bytes());
+        })?;
+        Ok(DiskRTree { epoch, ..disk })
+    }
+
+    /// Reopens a tree previously committed by
+    /// [`store_with_meta`](DiskRTree::store_with_meta), reading the meta
+    /// pair whose first slot is `meta` (page 0 by default) and picking
+    /// the newest slot that verifies.
+    pub fn open(store: &dyn PageStore, meta: PageId) -> StorageResult<DiskRTree> {
+        let Some((page, epoch)) = meta::load_newest(store, meta, META_MAGIC)? else {
+            return Err(StorageError::corrupt(
+                meta,
+                "no valid packed-rtree meta slot (wrong magic or torn write)",
+            ));
+        };
+        let b = &page.bytes()[meta::META_FIELDS..];
         Ok(DiskRTree {
-            root: PageId(u32::from_le_bytes(b[8..12].try_into().expect("4"))),
-            depth: u32::from_le_bytes(b[12..16].try_into().expect("4")),
-            len: u64::from_le_bytes(b[16..24].try_into().expect("8")) as usize,
-            pages: u32::from_le_bytes(b[24..28].try_into().expect("4")),
+            root: PageId(u32::from_le_bytes(b[0..4].try_into().expect("4"))),
+            depth: u32::from_le_bytes(b[4..8].try_into().expect("4")),
+            len: u64::from_le_bytes(b[8..16].try_into().expect("8")) as usize,
+            pages: u32::from_le_bytes(b[16..20].try_into().expect("4")),
+            epoch,
         })
     }
 
-    /// [`open`](DiskRTree::open) with the conventional meta page 0.
-    pub fn open_default(pager: &Pager) -> io::Result<DiskRTree> {
-        Self::open(pager, PageId(0))
+    /// [`open`](DiskRTree::open) with the conventional meta pair at
+    /// pages 0–1.
+    pub fn open_default(store: &dyn PageStore) -> StorageResult<DiskRTree> {
+        Self::open(store, PageId(0))
     }
 
     fn store_node(
         tree: &RTree,
         id: NodeId,
-        pager: &Pager,
+        store: &dyn PageStore,
         pages_written: &mut u32,
-    ) -> io::Result<PageId> {
+    ) -> StorageResult<PageId> {
         let node = tree.node(id);
         let mut entries = Vec::with_capacity(node.len());
         for e in &node.entries {
@@ -114,12 +142,12 @@ impl DiskRTree {
                 Child::Item(item) => item.0,
                 Child::Node(c) => {
                     // Post-order: children are on disk before the parent.
-                    Self::store_node(tree, c, pager, pages_written)?.0 as u64
+                    Self::store_node(tree, c, store, pages_written)?.0 as u64
                 }
             };
             entries.push(DiskEntry { mbr: e.mbr, child });
         }
-        let page_id = pager.allocate();
+        let page_id = store.allocate();
         let mut page = Page::zeroed();
         codec::encode(
             &DiskNode {
@@ -128,7 +156,7 @@ impl DiskRTree {
             },
             &mut page,
         );
-        pager.write_page(page_id, &page)?;
+        store.write_page(page_id, &page)?;
         *pages_written += 1;
         Ok(page_id)
     }
@@ -158,6 +186,12 @@ impl DiskRTree {
         self.pages
     }
 
+    /// Commit epoch this handle was stored/opened at (0 for an
+    /// uncommitted [`store`](DiskRTree::store)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The paper's `SEARCH` against the disk image: descend entries
     /// intersecting `window`, report leaf entries within it. Each node
     /// touched is one page request through `pool`.
@@ -166,13 +200,13 @@ impl DiskRTree {
         pool: &BufferPool<'_>,
         window: &Rect,
         stats: &mut SearchStats,
-    ) -> io::Result<Vec<ItemId>> {
+    ) -> StorageResult<Vec<ItemId>> {
         stats.queries += 1;
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
             stats.nodes_visited += 1;
-            let node = pool.with_page(pid, codec::decode)?;
+            let node = read_node(pool, pid)?;
             if node.is_leaf() {
                 stats.leaf_nodes_visited += 1;
                 for (i, e) in node.entries.iter().enumerate() {
@@ -198,13 +232,13 @@ impl DiskRTree {
         pool: &BufferPool<'_>,
         p: Point,
         stats: &mut SearchStats,
-    ) -> io::Result<Vec<ItemId>> {
+    ) -> StorageResult<Vec<ItemId>> {
         stats.queries += 1;
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(pid) = stack.pop() {
             stats.nodes_visited += 1;
-            let node = pool.with_page(pid, codec::decode)?;
+            let node = read_node(pool, pid)?;
             if node.is_leaf() {
                 stats.leaf_nodes_visited += 1;
                 for (i, e) in node.entries.iter().enumerate() {
@@ -225,9 +259,17 @@ impl DiskRTree {
     }
 }
 
+/// Decodes a node page through the pool, attaching the page id to any
+/// corruption reason.
+fn read_node(pool: &BufferPool<'_>, id: PageId) -> StorageResult<DiskNode> {
+    pool.with_page(id, codec::decode)?
+        .map_err(|reason| StorageError::corrupt(id, reason))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::Pager;
     use rtree_index::RTreeConfig;
 
     fn sample_tree(n: u64) -> RTree {
@@ -336,11 +378,12 @@ mod tests {
         {
             let pager = Pager::create(&path).unwrap();
             let disk = DiskRTree::store_with_meta(&tree, &pager).unwrap();
-            // Meta page is 0; nodes are written children-first, so the
-            // root lands on the last page.
-            assert_eq!(disk.root(), PageId(tree.node_count() as u32));
+            // Meta pair occupies pages 0–1; nodes are written
+            // children-first, so the root lands on the last page.
+            assert_eq!(disk.root(), PageId(tree.node_count() as u32 + 1));
+            assert_eq!(disk.epoch(), 1);
         }
-        // Reopen the file cold and search through the meta page.
+        // Reopen the file cold and search through the meta pair.
         {
             let pager = Pager::open(&path).unwrap();
             let disk = DiskRTree::open_default(&pager).unwrap();
@@ -353,18 +396,37 @@ mod tests {
             assert_eq!(got, expected);
             // New allocations go past the existing pages.
             let fresh = pager.allocate();
-            assert!(fresh.0 as usize > tree.node_count());
+            assert!(fresh.0 as usize > tree.node_count() + 1);
         }
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
+    fn restore_replaces_image_atomically() {
+        let pager = Pager::temp().unwrap();
+        let a = sample_tree(100);
+        let b = sample_tree(220);
+        let disk_a = DiskRTree::store_with_meta(&a, &pager).unwrap();
+        assert_eq!(disk_a.epoch(), 1);
+        let disk_b = DiskRTree::store_with_meta(&b, &pager).unwrap();
+        assert_eq!(disk_b.epoch(), 2);
+        // Open resolves to the newest commit.
+        let reopened = DiskRTree::open_default(&pager).unwrap();
+        assert_eq!(reopened.len(), 220);
+        assert_eq!(reopened.root(), disk_b.root());
+        // The new image was appended past the old one.
+        assert!(disk_b.root().0 > disk_a.root().0);
+    }
+
+    #[test]
     fn open_rejects_garbage_meta() {
         let pager = Pager::temp().unwrap();
-        let id = pager.allocate();
-        pager.write_page(id, &Page::zeroed()).unwrap();
-        let err = DiskRTree::open(&pager, id).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        for _ in 0..2 {
+            let id = pager.allocate();
+            pager.write_page(id, &Page::zeroed()).unwrap();
+        }
+        let err = DiskRTree::open(&pager, PageId(0)).unwrap_err();
+        assert!(err.is_corrupt(), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Storage-layer error type.
+//!
+//! The disk substrate distinguishes plain I/O failures (the OS said no)
+//! from **corruption**: a page that was read back but whose checksum or
+//! structure does not match what was written. Corruption is surfaced as
+//! [`StorageError::Corrupt`] with the offending page id, never as a
+//! garbage decode or a panic — the fail-loudly half of the crash-safety
+//! model (DESIGN.md §9).
+
+use crate::page::PageId;
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors from the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The underlying file I/O failed.
+    Io(io::Error),
+    /// A page was read back in a state that fails validation: checksum
+    /// mismatch, wrong page-type tag, or an impossible structure.
+    Corrupt {
+        /// The page that failed validation.
+        page: PageId,
+        /// Human-readable description of what failed.
+        reason: String,
+    },
+}
+
+impl StorageError {
+    /// Convenience constructor for corruption errors.
+    pub fn corrupt(page: PageId, reason: impl Into<String>) -> Self {
+        StorageError::Corrupt {
+            page,
+            reason: reason.into(),
+        }
+    }
+
+    /// `true` if this error is a detected-corruption error (as opposed to
+    /// a plain I/O failure).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, StorageError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt { page, reason } => {
+                write!(f, "corrupt page {page}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Lossy conversion so callers living in `io::Result` land (bench bins,
+/// examples) can keep using `?`: corruption maps to
+/// [`io::ErrorKind::InvalidData`].
+impl From<StorageError> for io::Error {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::Io(e) => e,
+            StorageError::Corrupt { page, reason } => io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt page {page}: {reason}"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_display_names_page() {
+        let e = StorageError::corrupt(PageId(7), "bad checksum");
+        assert!(e.to_string().contains("p7"));
+        assert!(e.is_corrupt());
+    }
+
+    #[test]
+    fn io_roundtrips_kind() {
+        let e = StorageError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(!e.is_corrupt());
+        let back: io::Error = e.into();
+        assert_eq!(back.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn corrupt_maps_to_invalid_data() {
+        let e = StorageError::corrupt(PageId(3), "x");
+        let io: io::Error = e.into();
+        assert_eq!(io.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -14,26 +14,44 @@
 //!
 //! # Layers
 //!
-//! * [`page`] — fixed-size page type and ids;
-//! * [`pager`] — a file of pages with allocation and a free list;
+//! * [`page`] — fixed-size page type and ids, with a per-page CRC32
+//!   checksum footer and page-type tag;
+//! * [`crc`] — the CRC-32 implementation (no external crates);
+//! * [`error`] — [`StorageError`], separating I/O failures from detected
+//!   corruption;
+//! * [`pager`] — a file of pages with allocation and a free list, behind
+//!   the [`PageStore`] trait (checksums stamped on write, verified on
+//!   read);
+//! * [`fault`] — [`FaultPager`], a deterministic fault-injecting
+//!   `PageStore` wrapper for crash/corruption testing;
 //! * [`buffer`] — the LRU buffer pool;
 //! * [`codec`] — R-tree node ⇄ page serialization (fixed little-endian
 //!   layout, no external serialization crates);
+//! * [`meta`] — two-slot shadow meta pages for atomic commits;
 //! * [`disk_tree`] — a page-resident R-tree image supporting the paper's
 //!   searches with I/O counted.
+//!
+//! The crash-safety model — what the checksums, the meta pair, and the
+//! fault harness each guarantee — is documented in `DESIGN.md` §9.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod buffer;
 pub mod codec;
+pub mod crc;
 pub mod disk_tree;
+pub mod error;
+pub mod fault;
+pub mod meta;
 pub mod page;
 pub mod paged_tree;
 pub mod pager;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use disk_tree::DiskRTree;
-pub use page::{Page, PageId, PAGE_SIZE};
+pub use error::{StorageError, StorageResult};
+pub use fault::{FaultKind, FaultPager, FaultScript, InjectedFault};
+pub use page::{Page, PageId, PageType, PAGE_SIZE, PAYLOAD_SIZE};
 pub use paged_tree::PagedRTree;
-pub use pager::{IoStats, Pager};
+pub use pager::{IoStats, PageStore, Pager};

@@ -6,27 +6,44 @@
 //! 4 KiB page, ChooseLeaf/AdjustTree walking pages, node splits via the
 //! same Guttman algorithms as the in-memory tree
 //! ([`rtree_index::split::split_rect_entries`]), CondenseTree with orphan
-//! re-insertion, and a meta page making the whole index reopenable.
+//! re-insertion, and a two-slot meta pair making the whole index
+//! reopenable.
 //!
 //! This realizes the paper's deployment story end to end: PACK the
 //! static picture once ([`PagedRTree::from_tree`] writes the packed tree
 //! sequentially), then serve direct spatial search *and* occasional
 //! updates from disk (§3.4).
+//!
+//! # Crash safety
+//!
+//! Updates buffer in the pool and in the in-memory header;
+//! [`commit`](PagedRTree::commit) (also reachable as
+//! [`flush`](PagedRTree::flush)) makes them durable: dirty node pages
+//! are flushed, synced, and then the meta pair (see [`meta`](crate::meta))
+//! flips to a new epoch. Operations since the last commit are lost on a
+//! crash. Because node pages are updated **in place**, a crash while
+//! dirty pages are being flushed can tear pages the previous commit
+//! still references — such damage is *detected* (checksums surface it as
+//! [`StorageError::Corrupt`]) but not rolled back; see DESIGN.md §9 for
+//! the full contract. Finish with [`close`](PagedRTree::close) to
+//! observe any final write error instead of relying on drop.
 
 use crate::buffer::BufferPool;
 use crate::codec::{self, DiskEntry, DiskNode, MAX_ENTRIES_PER_PAGE};
-use crate::page::{Page, PageId};
-use crate::pager::Pager;
+use crate::error::{StorageError, StorageResult};
+use crate::meta;
+use crate::page::{PageId, PageType};
+use crate::pager::PageStore;
 use rtree_geom::{Point, Rect};
 use rtree_index::split::split_rect_entries;
 use rtree_index::{Child, ItemId, NodeId, RTree, RTreeConfig, SearchStats};
 use std::io;
 
-/// Magic for `PagedRTree` meta pages (distinct from the read-only
+/// Magic for `PagedRTree` meta slots (distinct from the read-only
 /// image's).
 const META_MAGIC: u64 = u64::from_le_bytes(*b"PRTDYN85");
 
-/// A mutable, page-resident R-tree over a [`Pager`] + [`BufferPool`].
+/// A mutable, page-resident R-tree over a [`PageStore`] + [`BufferPool`].
 pub struct PagedRTree<'a> {
     pool: BufferPool<'a>,
     meta: PageId,
@@ -34,28 +51,35 @@ pub struct PagedRTree<'a> {
     depth: u32,
     len: usize,
     config: RTreeConfig,
+    epoch: u64,
 }
 
 impl<'a> PagedRTree<'a> {
-    /// Creates an empty paged tree: allocates a meta page and an empty
-    /// leaf root.
+    /// Creates an empty paged tree: reserves the meta pair, allocates an
+    /// empty leaf root, and commits epoch 1.
     ///
     /// # Errors
     ///
     /// Fails on I/O errors or if `config.max_entries` exceeds
     /// [`MAX_ENTRIES_PER_PAGE`].
-    pub fn create(pager: &'a Pager, config: RTreeConfig, pool_frames: usize) -> io::Result<Self> {
+    pub fn create(
+        store: &'a dyn PageStore,
+        config: RTreeConfig,
+        pool_frames: usize,
+    ) -> StorageResult<Self> {
         check_config(&config)?;
-        let meta = pager.allocate();
-        let root = pager.allocate();
-        let pool = BufferPool::new(pager, pool_frames);
-        let tree = PagedRTree {
+        let meta = store.allocate();
+        store.allocate(); // second meta slot
+        let root = store.allocate();
+        let pool = BufferPool::new(store, pool_frames);
+        let mut tree = PagedRTree {
             pool,
             meta,
             root,
             depth: 0,
             len: 0,
             config,
+            epoch: 0,
         };
         tree.write_node(
             root,
@@ -64,16 +88,21 @@ impl<'a> PagedRTree<'a> {
                 entries: Vec::new(),
             },
         )?;
-        tree.write_meta()?;
+        tree.commit()?;
         Ok(tree)
     }
 
     /// Converts an in-memory tree (typically freshly PACKed) into a paged
-    /// tree, writing nodes children-first.
-    pub fn from_tree(tree: &RTree, pager: &'a Pager, pool_frames: usize) -> io::Result<Self> {
+    /// tree, writing nodes children-first and committing epoch 1.
+    pub fn from_tree(
+        tree: &RTree,
+        store: &'a dyn PageStore,
+        pool_frames: usize,
+    ) -> StorageResult<Self> {
         check_config(&tree.config())?;
-        let meta = pager.allocate();
-        let pool = BufferPool::new(pager, pool_frames);
+        let meta = store.allocate();
+        store.allocate(); // second meta slot
+        let pool = BufferPool::new(store, pool_frames);
         let mut paged = PagedRTree {
             pool,
             meta,
@@ -81,23 +110,24 @@ impl<'a> PagedRTree<'a> {
             depth: tree.depth(),
             len: tree.len(),
             config: tree.config(),
+            epoch: 0,
         };
-        paged.root = paged.copy_node(tree, tree.root(), pager)?;
-        paged.write_meta()?;
+        paged.root = paged.copy_node(tree, tree.root())?;
+        paged.commit()?;
         Ok(paged)
     }
 
-    fn copy_node(&mut self, tree: &RTree, id: NodeId, pager: &Pager) -> io::Result<PageId> {
+    fn copy_node(&mut self, tree: &RTree, id: NodeId) -> StorageResult<PageId> {
         let node = tree.node(id);
         let mut entries = Vec::with_capacity(node.len());
         for e in &node.entries {
             let child = match e.child {
                 Child::Item(item) => item.0,
-                Child::Node(c) => self.copy_node(tree, c, pager)?.0 as u64,
+                Child::Node(c) => self.copy_node(tree, c)?.0 as u64,
             };
             entries.push(DiskEntry { mbr: e.mbr, child });
         }
-        let page_id = pager.allocate();
+        let page_id = self.store().allocate();
         self.write_node(
             page_id,
             &DiskNode {
@@ -108,42 +138,82 @@ impl<'a> PagedRTree<'a> {
         Ok(page_id)
     }
 
-    /// Reopens a paged tree from its meta page.
-    pub fn open(pager: &'a Pager, meta: PageId, pool_frames: usize) -> io::Result<Self> {
-        let page = pager.read_page(meta)?;
-        let b = page.bytes();
-        let magic = u64::from_le_bytes(b[0..8].try_into().expect("8"));
-        if magic != META_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a PagedRTree meta page",
+    /// Reopens a paged tree from its meta pair (first slot at `meta`),
+    /// picking the newest slot that verifies.
+    pub fn open(store: &'a dyn PageStore, meta: PageId, pool_frames: usize) -> StorageResult<Self> {
+        let Some((page, epoch)) = meta::load_newest(store, meta, META_MAGIC)? else {
+            return Err(StorageError::corrupt(
+                meta,
+                "no valid PagedRTree meta slot (wrong magic or torn write)",
             ));
-        }
-        let root = PageId(u32::from_le_bytes(b[8..12].try_into().expect("4")));
-        let depth = u32::from_le_bytes(b[12..16].try_into().expect("4"));
-        let len = u64::from_le_bytes(b[16..24].try_into().expect("8")) as usize;
-        let max_entries = u32::from_le_bytes(b[24..28].try_into().expect("4")) as usize;
-        let min_entries = u32::from_le_bytes(b[28..32].try_into().expect("4")) as usize;
-        let split = match b[32] {
+        };
+        let b = &page.bytes()[meta::META_FIELDS..];
+        let root = PageId(u32::from_le_bytes(b[0..4].try_into().expect("4")));
+        let depth = u32::from_le_bytes(b[4..8].try_into().expect("4"));
+        let len = u64::from_le_bytes(b[8..16].try_into().expect("8")) as usize;
+        let max_entries = u32::from_le_bytes(b[16..20].try_into().expect("4")) as usize;
+        let min_entries = u32::from_le_bytes(b[20..24].try_into().expect("4")) as usize;
+        let split = match b[24] {
             0 => rtree_index::SplitPolicy::Linear,
             2 => rtree_index::SplitPolicy::Exhaustive,
             _ => rtree_index::SplitPolicy::Quadratic,
         };
         let config = RTreeConfig::new(max_entries, min_entries, split);
         Ok(PagedRTree {
-            pool: BufferPool::new(pager, pool_frames),
+            pool: BufferPool::new(store, pool_frames),
             meta,
             root,
             depth,
             len,
             config,
+            epoch,
         })
     }
 
-    /// Flushes dirty pages and the meta page to the pager.
-    pub fn flush(&mut self) -> io::Result<()> {
-        self.write_meta()?;
-        self.pool.flush()
+    /// Commits the current state: flushes dirty node pages, syncs, and
+    /// flips the meta pair to a new epoch (sync-write-sync). On return,
+    /// a reopen observes exactly this tree.
+    pub fn commit(&mut self) -> StorageResult<()> {
+        self.pool.flush()?;
+        let epoch = self.epoch + 1;
+        let (root, depth, len, config) = (self.root, self.depth, self.len, self.config);
+        meta::commit(
+            self.store(),
+            self.meta,
+            META_MAGIC,
+            epoch,
+            PageType::DynMeta,
+            |b| {
+                b[0..4].copy_from_slice(&root.0.to_le_bytes());
+                b[4..8].copy_from_slice(&depth.to_le_bytes());
+                b[8..16].copy_from_slice(&(len as u64).to_le_bytes());
+                b[16..20].copy_from_slice(&(config.max_entries as u32).to_le_bytes());
+                b[20..24].copy_from_slice(&(config.min_entries as u32).to_le_bytes());
+                b[24] = match config.split {
+                    rtree_index::SplitPolicy::Linear => 0,
+                    rtree_index::SplitPolicy::Quadratic => 1,
+                    rtree_index::SplitPolicy::Exhaustive => 2,
+                };
+            },
+        )?;
+        self.epoch = epoch;
+        Ok(())
+    }
+
+    /// Alias for [`commit`](PagedRTree::commit), kept for callers that
+    /// think in flush terms.
+    pub fn flush(&mut self) -> StorageResult<()> {
+        self.commit()
+    }
+
+    /// Commits and tears the tree down, reporting any write failure —
+    /// the durability-correct way to finish (dropping instead leaves
+    /// only the buffer pool's best-effort backstop, which cannot report
+    /// errors and does not advance the commit epoch).
+    pub fn close(mut self) -> StorageResult<()> {
+        self.commit()?;
+        let PagedRTree { pool, .. } = self;
+        pool.close()
     }
 
     /// Number of indexed items.
@@ -166,34 +236,24 @@ impl<'a> PagedRTree<'a> {
         self.config
     }
 
+    /// Commit epoch of the last successful [`commit`](PagedRTree::commit)
+    /// (or the one this tree was opened at).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Buffer-pool statistics for the tree's page traffic.
     pub fn pool_stats(&self) -> crate::buffer::BufferStats {
         self.pool.stats()
     }
 
-    fn write_meta(&self) -> io::Result<()> {
-        let mut page = Page::zeroed();
-        let b = page.bytes_mut();
-        b[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
-        b[8..12].copy_from_slice(&self.root.0.to_le_bytes());
-        b[12..16].copy_from_slice(&self.depth.to_le_bytes());
-        b[16..24].copy_from_slice(&(self.len as u64).to_le_bytes());
-        b[24..28].copy_from_slice(&(self.config.max_entries as u32).to_le_bytes());
-        b[28..32].copy_from_slice(&(self.config.min_entries as u32).to_le_bytes());
-        b[32] = match self.config.split {
-            rtree_index::SplitPolicy::Linear => 0,
-            rtree_index::SplitPolicy::Quadratic => 1,
-            rtree_index::SplitPolicy::Exhaustive => 2,
-        };
-        self.pool.with_page_mut(self.meta, |p| *p = page)?;
-        Ok(())
+    fn read_node(&self, id: PageId) -> StorageResult<DiskNode> {
+        self.pool
+            .with_page(id, codec::decode)?
+            .map_err(|reason| StorageError::corrupt(id, reason))
     }
 
-    fn read_node(&self, id: PageId) -> io::Result<DiskNode> {
-        self.pool.with_page(id, codec::decode)
-    }
-
-    fn write_node(&self, id: PageId, node: &DiskNode) -> io::Result<()> {
+    fn write_node(&self, id: PageId, node: &DiskNode) -> StorageResult<()> {
         self.pool.with_page_mut(id, |p| codec::encode(node, p))
     }
 
@@ -202,7 +262,11 @@ impl<'a> PagedRTree<'a> {
     // ------------------------------------------------------------------
 
     /// The paper's `SEARCH` against pages.
-    pub fn search_within(&self, window: &Rect, stats: &mut SearchStats) -> io::Result<Vec<ItemId>> {
+    pub fn search_within(
+        &self,
+        window: &Rect,
+        stats: &mut SearchStats,
+    ) -> StorageResult<Vec<ItemId>> {
         stats.queries += 1;
         let mut out = Vec::new();
         let mut stack = vec![self.root];
@@ -229,7 +293,7 @@ impl<'a> PagedRTree<'a> {
     }
 
     /// The Table 1 point query against pages.
-    pub fn point_query(&self, p: Point, stats: &mut SearchStats) -> io::Result<Vec<ItemId>> {
+    pub fn point_query(&self, p: Point, stats: &mut SearchStats) -> StorageResult<Vec<ItemId>> {
         stats.queries += 1;
         let mut out = Vec::new();
         let mut stack = vec![self.root];
@@ -259,14 +323,15 @@ impl<'a> PagedRTree<'a> {
     // Insert
     // ------------------------------------------------------------------
 
-    /// Guttman INSERT on pages.
-    pub fn insert(&mut self, mbr: Rect, item: ItemId) -> io::Result<()> {
+    /// Guttman INSERT on pages. Buffered: durable at the next
+    /// [`commit`](PagedRTree::commit).
+    pub fn insert(&mut self, mbr: Rect, item: ItemId) -> StorageResult<()> {
         self.insert_entry_at_level(DiskEntry { mbr, child: item.0 }, 0)?;
         self.len += 1;
-        self.write_meta()
+        Ok(())
     }
 
-    fn insert_entry_at_level(&mut self, entry: DiskEntry, level: u32) -> io::Result<()> {
+    fn insert_entry_at_level(&mut self, entry: DiskEntry, level: u32) -> StorageResult<()> {
         debug_assert!(level <= self.depth);
         // ChooseLeaf, recording the descent path.
         let mut path: Vec<(PageId, usize)> = Vec::new();
@@ -280,7 +345,7 @@ impl<'a> PagedRTree<'a> {
         }
 
         node.entries.push(entry);
-        let mut split_off = self.split_if_overflowing(current, &mut node)?;
+        let mut split_off = self.split_if_overflowing(&mut node)?;
         self.write_node(current, &node)?;
 
         // AdjustTree.
@@ -294,7 +359,7 @@ impl<'a> PagedRTree<'a> {
                     mbr: new_mbr,
                     child: new_page.0 as u64,
                 });
-                split_off = self.split_if_overflowing(parent_id, &mut parent)?;
+                split_off = self.split_if_overflowing(&mut parent)?;
             }
             self.write_node(parent_id, &parent)?;
         }
@@ -316,7 +381,7 @@ impl<'a> PagedRTree<'a> {
                     },
                 ],
             };
-            let new_root_id = self.allocate_page()?;
+            let new_root_id = self.store().allocate();
             self.write_node(new_root_id, &new_root)?;
             self.root = new_root_id;
             self.depth = old.level + 1;
@@ -328,9 +393,8 @@ impl<'a> PagedRTree<'a> {
     /// returns the new sibling's MBR and page.
     fn split_if_overflowing(
         &mut self,
-        _id: PageId,
         node: &mut DiskNode,
-    ) -> io::Result<Option<(Rect, PageId)>> {
+    ) -> StorageResult<Option<(Rect, PageId)>> {
         if node.entries.len() <= self.config.max_entries {
             return Ok(None);
         }
@@ -342,18 +406,13 @@ impl<'a> PagedRTree<'a> {
             entries: b,
         };
         let sibling_mbr = node_mbr(&sibling).expect("non-empty");
-        let sibling_id = self.allocate_page()?;
+        let sibling_id = self.store().allocate();
         self.write_node(sibling_id, &sibling)?;
         Ok(Some((sibling_mbr, sibling_id)))
     }
 
-    fn allocate_page(&self) -> io::Result<PageId> {
-        Ok(self.pool_pager().allocate())
-    }
-
-    fn pool_pager(&self) -> &Pager {
-        // BufferPool keeps the pager reference; expose through a helper.
-        self.pool.pager()
+    fn store(&self) -> &'a dyn PageStore {
+        self.pool.store()
     }
 
     // ------------------------------------------------------------------
@@ -361,8 +420,9 @@ impl<'a> PagedRTree<'a> {
     // ------------------------------------------------------------------
 
     /// Guttman DELETE on pages: FindLeaf + CondenseTree with orphan
-    /// re-insertion. Returns whether the entry existed.
-    pub fn remove(&mut self, mbr: Rect, item: ItemId) -> io::Result<bool> {
+    /// re-insertion. Returns whether the entry existed. Buffered:
+    /// durable at the next [`commit`](PagedRTree::commit).
+    pub fn remove(&mut self, mbr: Rect, item: ItemId) -> StorageResult<bool> {
         let Some(path) = self.find_leaf_path(&mbr, item)? else {
             return Ok(false);
         };
@@ -378,11 +438,10 @@ impl<'a> PagedRTree<'a> {
         self.len -= 1;
 
         self.condense(&path)?;
-        self.write_meta()?;
         Ok(true)
     }
 
-    fn find_leaf_path(&self, mbr: &Rect, item: ItemId) -> io::Result<Option<Vec<PageId>>> {
+    fn find_leaf_path(&self, mbr: &Rect, item: ItemId) -> StorageResult<Option<Vec<PageId>>> {
         let mut path = vec![self.root];
         if self.find_leaf_rec(self.root, mbr, item, &mut path)? {
             Ok(Some(path))
@@ -397,7 +456,7 @@ impl<'a> PagedRTree<'a> {
         mbr: &Rect,
         item: ItemId,
         path: &mut Vec<PageId>,
-    ) -> io::Result<bool> {
+    ) -> StorageResult<bool> {
         let node = self.read_node(id)?;
         if node.is_leaf() {
             return Ok(node
@@ -418,7 +477,7 @@ impl<'a> PagedRTree<'a> {
         Ok(false)
     }
 
-    fn condense(&mut self, path: &[PageId]) -> io::Result<()> {
+    fn condense(&mut self, path: &[PageId]) -> StorageResult<()> {
         let mut eliminated: Vec<(u32, Vec<DiskEntry>)> = Vec::new();
         for window in (1..path.len()).rev() {
             let node_id = path[window];
@@ -432,7 +491,7 @@ impl<'a> PagedRTree<'a> {
                 .expect("path link");
             if node.entries.len() < self.config.min_entries {
                 parent.entries.remove(child_idx);
-                self.pool_pager().free(node_id);
+                self.store().free(node_id);
                 if !node.entries.is_empty() {
                     eliminated.push((node.level, node.entries));
                 }
@@ -459,20 +518,20 @@ impl<'a> PagedRTree<'a> {
                 break;
             }
             let child = root.child_page(0);
-            self.pool_pager().free(self.root);
+            self.store().free(self.root);
             self.root = child;
             self.depth = self.read_node(child)?.level;
         }
         Ok(())
     }
 
-    fn reinsert_subtree_items(&mut self, entry: DiskEntry, level: u32) -> io::Result<()> {
+    fn reinsert_subtree_items(&mut self, entry: DiskEntry, level: u32) -> StorageResult<()> {
         if level == 0 {
             return self.insert_entry_at_level(entry, 0);
         }
         let page = PageId(u32::try_from(entry.child).expect("page id"));
         let node = self.read_node(page)?;
-        self.pool_pager().free(page);
+        self.store().free(page);
         for e in node.entries {
             self.reinsert_subtree_items(e, node.level)?;
         }
@@ -485,14 +544,14 @@ impl<'a> PagedRTree<'a> {
 
     /// Structural validation mirroring [`RTree::validate`]; reads every
     /// page.
-    pub fn validate(&self) -> io::Result<Result<(), String>> {
+    pub fn validate(&self) -> StorageResult<Result<(), String>> {
         self.validate_with(true)
     }
 
     /// Like [`validate`](PagedRTree::validate) but with the minimum-fill
     /// check optional — packed images may carry one legitimately
     /// under-filled node per level (§3.3).
-    pub fn validate_with(&self, check_min_fill: bool) -> io::Result<Result<(), String>> {
+    pub fn validate_with(&self, check_min_fill: bool) -> StorageResult<Result<(), String>> {
         let mut leaf_items = 0usize;
         let mut stack = vec![(self.root, None::<Rect>, true)];
         while let Some((id, expected, is_root)) = stack.pop() {
@@ -530,7 +589,7 @@ impl<'a> PagedRTree<'a> {
     }
 }
 
-fn check_config(config: &RTreeConfig) -> io::Result<()> {
+fn check_config(config: &RTreeConfig) -> StorageResult<()> {
     if config.max_entries > MAX_ENTRIES_PER_PAGE {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -538,7 +597,8 @@ fn check_config(config: &RTreeConfig) -> io::Result<()> {
                 "branching factor {} exceeds page capacity {}",
                 config.max_entries, MAX_ENTRIES_PER_PAGE
             ),
-        ));
+        )
+        .into());
     }
     Ok(())
 }
@@ -568,6 +628,7 @@ fn choose_subtree(node: &DiskNode, mbr: &Rect) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pager::Pager;
 
     fn pt(x: f64, y: f64) -> Rect {
         Rect::from_point(Point::new(x, y))
@@ -675,6 +736,58 @@ mod tests {
         assert_eq!(tree.len(), 120);
     }
 
+    /// The on-page mirror of `rtree-index`'s
+    /// `condense_orphan_stress_randomized`: a delete-heavy randomized
+    /// workload with the structural validator run after every removal,
+    /// hitting CondenseTree's orphan re-insertion, page freeing, and
+    /// root-shortening paths against real pages.
+    #[test]
+    fn paged_condense_orphan_stress_randomized() {
+        for &seed in &[5u64, 23] {
+            let pager = Pager::temp().unwrap();
+            let config = RTreeConfig::new(4, 2, rtree_index::SplitPolicy::Quadratic);
+            let mut tree = PagedRTree::create(&pager, config, 16).unwrap();
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            let mut live: Vec<(Rect, ItemId)> = Vec::new();
+            let mut next_id = 0u64;
+            for step in 0..300 {
+                let insert_pct = if step < 120 { 65 } else { 25 };
+                if live.is_empty() || next() % 100 < insert_pct {
+                    let rect = if !live.is_empty() && next() % 4 == 0 {
+                        live[next() as usize % live.len()].0
+                    } else {
+                        pt((next() % 500) as f64, (next() % 500) as f64)
+                    };
+                    let id = ItemId(next_id);
+                    next_id += 1;
+                    tree.insert(rect, id).unwrap();
+                    live.push((rect, id));
+                } else {
+                    let (rect, id) = live.swap_remove(next() as usize % live.len());
+                    assert!(
+                        tree.remove(rect, id).unwrap(),
+                        "seed {seed}: step {step}: {id:?} missing"
+                    );
+                    tree.validate().unwrap().unwrap();
+                }
+                assert_eq!(tree.len(), live.len(), "seed {seed}: step {step}");
+            }
+            while let Some((rect, id)) = live.pop() {
+                assert!(tree.remove(rect, id).unwrap(), "seed {seed}: drain {id:?}");
+                tree.validate().unwrap().unwrap();
+            }
+            assert!(tree.is_empty(), "seed {seed}");
+            assert_eq!(tree.depth(), 0, "seed {seed}");
+            tree.close().unwrap();
+        }
+    }
+
     #[test]
     fn from_packed_tree_and_reopen() {
         let path = std::env::temp_dir().join(format!("paged-rtree-{}.db", std::process::id()));
@@ -687,7 +800,7 @@ mod tests {
             // A few dynamic updates on the packed image (§3.4).
             paged.insert(pt(1.5, 2.5), ItemId(9999)).unwrap();
             assert!(paged.remove(items[0].0, items[0].1).unwrap());
-            paged.flush().unwrap();
+            paged.close().unwrap();
         }
         {
             let pager = Pager::open(&path).unwrap();
@@ -698,10 +811,37 @@ mod tests {
                 RTreeConfig::PAPER,
                 "config (incl. split policy) survives reopen"
             );
+            assert!(paged.epoch() >= 2, "close() advanced the commit epoch");
             paged.validate_with(false).unwrap().unwrap();
             let mut stats = SearchStats::default();
             let hits = paged.point_query(Point::new(1.5, 2.5), &mut stats).unwrap();
             assert!(hits.contains(&ItemId(9999)));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn uncommitted_ops_roll_back_on_reopen() {
+        let path =
+            std::env::temp_dir().join(format!("paged-rtree-rollback-{}.db", std::process::id()));
+        {
+            let pager = Pager::create(&path).unwrap();
+            let mut tree = PagedRTree::create(&pager, RTreeConfig::PAPER, 32).unwrap();
+            for &(mbr, id) in &scatter(50) {
+                tree.insert(mbr, id).unwrap();
+            }
+            tree.commit().unwrap();
+            // More inserts, never committed: the meta pair still points
+            // at epoch 2's tree.
+            for &(mbr, id) in &scatter(80)[50..] {
+                tree.insert(mbr, id).unwrap();
+            }
+            drop(tree);
+        }
+        {
+            let pager = Pager::open(&path).unwrap();
+            let tree = PagedRTree::open(&pager, PageId(0), 32).unwrap();
+            assert_eq!(tree.len(), 50, "uncommitted inserts must not be visible");
         }
         let _ = std::fs::remove_file(&path);
     }

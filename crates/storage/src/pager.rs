@@ -1,6 +1,8 @@
-//! The pager: a file of fixed-size pages with allocation and raw I/O
-//! counting.
+//! The pager: a file of fixed-size pages with allocation, raw I/O
+//! counting, and checksum enforcement — plus the [`PageStore`] trait
+//! that lets fault-injecting wrappers stand in for the real file.
 
+use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -8,6 +10,28 @@ use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The interface the buffer pool and the page-resident trees program
+/// against: allocate/free page ids, read/write whole pages, and flush to
+/// stable storage.
+///
+/// [`Pager`] is the real implementation;
+/// [`FaultPager`](crate::FaultPager) wraps one to inject deterministic
+/// faults for crash testing.
+pub trait PageStore {
+    /// Allocates a fresh (or recycled) page id.
+    fn allocate(&self) -> PageId;
+    /// Returns a page id to the free list.
+    fn free(&self, id: PageId);
+    /// Number of pages ever allocated (high-water mark).
+    fn page_count(&self) -> u32;
+    /// Reads page `id`, verifying its checksum.
+    fn read_page(&self, id: PageId) -> StorageResult<Page>;
+    /// Writes page `id`, stamping its checksum.
+    fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()>;
+    /// Flushes file contents to stable storage.
+    fn sync(&self) -> StorageResult<()>;
+}
 
 /// Raw disk traffic counters (physical page reads/writes issued to the
 /// file, i.e. buffer-pool misses and flushes).
@@ -41,6 +65,10 @@ impl IoStats {
 /// allocation state while data-path reads/writes go straight to the file,
 /// which is safe because the buffer pool never issues concurrent accesses
 /// to the same page frame.
+///
+/// Every [`write_page`](Pager::write_page) seals the page (footer CRC);
+/// every [`read_page`](Pager::read_page) verifies it, surfacing torn
+/// writes and bit rot as [`StorageError::Corrupt`].
 pub struct Pager {
     file: File,
     state: Mutex<AllocState>,
@@ -125,8 +153,11 @@ impl Pager {
         self.state.lock().next
     }
 
-    /// Reads page `id` from disk.
-    pub fn read_page(&self, id: PageId) -> io::Result<Page> {
+    /// Reads page `id` from disk **without** checksum verification.
+    ///
+    /// Exists for recovery tooling and the fault-injection layer; normal
+    /// code paths go through [`read_page`](Pager::read_page).
+    pub fn read_page_raw(&self, id: PageId) -> io::Result<Page> {
         let mut page = Page::zeroed();
         // Pages beyond EOF read as zeroes (sparse file semantics).
         let mut buf = &mut page.bytes_mut()[..];
@@ -146,9 +177,38 @@ impl Pager {
         Ok(page)
     }
 
-    /// Writes page `id` to disk.
-    pub fn write_page(&self, id: PageId, page: &Page) -> io::Result<()> {
+    /// Reads page `id` from disk, verifying the footer checksum.
+    pub fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        let page = self.read_page_raw(id)?;
+        page.verify()
+            .map_err(|reason| StorageError::corrupt(id, reason))?;
+        Ok(page)
+    }
+
+    /// Writes page `id` to disk, sealing a fresh footer checksum over the
+    /// current contents (the caller's copy is not modified).
+    pub fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        let mut sealed = page.clone();
+        sealed.seal();
+        self.write_page_raw(id, &sealed)?;
+        Ok(())
+    }
+
+    /// Writes a page image verbatim — no checksum stamping. Used by the
+    /// fault layer to simulate torn/garbage writes; normal code paths go
+    /// through [`write_page`](Pager::write_page).
+    pub fn write_page_raw(&self, id: PageId, page: &Page) -> io::Result<()> {
         self.file.write_all_at(&page.bytes()[..], id.offset())?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes only the first `len` bytes of `page` at `id`'s offset — a
+    /// torn (partial) write, as a crash mid-`pwrite` would leave. Counts
+    /// as one physical write.
+    pub fn write_partial(&self, id: PageId, page: &Page, len: usize) -> io::Result<()> {
+        let len = len.min(crate::page::PAGE_SIZE);
+        self.file.write_all_at(&page.bytes()[..len], id.offset())?;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -161,6 +221,33 @@ impl Pager {
     /// Flushes file contents to stable storage.
     pub fn sync(&self) -> io::Result<()> {
         self.file.sync_data()
+    }
+}
+
+impl PageStore for Pager {
+    fn allocate(&self) -> PageId {
+        Pager::allocate(self)
+    }
+
+    fn free(&self, id: PageId) {
+        Pager::free(self, id)
+    }
+
+    fn page_count(&self) -> u32 {
+        Pager::page_count(self)
+    }
+
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        Pager::read_page(self, id)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        Pager::write_page(self, id, page)
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        Pager::sync(self)?;
+        Ok(())
     }
 }
 
@@ -197,11 +284,11 @@ mod tests {
         let id = pager.allocate();
         let mut page = Page::zeroed();
         page.bytes_mut()[0] = 7;
-        page.bytes_mut()[PAGE_SIZE - 1] = 9;
+        page.bytes_mut()[PAGE_SIZE - 9] = 9;
         pager.write_page(id, &page).unwrap();
         let back = pager.read_page(id).unwrap();
         assert_eq!(back.bytes()[0], 7);
-        assert_eq!(back.bytes()[PAGE_SIZE - 1], 9);
+        assert_eq!(back.bytes()[PAGE_SIZE - 9], 9);
         assert_eq!(pager.stats().reads(), 1);
         assert_eq!(pager.stats().writes(), 1);
     }
@@ -227,6 +314,51 @@ mod tests {
         pager.write_page(b, &pb).unwrap();
         assert_eq!(pager.read_page(a).unwrap().bytes()[10], 1);
         assert_eq!(pager.read_page(b).unwrap().bytes()[10], 2);
+    }
+
+    #[test]
+    fn bit_flip_detected_as_corrupt() {
+        let pager = Pager::temp().unwrap();
+        let id = pager.allocate();
+        let mut page = Page::zeroed();
+        page.bytes_mut()[123] = 0xAA;
+        pager.write_page(id, &page).unwrap();
+
+        // Flip one bit behind the pager's back.
+        let mut raw = pager.read_page_raw(id).unwrap();
+        raw.bytes_mut()[123] ^= 0x10;
+        pager.write_page_raw(id, &raw).unwrap();
+
+        let err = pager.read_page(id).unwrap_err();
+        assert!(err.is_corrupt(), "expected Corrupt, got {err:?}");
+        match err {
+            StorageError::Corrupt { page, reason } => {
+                assert_eq!(page, id);
+                assert!(reason.contains("checksum"), "{reason}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_write_detected_as_corrupt() {
+        let pager = Pager::temp().unwrap();
+        let id = pager.allocate();
+        let mut page = Page::zeroed();
+        for (i, b) in page.bytes_mut().iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        pager.write_page(id, &page).unwrap();
+
+        // A different image, torn halfway through.
+        let mut torn = Page::zeroed();
+        for b in torn.bytes_mut().iter_mut() {
+            *b = 0xEE;
+        }
+        torn.seal();
+        pager.write_partial(id, &torn, PAGE_SIZE / 2).unwrap();
+
+        assert!(pager.read_page(id).unwrap_err().is_corrupt());
     }
 
     #[test]
