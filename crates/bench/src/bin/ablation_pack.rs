@@ -6,17 +6,20 @@
 
 use packed_rtree_core::PackStrategy;
 use rtree_bench::report::{f, Table};
-use rtree_bench::{build_pack, experiment_seed, measure};
+use rtree_bench::{build_pack, measure, SeededWorkload};
 use rtree_geom::Point;
 use rtree_index::RTreeConfig;
-use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+use rtree_workload::{points, PAPER_UNIVERSE};
 
 fn main() {
-    let seed = experiment_seed();
+    let workload = SeededWorkload::from_env();
+    let seed = workload.seed;
     let j = 900;
     println!("EXT-2 — packing strategies at J={j}, M=4 (seed {seed})\n");
 
-    let mut data_rng = rng(seed);
+    // One sequential data stream across all four distributions (the
+    // clustered/skewed/diagonal sets continue where uniform left off).
+    let mut data_rng = workload.data_rng();
     let workloads: Vec<(&str, Vec<Point>)> = vec![
         (
             "uniform",
@@ -35,8 +38,7 @@ fn main() {
             points::diagonal(&mut data_rng, &PAPER_UNIVERSE, j, 60.0),
         ),
     ];
-    let mut query_rng = rng(seed ^ 0x5eed_cafe);
-    let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
+    let query_points = workload.point_queries(1000);
 
     for (name, pts) in workloads {
         let items = points::as_items(&pts);

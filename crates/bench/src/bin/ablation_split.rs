@@ -8,20 +8,17 @@
 
 use packed_rtree_core::PackStrategy;
 use rtree_bench::report::{f, Table};
-use rtree_bench::{build_insert, build_pack, experiment_seed, measure};
+use rtree_bench::{build_insert, build_pack, measure, SeededWorkload};
 use rtree_index::{RTreeConfig, SplitPolicy};
-use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
 
 fn main() {
-    let seed = experiment_seed();
+    let workload = SeededWorkload::from_env();
+    let seed = workload.seed;
     println!("EXT-1 — INSERT split-policy ablation (M=4, 1000 point queries, seed {seed})\n");
 
     for j in [300usize, 900] {
-        let mut data_rng = rng(seed);
-        let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
-        let items = points::as_items(&pts);
-        let mut query_rng = rng(seed ^ 0x5eed_cafe);
-        let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
+        let items = workload.uniform_items(j);
+        let query_points = workload.point_queries(1000);
 
         let mut table = Table::new(["builder", "C", "O", "D", "N", "A"]);
         for split in [

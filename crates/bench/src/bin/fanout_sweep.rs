@@ -6,22 +6,19 @@
 
 use packed_rtree_core::PackStrategy;
 use rtree_bench::report::{f, Table};
-use rtree_bench::{build_insert, build_pack, experiment_seed, measure};
+use rtree_bench::{build_insert, build_pack, measure, SeededWorkload};
 use rtree_index::{RTreeConfig, SplitPolicy};
 use rtree_storage::codec::MAX_ENTRIES_PER_PAGE;
-use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
 
 fn main() {
-    let seed = experiment_seed();
+    let workload = SeededWorkload::from_env();
+    let seed = workload.seed;
     let j = 5000;
     println!("EXT-3 — branching-factor sweep at J={j} (seed {seed})");
     println!("(page capacity with 4 KiB pages: {MAX_ENTRIES_PER_PAGE} entries)\n");
 
-    let mut data_rng = rng(seed);
-    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
-    let items = points::as_items(&pts);
-    let mut query_rng = rng(seed ^ 0x5eed_cafe);
-    let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
+    let items = workload.uniform_items(j);
+    let query_points = workload.point_queries(1000);
 
     let mut table = Table::new(["M", "builder", "D", "N", "A", "C", "O"]);
     for m in [4usize, 8, 16, 32, 64, 102] {

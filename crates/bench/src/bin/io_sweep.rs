@@ -6,19 +6,17 @@
 
 use packed_rtree_core::PackStrategy;
 use rtree_bench::report::{f, Table};
-use rtree_bench::{build_insert, build_pack, experiment_seed};
+use rtree_bench::{build_insert, build_pack, SeededWorkload};
 use rtree_index::{RTreeConfig, SearchStats, SplitPolicy};
 use rtree_storage::{BufferPool, DiskRTree, Pager};
-use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
 
 fn main() -> std::io::Result<()> {
-    let seed = experiment_seed();
+    let workload = SeededWorkload::from_env();
+    let seed = workload.seed;
     let j = 20_000;
     println!("EXT-5 — disk I/O: packed vs dynamic, 4 KiB pages, M=64, J={j} (seed {seed})\n");
 
-    let mut data_rng = rng(seed);
-    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
-    let items = points::as_items(&pts);
+    let items = workload.uniform_items(j);
     let config = RTreeConfig::with_branching(64);
 
     let packed = build_pack(&items, PackStrategy::NearestNeighbor, config);
@@ -34,8 +32,7 @@ fn main() -> std::io::Result<()> {
         disk_d.pages()
     );
 
-    let mut query_rng = rng(seed ^ 0x5eed_cafe);
-    let windows = queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 500, 0.005);
+    let windows = workload.window_queries(500, 0.005);
 
     let mut table = Table::new([
         "pool frames",

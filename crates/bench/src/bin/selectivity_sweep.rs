@@ -5,18 +5,16 @@
 
 use packed_rtree_core::PackStrategy;
 use rtree_bench::report::{f, Table};
-use rtree_bench::{build_insert, build_pack, experiment_seed};
+use rtree_bench::{build_insert, build_pack, SeededWorkload};
 use rtree_index::{RTreeConfig, SearchStats, SplitPolicy};
-use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
 
 fn main() {
-    let seed = experiment_seed();
+    let workload = SeededWorkload::from_env();
+    let seed = workload.seed;
     let j = 2000;
     println!("EXT-6 — window selectivity sweep, J={j}, M=4 (seed {seed})\n");
 
-    let mut data_rng = rng(seed);
-    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
-    let items = points::as_items(&pts);
+    let items = workload.uniform_items(j);
     let packed = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
     let dynamic = build_insert(&items, SplitPolicy::Linear, RTreeConfig::PAPER);
 
@@ -28,8 +26,7 @@ fn main() {
         "insert/pack",
     ]);
     for selectivity in [0.0001, 0.001, 0.01, 0.05, 0.1, 0.25] {
-        let mut query_rng = rng(seed ^ 0x5eed_cafe);
-        let windows = queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 300, selectivity);
+        let windows = workload.window_queries(300, selectivity);
         let mut sp = SearchStats::default();
         let mut sd = SearchStats::default();
         let mut hits = 0usize;

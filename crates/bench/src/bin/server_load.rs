@@ -1,0 +1,182 @@
+//! **EXT-9**: query-service load generator — N concurrent connections ×
+//! M mixed PSQL queries (point windows, region overlaps, juxtaposition
+//! joins) against an in-process `psql-server`, reporting throughput and
+//! client-observed latency percentiles. Results are written to
+//! `BENCH_server.json` as the machine-readable baseline.
+//!
+//! Scale via environment (all optional):
+//! `SERVER_LOAD_CONNECTIONS` (default 16), `SERVER_LOAD_QUERIES` per
+//! connection (default 25), `SERVER_LOAD_WORKERS` (default 4),
+//! `SERVER_LOAD_OUT` (default `BENCH_server.json`).
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin server_load`
+
+use psql::database::PictorialDatabase;
+use psql_server::client::Client;
+use psql_server::protocol::Response;
+use psql_server::server::{Server, ServerConfig};
+use rtree_bench::report::{f, Table};
+use rtree_bench::SeededWorkload;
+use rtree_geom::Rect;
+use rtree_workload::{queries, usmap};
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Renders a window as the PSQL `{cx +- hw, cy +- hh}` literal.
+fn window_literal(w: &Rect) -> String {
+    format!(
+        "{{{:.3} +- {:.3}, {:.3} +- {:.3}}}",
+        (w.min_x + w.max_x) / 2.0,
+        (w.max_x - w.min_x) / 2.0,
+        (w.min_y + w.max_y) / 2.0,
+        (w.max_y - w.min_y) / 2.0,
+    )
+}
+
+const JUXTAPOSITION: &str = "select city, zone from cities, time-zones on us-map, time-zone-map \
+                             at cities.loc covered-by time-zones.loc";
+
+fn main() {
+    let connections = env_usize("SERVER_LOAD_CONNECTIONS", 16);
+    let per_conn = env_usize("SERVER_LOAD_QUERIES", 25);
+    let workers = env_usize("SERVER_LOAD_WORKERS", 4);
+    let out_path =
+        std::env::var("SERVER_LOAD_OUT").unwrap_or_else(|_| "BENCH_server.json".to_owned());
+    let workload = SeededWorkload::from_env();
+    let seed = workload.seed;
+    println!(
+        "EXT-9 — server load: {connections} connections x {per_conn} mixed queries, \
+         {workers} workers (seed {seed})\n"
+    );
+
+    // One seeded query stream feeds every connection's window geometry,
+    // drawn in the us-map frame: small point-like windows for the city
+    // search, larger ones for the lake overlap.
+    let mut qrng = workload.query_rng();
+    let point_windows =
+        queries::window_queries(&mut qrng, &usmap::FRAME, connections * per_conn, 0.002);
+    let region_windows =
+        queries::window_queries(&mut qrng, &usmap::FRAME, connections * per_conn, 0.02);
+    let scripts: Vec<Vec<String>> = (0..connections)
+        .map(|c| {
+            (0..per_conn)
+                .map(|i| match (c + i) % 3 {
+                    0 => format!(
+                        "select city, population from cities on us-map at loc covered-by {}",
+                        window_literal(&point_windows[c * per_conn + i])
+                    ),
+                    1 => format!(
+                        "select lake from lakes on lake-map at loc overlapping {}",
+                        window_literal(&region_windows[c * per_conn + i])
+                    ),
+                    _ => JUXTAPOSITION.to_owned(),
+                })
+                .collect()
+        })
+        .collect();
+
+    let config = ServerConfig {
+        workers,
+        queue_capacity: (connections * 4).max(64),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config)
+        .expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let handles: Vec<_> = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(c, script)| {
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_timeout(addr, Duration::from_secs(60)).expect("connect");
+                let mut latencies = Vec::with_capacity(script.len());
+                let mut retries = 0u64;
+                for text in &script {
+                    let t0 = Instant::now();
+                    loop {
+                        match client.query(text).expect("roundtrip") {
+                            Response::Result { result, .. } => {
+                                if text == JUXTAPOSITION {
+                                    assert_eq!(result.len(), 42, "conn {c}: wrong join result");
+                                }
+                                break;
+                            }
+                            Response::Overloaded { retry_after_ms, .. } => {
+                                retries += 1;
+                                std::thread::sleep(Duration::from_millis(
+                                    retry_after_ms.max(1) as u64
+                                ));
+                            }
+                            other => panic!("conn {c}: unexpected response {other:?}"),
+                        }
+                    }
+                    latencies.push(t0.elapsed());
+                }
+                (latencies, retries)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(connections * per_conn);
+    let mut retries = 0u64;
+    for h in handles {
+        let (l, r) = h.join().expect("client thread panicked");
+        latencies.extend(l);
+        retries += r;
+    }
+    let wall = started.elapsed();
+
+    let mut stats_client = Client::connect_timeout(addr, Duration::from_secs(10)).expect("stats");
+    let server_stats = stats_client.stats().expect("stats");
+    drop(stats_client);
+    server.stop();
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let pct = |q: f64| latencies[(((total as f64) * q).ceil() as usize).clamp(1, total) - 1];
+    let micros = |d: Duration| d.as_micros() as f64;
+    let throughput = total as f64 / wall.as_secs_f64();
+    let p50 = pct(0.50);
+    let p90 = pct(0.90);
+    let p99 = pct(0.99);
+    let mean = latencies.iter().map(|&d| micros(d)).sum::<f64>() / total as f64;
+
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["queries".into(), total.to_string()]);
+    table.row(["wall ms".into(), f(wall.as_secs_f64() * 1000.0, 1)]);
+    table.row(["throughput q/s".into(), f(throughput, 0)]);
+    table.row(["mean µs".into(), f(mean, 0)]);
+    table.row(["p50 µs".into(), f(micros(p50), 0)]);
+    table.row(["p90 µs".into(), f(micros(p90), 0)]);
+    table.row(["p99 µs".into(), f(micros(p99), 0)]);
+    table.row(["overload retries".into(), retries.to_string()]);
+    println!("{}", table.render());
+    println!("server stats: {server_stats}\n");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"server_load\",\n  \"seed\": {seed},\n  \
+         \"connections\": {connections},\n  \"queries_per_connection\": {per_conn},\n  \
+         \"workers\": {workers},\n  \"total_queries\": {total},\n  \
+         \"wall_ms\": {wall_ms:.1},\n  \"throughput_qps\": {throughput:.1},\n  \
+         \"latency_us\": {{\"mean\": {mean:.0}, \"p50\": {p50:.0}, \"p90\": {p90:.0}, \
+         \"p99\": {p99:.0}}},\n  \"overload_retries\": {retries},\n  \
+         \"server_stats\": {server_stats}\n}}\n",
+        wall_ms = wall.as_secs_f64() * 1000.0,
+        p50 = micros(p50),
+        p90 = micros(p90),
+        p99 = micros(p99),
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => println!("could not write {out_path}: {e}"),
+    }
+}

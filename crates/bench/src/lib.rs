@@ -10,6 +10,7 @@
 pub mod report;
 
 use packed_rtree_core::{pack_with, PackStrategy};
+use rand::rngs::StdRng;
 use rtree_geom::{Point, Rect};
 use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats, SplitPolicy, TreeMetrics};
 use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
@@ -21,6 +22,73 @@ pub fn experiment_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1985)
+}
+
+/// Salt XORed into the base seed to derive the query stream, so query
+/// geometry is decorrelated from the data while both flow from the one
+/// experiment seed.
+pub const QUERY_SEED_SALT: u64 = 0x5eed_cafe;
+
+/// The seeded uniform workload over [`PAPER_UNIVERSE`] (the paper's
+/// `[0,1000]²` space) that every experiment binary draws from.
+///
+/// Data and queries come from two independent streams derived from one
+/// seed: the data stream is `rng(seed)`, the query stream
+/// `rng(seed ^ QUERY_SEED_SALT)`. Each generator method starts its
+/// stream fresh, so the same `SeededWorkload` always hands out
+/// bit-identical geometry regardless of call order — that property is
+/// what keeps Table 1's structural assertions (e.g. PACK `N=302, D=4`
+/// at `J=900`) reproducible across binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededWorkload {
+    /// Base seed for the data stream.
+    pub seed: u64,
+}
+
+impl SeededWorkload {
+    /// Workload for an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededWorkload { seed }
+    }
+
+    /// Workload for [`experiment_seed`] (the `PACKED_RTREE_SEED`-
+    /// overridable default).
+    pub fn from_env() -> Self {
+        SeededWorkload::new(experiment_seed())
+    }
+
+    /// A fresh data-stream RNG — for generators beyond plain uniform
+    /// points (clustered/skewed/diagonal sweeps draw from this
+    /// sequentially).
+    pub fn data_rng(&self) -> StdRng {
+        rng(self.seed)
+    }
+
+    /// A fresh query-stream RNG.
+    pub fn query_rng(&self) -> StdRng {
+        rng(self.seed ^ QUERY_SEED_SALT)
+    }
+
+    /// `j` uniform points in the paper universe.
+    pub fn uniform_points(&self, j: usize) -> Vec<Point> {
+        points::uniform(&mut self.data_rng(), &PAPER_UNIVERSE, j)
+    }
+
+    /// `j` uniform points as `(mbr, id)` items ready for tree building.
+    pub fn uniform_items(&self, j: usize) -> Vec<(Rect, ItemId)> {
+        points::as_items(&self.uniform_points(j))
+    }
+
+    /// `n` random point queries.
+    pub fn point_queries(&self, n: usize) -> Vec<Point> {
+        queries::point_queries(&mut self.query_rng(), &PAPER_UNIVERSE, n)
+    }
+
+    /// `n` random window queries, each covering `selectivity` of the
+    /// universe's area.
+    pub fn window_queries(&self, n: usize, selectivity: f64) -> Vec<Rect> {
+        queries::window_queries(&mut self.query_rng(), &PAPER_UNIVERSE, n, selectivity)
+    }
 }
 
 /// One measured configuration: the columns of Table 1.
@@ -79,11 +147,9 @@ pub fn build_pack(items: &[(Rect, ItemId)], strategy: PackStrategy, config: RTre
 /// algorithms, 1000 identical random queries. Returns
 /// `(insert_row, pack_row)`.
 pub fn table1_experiment(j: usize, seed: u64) -> (Table1Row, Table1Row) {
-    let mut data_rng = rng(seed);
-    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
-    let items = points::as_items(&pts);
-    let mut query_rng = rng(seed ^ 0x5eed_cafe);
-    let query_points = queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000);
+    let workload = SeededWorkload::new(seed);
+    let items = workload.uniform_items(j);
+    let query_points = workload.point_queries(1000);
 
     let insert_tree = build_insert(&items, SplitPolicy::Linear, RTreeConfig::PAPER);
     let pack_tree = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
@@ -96,6 +162,31 @@ pub fn table1_experiment(j: usize, seed: u64) -> (Table1Row, Table1Row) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn seeded_workload_matches_the_historic_inline_pattern() {
+        // The helper must be bit-exact with the pattern the binaries
+        // used to inline — the Table 1 structural assertions depend on
+        // this exact stream.
+        let w = SeededWorkload::new(1985);
+        let mut data_rng = rng(1985);
+        assert_eq!(
+            w.uniform_points(900),
+            points::uniform(&mut data_rng, &PAPER_UNIVERSE, 900)
+        );
+        let mut query_rng = rng(1985 ^ 0x5eed_cafe);
+        assert_eq!(
+            w.point_queries(1000),
+            queries::point_queries(&mut query_rng, &PAPER_UNIVERSE, 1000)
+        );
+        let mut query_rng = rng(1985 ^ QUERY_SEED_SALT);
+        assert_eq!(
+            w.window_queries(300, 0.01),
+            queries::window_queries(&mut query_rng, &PAPER_UNIVERSE, 300, 0.01)
+        );
+        // Streams restart per call: generation order can't skew results.
+        assert_eq!(w.uniform_points(100), w.uniform_points(100));
+    }
 
     #[test]
     fn table1_experiment_is_deterministic() {

@@ -84,6 +84,42 @@ fn fig3_8_renders_levels() {
 }
 
 #[test]
+fn server_load_emits_bench_json() {
+    let dir = std::env::temp_dir().join(format!("server_load_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_server.json");
+    let bin = env!("CARGO_BIN_EXE_server_load");
+    let out = Command::new(bin)
+        .env("SERVER_LOAD_CONNECTIONS", "4")
+        .env("SERVER_LOAD_QUERIES", "5")
+        .env("SERVER_LOAD_WORKERS", "2")
+        .env("SERVER_LOAD_OUT", &out_path)
+        .output()
+        .unwrap_or_else(|e| panic!("{bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "server_load exited with {:?}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("throughput q/s"), "{stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("BENCH_server.json written");
+    for key in [
+        "\"experiment\": \"server_load\"",
+        "\"total_queries\": 20",
+        "\"throughput_qps\"",
+        "\"p50\"",
+        "\"p99\"",
+        "\"server_stats\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn thm3_2_verifies_disjointness() {
     let out = run(env!("CARGO_BIN_EXE_thm3_2"));
     assert!(out.contains("true"));

@@ -14,7 +14,14 @@ use rtree_index::RTreeConfig;
 use std::collections::HashMap;
 
 /// The integrated pictorial + alphanumeric database PSQL runs against.
-#[derive(Debug)]
+///
+/// The read path (planning + execution of `select` mappings) takes
+/// `&self` only and uses no interior mutability, so a shared database is
+/// `Sync`-safe to query from many threads at once; mutation requires
+/// `&mut self`. The concurrent query service exploits this by cloning the
+/// database (`Clone` is a deep copy), mutating the copy, and publishing
+/// it as a fresh immutable snapshot.
+#[derive(Debug, Clone)]
 pub struct PictorialDatabase {
     catalog: Catalog,
     pictures: HashMap<String, Picture>,

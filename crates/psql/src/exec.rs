@@ -28,6 +28,22 @@ pub fn execute_with(
     execute_plan(db, &plan, functions)
 }
 
+/// Plans and executes reusing a caller-owned [`SearchScratch`].
+///
+/// The concurrent query service keeps one scratch per worker thread and
+/// threads it through every request that worker serves, so steady-state
+/// query execution allocates nothing for tree traversal. The scratch is
+/// plain reusable buffer space — it carries no state between calls.
+pub fn execute_with_scratch(
+    db: &PictorialDatabase,
+    query: &Query,
+    functions: &FunctionRegistry,
+    scratch: &mut SearchScratch,
+) -> Result<ResultSet, PsqlError> {
+    let plan = plan::plan(db, query)?;
+    execute_plan_with_scratch(db, &plan, functions, scratch)
+}
+
 /// Executes an already-built plan.
 pub fn execute_plan(
     db: &PictorialDatabase,
@@ -38,7 +54,17 @@ pub fn execute_plan(
     // (including the per-inner-tuple searches of nested mappings) reuses
     // the same traversal buffers instead of allocating per query.
     let mut scratch = SearchScratch::new();
-    let rows = candidate_rows(db, plan, functions, &mut scratch)?;
+    execute_plan_with_scratch(db, plan, functions, &mut scratch)
+}
+
+/// Executes an already-built plan with a caller-owned scratch.
+pub fn execute_plan_with_scratch(
+    db: &PictorialDatabase,
+    plan: &Plan,
+    functions: &FunctionRegistry,
+    scratch: &mut SearchScratch,
+) -> Result<ResultSet, PsqlError> {
+    let rows = candidate_rows(db, plan, functions, scratch)?;
 
     // Residual where-clause.
     #[allow(unused_mut)]
@@ -209,8 +235,10 @@ fn candidate_rows(
             inner,
         } => {
             // Execute the inner mapping; its single projected column is a
-            // loc pointer into the inner picture.
-            let inner_result = execute_plan(db, inner, functions)?;
+            // loc pointer into the inner picture. It shares this query's
+            // scratch: the inner searches are done (and their results
+            // copied out) before the outer searches begin.
+            let inner_result = execute_plan_with_scratch(db, inner, functions, scratch)?;
             let (inner_rel, inner_col) = match &inner.projection[0] {
                 Projection::Column { source, .. } => {
                     let rel_name = &inner.relations[source.rel];

@@ -10,7 +10,10 @@ use rtree_index::{ItemId, RTree, RTreeConfig, SearchScratch, SearchStats};
 /// "Each pictorial domain element that corresponds to a tuple of the
 /// relation appears on a leaf-node of the R-tree" (§2.1): object ids here
 /// are the pointer values stored in relations' `loc` columns.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies objects, labels and the R-tree so a snapshot
+/// builder can re-pack a copy without disturbing concurrent readers.
+#[derive(Debug, Clone)]
 pub struct Picture {
     name: String,
     frame: Rect,

@@ -10,7 +10,11 @@ use std::collections::HashMap;
 /// A database catalog: relations by name, plus B+tree indexes on
 /// alphanumeric columns. Index maintenance is automatic for inserts and
 /// deletes that go through the catalog.
-#[derive(Debug, Default)]
+///
+/// `Clone` deep-copies every relation and index: the snapshot publication
+/// path of the query service clones the whole database, mutates the copy
+/// off-line, and atomically swaps it in.
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
     relations: HashMap<String, Relation>,
     /// `(relation, column) → index`.

@@ -1,0 +1,183 @@
+//! `psql-serverd` — the concurrent PSQL query service daemon.
+//!
+//! Serves the synthetic US-map pictorial database over the length-
+//! prefixed TCP protocol (see `psql_server::protocol`).
+//!
+//! ```text
+//! psql-serverd [--addr HOST:PORT] [--workers N] [--queue N]
+//!              [--deadline-ms N] [--smoke]
+//! ```
+//!
+//! `--smoke` runs the CI smoke script instead of serving forever: it
+//! starts the server on an ephemeral port, drives one scripted client
+//! session (queries, a malformed frame, a forced timeout, `STATS`), then
+//! asks for graceful shutdown over the wire and waits for the drain.
+//! Exit code 0 means every step behaved.
+
+use psql::database::PictorialDatabase;
+use psql_server::client::Client;
+use psql_server::protocol::{ErrorKind, Response};
+use psql_server::server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:5433".to_owned();
+    let mut config = ServerConfig::default();
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} wants a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--workers" => config.workers = value("--workers").parse().expect("workers"),
+            "--queue" => config.queue_capacity = value("--queue").parse().expect("queue"),
+            "--deadline-ms" => {
+                config.default_deadline =
+                    Duration::from_millis(value("--deadline-ms").parse().expect("deadline-ms"));
+            }
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "psql-serverd [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--deadline-ms N] [--smoke]"
+                );
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    if smoke {
+        run_smoke(config);
+        return;
+    }
+
+    println!("loading us-map pictorial database …");
+    let db = PictorialDatabase::with_us_map();
+    let server = Server::start(db, &addr, config.clone()).expect("bind");
+    println!(
+        "psql-serverd listening on {} ({} workers, queue {}, default deadline {:?})",
+        server.local_addr(),
+        config.workers,
+        config.queue_capacity,
+        config.default_deadline
+    );
+    println!("send the protocol SHUTDOWN request to stop.");
+    server.wait();
+    println!("drained; bye.");
+}
+
+/// The scripted session CI runs: every assertion here is part of the
+/// server's behavioural contract.
+fn run_smoke(mut config: ServerConfig) {
+    config.workers = config.workers.max(2);
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        config.clone(),
+    )
+    .expect("bind ephemeral");
+    let addr = server.local_addr();
+    println!("[smoke] server on {addr}");
+
+    let timeout = Duration::from_secs(10);
+    let mut c = Client::connect_timeout(addr, timeout).expect("connect");
+
+    // 1. Liveness.
+    c.ping().expect("ping");
+    println!("[smoke] ping ok");
+
+    // 2. A real spatial query.
+    let (epoch, result) = c
+        .query_expect_result(
+            "select city, population from cities on us-map \
+             at loc covered-by {82.5 +- 17.5, 25 +- 20} where population > 450000",
+        )
+        .expect("query");
+    assert_eq!(epoch, 1, "first snapshot is epoch 1");
+    assert!(result.len() >= 3, "eastern cities expected, got {result:?}");
+    println!(
+        "[smoke] spatial query ok ({} rows, epoch {epoch})",
+        result.len()
+    );
+
+    // 3. A juxtaposition (geographic join).
+    let (_, join) = c
+        .query_expect_result(
+            "select city, zone from cities, time-zones on us-map, time-zone-map \
+             at cities.loc covered-by time-zones.loc",
+        )
+        .expect("join query");
+    assert_eq!(join.len(), 42, "every city joins exactly one zone");
+    println!("[smoke] juxtaposition ok (42 rows)");
+
+    // 4. A PSQL error comes back typed, session survives.
+    match c.query("select frobnicate from").expect("error roundtrip") {
+        Response::Error { kind, .. } => {
+            assert!(
+                matches!(
+                    kind,
+                    ErrorKind::Parse | ErrorKind::Lex | ErrorKind::Semantic
+                ),
+                "unexpected kind {kind:?}"
+            );
+        }
+        other => panic!("expected typed error, got {other:?}"),
+    }
+    println!("[smoke] typed PSQL error ok");
+
+    // 5. A malformed payload (junk opcode) gets a Protocol error and the
+    // session keeps working.
+    let mut junk = Vec::new();
+    junk.extend_from_slice(&9u32.to_be_bytes()); // frame length
+    junk.extend_from_slice(&77u64.to_be_bytes()); // request id
+    junk.push(200); // no such opcode
+    c.send_raw(&junk).expect("send junk");
+    match c.read_response().expect("junk answered") {
+        Response::Error { id, kind, .. } => {
+            assert_eq!(id, 77);
+            assert_eq!(kind, ErrorKind::Protocol);
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    c.ping().expect("session survived junk");
+    println!("[smoke] malformed frame answered, session intact");
+
+    // 6. Deadline enforcement: a query that sleeps past its budget.
+    match c
+        .query_with_timeout("#sleep 300 select city from cities", 50)
+        .expect("timeout roundtrip")
+    {
+        Response::Timeout { .. } => {}
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    println!("[smoke] deadline timeout ok");
+
+    // 7. Admin re-pack publishes a new snapshot …
+    let epoch = c.repack().expect("repack");
+    assert!(epoch >= 2);
+    // … and queries now run against it.
+    let (post_epoch, _) = c
+        .query_expect_result("select zone from time-zones")
+        .expect("post-repack query");
+    assert_eq!(post_epoch, epoch);
+    println!("[smoke] repack published epoch {epoch}");
+
+    // 8. STATS reflects the session.
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"queries\":"), "{stats}");
+    assert!(
+        stats.contains(&format!("\"snapshot_epoch\":{epoch}")),
+        "{stats}"
+    );
+    assert!(stats.contains("\"timeout\":1"), "{stats}");
+    println!("[smoke] stats: {stats}");
+
+    // 9. Graceful shutdown over the wire, then drain.
+    c.shutdown_server().expect("shutdown");
+    server.wait();
+    println!("[smoke] clean shutdown; all good");
+}

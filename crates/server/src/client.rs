@@ -1,0 +1,185 @@
+//! A small blocking client for the wire protocol — used by the load
+//! generator, the CI smoke script, and the integration tests.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, FrameRead, Request, Response,
+};
+use psql::ResultSet;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent something undecodable, or closed mid-frame.
+    Wire(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Wire(m) => write!(f, "wire error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+///
+/// Issues one request at a time and matches the response id against the
+/// request id (the protocol itself allows pipelining; this client keeps
+/// things simple).
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Connects with a connect + read timeout (so tests never hang).
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let payload = encode_request(req);
+        write_frame(&mut self.stream, &payload)?;
+        self.read_response()
+    }
+
+    /// Reads one response frame.
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream, &|| false) {
+            FrameRead::Frame(payload) => decode_response(&payload).map_err(ClientError::Wire),
+            FrameRead::Eof => Err(ClientError::Wire("server closed the connection".into())),
+            FrameRead::Truncated => Err(ClientError::Wire("truncated response frame".into())),
+            FrameRead::TooLarge(n) => Err(ClientError::Wire(format!("oversized response ({n})"))),
+            FrameRead::Stopped => unreachable!("client never stops reads"),
+            FrameRead::Io(e) => Err(ClientError::Io(e)),
+        }
+    }
+
+    fn take_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Executes a PSQL query with the server's default deadline.
+    pub fn query(&mut self, text: &str) -> Result<Response, ClientError> {
+        self.query_with_timeout(text, 0)
+    }
+
+    /// Executes a PSQL query with an explicit deadline in milliseconds
+    /// (`0` = server default).
+    pub fn query_with_timeout(
+        &mut self,
+        text: &str,
+        timeout_ms: u32,
+    ) -> Result<Response, ClientError> {
+        let id = self.take_id();
+        let resp = self.roundtrip(&Request::Query {
+            id,
+            timeout_ms,
+            text: text.to_owned(),
+        })?;
+        self.expect_id(id, resp)
+    }
+
+    /// Executes a query and insists on a result set (any other response
+    /// becomes a `Wire` error) — the convenient form for tests/tools.
+    pub fn query_expect_result(&mut self, text: &str) -> Result<(u64, ResultSet), ClientError> {
+        match self.query(text)? {
+            Response::Result { epoch, result, .. } => Ok((epoch, result)),
+            other => Err(ClientError::Wire(format!("expected result, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the metrics registry as JSON.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let id = self.take_id();
+        let resp = self.roundtrip(&Request::Stats { id })?;
+        match self.expect_id(id, resp)? {
+            Response::Stats { json, .. } => Ok(json),
+            other => Err(ClientError::Wire(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.take_id();
+        let resp = self.roundtrip(&Request::Ping { id })?;
+        match self.expect_id(id, resp)? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(ClientError::Wire(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Admin: re-pack every picture and publish a new snapshot. Returns
+    /// the new epoch.
+    pub fn repack(&mut self) -> Result<u64, ClientError> {
+        let id = self.take_id();
+        let resp = self.roundtrip(&Request::Repack { id })?;
+        match self.expect_id(id, resp)? {
+            Response::Done { epoch, .. } => Ok(epoch),
+            other => Err(ClientError::Wire(format!("expected done, got {other:?}"))),
+        }
+    }
+
+    /// Admin: ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let id = self.take_id();
+        let resp = self.roundtrip(&Request::Shutdown { id })?;
+        match self.expect_id(id, resp)? {
+            Response::Done { .. } => Ok(()),
+            other => Err(ClientError::Wire(format!("expected done, got {other:?}"))),
+        }
+    }
+
+    fn expect_id(&self, id: u64, resp: Response) -> Result<Response, ClientError> {
+        let got = match &resp {
+            Response::Result { id, .. }
+            | Response::Error { id, .. }
+            | Response::Timeout { id }
+            | Response::Overloaded { id, .. }
+            | Response::Pong { id }
+            | Response::Stats { id, .. }
+            | Response::Done { id, .. } => *id,
+        };
+        // id 0 marks an error for a request the server could not parse.
+        if got != id && got != 0 {
+            return Err(ClientError::Wire(format!(
+                "response id {got} does not match request id {id}"
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Writes raw bytes on the wire — the malformed-input tests speak
+    /// through this.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+}

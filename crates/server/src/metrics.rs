@@ -1,0 +1,266 @@
+//! Zero-dependency metrics registry for the query service.
+//!
+//! Plain atomics: counters, a gauge with a high-water mark, and
+//! log₂-bucketed latency histograms. Everything is lock-free on the
+//! record path and snapshot-consistent *enough* for operational use (the
+//! `STATS` command reads each atomic independently; counts may be
+//! momentarily skewed by in-flight requests, never torn).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An up/down gauge that remembers its high-water mark — used for the
+/// request-queue depth.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    high_water: AtomicI64,
+}
+
+impl Gauge {
+    /// Adds one, updating the high-water mark.
+    pub fn inc(&self) {
+        let now = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever observed.
+    pub fn high_water(&self) -> i64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts samples with
+/// `latency_µs < 2^i`, the last bucket is unbounded (≳ 34 minutes).
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        // Bucket index = position of the highest set bit + 1 (1µs lands
+        // in bucket 1 `< 2`, 0µs in bucket 0), clamped to the last bucket.
+        let idx = ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q ∈ [0, 1]`.
+    /// Resolution is a factor of two — good enough to tell 100µs from
+    /// 10ms, which is what operational percentiles are for.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The server's metrics registry, exposed via the `STATS` command.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted since start.
+    pub connections_opened: Counter,
+    /// Connections that have ended (any reason).
+    pub connections_closed: Counter,
+    /// Query requests received.
+    pub queries: Counter,
+    /// Stats/ping/admin requests received.
+    pub control_requests: Counter,
+    /// Requests answered with a result.
+    pub ok: Counter,
+    /// Requests answered with a typed PSQL error.
+    pub query_errors: Counter,
+    /// Malformed frames / undecodable payloads answered with a protocol
+    /// error.
+    pub protocol_errors: Counter,
+    /// Requests whose deadline expired.
+    pub timeouts: Counter,
+    /// Requests rejected with `Overloaded` because the queue was full.
+    pub overloads: Counter,
+    /// Worker panics contained and answered as internal errors.
+    pub internal_errors: Counter,
+    /// Snapshot publications since start.
+    pub snapshots_published: Counter,
+    /// Request-queue depth (live) and high-water mark.
+    pub queue_depth: Gauge,
+    /// End-to-end latency of executed queries (µs buckets).
+    pub query_latency: Histogram,
+    /// Latency of admin operations (repack).
+    pub admin_latency: Histogram,
+}
+
+impl Metrics {
+    /// Renders the registry as a JSON object (the `STATS` payload).
+    pub fn to_json(&self, snapshot_epoch: u64, queue_capacity: usize, workers: usize) -> String {
+        let q = &self.query_latency;
+        let a = &self.admin_latency;
+        format!(
+            concat!(
+                "{{",
+                "\"workers\":{},",
+                "\"queue_capacity\":{},",
+                "\"snapshot_epoch\":{},",
+                "\"connections\":{{\"opened\":{},\"closed\":{}}},",
+                "\"requests\":{{\"queries\":{},\"control\":{}}},",
+                "\"responses\":{{\"ok\":{},\"query_error\":{},\"protocol_error\":{},",
+                "\"timeout\":{},\"overloaded\":{},\"internal_error\":{}}},",
+                "\"snapshots_published\":{},",
+                "\"queue\":{{\"depth\":{},\"high_water\":{}}},",
+                "\"query_latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{}}},",
+                "\"admin_latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{}}}",
+                "}}"
+            ),
+            workers,
+            queue_capacity,
+            snapshot_epoch,
+            self.connections_opened.get(),
+            self.connections_closed.get(),
+            self.queries.get(),
+            self.control_requests.get(),
+            self.ok.get(),
+            self.query_errors.get(),
+            self.protocol_errors.get(),
+            self.timeouts.get(),
+            self.overloads.get(),
+            self.internal_errors.get(),
+            self.snapshots_published.get(),
+            self.queue_depth.get(),
+            self.queue_depth.high_water(),
+            q.count(),
+            q.mean_micros(),
+            q.quantile_micros(0.50),
+            q.quantile_micros(0.90),
+            q.quantile_micros(0.99),
+            a.count(),
+            a.mean_micros(),
+            a.quantile_micros(0.50),
+            a.quantile_micros(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100)); // bucket < 128
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(10)); // 10_000µs, bucket < 16384
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_micros(0.5), 127);
+        assert_eq!(h.quantile_micros(0.90), 127);
+        assert_eq!(h.quantile_micros(0.99), 16383);
+        assert!(h.mean_micros() > 100.0 && h.mean_micros() < 10_000.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_micros(0.99), 0);
+        assert_eq!(h.mean_micros(), 0.0);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        g.inc();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 2);
+    }
+
+    #[test]
+    fn stats_json_is_parsable_shape() {
+        let m = Metrics::default();
+        m.queries.incr();
+        m.ok.incr();
+        m.query_latency.record(Duration::from_micros(500));
+        let json = m.to_json(3, 64, 4);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"snapshot_epoch\":3"));
+        assert!(json.contains("\"queries\":1"));
+        assert!(json.contains("\"p99\":"));
+        // Balanced braces (cheap well-formedness check without a JSON dep).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

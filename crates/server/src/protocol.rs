@@ -1,0 +1,720 @@
+//! The length-prefixed wire protocol.
+//!
+//! Every message — request or response — travels as one *frame*:
+//!
+//! ```text
+//! [u32 payload length, big-endian][payload bytes]
+//! ```
+//!
+//! Request payloads are `[u64 request id][u8 opcode][opcode body]`;
+//! response payloads are `[u64 request id][u8 status][status body]`.
+//! All integers are big-endian; all strings are length-prefixed UTF-8.
+//! The request id is an opaque client-chosen correlation token echoed
+//! verbatim in the response, so a client may pipeline requests.
+//!
+//! Decoding is defensive by construction: a frame is read fully off the
+//! wire *before* any of it is interpreted, so a malformed payload can
+//! never desynchronize the stream — the server answers a typed
+//! [`ErrorKind::Protocol`] error and keeps the session alive. The only
+//! unrecoverable input is a frame header whose length exceeds
+//! [`MAX_FRAME_LEN`] (the remaining stream cannot be re-framed; the
+//! connection is answered then closed).
+
+use pictorial_relational::Value;
+use psql::result::Highlight;
+use psql::{PsqlError, ResultSet};
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame's payload size (1 MiB). A header announcing
+/// more than this is treated as garbage, not as a gigantic allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a PSQL query. `timeout_ms == 0` means "use the server's
+    /// default deadline".
+    Query {
+        /// Correlation id echoed in the response.
+        id: u64,
+        /// Per-request deadline override in milliseconds (0 = default).
+        timeout_ms: u32,
+        /// PSQL query text.
+        text: String,
+    },
+    /// Fetch the metrics registry as JSON.
+    Stats {
+        /// Correlation id echoed in the response.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id echoed in the response.
+        id: u64,
+    },
+    /// Admin: rebuild every picture's packed R-tree and publish the
+    /// result as a new snapshot.
+    Repack {
+        /// Correlation id echoed in the response.
+        id: u64,
+    },
+    /// Admin: begin graceful shutdown (drain in-flight queries).
+    Shutdown {
+        /// Correlation id echoed in the response.
+        id: u64,
+    },
+}
+
+const OP_QUERY: u8 = 1;
+const OP_STATS: u8 = 2;
+const OP_PING: u8 = 3;
+const OP_REPACK: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+/// Classifies an error reported over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// PSQL lexical error.
+    Lex,
+    /// PSQL syntax error.
+    Parse,
+    /// PSQL semantic error.
+    Semantic,
+    /// Error from the relational substrate.
+    Relational,
+    /// Malformed wire input (bad frame payload, junk opcode, invalid
+    /// UTF-8, …).
+    Protocol,
+    /// Server-side failure (a panic contained by the worker, shutdown
+    /// race, …).
+    Internal,
+}
+
+impl ErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorKind::Lex => 0,
+            ErrorKind::Parse => 1,
+            ErrorKind::Semantic => 2,
+            ErrorKind::Relational => 3,
+            ErrorKind::Protocol => 4,
+            ErrorKind::Internal => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, String> {
+        Ok(match b {
+            0 => ErrorKind::Lex,
+            1 => ErrorKind::Parse,
+            2 => ErrorKind::Semantic,
+            3 => ErrorKind::Relational,
+            4 => ErrorKind::Protocol,
+            5 => ErrorKind::Internal,
+            _ => return Err(format!("unknown error kind {b}")),
+        })
+    }
+}
+
+impl From<&PsqlError> for ErrorKind {
+    fn from(e: &PsqlError) -> Self {
+        match e {
+            PsqlError::Lex(_) => ErrorKind::Lex,
+            PsqlError::Parse(_) => ErrorKind::Parse,
+            PsqlError::Semantic(_) => ErrorKind::Semantic,
+            PsqlError::Relational(_) => ErrorKind::Relational,
+        }
+    }
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful query result, stamped with the epoch of the snapshot
+    /// it was computed against.
+    Result {
+        /// Correlation id of the request.
+        id: u64,
+        /// Snapshot epoch the query ran against.
+        epoch: u64,
+        /// The alphanumeric + pictorial result.
+        result: ResultSet,
+    },
+    /// A typed error.
+    Error {
+        /// Correlation id of the request (0 if it could not be parsed).
+        id: u64,
+        /// Error class.
+        kind: ErrorKind,
+        /// Human-readable message.
+        message: String,
+    },
+    /// The request's deadline expired before (or while) it ran.
+    Timeout {
+        /// Correlation id of the request.
+        id: u64,
+    },
+    /// Backpressure: the request queue is full; retry after the hinted
+    /// delay.
+    Overloaded {
+        /// Correlation id of the request.
+        id: u64,
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Correlation id of the request.
+        id: u64,
+    },
+    /// Answer to [`Request::Stats`]: the metrics registry as JSON.
+    Stats {
+        /// Correlation id of the request.
+        id: u64,
+        /// Metrics snapshot, JSON text.
+        json: String,
+    },
+    /// Acknowledgement of an admin request (repack / shutdown), carrying
+    /// the now-current snapshot epoch.
+    Done {
+        /// Correlation id of the request.
+        id: u64,
+        /// Snapshot epoch after the admin action.
+        epoch: u64,
+    },
+}
+
+const ST_RESULT: u8 = 0;
+const ST_ERROR: u8 = 1;
+const ST_TIMEOUT: u8 = 2;
+const ST_OVERLOADED: u8 = 3;
+const ST_PONG: u8 = 4;
+const ST_STATS: u8 = 5;
+const ST_DONE: u8 = 6;
+
+// ---------------------------------------------------------------------
+// Frame transport
+// ---------------------------------------------------------------------
+
+/// Outcome of pulling one frame off a stream.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean end-of-stream on a frame boundary.
+    Eof,
+    /// The stop predicate fired while the stream was idle (no partial
+    /// frame consumed) or mid-frame during shutdown.
+    Stopped,
+    /// The header announced more than [`MAX_FRAME_LEN`] bytes; the
+    /// stream cannot be re-framed.
+    TooLarge(u32),
+    /// End-of-stream in the middle of a frame.
+    Truncated,
+    /// Transport error.
+    Io(io::Error),
+}
+
+/// Reads exactly `buf.len()` bytes, treating read-timeouts as polling
+/// ticks: on each tick `stop()` is consulted, so a blocked reader notices
+/// shutdown without losing partially-read bytes.
+fn read_full<R: Read>(
+    stream: &mut R,
+    buf: &mut [u8],
+    stop: &dyn Fn() -> bool,
+) -> Result<usize, FrameRead> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if stop() {
+                    return Err(FrameRead::Stopped);
+                }
+            }
+            Err(e) => return Err(FrameRead::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reads one frame. `stop` is polled whenever the underlying stream
+/// read times out (the server sets a short read timeout on sessions), so
+/// an idle connection notices shutdown promptly.
+pub fn read_frame<R: Read>(stream: &mut R, stop: &dyn Fn() -> bool) -> FrameRead {
+    let mut header = [0u8; 4];
+    match read_full(stream, &mut header, stop) {
+        Ok(0) => return FrameRead::Eof,
+        Ok(n) if n < 4 => return FrameRead::Truncated,
+        Ok(_) => {}
+        Err(other) => return other,
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return FrameRead::TooLarge(len);
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_full(stream, &mut payload, stop) {
+        Ok(n) if n < payload.len() => FrameRead::Truncated,
+        Ok(_) => FrameRead::Frame(payload),
+        Err(other) => other,
+    }
+}
+
+/// Writes `payload` as one frame.
+pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_owned())
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Float(f) => {
+            out.push(2);
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_string(out, s);
+        }
+        Value::Pointer(p) => {
+            out.push(4);
+            out.extend_from_slice(&p.to_be_bytes());
+        }
+    }
+}
+
+fn get_value(c: &mut Cursor<'_>) -> Result<Value, String> {
+    Ok(match c.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(i64::from_be_bytes(c.take(8)?.try_into().unwrap())),
+        2 => Value::Float(f64::from_bits(u64::from_be_bytes(
+            c.take(8)?.try_into().unwrap(),
+        ))),
+        3 => Value::Str(c.string()?),
+        4 => Value::Pointer(u64::from_be_bytes(c.take(8)?.try_into().unwrap())),
+        t => return Err(format!("unknown value tag {t}")),
+    })
+}
+
+/// Encodes a request payload (frame body, without the length header).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Query {
+            id,
+            timeout_ms,
+            text,
+        } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(OP_QUERY);
+            out.extend_from_slice(&timeout_ms.to_be_bytes());
+            put_string(&mut out, text);
+        }
+        Request::Stats { id } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(OP_STATS);
+        }
+        Request::Ping { id } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(OP_PING);
+        }
+        Request::Repack { id } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(OP_REPACK);
+        }
+        Request::Shutdown { id } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(OP_SHUTDOWN);
+        }
+    }
+    out
+}
+
+/// Decodes a request payload. Errors are protocol errors to report back
+/// to the client; the frame is already consumed, so the session survives.
+pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let mut c = Cursor::new(payload);
+    let id = c.u64()?;
+    let op = c.u8()?;
+    let req = match op {
+        OP_QUERY => {
+            let timeout_ms = c.u32()?;
+            let text = c.string()?;
+            Request::Query {
+                id,
+                timeout_ms,
+                text,
+            }
+        }
+        OP_STATS => Request::Stats { id },
+        OP_PING => Request::Ping { id },
+        OP_REPACK => Request::Repack { id },
+        OP_SHUTDOWN => Request::Shutdown { id },
+        _ => return Err(format!("unknown opcode {op}")),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Best-effort extraction of the request id from a payload that failed
+/// to decode, so the error response still correlates when possible.
+pub fn peek_request_id(payload: &[u8]) -> u64 {
+    if payload.len() >= 8 {
+        u64::from_be_bytes(payload[..8].try_into().unwrap())
+    } else {
+        0
+    }
+}
+
+/// Encodes a response payload (frame body, without the length header).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Result { id, epoch, result } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(ST_RESULT);
+            out.extend_from_slice(&epoch.to_be_bytes());
+            out.extend_from_slice(&(result.columns.len() as u16).to_be_bytes());
+            for col in &result.columns {
+                put_string(&mut out, col);
+            }
+            out.extend_from_slice(&(result.rows.len() as u32).to_be_bytes());
+            for row in &result.rows {
+                for v in row {
+                    put_value(&mut out, v);
+                }
+            }
+            out.extend_from_slice(&(result.highlights.len() as u32).to_be_bytes());
+            for h in &result.highlights {
+                put_string(&mut out, &h.picture);
+                out.extend_from_slice(&h.object.to_be_bytes());
+                put_string(&mut out, &h.label);
+            }
+        }
+        Response::Error { id, kind, message } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(ST_ERROR);
+            out.push(kind.to_u8());
+            put_string(&mut out, message);
+        }
+        Response::Timeout { id } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(ST_TIMEOUT);
+        }
+        Response::Overloaded { id, retry_after_ms } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(ST_OVERLOADED);
+            out.extend_from_slice(&retry_after_ms.to_be_bytes());
+        }
+        Response::Pong { id } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(ST_PONG);
+        }
+        Response::Stats { id, json } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(ST_STATS);
+            put_string(&mut out, json);
+        }
+        Response::Done { id, epoch } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(ST_DONE);
+            out.extend_from_slice(&epoch.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response payload (the client side of the codec).
+pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
+    let mut c = Cursor::new(payload);
+    let id = c.u64()?;
+    let status = c.u8()?;
+    let resp = match status {
+        ST_RESULT => {
+            let epoch = c.u64()?;
+            let ncols = c.u16()? as usize;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                columns.push(c.string()?);
+            }
+            let nrows = c.u32()? as usize;
+            let mut rows = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                let mut row = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    row.push(get_value(&mut c)?);
+                }
+                rows.push(row);
+            }
+            let nhl = c.u32()? as usize;
+            let mut highlights = Vec::with_capacity(nhl);
+            for _ in 0..nhl {
+                let picture = c.string()?;
+                let object = c.u64()?;
+                let label = c.string()?;
+                highlights.push(Highlight {
+                    picture,
+                    object,
+                    label,
+                });
+            }
+            Response::Result {
+                id,
+                epoch,
+                result: ResultSet {
+                    columns,
+                    rows,
+                    highlights,
+                },
+            }
+        }
+        ST_ERROR => {
+            let kind = ErrorKind::from_u8(c.u8()?)?;
+            let message = c.string()?;
+            Response::Error { id, kind, message }
+        }
+        ST_TIMEOUT => Response::Timeout { id },
+        ST_OVERLOADED => Response::Overloaded {
+            id,
+            retry_after_ms: c.u32()?,
+        },
+        ST_PONG => Response::Pong { id },
+        ST_STATS => Response::Stats {
+            id,
+            json: c.string()?,
+        },
+        ST_DONE => Response::Done {
+            id,
+            epoch: c.u64()?,
+        },
+        _ => return Err(format!("unknown status {status}")),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let enc = encode_request(&req);
+        assert_eq!(decode_request(&enc).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let enc = encode_response(&resp);
+        assert_eq!(decode_response(&enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Query {
+            id: 42,
+            timeout_ms: 250,
+            text: "select * from cities".into(),
+        });
+        roundtrip_request(Request::Stats { id: 7 });
+        roundtrip_request(Request::Ping { id: u64::MAX });
+        roundtrip_request(Request::Repack { id: 0 });
+        roundtrip_request(Request::Shutdown { id: 3 });
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Result {
+            id: 9,
+            epoch: 4,
+            result: ResultSet {
+                columns: vec!["city".into(), "population".into(), "loc".into()],
+                rows: vec![
+                    vec![
+                        Value::str("Boston"),
+                        Value::Int(600_000),
+                        Value::Pointer(17),
+                    ],
+                    vec![Value::Null, Value::Float(2.5), Value::Pointer(0)],
+                ],
+                highlights: vec![Highlight {
+                    picture: "us-map".into(),
+                    object: 17,
+                    label: "Boston".into(),
+                }],
+            },
+        });
+        roundtrip_response(Response::Error {
+            id: 1,
+            kind: ErrorKind::Parse,
+            message: "oops".into(),
+        });
+        roundtrip_response(Response::Timeout { id: 2 });
+        roundtrip_response(Response::Overloaded {
+            id: 3,
+            retry_after_ms: 10,
+        });
+        roundtrip_response(Response::Pong { id: 4 });
+        roundtrip_response(Response::Stats {
+            id: 5,
+            json: "{}".into(),
+        });
+        roundtrip_response(Response::Done { id: 6, epoch: 2 });
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_exact() {
+        for f in [0.0, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE] {
+            let mut out = Vec::new();
+            put_value(&mut out, &Value::Float(f));
+            let mut c = Cursor::new(&out);
+            match get_value(&mut c).unwrap() {
+                Value::Float(g) => assert_eq!(g.to_bits(), f.to_bits()),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[0; 8]).is_err()); // id but no opcode
+        assert!(decode_request(&[0, 0, 0, 0, 0, 0, 0, 1, 99]).is_err()); // junk opcode
+                                                                         // Query whose string length overruns the payload.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes());
+        bad.push(OP_QUERY);
+        bad.extend_from_slice(&0u32.to_be_bytes());
+        bad.extend_from_slice(&1000u32.to_be_bytes()); // claims 1000 bytes
+        bad.extend_from_slice(b"short");
+        assert!(decode_request(&bad).is_err());
+        // Invalid UTF-8 in the query text.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes());
+        bad.push(OP_QUERY);
+        bad.extend_from_slice(&0u32.to_be_bytes());
+        bad.extend_from_slice(&2u32.to_be_bytes());
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        let err = decode_request(&bad).unwrap_err();
+        assert!(err.contains("UTF-8"), "{err}");
+        // Trailing garbage after a valid message.
+        let mut enc = encode_request(&Request::Ping { id: 1 });
+        enc.push(0);
+        assert!(decode_request(&enc).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn peek_id_survives_garbage() {
+        assert_eq!(peek_request_id(&[]), 0);
+        assert_eq!(peek_request_id(&[1, 2]), 0);
+        let enc = encode_request(&Request::Ping { id: 77 });
+        assert_eq!(peek_request_id(&enc), 77);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_limits() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame(&mut cursor, &|| false) {
+            FrameRead::Frame(p) => assert_eq!(p, b"hello"),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut cursor, &|| false) {
+            FrameRead::Eof => {}
+            other => panic!("{other:?}"),
+        }
+        // Oversized header.
+        let mut huge = io::Cursor::new(0xdead_beefu32.to_be_bytes().to_vec());
+        match read_frame(&mut huge, &|| false) {
+            FrameRead::TooLarge(n) => assert_eq!(n, 0xdead_beef),
+            other => panic!("{other:?}"),
+        }
+        // Truncated payload.
+        let mut trunc = Vec::new();
+        trunc.extend_from_slice(&100u32.to_be_bytes());
+        trunc.extend_from_slice(b"only a little");
+        let mut cursor = io::Cursor::new(trunc);
+        match read_frame(&mut cursor, &|| false) {
+            FrameRead::Truncated => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

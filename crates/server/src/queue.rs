@@ -1,0 +1,190 @@
+//! A bounded multi-producer/multi-consumer job queue with explicit
+//! backpressure and drain-on-close semantics.
+//!
+//! Producers (connection readers) use the non-blocking
+//! [`BoundedQueue::try_push`]: a full queue is an immediate
+//! [`PushError::Full`], which the server turns into an `Overloaded`
+//! response — load is shed at the door instead of building an unbounded
+//! backlog. Consumers (workers) block in [`BoundedQueue::pop`];
+//! [`BoundedQueue::close`] lets already-queued jobs drain (pops keep
+//! succeeding) and wakes every worker once the queue is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed (server shutting down); the item is handed
+    /// back.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded MPMC queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue refuses the
+    /// item immediately.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is empty and open. Returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, queued items still drain,
+    /// and idle consumers wake up to observe the close.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Current queue length (advisory).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// `true` when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn backpressure_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_wakes() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        // Queued items still drain.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(8));
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Some(v) = q.pop() {
+                    sum += v;
+                }
+                sum
+            }));
+        }
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let v = p * 1000 + i;
+                    loop {
+                        match q.try_push(v) {
+                            Ok(()) => break,
+                            Err(PushError::Full(_)) => std::thread::yield_now(),
+                            Err(PushError::Closed(_)) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        let expected: u64 = (0..4u64)
+            .flat_map(|p| (0..100u64).map(move |i| p * 1000 + i))
+            .sum();
+        assert_eq!(total, expected);
+    }
+}

@@ -1,0 +1,506 @@
+//! The concurrent query service: TCP accept loop, per-session framing,
+//! a fixed worker pool over a bounded queue, per-request deadlines,
+//! backpressure, and graceful drain-on-shutdown.
+//!
+//! ## Threading model
+//!
+//! * One **accept thread** owns the listener and spawns a session thread
+//!   per connection.
+//! * Each **session thread** reads frames, answers cheap control
+//!   requests (`PING`, `STATS`) inline, and enqueues queries on the
+//!   bounded queue. A full queue is answered immediately with
+//!   `Overloaded` — the session thread never blocks on the pool.
+//! * `workers` **worker threads** pop queries, pin the current database
+//!   snapshot through a per-thread lock-free cache, execute, and write
+//!   the response back through the session's write lock.
+//!
+//! Responses may interleave across requests of one session (that is what
+//! the request id is for), but each response frame is written atomically
+//! under the session's write mutex.
+
+use crate::metrics::Metrics;
+use crate::protocol::{
+    decode_request, encode_response, peek_request_id, read_frame, write_frame, ErrorKind,
+    FrameRead, Request, Response,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::snapshot::{SnapshotCache, SnapshotCell};
+use psql::database::PictorialDatabase;
+use psql::functions::FunctionRegistry;
+use psql::{PsqlError, ResultSet};
+use rtree_index::SearchScratch;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of query worker threads.
+    pub workers: usize,
+    /// Bounded request-queue capacity; pushes beyond this are answered
+    /// `Overloaded`.
+    pub queue_capacity: usize,
+    /// Deadline applied to queries that don't carry their own
+    /// `timeout_ms`.
+    pub default_deadline: Duration,
+    /// Back-off hint carried in `Overloaded` responses.
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(5),
+            retry_after_ms: 10,
+        }
+    }
+}
+
+/// One queued query.
+struct Job {
+    id: u64,
+    text: String,
+    deadline: Instant,
+    session: Arc<Session>,
+}
+
+/// The per-connection shared state: the write half of the stream.
+struct Session {
+    writer: Mutex<TcpStream>,
+}
+
+impl Session {
+    /// Writes one response frame atomically. Errors are swallowed: a
+    /// session whose client vanished mid-response is simply done.
+    fn send(&self, resp: &Response) {
+        let payload = encode_response(resp);
+        let mut stream = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = write_frame(&mut *stream, &payload);
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    addr: SocketAddr,
+    snapshots: Arc<SnapshotCell>,
+    metrics: Arc<Metrics>,
+    functions: FunctionRegistry,
+    queue: BoundedQueue<Job>,
+    shutting_down: AtomicBool,
+    session_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running query service. Dropping the handle does *not* stop the
+/// server; call [`Server::stop`] (or send the protocol `SHUTDOWN`
+/// request and then [`Server::wait`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), serves
+    /// `db` as the epoch-1 snapshot, and spawns the accept loop plus the
+    /// worker pool.
+    pub fn start(db: PictorialDatabase, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        assert!(config.workers >= 1);
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            config,
+            addr: local_addr,
+            snapshots: Arc::new(SnapshotCell::new(db)),
+            metrics: Arc::new(Metrics::default()),
+            functions: FunctionRegistry::with_builtins(),
+            shutting_down: AtomicBool::new(false),
+            session_threads: Mutex::new(Vec::new()),
+        });
+
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for i in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("psql-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("psql-accept".into())
+            .spawn(move || accept_loop(listener, &accept_shared))?;
+
+        Ok(Server {
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The snapshot publication point — the in-process admin interface
+    /// (tests and embedders republish through this).
+    pub fn snapshots(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.shared.snapshots)
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Triggers graceful shutdown without waiting: stop accepting, let
+    /// sessions and queued queries drain. Idempotent.
+    pub fn begin_shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server has fully shut down (someone must have
+    /// triggered it — [`Server::begin_shutdown`] or a protocol
+    /// `SHUTDOWN`), joining every thread and draining in-flight queries.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        // No new sessions can appear now; join the existing ones (they
+        // observe the flag within one read-timeout tick).
+        let sessions = std::mem::take(
+            &mut *self
+                .shared
+                .session_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for s in sessions {
+            let _ = s.join();
+        }
+        // Sessions were the only producers; close the queue and let the
+        // workers drain what is already enqueued.
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// [`Server::begin_shutdown`] + [`Server::wait`].
+    pub fn stop(self) {
+        self.begin_shutdown();
+        self.wait();
+    }
+}
+
+fn begin_shutdown(shared: &Shared) {
+    if !shared.shutting_down.swap(true, Ordering::SeqCst) {
+        // Poke the accept loop out of its blocking accept().
+        let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(250));
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.metrics.connections_opened.incr();
+        let shared2 = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("psql-session".into())
+            .spawn(move || {
+                session_loop(stream, &shared2);
+                shared2.metrics.connections_closed.incr();
+            });
+        if let Ok(handle) = handle {
+            shared
+                .session_threads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(handle);
+        }
+    }
+}
+
+fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    // A short read timeout turns the blocking read into a poll loop so
+    // the session notices shutdown within ~100ms even when idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let session = Arc::new(Session {
+        writer: Mutex::new(write_half),
+    });
+    let mut read_half = stream;
+    let stop = {
+        let shared = Arc::clone(shared);
+        move || shared.shutting_down.load(Ordering::SeqCst)
+    };
+    loop {
+        match read_frame(&mut read_half, &stop) {
+            FrameRead::Frame(payload) => {
+                if !handle_frame(&payload, &session, shared) {
+                    break;
+                }
+            }
+            FrameRead::Eof | FrameRead::Stopped | FrameRead::Io(_) => break,
+            FrameRead::Truncated => {
+                // EOF mid-frame: nothing sensible to answer to.
+                shared.metrics.protocol_errors.incr();
+                break;
+            }
+            FrameRead::TooLarge(n) => {
+                // The stream cannot be re-framed after a garbage header;
+                // answer (the frame boundary going *out* is still fine)
+                // and close this session only.
+                shared.metrics.protocol_errors.incr();
+                session.send(&Response::Error {
+                    id: 0,
+                    kind: ErrorKind::Protocol,
+                    message: format!(
+                        "frame of {n} bytes exceeds limit {}; closing connection",
+                        crate::protocol::MAX_FRAME_LEN
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Handles one well-framed payload. Returns `false` when the session
+/// should end (shutdown requested).
+fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) -> bool {
+    let request = match decode_request(payload) {
+        Ok(r) => r,
+        Err(message) => {
+            // Malformed payload inside a well-delimited frame: typed
+            // error, session stays up.
+            shared.metrics.protocol_errors.incr();
+            session.send(&Response::Error {
+                id: peek_request_id(payload),
+                kind: ErrorKind::Protocol,
+                message,
+            });
+            return true;
+        }
+    };
+    match request {
+        Request::Ping { id } => {
+            shared.metrics.control_requests.incr();
+            session.send(&Response::Pong { id });
+        }
+        Request::Stats { id } => {
+            shared.metrics.control_requests.incr();
+            let json = shared.metrics.to_json(
+                shared.snapshots.current_epoch(),
+                shared.config.queue_capacity,
+                shared.config.workers,
+            );
+            session.send(&Response::Stats { id, json });
+        }
+        Request::Repack { id } => {
+            // Admin path: clone + re-pack outside all locks, publish
+            // atomically. Runs on the session thread so the worker pool
+            // stays dedicated to queries.
+            shared.metrics.control_requests.incr();
+            let started = Instant::now();
+            let epoch = shared.snapshots.update(|db| db.pack_all());
+            shared.metrics.snapshots_published.incr();
+            shared.metrics.admin_latency.record(started.elapsed());
+            session.send(&Response::Done { id, epoch });
+        }
+        Request::Shutdown { id } => {
+            shared.metrics.control_requests.incr();
+            session.send(&Response::Done {
+                id,
+                epoch: shared.snapshots.current_epoch(),
+            });
+            begin_shutdown(shared);
+            return false;
+        }
+        Request::Query {
+            id,
+            timeout_ms,
+            text,
+        } => {
+            shared.metrics.queries.incr();
+            let budget = if timeout_ms == 0 {
+                shared.config.default_deadline
+            } else {
+                Duration::from_millis(timeout_ms as u64)
+            };
+            let job = Job {
+                id,
+                text,
+                deadline: Instant::now() + budget,
+                session: Arc::clone(session),
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => shared.metrics.queue_depth.inc(),
+                Err(PushError::Full(job)) => {
+                    shared.metrics.overloads.incr();
+                    job.session.send(&Response::Overloaded {
+                        id,
+                        retry_after_ms: shared.config.retry_after_ms,
+                    });
+                }
+                Err(PushError::Closed(job)) => {
+                    job.session.send(&Response::Error {
+                        id,
+                        kind: ErrorKind::Internal,
+                        message: "server is shutting down".into(),
+                    });
+                }
+            }
+        }
+    }
+    true
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut scratch = SearchScratch::new();
+    let mut cache = SnapshotCache::new();
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_depth.dec();
+        if Instant::now() > job.deadline {
+            // Expired while queued: answer without executing.
+            shared.metrics.timeouts.incr();
+            job.session.send(&Response::Timeout { id: job.id });
+            continue;
+        }
+        let snapshot = shared.snapshots.load_cached(&mut cache);
+        let started = Instant::now();
+        let outcome = run_query(&snapshot.db, &job.text, &shared.functions, &mut scratch);
+        shared.metrics.query_latency.record(started.elapsed());
+        if Instant::now() > job.deadline {
+            // Finished, but past the promise: the client already moved
+            // on, so report the timeout it observed.
+            shared.metrics.timeouts.incr();
+            job.session.send(&Response::Timeout { id: job.id });
+            continue;
+        }
+        match outcome {
+            Ok(result) => {
+                shared.metrics.ok.incr();
+                job.session.send(&Response::Result {
+                    id: job.id,
+                    epoch: snapshot.epoch,
+                    result,
+                });
+            }
+            Err(QueryFailure::Psql(e)) => {
+                shared.metrics.query_errors.incr();
+                job.session.send(&Response::Error {
+                    id: job.id,
+                    kind: ErrorKind::from(&e),
+                    message: e.to_string(),
+                });
+            }
+            Err(QueryFailure::Panicked) => {
+                shared.metrics.internal_errors.incr();
+                job.session.send(&Response::Error {
+                    id: job.id,
+                    kind: ErrorKind::Internal,
+                    message: "query execution panicked (contained; session unaffected)".into(),
+                });
+            }
+        }
+    }
+}
+
+enum QueryFailure {
+    Psql(PsqlError),
+    Panicked,
+}
+
+/// Parses and executes one query against a pinned snapshot.
+///
+/// Supports one diagnostics directive: a query text of
+/// `#sleep <millis>` (optionally followed by a query) sleeps before
+/// executing — the deterministic way to exercise deadline enforcement
+/// from tests and the CI smoke script.
+fn run_query(
+    db: &PictorialDatabase,
+    text: &str,
+    functions: &FunctionRegistry,
+    scratch: &mut SearchScratch,
+) -> Result<ResultSet, QueryFailure> {
+    let mut text = text.trim();
+    if let Some(rest) = text.strip_prefix("#sleep") {
+        let rest = rest.trim_start();
+        let (ms_str, remainder) = match rest.split_once(char::is_whitespace) {
+            Some((ms, r)) => (ms, r.trim()),
+            None => (rest, ""),
+        };
+        let ms: u64 = ms_str.parse().map_err(|_| {
+            QueryFailure::Psql(PsqlError::Parse(format!(
+                "#sleep wants milliseconds, got {ms_str:?}"
+            )))
+        })?;
+        // Cap so a hostile client cannot park a worker for minutes.
+        std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+        if remainder.is_empty() {
+            return Ok(ResultSet::default());
+        }
+        text = remainder;
+    }
+    let text = text.to_owned();
+    // Workers must survive any executor bug: contain panics and answer a
+    // typed internal error instead. The snapshot is immutable, so no
+    // broken invariants can leak out of an unwound execution.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let query = psql::parse_query(&text)?;
+        psql::exec::execute_with_scratch(db, &query, functions, scratch)
+    }));
+    match result {
+        Ok(Ok(rs)) => Ok(rs),
+        Ok(Err(e)) => Err(QueryFailure::Psql(e)),
+        Err(_) => Err(QueryFailure::Panicked),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_directive_parses() {
+        let db = PictorialDatabase::with_us_map();
+        let functions = FunctionRegistry::with_builtins();
+        let mut scratch = SearchScratch::new();
+        let t0 = Instant::now();
+        let r = run_query(&db, "#sleep 30", &functions, &mut scratch);
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert!(r.is_ok_and(|rs| rs.is_empty()));
+        // Directive followed by a real query.
+        let r = run_query(
+            &db,
+            "#sleep 1 select zone from time-zones",
+            &functions,
+            &mut scratch,
+        )
+        .ok()
+        .unwrap();
+        assert_eq!(r.len(), 4);
+        // Bad millis is a parse error, not a hang.
+        assert!(matches!(
+            run_query(&db, "#sleep lots", &functions, &mut scratch),
+            Err(QueryFailure::Psql(PsqlError::Parse(_)))
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Snapshot-isolated sharing of the pictorial database.
+//!
+//! Readers (query workers) and writers (the admin path: re-PACK, load
+//! picture) never contend on the database itself. The database lives
+//! inside an immutable, epoch-stamped [`DatabaseSnapshot`] behind an
+//! [`Arc`]; publication replaces the whole `Arc` at once, so a query
+//! either sees the old database or the new one — never a half-built tree.
+//!
+//! The read hot path is lock-free: each worker keeps a [`SnapshotCache`]
+//! (its own pinned `Arc`) and revalidates it against a single atomic
+//! epoch counter per request. Only when the epoch has actually advanced
+//! does the worker touch the publication mutex, and writers hold that
+//! mutex *only for the pointer swap* — snapshot construction (deep
+//! clone + re-pack) happens entirely outside it. Old snapshots are
+//! freed by reference counting once the last in-flight query drops its
+//! pin.
+
+use psql::database::PictorialDatabase;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An immutable, epoch-stamped view of the whole pictorial database.
+#[derive(Debug)]
+pub struct DatabaseSnapshot {
+    /// Publication epoch: 1 for the snapshot the server started with,
+    /// +1 for every publication since.
+    pub epoch: u64,
+    /// The database (pictures + packed R-trees + relations). Immutable:
+    /// there is deliberately no way to get `&mut` through a snapshot.
+    pub db: PictorialDatabase,
+}
+
+/// The publication point: one atomically-swapped current snapshot.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    /// Epoch of the snapshot in `slot`, readable without the lock. A
+    /// reader whose cached epoch matches skips the mutex entirely.
+    epoch: AtomicU64,
+    slot: Mutex<Arc<DatabaseSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Wraps the initial database as epoch-1.
+    pub fn new(db: PictorialDatabase) -> Self {
+        SnapshotCell {
+            epoch: AtomicU64::new(1),
+            slot: Mutex::new(Arc::new(DatabaseSnapshot { epoch: 1, db })),
+        }
+    }
+
+    /// Epoch of the currently-published snapshot.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Pins the current snapshot (slow path: takes the publication lock
+    /// for the duration of an `Arc::clone`). Use [`Self::load_cached`]
+    /// from request loops.
+    pub fn load(&self) -> Arc<DatabaseSnapshot> {
+        Arc::clone(&self.slot.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Pins the current snapshot through a per-thread cache. When the
+    /// published epoch matches the cache this is one atomic load and an
+    /// `Arc::clone` — no lock, no waiting on writers. The cache is
+    /// refreshed (via the lock) only after an actual republication.
+    pub fn load_cached(&self, cache: &mut SnapshotCache) -> Arc<DatabaseSnapshot> {
+        let current = self.epoch.load(Ordering::Acquire);
+        match &cache.pinned {
+            Some(snap) if snap.epoch == current => Arc::clone(snap),
+            _ => {
+                let snap = self.load();
+                cache.pinned = Some(Arc::clone(&snap));
+                snap
+            }
+        }
+    }
+
+    /// Publishes `db` as the next snapshot and returns its epoch. The
+    /// lock is held only for the swap itself.
+    pub fn publish(&self, db: PictorialDatabase) -> u64 {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = slot.epoch + 1;
+        *slot = Arc::new(DatabaseSnapshot { epoch, db });
+        // Release-store after the slot holds the new snapshot: a reader
+        // that observes the bumped epoch and then takes the lock is
+        // guaranteed to find a snapshot at least this new.
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+
+    /// The admin path's read-modify-publish: deep-clones the current
+    /// database, applies `mutate` to the clone *outside any lock*, then
+    /// publishes the result. Concurrent readers keep serving from the
+    /// old snapshot throughout.
+    ///
+    /// Concurrent `update`s serialize only at the final swap; the last
+    /// publication wins (admin operations are expected to be rare and
+    /// externally coordinated).
+    pub fn update(&self, mutate: impl FnOnce(&mut PictorialDatabase)) -> u64 {
+        let base = self.load();
+        let mut db = base.db.clone();
+        drop(base); // release the pin before the (possibly long) mutation
+        mutate(&mut db);
+        self.publish(db)
+    }
+}
+
+/// A worker thread's pinned snapshot. Deliberately not `Sync`-shared:
+/// each thread owns one.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    pinned: Option<Arc<DatabaseSnapshot>>,
+}
+
+impl SnapshotCache {
+    /// An empty cache; the first `load_cached` fills it.
+    pub fn new() -> Self {
+        SnapshotCache::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::Rect;
+    use rtree_index::RTreeConfig;
+
+    fn tiny_db() -> PictorialDatabase {
+        let mut db = PictorialDatabase::new(RTreeConfig::PAPER);
+        db.create_picture("p", Rect::new(0.0, 0.0, 10.0, 10.0))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn epochs_advance_and_cache_revalidates() {
+        let cell = SnapshotCell::new(tiny_db());
+        let mut cache = SnapshotCache::new();
+        let s1 = cell.load_cached(&mut cache);
+        assert_eq!(s1.epoch, 1);
+        // Cache hit: same Arc.
+        let s1b = cell.load_cached(&mut cache);
+        assert!(Arc::ptr_eq(&s1, &s1b));
+
+        let e2 = cell.update(|db| {
+            db.create_picture("q", Rect::new(0.0, 0.0, 1.0, 1.0))
+                .unwrap();
+        });
+        assert_eq!(e2, 2);
+        assert_eq!(cell.current_epoch(), 2);
+        let s2 = cell.load_cached(&mut cache);
+        assert_eq!(s2.epoch, 2);
+        assert!(s2.db.picture("q").is_ok());
+        // The old pin still serves the old view.
+        assert!(s1.db.picture("q").is_err());
+    }
+
+    #[test]
+    fn update_mutates_a_clone_not_the_published_snapshot() {
+        let cell = SnapshotCell::new(tiny_db());
+        let before = cell.load();
+        cell.update(|db| {
+            db.create_picture("added", Rect::new(0.0, 0.0, 1.0, 1.0))
+                .unwrap();
+        });
+        assert!(before.db.picture("added").is_err(), "old snapshot mutated");
+        assert!(cell.load().db.picture("added").is_ok());
+    }
+
+    #[test]
+    fn concurrent_readers_see_only_whole_snapshots() {
+        use std::sync::atomic::AtomicBool;
+        let cell = Arc::new(SnapshotCell::new(tiny_db()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut cache = SnapshotCache::new();
+                let mut observed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = cell.load_cached(&mut cache);
+                    // Each published epoch k has pictures p, e2..ek —
+                    // i.e. exactly `epoch` pictures. A torn snapshot
+                    // would break this invariant.
+                    let mut count = 0;
+                    for i in 2..=snap.epoch {
+                        if snap.db.picture(&format!("e{i}")).is_ok() {
+                            count += 1;
+                        }
+                    }
+                    assert_eq!(count, snap.epoch - 1, "torn snapshot");
+                    observed = observed.max(snap.epoch);
+                }
+                observed
+            }));
+        }
+        for i in 2..=20u64 {
+            let got = cell.update(|db| {
+                db.create_picture(&format!("e{i}"), Rect::new(0.0, 0.0, 1.0, 1.0))
+                    .unwrap();
+            });
+            assert_eq!(got, i);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.current_epoch(), 20);
+    }
+}

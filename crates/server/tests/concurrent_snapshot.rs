@@ -1,0 +1,176 @@
+//! Snapshot-swap consistency: reader threads issue queries in a loop
+//! while the admin path republishes snapshots. Every response must be
+//! internally consistent with the epoch it is stamped with — no query
+//! may observe a half-built tree or a half-applied mutation.
+//!
+//! The trick that makes this checkable: each publish adds exactly one
+//! city (object + tuple, then a full re-PACK), so a snapshot at epoch
+//! `e` contains exactly `41 + e` cities. Two independent views of that
+//! count — a whole-frame spatial search and a juxtaposition join against
+//! the (unchanged) time-zone map — must both agree with the epoch of
+//! the response that carried them.
+
+use psql::database::PictorialDatabase;
+use psql_server::client::Client;
+use psql_server::server::{Server, ServerConfig};
+use rtree_geom::{Point, SpatialObject};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cities in a snapshot of epoch `e`: 42 in the seed (epoch 1), plus one
+/// per publish after that.
+fn expected_cities(epoch: u64) -> usize {
+    41 + epoch as usize
+}
+
+const PUBLISHES: u64 = 20;
+const READERS: usize = 6;
+
+#[test]
+fn readers_never_observe_a_torn_snapshot() {
+    let config = ServerConfig {
+        workers: 4,
+        queue_capacity: 256,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut c =
+                    Client::connect_timeout(addr, Duration::from_secs(30)).expect("connect");
+                let mut checked = 0u64;
+                let mut epochs_seen = std::collections::BTreeSet::new();
+                while !done.load(Ordering::Relaxed) || checked == 0 {
+                    // View 1: whole-frame spatial search over the mutated
+                    // picture.
+                    let (epoch, rows) = c
+                        .query_expect_result(
+                            "select city from cities on us-map \
+                             at loc covered-by {50 +- 50, 25 +- 25}",
+                        )
+                        .expect("spatial query");
+                    assert_eq!(
+                        rows.len(),
+                        expected_cities(epoch),
+                        "reader {r}: spatial count torn at epoch {epoch}"
+                    );
+                    // View 2: juxtaposition against the untouched
+                    // time-zone map — every city joins exactly one band.
+                    let (epoch, rows) = c
+                        .query_expect_result(
+                            "select city, zone from cities, time-zones \
+                             on us-map, time-zone-map \
+                             at cities.loc covered-by time-zones.loc",
+                        )
+                        .expect("join query");
+                    assert_eq!(
+                        rows.len(),
+                        expected_cities(epoch),
+                        "reader {r}: join count torn at epoch {epoch}"
+                    );
+                    epochs_seen.insert(epoch);
+                    checked += 1;
+                }
+                (checked, epochs_seen)
+            })
+        })
+        .collect();
+
+    // Admin path: clone → mutate → re-PACK → publish, concurrently with
+    // the readers above.
+    for k in 1..=PUBLISHES {
+        let epoch = server.snapshots().update(|db| {
+            // Strictly inside the Central time-zone band [42, 62].
+            let p = Point::new(50.0 + 0.05 * k as f64, 25.0);
+            let obj = db
+                .add_object("us-map", SpatialObject::Point(p), &format!("New-{k}"))
+                .expect("picture exists");
+            db.insert(
+                "cities",
+                vec![
+                    format!("New-{k}").as_str().into(),
+                    "XX".into(),
+                    (100_000 + k as i64).into(),
+                    pictorial_relational::Value::Pointer(obj),
+                ],
+            )
+            .expect("valid tuple");
+            db.pack_all();
+        });
+        assert_eq!(epoch, 1 + k, "publishes are strictly ordered");
+        // Give readers a chance to actually run against this epoch.
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let mut total = 0;
+    let mut epochs = std::collections::BTreeSet::new();
+    for h in readers {
+        let (checked, seen) = h.join().expect("reader panicked");
+        total += checked;
+        epochs.extend(seen);
+    }
+    // The run only proves something if readers genuinely interleaved
+    // with publishes.
+    assert!(total >= 20, "readers only completed {total} iterations");
+    assert!(
+        epochs.len() >= 2,
+        "readers saw a single epoch {epochs:?}; no interleaving happened"
+    );
+    assert_eq!(
+        server.snapshots().current_epoch(),
+        1 + PUBLISHES,
+        "final epoch"
+    );
+    server.stop();
+}
+
+#[test]
+fn publish_is_atomic_for_single_client() {
+    // Sequential sanity companion to the racy test above: one client,
+    // alternating query/publish, must see epochs and counts advance in
+    // lock step.
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut c =
+        Client::connect_timeout(server.local_addr(), Duration::from_secs(10)).expect("connect");
+    for k in 1..=5u64 {
+        let (epoch, rows) = c
+            .query_expect_result(
+                "select city from cities on us-map at loc covered-by {50 +- 50, 25 +- 25}",
+            )
+            .expect("query");
+        assert_eq!(epoch, k);
+        assert_eq!(rows.len(), expected_cities(epoch));
+        let published = server.snapshots().update(|db| {
+            let p = Point::new(49.0 - 0.05 * k as f64, 24.0);
+            let obj = db
+                .add_object("us-map", SpatialObject::Point(p), &format!("Seq-{k}"))
+                .expect("picture exists");
+            db.insert(
+                "cities",
+                vec![
+                    format!("Seq-{k}").as_str().into(),
+                    "XX".into(),
+                    (200_000 + k as i64).into(),
+                    pictorial_relational::Value::Pointer(obj),
+                ],
+            )
+            .expect("valid tuple");
+            db.pack_all();
+        });
+        assert_eq!(published, k + 1);
+    }
+    server.stop();
+}

@@ -1,0 +1,197 @@
+//! The acceptance-criterion test: a 4-worker server sustains ≥ 64
+//! concurrent connections of mixed PSQL queries — zero panics, zero
+//! wrong results — while the admin path republishes snapshots under the
+//! load. Plus the backpressure contract: a full queue answers
+//! `Overloaded` immediately instead of stalling the session.
+
+use psql::database::PictorialDatabase;
+use psql_server::client::{Client, ClientError};
+use psql_server::protocol::{encode_request, ErrorKind, Request, Response};
+use psql_server::server::{Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CONNECTIONS: usize = 64;
+const QUERIES_PER_CONNECTION: usize = 12;
+
+/// Runs a query, retrying on `Overloaded` per the backpressure contract.
+fn query_retrying(c: &mut Client, text: &str) -> Result<Response, ClientError> {
+    for _ in 0..200 {
+        match c.query(text)? {
+            Response::Overloaded { retry_after_ms, .. } => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms.max(1) as u64));
+            }
+            other => return Ok(other),
+        }
+    }
+    Err(ClientError::Wire(
+        "still overloaded after 200 retries".into(),
+    ))
+}
+
+#[test]
+fn sixty_four_connections_of_mixed_queries_with_concurrent_repack() {
+    let config = ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    // Establish ground truth on epoch 1. Repack republishes the same
+    // data, so these counts hold at every epoch.
+    let mut probe = Client::connect_timeout(addr, Duration::from_secs(30)).expect("probe");
+    let eastern = "select city, population from cities on us-map \
+                   at loc covered-by {82.5 +- 17.5, 25 +- 20} where population > 450000";
+    let juxtaposition = "select city, zone from cities, time-zones on us-map, time-zone-map \
+                         at cities.loc covered-by time-zones.loc";
+    let lakes = "select lake from lakes on lake-map at loc overlapping {60 +- 15, 35 +- 10}";
+    let zones = "select zone, hour-diff from time-zones";
+    let (_, r) = probe.query_expect_result(eastern).expect("ground truth");
+    let expect_eastern = r.len();
+    let (_, r) = probe
+        .query_expect_result(juxtaposition)
+        .expect("ground truth");
+    let expect_juxta = r.len();
+    assert_eq!(expect_juxta, 42);
+    let (_, r) = probe.query_expect_result(lakes).expect("ground truth");
+    let expect_lakes = r.len();
+    assert!(expect_lakes >= 2, "window should catch the Great Lakes");
+
+    let stop_admin = Arc::new(AtomicBool::new(false));
+    let admin = {
+        let stop = Arc::clone(&stop_admin);
+        std::thread::spawn(move || {
+            let mut c = Client::connect_timeout(addr, Duration::from_secs(30)).expect("admin");
+            let mut published = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                published = c.repack().expect("repack under load");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            published
+        })
+    };
+
+    let clients: Vec<_> = (0..CONNECTIONS)
+        .map(|n| {
+            std::thread::spawn(move || {
+                let mut c =
+                    Client::connect_timeout(addr, Duration::from_secs(30)).expect("connect");
+                let mut last_epoch = 0u64;
+                for i in 0..QUERIES_PER_CONNECTION {
+                    match (n + i) % 4 {
+                        0 => match query_retrying(&mut c, eastern).expect("eastern") {
+                            Response::Result { epoch, result, .. } => {
+                                assert_eq!(result.len(), expect_eastern, "conn {n} query {i}");
+                                assert!(epoch >= last_epoch, "epochs never go backwards");
+                                last_epoch = epoch;
+                            }
+                            other => panic!("conn {n}: expected result, got {other:?}"),
+                        },
+                        1 => match query_retrying(&mut c, juxtaposition).expect("juxta") {
+                            Response::Result { result, .. } => {
+                                assert_eq!(result.len(), expect_juxta, "conn {n} query {i}")
+                            }
+                            other => panic!("conn {n}: expected result, got {other:?}"),
+                        },
+                        2 => match query_retrying(&mut c, lakes).expect("lakes") {
+                            Response::Result { result, .. } => {
+                                assert_eq!(result.len(), expect_lakes, "conn {n} query {i}")
+                            }
+                            other => panic!("conn {n}: expected result, got {other:?}"),
+                        },
+                        _ => {
+                            // Mix in plain relational plus a typed error:
+                            // broken clients must not degrade the pool.
+                            match query_retrying(&mut c, zones).expect("zones") {
+                                Response::Result { result, .. } => assert_eq!(result.len(), 4),
+                                other => panic!("conn {n}: expected result, got {other:?}"),
+                            }
+                            match query_retrying(&mut c, "select broken from").expect("err") {
+                                Response::Error { kind, .. } => assert!(matches!(
+                                    kind,
+                                    ErrorKind::Parse | ErrorKind::Lex | ErrorKind::Semantic
+                                )),
+                                other => panic!("conn {n}: expected error, got {other:?}"),
+                            }
+                        }
+                    }
+                }
+                c.ping().expect("session healthy at the end");
+            })
+        })
+        .collect();
+
+    for (n, h) in clients.into_iter().enumerate() {
+        if let Err(e) = h.join() {
+            panic!("client thread {n} panicked: {e:?}");
+        }
+    }
+    stop_admin.store(true, Ordering::Relaxed);
+    let published = admin.join().expect("admin thread panicked");
+    assert!(published >= 2, "repack ran under load");
+
+    // Zero panics on the server side: contained worker panics would show
+    // up here as internal errors.
+    let stats = probe.stats().expect("stats");
+    assert!(stats.contains("\"internal_error\":0"), "{stats}");
+    assert!(stats.contains("\"queries\":"), "{stats}");
+    server.stop();
+}
+
+#[test]
+fn full_queue_answers_overloaded_with_retry_hint() {
+    // One worker, one queue slot: park the worker on a sleeping query,
+    // fill the slot, and every further pipelined query must bounce with
+    // `Overloaded` instead of blocking the session thread.
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config).expect("bind");
+    let mut c =
+        Client::connect_timeout(server.local_addr(), Duration::from_secs(10)).expect("connect");
+
+    // Pipeline raw frames: 1 occupies the worker, 2 occupies the queue,
+    // 3–8 find the queue full.
+    const FLOOD: u64 = 8;
+    for id in 1..=FLOOD {
+        let payload = encode_request(&Request::Query {
+            id,
+            timeout_ms: 2_000,
+            text: "#sleep 400 select city from cities".into(),
+        });
+        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(&payload);
+        c.send_raw(&frame).expect("pipeline");
+    }
+
+    let mut overloaded = 0;
+    let mut served = 0;
+    for _ in 0..FLOOD {
+        match c.read_response().expect("every request is answered") {
+            Response::Overloaded { retry_after_ms, .. } => {
+                assert!(retry_after_ms > 0, "retry hint must be actionable");
+                overloaded += 1;
+            }
+            Response::Result { .. } | Response::Timeout { .. } => served += 1,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(
+        overloaded >= FLOOD - 2,
+        "flood of {FLOOD} should mostly bounce, got {overloaded} overloaded / {served} served"
+    );
+    assert!(served >= 1, "the occupying query itself completes");
+
+    // After the flood drains the session is fine and stats counted it.
+    c.ping().expect("session survived the flood");
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"overloaded\":"), "{stats}");
+    server.stop();
+}
