@@ -1,4 +1,30 @@
 //! Axis-aligned rectangles — the paper's minimal bounding rectangles (MBRs).
+//!
+//! # Edge-touching semantics
+//!
+//! Rectangles are **closed sets**: they include their boundaries, and
+//! degenerate (zero-width/zero-height) rectangles are legal and represent
+//! points and axis-parallel segments.  Three predicates with deliberately
+//! different strengths live here:
+//!
+//! - [`Rect::intersects`] — shares *at least one point*.  Touching edges,
+//!   touching corners, and coincident degenerate rects all count.  This is
+//!   the paper's `INTERSECTS`, and it is the MBR-level meaning of PSQL's
+//!   `overlapping` operator.
+//! - [`Rect::disjoint`] — the exact complement of `intersects`; the
+//!   MBR-level meaning of PSQL's `disjoined`.
+//! - [`Rect::overlaps`] — *strictly stronger*: requires more than
+//!   boundary contact (positive intersection area, or a degenerate rect
+//!   interior to the other, or coincident degenerate rects).  Two rects
+//!   sharing only an edge or corner — including a point-rect sitting on
+//!   another rect's edge — intersect but do **not** overlap.
+//!   This predicate is a packing-quality metric (used to certify the
+//!   zero-overlap property of Theorem 3.2); it is **not** used to answer
+//!   PSQL `overlapping` queries.
+//!
+//! Every query layer (geom object predicates, R-tree search, the PSQL
+//! executor, and the differential oracle in `crates/oracle`) agrees on the
+//! closed-set pair `intersects`/`disjoint`.
 
 use crate::point::Point;
 use std::fmt;
@@ -207,12 +233,35 @@ impl Rect {
         other.covers(self)
     }
 
-    /// `true` if the rectangles intersect with positive-area overlap or one
-    /// covers the other — PSQL's `overlapping` (stronger than mere
-    /// boundary contact).
-    #[inline]
+    /// `true` if the rectangles share more than boundary contact —
+    /// strictly stronger than [`Rect::intersects`].
+    ///
+    /// Per axis, the shared span must have positive length, or collapse
+    /// to a value that is interior to (or the entirety of) *both* spans.
+    /// So: positive-area intersection overlaps; a degenerate rect
+    /// strictly inside another overlaps; coincident degenerate rects
+    /// overlap; but a point-rect on another rect's edge, or two rects
+    /// sharing only an edge or corner, merely intersect.
+    ///
+    /// This is a packing-quality metric (zero-overlap certification,
+    /// Theorem 3.2), **not** the predicate behind PSQL's `overlapping`
+    /// operator — that one is the closed-set [`Rect::intersects`]; see
+    /// the module-level semantics note.
     pub fn overlaps(&self, other: &Rect) -> bool {
-        self.intersection_area(other) > 0.0 || self.covers(other) || other.covers(self)
+        fn span_overlap(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> bool {
+            let lo = a_lo.max(b_lo);
+            let hi = a_hi.min(b_hi);
+            if lo > hi {
+                return false;
+            }
+            if lo < hi {
+                return true;
+            }
+            let interior = |l: f64, h: f64| l == h || (l < lo && lo < h);
+            interior(a_lo, a_hi) && interior(b_lo, b_hi)
+        }
+        span_overlap(self.min_x, self.max_x, other.min_x, other.max_x)
+            && span_overlap(self.min_y, self.max_y, other.min_y, other.max_y)
     }
 
     /// `true` if the point lies inside or on the boundary.
@@ -333,6 +382,29 @@ mod tests {
         assert_eq!(a.intersection_area(&b), 0.0);
         assert!(!a.overlaps(&b));
         assert!(!a.disjoint(&b));
+    }
+
+    #[test]
+    fn zero_area_rects_follow_closed_semantics() {
+        // A point-rect on another rect's edge: intersects, not overlaps.
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let p = r(2.0, 1.0, 2.0, 1.0);
+        assert!(a.intersects(&p));
+        assert!(!a.disjoint(&p));
+        assert!(!a.overlaps(&p));
+        // A point-rect strictly inside: covered, hence overlaps too.
+        let q = r(1.0, 1.0, 1.0, 1.0);
+        assert!(a.intersects(&q));
+        assert!(a.covers(&q));
+        assert!(a.overlaps(&q));
+        // Two coincident point-rects cover each other, so they overlap.
+        assert!(q.intersects(&q));
+        assert!(q.overlaps(&q));
+        // Corner-only contact: intersects, never overlaps.
+        let c = r(2.0, 2.0, 4.0, 4.0);
+        assert!(a.intersects(&c));
+        assert!(!a.overlaps(&c));
+        assert!(!a.disjoint(&c));
     }
 
     #[test]

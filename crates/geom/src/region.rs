@@ -132,11 +132,14 @@ impl Region {
         }
         let n = self.vertices.len();
         // Boundary check first so that edge/vertex hits are deterministic.
+        // `Segment::contains_point` is the exact orientation test — the
+        // distance-based check loses exact edge hits to projection
+        // rounding (e.g. a point on a vertical edge at a non-dyadic
+        // fraction of its length).
         for i in 0..n {
             let a = self.vertices[i];
             let b = self.vertices[(i + 1) % n];
-            let seg = crate::segment::Segment::new(a, b);
-            if seg.distance_sq_to_point(p) == 0.0 {
+            if crate::segment::Segment::new(a, b).contains_point(p) {
                 return true;
             }
         }

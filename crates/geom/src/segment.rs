@@ -95,6 +95,21 @@ impl Segment {
             || (d4 == 0.0 && on_segment(p2, q1, q2))
     }
 
+    /// `true` if `p` lies exactly on the segment (endpoints included).
+    ///
+    /// Uses the orientation test (`cross == 0` plus a bounding-box span
+    /// check), not [`distance_sq_to_point`](Segment::distance_sq_to_point):
+    /// the distance goes through a division and a projection whose
+    /// rounding can turn an exact hit into a tiny positive distance, and
+    /// boundary predicates must not miss exact hits.
+    pub fn contains_point(&self, p: Point) -> bool {
+        (self.b - self.a).cross(p - self.a) == 0.0
+            && p.x >= self.a.x.min(self.b.x)
+            && p.x <= self.a.x.max(self.b.x)
+            && p.y >= self.a.y.min(self.b.y)
+            && p.y <= self.a.y.max(self.b.y)
+    }
+
     /// Squared distance from a point to the segment.
     pub fn distance_sq_to_point(&self, p: Point) -> f64 {
         let ab = self.b - self.a;

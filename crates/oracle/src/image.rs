@@ -1,0 +1,185 @@
+//! A representation-neutral snapshot of an R-tree's structure.
+//!
+//! The workspace has three tree representations — the in-memory arena
+//! [`RTree`], the read-only page image [`DiskRTree`], and the updatable
+//! [`PagedRTree`] — and one set of structural invariants they must all
+//! satisfy. [`TreeImage`] is the common denominator: every variant is
+//! flattened into the same id → node map, and
+//! [`validate_deep`](crate::invariant::validate_deep) checks the
+//! invariants once, against the image, instead of three times against
+//! three APIs.
+
+use rtree_geom::Rect;
+use rtree_index::{Child, ItemId, RTree};
+use rtree_storage::codec::DiskNode;
+use rtree_storage::{BufferPool, DiskRTree, PagedRTree, StorageResult};
+use std::collections::HashMap;
+
+/// What one entry of an image node points at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ImageChild {
+    /// A child node, by image id.
+    Node(u64),
+    /// A data item (leaf entries only).
+    Item(ItemId),
+}
+
+/// One entry: bounding rectangle plus child reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageEntry {
+    /// The entry's MBR as stored in the parent.
+    pub mbr: Rect,
+    /// What it points at.
+    pub child: ImageChild,
+}
+
+/// One node of the flattened tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageNode {
+    /// Height above the leaves (0 = leaf), as recorded by the
+    /// representation.
+    pub level: u32,
+    /// The node's entries.
+    pub entries: Vec<ImageEntry>,
+}
+
+/// A flattened tree: everything `validate_deep` needs, decoupled from
+/// where the nodes came from.
+#[derive(Debug, Clone)]
+pub struct TreeImage {
+    /// All reachable nodes, keyed by representation-specific id
+    /// (arena index or page number).
+    pub nodes: HashMap<u64, ImageNode>,
+    /// Image id of the root node.
+    pub root: u64,
+    /// The depth the representation declares (root's expected level).
+    pub declared_depth: u32,
+    /// The item count the representation declares.
+    pub declared_len: usize,
+    /// Maximum entries per node (the branching factor `M`).
+    pub max_entries: usize,
+    /// Guttman's minimum fill `m` (checked only when asked).
+    pub min_entries: usize,
+}
+
+impl TreeImage {
+    /// Snapshots an in-memory [`RTree`] by walking from the root (freed
+    /// arena slots are invisible, exactly like unreferenced pages).
+    pub fn of_rtree(tree: &RTree) -> TreeImage {
+        let mut nodes = HashMap::new();
+        let mut stack = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.node(id);
+            let entries = node
+                .entries
+                .iter()
+                .map(|e| ImageEntry {
+                    mbr: e.mbr,
+                    child: match e.child {
+                        Child::Node(c) => {
+                            stack.push(c);
+                            ImageChild::Node(c.index() as u64)
+                        }
+                        Child::Item(item) => ImageChild::Item(item),
+                    },
+                })
+                .collect();
+            nodes.insert(
+                id.index() as u64,
+                ImageNode {
+                    level: node.level,
+                    entries,
+                },
+            );
+        }
+        TreeImage {
+            nodes,
+            root: tree.root().index() as u64,
+            declared_depth: tree.depth(),
+            declared_len: tree.len(),
+            max_entries: tree.config().max_entries,
+            min_entries: tree.config().min_entries,
+        }
+    }
+
+    /// Snapshots a read-only [`DiskRTree`]. The disk image does not
+    /// record its packing configuration, so the caller supplies the
+    /// `(max, min)` entry bounds the tree was built with.
+    pub fn of_disk_tree(
+        tree: &DiskRTree,
+        pool: &BufferPool<'_>,
+        max_entries: usize,
+        min_entries: usize,
+    ) -> StorageResult<TreeImage> {
+        Ok(from_disk_nodes(
+            tree.dump_nodes(pool)?,
+            tree.depth(),
+            tree.len(),
+            max_entries,
+            min_entries,
+        ))
+    }
+
+    /// Snapshots a [`PagedRTree`] — including one freshly reopened after
+    /// a crash, which is exactly when deep validation earns its keep.
+    pub fn of_paged_tree(tree: &PagedRTree<'_>) -> StorageResult<TreeImage> {
+        Ok(from_disk_nodes(
+            tree.dump_nodes()?,
+            tree.depth(),
+            tree.len(),
+            tree.config().max_entries,
+            tree.config().min_entries,
+        ))
+    }
+
+    /// Total leaf entries in the image (the item count actually present).
+    pub fn leaf_entry_count(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| n.level == 0)
+            .map(|n| n.entries.len())
+            .sum()
+    }
+}
+
+/// Converts a `dump_nodes` result (breadth-first from the root, so the
+/// first element is the root) into an image.
+fn from_disk_nodes(
+    dump: Vec<(rtree_storage::PageId, DiskNode)>,
+    depth: u32,
+    len: usize,
+    max_entries: usize,
+    min_entries: usize,
+) -> TreeImage {
+    let root = dump.first().map_or(0, |(pid, _)| pid.0 as u64);
+    let nodes = dump
+        .into_iter()
+        .map(|(pid, node)| {
+            let entries = (0..node.entries.len())
+                .map(|i| ImageEntry {
+                    mbr: node.entries[i].mbr,
+                    child: if node.is_leaf() {
+                        ImageChild::Item(node.child_item(i))
+                    } else {
+                        ImageChild::Node(node.child_page(i).0 as u64)
+                    },
+                })
+                .collect();
+            (
+                pid.0 as u64,
+                ImageNode {
+                    level: node.level,
+                    entries,
+                },
+            )
+        })
+        .collect();
+    TreeImage {
+        nodes,
+        root,
+        declared_depth: depth,
+        declared_len: len,
+        max_entries,
+        min_entries,
+    }
+}

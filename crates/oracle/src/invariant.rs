@@ -1,0 +1,307 @@
+//! Deep structural validation of a [`TreeImage`].
+//!
+//! Checks the full R-tree contract from outside the engine:
+//!
+//! 1. **Reachability** — every node is reachable from the root through
+//!    exactly one parent (no sharing, no orphans, no cycles).
+//! 2. **Uniform leaf depth** — levels decrease by exactly 1 along every
+//!    edge and every leaf sits at level 0, so all leaves are equally
+//!    deep ("the height-balanced property").
+//! 3. **MBR tightness** — each internal entry's rectangle equals the
+//!    exact MBR of its child's entries: minimal, not merely containing.
+//! 4. **Entry bounds** — no node exceeds `M`; optionally every non-root
+//!    node holds at least `m` (Guttman trees); optionally at most one
+//!    node per level is under-full (freshly packed trees, §3.3's "one
+//!    partially-filled node for leftover entries per level").
+//! 5. **Item accounting** — leaf entries sum to the declared length.
+
+use crate::image::{ImageChild, TreeImage};
+use rtree_geom::Rect;
+use std::collections::HashMap;
+
+/// Which optional invariants to enforce on top of the universal ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeepChecks {
+    /// Require Guttman's minimum fill `m` on every non-root node.
+    pub min_fill: bool,
+    /// Require packed fullness: per level, at most one node below `M`.
+    pub packed: bool,
+}
+
+impl DeepChecks {
+    /// The profile for a freshly packed tree: full nodes except at most
+    /// one leftover per level (which also implies nothing about `m`).
+    pub fn packed() -> DeepChecks {
+        DeepChecks {
+            min_fill: false,
+            packed: true,
+        }
+    }
+
+    /// The profile for a tree shaped by inserts/removes: only the
+    /// universal invariants (the engine deliberately allows under-full
+    /// nodes after condense).
+    pub fn dynamic() -> DeepChecks {
+        DeepChecks {
+            min_fill: false,
+            packed: false,
+        }
+    }
+}
+
+/// Validates every deep invariant of `img`, returning the first failure
+/// as a human-readable description.
+pub fn validate_deep(img: &TreeImage, checks: DeepChecks) -> Result<(), String> {
+    let root = img
+        .nodes
+        .get(&img.root)
+        .ok_or_else(|| format!("root node {} missing from image", img.root))?;
+
+    if root.level != img.declared_depth {
+        return Err(format!(
+            "root level {} != declared depth {}",
+            root.level, img.declared_depth
+        ));
+    }
+
+    // Parent reference counts: exactly one per non-root node.
+    let mut parents: HashMap<u64, u64> = HashMap::new();
+    for (&id, node) in &img.nodes {
+        for e in &node.entries {
+            match e.child {
+                ImageChild::Node(c) => {
+                    if node.level == 0 {
+                        return Err(format!("leaf node {id} has a node child"));
+                    }
+                    *parents.entry(c).or_insert(0) += 1;
+                }
+                ImageChild::Item(_) => {
+                    if node.level != 0 {
+                        return Err(format!(
+                            "internal node {id} (level {}) has an item child",
+                            node.level
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for &id in img.nodes.keys() {
+        let refs = parents.get(&id).copied().unwrap_or(0);
+        if id == img.root {
+            if refs != 0 {
+                return Err(format!("root {id} is referenced by {refs} parent(s)"));
+            }
+        } else if refs == 0 {
+            return Err(format!("node {id} is unreachable (no parent reference)"));
+        } else if refs > 1 {
+            return Err(format!("node {id} is shared by {refs} parents"));
+        }
+    }
+    for &c in parents.keys() {
+        if !img.nodes.contains_key(&c) {
+            return Err(format!("entry references missing node {c}"));
+        }
+    }
+
+    // Per-node checks: level stepping, MBR tightness, entry bounds.
+    let mut underfull_per_level: HashMap<u32, usize> = HashMap::new();
+    for (&id, node) in &img.nodes {
+        if node.entries.len() > img.max_entries {
+            return Err(format!(
+                "node {id} holds {} entries > M = {}",
+                node.entries.len(),
+                img.max_entries
+            ));
+        }
+        if node.entries.is_empty() && id != img.root {
+            return Err(format!("non-root node {id} is empty"));
+        }
+        if checks.min_fill && id != img.root && node.entries.len() < img.min_entries {
+            return Err(format!(
+                "node {id} holds {} entries < m = {}",
+                node.entries.len(),
+                img.min_entries
+            ));
+        }
+        if node.entries.len() < img.max_entries {
+            *underfull_per_level.entry(node.level).or_insert(0) += 1;
+        }
+        for (i, e) in node.entries.iter().enumerate() {
+            if let ImageChild::Node(c) = e.child {
+                let child = &img.nodes[&c];
+                if child.level + 1 != node.level {
+                    return Err(format!(
+                        "node {id} (level {}) points at node {c} (level {}); \
+                         levels must step by exactly 1",
+                        node.level, child.level
+                    ));
+                }
+                let tight = Rect::mbr_of_rects(child.entries.iter().map(|ce| ce.mbr));
+                match tight {
+                    Some(t) if t == e.mbr => {}
+                    Some(t) => {
+                        return Err(format!(
+                            "node {id} entry {i}: stored MBR {:?} != exact child MBR {t:?} \
+                             (tightness violated)",
+                            e.mbr
+                        ));
+                    }
+                    None => {
+                        return Err(format!("node {id} entry {i} points at empty node {c}"));
+                    }
+                }
+            }
+        }
+    }
+
+    if checks.packed {
+        for (&level, &count) in &underfull_per_level {
+            if count > 1 {
+                return Err(format!(
+                    "level {level} has {count} under-full nodes; a packed tree \
+                     may leave at most one leftover node per level"
+                ));
+            }
+        }
+    }
+
+    // Item accounting.
+    let items = img.leaf_entry_count();
+    if items != img.declared_len {
+        return Err(format!(
+            "leaf entries sum to {items} but the tree declares len {}",
+            img.declared_len
+        ));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{ImageEntry, ImageNode, TreeImage};
+    use packed_rtree_core::pack;
+    use rtree_geom::Point;
+    use rtree_index::{ItemId, RTree, RTreeConfig};
+
+    fn items(n: u64) -> Vec<(Rect, ItemId)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 13) as f64;
+                let y = (i / 13) as f64;
+                (Rect::from_point(Point::new(x, y)), ItemId(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_tree_passes_packed_profile() {
+        let tree = pack(items(200), RTreeConfig::PAPER);
+        let img = TreeImage::of_rtree(&tree);
+        validate_deep(&img, DeepChecks::packed()).unwrap();
+    }
+
+    #[test]
+    fn dynamic_tree_passes_after_inserts_and_removes() {
+        let mut tree = RTree::new(RTreeConfig::PAPER);
+        let data = items(120);
+        for &(r, id) in &data {
+            tree.insert(r, id);
+        }
+        for &(r, id) in data.iter().step_by(3) {
+            assert!(tree.remove(r, id));
+            let img = TreeImage::of_rtree(&tree);
+            validate_deep(&img, DeepChecks::dynamic()).unwrap();
+        }
+    }
+
+    #[test]
+    fn detects_loose_mbr() {
+        let tree = pack(items(40), RTreeConfig::PAPER);
+        let mut img = TreeImage::of_rtree(&tree);
+        // Inflate one internal entry's stored MBR: still contains the
+        // child, no longer tight.
+        let internal = img
+            .nodes
+            .values_mut()
+            .find(|n| n.level > 0)
+            .expect("tree has internal nodes");
+        internal.entries[0].mbr = internal.entries[0]
+            .mbr
+            .union(&Rect::new(-5.0, -5.0, -4.0, -4.0));
+        let err = validate_deep(&img, DeepChecks::packed()).unwrap_err();
+        assert!(err.contains("tightness"), "{err}");
+    }
+
+    #[test]
+    fn detects_non_uniform_leaf_depth() {
+        let tree = pack(items(40), RTreeConfig::PAPER);
+        let mut img = TreeImage::of_rtree(&tree);
+        // Claim a leaf is one level higher: the level-stepping rule
+        // (which is what makes leaf depth uniform) must object.
+        let leaf_id = *img
+            .nodes
+            .iter()
+            .find(|(_, n)| n.level == 0)
+            .map(|(id, _)| id)
+            .expect("has leaves");
+        img.nodes.get_mut(&leaf_id).expect("present").level = 1;
+        assert!(validate_deep(&img, DeepChecks::packed()).is_err());
+    }
+
+    #[test]
+    fn detects_shared_node_and_overflow() {
+        let tree = pack(items(60), RTreeConfig::PAPER);
+        let mut img = TreeImage::of_rtree(&tree);
+        let root = img.root;
+        let first_child = {
+            let root_node = &img.nodes[&root];
+            match root_node.entries[0].child {
+                ImageChild::Node(c) => c,
+                ImageChild::Item(_) => panic!("root of 60 items is internal"),
+            }
+        };
+        // Duplicate the first entry: the child gains a second parent (and
+        // the root may overflow M, either error is a correct rejection).
+        let root_node = img.nodes.get_mut(&root).expect("root present");
+        let dup = root_node.entries[0];
+        root_node.entries.push(dup);
+        let err = validate_deep(&img, DeepChecks::packed()).unwrap_err();
+        assert!(
+            err.contains("shared") || err.contains("> M"),
+            "unexpected error for duplicated child {first_child}: {err}"
+        );
+    }
+
+    #[test]
+    fn detects_item_count_mismatch() {
+        let tree = pack(items(40), RTreeConfig::PAPER);
+        let mut img = TreeImage::of_rtree(&tree);
+        img.declared_len = 39;
+        let err = validate_deep(&img, DeepChecks::packed()).unwrap_err();
+        assert!(err.contains("declares len"), "{err}");
+    }
+
+    #[test]
+    fn empty_tree_is_valid() {
+        let img = TreeImage {
+            nodes: [(
+                0,
+                ImageNode {
+                    level: 0,
+                    entries: Vec::<ImageEntry>::new(),
+                },
+            )]
+            .into_iter()
+            .collect(),
+            root: 0,
+            declared_depth: 0,
+            declared_len: 0,
+            max_entries: 4,
+            min_entries: 2,
+        };
+        validate_deep(&img, DeepChecks::dynamic()).unwrap();
+    }
+}

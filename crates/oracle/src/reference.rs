@@ -1,0 +1,300 @@
+//! Brute-force reference implementations.
+//!
+//! Each function answers a query by scanning every item — no tree, no
+//! pruning, no shared code with the engine's traversals beyond the
+//! geometry predicates deliberately under test. The engine must agree
+//! with these on every input.
+
+use psql::SpatialOp;
+use rtree_geom::{Point, Rect, SpatialObject};
+use rtree_index::{Child, ItemId, NodeId, RTree};
+
+// ---------------------------------------------------------------------
+// Interval-arithmetic ground truth for the rectangle predicates.
+//
+// Written against the raw coordinates, independently of `Rect`'s own
+// methods, so a sign slip or strict-vs-inclusive mix-up in `Rect` cannot
+// hide by appearing on both sides of the comparison. Closed-set
+// semantics: rectangles (including zero-area ones) own their boundary.
+// ---------------------------------------------------------------------
+
+fn spans_meet(a_lo: f64, a_hi: f64, b_lo: f64, b_hi: f64) -> bool {
+    // Two closed intervals share a point iff neither is strictly past
+    // the other.
+    !(a_hi < b_lo || b_hi < a_lo)
+}
+
+fn span_inside(inner_lo: f64, inner_hi: f64, outer_lo: f64, outer_hi: f64) -> bool {
+    outer_lo <= inner_lo && inner_hi <= outer_hi
+}
+
+/// Ground truth for [`Rect::intersects`]: the closed rectangles share at
+/// least one point (boundary contact counts).
+pub fn ref_intersects(a: &Rect, b: &Rect) -> bool {
+    spans_meet(a.min_x, a.max_x, b.min_x, b.max_x) && spans_meet(a.min_y, a.max_y, b.min_y, b.max_y)
+}
+
+/// Ground truth for [`Rect::covers`]: every point of `b` lies in `a`.
+pub fn ref_covers(a: &Rect, b: &Rect) -> bool {
+    span_inside(b.min_x, b.max_x, a.min_x, a.max_x)
+        && span_inside(b.min_y, b.max_y, a.min_y, a.max_y)
+}
+
+/// Ground truth for [`Rect::disjoint`]: the exact complement of
+/// [`ref_intersects`].
+pub fn ref_disjoint(a: &Rect, b: &Rect) -> bool {
+    !ref_intersects(a, b)
+}
+
+// ---------------------------------------------------------------------
+// Linear-scan query references.
+// ---------------------------------------------------------------------
+
+/// Reference window search over raw `(mbr, id)` items: `within = true`
+/// reproduces the paper's `WITHIN` leaf test (`covered-by`), `false` the
+/// intersection semantics. Results are in item order.
+pub fn window_items(items: &[(Rect, ItemId)], window: &Rect, within: bool) -> Vec<ItemId> {
+    items
+        .iter()
+        .filter(|(mbr, _)| {
+            if within {
+                ref_covers(window, mbr)
+            } else {
+                ref_intersects(mbr, window)
+            }
+        })
+        .map(|&(_, id)| id)
+        .collect()
+}
+
+/// Reference point query: every item whose MBR contains `p`.
+pub fn point_items(items: &[(Rect, ItemId)], p: Point) -> Vec<ItemId> {
+    let probe = Rect::from_point(p);
+    items
+        .iter()
+        .filter(|(mbr, _)| ref_intersects(mbr, &probe))
+        .map(|&(_, id)| id)
+        .collect()
+}
+
+/// Reference evaluation of a PSQL spatial operator between every object
+/// of a picture and a constant window: ids (by position, matching
+/// `Picture` object ids) of objects satisfying `obj op window`.
+pub fn window_objects(objects: &[SpatialObject], op: SpatialOp, window: &Rect) -> Vec<u64> {
+    objects
+        .iter()
+        .enumerate()
+        .filter(|(_, obj)| op.eval_window(obj, window))
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+/// Reference k-nearest-neighbour: the `k` smallest `min_distance_sq`
+/// values from `p` to the item MBRs, ascending. Only distances are
+/// returned because ties at the cut-off make the identity of the k-th
+/// neighbour legitimately ambiguous.
+pub fn nearest_distances(items: &[(Rect, ItemId)], p: Point, k: usize) -> Vec<f64> {
+    let mut d: Vec<f64> = items
+        .iter()
+        .map(|(mbr, _)| mbr.min_distance_sq(p))
+        .collect();
+    d.sort_by(f64::total_cmp);
+    d.truncate(k);
+    d
+}
+
+/// Reference juxtaposition join at the MBR level, matching the contract
+/// of `psql::join::rtree_join`: pairs passing `intersects` +
+/// [`SpatialOp::mbr_filter`], or all MBR-disjoint pairs for `Disjoined`.
+/// Pairs are sorted for set comparison.
+pub fn join_pairs(
+    a: &[(Rect, ItemId)],
+    b: &[(Rect, ItemId)],
+    op: SpatialOp,
+) -> Vec<(ItemId, ItemId)> {
+    let mut out = Vec::new();
+    for &(ra, ia) in a {
+        for &(rb, ib) in b {
+            let keep = if op == SpatialOp::Disjoined {
+                ref_disjoint(&ra, &rb)
+            } else {
+                ref_intersects(&ra, &rb) && op.mbr_filter(&ra, &rb)
+            };
+            if keep {
+                out.push((ia, ib));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(ItemId(x), ItemId(y))| (x, y));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Reference recursive SEARCH: the paper's §3.1 algorithm written as the
+// obvious recursion, with its own visit counters. The engine's iterative
+// traversal must report identical results *and* identical counters —
+// this is what keeps `avg_nodes_visited` (the paper's Table 1 metric)
+// honest.
+// ---------------------------------------------------------------------
+
+/// Node-visit counters accumulated by the recursive references, mirroring
+/// the fields of [`rtree_index::SearchStats`] for one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalCount {
+    /// Total nodes visited (the root always counts).
+    pub nodes_visited: u64,
+    /// Leaf nodes among them.
+    pub leaf_nodes_visited: u64,
+    /// Leaf entries reported.
+    pub items_reported: u64,
+}
+
+/// The paper's `SEARCH` as a literal recursion: descend every entry whose
+/// MBR `INTERSECTS` the window; at the leaves report entries `WITHIN`
+/// (`within = true`) or intersecting (`within = false`).
+pub fn recursive_window_search(
+    tree: &RTree,
+    window: &Rect,
+    within: bool,
+) -> (Vec<ItemId>, TraversalCount) {
+    let mut out = Vec::new();
+    let mut count = TraversalCount::default();
+    recurse_window(tree, tree.root(), window, within, &mut out, &mut count);
+    (out, count)
+}
+
+fn recurse_window(
+    tree: &RTree,
+    id: NodeId,
+    window: &Rect,
+    within: bool,
+    out: &mut Vec<ItemId>,
+    count: &mut TraversalCount,
+) {
+    let node = tree.node(id);
+    count.nodes_visited += 1;
+    if node.is_leaf() {
+        count.leaf_nodes_visited += 1;
+        for e in &node.entries {
+            let hit = if within {
+                e.mbr.covered_by(window)
+            } else {
+                e.mbr.intersects(window)
+            };
+            if hit {
+                count.items_reported += 1;
+                out.push(e.child.expect_item());
+            }
+        }
+    } else {
+        for e in &node.entries {
+            if e.mbr.intersects(window) {
+                recurse_window(tree, e.child.expect_node(), window, within, out, count);
+            }
+        }
+    }
+}
+
+/// The Table 1 point query as a literal recursion: descend (and report)
+/// only entries whose MBR contains the point.
+pub fn recursive_point_query(tree: &RTree, p: Point) -> (Vec<ItemId>, TraversalCount) {
+    let mut out = Vec::new();
+    let mut count = TraversalCount::default();
+    recurse_point(tree, tree.root(), p, &mut out, &mut count);
+    (out, count)
+}
+
+fn recurse_point(
+    tree: &RTree,
+    id: NodeId,
+    p: Point,
+    out: &mut Vec<ItemId>,
+    count: &mut TraversalCount,
+) {
+    let node = tree.node(id);
+    count.nodes_visited += 1;
+    if node.is_leaf() {
+        count.leaf_nodes_visited += 1;
+    }
+    for e in &node.entries {
+        if e.mbr.contains_point(p) {
+            match e.child {
+                Child::Node(c) => recurse_point(tree, c, p, out, count),
+                Child::Item(item) => {
+                    count.items_reported += 1;
+                    out.push(item);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packed_rtree_core::pack;
+    use rtree_index::{RTreeConfig, SearchStats};
+
+    fn grid_items(n: u64) -> Vec<(Rect, ItemId)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (Rect::new(x, y, x + 0.5, y + 0.5), ItemId(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interval_references_agree_with_rect() {
+        let cases = [
+            (Rect::new(0.0, 0.0, 2.0, 2.0), Rect::new(2.0, 0.0, 4.0, 2.0)), // edge touch
+            (Rect::new(0.0, 0.0, 2.0, 2.0), Rect::new(2.0, 2.0, 4.0, 4.0)), // corner touch
+            (Rect::new(0.0, 0.0, 2.0, 2.0), Rect::new(3.0, 3.0, 4.0, 4.0)), // apart
+            (Rect::new(0.0, 0.0, 4.0, 4.0), Rect::new(1.0, 1.0, 2.0, 2.0)), // nested
+            (Rect::new(1.0, 1.0, 1.0, 1.0), Rect::new(1.0, 0.0, 1.0, 2.0)), // degenerate
+        ];
+        for (a, b) in cases {
+            assert_eq!(ref_intersects(&a, &b), a.intersects(&b), "{a:?} {b:?}");
+            assert_eq!(ref_disjoint(&a, &b), a.disjoint(&b), "{a:?} {b:?}");
+            assert_eq!(ref_covers(&a, &b), a.covers(&b), "{a:?} {b:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_search_matches_engine_results_and_counters() {
+        let items = grid_items(100);
+        let tree = pack(items.clone(), RTreeConfig::PAPER);
+        let window = Rect::new(1.25, 1.25, 6.75, 6.75);
+        for within in [true, false] {
+            let mut stats = SearchStats::default();
+            let engine = if within {
+                tree.search_within(&window, &mut stats)
+            } else {
+                tree.search_intersecting(&window, &mut stats)
+            };
+            let (reference, count) = recursive_window_search(&tree, &window, within);
+            // The iterative engine pops its stack LIFO, so it reports the
+            // same items in a different order than the recursion.
+            let mut engine_sorted = engine.clone();
+            engine_sorted.sort_unstable_by_key(|&ItemId(i)| i);
+            let mut reference_sorted = reference.clone();
+            reference_sorted.sort_unstable_by_key(|&ItemId(i)| i);
+            assert_eq!(engine_sorted, reference_sorted, "within={within}");
+            assert_eq!(stats.nodes_visited, count.nodes_visited);
+            assert_eq!(stats.leaf_nodes_visited, count.leaf_nodes_visited);
+            assert_eq!(stats.items_reported, count.items_reported);
+            let mut expect = window_items(&items, &window, within);
+            expect.sort_unstable_by_key(|&ItemId(i)| i);
+            assert_eq!(engine_sorted, expect);
+        }
+    }
+
+    #[test]
+    fn nearest_distances_are_sorted_prefix() {
+        let items = grid_items(30);
+        let d = nearest_distances(&items, Point::new(3.3, 1.1), 5);
+        assert_eq!(d.len(), 5);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

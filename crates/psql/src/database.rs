@@ -128,7 +128,9 @@ impl PictorialDatabase {
             .relation(relation)?
             .schema()
             .index_of(column)
-            .expect("column checked above");
+            .ok_or_else(|| {
+                PsqlError::Internal(format!("column {column:?} vanished from {relation:?}"))
+            })?;
         let mut map: HashMap<u64, Vec<TupleId>> = HashMap::new();
         for (tid, tuple) in self.catalog.relation(relation)?.scan() {
             if let Some(obj) = tuple[col_idx].as_pointer() {

@@ -15,6 +15,9 @@ pub enum PsqlError {
     Semantic(String),
     /// Error from the relational substrate.
     Relational(RelationalError),
+    /// Engine invariant violated at execution time — a bug in the
+    /// planner/executor contract, reported instead of panicking.
+    Internal(String),
 }
 
 impl fmt::Display for PsqlError {
@@ -24,6 +27,7 @@ impl fmt::Display for PsqlError {
             PsqlError::Parse(m) => write!(f, "parse error: {m}"),
             PsqlError::Semantic(m) => write!(f, "semantic error: {m}"),
             PsqlError::Relational(e) => write!(f, "relational error: {e}"),
+            PsqlError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

@@ -205,10 +205,11 @@ fn candidate_rows(
             let tids: Vec<TupleId> = match &plan.access {
                 Access::FullScan => rel.scan().map(|(tid, _)| tid).collect(),
                 Access::IndexRange { column, lo, hi } => {
-                    let index = db
-                        .catalog()
-                        .index(rel_name, column)
-                        .expect("planner verified index");
+                    let index = db.catalog().index(rel_name, column).ok_or_else(|| {
+                        PsqlError::Internal(format!(
+                            "planner chose missing index {rel_name}.{column}"
+                        ))
+                    })?;
                     index
                         .range(lo.as_ref(), hi.as_ref())
                         .into_iter()
@@ -226,7 +227,7 @@ fn candidate_rows(
         } => {
             let pic = db.picture(picture)?;
             let objs = pic.search_window_fast(*op, window, scratch);
-            Ok(objects_to_rows(db, plan, *column, &objs))
+            objects_to_rows(db, plan, *column, &objs)
         }
         SpatialStrategy::Nested {
             column,
@@ -272,7 +273,9 @@ fn candidate_rows(
                 for cand in
                     pic.search_window_fast(SpatialOp::Overlapping, &inner_obj.mbr(), scratch)
                 {
-                    let outer_obj = pic.object(cand).expect("candidate exists");
+                    let outer_obj = pic.object(cand).ok_or_else(|| {
+                        PsqlError::Internal(format!("search returned unknown object {cand}"))
+                    })?;
                     if op.eval_objects(outer_obj, inner_obj) && dedupe.insert(cand) {
                         objs.push(cand);
                     }
@@ -280,14 +283,16 @@ fn candidate_rows(
                 // Disjointness cannot be found via overlap candidates.
                 if *op == SpatialOp::Disjoined {
                     for cand in pic.object_ids() {
-                        let outer_obj = pic.object(cand).expect("id in range");
+                        let outer_obj = pic.object(cand).ok_or_else(|| {
+                            PsqlError::Internal(format!("object id {cand} out of range"))
+                        })?;
                         if op.eval_objects(outer_obj, inner_obj) && dedupe.insert(cand) {
                             objs.push(cand);
                         }
                     }
                 }
             }
-            Ok(objects_to_rows(db, plan, *column, &objs))
+            objects_to_rows(db, plan, *column, &objs)
         }
         SpatialStrategy::Juxtapose {
             left,
@@ -302,8 +307,12 @@ fn candidate_rows(
             let pairs = rtree_join(lp.tree(), rp.tree(), *op, &mut join_stats);
             let mut rows = Vec::new();
             for (ItemId(lo), ItemId(ro)) in pairs {
-                let lobj = lp.object(lo).expect("left object");
-                let robj = rp.object(ro).expect("right object");
+                let lobj = lp.object(lo).ok_or_else(|| {
+                    PsqlError::Internal(format!("join produced unknown left object {lo}"))
+                })?;
+                let robj = rp.object(ro).ok_or_else(|| {
+                    PsqlError::Internal(format!("join produced unknown right object {ro}"))
+                })?;
                 if !op.eval_objects(lobj, robj) {
                     continue;
                 }
@@ -333,16 +342,16 @@ fn objects_to_rows(
     plan: &Plan,
     column: ResolvedColumn,
     objs: &[u64],
-) -> Vec<Vec<TupleId>> {
+) -> Result<Vec<Vec<TupleId>>, PsqlError> {
     let rel_name = &plan.relations[column.rel];
-    let col_name = loc_column_name(db, rel_name, column).expect("planner verified");
+    let col_name = loc_column_name(db, rel_name, column)?;
     let mut rows = Vec::new();
     for &obj in objs {
         for &tid in db.tuples_of_object(rel_name, &col_name, obj) {
             rows.push(vec![tid]);
         }
     }
-    rows
+    Ok(rows)
 }
 
 fn loc_column_name(

@@ -51,6 +51,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code reports typed errors instead of panicking; unit tests
+// (cfg(test)) may still unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ast;
 pub mod database;

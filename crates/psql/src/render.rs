@@ -33,7 +33,9 @@ pub fn render(picture: &Picture, highlights: &[Highlight], width: usize, height:
             if is_hi != pass {
                 continue;
             }
-            let obj = picture.object(id).expect("id in range");
+            let Some(obj) = picture.object(id) else {
+                continue;
+            };
             draw_object(&mut grid, &frame, obj, is_hi, width, height);
         }
     }
@@ -42,7 +44,9 @@ pub fn render(picture: &Picture, highlights: &[Highlight], width: usize, height:
         if !highlighted.contains(&id) {
             continue;
         }
-        let obj = picture.object(id).expect("id in range");
+        let Some(obj) = picture.object(id) else {
+            continue;
+        };
         if let Some(label) = picture.label(id) {
             let (cx, cy) = to_cell(&frame, obj.representative(), width, height);
             write_label(&mut grid, cx + 2, cy, label);

@@ -4,6 +4,22 @@
 //! area specifications … and return true or false depending on whether or
 //! not the two argument locations satisfy the corresponding spatial
 //! relation on the picture."
+//!
+//! # Edge-touching semantics
+//!
+//! Every PSQL operator is a *closed-set* predicate: locations include
+//! their boundaries, so two locations that share only a boundary point
+//! (a point on a region's edge, two rectangles sharing an edge or a
+//! corner, a zero-area rect sitting on another's border) are
+//! `overlapping` and therefore *not* `disjoined`.  `disjoined` is the
+//! exact complement of `overlapping` for every operand class.  This
+//! matches [`rtree_geom::Rect::intersects`]/[`rtree_geom::Rect::disjoint`]
+//! and the closed window predicates on [`SpatialObject`]; it is *not*
+//! the positive-area notion measured by [`rtree_geom::Rect::overlaps`],
+//! which exists only as a packing-quality metric (see the semantics
+//! note in `rtree_geom::rect`).  The differential oracle
+//! (`crates/oracle`) checks engine and reference against this single
+//! definition.
 
 use rtree_geom::{Rect, SpatialObject};
 
@@ -14,10 +30,12 @@ pub enum SpatialOp {
     Covering,
     /// `loc1 covered-by loc2`: loc1 lies entirely within loc2.
     CoveredBy,
-    /// `loc1 overlapping loc2`: the locations share interior area (or one
-    /// contains the other).
+    /// `loc1 overlapping loc2`: the locations share at least one point
+    /// (closed sets — boundary contact counts, and one containing the
+    /// other counts).
     Overlapping,
-    /// `loc1 disjoined loc2`: the locations share no point.
+    /// `loc1 disjoined loc2`: the locations share no point; the exact
+    /// complement of [`SpatialOp::Overlapping`].
     Disjoined,
 }
 
@@ -37,13 +55,23 @@ impl SpatialOp {
     pub fn eval_window(self, obj: &SpatialObject, window: &Rect) -> bool {
         match self {
             SpatialOp::CoveredBy => obj.within_window(window),
+            // `obj covering window` holds iff every point of the window
+            // lies in the object. The window is the convex hull of its
+            // corners and all three object classes are convex, so corner
+            // containment is exact for points and segments and for
+            // convex (e.g. rectangular) regions.
             SpatialOp::Covering => match obj {
-                // Only regions can cover a window with positive area.
                 SpatialObject::Region(r) => {
                     r.mbr().covers(window) && window.corners().iter().all(|&c| r.contains_point(c))
                 }
-                SpatialObject::Point(p) => window.is_degenerate() && window.contains_point(*p),
-                SpatialObject::Segment(_) => false,
+                // A point covers only the window that *is* that point
+                // (all corners coincide with it) — never a window with a
+                // positive-length side.
+                SpatialObject::Point(p) => window.corners().iter().all(|&c| c == *p),
+                // A segment covers a degenerate window lying along it: a
+                // point on the segment, or a zero-width/zero-height
+                // window whose corners are all on the segment.
+                SpatialObject::Segment(s) => window.corners().iter().all(|&c| s.contains_point(c)),
             },
             SpatialOp::Overlapping => obj.intersects_window(window),
             SpatialOp::Disjoined => !obj.intersects_window(window),
@@ -73,7 +101,10 @@ impl SpatialOp {
                     a.mbr().intersects(&region.mbr())
                         && SpatialObject::Region(region.clone()).intersects_window(&a.mbr())
                 }
-                _ => a.mbr().overlaps(&b.mbr()) || a.mbr().intersects(&b.mbr()),
+                // Closed-set semantics: boundary contact counts, so the
+                // MBR test is plain `intersects`, never the positive-area
+                // `Rect::overlaps`.
+                _ => a.mbr().intersects(&b.mbr()),
             },
             SpatialOp::Disjoined => !SpatialOp::Overlapping.eval_objects(a, b),
         }
@@ -169,6 +200,60 @@ mod tests {
         assert!(SpatialOp::Overlapping.eval_objects(&small, &big));
         assert!(SpatialOp::Disjoined.eval_objects(&small, &apart));
         assert!(!SpatialOp::CoveredBy.eval_objects(&big, &small));
+    }
+
+    #[test]
+    fn edge_touching_objects_overlap_and_are_not_disjoined() {
+        // Rect regions sharing only an edge.
+        let left = region(0.0, 0.0, 5.0, 5.0);
+        let right = region(5.0, 0.0, 10.0, 5.0);
+        assert!(SpatialOp::Overlapping.eval_objects(&left, &right));
+        assert!(!SpatialOp::Disjoined.eval_objects(&left, &right));
+        // Rect regions sharing only a corner.
+        let corner = region(5.0, 5.0, 10.0, 10.0);
+        assert!(SpatialOp::Overlapping.eval_objects(&left, &corner));
+        assert!(!SpatialOp::Disjoined.eval_objects(&left, &corner));
+        // A point on a region's boundary (zero-area MBR touching an edge).
+        let on_edge = point(5.0, 2.5);
+        assert!(SpatialOp::Overlapping.eval_objects(&on_edge, &left));
+        assert!(SpatialOp::Overlapping.eval_objects(&left, &on_edge));
+        assert!(!SpatialOp::Disjoined.eval_objects(&on_edge, &left));
+        // Two coincident points: zero-area vs zero-area.
+        assert!(SpatialOp::Overlapping.eval_objects(&point(1.0, 1.0), &point(1.0, 1.0)));
+        assert!(SpatialOp::Disjoined.eval_objects(&point(1.0, 1.0), &point(1.0, 2.0)));
+    }
+
+    #[test]
+    fn edge_touching_window_semantics_match_objects() {
+        let w = Rect::new(0.0, 0.0, 5.0, 5.0);
+        // Object touching the window's right edge only.
+        let touching = region(5.0, 1.0, 8.0, 4.0);
+        assert!(SpatialOp::Overlapping.eval_window(&touching, &w));
+        assert!(!SpatialOp::Disjoined.eval_window(&touching, &w));
+        // Point exactly on the window corner.
+        assert!(SpatialOp::Overlapping.eval_window(&point(5.0, 5.0), &w));
+        assert!(!SpatialOp::Disjoined.eval_window(&point(5.0, 5.0), &w));
+    }
+
+    #[test]
+    fn disjoined_is_exact_complement_of_overlapping() {
+        let objs = [
+            point(0.0, 0.0),
+            point(5.0, 5.0),
+            region(0.0, 0.0, 5.0, 5.0),
+            region(5.0, 5.0, 9.0, 9.0),
+            region(2.0, 2.0, 3.0, 3.0),
+            SpatialObject::Segment(Segment::new(Point::new(0.0, 5.0), Point::new(5.0, 0.0))),
+        ];
+        for a in &objs {
+            for b in &objs {
+                assert_ne!(
+                    SpatialOp::Overlapping.eval_objects(a, b),
+                    SpatialOp::Disjoined.eval_objects(a, b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! The in-crate `condense_orphan_stress_randomized` scenario re-run as
+//! an integration test with the external deep validator from
+//! `crates/oracle` after every mutation: the unit test checks the tree's
+//! own `assert_valid`, this one cross-examines the same CondenseTree
+//! edge cases (orphan re-attachment, cascading eliminations, duplicate
+//! rectangles, root shortening) with an independently written invariant
+//! checker plus a linear-scan search differential.
+
+use rtree_geom::{Point, Rect};
+use rtree_index::{ItemId, RTree, RTreeConfig, SearchStats, SplitPolicy};
+use rtree_oracle::{reference, validate_deep, DeepChecks, TreeImage};
+
+fn pt(x: f64, y: f64) -> Rect {
+    Rect::from_point(Point::new(x, y))
+}
+
+#[test]
+fn condense_orphan_stress_validates_deep() {
+    let configs = [
+        RTreeConfig::new(3, 1, SplitPolicy::Linear),
+        RTreeConfig::new(4, 2, SplitPolicy::Quadratic),
+        RTreeConfig::new(5, 2, SplitPolicy::Exhaustive),
+        RTreeConfig::PAPER,
+    ];
+    for &seed in &[3u64, 17, 1985] {
+        for config in configs {
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s >> 33
+            };
+            let ctx = format!("seed {seed}, config {config:?}");
+            let mut t = RTree::new(config);
+            let mut live: Vec<(Rect, ItemId)> = Vec::new();
+            let mut next_id = 0u64;
+            for step in 0..400 {
+                let insert_pct = if step < 170 { 65 } else { 25 };
+                if live.is_empty() || next() % 100 < insert_pct {
+                    let rect = if !live.is_empty() && next() % 4 == 0 {
+                        live[next() as usize % live.len()].0
+                    } else {
+                        pt((next() % 1000) as f64, (next() % 1000) as f64)
+                    };
+                    let id = ItemId(next_id);
+                    next_id += 1;
+                    t.insert(rect, id);
+                    live.push((rect, id));
+                } else {
+                    let (rect, id) = live.swap_remove(next() as usize % live.len());
+                    assert!(t.remove(rect, id), "{ctx}: step {step}: {id:?} missing");
+                    validate_deep(&TreeImage::of_rtree(&t), DeepChecks::dynamic())
+                        .unwrap_or_else(|e| panic!("{ctx}: step {step}: {e}"));
+                }
+                if step % 100 == 99 {
+                    let w = Rect::new(100.0, 100.0, 700.0, 700.0);
+                    let mut stats = SearchStats::default();
+                    let mut got = t.search_intersecting(&w, &mut stats);
+                    got.sort_unstable_by_key(|&ItemId(i)| i);
+                    let mut expect = reference::window_items(&live, &w, false);
+                    expect.sort_unstable_by_key(|&ItemId(i)| i);
+                    assert_eq!(got, expect, "{ctx}: step {step}: search diverges");
+                }
+            }
+            // Drain to empty: the deepest cascade of all.
+            while let Some((rect, id)) = live.pop() {
+                assert!(t.remove(rect, id), "{ctx}: drain {id:?} missing");
+                validate_deep(&TreeImage::of_rtree(&t), DeepChecks::dynamic())
+                    .unwrap_or_else(|e| panic!("{ctx}: drain: {e}"));
+            }
+            assert!(t.is_empty(), "{ctx}");
+        }
+    }
+}

@@ -49,6 +49,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code reports typed errors instead of panicking; unit tests
+// (cfg(test)) may still unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod client;
 pub mod metrics;

@@ -122,6 +122,7 @@ impl From<&PsqlError> for ErrorKind {
             PsqlError::Parse(_) => ErrorKind::Parse,
             PsqlError::Semantic(_) => ErrorKind::Semantic,
             PsqlError::Relational(_) => ErrorKind::Relational,
+            PsqlError::Internal(_) => ErrorKind::Internal,
         }
     }
 }
@@ -302,20 +303,47 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
+    /// Bytes left between the cursor and the end of the payload. Any
+    /// count field claiming more elements than could possibly fit in
+    /// this many bytes is lying; see [`Cursor::check_count`].
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Guards an attacker-controlled element count *before* it sizes an
+    /// allocation: each element occupies at least `min_bytes` on the
+    /// wire, so `n` elements cannot be honest unless `n * min_bytes`
+    /// bytes remain.
+    fn check_count(&self, n: usize, min_bytes: usize, what: &str) -> Result<(), String> {
+        if n.saturating_mul(min_bytes) > self.remaining() {
+            return Err(format!(
+                "claimed {n} {what} cannot fit in {} remaining bytes",
+                self.remaining()
+            ));
+        }
+        Ok(())
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| "internal cursor size mismatch".to_owned())
+    }
+
     fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
 
     fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -365,12 +393,10 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
 fn get_value(c: &mut Cursor<'_>) -> Result<Value, String> {
     Ok(match c.u8()? {
         0 => Value::Null,
-        1 => Value::Int(i64::from_be_bytes(c.take(8)?.try_into().unwrap())),
-        2 => Value::Float(f64::from_bits(u64::from_be_bytes(
-            c.take(8)?.try_into().unwrap(),
-        ))),
+        1 => Value::Int(i64::from_be_bytes(c.array()?)),
+        2 => Value::Float(f64::from_bits(u64::from_be_bytes(c.array()?))),
         3 => Value::Str(c.string()?),
-        4 => Value::Pointer(u64::from_be_bytes(c.take(8)?.try_into().unwrap())),
+        4 => Value::Pointer(u64::from_be_bytes(c.array()?)),
         t => return Err(format!("unknown value tag {t}")),
     })
 }
@@ -438,10 +464,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
 /// Best-effort extraction of the request id from a payload that failed
 /// to decode, so the error response still correlates when possible.
 pub fn peek_request_id(payload: &[u8]) -> u64 {
-    if payload.len() >= 8 {
-        u64::from_be_bytes(payload[..8].try_into().unwrap())
-    } else {
-        0
+    match payload.get(..8).and_then(|s| <[u8; 8]>::try_from(s).ok()) {
+        Some(bytes) => u64::from_be_bytes(bytes),
+        None => 0,
     }
 }
 
@@ -511,12 +536,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
     let resp = match status {
         ST_RESULT => {
             let epoch = c.u64()?;
+            // Every count below is attacker-controlled; check it against
+            // the bytes actually present before letting it size a Vec.
             let ncols = c.u16()? as usize;
+            c.check_count(ncols, 4, "columns")?; // u32 length prefix each
             let mut columns = Vec::with_capacity(ncols);
             for _ in 0..ncols {
                 columns.push(c.string()?);
             }
             let nrows = c.u32()? as usize;
+            // Each row carries ncols values of ≥ 1 byte (tag); a
+            // zero-column result still can't claim more rows than bytes.
+            c.check_count(nrows, ncols.max(1), "rows")?;
             let mut rows = Vec::with_capacity(nrows);
             for _ in 0..nrows {
                 let mut row = Vec::with_capacity(ncols);
@@ -526,6 +557,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
                 rows.push(row);
             }
             let nhl = c.u32()? as usize;
+            // picture (≥4) + object (8) + label (≥4).
+            c.check_count(nhl, 16, "highlights")?;
             let mut highlights = Vec::with_capacity(nhl);
             for _ in 0..nhl {
                 let picture = c.string()?;
@@ -678,6 +711,66 @@ mod tests {
         let mut enc = encode_request(&Request::Ping { id: 1 });
         enc.push(0);
         assert!(decode_request(&enc).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn huge_claimed_counts_are_rejected_before_allocating() {
+        // A result frame claiming u32::MAX rows backed by no bytes.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes()); // id
+        bad.push(ST_RESULT);
+        bad.extend_from_slice(&0u64.to_be_bytes()); // epoch
+        bad.extend_from_slice(&1u16.to_be_bytes()); // 1 column
+                                                    // column name "c"
+        bad.extend_from_slice(&1u32.to_be_bytes());
+        bad.push(b'c');
+        bad.extend_from_slice(&u32::MAX.to_be_bytes()); // nrows lie
+        let err = decode_response(&bad).unwrap_err();
+        assert!(err.contains("rows"), "{err}");
+
+        // Same lie on the highlight count.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes());
+        bad.push(ST_RESULT);
+        bad.extend_from_slice(&0u64.to_be_bytes());
+        bad.extend_from_slice(&0u16.to_be_bytes()); // 0 columns
+        bad.extend_from_slice(&0u32.to_be_bytes()); // 0 rows
+        bad.extend_from_slice(&u32::MAX.to_be_bytes()); // nhl lie
+        let err = decode_response(&bad).unwrap_err();
+        assert!(err.contains("highlights"), "{err}");
+
+        // Column-count lie (u16::MAX columns, empty payload tail).
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes());
+        bad.push(ST_RESULT);
+        bad.extend_from_slice(&0u64.to_be_bytes());
+        bad.extend_from_slice(&u16::MAX.to_be_bytes());
+        let err = decode_response(&bad).unwrap_err();
+        assert!(err.contains("columns"), "{err}");
+
+        // Zero-column result claiming more rows than remaining bytes.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes());
+        bad.push(ST_RESULT);
+        bad.extend_from_slice(&0u64.to_be_bytes());
+        bad.extend_from_slice(&0u16.to_be_bytes());
+        bad.extend_from_slice(&100u32.to_be_bytes()); // 100 rows, 4 bytes left
+        bad.extend_from_slice(&0u32.to_be_bytes());
+        let err = decode_response(&bad).unwrap_err();
+        assert!(err.contains("rows"), "{err}");
+    }
+
+    #[test]
+    fn zero_column_zero_row_result_roundtrips() {
+        roundtrip_response(Response::Result {
+            id: 11,
+            epoch: 1,
+            result: ResultSet {
+                columns: vec![],
+                rows: vec![],
+                highlights: vec![],
+            },
+        });
     }
 
     #[test]

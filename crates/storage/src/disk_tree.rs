@@ -257,6 +257,28 @@ impl DiskRTree {
         }
         Ok(out)
     }
+
+    /// Decodes every reachable node, breadth-first from the root.
+    ///
+    /// This is the raw material for external structure checking (the
+    /// differential oracle's `validate_deep`): each entry pairs the page
+    /// id with its decoded [`DiskNode`], so a validator can rebuild the
+    /// parent/child graph without this crate hardcoding any invariant
+    /// policy.
+    pub fn dump_nodes(&self, pool: &BufferPool<'_>) -> StorageResult<Vec<(PageId, DiskNode)>> {
+        let mut out = Vec::new();
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(pid) = queue.pop_front() {
+            let node = read_node(pool, pid)?;
+            if !node.is_leaf() {
+                for i in 0..node.entries.len() {
+                    queue.push_back(node.child_page(i));
+                }
+            }
+            out.push((pid, node));
+        }
+        Ok(out)
+    }
 }
 
 /// Decodes a node page through the pool, attaching the page id to any

@@ -257,6 +257,26 @@ impl<'a> PagedRTree<'a> {
         self.pool.with_page_mut(id, |p| codec::encode(node, p))
     }
 
+    /// Decodes every reachable node, breadth-first from the root.
+    ///
+    /// External structure checkers (the differential oracle's
+    /// `validate_deep`) use this to rebuild the tree graph — including
+    /// after a crash/reopen — without access to the private pool.
+    pub fn dump_nodes(&self) -> StorageResult<Vec<(PageId, DiskNode)>> {
+        let mut out = Vec::new();
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(pid) = queue.pop_front() {
+            let node = self.read_node(pid)?;
+            if !node.is_leaf() {
+                for i in 0..node.entries.len() {
+                    queue.push_back(node.child_page(i));
+                }
+            }
+            out.push((pid, node));
+        }
+        Ok(out)
+    }
+
     // ------------------------------------------------------------------
     // Search
     // ------------------------------------------------------------------

@@ -1,0 +1,76 @@
+//! The in-crate `paged_condense_orphan_stress_randomized` scenario
+//! re-run as an integration test with the external deep validator from
+//! `crates/oracle` after every removal: page-level CondenseTree (orphan
+//! re-insertion, page freeing, root shortening) cross-examined by an
+//! independently written invariant checker and a linear-scan search
+//! differential against the live item set.
+
+use rtree_geom::{Point, Rect};
+use rtree_index::{ItemId, RTreeConfig, SearchStats, SplitPolicy};
+use rtree_oracle::{reference, validate_deep, DeepChecks, TreeImage};
+use rtree_storage::{PagedRTree, Pager};
+
+fn pt(x: f64, y: f64) -> Rect {
+    Rect::from_point(Point::new(x, y))
+}
+
+#[test]
+fn paged_condense_stress_validates_deep() {
+    for &seed in &[5u64, 23] {
+        let pager = Pager::temp().expect("temp pager");
+        let config = RTreeConfig::new(4, 2, SplitPolicy::Quadratic);
+        let mut tree = PagedRTree::create(&pager, config, 16).expect("create");
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut live: Vec<(Rect, ItemId)> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..300 {
+            let insert_pct = if step < 120 { 65 } else { 25 };
+            if live.is_empty() || next() % 100 < insert_pct {
+                let rect = if !live.is_empty() && next() % 4 == 0 {
+                    live[next() as usize % live.len()].0
+                } else {
+                    pt((next() % 500) as f64, (next() % 500) as f64)
+                };
+                let id = ItemId(next_id);
+                next_id += 1;
+                tree.insert(rect, id).expect("insert");
+                live.push((rect, id));
+            } else {
+                let (rect, id) = live.swap_remove(next() as usize % live.len());
+                assert!(
+                    tree.remove(rect, id).expect("remove io"),
+                    "seed {seed}: step {step}: {id:?} missing"
+                );
+                let img = TreeImage::of_paged_tree(&tree).expect("image dump");
+                validate_deep(&img, DeepChecks::dynamic())
+                    .unwrap_or_else(|e| panic!("seed {seed}: step {step}: {e}"));
+            }
+            if step % 75 == 74 {
+                let w = Rect::new(50.0, 50.0, 350.0, 350.0);
+                let mut stats = SearchStats::default();
+                let mut got = tree.search_within(&w, &mut stats).expect("search");
+                got.sort_unstable_by_key(|&ItemId(i)| i);
+                let mut expect = reference::window_items(&live, &w, true);
+                expect.sort_unstable_by_key(|&ItemId(i)| i);
+                assert_eq!(got, expect, "seed {seed}: step {step}: search diverges");
+            }
+        }
+        while let Some((rect, id)) = live.pop() {
+            assert!(
+                tree.remove(rect, id).expect("remove io"),
+                "seed {seed}: drain {id:?}"
+            );
+            let img = TreeImage::of_paged_tree(&tree).expect("image dump");
+            validate_deep(&img, DeepChecks::dynamic())
+                .unwrap_or_else(|e| panic!("seed {seed}: drain: {e}"));
+        }
+        assert!(tree.is_empty(), "seed {seed}");
+        tree.close().expect("close");
+    }
+}
