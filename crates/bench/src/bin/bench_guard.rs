@@ -1,0 +1,107 @@
+//! Performance regression guard for the window-query hot path.
+//!
+//! Re-measures the 1M-point scratch-path window-query profile of
+//! `pack_scaling` (same seeds, same tree, same 2000 windows) and fails
+//! — exit code 1 — if the measured ns/op exceeds the committed
+//! `BENCH_pack.json` baseline by more than the allowed factor. The
+//! factor defaults to 2.0: CI runners are slower and noisier than the
+//! machine that wrote the baseline, so the guard only trips on gross
+//! regressions (an accidentally quadratic traversal, a reintroduced
+//! per-query allocation storm), never on scheduler jitter.
+//!
+//! Environment knobs:
+//! - `BENCH_GUARD_FACTOR`  — allowed slowdown factor (default `2.0`)
+//! - `BENCH_GUARD_N`       — dataset size (default `1000000`)
+//! - `BENCH_GUARD_BASELINE` — path to the baseline JSON (default
+//!   `BENCH_pack.json`)
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin bench_guard`
+
+use packed_rtree_core::{default_threads, pack_parallel_with, PackStrategy};
+use rtree_bench::experiment_seed;
+use rtree_index::{RTreeConfig, SearchScratch};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+use std::time::Instant;
+
+fn main() {
+    let baseline_path =
+        std::env::var("BENCH_GUARD_BASELINE").unwrap_or_else(|_| "BENCH_pack.json".to_string());
+    let factor: f64 = std::env::var("BENCH_GUARD_FACTOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let n: usize = std::env::var("BENCH_GUARD_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline_ns = match json_number(&text, "scratch_path_ns_per_op") {
+        Some(v) => v,
+        None => {
+            eprintln!("bench_guard: no scratch_path_ns_per_op in {baseline_path}");
+            std::process::exit(1);
+        }
+    };
+
+    let seed = experiment_seed();
+    let mut data_rng = rng(seed ^ 0x9e3779b97f4a7c15);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, n);
+    let items = points::as_items(&pts);
+    let tree = pack_parallel_with(
+        items,
+        RTreeConfig::PAPER,
+        PackStrategy::NearestNeighbor,
+        default_threads(),
+    );
+    let mut q_rng = rng(seed ^ 0x5851f42d4c957f2d);
+    let windows = queries::window_queries(&mut q_rng, &PAPER_UNIVERSE, 2_000, 0.0001);
+
+    let mut scratch = SearchScratch::new();
+    // Warm-up pass, then best-of-three timed passes (a single pass on a
+    // shared CI box can be unlucky; three rarely all are).
+    for w in &windows {
+        std::hint::black_box(tree.search_within_into(w, &mut scratch));
+    }
+    let mut measured_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for w in &windows {
+            std::hint::black_box(tree.search_within_into(w, &mut scratch));
+        }
+        measured_ns = measured_ns.min(start.elapsed().as_nanos() as f64 / windows.len() as f64);
+    }
+
+    let limit = baseline_ns * factor;
+    println!(
+        "bench_guard: window-query scratch path {measured_ns:.0} ns/op \
+         (baseline {baseline_ns:.0}, limit {limit:.0} = {factor}x, n = {n})"
+    );
+    if measured_ns > limit {
+        eprintln!(
+            "bench_guard: FAIL — {measured_ns:.0} ns/op exceeds {factor}x the \
+             committed baseline; the query hot path has regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}
+
+/// Extracts `"key": <number>` from a JSON document by string scan — the
+/// workspace deliberately has no JSON dependency, and the baseline file
+/// is machine-written with this exact shape.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

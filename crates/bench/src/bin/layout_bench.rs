@@ -1,0 +1,325 @@
+//! **EXT-10**: pointer tree vs frozen arena on the query hot path.
+//!
+//! A/B's the same packed tree in its two physical forms — the pointer
+//! arena built by PACK and the contiguous breadth-first SoA layout of
+//! [`FrozenRTree`] — on the Table-1 point-query workload and on the
+//! 1M-point mix (window, point, k-NN, juxtaposition join) that
+//! `pack_scaling` uses for its baseline. Both forms must return
+//! bit-identical results with identical traversal counters: the frozen
+//! layout is a memory-layout change, not an algorithm change, so any
+//! divergence here is a bug, not noise.
+//!
+//! Results are written to `BENCH_layout.json` at the repo root. The
+//! acceptance bar is a ≥25% ns/op reduction on the 1M-point
+//! window-query scratch path relative to the pointer tree measured in
+//! the same run (the committed `BENCH_pack.json` scratch baseline is
+//! printed alongside for cross-run context).
+//!
+//! Run with: `cargo run --release -p rtree-bench --bin layout_bench`
+
+use packed_rtree_core::{default_threads, pack_parallel_with, PackStrategy};
+use psql::join::{frozen_join, rtree_join, JoinStats};
+use rtree_bench::report::{f, Table};
+use rtree_bench::{build_pack, experiment_seed};
+use rtree_index::{FrozenRTree, ItemId, RTreeConfig, SearchScratch, SearchStats};
+use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
+use std::time::Instant;
+
+use psql::SpatialOp;
+use rtree_geom::Rect;
+
+fn main() {
+    let seed = experiment_seed();
+    println!("EXT-10 — frozen SoA arena vs pointer tree (seed {seed}); M=4\n");
+
+    let table1 = table1_ab(seed);
+    million_point_ab(seed, table1);
+}
+
+/// ns/op of `run` over `n` operations: one untimed full pass (warm-up),
+/// then a timed pass.
+fn ns_per_op<T>(n: usize, mut run: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(run());
+    let start = Instant::now();
+    std::hint::black_box(run());
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// The paper's Table-1 shape: J=900 uniform points, 1000 random
+/// point-containment queries. Returns `(pointer ns/op, frozen ns/op,
+/// avg nodes visited)` for the JSON report.
+fn table1_ab(seed: u64) -> (f64, f64, f64) {
+    let j = 900usize;
+    let mut data_rng = rng(seed);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, j);
+    let items = points::as_items(&pts);
+    let tree = build_pack(&items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+    let frozen = FrozenRTree::freeze(&tree);
+
+    let mut q_rng = rng(seed ^ rtree_bench::QUERY_SEED_SALT);
+    let probes = queries::point_queries(&mut q_rng, &PAPER_UNIVERSE, 1000);
+
+    let mut scratch = SearchScratch::new();
+    let pointer_ns = ns_per_op(probes.len(), || {
+        for &p in &probes {
+            std::hint::black_box(tree.point_query_into(p, &mut scratch));
+        }
+    });
+    let frozen_ns = ns_per_op(probes.len(), || {
+        for &p in &probes {
+            std::hint::black_box(frozen.point_query_into(p, &mut scratch));
+        }
+    });
+
+    // Identity: results and counters.
+    let mut ps = SearchStats::default();
+    let mut fs = SearchStats::default();
+    for &p in &probes {
+        assert_eq!(
+            tree.point_query(p, &mut ps),
+            frozen.point_query(p, &mut fs),
+            "table-1 point query diverged at {p:?}"
+        );
+    }
+    assert_eq!(ps, fs, "table-1 traversal counters diverged");
+
+    let mut t = Table::new(["table-1 (J=900, 1000 pt queries)", "ns/op", "A"]);
+    t.row([
+        "pointer".into(),
+        f(pointer_ns, 0),
+        f(ps.avg_nodes_visited(), 3),
+    ]);
+    t.row([
+        "frozen".into(),
+        f(frozen_ns, 0),
+        f(fs.avg_nodes_visited(), 3),
+    ]);
+    println!("{}", t.render());
+    (pointer_ns, frozen_ns, ps.avg_nodes_visited())
+}
+
+/// The 1M-point mix, RNG-compatible with `pack_scaling`'s baseline.
+fn million_point_ab(seed: u64, table1: (f64, f64, f64)) {
+    let n = 1_000_000usize;
+    let mut data_rng = rng(seed ^ 0x9e3779b97f4a7c15);
+    let pts = points::uniform(&mut data_rng, &PAPER_UNIVERSE, n);
+    let items = points::as_items(&pts);
+    let tree = pack_parallel_with(
+        items.clone(),
+        RTreeConfig::PAPER,
+        PackStrategy::NearestNeighbor,
+        default_threads(),
+    );
+    let frozen = FrozenRTree::freeze(&tree);
+
+    let mut q_rng = rng(seed ^ 0x5851f42d4c957f2d);
+    let windows = queries::window_queries(&mut q_rng, &PAPER_UNIVERSE, 2_000, 0.0001);
+    let probes = queries::point_queries(&mut q_rng, &PAPER_UNIVERSE, 2_000);
+    let knn_points = queries::point_queries(&mut q_rng, &PAPER_UNIVERSE, 500);
+    let k = 10usize;
+
+    // --- window queries ---------------------------------------------
+    let mut scratch = SearchScratch::new();
+    let ptr_scratch_ns = ns_per_op(windows.len(), || {
+        for w in &windows {
+            std::hint::black_box(tree.search_within_into(w, &mut scratch));
+        }
+    });
+    let frz_scratch_ns = ns_per_op(windows.len(), || {
+        for w in &windows {
+            std::hint::black_box(frozen.search_within_into(w, &mut scratch));
+        }
+    });
+    let warm = scratch.capacities();
+    for w in &windows {
+        std::hint::black_box(frozen.search_within_into(w, &mut scratch));
+    }
+    assert_eq!(
+        scratch.capacities(),
+        warm,
+        "frozen steady state reallocated"
+    );
+
+    let mut ptr_stats = SearchStats::default();
+    let ptr_stats_ns = ns_per_op(windows.len(), || {
+        ptr_stats = SearchStats::default();
+        for w in &windows {
+            std::hint::black_box(tree.search_within(w, &mut ptr_stats));
+        }
+    });
+    let mut frz_stats = SearchStats::default();
+    let frz_stats_ns = ns_per_op(windows.len(), || {
+        frz_stats = SearchStats::default();
+        for w in &windows {
+            std::hint::black_box(frozen.search_within(w, &mut frz_stats));
+        }
+    });
+    assert_eq!(ptr_stats, frz_stats, "window-query counters diverged");
+    for w in &windows {
+        let mut s1 = SearchStats::default();
+        let mut s2 = SearchStats::default();
+        assert_eq!(
+            tree.search_within(w, &mut s1),
+            frozen.search_within(w, &mut s2),
+            "window result sets diverged at {w:?}"
+        );
+    }
+
+    // --- point queries ----------------------------------------------
+    let ptr_point_ns = ns_per_op(probes.len(), || {
+        for &p in &probes {
+            std::hint::black_box(tree.point_query_into(p, &mut scratch));
+        }
+    });
+    let frz_point_ns = ns_per_op(probes.len(), || {
+        for &p in &probes {
+            std::hint::black_box(frozen.point_query_into(p, &mut scratch));
+        }
+    });
+    for &p in &probes {
+        assert_eq!(
+            tree.point_query_into(p, &mut scratch).to_vec(),
+            frozen.point_query_into(p, &mut scratch),
+            "point query diverged at {p:?}"
+        );
+    }
+
+    // --- k-NN --------------------------------------------------------
+    let ptr_knn_ns = ns_per_op(knn_points.len(), || {
+        for &p in &knn_points {
+            std::hint::black_box(tree.nearest_neighbors_into(p, k, scratch.knn()));
+        }
+    });
+    let frz_knn_ns = ns_per_op(knn_points.len(), || {
+        for &p in &knn_points {
+            std::hint::black_box(frozen.nearest_neighbors_into(p, k, scratch.knn()));
+        }
+    });
+    for &p in &knn_points {
+        assert_eq!(
+            tree.nearest_neighbors_into(p, k, scratch.knn()).to_vec(),
+            frozen.nearest_neighbors_into(p, k, scratch.knn()),
+            "k-NN diverged at {p:?}"
+        );
+    }
+
+    // --- juxtaposition join -----------------------------------------
+    let join_n = 100_000usize;
+    let a_items: Vec<(Rect, ItemId)> = items.iter().copied().take(2 * join_n).step_by(2).collect();
+    let b_items: Vec<(Rect, ItemId)> = items
+        .iter()
+        .copied()
+        .take(2 * join_n)
+        .skip(1)
+        .step_by(2)
+        .collect();
+    let tree_a = build_pack(&a_items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+    let tree_b = build_pack(&b_items, PackStrategy::NearestNeighbor, RTreeConfig::PAPER);
+    let frozen_a = FrozenRTree::freeze(&tree_a);
+    let frozen_b = FrozenRTree::freeze(&tree_b);
+    let mut ptr_js = JoinStats::default();
+    let ptr_join_ms = ns_per_op(1, || {
+        ptr_js = JoinStats::default();
+        std::hint::black_box(rtree_join(
+            &tree_a,
+            &tree_b,
+            SpatialOp::Overlapping,
+            &mut ptr_js,
+        ))
+    }) / 1e6;
+    let mut frz_js = JoinStats::default();
+    let frz_join_ms = ns_per_op(1, || {
+        frz_js = JoinStats::default();
+        std::hint::black_box(frozen_join(
+            &frozen_a,
+            &frozen_b,
+            SpatialOp::Overlapping,
+            &mut frz_js,
+        ))
+    }) / 1e6;
+    assert_eq!(ptr_js, frz_js, "join counters diverged");
+    {
+        let mut s1 = JoinStats::default();
+        let mut s2 = JoinStats::default();
+        assert_eq!(
+            rtree_join(&tree_a, &tree_b, SpatialOp::Overlapping, &mut s1),
+            frozen_join(&frozen_a, &frozen_b, SpatialOp::Overlapping, &mut s2),
+            "join pair lists diverged"
+        );
+    }
+
+    // --- report ------------------------------------------------------
+    let reduction = 100.0 * (ptr_scratch_ns - frz_scratch_ns) / ptr_scratch_ns;
+    let mut t = Table::new(["1M-point path", "pointer ns/op", "frozen ns/op", "delta"]);
+    let delta = |p: f64, q: f64| format!("{:+.1}%", 100.0 * (q - p) / p);
+    t.row([
+        "window (scratch)".into(),
+        f(ptr_scratch_ns, 0),
+        f(frz_scratch_ns, 0),
+        delta(ptr_scratch_ns, frz_scratch_ns),
+    ]);
+    t.row([
+        "window (stats)".into(),
+        f(ptr_stats_ns, 0),
+        f(frz_stats_ns, 0),
+        delta(ptr_stats_ns, frz_stats_ns),
+    ]);
+    t.row([
+        "point".into(),
+        f(ptr_point_ns, 0),
+        f(frz_point_ns, 0),
+        delta(ptr_point_ns, frz_point_ns),
+    ]);
+    t.row([
+        format!("k-NN (k={k})"),
+        f(ptr_knn_ns, 0),
+        f(frz_knn_ns, 0),
+        delta(ptr_knn_ns, frz_knn_ns),
+    ]);
+    t.row([
+        "join (100k x 100k, ms)".into(),
+        f(ptr_join_ms, 1),
+        f(frz_join_ms, 1),
+        delta(ptr_join_ms, frz_join_ms),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "window scratch path: {reduction:.1}% reduction (acceptance >= 25%); \
+         avg nodes visited {:.3} on both layouts",
+        frz_stats.avg_nodes_visited()
+    );
+    println!("committed BENCH_pack.json scratch baseline for context: 15911 ns/op\n");
+
+    let (t1_ptr, t1_frz, t1_a) = table1;
+    let json = format!(
+        "{{\n  \"experiment\": \"frozen_layout_ab\",\n  \"seed\": {seed},\n  \"n\": {n},\n  \
+         \"branching\": 4,\n  \"hardware_threads\": {hw},\n  \
+         \"table1\": {{\n    \"j\": 900,\n    \"point_queries\": 1000,\n    \
+         \"pointer_ns_per_op\": {t1_ptr:.0},\n    \"frozen_ns_per_op\": {t1_frz:.0},\n    \
+         \"avg_nodes_visited\": {t1_a:.3}\n  }},\n  \
+         \"window_query\": {{\n    \"queries\": {wn},\n    \"selectivity\": 0.0001,\n    \
+         \"pointer_scratch_ns_per_op\": {ptr_scratch_ns:.0},\n    \
+         \"frozen_scratch_ns_per_op\": {frz_scratch_ns:.0},\n    \
+         \"pointer_stats_ns_per_op\": {ptr_stats_ns:.0},\n    \
+         \"frozen_stats_ns_per_op\": {frz_stats_ns:.0},\n    \
+         \"avg_nodes_visited\": {anv:.3},\n    \
+         \"scratch_reduction_percent\": {reduction:.1}\n  }},\n  \
+         \"point_query\": {{\"queries\": {pn}, \"pointer_ns_per_op\": {ptr_point_ns:.0}, \
+         \"frozen_ns_per_op\": {frz_point_ns:.0}}},\n  \
+         \"knn\": {{\"queries\": {kn}, \"k\": {k}, \"pointer_ns_per_op\": {ptr_knn_ns:.0}, \
+         \"frozen_ns_per_op\": {frz_knn_ns:.0}}},\n  \
+         \"join\": {{\"n_per_side\": {join_n}, \"op\": \"overlapping\", \
+         \"pointer_ms\": {ptr_join_ms:.1}, \"frozen_ms\": {frz_join_ms:.1}, \
+         \"node_pairs_visited\": {npv}}}\n}}\n",
+        hw = default_threads(),
+        wn = windows.len(),
+        anv = frz_stats.avg_nodes_visited(),
+        pn = probes.len(),
+        kn = knn_points.len(),
+        npv = frz_js.node_pairs_visited,
+    );
+    match std::fs::write("BENCH_layout.json", &json) {
+        Ok(()) => println!("wrote BENCH_layout.json"),
+        Err(e) => println!("could not write BENCH_layout.json: {e}"),
+    }
+}

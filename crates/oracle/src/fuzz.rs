@@ -25,7 +25,7 @@ use psql::{exec, parse_query, PictorialDatabase, SpatialOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtree_geom::{Point, Rect, Region, Segment, SpatialObject};
-use rtree_index::{ItemId, RTree, RTreeConfig, SearchScratch, SearchStats};
+use rtree_index::{FrozenRTree, ItemId, RTree, RTreeConfig, SearchScratch, SearchStats};
 use rtree_storage::{BufferPool, DiskRTree, PagedRTree, Pager};
 
 const ALL_OPS: [SpatialOp; 4] = [
@@ -509,9 +509,116 @@ fn check_tree(case: &Case) -> Option<String> {
         }
     }
 
+    // Level 4: the frozen arena must be bit-identical to the pointer
+    // tree — same result order, same counters, on every query path.
+    if let Some(d) = check_frozen(case, &packed, &tree_a, &tree_b) {
+        return Some(d);
+    }
+
     if case.check_disk {
         if let Some(d) = check_disk_trees(case, &items, &packed) {
             return Some(d);
+        }
+    }
+    None
+}
+
+/// Frozen-vs-pointer bit-identity: every query path must return the
+/// same items in the same order with the same [`SearchStats`] /
+/// [`psql::join::JoinStats`] counters, because the frozen arena is a
+/// layout change, not an algorithm change.
+fn check_frozen(case: &Case, packed: &RTree, tree_a: &RTree, tree_b: &RTree) -> Option<String> {
+    let frozen = FrozenRTree::freeze(packed);
+    if let Err(e) = validate_deep(&TreeImage::of_frozen(&frozen), DeepChecks::packed()) {
+        return Some(format!("frozen tree fails validate_deep: {e}"));
+    }
+    if frozen.items() != packed.items() {
+        return Some("frozen items() enumeration differs from pointer tree".into());
+    }
+
+    let mut scratch = SearchScratch::new();
+    for (wi, w) in case.windows.iter().enumerate() {
+        for within in [true, false] {
+            let mut ps = SearchStats::default();
+            let mut fs = SearchStats::default();
+            let (pointer, frozen_got) = if within {
+                (
+                    packed.search_within(w, &mut ps),
+                    frozen.search_within(w, &mut fs),
+                )
+            } else {
+                (
+                    packed.search_intersecting(w, &mut ps),
+                    frozen.search_intersecting(w, &mut fs),
+                )
+            };
+            if frozen_got != pointer {
+                return Some(format!(
+                    "frozen window {wi} within={within}: {frozen_got:?} != pointer {pointer:?}"
+                ));
+            }
+            if fs != ps {
+                return Some(format!(
+                    "frozen window {wi} within={within}: stats {fs:?} != pointer {ps:?}"
+                ));
+            }
+            let fast = if within {
+                frozen.search_within_into(w, &mut scratch).to_vec()
+            } else {
+                frozen.search_intersecting_into(w, &mut scratch).to_vec()
+            };
+            if fast != pointer {
+                return Some(format!(
+                    "frozen window {wi} within={within}: scratch path diverges"
+                ));
+            }
+        }
+    }
+
+    for (pi, &p) in case.probes.iter().enumerate() {
+        let mut ps = SearchStats::default();
+        let mut fs = SearchStats::default();
+        let pointer = packed.point_query(p, &mut ps);
+        let frozen_got = frozen.point_query(p, &mut fs);
+        if frozen_got != pointer || fs != ps {
+            return Some(format!(
+                "frozen probe {pi}: {frozen_got:?}/{fs:?} != pointer {pointer:?}/{ps:?}"
+            ));
+        }
+        if frozen.point_query_into(p, &mut scratch) != pointer.as_slice() {
+            return Some(format!("frozen probe {pi}: scratch path diverges"));
+        }
+    }
+
+    for (ki, &(p, k)) in case.knn.iter().enumerate() {
+        let mut ps = SearchStats::default();
+        let mut fs = SearchStats::default();
+        let pointer = packed.nearest_neighbors(p, k, &mut ps);
+        let frozen_got = frozen.nearest_neighbors(p, k, &mut fs);
+        if frozen_got != pointer || fs != ps {
+            return Some(format!(
+                "frozen knn {ki} (k={k}): neighbors or stats diverge from pointer tree"
+            ));
+        }
+        if frozen.nearest_neighbors_into(p, k, scratch.knn()) != pointer.as_slice() {
+            return Some(format!("frozen knn {ki} (k={k}): scratch path diverges"));
+        }
+    }
+
+    let frozen_a = FrozenRTree::freeze(tree_a);
+    let frozen_b = FrozenRTree::freeze(tree_b);
+    for op in ALL_OPS {
+        let mut ps = psql::join::JoinStats::default();
+        let mut fs = psql::join::JoinStats::default();
+        let pointer = psql::join::rtree_join(tree_a, tree_b, op, &mut ps);
+        let frozen_got = psql::join::frozen_join(&frozen_a, &frozen_b, op, &mut fs);
+        if frozen_got != pointer {
+            return Some(format!(
+                "frozen join {op}: pairs {frozen_got:?} != pointer {pointer:?}"
+            ));
+        }
+        if fs != ps {
+            return Some(format!("frozen join {op}: stats {fs:?} != pointer {ps:?}"));
         }
     }
     None
@@ -561,6 +668,28 @@ fn check_disk_trees(case: &Case, items: &[(Rect, ItemId)], packed: &RTree) -> Op
         }
     }
 
+    // Freezing a disk image must reproduce the in-memory frozen tree's
+    // answers (page ids differ, BFS indices don't).
+    match disk.freeze(&pool, cfg) {
+        Ok(frozen) => {
+            if let Err(e) = validate_deep(&TreeImage::of_frozen(&frozen), DeepChecks::packed()) {
+                return Some(format!("frozen DiskRTree fails validate_deep: {e}"));
+            }
+            for (wi, w) in case.windows.iter().enumerate() {
+                let mut ps = SearchStats::default();
+                let mut fs = SearchStats::default();
+                let pointer = packed.search_within(w, &mut ps);
+                let got = frozen.search_within(w, &mut fs);
+                if got != pointer || fs != ps {
+                    return Some(format!(
+                        "frozen DiskRTree window {wi}: diverges from pointer tree"
+                    ));
+                }
+            }
+        }
+        Err(e) => return Some(format!("DiskRTree freeze failed: {e}")),
+    }
+
     let pager2 = match Pager::temp() {
         Ok(p) => p,
         Err(e) => return Some(format!("Pager::temp failed: {e}")),
@@ -604,6 +733,29 @@ fn check_disk_trees(case: &Case, items: &[(Rect, ItemId)], packed: &RTree) -> Op
             }
             Err(e) => return Some(format!("PagedRTree search failed: {e}")),
         }
+    }
+
+    // A tree reshaped by Guttman deletes still freezes: same answers,
+    // dynamic (not packed) fill invariants.
+    match paged.freeze() {
+        Ok(frozen) => {
+            if let Err(e) = validate_deep(&TreeImage::of_frozen(&frozen), DeepChecks::dynamic()) {
+                return Some(format!(
+                    "frozen PagedRTree fails validate_deep after removes: {e}"
+                ));
+            }
+            for (wi, w) in case.windows.iter().enumerate() {
+                let mut fs = SearchStats::default();
+                let got = sorted(frozen.search_within(w, &mut fs));
+                let expect = sorted(reference::window_items(&survivors, w, true));
+                if got != expect {
+                    return Some(format!(
+                        "frozen PagedRTree window {wi} after removes: diverges from oracle"
+                    ));
+                }
+            }
+        }
+        Err(e) => return Some(format!("PagedRTree freeze failed: {e}")),
     }
     None
 }

@@ -10,7 +10,7 @@
 //! three APIs.
 
 use rtree_geom::Rect;
-use rtree_index::{Child, ItemId, RTree};
+use rtree_index::{Child, FrozenRTree, ItemId, RTree};
 use rtree_storage::codec::DiskNode;
 use rtree_storage::{BufferPool, DiskRTree, PagedRTree, StorageResult};
 use std::collections::HashMap;
@@ -130,6 +130,41 @@ impl TreeImage {
             tree.config().max_entries,
             tree.config().min_entries,
         ))
+    }
+
+    /// Snapshots a [`FrozenRTree`]. Image ids are the BFS node indices
+    /// of the arena; only the populated lanes of each node appear as
+    /// entries (the NaN padding lanes are layout, not structure).
+    pub fn of_frozen(tree: &FrozenRTree) -> TreeImage {
+        let mut nodes = HashMap::new();
+        // BFS from the root, deriving each node's level from its
+        // parent's (the arena stores only the leaf boundary).
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((tree.root_index(), tree.depth()));
+        while let Some((index, level)) = queue.pop_front() {
+            let is_leaf = tree.is_leaf_index(index);
+            let entries = (0..tree.entry_count(index))
+                .map(|lane| ImageEntry {
+                    mbr: tree.entry_mbr(index, lane),
+                    child: if is_leaf {
+                        ImageChild::Item(tree.entry_child_item(index, lane))
+                    } else {
+                        let child = tree.entry_child_node(index, lane);
+                        queue.push_back((child, level - 1));
+                        ImageChild::Node(child as u64)
+                    },
+                })
+                .collect();
+            nodes.insert(index as u64, ImageNode { level, entries });
+        }
+        TreeImage {
+            nodes,
+            root: tree.root_index() as u64,
+            declared_depth: tree.depth(),
+            declared_len: tree.len(),
+            max_entries: tree.config().max_entries,
+            min_entries: tree.config().min_entries,
+        }
     }
 
     /// Total leaf entries in the image (the item count actually present).

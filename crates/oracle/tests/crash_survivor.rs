@@ -104,6 +104,24 @@ fn crash_survivors_validate_deep_and_match_oracle() {
                         "crash point {k}: survivor tree diverges from oracle on {w:?}"
                     );
                 }
+                // A clean survivor must also freeze into a structurally
+                // sound arena that gives the same answers.
+                let frozen = tree
+                    .freeze()
+                    .unwrap_or_else(|e| panic!("crash point {k}: freeze failed: {e}"));
+                validate_deep(&TreeImage::of_frozen(&frozen), DeepChecks::dynamic())
+                    .unwrap_or_else(|e| {
+                        panic!("crash point {k}: frozen survivor fails validate_deep: {e}")
+                    });
+                for w in &windows {
+                    let mut stats = SearchStats::default();
+                    let got = sorted(frozen.search_within(w, &mut stats));
+                    let expect = sorted(reference::window_items(expect_items, w, true));
+                    assert_eq!(
+                        got, expect,
+                        "crash point {k}: frozen survivor diverges from oracle on {w:?}"
+                    );
+                }
                 clean += 1;
             }
             Err(StorageError::Corrupt { .. }) => {} // damage reported

@@ -2,7 +2,7 @@
 
 use crate::spatial::SpatialOp;
 use pictorial_relational::{CompareOp, Value};
-use rtree_geom::Rect;
+use rtree_geom::{Point, Rect};
 
 /// A parsed PSQL retrieve mapping (§2.2):
 ///
@@ -24,6 +24,9 @@ pub struct Query {
     pub on: Vec<String>,
     /// The `at`-clause, if any.
     pub at: Option<AtClause>,
+    /// The `at … nearest` clause, if any (mutually exclusive with `at`
+    /// by the grammar: both grow from the `at` keyword).
+    pub nearest: Option<NearestClause>,
     /// The `where`-clause, if any.
     pub where_clause: Option<Expr>,
     /// Optional `order by` (ascending unless `desc`).
@@ -102,6 +105,20 @@ pub struct AtClause {
     pub op: SpatialOp,
     /// Right operand.
     pub rhs: LocTerm,
+}
+
+/// The k-nearest-neighbour `at`-clause:
+/// `<loc> nearest <k> {x +- dx, y +- dy}`. The window's centre is the
+/// query point (its half-extents play no role — `{x +- 0, y +- 0}` is
+/// the idiomatic spelling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearestClause {
+    /// The `loc` column whose objects are ranked by distance.
+    pub lhs: ColumnRef,
+    /// How many neighbours to return.
+    pub k: usize,
+    /// The query point.
+    pub point: Point,
 }
 
 /// The right operand of an `at`-clause.

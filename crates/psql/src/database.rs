@@ -416,6 +416,11 @@ mod tests {
             .tree()
             .validate_with(false)
             .unwrap();
+        // pack_all freezes every picture, so the query hot path serves
+        // from the contiguous arena.
+        for pic in ["us-map", "state-map", "time-zone-map", "lake-map"] {
+            assert!(db.picture(pic).unwrap().frozen().is_some(), "{pic}");
+        }
     }
 
     #[test]

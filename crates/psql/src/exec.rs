@@ -4,7 +4,7 @@ use crate::ast::{ColumnRef, Expr, Operand, Query};
 use crate::database::PictorialDatabase;
 use crate::error::PsqlError;
 use crate::functions::FunctionRegistry;
-use crate::join::{rtree_join, JoinStats};
+use crate::join::{frozen_join, rtree_join, JoinStats};
 use crate::plan::{self, Access, Plan, Projection, ResolvedColumn, SpatialStrategy};
 use crate::result::{Highlight, ResultSet};
 use crate::spatial::SpatialOp;
@@ -229,6 +229,18 @@ fn candidate_rows(
             let objs = pic.search_window_fast(*op, window, scratch);
             objects_to_rows(db, plan, *column, &objs)
         }
+        SpatialStrategy::Nearest {
+            column,
+            picture,
+            k,
+            point,
+        } => {
+            let pic = db.picture(picture)?;
+            // Rows come back ascending by distance; objects_to_rows
+            // preserves that order for the result set.
+            let objs = pic.nearest_fast(*point, *k, scratch);
+            objects_to_rows(db, plan, *column, &objs)
+        }
         SpatialStrategy::Nested {
             column,
             picture,
@@ -304,7 +316,13 @@ fn candidate_rows(
             let lp = db.picture(left_picture)?;
             let rp = db.picture(right_picture)?;
             let mut join_stats = JoinStats::default();
-            let pairs = rtree_join(lp.tree(), rp.tree(), *op, &mut join_stats);
+            // Frozen joins are bit-identical to pointer-tree joins (same
+            // pair order, same stats); use them whenever both sides are
+            // packed and frozen.
+            let pairs = match (lp.frozen(), rp.frozen()) {
+                (Some(lf), Some(rf)) => frozen_join(lf, rf, *op, &mut join_stats),
+                _ => rtree_join(lp.tree(), rp.tree(), *op, &mut join_stats),
+            };
             let mut rows = Vec::new();
             for (ItemId(lo), ItemId(ro)) in pairs {
                 let lobj = lp.object(lo).ok_or_else(|| {
@@ -716,6 +734,33 @@ mod tests {
         )
         .unwrap();
         assert_eq!(result3.rows[0][0], Value::str("New York"));
+    }
+
+    #[test]
+    fn nearest_query_ranks_by_distance() {
+        // Three cities nearest downtown Chicago, closest first. The
+        // query point sits on Chicago itself, so Chicago leads.
+        let db = db();
+        let result = query(
+            &db,
+            "select city from cities on us-map at loc nearest 3 {53 +- 0, 32 +- 0}",
+        )
+        .unwrap();
+        let cities: Vec<String> = result
+            .column("city")
+            .unwrap()
+            .into_iter()
+            .map(Value::to_string)
+            .collect();
+        assert_eq!(cities.len(), 3);
+        assert_eq!(cities[0], "Chicago");
+        // k larger than the population returns everything.
+        let all = query(
+            &db,
+            "select city from cities on us-map at loc nearest 1000 {53 +- 0, 32 +- 0}",
+        )
+        .unwrap();
+        assert_eq!(all.len(), 42);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::spatial::SpatialOp;
 use rtree_geom::Rect;
-use rtree_index::{ItemId, Node, RTree};
+use rtree_index::{FrozenRTree, ItemId, Node, RTree};
 
 /// Counters for join executions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,6 +114,98 @@ fn join_nodes(
 
 fn intersects_node(mbr: &Rect, node: &Node) -> bool {
     node.mbr().is_some_and(|m| m.intersects(mbr))
+}
+
+/// [`rtree_join`] over two frozen trees: the identical simultaneous
+/// descent (same recursion structure, same counter increments, same
+/// emission order) over the SoA arenas, so pair sequences and
+/// [`JoinStats`] match the pointer-tree join bit for bit.
+pub fn frozen_join(
+    a: &FrozenRTree,
+    b: &FrozenRTree,
+    op: SpatialOp,
+    stats: &mut JoinStats,
+) -> Vec<(ItemId, ItemId)> {
+    let mut out = Vec::new();
+    if a.is_empty() || b.is_empty() {
+        return out;
+    }
+    if op == SpatialOp::Disjoined {
+        // No pruning possible: enumerate and filter.
+        for &(ra, ia) in &a.items() {
+            for &(rb, ib) in &b.items() {
+                stats.node_pairs_visited += 1;
+                if !ra.intersects(&rb) {
+                    stats.candidates += 1;
+                    out.push((ia, ib));
+                }
+            }
+        }
+        return out;
+    }
+    frozen_join_nodes(a, a.root_index(), b, b.root_index(), op, stats, &mut out);
+    out
+}
+
+fn frozen_join_nodes(
+    a: &FrozenRTree,
+    na: u32,
+    b: &FrozenRTree,
+    nb: u32,
+    op: SpatialOp,
+    stats: &mut JoinStats,
+    out: &mut Vec<(ItemId, ItemId)>,
+) {
+    stats.node_pairs_visited += 1;
+    match (a.is_leaf_index(na), b.is_leaf_index(nb)) {
+        (true, true) => {
+            for la in 0..a.entry_count(na) {
+                let ra = a.entry_mbr(na, la);
+                for lb in 0..b.entry_count(nb) {
+                    let rb = b.entry_mbr(nb, lb);
+                    if ra.intersects(&rb) && op.mbr_filter(&ra, &rb) {
+                        stats.candidates += 1;
+                        out.push((a.entry_child_item(na, la), b.entry_child_item(nb, lb)));
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // Descend the deeper (left) side.
+            let mb = b.node_mbr(nb);
+            for la in 0..a.entry_count(na) {
+                if mb.is_some_and(|m| m.intersects(&a.entry_mbr(na, la))) {
+                    frozen_join_nodes(a, a.entry_child_node(na, la), b, nb, op, stats, out);
+                }
+            }
+        }
+        (true, false) => {
+            let ma = a.node_mbr(na);
+            for lb in 0..b.entry_count(nb) {
+                if ma.is_some_and(|m| m.intersects(&b.entry_mbr(nb, lb))) {
+                    frozen_join_nodes(a, na, b, b.entry_child_node(nb, lb), op, stats, out);
+                }
+            }
+        }
+        (false, false) => {
+            for la in 0..a.entry_count(na) {
+                let ra = a.entry_mbr(na, la);
+                for lb in 0..b.entry_count(nb) {
+                    if ra.intersects(&b.entry_mbr(nb, lb)) {
+                        frozen_join_nodes(
+                            a,
+                            a.entry_child_node(na, la),
+                            b,
+                            b.entry_child_node(nb, lb),
+                            op,
+                            stats,
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The baseline: compare every item pair directly.
@@ -222,6 +314,48 @@ mod tests {
             fast.node_pairs_visited,
             slow.node_pairs_visited
         );
+    }
+
+    #[test]
+    fn frozen_join_is_bit_identical() {
+        use rtree_index::FrozenRTree;
+        let a = tree_of_points(&grid_points(80));
+        let b = tree_of_rects(&tiles());
+        let fa = FrozenRTree::freeze(&a);
+        let fb = FrozenRTree::freeze(&b);
+        for op in [
+            SpatialOp::CoveredBy,
+            SpatialOp::Overlapping,
+            SpatialOp::Covering,
+            SpatialOp::Disjoined,
+        ] {
+            let mut sp = JoinStats::default();
+            let mut sf = JoinStats::default();
+            let pointer = rtree_join(&a, &b, op, &mut sp);
+            let frozen = frozen_join(&fa, &fb, op, &mut sf);
+            // Exact emission order, not just the same set.
+            assert_eq!(frozen, pointer, "{op}");
+            assert_eq!(sf, sp, "{op} counters");
+        }
+    }
+
+    #[test]
+    fn frozen_join_mixed_depth() {
+        use rtree_index::FrozenRTree;
+        let a = tree_of_points(&grid_points(100));
+        let b = tree_of_rects(&[Rect::new(0.0, 0.0, 70.0, 70.0)]);
+        let mut sp = JoinStats::default();
+        let mut sf = JoinStats::default();
+        assert_eq!(
+            frozen_join(
+                &FrozenRTree::freeze(&a),
+                &FrozenRTree::freeze(&b),
+                SpatialOp::CoveredBy,
+                &mut sf
+            ),
+            rtree_join(&a, &b, SpatialOp::CoveredBy, &mut sp)
+        );
+        assert_eq!(sf, sp);
     }
 
     #[test]

@@ -178,6 +178,7 @@ fn keyword_or_ident(word: &str) -> Token {
         "covered-by" => Token::CoveredBy,
         "overlapping" => Token::Overlapping,
         "disjoined" => Token::Disjoined,
+        "nearest" => Token::Nearest,
         _ => Token::Ident(word.to_owned()),
     }
 }

@@ -82,11 +82,11 @@ impl Parser {
         } else {
             Vec::new()
         };
-        let at = if self.peek() == Some(&Token::At) {
+        let (at, nearest) = if self.peek() == Some(&Token::At) {
             self.next();
-            Some(self.at_clause()?)
+            self.at_or_nearest_clause()?
         } else {
-            None
+            (None, None)
         };
         let where_clause = if self.peek() == Some(&Token::Where) {
             self.next();
@@ -130,6 +130,7 @@ impl Parser {
             from,
             on,
             at,
+            nearest,
             where_clause,
             order_by,
             limit,
@@ -214,11 +215,35 @@ impl Parser {
         }
     }
 
-    fn at_clause(&mut self) -> Result<AtClause, PsqlError> {
+    /// After the `at` keyword: either the classic spatial predicate
+    /// `<loc> <op> <loc-term>` or the k-NN form
+    /// `<loc> nearest <k> {x +- dx, y +- dy}` (the window's centre is
+    /// the query point).
+    fn at_or_nearest_clause(
+        &mut self,
+    ) -> Result<(Option<AtClause>, Option<NearestClause>), PsqlError> {
         let lhs = self.column_ref()?;
+        if self.peek() == Some(&Token::Nearest) {
+            self.next();
+            let n = self.number()?;
+            if n < 1.0 || n.fract() != 0.0 {
+                return Err(PsqlError::Parse(
+                    "nearest count must be a positive integer".into(),
+                ));
+            }
+            let point = self.window()?.center();
+            return Ok((
+                None,
+                Some(NearestClause {
+                    lhs,
+                    k: n as usize,
+                    point,
+                }),
+            ));
+        }
         let op = self.spatial_op()?;
         let rhs = self.loc_term()?;
-        Ok(AtClause { lhs, op, rhs })
+        Ok((Some(AtClause { lhs, op, rhs }), None))
     }
 
     fn loc_term(&mut self) -> Result<LocTerm, PsqlError> {
@@ -537,6 +562,37 @@ mod tests {
         assert!(parse_query("select city from cities limit 2.5").is_err());
         assert!(parse_query("select city from cities limit -1").is_err());
         assert!(parse_query("select city from cities order population").is_err());
+    }
+
+    #[test]
+    fn nearest_clause() {
+        let q =
+            parse_query("select city from cities on us-map at loc nearest 3 {50 +- 0, 25 +- 0}")
+                .unwrap();
+        assert!(q.at.is_none());
+        let nearest = q.nearest.unwrap();
+        assert_eq!(nearest.lhs, ColumnRef::plain("loc"));
+        assert_eq!(nearest.k, 3);
+        assert_eq!(nearest.point, rtree_geom::Point { x: 50.0, y: 25.0 });
+        // Non-zero half-extents are tolerated; only the centre matters.
+        let q2 =
+            parse_query("select city from cities on us-map at loc nearest 1 {10 +- 5, 20 +- 5}")
+                .unwrap();
+        assert_eq!(
+            q2.nearest.unwrap().point,
+            rtree_geom::Point { x: 10.0, y: 20.0 }
+        );
+    }
+
+    #[test]
+    fn nearest_count_must_be_positive_integer() {
+        for bad in ["nearest 0", "nearest 2.5", "nearest -1"] {
+            let err = parse_query(&format!(
+                "select city from cities on us-map at loc {bad} {{50 +- 0, 25 +- 0}}"
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("positive integer"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -2,14 +2,20 @@
 
 use crate::spatial::SpatialOp;
 use packed_rtree_core::pack;
-use rtree_geom::{Rect, SpatialObject};
-use rtree_index::{ItemId, RTree, RTreeConfig, SearchScratch, SearchStats};
+use rtree_geom::{Point, Rect, SpatialObject};
+use rtree_index::{FrozenRTree, ItemId, RTree, RTreeConfig, SearchScratch, SearchStats};
 
 /// A picture: named spatial objects over a frame, indexed by an R-tree.
 ///
 /// "Each pictorial domain element that corresponds to a tuple of the
 /// relation appears on a leaf-node of the R-tree" (§2.1): object ids here
 /// are the pointer values stored in relations' `loc` columns.
+///
+/// After [`pack`](Picture::pack) the tree is also compiled into a
+/// [`FrozenRTree`] — the cache-conscious SoA layout — and every query
+/// path serves from it (results and counters are bit-identical to the
+/// pointer tree). A dynamic [`add`](Picture::add) invalidates the frozen
+/// form until the next pack.
 ///
 /// `Clone` deep-copies objects, labels and the R-tree so a snapshot
 /// builder can re-pack a copy without disturbing concurrent readers.
@@ -20,6 +26,7 @@ pub struct Picture {
     objects: Vec<SpatialObject>,
     labels: Vec<String>,
     tree: RTree,
+    frozen: Option<FrozenRTree>,
 }
 
 impl Picture {
@@ -31,6 +38,7 @@ impl Picture {
             objects: Vec::new(),
             labels: Vec::new(),
             tree: RTree::new(config),
+            frozen: None,
         }
     }
 
@@ -61,11 +69,14 @@ impl Picture {
         self.tree.insert(object.mbr(), ItemId(id));
         self.objects.push(object);
         self.labels.push(label.to_owned());
+        // The frozen compilation no longer matches the pointer tree.
+        self.frozen = None;
         id
     }
 
     /// Re-packs the picture's R-tree with the paper's PACK algorithm —
-    /// the "initial packing" applied once the (static) picture is loaded.
+    /// the "initial packing" applied once the (static) picture is loaded
+    /// — and compiles the result into the frozen SoA layout.
     pub fn pack(&mut self) {
         let items: Vec<(Rect, ItemId)> = self
             .objects
@@ -74,6 +85,7 @@ impl Picture {
             .map(|(i, o)| (o.mbr(), ItemId(i as u64)))
             .collect();
         self.tree = pack(items, self.tree.config());
+        self.frozen = Some(FrozenRTree::freeze(&self.tree));
     }
 
     /// The object with id `id`.
@@ -91,6 +103,12 @@ impl Picture {
         &self.tree
     }
 
+    /// The frozen compilation of the tree, present since the last
+    /// [`pack`](Picture::pack) (and invalidated by [`add`](Picture::add)).
+    pub fn frozen(&self) -> Option<&FrozenRTree> {
+        self.frozen.as_ref()
+    }
+
     /// All object ids.
     pub fn object_ids(&self) -> impl Iterator<Item = u64> {
         0..self.objects.len() as u64
@@ -99,15 +117,19 @@ impl Picture {
     /// Direct spatial search: object ids satisfying `obj op window`,
     /// pruned through the R-tree and refined with exact geometry.
     pub fn search_window(&self, op: SpatialOp, window: &Rect, stats: &mut SearchStats) -> Vec<u64> {
-        let candidates: Vec<ItemId> = match op {
+        let candidates: Vec<ItemId> = match (op, &self.frozen) {
             // The paper's SEARCH: WITHIN at the leaves.
-            SpatialOp::CoveredBy => self.tree.search_within(window, stats),
+            (SpatialOp::CoveredBy, Some(f)) => f.search_within(window, stats),
+            (SpatialOp::CoveredBy, None) => self.tree.search_within(window, stats),
             // Overlap/cover candidates must intersect the window.
-            SpatialOp::Overlapping | SpatialOp::Covering => {
+            (SpatialOp::Overlapping | SpatialOp::Covering, Some(f)) => {
+                f.search_intersecting(window, stats)
+            }
+            (SpatialOp::Overlapping | SpatialOp::Covering, None) => {
                 self.tree.search_intersecting(window, stats)
             }
             // Disjointness cannot be pruned; enumerate everything.
-            SpatialOp::Disjoined => {
+            (SpatialOp::Disjoined, _) => {
                 stats.queries += 1;
                 self.tree.items().into_iter().map(|(_, id)| id).collect()
             }
@@ -129,20 +151,49 @@ impl Picture {
         window: &Rect,
         scratch: &mut SearchScratch,
     ) -> Vec<u64> {
-        match op {
-            SpatialOp::CoveredBy => {
+        match (op, &self.frozen) {
+            (SpatialOp::CoveredBy, Some(f)) => {
+                self.refine(op, window, f.search_within_into(window, scratch))
+            }
+            (SpatialOp::CoveredBy, None) => {
                 self.refine(op, window, self.tree.search_within_into(window, scratch))
             }
-            SpatialOp::Overlapping | SpatialOp::Covering => self.refine(
+            (SpatialOp::Overlapping | SpatialOp::Covering, Some(f)) => {
+                self.refine(op, window, f.search_intersecting_into(window, scratch))
+            }
+            (SpatialOp::Overlapping | SpatialOp::Covering, None) => self.refine(
                 op,
                 window,
                 self.tree.search_intersecting_into(window, scratch),
             ),
-            SpatialOp::Disjoined => self
+            (SpatialOp::Disjoined, _) => self
                 .object_ids()
                 .filter(|&id| op.eval_window(&self.objects[id as usize], window))
                 .collect(),
         }
+    }
+
+    /// The `k` objects whose MBRs are nearest to `p`, ordered by
+    /// ascending distance, with Table 1 counters.
+    pub fn nearest(&self, p: Point, k: usize, stats: &mut SearchStats) -> Vec<u64> {
+        let neighbors = match &self.frozen {
+            Some(f) => f.nearest_neighbors(p, k, stats),
+            None => self.tree.nearest_neighbors(p, k, stats),
+        };
+        neighbors.into_iter().map(|n| n.item.0).collect()
+    }
+
+    /// [`nearest`](Self::nearest) without statistics: the executor's
+    /// `at … nearest` path. The branch-and-bound heap lives in the
+    /// scratch's embedded [`KnnScratch`](rtree_index::KnnScratch), so
+    /// repeated queries allocate nothing once warmed up.
+    pub fn nearest_fast(&self, p: Point, k: usize, scratch: &mut SearchScratch) -> Vec<u64> {
+        let knn = scratch.knn();
+        let neighbors = match &self.frozen {
+            Some(f) => f.nearest_neighbors_into(p, k, knn),
+            None => self.tree.nearest_neighbors_into(p, k, knn),
+        };
+        neighbors.iter().map(|n| n.item.0).collect()
     }
 
     fn refine(&self, op: SpatialOp, window: &Rect, candidates: &[ItemId]) -> Vec<u64> {
@@ -221,6 +272,43 @@ mod tests {
         // The zone region overlaps the window but is not covered by it.
         assert!(!covered.contains(&20));
         assert!(overlapping.contains(&20));
+    }
+
+    #[test]
+    fn pack_freezes_and_add_invalidates() {
+        let mut pic = sample();
+        assert!(pic.frozen().is_none());
+        pic.pack();
+        assert!(pic.frozen().is_some());
+        // Frozen and pointer paths agree on results and counters.
+        let window = Rect::new(0.0, 0.0, 40.0, 40.0);
+        let mut frozen_stats = SearchStats::default();
+        let mut tree_stats = SearchStats::default();
+        let via_frozen = pic.search_window(SpatialOp::Overlapping, &window, &mut frozen_stats);
+        let via_tree: Vec<u64> = pic
+            .tree()
+            .search_intersecting(&window, &mut tree_stats)
+            .into_iter()
+            .map(|ItemId(id)| id)
+            .collect();
+        assert_eq!(via_frozen, via_tree);
+        assert_eq!(frozen_stats, tree_stats);
+        pic.add(SpatialObject::Point(Point::new(1.0, 2.0)), "late");
+        assert!(pic.frozen().is_none(), "dynamic insert must invalidate");
+    }
+
+    #[test]
+    fn nearest_paths_agree() {
+        let mut pic = sample();
+        pic.pack();
+        let mut stats = SearchStats::default();
+        let mut scratch = SearchScratch::new();
+        let p = Point::new(33.0, 12.0);
+        let with_stats = pic.nearest(p, 5, &mut stats);
+        let fast = pic.nearest_fast(p, 5, &mut scratch);
+        assert_eq!(with_stats, fast);
+        assert_eq!(with_stats.len(), 5);
+        assert_eq!(stats.queries, 1);
     }
 
     #[test]

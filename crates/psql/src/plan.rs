@@ -7,12 +7,14 @@
 //! scan), and classifies the `at`-clause into window search,
 //! juxtaposition, or a nested mapping.
 
-use crate::ast::{AtClause, ColumnRef, Expr, LocTerm, Operand, OrderBy, Query, SelectItem};
+use crate::ast::{
+    AtClause, ColumnRef, Expr, LocTerm, NearestClause, Operand, OrderBy, Query, SelectItem,
+};
 use crate::database::PictorialDatabase;
 use crate::error::PsqlError;
 use crate::spatial::SpatialOp;
 use pictorial_relational::{ColumnType, CompareOp, Value};
-use rtree_geom::Rect;
+use rtree_geom::{Point, Rect};
 
 /// A resolved column: which `from`-relation, which column index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +70,19 @@ pub enum SpatialStrategy {
         op: SpatialOp,
         /// Plan of the inner query.
         inner: Box<Plan>,
+    },
+    /// k-nearest-neighbour search: relation 0's objects ranked by
+    /// distance from a query point, through the picture's R-tree
+    /// (branch-and-bound best-first descent).
+    Nearest {
+        /// The `loc` column driving the search.
+        column: ResolvedColumn,
+        /// Picture whose R-tree is searched.
+        picture: String,
+        /// Number of neighbours.
+        k: usize,
+        /// The query point.
+        point: Point,
     },
     /// Juxtaposition of relations 0 and 1 through both pictures' R-trees.
     Juxtapose {
@@ -147,6 +162,12 @@ impl Plan {
                     out.push_str(&format!("  {line}\n"));
                 }
             }
+            SpatialStrategy::Nearest {
+                picture, k, point, ..
+            } => out.push_str(&format!(
+                "spatial: r-tree k-nn on {picture} ({k} nearest ({}, {}))\n",
+                point.x, point.y
+            )),
             SpatialStrategy::Juxtapose {
                 left_picture,
                 right_picture,
@@ -198,9 +219,10 @@ pub fn plan(db: &PictorialDatabase, query: &Query) -> Result<Plan, PsqlError> {
         from: &query.from,
     };
 
-    let spatial = match &query.at {
-        None => SpatialStrategy::None,
-        Some(at) => plan_at(db, query, &resolver, at)?,
+    let spatial = match (&query.at, &query.nearest) {
+        (None, None) => SpatialStrategy::None,
+        (Some(at), _) => plan_at(db, query, &resolver, at)?,
+        (None, Some(nearest)) => plan_nearest(query, &resolver, nearest)?,
     };
 
     // With no spatial restriction, try a B+tree index for the where
@@ -376,6 +398,28 @@ fn plan_at(
             })
         }
     }
+}
+
+fn plan_nearest(
+    query: &Query,
+    resolver: &Resolver<'_>,
+    nearest: &NearestClause,
+) -> Result<SpatialStrategy, PsqlError> {
+    let lhs = resolver.resolve(&nearest.lhs)?;
+    resolver.require_pointer(&nearest.lhs, lhs)?;
+    let picture = resolver.picture_of(&nearest.lhs, lhs)?;
+    check_on_list(query, &picture)?;
+    if lhs.rel != 0 || query.from.len() != 1 {
+        return Err(PsqlError::Semantic(
+            "nearest search supports a single from-relation".into(),
+        ));
+    }
+    Ok(SpatialStrategy::Nearest {
+        column: lhs,
+        picture,
+        k: nearest.k,
+        point: nearest.point,
+    })
 }
 
 fn check_on_list(query: &Query, picture: &str) -> Result<(), PsqlError> {
@@ -580,6 +624,33 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn nearest_plan() {
+        let db = db();
+        let q =
+            parse_query("select city from cities on us-map at loc nearest 3 {50 +- 0, 25 +- 0}")
+                .unwrap();
+        let p = plan(&db, &q).unwrap();
+        match &p.spatial {
+            SpatialStrategy::Nearest {
+                picture, k, point, ..
+            } => {
+                assert_eq!(picture, "us-map");
+                assert_eq!(*k, 3);
+                assert_eq!(*point, rtree_geom::Point { x: 50.0, y: 25.0 });
+            }
+            other => panic!("expected nearest strategy, got {other:?}"),
+        }
+        assert!(p.explain().contains("k-nn on us-map"));
+        // Nearest over a join is unsupported.
+        let q2 = parse_query(
+            "select city, zone from cities, time-zones on us-map, time-zone-map \
+             at time-zones.loc nearest 2 {50 +- 0, 25 +- 0}",
+        )
+        .unwrap();
+        assert!(plan(&db, &q2).is_err());
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub enum Token {
     Overlapping,
     /// Spatial operator `disjoined`.
     Disjoined,
+    /// Keyword `nearest` (k-nearest-neighbour `at`-clause).
+    Nearest,
     /// Identifier (may contain interior hyphens: `us-map`,
     /// `time-zones`).
     Ident(String),
@@ -96,6 +98,7 @@ impl fmt::Display for Token {
             Token::CoveredBy => f.write_str("covered-by"),
             Token::Overlapping => f.write_str("overlapping"),
             Token::Disjoined => f.write_str("disjoined"),
+            Token::Nearest => f.write_str("nearest"),
             Token::Ident(s) => write!(f, "{s}"),
             Token::Number(n) => write!(f, "{n}"),
             Token::Str(s) => write!(f, "'{s}'"),

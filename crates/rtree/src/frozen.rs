@@ -1,0 +1,802 @@
+//! A frozen (immutable, cache-conscious) compilation of a packed R-tree.
+//!
+//! The pointer tree ([`RTree`]) is logically optimal after PACK but
+//! physically naive: every node owns its own `Vec<Entry>`, so a query
+//! chases one heap pointer per node and the MBR comparisons load
+//! interleaved `Rect` fields. [`FrozenRTree`] recompiles the same tree
+//! into a single contiguous arena:
+//!
+//! * **Breadth-first, level-major node order.** Node 0 is the root, its
+//!   children follow, then theirs — a query's working set is a dense
+//!   prefix of the arena, and "node id" degenerates to an array index.
+//! * **Structure-of-arrays coordinate planes.** Entry rectangles are
+//!   split into four `f64` planes (`x1/y1/x2/y2` = min-x/min-y/max-x/
+//!   max-y), each `fanout` lanes per node, so window pruning is a
+//!   branchless min/max compare loop over contiguous lanes that the
+//!   autovectorizer can chew on.
+//! * **NaN padding lanes.** Nodes with fewer than `fanout` entries pad
+//!   the remaining lanes with `NaN` rectangles. Every query predicate in
+//!   the engine (`INTERSECTS`, `WITHIN`, `contains_point`) is a pure
+//!   conjunction of `<=`/`>=` comparisons, and every comparison against
+//!   NaN is `false` — so padding lanes can never match *any* window,
+//!   including NaN or degenerate ones, and never perturb a counter.
+//!   (`±inf` sentinels would not be safe: an infinite query window
+//!   would match them.)
+//!
+//! Traversal order is replicated bit-for-bit from the pointer tree —
+//! window search pushes children in reverse lane order, point search
+//! forward, k-NN uses the identical best-first heap discipline — so a
+//! frozen tree returns **identical result sequences and identical
+//! [`SearchStats`] counters**, verified by the `rtree-oracle`
+//! differential fuzzer's fourth execution level.
+
+use crate::config::RTreeConfig;
+use crate::knn::{HeapEntry, HeapKind, KnnScratch, Neighbor};
+use crate::node::{Child, ItemId, NodeId};
+use crate::search::{NoStats, SearchScratch, Sink};
+use crate::stats::SearchStats;
+use crate::tree::RTree;
+use rtree_geom::{Point, Rect};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// What one entry of a node fed to [`FrozenRTree::from_nodes`] points at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrozenChild {
+    /// A child node, by the caller's node key (arena index, page id, …).
+    Node(u64),
+    /// A data item (leaf entries only).
+    Item(ItemId),
+}
+
+/// An immutable R-tree compiled into one contiguous SoA arena.
+///
+/// Built from a pointer [`RTree`] with [`freeze`](FrozenRTree::freeze)
+/// (or from any node store with [`from_nodes`](FrozenRTree::from_nodes));
+/// answers the full query surface with results and counters bit-identical
+/// to the source tree.
+#[derive(Debug, Clone)]
+pub struct FrozenRTree {
+    config: RTreeConfig,
+    /// Lanes per node — the branching factor `M` the tree was built with.
+    fanout: usize,
+    /// Nodes in the arena (BFS order, root first).
+    num_nodes: u32,
+    /// BFS index of the first leaf; level-major order puts all leaves in
+    /// one contiguous suffix, so `index >= leaf_start` is the leaf test.
+    leaf_start: u32,
+    depth: u32,
+    len: usize,
+    /// SoA coordinate planes, `num_nodes * fanout` lanes each; unused
+    /// lanes hold NaN.
+    x1: Vec<f64>,
+    y1: Vec<f64>,
+    x2: Vec<f64>,
+    y2: Vec<f64>,
+    /// Per-lane pointer plane: child BFS index for internal lanes, raw
+    /// [`ItemId`] for leaf lanes, 0 for padding.
+    ids: Vec<u64>,
+    /// Valid entries per node (the paper's `VALID`).
+    counts: Vec<u32>,
+}
+
+impl FrozenRTree {
+    /// Compiles a pointer tree into the frozen layout.
+    pub fn freeze(tree: &RTree) -> FrozenRTree {
+        FrozenRTree::from_nodes(
+            tree.config(),
+            tree.depth(),
+            tree.len(),
+            tree.root().index() as u64,
+            |key| {
+                let node = tree.node(NodeId(key as u32));
+                let entries = node
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        let child = match e.child {
+                            Child::Node(c) => FrozenChild::Node(c.index() as u64),
+                            Child::Item(item) => FrozenChild::Item(item),
+                        };
+                        (e.mbr, child)
+                    })
+                    .collect();
+                (node.level, entries)
+            },
+        )
+    }
+
+    /// Compiles a frozen tree from any keyed node store (in-memory arena,
+    /// disk pages, buffer-pool pages): `fetch(key)` returns a node's
+    /// level and entries **in stored order**. Nodes are laid out
+    /// breadth-first from `root`, which for a height-balanced tree is
+    /// level-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node holds more than `config.max_entries` entries or
+    /// if the node graph is not a tree rooted at `root` (a key fetched
+    /// twice).
+    pub fn from_nodes<F>(
+        config: RTreeConfig,
+        depth: u32,
+        len: usize,
+        root: u64,
+        mut fetch: F,
+    ) -> FrozenRTree
+    where
+        F: FnMut(u64) -> (u32, Vec<(Rect, FrozenChild)>),
+    {
+        let fanout = config.max_entries;
+        // Pass 1: breadth-first walk assigning dense indices in dequeue
+        // order; children are enqueued in entry order so siblings stay
+        // adjacent and levels form contiguous runs.
+        let mut nodes: Vec<(u32, Vec<(Rect, FrozenChild)>)> = Vec::new();
+        let mut index_of: HashMap<u64, u32> = HashMap::new();
+        let mut queue: VecDeque<u64> = VecDeque::new();
+        index_of.insert(root, 0);
+        queue.push_back(root);
+        while let Some(key) = queue.pop_front() {
+            let (level, entries) = fetch(key);
+            assert!(
+                entries.len() <= fanout,
+                "node {key} holds {} entries > branching factor {fanout}",
+                entries.len()
+            );
+            for &(_, child) in &entries {
+                if let FrozenChild::Node(c) = child {
+                    let next = (nodes.len() + queue.len() + 1) as u32;
+                    let prev = index_of.insert(c, next);
+                    assert!(prev.is_none(), "node {c} reached through two parents");
+                    queue.push_back(c);
+                }
+            }
+            nodes.push((level, entries));
+        }
+
+        // Pass 2: fill the SoA planes, NaN-padding unused lanes.
+        let num_nodes = nodes.len() as u32;
+        let lanes = nodes.len() * fanout;
+        let mut x1 = vec![f64::NAN; lanes];
+        let mut y1 = vec![f64::NAN; lanes];
+        let mut x2 = vec![f64::NAN; lanes];
+        let mut y2 = vec![f64::NAN; lanes];
+        let mut ids = vec![0u64; lanes];
+        let mut counts = vec![0u32; nodes.len()];
+        let mut leaf_start = num_nodes.saturating_sub(1);
+        for (n, (level, entries)) in nodes.iter().enumerate() {
+            if *level == 0 {
+                leaf_start = leaf_start.min(n as u32);
+            }
+            counts[n] = entries.len() as u32;
+            for (lane, &(mbr, child)) in entries.iter().enumerate() {
+                let i = n * fanout + lane;
+                x1[i] = mbr.min_x;
+                y1[i] = mbr.min_y;
+                x2[i] = mbr.max_x;
+                y2[i] = mbr.max_y;
+                ids[i] = match child {
+                    FrozenChild::Node(c) => index_of[&c] as u64,
+                    FrozenChild::Item(item) => item.0,
+                };
+            }
+        }
+
+        FrozenRTree {
+            config,
+            fanout,
+            num_nodes,
+            leaf_start,
+            depth,
+            len,
+            x1,
+            y1,
+            x2,
+            y2,
+            ids,
+            counts,
+        }
+    }
+
+    /// The configuration of the source tree.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    /// Lanes per node — the branching factor the planes are padded to.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no items are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Root level — 0 for a single-leaf tree.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of nodes in the arena.
+    pub fn node_count(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// The SoA coordinate planes `(x1, y1, x2, y2)`, each
+    /// `node_count() * fanout()` lanes; padding lanes hold NaN.
+    pub fn planes(&self) -> (&[f64], &[f64], &[f64], &[f64]) {
+        (&self.x1, &self.y1, &self.x2, &self.y2)
+    }
+
+    /// BFS index of the root node (always 0).
+    pub fn root_index(&self) -> u32 {
+        0
+    }
+
+    /// `true` if the node at `index` is a leaf.
+    pub fn is_leaf_index(&self, index: u32) -> bool {
+        index >= self.leaf_start
+    }
+
+    /// Valid entries of the node at `index`.
+    pub fn entry_count(&self, index: u32) -> usize {
+        self.counts[index as usize] as usize
+    }
+
+    /// Reassembles the `lane`-th entry rectangle of node `index`.
+    pub fn entry_mbr(&self, index: u32, lane: usize) -> Rect {
+        debug_assert!(lane < self.entry_count(index));
+        let i = index as usize * self.fanout + lane;
+        Rect::new(self.x1[i], self.y1[i], self.x2[i], self.y2[i])
+    }
+
+    /// Child node (BFS index) of an internal entry.
+    pub fn entry_child_node(&self, index: u32, lane: usize) -> u32 {
+        debug_assert!(!self.is_leaf_index(index) && lane < self.entry_count(index));
+        self.ids[index as usize * self.fanout + lane] as u32
+    }
+
+    /// Item of a leaf entry.
+    pub fn entry_child_item(&self, index: u32, lane: usize) -> ItemId {
+        debug_assert!(self.is_leaf_index(index) && lane < self.entry_count(index));
+        ItemId(self.ids[index as usize * self.fanout + lane])
+    }
+
+    /// Minimal rectangle bounding the node at `index`, or `None` if it
+    /// is empty.
+    pub fn node_mbr(&self, index: u32) -> Option<Rect> {
+        Rect::mbr_of_rects((0..self.entry_count(index)).map(|lane| self.entry_mbr(index, lane)))
+    }
+
+    /// Minimal rectangle bounding everything indexed (the root's MBR).
+    pub fn mbr(&self) -> Option<Rect> {
+        self.node_mbr(0)
+    }
+
+    /// All `(mbr, item)` pairs, in exactly the order
+    /// [`RTree::items`] reports them for the source tree.
+    pub fn items(&self) -> Vec<(Rect, ItemId)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![0u32];
+        while let Some(index) = stack.pop() {
+            let leaf = self.is_leaf_index(index);
+            let base = index as usize * self.fanout;
+            for lane in 0..self.counts[index as usize] as usize {
+                if leaf {
+                    out.push((self.entry_mbr(index, lane), ItemId(self.ids[base + lane])));
+                } else {
+                    stack.push(self.ids[base + lane] as u32);
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's `SEARCH` (§3.1) on the frozen layout; results and
+    /// counters are identical to [`RTree::search_within`].
+    pub fn search_within(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.window_traverse(window, true, &mut stack, stats, &mut |item, _| {
+            out.push(item)
+        });
+        out
+    }
+
+    /// Intersection search; identical to [`RTree::search_intersecting`].
+    pub fn search_intersecting(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.window_traverse(window, false, &mut stack, stats, &mut |item, _| {
+            out.push(item)
+        });
+        out
+    }
+
+    /// [`search_within`](Self::search_within) without statistics or
+    /// per-call allocation.
+    pub fn search_within_into<'s>(
+        &self,
+        window: &Rect,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [ItemId] {
+        self.window_into(window, true, scratch)
+    }
+
+    /// [`search_intersecting`](Self::search_intersecting) without
+    /// statistics or per-call allocation.
+    pub fn search_intersecting_into<'s>(
+        &self,
+        window: &Rect,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [ItemId] {
+        self.window_into(window, false, scratch)
+    }
+
+    fn window_into<'s>(
+        &self,
+        window: &Rect,
+        within: bool,
+        scratch: &'s mut SearchScratch,
+    ) -> &'s [ItemId] {
+        let SearchScratch { stack, out, .. } = scratch;
+        out.clear();
+        self.window_traverse(window, within, stack, &mut NoStats, &mut |item, _| {
+            out.push(item)
+        });
+        out
+    }
+
+    /// Streaming variant: invokes `visit(item, mbr)` for every matching
+    /// leaf entry, exactly like [`RTree::search_visit`].
+    pub fn search_visit<F: FnMut(ItemId, Rect)>(
+        &self,
+        window: &Rect,
+        within: bool,
+        stats: &mut SearchStats,
+        visit: &mut F,
+    ) {
+        let mut stack = Vec::new();
+        self.window_traverse(window, within, &mut stack, stats, visit);
+    }
+
+    /// The hot loop. Pruning scans the four coordinate planes of one
+    /// node as contiguous `f64` lanes, folding the comparisons into a
+    /// hit mask with non-short-circuiting `&` (no per-lane branches);
+    /// matching children are then pushed highest-lane-first so the
+    /// visit order — and therefore every result sequence and counter —
+    /// matches the pointer tree's reverse-order push exactly. NaN
+    /// padding lanes fail every comparison and never set a mask bit.
+    fn window_traverse<S: Sink, F: FnMut(ItemId, Rect)>(
+        &self,
+        window: &Rect,
+        within: bool,
+        stack: &mut Vec<NodeId>,
+        sink: &mut S,
+        visit: &mut F,
+    ) {
+        sink.query();
+        stack.clear();
+        stack.push(NodeId(0));
+        let fanout = self.fanout;
+        while let Some(id) = stack.pop() {
+            let n = id.index();
+            let leaf = self.is_leaf_index(n as u32);
+            sink.node(leaf);
+            let base = n * fanout;
+            let x1 = &self.x1[base..base + fanout];
+            let y1 = &self.y1[base..base + fanout];
+            let x2 = &self.x2[base..base + fanout];
+            let y2 = &self.y2[base..base + fanout];
+            let ids = &self.ids[base..base + fanout];
+            if leaf {
+                for lane in 0..fanout {
+                    // WITHIN is the paper's containment test
+                    // (`Rect::covered_by`), the intersection arm is
+                    // `Rect::intersects`; both written out over the
+                    // planes so NaN padding lanes evaluate false.
+                    let hit = if within {
+                        (window.min_x <= x1[lane])
+                            & (window.min_y <= y1[lane])
+                            & (x2[lane] <= window.max_x)
+                            & (y2[lane] <= window.max_y)
+                    } else {
+                        (x1[lane] <= window.max_x)
+                            & (window.min_x <= x2[lane])
+                            & (y1[lane] <= window.max_y)
+                            & (window.min_y <= y2[lane])
+                    };
+                    if hit {
+                        sink.item();
+                        visit(
+                            ItemId(ids[lane]),
+                            Rect::new(x1[lane], y1[lane], x2[lane], y2[lane]),
+                        );
+                    }
+                }
+            } else if fanout <= 64 {
+                let mut mask: u64 = 0;
+                for lane in 0..fanout {
+                    let hit = (x1[lane] <= window.max_x)
+                        & (window.min_x <= x2[lane])
+                        & (y1[lane] <= window.max_y)
+                        & (window.min_y <= y2[lane]);
+                    mask |= (hit as u64) << lane;
+                }
+                while mask != 0 {
+                    let lane = 63 - mask.leading_zeros() as usize;
+                    mask &= !(1u64 << lane);
+                    stack.push(NodeId(ids[lane] as u32));
+                }
+            } else {
+                for lane in (0..fanout).rev() {
+                    let hit = (x1[lane] <= window.max_x)
+                        & (window.min_x <= x2[lane])
+                        & (y1[lane] <= window.max_y)
+                        & (window.min_y <= y2[lane]);
+                    if hit {
+                        stack.push(NodeId(ids[lane] as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Table 1 point query; identical to [`RTree::point_query`].
+    pub fn point_query(&self, p: Point, stats: &mut SearchStats) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.point_traverse(p, &mut stack, stats, &mut out);
+        out
+    }
+
+    /// [`point_query`](Self::point_query) without statistics or per-call
+    /// allocation.
+    pub fn point_query_into<'s>(&self, p: Point, scratch: &'s mut SearchScratch) -> &'s [ItemId] {
+        let SearchScratch { stack, out, .. } = scratch;
+        out.clear();
+        self.point_traverse(p, stack, &mut NoStats, out);
+        out
+    }
+
+    fn point_traverse<S: Sink>(
+        &self,
+        p: Point,
+        stack: &mut Vec<NodeId>,
+        sink: &mut S,
+        out: &mut Vec<ItemId>,
+    ) {
+        sink.query();
+        stack.clear();
+        stack.push(NodeId(0));
+        let fanout = self.fanout;
+        while let Some(id) = stack.pop() {
+            let n = id.index();
+            let leaf = self.is_leaf_index(n as u32);
+            sink.node(leaf);
+            let base = n * fanout;
+            let x1 = &self.x1[base..base + fanout];
+            let y1 = &self.y1[base..base + fanout];
+            let x2 = &self.x2[base..base + fanout];
+            let y2 = &self.y2[base..base + fanout];
+            let ids = &self.ids[base..base + fanout];
+            for lane in 0..fanout {
+                // `Rect::contains_point` over the planes; NaN lanes fail.
+                let hit =
+                    (x1[lane] <= p.x) & (p.x <= x2[lane]) & (y1[lane] <= p.y) & (p.y <= y2[lane]);
+                if hit {
+                    if leaf {
+                        sink.item();
+                        out.push(ItemId(ids[lane]));
+                    } else {
+                        stack.push(NodeId(ids[lane] as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Best-first k-NN; neighbours and counters are identical to
+    /// [`RTree::nearest_neighbors`].
+    pub fn nearest_neighbors(&self, p: Point, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        let mut heap = BinaryHeap::new();
+        let mut out = Vec::with_capacity(k);
+        self.knn_traverse(p, k, stats, &mut heap, &mut out);
+        out
+    }
+
+    /// [`nearest_neighbors`](Self::nearest_neighbors) without statistics
+    /// or per-call allocation.
+    pub fn nearest_neighbors_into<'s>(
+        &self,
+        p: Point,
+        k: usize,
+        scratch: &'s mut KnnScratch,
+    ) -> &'s [Neighbor] {
+        let KnnScratch { heap, out } = scratch;
+        self.knn_traverse(p, k, &mut NoStats, heap, out);
+        out
+    }
+
+    /// The single nearest item to `p`, if the tree is non-empty.
+    pub fn nearest_neighbor(&self, p: Point, stats: &mut SearchStats) -> Option<Neighbor> {
+        self.nearest_neighbors(p, 1, stats).into_iter().next()
+    }
+
+    /// Same heap discipline as the pointer tree's branch and bound; the
+    /// only difference is that entry expansion iterates valid lanes only
+    /// (padding lanes would poison the heap with NaN distances, which
+    /// `total_cmp` orders above every real distance).
+    fn knn_traverse<S: Sink>(
+        &self,
+        p: Point,
+        k: usize,
+        sink: &mut S,
+        heap: &mut BinaryHeap<HeapEntry>,
+        out: &mut Vec<Neighbor>,
+    ) {
+        sink.query();
+        heap.clear();
+        out.clear();
+        if k == 0 || self.is_empty() {
+            return;
+        }
+        heap.push(HeapEntry {
+            dist: 0.0,
+            kind: HeapKind::Node(NodeId(0)),
+        });
+        while let Some(HeapEntry { dist, kind }) = heap.pop() {
+            match kind {
+                HeapKind::Item(item, mbr) => {
+                    out.push(Neighbor {
+                        item,
+                        mbr,
+                        distance_sq: dist,
+                    });
+                    sink.item();
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapKind::Node(id) => {
+                    let index = id.0;
+                    let leaf = self.is_leaf_index(index);
+                    sink.node(leaf);
+                    let base = id.index() * self.fanout;
+                    for lane in 0..self.counts[id.index()] as usize {
+                        let mbr = self.entry_mbr(index, lane);
+                        let d = mbr.min_distance_sq(p);
+                        if leaf {
+                            heap.push(HeapEntry {
+                                dist: d,
+                                kind: HeapKind::Item(ItemId(self.ids[base + lane]), mbr),
+                            });
+                        } else {
+                            heap.push(HeapEntry {
+                                dist: d,
+                                kind: HeapKind::Node(NodeId(self.ids[base + lane] as u32)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Rect {
+        Rect::from_point(Point::new(x, y))
+    }
+
+    fn build(n: usize) -> RTree {
+        let mut t = RTree::new(RTreeConfig::PAPER);
+        for i in 0..n {
+            let x = (i % 23) as f64 * 3.0 + (i as f64 * 0.01);
+            let y = (i / 23) as f64 * 4.0;
+            t.insert(pt(x, y), ItemId(i as u64));
+        }
+        t
+    }
+
+    #[test]
+    fn planes_are_padded_to_fanout() {
+        let tree = build(57);
+        let f = FrozenRTree::freeze(&tree);
+        let lanes = f.node_count() * f.fanout();
+        let (x1, y1, x2, y2) = f.planes();
+        assert_eq!(x1.len(), lanes);
+        assert_eq!(y1.len(), lanes);
+        assert_eq!(x2.len(), lanes);
+        assert_eq!(y2.len(), lanes);
+        // Every lane beyond a node's count is a NaN sentinel in all four
+        // planes.
+        let mut padding = 0;
+        for n in 0..f.node_count() {
+            for lane in f.entry_count(n as u32)..f.fanout() {
+                let i = n * f.fanout() + lane;
+                assert!(x1[i].is_nan() && y1[i].is_nan() && x2[i].is_nan() && y2[i].is_nan());
+                padding += 1;
+            }
+        }
+        assert_eq!(
+            padding,
+            lanes - tree.iter_nodes().map(|(_, n)| n.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn bfs_order_is_level_major() {
+        let tree = build(200);
+        let f = FrozenRTree::freeze(&tree);
+        // The defining BFS property: concatenating the child lists of
+        // nodes 0, 1, 2, … yields exactly the indices 1..num_nodes in
+        // order — siblings adjacent, levels in contiguous runs, leaves a
+        // contiguous suffix.
+        let mut expected = 1u32;
+        for index in 0..f.node_count() as u32 {
+            if f.is_leaf_index(index) {
+                continue;
+            }
+            for lane in 0..f.entry_count(index) {
+                assert_eq!(f.entry_child_node(index, lane), expected);
+                expected += 1;
+            }
+        }
+        assert_eq!(expected as usize, f.node_count());
+        assert_eq!(f.depth(), tree.depth());
+        assert_eq!(f.node_count(), tree.node_count());
+        assert_eq!(f.len(), tree.len());
+        assert_eq!(f.mbr(), tree.mbr());
+    }
+
+    #[test]
+    fn padding_lanes_never_match_any_window() {
+        let tree = build(57);
+        let f = FrozenRTree::freeze(&tree);
+        let t_stats = &mut SearchStats::default();
+        let f_stats = &mut SearchStats::default();
+        // Regular, degenerate, infinite, and NaN windows (the
+        // `intersection_area` NaN-guard vectors from the geometry
+        // tests): a padding lane must never contribute a hit or a node
+        // visit under any of them.
+        // (Struct literals: `Rect::new` debug-asserts finiteness, but the
+        // search predicates operate on raw fields and must stay safe for
+        // any bit pattern.)
+        let windows = [
+            Rect::new(0.0, 0.0, 30.0, 30.0),
+            Rect::new(5.0, 5.0, 5.0, 5.0),
+            Rect {
+                min_x: f64::NEG_INFINITY,
+                min_y: f64::NEG_INFINITY,
+                max_x: f64::INFINITY,
+                max_y: f64::INFINITY,
+            },
+            Rect {
+                min_x: f64::NAN,
+                min_y: 0.0,
+                max_x: 10.0,
+                max_y: 10.0,
+            },
+            Rect {
+                min_x: 0.0,
+                min_y: 0.0,
+                max_x: f64::NAN,
+                max_y: f64::NAN,
+            },
+        ];
+        for w in &windows {
+            assert_eq!(f.search_within(w, f_stats), tree.search_within(w, t_stats));
+            assert_eq!(
+                f.search_intersecting(w, f_stats),
+                tree.search_intersecting(w, t_stats)
+            );
+        }
+        assert_eq!(f_stats, t_stats);
+    }
+
+    #[test]
+    fn frozen_matches_pointer_tree_on_all_paths() {
+        let tree = build(300);
+        let f = FrozenRTree::freeze(&tree);
+        let mut ts = SearchStats::default();
+        let mut fs = SearchStats::default();
+        let mut t_scratch = SearchScratch::new();
+        let mut f_scratch = SearchScratch::new();
+        for q in 0..40 {
+            let g = q as f64;
+            let w = Rect::new(g, g * 0.7, g + 15.0, g * 0.7 + 12.0);
+            assert_eq!(
+                f.search_within(&w, &mut fs),
+                tree.search_within(&w, &mut ts)
+            );
+            assert_eq!(
+                f.search_intersecting(&w, &mut fs),
+                tree.search_intersecting(&w, &mut ts)
+            );
+            assert_eq!(
+                f.search_within_into(&w, &mut f_scratch),
+                tree.search_within_into(&w, &mut t_scratch)
+            );
+            let p = Point::new(g * 1.5, g);
+            assert_eq!(f.point_query(p, &mut fs), tree.point_query(p, &mut ts));
+            assert_eq!(
+                f.point_query_into(p, &mut f_scratch),
+                tree.point_query_into(p, &mut t_scratch)
+            );
+            let fk = f.nearest_neighbors(p, 9, &mut fs);
+            let tk = tree.nearest_neighbors(p, 9, &mut ts);
+            assert_eq!(fk, tk);
+        }
+        assert_eq!(fs, ts, "frozen counters diverged from pointer tree");
+        assert_eq!(f.items(), tree.items());
+    }
+
+    #[test]
+    fn knn_ignores_padding_lanes_even_when_k_exceeds_population() {
+        let tree = build(5);
+        let f = FrozenRTree::freeze(&tree);
+        let mut stats = SearchStats::default();
+        let got = f.nearest_neighbors(Point::new(1.0, 1.0), 50, &mut stats);
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(|n| n.distance_sq.is_finite()));
+    }
+
+    #[test]
+    fn empty_tree_freezes_and_searches() {
+        let tree = RTree::new(RTreeConfig::PAPER);
+        let f = FrozenRTree::freeze(&tree);
+        assert!(f.is_empty());
+        assert_eq!(f.node_count(), 1);
+        let mut fs = SearchStats::default();
+        let mut ts = SearchStats::default();
+        let w = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(
+            f.search_within(&w, &mut fs),
+            tree.search_within(&w, &mut ts)
+        );
+        assert!(f
+            .nearest_neighbors(Point::new(0.0, 0.0), 3, &mut fs)
+            .is_empty());
+        assert!(tree
+            .nearest_neighbors(Point::new(0.0, 0.0), 3, &mut ts)
+            .is_empty());
+        assert_eq!(fs, ts);
+        assert_eq!(f.mbr(), None);
+    }
+
+    #[test]
+    fn scratch_paths_are_allocation_free_after_warmup() {
+        let tree = build(500);
+        let f = FrozenRTree::freeze(&tree);
+        let mut scratch = SearchScratch::new();
+        let mut knn = KnnScratch::new();
+        let windows: Vec<Rect> = (0..30)
+            .map(|q| {
+                let g = q as f64;
+                Rect::new(g, g, g + 25.0, g + 25.0)
+            })
+            .collect();
+        for w in &windows {
+            f.search_within_into(w, &mut scratch);
+            f.nearest_neighbors_into(Point::new(w.min_x, w.min_y), 8, &mut knn);
+        }
+        let warm = (scratch.capacities(), knn.capacities());
+        for _ in 0..5 {
+            for w in &windows {
+                f.search_within_into(w, &mut scratch);
+                f.search_intersecting_into(w, &mut scratch);
+                f.nearest_neighbors_into(Point::new(w.min_x, w.min_y), 8, &mut knn);
+            }
+            assert_eq!((scratch.capacities(), knn.capacities()), warm);
+        }
+    }
+}

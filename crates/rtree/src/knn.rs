@@ -5,7 +5,8 @@
 //! SIGMOD 1995); included because packed trees make it markedly cheaper
 //! and the `knn` bench uses it as an ablation workload.
 
-use crate::node::{Child, ItemId};
+use crate::node::{Child, ItemId, NodeId};
+use crate::search::{NoStats, Sink};
 use crate::stats::SearchStats;
 use crate::tree::RTree;
 use rtree_geom::{Point, Rect};
@@ -25,14 +26,45 @@ pub struct Neighbor {
 }
 
 /// Min-heap wrapper ordered by distance.
-struct HeapEntry {
-    dist: f64,
-    kind: HeapKind,
+#[derive(Debug, Clone)]
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) kind: HeapKind,
 }
 
-enum HeapKind {
-    Node(crate::node::NodeId),
+#[derive(Debug, Clone)]
+pub(crate) enum HeapKind {
+    Node(NodeId),
     Item(ItemId, Rect),
+}
+
+/// Reusable state for the allocation-free k-NN path: the best-first
+/// priority queue and the result list, allocated once and reused across
+/// [`nearest_neighbors_into`](RTree::nearest_neighbors_into) calls —
+/// the k-NN analogue of [`SearchScratch`](crate::SearchScratch).
+#[derive(Debug, Default, Clone)]
+pub struct KnnScratch {
+    pub(crate) heap: BinaryHeap<HeapEntry>,
+    pub(crate) out: Vec<Neighbor>,
+}
+
+impl KnnScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        KnnScratch::default()
+    }
+
+    /// The neighbours of the most recent `nearest_neighbors_into` query.
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.out
+    }
+
+    /// Current capacity of the two buffers `(heap, results)` — stable
+    /// capacities across queries demonstrate the zero-allocation steady
+    /// state.
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.heap.capacity(), self.out.capacity())
+    }
 }
 
 impl PartialEq for HeapEntry {
@@ -62,12 +94,43 @@ impl RTree {
     /// still contribute a closer result, so visited-node counts directly
     /// reflect how well the tree's MBRs cluster.
     pub fn nearest_neighbors(&self, p: Point, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
-        stats.queries += 1;
-        let mut out = Vec::with_capacity(k);
-        if k == 0 || self.is_empty() {
-            return out;
-        }
         let mut heap = BinaryHeap::new();
+        let mut out = Vec::with_capacity(k);
+        self.knn_traverse(p, k, stats, &mut heap, &mut out);
+        out
+    }
+
+    /// [`nearest_neighbors`](Self::nearest_neighbors) without statistics
+    /// or per-call allocation: the heap and result list live in (and are
+    /// borrowed from) the reusable `scratch`.
+    pub fn nearest_neighbors_into<'s>(
+        &self,
+        p: Point,
+        k: usize,
+        scratch: &'s mut KnnScratch,
+    ) -> &'s [Neighbor] {
+        let KnnScratch { heap, out } = scratch;
+        self.knn_traverse(p, k, &mut NoStats, heap, out);
+        out
+    }
+
+    /// Best-first branch and bound over an explicit min-heap, identical
+    /// for the stats path and the scratch path so both report the same
+    /// neighbours in the same order.
+    fn knn_traverse<S: Sink>(
+        &self,
+        p: Point,
+        k: usize,
+        sink: &mut S,
+        heap: &mut BinaryHeap<HeapEntry>,
+        out: &mut Vec<Neighbor>,
+    ) {
+        sink.query();
+        heap.clear();
+        out.clear();
+        if k == 0 || self.is_empty() {
+            return;
+        }
         heap.push(HeapEntry {
             dist: 0.0,
             kind: HeapKind::Node(self.root()),
@@ -80,17 +143,14 @@ impl RTree {
                         mbr,
                         distance_sq: dist,
                     });
-                    stats.items_reported += 1;
+                    sink.item();
                     if out.len() == k {
                         break;
                     }
                 }
                 HeapKind::Node(id) => {
-                    stats.nodes_visited += 1;
                     let node = self.node(id);
-                    if node.is_leaf() {
-                        stats.leaf_nodes_visited += 1;
-                    }
+                    sink.node(node.is_leaf());
                     for e in &node.entries {
                         let d = e.mbr.min_distance_sq(p);
                         match e.child {
@@ -107,7 +167,6 @@ impl RTree {
                 }
             }
         }
-        out
     }
 
     /// The single nearest item to `p`, if the tree is non-empty.
@@ -186,6 +245,40 @@ mod tests {
         let mut stats = SearchStats::default();
         let got = t.nearest_neighbors(Point::new(0.0, 0.0), 50, &mut stats);
         assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn into_path_matches_stats_path() {
+        let t = build_grid(100);
+        let mut stats = SearchStats::default();
+        let mut scratch = KnnScratch::new();
+        for (qx, qy) in [(0.0, 0.0), (45.5, 45.5), (91.0, 2.0), (-10.0, 120.0)] {
+            let q = Point::new(qx, qy);
+            assert_eq!(
+                t.nearest_neighbors_into(q, 7, &mut scratch),
+                t.nearest_neighbors(q, 7, &mut stats).as_slice()
+            );
+            assert_eq!(scratch.neighbors().len(), 7);
+        }
+    }
+
+    #[test]
+    fn knn_scratch_stops_growing() {
+        let t = build_grid(100);
+        let mut scratch = KnnScratch::new();
+        let queries: Vec<Point> = (0..20)
+            .map(|i| Point::new((i * 7 % 90) as f64, (i * 13 % 90) as f64))
+            .collect();
+        for q in &queries {
+            t.nearest_neighbors_into(*q, 10, &mut scratch);
+        }
+        let warm = scratch.capacities();
+        for _ in 0..5 {
+            for q in &queries {
+                t.nearest_neighbors_into(*q, 10, &mut scratch);
+            }
+            assert_eq!(scratch.capacities(), warm, "knn scratch reallocated");
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod ascii;
 pub mod builder;
 pub mod config;
 mod delete;
+pub mod frozen;
 mod insert;
 pub mod iter;
 pub mod knn;
@@ -43,6 +44,8 @@ pub mod tree;
 
 pub use builder::{BottomUpBuilder, ReservedRange};
 pub use config::{RTreeConfig, SplitPolicy};
+pub use frozen::{FrozenChild, FrozenRTree};
+pub use knn::{KnnScratch, Neighbor};
 pub use metrics::TreeMetrics;
 pub use node::{Child, Entry, ItemId, Node, NodeId};
 pub use search::SearchScratch;

@@ -1,6 +1,7 @@
 //! Direct spatial search — the paper's recursive `SEARCH` procedure (§3.1)
 //! and its variants.
 
+use crate::knn::KnnScratch;
 use crate::node::{Child, ItemId, NodeId};
 use crate::stats::SearchStats;
 use crate::tree::RTree;
@@ -14,10 +15,14 @@ use rtree_geom::{Point, Rect};
 /// allocated once and reused — steady-state queries touch the heap only
 /// while the buffers are still growing toward the workload's high-water
 /// mark, after which they allocate nothing.
+///
+/// The scratch also embeds a [`KnnScratch`] so one per-worker value covers
+/// the whole allocation-free query surface (window, point and k-NN).
 #[derive(Debug, Default, Clone)]
 pub struct SearchScratch {
-    stack: Vec<NodeId>,
-    out: Vec<ItemId>,
+    pub(crate) stack: Vec<NodeId>,
+    pub(crate) out: Vec<ItemId>,
+    knn: KnnScratch,
 }
 
 impl SearchScratch {
@@ -37,19 +42,25 @@ impl SearchScratch {
     pub fn capacities(&self) -> (usize, usize) {
         (self.stack.capacity(), self.out.capacity())
     }
+
+    /// The embedded k-NN scratch, for routing `nearest_neighbors_into`
+    /// through the same per-worker state as the window paths.
+    pub fn knn(&mut self) -> &mut KnnScratch {
+        &mut self.knn
+    }
 }
 
 /// Where traversal counters go. The statistics-free implementation is a
 /// set of empty inlined methods, so the fast path pays nothing for the
 /// instrumentation the paper's Table 1 experiments need.
-trait Sink {
+pub(crate) trait Sink {
     fn query(&mut self) {}
     fn node(&mut self, _is_leaf: bool) {}
     fn item(&mut self) {}
 }
 
 /// The no-op sink of the `*_into` fast paths.
-struct NoStats;
+pub(crate) struct NoStats;
 
 impl Sink for NoStats {}
 
@@ -128,7 +139,7 @@ impl RTree {
         within: bool,
         scratch: &'s mut SearchScratch,
     ) -> &'s [ItemId] {
-        let SearchScratch { stack, out } = scratch;
+        let SearchScratch { stack, out, .. } = scratch;
         out.clear();
         self.window_traverse(window, within, stack, &mut NoStats, &mut |item, _| {
             out.push(item)
@@ -207,7 +218,7 @@ impl RTree {
     /// [`point_query`](Self::point_query) without statistics or per-call
     /// allocation.
     pub fn point_query_into<'s>(&self, p: Point, scratch: &'s mut SearchScratch) -> &'s [ItemId] {
-        let SearchScratch { stack, out } = scratch;
+        let SearchScratch { stack, out, .. } = scratch;
         out.clear();
         self.point_traverse(p, stack, &mut NoStats, out);
         out

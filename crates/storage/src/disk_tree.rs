@@ -24,7 +24,9 @@ use crate::meta::{self, META_SLOTS};
 use crate::page::{Page, PageId, PageType};
 use crate::pager::PageStore;
 use rtree_geom::{Point, Rect};
-use rtree_index::{Child, ItemId, NodeId, RTree, SearchStats};
+use rtree_index::{
+    Child, FrozenChild, FrozenRTree, ItemId, NodeId, RTree, RTreeConfig, SearchStats,
+};
 use std::io;
 
 /// Identifies a [`DiskRTree`] meta slot ("PRTREE85" little-endian).
@@ -279,6 +281,57 @@ impl DiskRTree {
         }
         Ok(out)
     }
+
+    /// Materializes the page image as an in-memory
+    /// [`FrozenRTree`] — the cache-conscious SoA layout — reading every
+    /// reachable page through `pool` once. The disk image does not record
+    /// its packing configuration, so the caller supplies the `config` the
+    /// tree was built with.
+    pub fn freeze(&self, pool: &BufferPool<'_>, config: RTreeConfig) -> StorageResult<FrozenRTree> {
+        frozen_from_dump(
+            self.dump_nodes(pool)?,
+            config,
+            self.depth,
+            self.len,
+            self.root,
+        )
+    }
+}
+
+/// Compiles a `dump_nodes` result into a [`FrozenRTree`]; shared by
+/// [`DiskRTree::freeze`] and [`PagedRTree::freeze`](crate::PagedRTree::freeze).
+pub(crate) fn frozen_from_dump(
+    dump: Vec<(PageId, DiskNode)>,
+    config: RTreeConfig,
+    depth: u32,
+    len: usize,
+    root: PageId,
+) -> StorageResult<FrozenRTree> {
+    let nodes: std::collections::HashMap<u64, DiskNode> =
+        dump.into_iter().map(|(pid, n)| (pid.0 as u64, n)).collect();
+    Ok(FrozenRTree::from_nodes(
+        config,
+        depth,
+        len,
+        root.0 as u64,
+        |key| {
+            let node = &nodes[&key];
+            let leaf = node.is_leaf();
+            let entries = node
+                .entries
+                .iter()
+                .map(|e| {
+                    let child = if leaf {
+                        FrozenChild::Item(ItemId(e.child))
+                    } else {
+                        FrozenChild::Node(e.child)
+                    };
+                    (e.mbr, child)
+                })
+                .collect();
+            (node.level, entries)
+        },
+    ))
 }
 
 /// Decodes a node page through the pool, attaching the page id to any

@@ -277,6 +277,20 @@ impl<'a> PagedRTree<'a> {
         Ok(out)
     }
 
+    /// Materializes the current tree as an in-memory
+    /// [`rtree_index::FrozenRTree`] — the cache-conscious SoA layout —
+    /// reading every reachable page once. Works on any committed state,
+    /// including one freshly reopened after a crash.
+    pub fn freeze(&self) -> StorageResult<rtree_index::FrozenRTree> {
+        crate::disk_tree::frozen_from_dump(
+            self.dump_nodes()?,
+            self.config,
+            self.depth,
+            self.len,
+            self.root,
+        )
+    }
+
     // ------------------------------------------------------------------
     // Search
     // ------------------------------------------------------------------
