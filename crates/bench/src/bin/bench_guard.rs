@@ -1,31 +1,44 @@
-//! Performance regression guard for the window-query hot path.
+//! Performance regression guard for the window-query hot paths.
 //!
-//! Re-measures the 1M-point scratch-path window-query profile of
-//! `pack_scaling` (same seeds, same tree, same 2000 windows) and fails
-//! — exit code 1 — if the measured ns/op exceeds the committed
-//! `BENCH_pack.json` baseline by more than the allowed factor. The
-//! factor defaults to 2.0: CI runners are slower and noisier than the
-//! machine that wrote the baseline, so the guard only trips on gross
-//! regressions (an accidentally quadratic traversal, a reintroduced
-//! per-query allocation storm), never on scheduler jitter.
+//! Re-measures the 1M-point window-query profile of `pack_scaling`
+//! (same seeds, same tree, same 2000 windows) on three paths —
+//!
+//! 1. the pointer-tree scratch path, against the committed
+//!    `BENCH_pack.json` (`scratch_path_ns_per_op`);
+//! 2. the frozen-arena scratch path, against the committed
+//!    `BENCH_layout.json` (`frozen_scratch_ns_per_op`);
+//! 3. the batched window path in packs of 64, against the committed
+//!    `BENCH_layout.json` (`batch_64_ns_per_op`);
+//!
+//! — and fails (exit code 1) if any measured ns/op exceeds its
+//! baseline by more than the allowed factor. The factor defaults to
+//! 2.0: CI runners are slower and noisier than the machine that wrote
+//! the baselines, so the guard only trips on gross regressions (an
+//! accidentally quadratic traversal, a reintroduced per-query
+//! allocation storm, a batch engine that stopped sharing fetches),
+//! never on scheduler jitter.
 //!
 //! Environment knobs:
 //! - `BENCH_GUARD_FACTOR`  — allowed slowdown factor (default `2.0`)
 //! - `BENCH_GUARD_N`       — dataset size (default `1000000`)
-//! - `BENCH_GUARD_BASELINE` — path to the baseline JSON (default
-//!   `BENCH_pack.json`)
+//! - `BENCH_GUARD_BASELINE` — path to the pointer baseline JSON
+//!   (default `BENCH_pack.json`)
+//! - `BENCH_GUARD_LAYOUT_BASELINE` — path to the frozen/batched
+//!   baseline JSON (default `BENCH_layout.json`)
 //!
 //! Run with: `cargo run --release -p rtree-bench --bin bench_guard`
 
 use packed_rtree_core::{default_threads, pack_parallel_with, PackStrategy};
 use rtree_bench::experiment_seed;
-use rtree_index::{RTreeConfig, SearchScratch};
+use rtree_index::{BatchScratch, FrozenRTree, RTreeConfig, SearchScratch};
 use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
 use std::time::Instant;
 
 fn main() {
     let baseline_path =
         std::env::var("BENCH_GUARD_BASELINE").unwrap_or_else(|_| "BENCH_pack.json".to_string());
+    let layout_path = std::env::var("BENCH_GUARD_LAYOUT_BASELINE")
+        .unwrap_or_else(|_| "BENCH_layout.json".to_string());
     let factor: f64 = std::env::var("BENCH_GUARD_FACTOR")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -35,20 +48,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000_000);
 
-    let text = match std::fs::read_to_string(&baseline_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("bench_guard: cannot read {baseline_path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    let baseline_ns = match json_number(&text, "scratch_path_ns_per_op") {
-        Some(v) => v,
-        None => {
-            eprintln!("bench_guard: no scratch_path_ns_per_op in {baseline_path}");
-            std::process::exit(1);
-        }
-    };
+    let pointer_baseline = read_baseline(&baseline_path, "scratch_path_ns_per_op");
+    let frozen_baseline = read_baseline(&layout_path, "frozen_scratch_ns_per_op");
+    let batch_baseline = read_baseline(&layout_path, "batch_64_ns_per_op");
 
     let seed = experiment_seed();
     let mut data_rng = rng(seed ^ 0x9e3779b97f4a7c15);
@@ -60,37 +62,84 @@ fn main() {
         PackStrategy::NearestNeighbor,
         default_threads(),
     );
+    let frozen = FrozenRTree::freeze(&tree);
     let mut q_rng = rng(seed ^ 0x5851f42d4c957f2d);
     let windows = queries::window_queries(&mut q_rng, &PAPER_UNIVERSE, 2_000, 0.0001);
 
     let mut scratch = SearchScratch::new();
-    // Warm-up pass, then best-of-three timed passes (a single pass on a
-    // shared CI box can be unlucky; three rarely all are).
-    for w in &windows {
-        std::hint::black_box(tree.search_within_into(w, &mut scratch));
-    }
-    let mut measured_ns = f64::INFINITY;
-    for _ in 0..3 {
-        let start = Instant::now();
+    let pointer_ns = best_of_three(windows.len(), || {
         for w in &windows {
             std::hint::black_box(tree.search_within_into(w, &mut scratch));
         }
-        measured_ns = measured_ns.min(start.elapsed().as_nanos() as f64 / windows.len() as f64);
-    }
+    });
+    let frozen_ns = best_of_three(windows.len(), || {
+        for w in &windows {
+            std::hint::black_box(frozen.search_within_into(w, &mut scratch));
+        }
+    });
+    let mut batch = BatchScratch::new();
+    let batch_ns = best_of_three(windows.len(), || {
+        for chunk in windows.chunks(64) {
+            std::hint::black_box(frozen.batch_windows(chunk, true, &mut batch));
+        }
+    });
 
-    let limit = baseline_ns * factor;
-    println!(
-        "bench_guard: window-query scratch path {measured_ns:.0} ns/op \
-         (baseline {baseline_ns:.0}, limit {limit:.0} = {factor}x, n = {n})"
-    );
-    if measured_ns > limit {
-        eprintln!(
-            "bench_guard: FAIL — {measured_ns:.0} ns/op exceeds {factor}x the \
-             committed baseline; the query hot path has regressed"
+    let mut failed = false;
+    for (name, measured, baseline) in [
+        ("pointer scratch", pointer_ns, pointer_baseline),
+        ("frozen scratch", frozen_ns, frozen_baseline),
+        ("batched (64)", batch_ns, batch_baseline),
+    ] {
+        let limit = baseline * factor;
+        println!(
+            "bench_guard: {name} window path {measured:.0} ns/op \
+             (baseline {baseline:.0}, limit {limit:.0} = {factor}x, n = {n})"
         );
+        if measured > limit {
+            eprintln!(
+                "bench_guard: FAIL — {name} at {measured:.0} ns/op exceeds {factor}x \
+                 the committed baseline; the query hot path has regressed"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("bench_guard: OK");
+}
+
+/// Reads `key` from the baseline JSON at `path`, failing loudly if the
+/// file or key is missing — a guard that silently skips is no guard.
+fn read_baseline(path: &str, key: &str) -> f64 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match json_number(&text, key) {
+        Some(v) => v,
+        None => {
+            eprintln!("bench_guard: no {key} in {path}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Best-of-three ns/op over `n` operations after one untimed warm-up
+/// pass (a single pass on a shared CI box can be unlucky; three rarely
+/// all are).
+fn best_of_three(n: usize, mut run: impl FnMut()) -> f64 {
+    run();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+    best
 }
 
 /// Extracts `"key": <number>` from a JSON document by string scan — the

@@ -21,7 +21,7 @@ use packed_rtree_core::{default_threads, pack_parallel_with, PackStrategy};
 use psql::join::{frozen_join, rtree_join, JoinStats};
 use rtree_bench::report::{f, Table};
 use rtree_bench::{build_pack, experiment_seed};
-use rtree_index::{FrozenRTree, ItemId, RTreeConfig, SearchScratch, SearchStats};
+use rtree_index::{BatchScratch, FrozenRTree, ItemId, RTreeConfig, SearchScratch, SearchStats};
 use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
 use std::time::Instant;
 
@@ -37,12 +37,18 @@ fn main() {
 }
 
 /// ns/op of `run` over `n` operations: one untimed full pass (warm-up),
-/// then a timed pass.
+/// then the best of three timed passes — the same methodology as
+/// `bench_guard`, so committed numbers and CI guard measurements are
+/// comparable and shared-box noise inflates neither side of a ratio.
 fn ns_per_op<T>(n: usize, mut run: impl FnMut() -> T) -> f64 {
     std::hint::black_box(run());
-    let start = Instant::now();
-    std::hint::black_box(run());
-    start.elapsed().as_nanos() as f64 / n as f64
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        std::hint::black_box(run());
+        best = best.min(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+    best
 }
 
 /// The paper's Table-1 shape: J=900 uniform points, 1000 random
@@ -203,6 +209,34 @@ fn million_point_ab(seed: u64, table1: (f64, f64, f64)) {
         );
     }
 
+    // --- batched windows sweep --------------------------------------
+    // The same 2000-window workload pushed through the batch API in
+    // packs of 1/8/64/512: Z-order grouping + the shared wavefront
+    // traversal fetch each node once per pack and keep the frontier a
+    // prefetch lookahead ahead of the pruning point, so bigger packs
+    // amortize more of the memory-latency bill.
+    let mut batch = BatchScratch::new();
+    let mut batched_ns = Vec::new();
+    for &bs in &[1usize, 8, 64, 512] {
+        let ns = ns_per_op(windows.len(), || {
+            for chunk in windows.chunks(bs) {
+                std::hint::black_box(frozen.batch_windows(chunk, true, &mut batch));
+            }
+        });
+        batched_ns.push((bs, ns));
+    }
+    // Identity: every batched slice equals the one-at-a-time answer.
+    for chunk in windows.chunks(64) {
+        let batched = frozen.batch_windows(chunk, true, &mut batch);
+        for (i, w) in chunk.iter().enumerate() {
+            assert_eq!(
+                batched.get(i),
+                frozen.search_within_into(w, &mut scratch),
+                "batched window diverged at {w:?}"
+            );
+        }
+    }
+
     // --- juxtaposition join -----------------------------------------
     let join_n = 100_000usize;
     let a_items: Vec<(Rect, ItemId)> = items.iter().copied().take(2 * join_n).step_by(2).collect();
@@ -290,6 +324,16 @@ fn million_point_ab(seed: u64, table1: (f64, f64, f64)) {
     );
     println!("committed BENCH_pack.json scratch baseline for context: 15911 ns/op\n");
 
+    let mut bt = Table::new(["batched windows", "ns/op", "vs single frozen"]);
+    for &(bs, ns) in &batched_ns {
+        bt.row([
+            format!("batch={bs}"),
+            f(ns, 0),
+            format!("{:.2}x", frz_scratch_ns / ns),
+        ]);
+    }
+    println!("{}", bt.render());
+
     let (t1_ptr, t1_frz, t1_a) = table1;
     let json = format!(
         "{{\n  \"experiment\": \"frozen_layout_ab\",\n  \"seed\": {seed},\n  \"n\": {n},\n  \
@@ -308,6 +352,11 @@ fn million_point_ab(seed: u64, table1: (f64, f64, f64)) {
          \"frozen_ns_per_op\": {frz_point_ns:.0}}},\n  \
          \"knn\": {{\"queries\": {kn}, \"k\": {k}, \"pointer_ns_per_op\": {ptr_knn_ns:.0}, \
          \"frozen_ns_per_op\": {frz_knn_ns:.0}}},\n  \
+         \"batched_window\": {{\"queries\": {wn}, \
+         \"batch_1_ns_per_op\": {b1:.0}, \"batch_8_ns_per_op\": {b8:.0}, \
+         \"batch_64_ns_per_op\": {b64:.0}, \"batch_512_ns_per_op\": {b512:.0}, \
+         \"speedup_vs_single_at_64\": {sp64:.2}, \
+         \"speedup_vs_single_at_512\": {sp512:.2}}},\n  \
          \"join\": {{\"n_per_side\": {join_n}, \"op\": \"overlapping\", \
          \"pointer_ms\": {ptr_join_ms:.1}, \"frozen_ms\": {frz_join_ms:.1}, \
          \"node_pairs_visited\": {npv}}}\n}}\n",
@@ -316,6 +365,12 @@ fn million_point_ab(seed: u64, table1: (f64, f64, f64)) {
         anv = frz_stats.avg_nodes_visited(),
         pn = probes.len(),
         kn = knn_points.len(),
+        b1 = batched_ns[0].1,
+        b8 = batched_ns[1].1,
+        b64 = batched_ns[2].1,
+        b512 = batched_ns[3].1,
+        sp64 = frz_scratch_ns / batched_ns[2].1,
+        sp512 = frz_scratch_ns / batched_ns[3].1,
         npv = frz_js.node_pairs_visited,
     );
     match std::fs::write("BENCH_layout.json", &json) {

@@ -35,8 +35,9 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "differential fuzz: {} seed(s) × {cases} case(s), three levels \
-         (geom predicates, tree queries, PSQL end-to-end)",
+        "differential fuzz: {} seed(s) × {cases} case(s), four levels \
+         (geom predicates, tree queries, frozen/SIMD/batched identity, \
+         PSQL end-to-end)",
         seeds.len()
     );
     let divergences = run_seeds(&seeds, cases);

@@ -25,7 +25,9 @@ use psql::{exec, parse_query, PictorialDatabase, SpatialOp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtree_geom::{Point, Rect, Region, Segment, SpatialObject};
-use rtree_index::{FrozenRTree, ItemId, RTree, RTreeConfig, SearchScratch, SearchStats};
+use rtree_index::{
+    BatchScratch, FrozenRTree, ItemId, RTree, RTreeConfig, SearchScratch, SearchStats,
+};
 use rtree_storage::{BufferPool, DiskRTree, PagedRTree, Pager};
 
 const ALL_OPS: [SpatialOp; 4] = [
@@ -605,6 +607,107 @@ fn check_frozen(case: &Case, packed: &RTree, tree_a: &RTree, tree_b: &RTree) -> 
         }
     }
 
+    // SIMD-vs-scalar: the explicit lane kernels behind the default
+    // query paths must be bit-identical to the always-compiled scalar
+    // kernels — same items, same order, same counters.
+    for (wi, w) in case.windows.iter().enumerate() {
+        for within in [true, false] {
+            let mut ds = SearchStats::default();
+            let mut ss = SearchStats::default();
+            let (default_got, scalar_got) = if within {
+                (
+                    frozen.search_within(w, &mut ds),
+                    frozen.search_within_scalar(w, &mut ss),
+                )
+            } else {
+                (
+                    frozen.search_intersecting(w, &mut ds),
+                    frozen.search_intersecting_scalar(w, &mut ss),
+                )
+            };
+            if scalar_got != default_got || ss != ds {
+                return Some(format!(
+                    "frozen window {wi} within={within}: scalar kernel diverges from default"
+                ));
+            }
+        }
+    }
+    for (pi, &p) in case.probes.iter().enumerate() {
+        let mut ds = SearchStats::default();
+        let mut ss = SearchStats::default();
+        if frozen.point_query_scalar(p, &mut ss) != frozen.point_query(p, &mut ds) || ss != ds {
+            return Some(format!(
+                "frozen probe {pi}: scalar kernel diverges from default"
+            ));
+        }
+    }
+    for (ki, &(p, k)) in case.knn.iter().enumerate() {
+        let mut ds = SearchStats::default();
+        let mut ss = SearchStats::default();
+        if frozen.nearest_neighbors_scalar(p, k, &mut ss) != frozen.nearest_neighbors(p, k, &mut ds)
+            || ss != ds
+        {
+            return Some(format!(
+                "frozen knn {ki} (k={k}): scalar kernel diverges from default"
+            ));
+        }
+    }
+
+    // Batched-vs-single: executing the whole query stream as one batch
+    // must reproduce every per-query result slice in input order, and
+    // the batch's stats must equal the sum of the single-query stats.
+    let mut batch = BatchScratch::new();
+    for within in [true, false] {
+        let mut bs = SearchStats::default();
+        let batched = frozen.batch_windows_stats(&case.windows, within, &mut batch, &mut bs);
+        let mut sum = SearchStats::default();
+        for (wi, w) in case.windows.iter().enumerate() {
+            let single = if within {
+                frozen.search_within(w, &mut sum)
+            } else {
+                frozen.search_intersecting(w, &mut sum)
+            };
+            if batched.get(wi) != single.as_slice() {
+                return Some(format!(
+                    "batched window {wi} within={within}: diverges from single query"
+                ));
+            }
+        }
+        if bs != sum {
+            return Some(format!(
+                "batched windows within={within}: stats {bs:?} != summed {sum:?}"
+            ));
+        }
+    }
+    {
+        let mut bs = SearchStats::default();
+        let batched = frozen.batch_points_stats(&case.probes, &mut batch, &mut bs);
+        let mut sum = SearchStats::default();
+        for (pi, &p) in case.probes.iter().enumerate() {
+            if batched.get(pi) != frozen.point_query(p, &mut sum).as_slice() {
+                return Some(format!("batched probe {pi}: diverges from single query"));
+            }
+        }
+        if bs != sum {
+            return Some(format!("batched probes: stats {bs:?} != summed {sum:?}"));
+        }
+    }
+    {
+        let mut bs = SearchStats::default();
+        let batched = frozen.batch_knn_stats(&case.knn, &mut batch, &mut bs);
+        let mut sum = SearchStats::default();
+        for (ki, &(p, k)) in case.knn.iter().enumerate() {
+            if batched.get(ki) != frozen.nearest_neighbors(p, k, &mut sum).as_slice() {
+                return Some(format!(
+                    "batched knn {ki} (k={k}): diverges from single query"
+                ));
+            }
+        }
+        if bs != sum {
+            return Some(format!("batched knn: stats {bs:?} != summed {sum:?}"));
+        }
+    }
+
     let frozen_a = FrozenRTree::freeze(tree_a);
     let frozen_b = FrozenRTree::freeze(tree_b);
     for op in ALL_OPS {
@@ -683,6 +786,23 @@ fn check_disk_trees(case: &Case, items: &[(Rect, ItemId)], packed: &RTree) -> Op
                 if got != pointer || fs != ps {
                     return Some(format!(
                         "frozen DiskRTree window {wi}: diverges from pointer tree"
+                    ));
+                }
+                let mut ss = SearchStats::default();
+                if frozen.search_within_scalar(w, &mut ss) != got || ss != fs {
+                    return Some(format!(
+                        "frozen DiskRTree window {wi}: scalar kernel diverges"
+                    ));
+                }
+            }
+            // The batched path over a disk-rehydrated frozen tree.
+            let mut batch = BatchScratch::new();
+            let batched = frozen.batch_windows(&case.windows, true, &mut batch);
+            for (wi, w) in case.windows.iter().enumerate() {
+                let single = frozen.search_within(w, &mut SearchStats::default());
+                if batched.get(wi) != single.as_slice() {
+                    return Some(format!(
+                        "frozen DiskRTree batched window {wi}: diverges from single query"
                     ));
                 }
             }

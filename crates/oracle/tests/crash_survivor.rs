@@ -5,7 +5,7 @@
 //! search over whichever committed state (pre or post) the tree presents.
 
 use rtree_geom::{Point, Rect};
-use rtree_index::{ItemId, RTreeConfig, SearchStats};
+use rtree_index::{BatchScratch, ItemId, RTreeConfig, SearchStats};
 use rtree_oracle::{reference, validate_deep, DeepChecks, TreeImage};
 use rtree_storage::fault::{FaultKind, FaultPager, FaultScript};
 use rtree_storage::{PageId, PagedRTree, Pager, StorageError};
@@ -120,6 +120,27 @@ fn crash_survivors_validate_deep_and_match_oracle() {
                     assert_eq!(
                         got, expect,
                         "crash point {k}: frozen survivor diverges from oracle on {w:?}"
+                    );
+                    // The scalar kernel must agree with the default
+                    // (possibly SIMD) kernel on the survivor too.
+                    let mut ss = SearchStats::default();
+                    assert_eq!(
+                        frozen.search_within_scalar(w, &mut ss),
+                        frozen.search_within(w, &mut SearchStats::default()),
+                        "crash point {k}: scalar kernel diverges on {w:?}"
+                    );
+                }
+                // Batched execution over the frozen survivor matches the
+                // one-at-a-time answers slice for slice.
+                let mut batch = BatchScratch::new();
+                let batched = frozen.batch_windows(&windows, true, &mut batch);
+                for (wi, w) in windows.iter().enumerate() {
+                    assert_eq!(
+                        batched.get(wi),
+                        frozen
+                            .search_within(w, &mut SearchStats::default())
+                            .as_slice(),
+                        "crash point {k}: batched window {wi} diverges on survivor"
                     );
                 }
                 clean += 1;

@@ -10,7 +10,7 @@ use crate::result::{Highlight, ResultSet};
 use crate::spatial::SpatialOp;
 use pictorial_relational::{ColumnType, TupleId, Value};
 use rtree_geom::SpatialObject;
-use rtree_index::{ItemId, SearchScratch};
+use rtree_index::{BatchScratch, ItemId, SearchScratch};
 
 /// Plans and executes a query with the built-in pictorial functions.
 pub fn execute(db: &PictorialDatabase, query: &Query) -> Result<ResultSet, PsqlError> {
@@ -65,7 +65,154 @@ pub fn execute_plan_with_scratch(
     scratch: &mut SearchScratch,
 ) -> Result<ResultSet, PsqlError> {
     let rows = candidate_rows(db, plan, functions, scratch)?;
+    finish_rows(db, plan, functions, rows)
+}
 
+/// Plans and executes a pack of queries, reusing a caller-owned
+/// [`BatchScratch`], and returns per-query results **in input order**.
+///
+/// Queries whose plans are direct spatial searches (`at … covered-by /
+/// overlapping / covering / disjoined` windows, or `at … nearest`) are
+/// grouped by target picture and executed through the picture's batched
+/// paths ([`search_windows_batch`](crate::picture::Picture::search_windows_batch) /
+/// [`nearest_batch`](crate::picture::Picture::nearest_batch)): the
+/// frozen tree traverses them in spatial (Z-order) groups over one
+/// shared scratch, so a batch of nearby windows touches each hot node
+/// once instead of once per query. Every other plan shape — and any
+/// query that fails to plan — executes exactly as
+/// [`execute_with_scratch`] would. Per-query results are bit-identical
+/// to one-at-a-time execution either way.
+pub fn execute_batch_with_scratch(
+    db: &PictorialDatabase,
+    queries: &[Query],
+    functions: &FunctionRegistry,
+    batch: &mut BatchScratch,
+) -> Vec<Result<ResultSet, PsqlError>> {
+    let plans: Vec<Result<Plan, PsqlError>> = queries.iter().map(|q| plan::plan(db, q)).collect();
+    let mut out: Vec<Option<Result<ResultSet, PsqlError>>> = Vec::new();
+    out.resize_with(queries.len(), || None);
+
+    // Group batchable plans by (kind, picture name).
+    let mut window_groups: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut nearest_groups: Vec<(String, Vec<usize>)> = Vec::new();
+    let push = |groups: &mut Vec<(String, Vec<usize>)>, picture: &str, i: usize| match groups
+        .iter_mut()
+        .find(|(name, _)| name == picture)
+    {
+        Some((_, idxs)) => idxs.push(i),
+        None => groups.push((picture.to_owned(), vec![i])),
+    };
+    for (i, planned) in plans.iter().enumerate() {
+        match planned {
+            Ok(plan) => match &plan.spatial {
+                SpatialStrategy::Window { picture, .. } => push(&mut window_groups, picture, i),
+                SpatialStrategy::Nearest { picture, .. } => push(&mut nearest_groups, picture, i),
+                _ => {
+                    out[i] = Some(execute_plan_with_scratch(
+                        db,
+                        plan,
+                        functions,
+                        batch.search(),
+                    ));
+                }
+            },
+            Err(e) => out[i] = Some(Err(e.clone())),
+        }
+    }
+
+    for (picture_name, idxs) in window_groups {
+        match db.picture(&picture_name) {
+            Ok(pic) => {
+                let specs: Vec<(SpatialOp, rtree_geom::Rect)> = idxs
+                    .iter()
+                    .map(|&i| match &plans[i] {
+                        Ok(Plan {
+                            spatial: SpatialStrategy::Window { op, window, .. },
+                            ..
+                        }) => (*op, *window),
+                        _ => unreachable!("window group holds only window plans"),
+                    })
+                    .collect();
+                let per_query = pic.search_windows_batch(&specs, batch);
+                for (&i, objs) in idxs.iter().zip(&per_query) {
+                    let plan = plans[i].as_ref().expect("grouped plans are Ok");
+                    let SpatialStrategy::Window { column, .. } = &plan.spatial else {
+                        unreachable!()
+                    };
+                    out[i] = Some(
+                        objects_to_rows(db, plan, *column, objs)
+                            .and_then(|rows| finish_rows(db, plan, functions, rows)),
+                    );
+                }
+            }
+            Err(_) => {
+                // Missing picture: fall back so each query reports its
+                // own error exactly as the single-query path would.
+                for &i in &idxs {
+                    let plan = plans[i].as_ref().expect("grouped plans are Ok");
+                    out[i] = Some(execute_plan_with_scratch(
+                        db,
+                        plan,
+                        functions,
+                        batch.search(),
+                    ));
+                }
+            }
+        }
+    }
+
+    for (picture_name, idxs) in nearest_groups {
+        match db.picture(&picture_name) {
+            Ok(pic) => {
+                let specs: Vec<(rtree_geom::Point, usize)> = idxs
+                    .iter()
+                    .map(|&i| match &plans[i] {
+                        Ok(Plan {
+                            spatial: SpatialStrategy::Nearest { k, point, .. },
+                            ..
+                        }) => (*point, *k),
+                        _ => unreachable!("nearest group holds only nearest plans"),
+                    })
+                    .collect();
+                let per_query = pic.nearest_batch(&specs, batch);
+                for (&i, objs) in idxs.iter().zip(&per_query) {
+                    let plan = plans[i].as_ref().expect("grouped plans are Ok");
+                    let SpatialStrategy::Nearest { column, .. } = &plan.spatial else {
+                        unreachable!()
+                    };
+                    out[i] = Some(
+                        objects_to_rows(db, plan, *column, objs)
+                            .and_then(|rows| finish_rows(db, plan, functions, rows)),
+                    );
+                }
+            }
+            Err(_) => {
+                for &i in &idxs {
+                    let plan = plans[i].as_ref().expect("grouped plans are Ok");
+                    out[i] = Some(execute_plan_with_scratch(
+                        db,
+                        plan,
+                        functions,
+                        batch.search(),
+                    ));
+                }
+            }
+        }
+    }
+
+    out.into_iter()
+        .map(|r| r.expect("every query executed"))
+        .collect()
+}
+
+/// Turns candidate rows into a [`ResultSet`]: residual filter, order
+/// by, limit, projection (including aggregates) and highlights.
+fn finish_rows(
+    db: &PictorialDatabase,
+    plan: &Plan,
+    functions: &FunctionRegistry,
+    rows: Vec<Vec<TupleId>>,
+) -> Result<ResultSet, PsqlError> {
     // Residual where-clause.
     #[allow(unused_mut)]
     let mut kept: Vec<Vec<TupleId>> = Vec::new();
@@ -778,6 +925,48 @@ mod tests {
         assert!(cities.contains(&"Houston".to_string()), "{cities:?}");
         assert!(cities.contains(&"New Orleans".to_string()));
         assert!(!cities.contains(&"Chicago".to_string()));
+    }
+
+    #[test]
+    fn batched_execution_matches_single_execution() {
+        let db = db();
+        let texts = [
+            // Window searches over two pictures, all four operators.
+            "select city from cities on us-map at loc covered-by {82.5 +- 17.5, 25 +- 20}",
+            "select zone from time-zones on time-zone-map at loc overlapping {50 +- 10, 25 +- 25}",
+            "select zone from time-zones on time-zone-map at loc covering {53 +- 1, 32 +- 1}",
+            "select zone from time-zones on time-zone-map at loc disjoined {10 +- 9, 25 +- 25}",
+            "select city from cities on us-map at loc covered-by {40 +- 20, 25 +- 20}",
+            // Nearest, plain relational, aggregate and join plans.
+            "select city from cities on us-map at loc nearest 3 {53 +- 0, 32 +- 0}",
+            "select city from cities where population >= 6000000",
+            "select count-of(loc) from cities on us-map at loc covered-by {82.5 +- 17.5, 25 +- 20}",
+            "select city, zone from cities, time-zones on us-map, time-zone-map \
+             at cities.loc covered-by time-zones.loc",
+            // A planning failure must surface in its slot, not abort the batch.
+            "select nonsense from cities",
+        ];
+        let queries: Vec<Query> = texts
+            .iter()
+            .map(|t| crate::parser::parse_query(t).unwrap())
+            .collect();
+        let functions = FunctionRegistry::with_builtins();
+        let mut batch = rtree_index::BatchScratch::new();
+        let batched = execute_batch_with_scratch(&db, &queries, &functions, &mut batch);
+        assert_eq!(batched.len(), queries.len());
+        let mut scratch = SearchScratch::new();
+        for (i, q) in queries.iter().enumerate() {
+            let single = execute_with_scratch(&db, q, &functions, &mut scratch);
+            match (&batched[i], &single) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.columns, s.columns, "query {i} columns");
+                    assert_eq!(b.rows, s.rows, "query {i} rows");
+                    assert_eq!(b.highlights, s.highlights, "query {i} highlights");
+                }
+                (Err(b), Err(s)) => assert_eq!(b, s, "query {i} error"),
+                (b, s) => panic!("query {i}: batched {b:?} vs single {s:?}"),
+            }
+        }
     }
 
     #[test]

@@ -157,15 +157,34 @@ fn frozen_join_nodes(
     out: &mut Vec<(ItemId, ItemId)>,
 ) {
     stats.node_pairs_visited += 1;
+    // Each arm tests one node's lanes against a single rectangle — the
+    // shape `FrozenRTree::lane_intersect_mask` vectorizes. Consuming the
+    // mask lowest-lane-first reproduces the scalar `0..entry_count` loop
+    // exactly (NaN padding lanes never set a bit), so emission order and
+    // counters stay bit-identical; fanouts past 64 lanes keep the scalar
+    // loop.
     match (a.is_leaf_index(na), b.is_leaf_index(nb)) {
         (true, true) => {
             for la in 0..a.entry_count(na) {
                 let ra = a.entry_mbr(na, la);
-                for lb in 0..b.entry_count(nb) {
-                    let rb = b.entry_mbr(nb, lb);
-                    if ra.intersects(&rb) && op.mbr_filter(&ra, &rb) {
-                        stats.candidates += 1;
-                        out.push((a.entry_child_item(na, la), b.entry_child_item(nb, lb)));
+                if b.fanout() <= 64 {
+                    let mut mask = b.lane_intersect_mask(nb, &ra);
+                    while mask != 0 {
+                        let lb = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let rb = b.entry_mbr(nb, lb);
+                        if op.mbr_filter(&ra, &rb) {
+                            stats.candidates += 1;
+                            out.push((a.entry_child_item(na, la), b.entry_child_item(nb, lb)));
+                        }
+                    }
+                } else {
+                    for lb in 0..b.entry_count(nb) {
+                        let rb = b.entry_mbr(nb, lb);
+                        if ra.intersects(&rb) && op.mbr_filter(&ra, &rb) {
+                            stats.candidates += 1;
+                            out.push((a.entry_child_item(na, la), b.entry_child_item(nb, lb)));
+                        }
                     }
                 }
             }
@@ -173,25 +192,46 @@ fn frozen_join_nodes(
         (false, true) => {
             // Descend the deeper (left) side.
             let mb = b.node_mbr(nb);
-            for la in 0..a.entry_count(na) {
-                if mb.is_some_and(|m| m.intersects(&a.entry_mbr(na, la))) {
+            if let (Some(m), true) = (mb, a.fanout() <= 64) {
+                let mut mask = a.lane_intersect_mask(na, &m);
+                while mask != 0 {
+                    let la = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
                     frozen_join_nodes(a, a.entry_child_node(na, la), b, nb, op, stats, out);
+                }
+            } else {
+                for la in 0..a.entry_count(na) {
+                    if mb.is_some_and(|m| m.intersects(&a.entry_mbr(na, la))) {
+                        frozen_join_nodes(a, a.entry_child_node(na, la), b, nb, op, stats, out);
+                    }
                 }
             }
         }
         (true, false) => {
             let ma = a.node_mbr(na);
-            for lb in 0..b.entry_count(nb) {
-                if ma.is_some_and(|m| m.intersects(&b.entry_mbr(nb, lb))) {
+            if let (Some(m), true) = (ma, b.fanout() <= 64) {
+                let mut mask = b.lane_intersect_mask(nb, &m);
+                while mask != 0 {
+                    let lb = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
                     frozen_join_nodes(a, na, b, b.entry_child_node(nb, lb), op, stats, out);
+                }
+            } else {
+                for lb in 0..b.entry_count(nb) {
+                    if ma.is_some_and(|m| m.intersects(&b.entry_mbr(nb, lb))) {
+                        frozen_join_nodes(a, na, b, b.entry_child_node(nb, lb), op, stats, out);
+                    }
                 }
             }
         }
         (false, false) => {
             for la in 0..a.entry_count(na) {
                 let ra = a.entry_mbr(na, la);
-                for lb in 0..b.entry_count(nb) {
-                    if ra.intersects(&b.entry_mbr(nb, lb)) {
+                if b.fanout() <= 64 {
+                    let mut mask = b.lane_intersect_mask(nb, &ra);
+                    while mask != 0 {
+                        let lb = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
                         frozen_join_nodes(
                             a,
                             a.entry_child_node(na, la),
@@ -201,6 +241,20 @@ fn frozen_join_nodes(
                             stats,
                             out,
                         );
+                    }
+                } else {
+                    for lb in 0..b.entry_count(nb) {
+                        if ra.intersects(&b.entry_mbr(nb, lb)) {
+                            frozen_join_nodes(
+                                a,
+                                a.entry_child_node(na, la),
+                                b,
+                                b.entry_child_node(nb, lb),
+                                op,
+                                stats,
+                                out,
+                            );
+                        }
                     }
                 }
             }

@@ -3,7 +3,21 @@
 use crate::spatial::SpatialOp;
 use packed_rtree_core::pack;
 use rtree_geom::{Point, Rect, SpatialObject};
-use rtree_index::{FrozenRTree, ItemId, RTree, RTreeConfig, SearchScratch, SearchStats};
+use rtree_index::{
+    BatchScratch, FrozenRTree, ItemId, RTree, RTreeConfig, SearchScratch, SearchStats,
+};
+
+/// Node-count threshold below which queries keep serving the pointer
+/// tree even when a frozen compilation exists. On trees the size of the
+/// paper's Table 1 (J=900, ~300 nodes at M=4) the whole pointer arena
+/// is cache-resident and its direct child links beat the frozen
+/// layout's lane arithmetic on the scalar fallback build, so freezing
+/// a small picture must never make its queries slower there. (With the
+/// `simd` kernels the frozen path wins even at Table-1 size, but the
+/// threshold is sized for the weakest compiled path.) The crossover
+/// sits well under 10k nodes; 4096 keeps a safety margin on the
+/// pointer side.
+const FROZEN_QUERY_MIN_NODES: usize = 4096;
 
 /// A picture: named spatial objects over a frame, indexed by an R-tree.
 ///
@@ -109,6 +123,23 @@ impl Picture {
         self.frozen.as_ref()
     }
 
+    /// The frozen compilation *if queries should serve from it*: present
+    /// and large enough that the SoA layout wins over the pointer tree.
+    fn query_frozen(&self) -> Option<&FrozenRTree> {
+        self.frozen
+            .as_ref()
+            .filter(|f| f.node_count() >= FROZEN_QUERY_MIN_NODES)
+    }
+
+    /// `true` when spatial queries on this picture are served from the
+    /// frozen arena rather than the pointer tree. Small packed pictures
+    /// deliberately stay on the pointer path (see
+    /// `FROZEN_QUERY_MIN_NODES`); both paths are bit-identical, so this
+    /// only changes performance, never results.
+    pub fn serves_frozen_queries(&self) -> bool {
+        self.query_frozen().is_some()
+    }
+
     /// All object ids.
     pub fn object_ids(&self) -> impl Iterator<Item = u64> {
         0..self.objects.len() as u64
@@ -117,7 +148,7 @@ impl Picture {
     /// Direct spatial search: object ids satisfying `obj op window`,
     /// pruned through the R-tree and refined with exact geometry.
     pub fn search_window(&self, op: SpatialOp, window: &Rect, stats: &mut SearchStats) -> Vec<u64> {
-        let candidates: Vec<ItemId> = match (op, &self.frozen) {
+        let candidates: Vec<ItemId> = match (op, self.query_frozen()) {
             // The paper's SEARCH: WITHIN at the leaves.
             (SpatialOp::CoveredBy, Some(f)) => f.search_within(window, stats),
             (SpatialOp::CoveredBy, None) => self.tree.search_within(window, stats),
@@ -151,7 +182,7 @@ impl Picture {
         window: &Rect,
         scratch: &mut SearchScratch,
     ) -> Vec<u64> {
-        match (op, &self.frozen) {
+        match (op, self.query_frozen()) {
             (SpatialOp::CoveredBy, Some(f)) => {
                 self.refine(op, window, f.search_within_into(window, scratch))
             }
@@ -176,7 +207,7 @@ impl Picture {
     /// The `k` objects whose MBRs are nearest to `p`, ordered by
     /// ascending distance, with Table 1 counters.
     pub fn nearest(&self, p: Point, k: usize, stats: &mut SearchStats) -> Vec<u64> {
-        let neighbors = match &self.frozen {
+        let neighbors = match self.query_frozen() {
             Some(f) => f.nearest_neighbors(p, k, stats),
             None => self.tree.nearest_neighbors(p, k, stats),
         };
@@ -189,11 +220,86 @@ impl Picture {
     /// repeated queries allocate nothing once warmed up.
     pub fn nearest_fast(&self, p: Point, k: usize, scratch: &mut SearchScratch) -> Vec<u64> {
         let knn = scratch.knn();
-        let neighbors = match &self.frozen {
+        let neighbors = match self.query_frozen() {
             Some(f) => f.nearest_neighbors_into(p, k, knn),
             None => self.tree.nearest_neighbors_into(p, k, knn),
         };
         neighbors.iter().map(|n| n.item.0).collect()
+    }
+
+    /// Batched [`search_window_fast`](Self::search_window_fast): executes
+    /// a pack of window queries and returns per-query refined object ids
+    /// **in input order**. Queries are partitioned by traversal kind
+    /// (`within` for covered-by, `intersecting` for overlap/cover) and
+    /// each partition runs through [`FrozenRTree::batch_windows`] —
+    /// spatially grouped over one shared scratch — when the picture
+    /// serves frozen queries; otherwise each query falls back to the
+    /// one-at-a-time path. Per-query results are bit-identical to
+    /// `search_window_fast` either way.
+    pub fn search_windows_batch(
+        &self,
+        queries: &[(SpatialOp, Rect)],
+        batch: &mut BatchScratch,
+    ) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); queries.len()];
+        let Some(f) = self.query_frozen() else {
+            for (slot, (op, window)) in out.iter_mut().zip(queries) {
+                *slot = self.search_window_fast(*op, window, batch.search());
+            }
+            return out;
+        };
+        // Disjointness enumerates; it gains nothing from tree batching.
+        for (slot, (op, window)) in out.iter_mut().zip(queries) {
+            if matches!(op, SpatialOp::Disjoined) {
+                *slot = self.search_window_fast(*op, window, batch.search());
+            }
+        }
+        for within in [true, false] {
+            let group: Vec<usize> = queries
+                .iter()
+                .enumerate()
+                .filter(|(_, (op, _))| match op {
+                    SpatialOp::CoveredBy => within,
+                    SpatialOp::Overlapping | SpatialOp::Covering => !within,
+                    SpatialOp::Disjoined => false,
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let windows: Vec<Rect> = group.iter().map(|&i| queries[i].1).collect();
+            let results = f.batch_windows(&windows, within, batch);
+            for (slot, &i) in group.iter().enumerate() {
+                let (op, window) = &queries[i];
+                out[i] = self.refine(*op, window, results.get(slot));
+            }
+        }
+        out
+    }
+
+    /// Batched [`nearest_fast`](Self::nearest_fast): the `k` nearest
+    /// object ids per `(point, k)` query, in input order, via
+    /// [`FrozenRTree::batch_knn`] when the picture serves frozen queries
+    /// and the one-at-a-time path otherwise.
+    pub fn nearest_batch(
+        &self,
+        queries: &[(Point, usize)],
+        batch: &mut BatchScratch,
+    ) -> Vec<Vec<u64>> {
+        match self.query_frozen() {
+            Some(f) => {
+                let results = f.batch_knn(queries, batch);
+                results
+                    .iter()
+                    .map(|ns| ns.iter().map(|n| n.item.0).collect())
+                    .collect()
+            }
+            None => queries
+                .iter()
+                .map(|&(p, k)| self.nearest_fast(p, k, batch.search()))
+                .collect(),
+        }
     }
 
     fn refine(&self, op: SpatialOp, window: &Rect, candidates: &[ItemId]) -> Vec<u64> {
@@ -309,6 +415,107 @@ mod tests {
         assert_eq!(with_stats, fast);
         assert_eq!(with_stats.len(), 5);
         assert_eq!(stats.queries, 1);
+    }
+
+    fn big_picture(n: u64) -> Picture {
+        let mut pic = Picture::new(
+            "big",
+            Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            RTreeConfig::PAPER,
+        );
+        for i in 0..n {
+            // Deterministic pseudo-random scatter over the frame.
+            let x = (i.wrapping_mul(2654435761) % 100_000) as f64 / 100.0;
+            let y = (i.wrapping_mul(40503) % 100_000) as f64 / 100.0;
+            pic.add(SpatialObject::Point(Point::new(x, y)), &format!("o{i}"));
+        }
+        pic.pack();
+        pic
+    }
+
+    /// The Table-1 regression: freezing a small picture must not move
+    /// its queries onto the frozen path (where lane arithmetic loses to
+    /// the cache-resident pointer arena), while large pictures must.
+    #[test]
+    fn small_trees_serve_pointer_queries_large_trees_frozen() {
+        let mut small = sample();
+        small.pack();
+        assert!(small.frozen().is_some());
+        assert!(
+            !small.serves_frozen_queries(),
+            "a Table-1-scale picture must keep serving the pointer tree"
+        );
+
+        let big = big_picture(16_000);
+        assert!(big.frozen().is_some());
+        assert!(
+            big.serves_frozen_queries(),
+            "a picture past the node threshold must serve the frozen arena"
+        );
+
+        // Dispatch is invisible in results: both paths are bit-identical.
+        let window = Rect::new(100.0, 100.0, 300.0, 300.0);
+        let mut stats = SearchStats::default();
+        let via_dispatch = big.search_window(SpatialOp::CoveredBy, &window, &mut stats);
+        let via_pointer: Vec<u64> = big
+            .tree()
+            .search_within(&window, &mut SearchStats::default())
+            .into_iter()
+            .map(|ItemId(id)| id)
+            .collect();
+        assert_eq!(via_dispatch, via_pointer);
+    }
+
+    #[test]
+    fn batched_window_queries_match_single_queries() {
+        let mut batch = BatchScratch::new();
+        for pic in [big_picture(16_000), {
+            let mut small = sample();
+            small.pack();
+            small
+        }] {
+            let queries: Vec<(SpatialOp, Rect)> = (0..40)
+                .map(|i| {
+                    let x = (i * 23 % 900) as f64;
+                    let y = (i * 41 % 900) as f64;
+                    let op = match i % 4 {
+                        0 => SpatialOp::CoveredBy,
+                        1 => SpatialOp::Overlapping,
+                        2 => SpatialOp::Covering,
+                        _ => SpatialOp::Disjoined,
+                    };
+                    (op, Rect::new(x, y, x + 40.0, y + 40.0))
+                })
+                .collect();
+            let batched = pic.search_windows_batch(&queries, &mut batch);
+            for (got, (op, window)) in batched.iter().zip(&queries) {
+                let single = pic.search_window_fast(*op, window, batch.search());
+                assert_eq!(got, &single, "{op:?} {window:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_nearest_matches_single_queries() {
+        let mut batch = BatchScratch::new();
+        for pic in [big_picture(16_000), {
+            let mut small = sample();
+            small.pack();
+            small
+        }] {
+            let queries: Vec<(Point, usize)> = (0..30)
+                .map(|i| {
+                    let x = (i * 137 % 1000) as f64;
+                    let y = (i * 71 % 1000) as f64;
+                    (Point::new(x, y), 1 + i % 7)
+                })
+                .collect();
+            let batched = pic.nearest_batch(&queries, &mut batch);
+            for (got, &(p, k)) in batched.iter().zip(&queries) {
+                let single = pic.nearest_fast(p, k, batch.search());
+                assert_eq!(got, &single, "k-NN at {p:?} k={k} diverged");
+            }
+        }
     }
 
     #[test]

@@ -9,11 +9,15 @@
 //! * **Breadth-first, level-major node order.** Node 0 is the root, its
 //!   children follow, then theirs — a query's working set is a dense
 //!   prefix of the arena, and "node id" degenerates to an array index.
-//! * **Structure-of-arrays coordinate planes.** Entry rectangles are
-//!   split into four `f64` planes (`x1/y1/x2/y2` = min-x/min-y/max-x/
-//!   max-y), each `fanout` lanes per node, so window pruning is a
-//!   branchless min/max compare loop over contiguous lanes that the
-//!   autovectorizer can chew on.
+//! * **Node-major SoA coordinate planes.** Entry rectangles are split
+//!   into four `f64` planes (`x1/y1/x2/y2` = min-x/min-y/max-x/max-y)
+//!   of `fanout` lanes each, and a node's four planes are stored as
+//!   one contiguous block (`[x1 lanes][y1 lanes][x2 lanes][y2 lanes]`,
+//!   `4 * fanout` doubles). Window pruning is a branchless min/max
+//!   compare over contiguous lanes that vectorizes, and one node visit
+//!   touches two-to-three cache lines (128 bytes at `M = 4`) instead
+//!   of the four half-used lines that tree-wide planes would cost —
+//!   the memory-bound batch engine lives off that difference.
 //! * **NaN padding lanes.** Nodes with fewer than `fanout` entries pad
 //!   the remaining lanes with `NaN` rectangles. Every query predicate in
 //!   the engine (`INTERSECTS`, `WITHIN`, `contains_point`) is a pure
@@ -34,6 +38,7 @@ use crate::config::RTreeConfig;
 use crate::knn::{HeapEntry, HeapKind, KnnScratch, Neighbor};
 use crate::node::{Child, ItemId, NodeId};
 use crate::search::{NoStats, SearchScratch, Sink};
+use crate::simd::{DefaultKernel, LaneKernel, ScalarKernel};
 use crate::stats::SearchStats;
 use crate::tree::RTree;
 use rtree_geom::{Point, Rect};
@@ -66,12 +71,10 @@ pub struct FrozenRTree {
     leaf_start: u32,
     depth: u32,
     len: usize,
-    /// SoA coordinate planes, `num_nodes * fanout` lanes each; unused
-    /// lanes hold NaN.
-    x1: Vec<f64>,
-    y1: Vec<f64>,
-    x2: Vec<f64>,
-    y2: Vec<f64>,
+    /// Node-major SoA coordinate storage: node `n` owns the block
+    /// `[n * 4 * fanout, (n + 1) * 4 * fanout)`, laid out as its four
+    /// `fanout`-lane planes `[x1][y1][x2][y2]`; unused lanes hold NaN.
+    coords: Vec<f64>,
     /// Per-lane pointer plane: child BFS index for internal lanes, raw
     /// [`ItemId`] for leaf lanes, 0 for padding.
     ids: Vec<u64>,
@@ -153,13 +156,11 @@ impl FrozenRTree {
             nodes.push((level, entries));
         }
 
-        // Pass 2: fill the SoA planes, NaN-padding unused lanes.
+        // Pass 2: fill the node-major SoA blocks, NaN-padding unused
+        // lanes.
         let num_nodes = nodes.len() as u32;
         let lanes = nodes.len() * fanout;
-        let mut x1 = vec![f64::NAN; lanes];
-        let mut y1 = vec![f64::NAN; lanes];
-        let mut x2 = vec![f64::NAN; lanes];
-        let mut y2 = vec![f64::NAN; lanes];
+        let mut coords = vec![f64::NAN; 4 * lanes];
         let mut ids = vec![0u64; lanes];
         let mut counts = vec![0u32; nodes.len()];
         let mut leaf_start = num_nodes.saturating_sub(1);
@@ -168,13 +169,13 @@ impl FrozenRTree {
                 leaf_start = leaf_start.min(n as u32);
             }
             counts[n] = entries.len() as u32;
+            let block = n * 4 * fanout;
             for (lane, &(mbr, child)) in entries.iter().enumerate() {
-                let i = n * fanout + lane;
-                x1[i] = mbr.min_x;
-                y1[i] = mbr.min_y;
-                x2[i] = mbr.max_x;
-                y2[i] = mbr.max_y;
-                ids[i] = match child {
+                coords[block + lane] = mbr.min_x;
+                coords[block + fanout + lane] = mbr.min_y;
+                coords[block + 2 * fanout + lane] = mbr.max_x;
+                coords[block + 3 * fanout + lane] = mbr.max_y;
+                ids[n * fanout + lane] = match child {
                     FrozenChild::Node(c) => index_of[&c] as u64,
                     FrozenChild::Item(item) => item.0,
                 };
@@ -188,10 +189,7 @@ impl FrozenRTree {
             leaf_start,
             depth,
             len,
-            x1,
-            y1,
-            x2,
-            y2,
+            coords,
             ids,
             counts,
         }
@@ -227,10 +225,25 @@ impl FrozenRTree {
         self.num_nodes as usize
     }
 
-    /// The SoA coordinate planes `(x1, y1, x2, y2)`, each
-    /// `node_count() * fanout()` lanes; padding lanes hold NaN.
-    pub fn planes(&self) -> (&[f64], &[f64], &[f64], &[f64]) {
-        (&self.x1, &self.y1, &self.x2, &self.y2)
+    /// The four `fanout()`-lane coordinate planes `(x1, y1, x2, y2)` of
+    /// the node at `index` — contiguous slices of the node's SoA block;
+    /// padding lanes hold NaN.
+    #[inline(always)]
+    pub fn node_planes(&self, index: u32) -> (&[f64], &[f64], &[f64], &[f64]) {
+        let block = index as usize * 4 * self.fanout;
+        let b = &self.coords[block..block + 4 * self.fanout];
+        let (x1, rest) = b.split_at(self.fanout);
+        let (y1, rest) = rest.split_at(self.fanout);
+        let (x2, y2) = rest.split_at(self.fanout);
+        (x1, y1, x2, y2)
+    }
+
+    /// The id lanes of the node at `index`: child BFS indices for an
+    /// internal node, raw item ids for a leaf, 0 in padding lanes.
+    #[inline(always)]
+    pub(crate) fn node_ids(&self, index: u32) -> &[u64] {
+        let base = index as usize * self.fanout;
+        &self.ids[base..base + self.fanout]
     }
 
     /// BFS index of the root node (always 0).
@@ -251,8 +264,13 @@ impl FrozenRTree {
     /// Reassembles the `lane`-th entry rectangle of node `index`.
     pub fn entry_mbr(&self, index: u32, lane: usize) -> Rect {
         debug_assert!(lane < self.entry_count(index));
-        let i = index as usize * self.fanout + lane;
-        Rect::new(self.x1[i], self.y1[i], self.x2[i], self.y2[i])
+        let block = index as usize * 4 * self.fanout;
+        Rect::new(
+            self.coords[block + lane],
+            self.coords[block + self.fanout + lane],
+            self.coords[block + 2 * self.fanout + lane],
+            self.coords[block + 3 * self.fanout + lane],
+        )
     }
 
     /// Child node (BFS index) of an internal entry.
@@ -302,9 +320,13 @@ impl FrozenRTree {
     pub fn search_within(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
         let mut out = Vec::new();
         let mut stack = Vec::new();
-        self.window_traverse(window, true, &mut stack, stats, &mut |item, _| {
-            out.push(item)
-        });
+        self.window_traverse::<DefaultKernel, _, _>(
+            window,
+            true,
+            &mut stack,
+            stats,
+            &mut |item, _| out.push(item),
+        );
         out
     }
 
@@ -312,9 +334,49 @@ impl FrozenRTree {
     pub fn search_intersecting(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
         let mut out = Vec::new();
         let mut stack = Vec::new();
-        self.window_traverse(window, false, &mut stack, stats, &mut |item, _| {
-            out.push(item)
-        });
+        self.window_traverse::<DefaultKernel, _, _>(
+            window,
+            false,
+            &mut stack,
+            stats,
+            &mut |item, _| out.push(item),
+        );
+        out
+    }
+
+    /// [`search_within`](Self::search_within) forced through the scalar
+    /// lane kernel — the reference path the differential fuzzer holds
+    /// the SIMD kernels against. Compiled on every target and feature
+    /// set.
+    pub fn search_within_scalar(&self, window: &Rect, stats: &mut SearchStats) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.window_traverse::<ScalarKernel, _, _>(
+            window,
+            true,
+            &mut stack,
+            stats,
+            &mut |item, _| out.push(item),
+        );
+        out
+    }
+
+    /// [`search_intersecting`](Self::search_intersecting) forced through
+    /// the scalar lane kernel.
+    pub fn search_intersecting_scalar(
+        &self,
+        window: &Rect,
+        stats: &mut SearchStats,
+    ) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.window_traverse::<ScalarKernel, _, _>(
+            window,
+            false,
+            &mut stack,
+            stats,
+            &mut |item, _| out.push(item),
+        );
         out
     }
 
@@ -346,9 +408,13 @@ impl FrozenRTree {
     ) -> &'s [ItemId] {
         let SearchScratch { stack, out, .. } = scratch;
         out.clear();
-        self.window_traverse(window, within, stack, &mut NoStats, &mut |item, _| {
-            out.push(item)
-        });
+        self.window_traverse::<DefaultKernel, _, _>(
+            window,
+            within,
+            stack,
+            &mut NoStats,
+            &mut |item, _| out.push(item),
+        );
         out
     }
 
@@ -362,17 +428,50 @@ impl FrozenRTree {
         visit: &mut F,
     ) {
         let mut stack = Vec::new();
-        self.window_traverse(window, within, &mut stack, stats, visit);
+        self.window_traverse::<DefaultKernel, _, _>(window, within, &mut stack, stats, visit);
     }
 
-    /// The hot loop. Pruning scans the four coordinate planes of one
-    /// node as contiguous `f64` lanes, folding the comparisons into a
-    /// hit mask with non-short-circuiting `&` (no per-lane branches);
-    /// matching children are then pushed highest-lane-first so the
-    /// visit order — and therefore every result sequence and counter —
-    /// matches the pointer tree's reverse-order push exactly. NaN
-    /// padding lanes fail every comparison and never set a mask bit.
-    fn window_traverse<S: Sink, F: FnMut(ItemId, Rect)>(
+    /// Bit mask (lane `i` → bit `i`) of the lanes of node `index` whose
+    /// entry MBR intersects `window`, evaluated through the build's
+    /// default lane kernel. NaN padding lanes never set a bit, so the
+    /// mask covers exactly the valid lanes that would pass
+    /// `entry_mbr(index, lane).intersects(window)`. Used by the frozen
+    /// spatial join for its pair pruning.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `fanout() > 64`; callers handle wide
+    /// nodes with a per-lane loop.
+    pub fn lane_intersect_mask(&self, index: u32, window: &Rect) -> u64 {
+        debug_assert!(self.fanout <= 64);
+        let (x1, y1, x2, y2) = self.node_planes(index);
+        DefaultKernel::mask_intersects(x1, y1, x2, y2, window)
+    }
+
+    /// Hints the caches toward node `index`'s lanes — both ends of the
+    /// coordinate block and the id plane. Purely a latency hint (a
+    /// no-op without the `simd` feature): the batch engine issues it
+    /// for the node a traversal fiber will visit on its next turn, so
+    /// the lines fill from DRAM while the other fibers execute.
+    #[inline(always)]
+    pub(crate) fn prefetch_node(&self, index: u32) {
+        let block = index as usize * 4 * self.fanout;
+        crate::simd::prefetch_read(&self.coords[block]);
+        crate::simd::prefetch_read(&self.coords[block + 4 * self.fanout - 1]);
+        crate::simd::prefetch_read(&self.ids[index as usize * self.fanout]);
+    }
+
+    /// The hot loop. Pruning hands the four coordinate planes of one
+    /// node to a [`LaneKernel`], which folds the per-lane comparisons
+    /// into a `u64` hit mask (scalar `&`-folding or explicit SSE2/AVX —
+    /// every kernel produces the identical mask); matching leaf lanes
+    /// are then visited lowest-lane-first and matching children pushed
+    /// highest-lane-first, so the visit order — and therefore every
+    /// result sequence and counter — matches the pointer tree's
+    /// reverse-order push exactly. NaN padding lanes fail every
+    /// comparison and never set a mask bit. Branching factors above 64
+    /// lanes fall back to plain per-lane loops.
+    pub(crate) fn window_traverse<K: LaneKernel, S: Sink, F: FnMut(ItemId, Rect)>(
         &self,
         window: &Rect,
         within: bool,
@@ -383,23 +482,55 @@ impl FrozenRTree {
         sink.query();
         stack.clear();
         stack.push(NodeId(0));
-        let fanout = self.fanout;
         while let Some(id) = stack.pop() {
+            self.window_visit_node::<K, S, F>(id, window, within, stack, sink, visit);
+        }
+    }
+
+    /// One step of the window-search stack machine: prune the popped
+    /// node's lanes, emit matching leaf entries, push matching children.
+    /// The batch engine's shared group traversal replays this body's
+    /// lane arms per active query (same kernels, same lane orders), so
+    /// per-query behaviour cannot diverge; the differential fuzzer's
+    /// frozen level holds the two paths against each other.
+    #[inline(always)]
+    pub(crate) fn window_visit_node<K: LaneKernel, S: Sink, F: FnMut(ItemId, Rect)>(
+        &self,
+        id: NodeId,
+        window: &Rect,
+        within: bool,
+        stack: &mut Vec<NodeId>,
+        sink: &mut S,
+        visit: &mut F,
+    ) {
+        let fanout = self.fanout;
+        {
             let n = id.index();
             let leaf = self.is_leaf_index(n as u32);
             sink.node(leaf);
-            let base = n * fanout;
-            let x1 = &self.x1[base..base + fanout];
-            let y1 = &self.y1[base..base + fanout];
-            let x2 = &self.x2[base..base + fanout];
-            let y2 = &self.y2[base..base + fanout];
-            let ids = &self.ids[base..base + fanout];
-            if leaf {
+            let (x1, y1, x2, y2) = self.node_planes(n as u32);
+            let ids = &self.ids[n * fanout..(n + 1) * fanout];
+            if leaf && fanout <= 64 {
+                // WITHIN is the paper's containment test
+                // (`Rect::covered_by`), the intersection arm is
+                // `Rect::intersects`; both evaluated over the planes so
+                // NaN padding lanes come out false.
+                let mut mask = if within {
+                    K::mask_within(x1, y1, x2, y2, window)
+                } else {
+                    K::mask_intersects(x1, y1, x2, y2, window)
+                };
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    sink.item();
+                    visit(
+                        ItemId(ids[lane]),
+                        Rect::new(x1[lane], y1[lane], x2[lane], y2[lane]),
+                    );
+                }
+            } else if leaf {
                 for lane in 0..fanout {
-                    // WITHIN is the paper's containment test
-                    // (`Rect::covered_by`), the intersection arm is
-                    // `Rect::intersects`; both written out over the
-                    // planes so NaN padding lanes evaluate false.
                     let hit = if within {
                         (window.min_x <= x1[lane])
                             & (window.min_y <= y1[lane])
@@ -420,14 +551,7 @@ impl FrozenRTree {
                     }
                 }
             } else if fanout <= 64 {
-                let mut mask: u64 = 0;
-                for lane in 0..fanout {
-                    let hit = (x1[lane] <= window.max_x)
-                        & (window.min_x <= x2[lane])
-                        & (y1[lane] <= window.max_y)
-                        & (window.min_y <= y2[lane]);
-                    mask |= (hit as u64) << lane;
-                }
+                let mut mask = K::mask_intersects(x1, y1, x2, y2, window);
                 while mask != 0 {
                     let lane = 63 - mask.leading_zeros() as usize;
                     mask &= !(1u64 << lane);
@@ -451,7 +575,16 @@ impl FrozenRTree {
     pub fn point_query(&self, p: Point, stats: &mut SearchStats) -> Vec<ItemId> {
         let mut out = Vec::new();
         let mut stack = Vec::new();
-        self.point_traverse(p, &mut stack, stats, &mut out);
+        self.point_traverse::<DefaultKernel, _>(p, &mut stack, stats, &mut out);
+        out
+    }
+
+    /// [`point_query`](Self::point_query) forced through the scalar lane
+    /// kernel (differential-testing reference path).
+    pub fn point_query_scalar(&self, p: Point, stats: &mut SearchStats) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.point_traverse::<ScalarKernel, _>(p, &mut stack, stats, &mut out);
         out
     }
 
@@ -460,11 +593,11 @@ impl FrozenRTree {
     pub fn point_query_into<'s>(&self, p: Point, scratch: &'s mut SearchScratch) -> &'s [ItemId] {
         let SearchScratch { stack, out, .. } = scratch;
         out.clear();
-        self.point_traverse(p, stack, &mut NoStats, out);
+        self.point_traverse::<DefaultKernel, _>(p, stack, &mut NoStats, out);
         out
     }
 
-    fn point_traverse<S: Sink>(
+    pub(crate) fn point_traverse<K: LaneKernel, S: Sink>(
         &self,
         p: Point,
         stack: &mut Vec<NodeId>,
@@ -479,22 +612,37 @@ impl FrozenRTree {
             let n = id.index();
             let leaf = self.is_leaf_index(n as u32);
             sink.node(leaf);
-            let base = n * fanout;
-            let x1 = &self.x1[base..base + fanout];
-            let y1 = &self.y1[base..base + fanout];
-            let x2 = &self.x2[base..base + fanout];
-            let y2 = &self.y2[base..base + fanout];
-            let ids = &self.ids[base..base + fanout];
-            for lane in 0..fanout {
-                // `Rect::contains_point` over the planes; NaN lanes fail.
-                let hit =
-                    (x1[lane] <= p.x) & (p.x <= x2[lane]) & (y1[lane] <= p.y) & (p.y <= y2[lane]);
-                if hit {
+            let (x1, y1, x2, y2) = self.node_planes(n as u32);
+            let ids = &self.ids[n * fanout..(n + 1) * fanout];
+            if fanout <= 64 {
+                // `Rect::contains_point` over the planes; NaN padding
+                // lanes never set a bit. Hits are consumed
+                // lowest-lane-first — the pointer tree's forward entry
+                // order.
+                let mut mask = K::mask_point(x1, y1, x2, y2, p);
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
                     if leaf {
                         sink.item();
                         out.push(ItemId(ids[lane]));
                     } else {
                         stack.push(NodeId(ids[lane] as u32));
+                    }
+                }
+            } else {
+                for lane in 0..fanout {
+                    let hit = (x1[lane] <= p.x)
+                        & (p.x <= x2[lane])
+                        & (y1[lane] <= p.y)
+                        & (p.y <= y2[lane]);
+                    if hit {
+                        if leaf {
+                            sink.item();
+                            out.push(ItemId(ids[lane]));
+                        } else {
+                            stack.push(NodeId(ids[lane] as u32));
+                        }
                     }
                 }
             }
@@ -506,7 +654,21 @@ impl FrozenRTree {
     pub fn nearest_neighbors(&self, p: Point, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
         let mut heap = BinaryHeap::new();
         let mut out = Vec::with_capacity(k);
-        self.knn_traverse(p, k, stats, &mut heap, &mut out);
+        self.knn_traverse::<DefaultKernel, _>(p, k, stats, &mut heap, &mut out);
+        out
+    }
+
+    /// [`nearest_neighbors`](Self::nearest_neighbors) forced through the
+    /// scalar lane kernel (differential-testing reference path).
+    pub fn nearest_neighbors_scalar(
+        &self,
+        p: Point,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let mut heap = BinaryHeap::new();
+        let mut out = Vec::with_capacity(k);
+        self.knn_traverse::<ScalarKernel, _>(p, k, stats, &mut heap, &mut out);
         out
     }
 
@@ -519,7 +681,7 @@ impl FrozenRTree {
         scratch: &'s mut KnnScratch,
     ) -> &'s [Neighbor] {
         let KnnScratch { heap, out } = scratch;
-        self.knn_traverse(p, k, &mut NoStats, heap, out);
+        self.knn_traverse::<DefaultKernel, _>(p, k, &mut NoStats, heap, out);
         out
     }
 
@@ -529,10 +691,13 @@ impl FrozenRTree {
     }
 
     /// Same heap discipline as the pointer tree's branch and bound; the
-    /// only difference is that entry expansion iterates valid lanes only
-    /// (padding lanes would poison the heap with NaN distances, which
-    /// `total_cmp` orders above every real distance).
-    fn knn_traverse<S: Sink>(
+    /// only differences are that entry expansion iterates valid lanes
+    /// only (padding lanes would poison the heap with NaN distances,
+    /// which `total_cmp` orders above every real distance) and that the
+    /// per-lane `min_distance_sq` evaluations run through the lane
+    /// kernel — the vector kernels reproduce the scalar formula bit for
+    /// bit, so heap order is unchanged.
+    pub(crate) fn knn_traverse<K: LaneKernel, S: Sink>(
         &self,
         p: Point,
         k: usize,
@@ -550,6 +715,7 @@ impl FrozenRTree {
             dist: 0.0,
             kind: HeapKind::Node(NodeId(0)),
         });
+        let mut dists = [0.0f64; 64];
         while let Some(HeapEntry { dist, kind }) = heap.pop() {
             match kind {
                 HeapKind::Item(item, mbr) => {
@@ -568,19 +734,48 @@ impl FrozenRTree {
                     let leaf = self.is_leaf_index(index);
                     sink.node(leaf);
                     let base = id.index() * self.fanout;
-                    for lane in 0..self.counts[id.index()] as usize {
-                        let mbr = self.entry_mbr(index, lane);
-                        let d = mbr.min_distance_sq(p);
-                        if leaf {
-                            heap.push(HeapEntry {
-                                dist: d,
-                                kind: HeapKind::Item(ItemId(self.ids[base + lane]), mbr),
-                            });
-                        } else {
-                            heap.push(HeapEntry {
-                                dist: d,
-                                kind: HeapKind::Node(NodeId(self.ids[base + lane] as u32)),
-                            });
+                    let count = self.counts[id.index()] as usize;
+                    if count <= 64 {
+                        let (x1, y1, x2, y2) = self.node_planes(index);
+                        K::distances(
+                            &x1[..count],
+                            &y1[..count],
+                            &x2[..count],
+                            &y2[..count],
+                            p,
+                            &mut dists[..count],
+                        );
+                        for (lane, &d) in dists[..count].iter().enumerate() {
+                            if leaf {
+                                heap.push(HeapEntry {
+                                    dist: d,
+                                    kind: HeapKind::Item(
+                                        ItemId(self.ids[base + lane]),
+                                        self.entry_mbr(index, lane),
+                                    ),
+                                });
+                            } else {
+                                heap.push(HeapEntry {
+                                    dist: d,
+                                    kind: HeapKind::Node(NodeId(self.ids[base + lane] as u32)),
+                                });
+                            }
+                        }
+                    } else {
+                        for lane in 0..count {
+                            let mbr = self.entry_mbr(index, lane);
+                            let d = mbr.min_distance_sq(p);
+                            if leaf {
+                                heap.push(HeapEntry {
+                                    dist: d,
+                                    kind: HeapKind::Item(ItemId(self.ids[base + lane]), mbr),
+                                });
+                            } else {
+                                heap.push(HeapEntry {
+                                    dist: d,
+                                    kind: HeapKind::Node(NodeId(self.ids[base + lane] as u32)),
+                                });
+                            }
                         }
                     }
                 }
@@ -612,18 +807,22 @@ mod tests {
         let tree = build(57);
         let f = FrozenRTree::freeze(&tree);
         let lanes = f.node_count() * f.fanout();
-        let (x1, y1, x2, y2) = f.planes();
-        assert_eq!(x1.len(), lanes);
-        assert_eq!(y1.len(), lanes);
-        assert_eq!(x2.len(), lanes);
-        assert_eq!(y2.len(), lanes);
         // Every lane beyond a node's count is a NaN sentinel in all four
-        // planes.
+        // of the node's planes.
         let mut padding = 0;
-        for n in 0..f.node_count() {
-            for lane in f.entry_count(n as u32)..f.fanout() {
-                let i = n * f.fanout() + lane;
-                assert!(x1[i].is_nan() && y1[i].is_nan() && x2[i].is_nan() && y2[i].is_nan());
+        for n in 0..f.node_count() as u32 {
+            let (x1, y1, x2, y2) = f.node_planes(n);
+            assert_eq!(x1.len(), f.fanout());
+            assert_eq!(y1.len(), f.fanout());
+            assert_eq!(x2.len(), f.fanout());
+            assert_eq!(y2.len(), f.fanout());
+            for lane in f.entry_count(n)..f.fanout() {
+                assert!(
+                    x1[lane].is_nan()
+                        && y1[lane].is_nan()
+                        && x2[lane].is_nan()
+                        && y2[lane].is_nan()
+                );
                 padding += 1;
             }
         }
@@ -738,6 +937,51 @@ mod tests {
         }
         assert_eq!(fs, ts, "frozen counters diverged from pointer tree");
         assert_eq!(f.items(), tree.items());
+    }
+
+    #[test]
+    fn scalar_kernel_paths_are_bit_identical_to_default() {
+        // On SIMD builds this pins the vector kernels to the scalar
+        // reference (results, order, counters); on scalar builds both
+        // sides run the same kernel and the test is a tautology — which
+        // is exactly the claim the feature gate makes.
+        let tree = build(400);
+        let f = FrozenRTree::freeze(&tree);
+        let mut ds = SearchStats::default();
+        let mut ss = SearchStats::default();
+        for q in 0..40 {
+            let g = q as f64;
+            let w = Rect::new(g * 0.9, g * 0.6, g * 0.9 + 14.0, g * 0.6 + 11.0);
+            assert_eq!(
+                f.search_within(&w, &mut ds),
+                f.search_within_scalar(&w, &mut ss)
+            );
+            assert_eq!(
+                f.search_intersecting(&w, &mut ds),
+                f.search_intersecting_scalar(&w, &mut ss)
+            );
+            let p = Point::new(g * 1.7, g * 0.8);
+            assert_eq!(f.point_query(p, &mut ds), f.point_query_scalar(p, &mut ss));
+            assert_eq!(
+                f.nearest_neighbors(p, 7, &mut ds),
+                f.nearest_neighbors_scalar(p, 7, &mut ss)
+            );
+        }
+        assert_eq!(ds, ss, "kernel counters diverged");
+    }
+
+    #[test]
+    fn lane_intersect_mask_matches_per_lane_test() {
+        let tree = build(150);
+        let f = FrozenRTree::freeze(&tree);
+        let w = Rect::new(10.0, 5.0, 45.0, 25.0);
+        for index in 0..f.node_count() as u32 {
+            let mask = f.lane_intersect_mask(index, &w);
+            for lane in 0..f.fanout() {
+                let expect = lane < f.entry_count(index) && f.entry_mbr(index, lane).intersects(&w);
+                assert_eq!(mask >> lane & 1 == 1, expect, "node {index} lane {lane}");
+            }
+        }
     }
 
     #[test]

@@ -25,9 +25,18 @@
 //! not the actual tuples themselves", §3).
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The crate is `unsafe`-free except for the `core::arch` intrinsic
+// calls inside `simd::x86` (which carries a module-scoped `allow`).
+// Without the `simd` feature — or off x86_64 — the stronger `forbid`
+// applies to the whole crate.
+#![cfg_attr(
+    not(all(feature = "simd", target_arch = "x86_64")),
+    forbid(unsafe_code)
+)]
+#![cfg_attr(all(feature = "simd", target_arch = "x86_64"), deny(unsafe_code))]
 
 pub mod ascii;
+pub mod batch;
 pub mod builder;
 pub mod config;
 mod delete;
@@ -38,10 +47,12 @@ pub mod knn;
 pub mod metrics;
 pub mod node;
 pub mod search;
+pub(crate) mod simd;
 pub mod split;
 pub mod stats;
 pub mod tree;
 
+pub use batch::{BatchScratch, ItemBatches, NeighborBatches};
 pub use builder::{BottomUpBuilder, ReservedRange};
 pub use config::{RTreeConfig, SplitPolicy};
 pub use frozen::{FrozenChild, FrozenRTree};

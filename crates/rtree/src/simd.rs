@@ -1,0 +1,523 @@
+//! Lane kernels for the frozen-tree hot loops.
+//!
+//! The [`FrozenRTree`](crate::FrozenRTree) stores entry rectangles as
+//! four SoA coordinate planes precisely so that per-node pruning is a
+//! data-parallel compare over `fanout` contiguous `f64` lanes. This
+//! module factors that compare into a [`LaneKernel`]:
+//!
+//! * [`ScalarKernel`] — the reference implementation, always compiled.
+//!   Its comparisons are written exactly like the pre-SIMD hot loop
+//!   (query operand against plane operand, folded with `&`), so NaN
+//!   padding lanes fail every predicate.
+//! * `SimdKernel` (x86_64 + `simd` feature) — the same predicates via
+//!   explicit `core::arch` intrinsics: SSE2 (baseline on x86_64, no
+//!   detection needed) two lanes per op, or AVX four lanes per op
+//!   behind a cached `is_x86_feature_detected!` probe. All vector
+//!   comparisons are *ordered* (`_CMP_LE_OQ` / `cmplepd`), which — like
+//!   the scalar `<=` — is `false` whenever an operand is NaN, so the
+//!   padding-lane invariant carries over bit for bit.
+//!
+//! Every kernel produces identical hit masks and identical k-NN
+//! distances (the same IEEE operations in the same order), so
+//! traversals stay bit-identical across kernels — results, visit order
+//! and [`SearchStats`](crate::SearchStats) counters alike. The
+//! differential fuzzer's frozen level pins this down; `DefaultKernel`
+//! is whichever kernel the build selects for the public query paths.
+//!
+//! Masks cover at most 64 lanes (`u64`); callers fall back to plain
+//! per-lane loops for larger branching factors.
+
+use rtree_geom::{Point, Rect};
+
+/// A vectorizable predicate kernel over one node's coordinate planes.
+///
+/// All slices have equal length `n <= 64` for the mask methods; bit `i`
+/// of a returned mask is set iff lane `i` satisfies the predicate. NaN
+/// lanes never set a bit.
+pub(crate) trait LaneKernel {
+    /// `WITHIN`: lane rectangle covered by `w`
+    /// (`w.min <= lane.min && lane.max <= w.max`, both axes).
+    fn mask_within(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], w: &Rect) -> u64;
+    /// `INTERSECTS`: lane rectangle shares at least a point with `w`.
+    fn mask_intersects(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], w: &Rect) -> u64;
+    /// `contains_point`: lane rectangle contains `p`.
+    fn mask_point(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], p: Point) -> u64;
+    /// `min_distance_sq(p)` per lane, written into `out` (same length as
+    /// the planes; may exceed 64). Must reproduce
+    /// [`Rect::min_distance_sq`] bit for bit for finite lanes.
+    fn distances(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], p: Point, out: &mut [f64]);
+}
+
+/// Requests a read prefetch of the cache line holding `v` into L1.
+/// Purely a latency hint — a no-op on scalar builds and non-x86_64
+/// targets — so callers may issue it speculatively with no effect on
+/// results, visit order, or counters.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(v: &T) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    x86::prefetch(v as *const T as *const i8);
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    let _ = v;
+}
+
+/// The reference kernel: scalar comparisons exactly as the paper's
+/// `SEARCH` predicates read over the planes.
+pub(crate) struct ScalarKernel;
+
+impl LaneKernel for ScalarKernel {
+    #[inline]
+    fn mask_within(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], w: &Rect) -> u64 {
+        let mut mask = 0u64;
+        for lane in 0..x1.len() {
+            let hit = (w.min_x <= x1[lane])
+                & (w.min_y <= y1[lane])
+                & (x2[lane] <= w.max_x)
+                & (y2[lane] <= w.max_y);
+            mask |= (hit as u64) << lane;
+        }
+        mask
+    }
+
+    #[inline]
+    fn mask_intersects(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], w: &Rect) -> u64 {
+        let mut mask = 0u64;
+        for lane in 0..x1.len() {
+            let hit = (x1[lane] <= w.max_x)
+                & (w.min_x <= x2[lane])
+                & (y1[lane] <= w.max_y)
+                & (w.min_y <= y2[lane]);
+            mask |= (hit as u64) << lane;
+        }
+        mask
+    }
+
+    #[inline]
+    fn mask_point(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], p: Point) -> u64 {
+        let mut mask = 0u64;
+        for lane in 0..x1.len() {
+            let hit = (x1[lane] <= p.x) & (p.x <= x2[lane]) & (y1[lane] <= p.y) & (p.y <= y2[lane]);
+            mask |= (hit as u64) << lane;
+        }
+        mask
+    }
+
+    #[inline]
+    fn distances(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], p: Point, out: &mut [f64]) {
+        for lane in 0..out.len() {
+            // `Rect::min_distance_sq` unrolled over the planes.
+            let dx = (x1[lane] - p.x).max(0.0).max(p.x - x2[lane]);
+            let dy = (y1[lane] - p.y).max(0.0).max(p.y - y2[lane]);
+            out[lane] = dx * dx + dy * dy;
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) use x86::SimdKernel as DefaultKernel;
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub(crate) use ScalarKernel as DefaultKernel;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod x86 {
+    //! The x86_64 kernels. SSE2 is part of the x86_64 baseline, so the
+    //! two-lane paths need no feature detection; the four-lane AVX
+    //! paths run behind a cached CPUID probe. All loads are unaligned
+    //! (`loadu`): the planes are plain `Vec<f64>` allocations.
+
+    use super::{LaneKernel, ScalarKernel};
+    use core::arch::x86_64::{
+        __m128d, __m256d, _mm256_add_pd, _mm256_and_pd, _mm256_cmp_pd, _mm256_loadu_pd,
+        _mm256_max_pd, _mm256_movemask_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        _mm256_sub_pd, _mm_add_pd, _mm_and_pd, _mm_cmple_pd, _mm_loadu_pd, _mm_max_pd,
+        _mm_movemask_pd, _mm_mul_pd, _mm_prefetch, _mm_set1_pd, _mm_storeu_pd, _mm_sub_pd,
+        _CMP_LE_OQ, _MM_HINT_T0,
+    };
+    use rtree_geom::{Point, Rect};
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Cached AVX availability: 0 = unprobed, 1 = yes, 2 = no.
+    static AVX: AtomicU8 = AtomicU8::new(0);
+
+    #[inline]
+    fn has_avx() -> bool {
+        match AVX.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let yes = std::arch::is_x86_feature_detected!("avx");
+                AVX.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+
+    /// `_MM_HINT_T0` read prefetch. The intrinsic is an `unsafe fn` but
+    /// PREFETCHT0 is architecturally defined to never fault, on any
+    /// address.
+    #[inline(always)]
+    pub(super) fn prefetch(ptr: *const i8) {
+        // Safety: prefetch instructions cannot fault.
+        unsafe { _mm_prefetch::<_MM_HINT_T0>(ptr) }
+    }
+
+    /// The dispatching kernel used by default builds.
+    pub(crate) struct SimdKernel;
+
+    /// `and`-fold of two two-lane ordered `<=` comparisons.
+    #[inline(always)]
+    unsafe fn le2(a0: __m128d, b0: __m128d, a1: __m128d, b1: __m128d) -> __m128d {
+        _mm_and_pd(_mm_cmple_pd(a0, b0), _mm_cmple_pd(a1, b1))
+    }
+
+    /// `and`-fold of two four-lane ordered `<=` comparisons.
+    #[inline(always)]
+    unsafe fn le4(a0: __m256d, b0: __m256d, a1: __m256d, b1: __m256d) -> __m256d {
+        _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_LE_OQ>(a0, b0),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(a1, b1),
+        )
+    }
+
+    /// Which window predicate a mask pass evaluates.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Pred {
+        Within,
+        Intersects,
+        Point,
+    }
+
+    /// Generic mask pass: AVX for the four-lane body when available,
+    /// SSE2 for pairs, [`ScalarKernel`] for a trailing odd lane. For
+    /// `Pred::Point` the query is `(p.x, p.y, p.x, p.y)` packed into a
+    /// `Rect`-shaped carrier.
+    #[inline]
+    fn mask_pass(pred: Pred, x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], w: &Rect) -> u64 {
+        let n = x1.len();
+        let mut mask = 0u64;
+        let mut lane = 0usize;
+        if n >= 4 && has_avx() {
+            // Safety: AVX presence probed; loads bounds-guarded inside.
+            mask = unsafe { mask_avx(pred, x1, y1, x2, y2, w, &mut lane) };
+        }
+        // Safety: SSE2 is unconditionally available on x86_64; loads
+        // stay in bounds while lane + 2 <= n.
+        unsafe {
+            let qminx = _mm_set1_pd(w.min_x);
+            let qminy = _mm_set1_pd(w.min_y);
+            let qmaxx = _mm_set1_pd(w.max_x);
+            let qmaxy = _mm_set1_pd(w.max_y);
+            while lane + 2 <= n {
+                let vx1 = _mm_loadu_pd(x1.as_ptr().add(lane));
+                let vy1 = _mm_loadu_pd(y1.as_ptr().add(lane));
+                let vx2 = _mm_loadu_pd(x2.as_ptr().add(lane));
+                let vy2 = _mm_loadu_pd(y2.as_ptr().add(lane));
+                let hit = match pred {
+                    Pred::Within => {
+                        _mm_and_pd(le2(qminx, vx1, qminy, vy1), le2(vx2, qmaxx, vy2, qmaxy))
+                    }
+                    // Point reuses the intersects shape with min == max.
+                    Pred::Intersects | Pred::Point => {
+                        _mm_and_pd(le2(vx1, qmaxx, vy1, qmaxy), le2(qminx, vx2, qminy, vy2))
+                    }
+                };
+                mask |= (_mm_movemask_pd(hit) as u64) << lane;
+                lane += 2;
+            }
+        }
+        if lane < n {
+            let (tx1, ty1, tx2, ty2) = (&x1[lane..], &y1[lane..], &x2[lane..], &y2[lane..]);
+            let tail = match pred {
+                Pred::Within => ScalarKernel::mask_within(tx1, ty1, tx2, ty2, w),
+                Pred::Intersects => ScalarKernel::mask_intersects(tx1, ty1, tx2, ty2, w),
+                Pred::Point => {
+                    ScalarKernel::mask_point(tx1, ty1, tx2, ty2, Point::new(w.min_x, w.min_y))
+                }
+            };
+            mask |= tail << lane;
+        }
+        mask
+    }
+
+    /// Four lanes per op while at least four remain.
+    #[target_feature(enable = "avx")]
+    unsafe fn mask_avx(
+        pred: Pred,
+        x1: &[f64],
+        y1: &[f64],
+        x2: &[f64],
+        y2: &[f64],
+        w: &Rect,
+        lane: &mut usize,
+    ) -> u64 {
+        let n = x1.len();
+        let qminx = _mm256_set1_pd(w.min_x);
+        let qminy = _mm256_set1_pd(w.min_y);
+        let qmaxx = _mm256_set1_pd(w.max_x);
+        let qmaxy = _mm256_set1_pd(w.max_y);
+        let mut mask = 0u64;
+        while *lane + 4 <= n {
+            let vx1 = _mm256_loadu_pd(x1.as_ptr().add(*lane));
+            let vy1 = _mm256_loadu_pd(y1.as_ptr().add(*lane));
+            let vx2 = _mm256_loadu_pd(x2.as_ptr().add(*lane));
+            let vy2 = _mm256_loadu_pd(y2.as_ptr().add(*lane));
+            let hit = match pred {
+                Pred::Within => {
+                    _mm256_and_pd(le4(qminx, vx1, qminy, vy1), le4(vx2, qmaxx, vy2, qmaxy))
+                }
+                Pred::Intersects | Pred::Point => {
+                    _mm256_and_pd(le4(vx1, qmaxx, vy1, qmaxy), le4(qminx, vx2, qminy, vy2))
+                }
+            };
+            mask |= (_mm256_movemask_pd(hit) as u64) << *lane;
+            *lane += 4;
+        }
+        mask
+    }
+
+    impl LaneKernel for SimdKernel {
+        #[inline]
+        fn mask_within(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], w: &Rect) -> u64 {
+            mask_pass(Pred::Within, x1, y1, x2, y2, w)
+        }
+
+        #[inline]
+        fn mask_intersects(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], w: &Rect) -> u64 {
+            mask_pass(Pred::Intersects, x1, y1, x2, y2, w)
+        }
+
+        #[inline]
+        fn mask_point(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], p: Point) -> u64 {
+            // A point is a degenerate window: intersects(lane, [p, p])
+            // is exactly contains_point(lane, p).
+            let w = Rect {
+                min_x: p.x,
+                min_y: p.y,
+                max_x: p.x,
+                max_y: p.y,
+            };
+            mask_pass(Pred::Point, x1, y1, x2, y2, &w)
+        }
+
+        #[inline]
+        fn distances(x1: &[f64], y1: &[f64], x2: &[f64], y2: &[f64], p: Point, out: &mut [f64]) {
+            let n = out.len();
+            let mut lane = 0usize;
+            if n >= 4 && has_avx() {
+                // Safety: probed; bounds guarded inside.
+                unsafe { distances_avx(x1, y1, x2, y2, p, out, &mut lane) }
+            }
+            // Safety: SSE2 baseline; lane + 2 <= n keeps loads in bounds.
+            unsafe {
+                let px = _mm_set1_pd(p.x);
+                let py = _mm_set1_pd(p.y);
+                let zero = _mm_set1_pd(0.0);
+                while lane + 2 <= n {
+                    let dx = _mm_max_pd(
+                        _mm_max_pd(_mm_sub_pd(_mm_loadu_pd(x1.as_ptr().add(lane)), px), zero),
+                        _mm_sub_pd(px, _mm_loadu_pd(x2.as_ptr().add(lane))),
+                    );
+                    let dy = _mm_max_pd(
+                        _mm_max_pd(_mm_sub_pd(_mm_loadu_pd(y1.as_ptr().add(lane)), py), zero),
+                        _mm_sub_pd(py, _mm_loadu_pd(y2.as_ptr().add(lane))),
+                    );
+                    let d = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+                    _mm_storeu_pd(out.as_mut_ptr().add(lane), d);
+                    lane += 2;
+                }
+            }
+            if lane < n {
+                ScalarKernel::distances(
+                    &x1[lane..n],
+                    &y1[lane..n],
+                    &x2[lane..n],
+                    &y2[lane..n],
+                    p,
+                    &mut out[lane..n],
+                );
+            }
+        }
+    }
+
+    /// Four distances at a time. `_mm256_max_pd(a, b)` returns `b` when
+    /// `a` is NaN — the same orientation as the scalar
+    /// `(lane - p).max(0.0)` — and the `max(±0.0, ∓0.0)` ambiguity is
+    /// erased by the squaring, so results match
+    /// [`Rect::min_distance_sq`] bit for bit on every lane the
+    /// traversal reads (valid lanes are finite).
+    #[target_feature(enable = "avx")]
+    unsafe fn distances_avx(
+        x1: &[f64],
+        y1: &[f64],
+        x2: &[f64],
+        y2: &[f64],
+        p: Point,
+        out: &mut [f64],
+        lane: &mut usize,
+    ) {
+        let n = out.len();
+        let px = _mm256_set1_pd(p.x);
+        let py = _mm256_set1_pd(p.y);
+        let zero = _mm256_set1_pd(0.0);
+        while *lane + 4 <= n {
+            let dx = _mm256_max_pd(
+                _mm256_max_pd(
+                    _mm256_sub_pd(_mm256_loadu_pd(x1.as_ptr().add(*lane)), px),
+                    zero,
+                ),
+                _mm256_sub_pd(px, _mm256_loadu_pd(x2.as_ptr().add(*lane))),
+            );
+            let dy = _mm256_max_pd(
+                _mm256_max_pd(
+                    _mm256_sub_pd(_mm256_loadu_pd(y1.as_ptr().add(*lane)), py),
+                    zero,
+                ),
+                _mm256_sub_pd(py, _mm256_loadu_pd(y2.as_ptr().add(*lane))),
+            );
+            let d = _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+            _mm256_storeu_pd(out.as_mut_ptr().add(*lane), d);
+            *lane += 4;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random planes with NaN padding sprinkled in.
+    fn random_planes(rng: &mut StdRng, n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut x1 = Vec::with_capacity(n);
+        let mut y1 = Vec::with_capacity(n);
+        let mut x2 = Vec::with_capacity(n);
+        let mut y2 = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng.gen_bool(0.2) {
+                x1.push(f64::NAN);
+                y1.push(f64::NAN);
+                x2.push(f64::NAN);
+                y2.push(f64::NAN);
+            } else {
+                let ax = rng.gen_range(-100.0..100.0);
+                let ay = rng.gen_range(-100.0..100.0);
+                let w = rng.gen_range(0.0..30.0);
+                let h = rng.gen_range(0.0..30.0);
+                x1.push(ax);
+                y1.push(ay);
+                x2.push(ax + w);
+                y2.push(ay + h);
+            }
+        }
+        (x1, y1, x2, y2)
+    }
+
+    /// Regular, degenerate, infinite, and NaN query windows (struct
+    /// literals: the predicates must stay safe for any bit pattern).
+    fn query_windows() -> Vec<Rect> {
+        vec![
+            Rect::new(-50.0, -50.0, 50.0, 50.0),
+            Rect::new(0.0, 0.0, 0.0, 0.0),
+            Rect {
+                min_x: f64::NEG_INFINITY,
+                min_y: f64::NEG_INFINITY,
+                max_x: f64::INFINITY,
+                max_y: f64::INFINITY,
+            },
+            Rect {
+                min_x: f64::NAN,
+                min_y: 0.0,
+                max_x: 10.0,
+                max_y: 10.0,
+            },
+            Rect {
+                min_x: -10.0,
+                min_y: -10.0,
+                max_x: f64::NAN,
+                max_y: f64::NAN,
+            },
+        ]
+    }
+
+    #[test]
+    fn kernels_agree_on_masks_across_widths() {
+        let mut rng = StdRng::seed_from_u64(0x51_3D);
+        // Odd widths exercise the SSE remainder; >= 4 the AVX path.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64] {
+            let (x1, y1, x2, y2) = random_planes(&mut rng, n);
+            for w in &query_windows() {
+                assert_eq!(
+                    DefaultKernel::mask_within(&x1, &y1, &x2, &y2, w),
+                    ScalarKernel::mask_within(&x1, &y1, &x2, &y2, w),
+                    "within n={n} w={w:?}"
+                );
+                assert_eq!(
+                    DefaultKernel::mask_intersects(&x1, &y1, &x2, &y2, w),
+                    ScalarKernel::mask_intersects(&x1, &y1, &x2, &y2, w),
+                    "intersects n={n} w={w:?}"
+                );
+                let p = Point::new(w.min_x, w.min_y);
+                assert_eq!(
+                    DefaultKernel::mask_point(&x1, &y1, &x2, &y2, p),
+                    ScalarKernel::mask_point(&x1, &y1, &x2, &y2, p),
+                    "point n={n} p={p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_distances_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(0xD1_57);
+        for n in [1usize, 2, 3, 4, 5, 8, 13, 64, 100] {
+            // Finite lanes only: distances are read for valid lanes.
+            let (mut x1, mut y1, mut x2, mut y2) = random_planes(&mut rng, n);
+            for v in [&mut x1, &mut y1, &mut x2, &mut y2] {
+                for lane in v.iter_mut() {
+                    if lane.is_nan() {
+                        *lane = 0.0;
+                    }
+                }
+            }
+            let p = Point::new(rng.gen_range(-120.0..120.0), rng.gen_range(-120.0..120.0));
+            let mut fast = vec![0.0f64; n];
+            let mut reference = vec![0.0f64; n];
+            DefaultKernel::distances(&x1, &y1, &x2, &y2, p, &mut fast);
+            ScalarKernel::distances(&x1, &y1, &x2, &y2, p, &mut reference);
+            for lane in 0..n {
+                assert_eq!(
+                    fast[lane].to_bits(),
+                    reference[lane].to_bits(),
+                    "lane {lane} of {n}"
+                );
+                let r = Rect::new(x1[lane], y1[lane], x2[lane], y2[lane]);
+                assert_eq!(reference[lane].to_bits(), r.min_distance_sq(p).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mask_predicates_match_rect_methods() {
+        let mut rng = StdRng::seed_from_u64(0xAB_CD);
+        let (x1, y1, x2, y2) = random_planes(&mut rng, 32);
+        let w = Rect::new(-20.0, -20.0, 40.0, 40.0);
+        let p = Point::new(3.0, 4.0);
+        let within = DefaultKernel::mask_within(&x1, &y1, &x2, &y2, &w);
+        let inter = DefaultKernel::mask_intersects(&x1, &y1, &x2, &y2, &w);
+        let at = DefaultKernel::mask_point(&x1, &y1, &x2, &y2, p);
+        for lane in 0..32 {
+            if x1[lane].is_nan() {
+                assert_eq!(within >> lane & 1, 0, "NaN lane {lane} matched within");
+                assert_eq!(inter >> lane & 1, 0, "NaN lane {lane} matched intersects");
+                assert_eq!(at >> lane & 1, 0, "NaN lane {lane} matched point");
+                continue;
+            }
+            let r = Rect::new(x1[lane], y1[lane], x2[lane], y2[lane]);
+            assert_eq!(within >> lane & 1 == 1, r.covered_by(&w), "lane {lane}");
+            assert_eq!(inter >> lane & 1 == 1, r.intersects(&w), "lane {lane}");
+            assert_eq!(at >> lane & 1 == 1, r.contains_point(p), "lane {lane}");
+        }
+    }
+}

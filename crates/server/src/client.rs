@@ -106,6 +106,22 @@ impl Client {
         self.expect_id(id, resp)
     }
 
+    /// Sends a query *without* waiting for the response and returns its
+    /// request id. Pipelining lets a backlog form on the server, which
+    /// the worker pool then dequeues and executes as one batch; collect
+    /// the responses with [`read_response`](Self::read_response) and
+    /// match them to ids (they may arrive in any order).
+    pub fn send_query(&mut self, text: &str) -> Result<u64, ClientError> {
+        let id = self.take_id();
+        let payload = encode_request(&Request::Query {
+            id,
+            timeout_ms: 0,
+            text: text.to_owned(),
+        });
+        write_frame(&mut self.stream, &payload)?;
+        Ok(id)
+    }
+
     /// Executes a query and insists on a result set (any other response
     /// becomes a `Wire` error) — the convenient form for tests/tools.
     pub fn query_expect_result(&mut self, text: &str) -> Result<(u64, ResultSet), ClientError> {

@@ -21,6 +21,12 @@ impl Counter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` — one atomic op for a whole batch of events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Overwrites the value. Used to mirror counters that are
     /// accumulated elsewhere (the buffer pool keeps its own cumulative
     /// totals; `STATS` just republishes the latest observation).
@@ -52,6 +58,11 @@ impl Gauge {
     /// Subtracts one.
     pub fn dec(&self) {
         self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` — one atomic op when a whole batch leaves the queue.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -159,6 +170,11 @@ pub struct Metrics {
     pub internal_errors: Counter,
     /// Snapshot publications since start.
     pub snapshots_published: Counter,
+    /// Multi-query packs executed through the batched path (a pack of
+    /// one query counts as single-query execution, not a batch).
+    pub query_batches: Counter,
+    /// Queries that rode in those packs.
+    pub batched_queries: Counter,
     /// Request-queue depth (live) and high-water mark.
     pub queue_depth: Gauge,
     /// End-to-end latency of executed queries (µs buckets).
@@ -201,6 +217,7 @@ impl Metrics {
                 "\"responses\":{{\"ok\":{},\"query_error\":{},\"protocol_error\":{},",
                 "\"timeout\":{},\"overloaded\":{},\"internal_error\":{}}},",
                 "\"snapshots_published\":{},",
+                "\"batching\":{{\"batches\":{},\"batched_queries\":{}}},",
                 "\"queue\":{{\"depth\":{},\"high_water\":{}}},",
                 "\"query_latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{}}},",
                 "\"admin_latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{}}},",
@@ -221,6 +238,8 @@ impl Metrics {
             self.overloads.get(),
             self.internal_errors.get(),
             self.snapshots_published.get(),
+            self.query_batches.get(),
+            self.batched_queries.get(),
             self.queue_depth.get(),
             self.queue_depth.high_water(),
             q.count(),
@@ -315,10 +334,13 @@ mod tests {
         m.queries.incr();
         m.ok.incr();
         m.query_latency.record(Duration::from_micros(500));
+        m.query_batches.incr();
+        m.batched_queries.add(5);
         let json = m.to_json(3, 64, 4);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"snapshot_epoch\":3"));
         assert!(json.contains("\"queries\":1"));
+        assert!(json.contains("\"batching\":{\"batches\":1,\"batched_queries\":5}"));
         assert!(json.contains("\"p99\":"));
         // Balanced braces (cheap well-formedness check without a JSON dep).
         let opens = json.matches('{').count();

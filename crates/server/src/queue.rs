@@ -84,6 +84,33 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues up to `max` items into `out`, blocking only for the
+    /// first one. Whatever else is *already* queued rides along (up to
+    /// the cap) without waiting — batch formation never adds latency: a
+    /// lone job departs alone, a backlog drains in packs. Returns the
+    /// number of items appended; `0` means closed **and** drained, like
+    /// [`pop`](Self::pop) returning `None`.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !state.items.is_empty() {
+                let take = max.min(state.items.len());
+                out.extend(state.items.drain(..take));
+                return take;
+            }
+            if state.closed {
+                return 0;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
     /// Closes the queue: future pushes fail, queued items still drain,
     /// and idle consumers wake up to observe the close.
     pub fn close(&self) {
@@ -145,6 +172,48 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_batch_drains_backlog_without_blocking() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        // The remainder comes in the next batch, even under a larger cap.
+        assert_eq!(q.pop_batch(&mut out, 64), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_batch_lone_item_departs_alone() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let n = q2.pop_batch(&mut out, 16);
+            (n, out)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).unwrap();
+        let (n, out) = h.join().unwrap();
+        // The blocked worker takes what is there; it does not linger
+        // hoping for a fuller batch.
+        assert_eq!((n, out), (1, vec![7]));
+    }
+
+    #[test]
+    fn pop_batch_observes_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        q.close();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 8), 1);
+        assert_eq!(q.pop_batch(&mut out, 8), 0, "closed and drained");
+        assert_eq!(q.pop_batch(&mut out, 0), 0, "zero cap never blocks");
     }
 
     #[test]

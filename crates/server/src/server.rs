@@ -25,10 +25,11 @@ use crate::protocol::{
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::snapshot::{SnapshotCache, SnapshotCell};
+use psql::ast::Query;
 use psql::database::PictorialDatabase;
 use psql::functions::FunctionRegistry;
 use psql::{PsqlError, ResultSet};
-use rtree_index::SearchScratch;
+use rtree_index::{BatchScratch, SearchScratch};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -50,6 +51,11 @@ pub struct ServerConfig {
     pub default_deadline: Duration,
     /// Back-off hint carried in `Overloaded` responses.
     pub retry_after_ms: u32,
+    /// Most queries a worker dequeues in one go. Whatever backlog is
+    /// already queued rides along (never waiting for more), and the pack
+    /// executes through the batched query path — spatially grouped
+    /// traversal over one shared scratch. `1` disables batching.
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +65,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline: Duration::from_secs(5),
             retry_after_ms: 10,
+            max_batch: 32,
         }
     }
 }
@@ -373,52 +380,169 @@ fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) ->
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    let mut scratch = SearchScratch::new();
+    let mut batch = BatchScratch::new();
     let mut cache = SnapshotCache::new();
-    while let Some(job) = shared.queue.pop() {
-        shared.metrics.queue_depth.dec();
-        if Instant::now() > job.deadline {
-            // Expired while queued: answer without executing.
-            shared.metrics.timeouts.incr();
-            job.session.send(&Response::Timeout { id: job.id });
-            continue;
+    let mut jobs: Vec<Job> = Vec::new();
+    loop {
+        jobs.clear();
+        let n = shared
+            .queue
+            .pop_batch(&mut jobs, shared.config.max_batch.max(1));
+        if n == 0 {
+            break;
         }
+        shared.metrics.queue_depth.sub(n as i64);
         let snapshot = shared.snapshots.load_cached(&mut cache);
-        let started = Instant::now();
-        let outcome = run_query(&snapshot.db, &job.text, &shared.functions, &mut scratch);
-        shared.metrics.query_latency.record(started.elapsed());
-        if Instant::now() > job.deadline {
-            // Finished, but past the promise: the client already moved
-            // on, so report the timeout it observed.
-            shared.metrics.timeouts.incr();
-            job.session.send(&Response::Timeout { id: job.id });
+        if jobs.len() == 1 {
+            run_job(shared, &snapshot, &jobs[0], batch.search());
             continue;
         }
-        match outcome {
-            Ok(result) => {
-                shared.metrics.ok.incr();
-                job.session.send(&Response::Result {
-                    id: job.id,
-                    epoch: snapshot.epoch,
-                    result,
-                });
+
+        // A dequeued pack: answer already-expired jobs, run diagnostics
+        // directives one at a time (a `#sleep` must not stall the rest
+        // of the pack's responses), parse the remainder, and execute the
+        // parsed queries as one spatially-grouped batch.
+        let mut pack: Vec<(usize, Query)> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if Instant::now() > job.deadline {
+                shared.metrics.timeouts.incr();
+                job.session.send(&Response::Timeout { id: job.id });
+            } else if job.text.trim_start().starts_with('#') {
+                run_job(shared, &snapshot, job, batch.search());
+            } else {
+                match catch_unwind(AssertUnwindSafe(|| psql::parse_query(&job.text))) {
+                    Ok(Ok(query)) => pack.push((i, query)),
+                    Ok(Err(e)) => {
+                        shared.metrics.query_errors.incr();
+                        job.session.send(&Response::Error {
+                            id: job.id,
+                            kind: ErrorKind::from(&e),
+                            message: e.to_string(),
+                        });
+                    }
+                    Err(_) => {
+                        shared.metrics.internal_errors.incr();
+                        job.session.send(&Response::Error {
+                            id: job.id,
+                            kind: ErrorKind::Internal,
+                            message: "query execution panicked (contained; session unaffected)"
+                                .into(),
+                        });
+                    }
+                }
             }
-            Err(QueryFailure::Psql(e)) => {
-                shared.metrics.query_errors.incr();
-                job.session.send(&Response::Error {
-                    id: job.id,
-                    kind: ErrorKind::from(&e),
-                    message: e.to_string(),
-                });
+        }
+        if pack.is_empty() {
+            continue;
+        }
+        let (idxs, queries): (Vec<usize>, Vec<Query>) = pack.into_iter().unzip();
+        if queries.len() >= 2 {
+            shared.metrics.query_batches.incr();
+            shared.metrics.batched_queries.add(queries.len() as u64);
+        }
+        let started = Instant::now();
+        let results = catch_unwind(AssertUnwindSafe(|| {
+            psql::exec::execute_batch_with_scratch(
+                &snapshot.db,
+                &queries,
+                &shared.functions,
+                &mut batch,
+            )
+        }));
+        match results {
+            Ok(results) => {
+                // The pack ran as one grouped traversal; its wall time
+                // split evenly is the honest per-query cost.
+                let share = started.elapsed() / queries.len() as u32;
+                for (&i, result) in idxs.iter().zip(results) {
+                    shared.metrics.query_latency.record(share);
+                    let job = &jobs[i];
+                    if Instant::now() > job.deadline {
+                        shared.metrics.timeouts.incr();
+                        job.session.send(&Response::Timeout { id: job.id });
+                        continue;
+                    }
+                    match result {
+                        Ok(result) => {
+                            shared.metrics.ok.incr();
+                            job.session.send(&Response::Result {
+                                id: job.id,
+                                epoch: snapshot.epoch,
+                                result,
+                            });
+                        }
+                        Err(e) => {
+                            shared.metrics.query_errors.incr();
+                            job.session.send(&Response::Error {
+                                id: job.id,
+                                kind: ErrorKind::from(&e),
+                                message: e.to_string(),
+                            });
+                        }
+                    }
+                }
             }
-            Err(QueryFailure::Panicked) => {
-                shared.metrics.internal_errors.incr();
-                job.session.send(&Response::Error {
-                    id: job.id,
-                    kind: ErrorKind::Internal,
-                    message: "query execution panicked (contained; session unaffected)".into(),
-                });
+            Err(_) => {
+                // A panic mid-batch is contained by retrying each job
+                // alone, so only the offending query answers the typed
+                // internal error and innocent pack-mates still succeed.
+                for &i in &idxs {
+                    run_job(shared, &snapshot, &jobs[i], batch.search());
+                }
             }
+        }
+    }
+}
+
+/// Executes one job exactly as the pre-batching worker did: deadline
+/// check, parse + execute under `catch_unwind`, deadline re-check,
+/// respond.
+fn run_job(
+    shared: &Shared,
+    snapshot: &crate::snapshot::DatabaseSnapshot,
+    job: &Job,
+    scratch: &mut SearchScratch,
+) {
+    if Instant::now() > job.deadline {
+        // Expired while queued: answer without executing.
+        shared.metrics.timeouts.incr();
+        job.session.send(&Response::Timeout { id: job.id });
+        return;
+    }
+    let started = Instant::now();
+    let outcome = run_query(&snapshot.db, &job.text, &shared.functions, scratch);
+    shared.metrics.query_latency.record(started.elapsed());
+    if Instant::now() > job.deadline {
+        // Finished, but past the promise: the client already moved
+        // on, so report the timeout it observed.
+        shared.metrics.timeouts.incr();
+        job.session.send(&Response::Timeout { id: job.id });
+        return;
+    }
+    match outcome {
+        Ok(result) => {
+            shared.metrics.ok.incr();
+            job.session.send(&Response::Result {
+                id: job.id,
+                epoch: snapshot.epoch,
+                result,
+            });
+        }
+        Err(QueryFailure::Psql(e)) => {
+            shared.metrics.query_errors.incr();
+            job.session.send(&Response::Error {
+                id: job.id,
+                kind: ErrorKind::from(&e),
+                message: e.to_string(),
+            });
+        }
+        Err(QueryFailure::Panicked) => {
+            shared.metrics.internal_errors.incr();
+            job.session.send(&Response::Error {
+                id: job.id,
+                kind: ErrorKind::Internal,
+                message: "query execution panicked (contained; session unaffected)".into(),
+            });
         }
     }
 }

@@ -1,0 +1,109 @@
+//! End-to-end check of the batched worker path: a pipelined backlog is
+//! dequeued as one pack, executed through the batched query executor,
+//! and every response must match single-query execution of the same
+//! text — same rows, same columns, correct id routing — with the batch
+//! counters visible in `STATS`.
+
+use psql::database::PictorialDatabase;
+use psql::functions::FunctionRegistry;
+use psql_server::client::Client;
+use psql_server::protocol::Response;
+use psql_server::server::{Server, ServerConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+#[test]
+fn pipelined_backlog_executes_as_batch_with_identical_results() {
+    // One worker so the pipelined backlog queues behind the #sleep and
+    // departs as a single pack.
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 32,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client =
+        Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).expect("connect");
+
+    // Occupy the lone worker long enough for the backlog to build.
+    let sleep_id = client.send_query("#sleep 200").expect("send sleep");
+
+    let texts = [
+        "select city from cities on us-map at loc covered-by {82.5 +- 17.5, 25 +- 20}",
+        "select zone from time-zones on time-zone-map at loc overlapping {50 +- 10, 25 +- 25}",
+        "select city from cities on us-map at loc nearest 3 {53 +- 0, 32 +- 0}",
+        "select city from cities where population >= 6000000",
+        "select zone from time-zones on time-zone-map at loc covering {53 +- 1, 32 +- 1}",
+        "select city from cities on us-map at loc disjoined {10 +- 9, 25 +- 25}",
+        "select count-of(loc) from cities on us-map at loc covered-by {82.5 +- 17.5, 25 +- 20}",
+        "select city, zone from cities, time-zones on us-map, time-zone-map \
+         at cities.loc covered-by time-zones.loc",
+        // One malformed query: its error must land in its own slot.
+        "select nonsense from cities",
+    ];
+    let mut ids = Vec::new();
+    for text in &texts {
+        ids.push(client.send_query(text).expect("pipeline query"));
+    }
+
+    // Collect one response per request, keyed by id (arrival order is
+    // not part of the contract).
+    let mut responses: HashMap<u64, Response> = HashMap::new();
+    for _ in 0..=texts.len() {
+        let resp = client.read_response().expect("response");
+        let id = match &resp {
+            Response::Result { id, .. }
+            | Response::Error { id, .. }
+            | Response::Timeout { id }
+            | Response::Overloaded { id, .. } => *id,
+            other => panic!("unexpected response {other:?}"),
+        };
+        responses.insert(id, resp);
+    }
+    assert!(responses.contains_key(&sleep_id), "sleep answered");
+
+    // Differential: each served result equals local single-query
+    // execution of the same text against the same database.
+    let db = PictorialDatabase::with_us_map();
+    let functions = FunctionRegistry::with_builtins();
+    for (text, id) in texts.iter().zip(&ids) {
+        let local =
+            psql::parse_query(text).and_then(|q| psql::exec::execute_with(&db, &q, &functions));
+        match (&responses[id], local) {
+            (Response::Result { result, .. }, Ok(expect)) => {
+                assert_eq!(result.columns, expect.columns, "{text}");
+                assert_eq!(result.rows, expect.rows, "{text}");
+                assert_eq!(result.highlights, expect.highlights, "{text}");
+            }
+            (Response::Error { message, .. }, Err(e)) => {
+                assert_eq!(message, &e.to_string(), "{text}");
+            }
+            (served, local) => panic!("{text}: served {served:?} vs local {local:?}"),
+        }
+    }
+
+    // The backlog must actually have gone through the batched path.
+    let stats = client.stats().expect("stats");
+    let batches = json_u64(&stats, "\"batches\":");
+    let batched = json_u64(&stats, "\"batched_queries\":");
+    assert!(batches >= 1, "no batch formed: {stats}");
+    assert!(batched >= 2, "batch too small: {stats}");
+
+    server.stop();
+}
+
+/// Extracts the integer following `key` from a flat JSON string.
+fn json_u64(json: &str, key: &str) -> u64 {
+    let at = json.find(key).unwrap_or_else(|| panic!("{key} in {json}"));
+    json[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer after key")
+}
