@@ -9,6 +9,13 @@
 //!    `BENCH_layout.json` (`frozen_scratch_ns_per_op`);
 //! 3. the batched window path in packs of 64, against the committed
 //!    `BENCH_layout.json` (`batch_64_ns_per_op`);
+//! 4. the `Picture` read path with a **nonempty delta** (buffered
+//!    dynamic writes awaiting the background merge), against the same
+//!    picture freshly packed — measured in-process, so this guard is
+//!    immune to machine variance. Before the write-path fix a single
+//!    dynamic insert silently dropped the frozen arena and roughly
+//!    doubled query latency; this is the tripwire against that class
+//!    of regression.
 //!
 //! — and fails (exit code 1) if any measured ns/op exceeds its
 //! baseline by more than the allowed factor. The factor defaults to
@@ -30,6 +37,7 @@
 
 use packed_rtree_core::{default_threads, pack_parallel_with, PackStrategy};
 use rtree_bench::experiment_seed;
+use rtree_geom::SpatialObject;
 use rtree_index::{BatchScratch, FrozenRTree, RTreeConfig, SearchScratch};
 use rtree_workload::{points, queries, rng, PAPER_UNIVERSE};
 use std::time::Instant;
@@ -84,11 +92,50 @@ fn main() {
         }
     });
 
+    // The delta read guard: a packed picture with buffered dynamic
+    // writes must answer windows at packed-picture speed (the delta
+    // tree is tiny; the frozen main tree keeps serving). 300k objects
+    // puts the frozen arena comfortably past the size gate.
+    let delta_n = (n / 4).clamp(250_000.min(n), 400_000);
+    let mut picture = psql::picture::Picture::new("guard", PAPER_UNIVERSE, RTreeConfig::PAPER);
+    for (i, p) in pts.iter().take(delta_n).enumerate() {
+        picture.add(SpatialObject::Point(*p), &format!("g{i}"));
+    }
+    picture.pack();
+    let packed_picture_ns = best_of_three(windows.len(), || {
+        for w in &windows {
+            std::hint::black_box(picture.search_window_fast(
+                psql::SpatialOp::CoveredBy,
+                w,
+                &mut scratch,
+            ));
+        }
+    });
+    let delta_pts = points::uniform(&mut q_rng, &PAPER_UNIVERSE, 1_024);
+    for (i, p) in delta_pts.iter().enumerate() {
+        picture.add(SpatialObject::Point(*p), &format!("d{i}"));
+    }
+    assert!(picture.delta_len() > 0, "delta must be nonempty");
+    assert!(
+        picture.serves_frozen_queries(),
+        "picture fell off the frozen path"
+    );
+    let delta_picture_ns = best_of_three(windows.len(), || {
+        for w in &windows {
+            std::hint::black_box(picture.search_window_fast(
+                psql::SpatialOp::CoveredBy,
+                w,
+                &mut scratch,
+            ));
+        }
+    });
+
     let mut failed = false;
     for (name, measured, baseline) in [
         ("pointer scratch", pointer_ns, pointer_baseline),
         ("frozen scratch", frozen_ns, frozen_baseline),
         ("batched (64)", batch_ns, batch_baseline),
+        ("nonempty delta", delta_picture_ns, packed_picture_ns),
     ] {
         let limit = baseline * factor;
         println!(

@@ -1,8 +1,13 @@
 //! **EXT-9**: query-service load generator — N concurrent connections ×
 //! M mixed PSQL queries (point windows, region overlaps, juxtaposition
 //! joins) against an in-process `psql-server`, reporting throughput and
-//! client-observed latency percentiles. Results are written to
-//! `BENCH_server.json` as the machine-readable baseline.
+//! client-observed latency percentiles. A second **mixed read/write**
+//! phase replays the same read workload with a fraction of the
+//! operations turned into dynamic `INSERT`s against a WAL-backed server
+//! with the background merge enabled, so the numbers pin how much the
+//! sustained-write path (delta buffering + group commit + merge-repack)
+//! costs concurrent readers. Results are written to `BENCH_server.json`
+//! as the machine-readable baseline.
 //!
 //! Scale via environment (all optional):
 //! `SERVER_LOAD_CONNECTIONS` (default 16), `SERVER_LOAD_QUERIES` per
@@ -17,8 +22,8 @@ use psql_server::protocol::Response;
 use psql_server::server::{Server, ServerConfig};
 use rtree_bench::report::{f, Table};
 use rtree_bench::SeededWorkload;
-use rtree_geom::Rect;
-use rtree_workload::{queries, usmap};
+use rtree_geom::{Point, Rect, SpatialObject};
+use rtree_workload::{points, queries, usmap};
 use std::time::{Duration, Instant};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -42,6 +47,133 @@ fn window_literal(w: &Rect) -> String {
 const JUXTAPOSITION: &str = "select city, zone from cities, time-zones on us-map, time-zone-map \
                              at cities.loc covered-by time-zones.loc";
 
+/// One scripted client operation.
+#[derive(Clone)]
+enum Op {
+    Query(String),
+    /// Insert a point into `us-map` with this label.
+    Insert(String, Point),
+}
+
+/// Latency sets one load phase produces.
+struct PhaseResult {
+    reads: Vec<Duration>,
+    writes: Vec<Duration>,
+    retries: u64,
+    wall: Duration,
+    server_stats: String,
+}
+
+/// Runs `scripts` against a freshly started server with `config`,
+/// returning read/write latencies separately.
+fn run_phase(scripts: Vec<Vec<Op>>, config: ServerConfig) -> PhaseResult {
+    let server = Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config)
+        .expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let handles: Vec<_> = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(c, script)| {
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect_timeout(addr, Duration::from_secs(60)).expect("connect");
+                let mut reads = Vec::new();
+                let mut writes = Vec::new();
+                let mut retries = 0u64;
+                for op in &script {
+                    let t0 = Instant::now();
+                    match op {
+                        Op::Query(text) => loop {
+                            match client.query(text).expect("roundtrip") {
+                                Response::Result { result, .. } => {
+                                    if text == JUXTAPOSITION {
+                                        assert_eq!(result.len(), 42, "conn {c}: wrong join result");
+                                    }
+                                    reads.push(t0.elapsed());
+                                    break;
+                                }
+                                Response::Overloaded { retry_after_ms, .. } => {
+                                    retries += 1;
+                                    std::thread::sleep(Duration::from_millis(
+                                        retry_after_ms.max(1) as u64,
+                                    ));
+                                }
+                                other => panic!("conn {c}: unexpected response {other:?}"),
+                            }
+                        },
+                        Op::Insert(label, p) => loop {
+                            match client
+                                .insert("us-map", label, SpatialObject::Point(*p))
+                                .expect("roundtrip")
+                            {
+                                Response::Done { .. } => {
+                                    writes.push(t0.elapsed());
+                                    break;
+                                }
+                                Response::Overloaded { retry_after_ms, .. } => {
+                                    retries += 1;
+                                    std::thread::sleep(Duration::from_millis(
+                                        retry_after_ms.max(1) as u64,
+                                    ));
+                                }
+                                other => panic!("conn {c}: unexpected response {other:?}"),
+                            }
+                        },
+                    }
+                }
+                (reads, writes, retries)
+            })
+        })
+        .collect();
+
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    let mut retries = 0u64;
+    for h in handles {
+        let (r, w, x) = h.join().expect("client thread panicked");
+        reads.extend(r);
+        writes.extend(w);
+        retries += x;
+    }
+    let wall = started.elapsed();
+
+    let mut stats_client = Client::connect_timeout(addr, Duration::from_secs(10)).expect("stats");
+    let server_stats = stats_client.stats().expect("stats");
+    drop(stats_client);
+    server.stop();
+
+    PhaseResult {
+        reads,
+        writes,
+        retries,
+        wall,
+        server_stats,
+    }
+}
+
+struct Percentiles {
+    mean: f64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+}
+
+fn percentiles(latencies: &mut [Duration]) -> Percentiles {
+    latencies.sort_unstable();
+    let total = latencies.len().max(1);
+    let micros = |d: Duration| d.as_micros() as f64;
+    let pct =
+        |q: f64| micros(latencies[(((total as f64) * q).ceil() as usize).clamp(1, total) - 1]);
+    Percentiles {
+        mean: latencies.iter().map(|&d| micros(d)).sum::<f64>() / total as f64,
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+    }
+}
+
 fn main() {
     let connections = env_usize("SERVER_LOAD_CONNECTIONS", 16);
     let per_conn = env_usize("SERVER_LOAD_QUERIES", 25);
@@ -63,117 +195,138 @@ fn main() {
         queries::window_queries(&mut qrng, &usmap::FRAME, connections * per_conn, 0.002);
     let region_windows =
         queries::window_queries(&mut qrng, &usmap::FRAME, connections * per_conn, 0.02);
-    let scripts: Vec<Vec<String>> = (0..connections)
+    let query_text = |c: usize, i: usize| match (c + i) % 3 {
+        0 => format!(
+            "select city, population from cities on us-map at loc covered-by {}",
+            window_literal(&point_windows[c * per_conn + i])
+        ),
+        1 => format!(
+            "select lake from lakes on lake-map at loc overlapping {}",
+            window_literal(&region_windows[c * per_conn + i])
+        ),
+        _ => JUXTAPOSITION.to_owned(),
+    };
+    let read_scripts: Vec<Vec<Op>> = (0..connections)
+        .map(|c| (0..per_conn).map(|i| Op::Query(query_text(c, i))).collect())
+        .collect();
+    // The mixed phase keeps the same read stream and turns every fourth
+    // operation into a dynamic insert (25% writes), so reads contend with
+    // group commits, delta-merged queries, and background merge swaps.
+    let insert_points = points::uniform(&mut qrng, &usmap::FRAME, connections * per_conn);
+    let mixed_scripts: Vec<Vec<Op>> = (0..connections)
         .map(|c| {
             (0..per_conn)
-                .map(|i| match (c + i) % 3 {
-                    0 => format!(
-                        "select city, population from cities on us-map at loc covered-by {}",
-                        window_literal(&point_windows[c * per_conn + i])
-                    ),
-                    1 => format!(
-                        "select lake from lakes on lake-map at loc overlapping {}",
-                        window_literal(&region_windows[c * per_conn + i])
-                    ),
-                    _ => JUXTAPOSITION.to_owned(),
+                .map(|i| {
+                    if (c + i) % 4 == 3 {
+                        Op::Insert(format!("load-{c}-{i}"), insert_points[c * per_conn + i])
+                    } else {
+                        Op::Query(query_text(c, i))
+                    }
                 })
                 .collect()
         })
         .collect();
 
-    let config = ServerConfig {
+    let read_config = ServerConfig {
         workers,
         queue_capacity: (connections * 4).max(64),
         ..ServerConfig::default()
     };
-    let server = Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config)
-        .expect("bind ephemeral");
-    let addr = server.local_addr();
+    let wal_path = std::env::temp_dir().join(format!(
+        "server-load-mixed-{}-{seed}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wal_path);
+    let mixed_config = ServerConfig {
+        workers,
+        queue_capacity: (connections * 4).max(64),
+        wal_path: Some(wal_path.clone()),
+        merge_threshold: 64,
+        merge_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
 
-    let started = Instant::now();
-    let handles: Vec<_> = scripts
-        .into_iter()
-        .enumerate()
-        .map(|(c, script)| {
-            std::thread::spawn(move || {
-                let mut client =
-                    Client::connect_timeout(addr, Duration::from_secs(60)).expect("connect");
-                let mut latencies = Vec::with_capacity(script.len());
-                let mut retries = 0u64;
-                for text in &script {
-                    let t0 = Instant::now();
-                    loop {
-                        match client.query(text).expect("roundtrip") {
-                            Response::Result { result, .. } => {
-                                if text == JUXTAPOSITION {
-                                    assert_eq!(result.len(), 42, "conn {c}: wrong join result");
-                                }
-                                break;
-                            }
-                            Response::Overloaded { retry_after_ms, .. } => {
-                                retries += 1;
-                                std::thread::sleep(Duration::from_millis(
-                                    retry_after_ms.max(1) as u64
-                                ));
-                            }
-                            other => panic!("conn {c}: unexpected response {other:?}"),
-                        }
-                    }
-                    latencies.push(t0.elapsed());
-                }
-                (latencies, retries)
-            })
-        })
-        .collect();
+    let read_phase = run_phase(read_scripts, read_config);
+    let mixed_phase = run_phase(mixed_scripts, mixed_config);
+    let _ = std::fs::remove_file(&wal_path);
 
-    let mut latencies = Vec::with_capacity(connections * per_conn);
-    let mut retries = 0u64;
-    for h in handles {
-        let (l, r) = h.join().expect("client thread panicked");
-        latencies.extend(l);
-        retries += r;
-    }
-    let wall = started.elapsed();
+    let mut ro_reads = read_phase.reads;
+    let ro = percentiles(&mut ro_reads);
+    let ro_total = ro_reads.len();
+    let ro_throughput = ro_total as f64 / read_phase.wall.as_secs_f64();
 
-    let mut stats_client = Client::connect_timeout(addr, Duration::from_secs(10)).expect("stats");
-    let server_stats = stats_client.stats().expect("stats");
-    drop(stats_client);
-    server.stop();
+    let mut mx_reads = mixed_phase.reads;
+    let mut mx_writes = mixed_phase.writes;
+    let mx = percentiles(&mut mx_reads);
+    let mw = percentiles(&mut mx_writes);
+    let mx_total = mx_reads.len() + mx_writes.len();
+    let mx_throughput = mx_total as f64 / mixed_phase.wall.as_secs_f64();
+    let p99_ratio = if ro.p99 > 0.0 { mx.p99 / ro.p99 } else { 0.0 };
 
-    latencies.sort_unstable();
-    let total = latencies.len();
-    let pct = |q: f64| latencies[(((total as f64) * q).ceil() as usize).clamp(1, total) - 1];
-    let micros = |d: Duration| d.as_micros() as f64;
-    let throughput = total as f64 / wall.as_secs_f64();
-    let p50 = pct(0.50);
-    let p90 = pct(0.90);
-    let p99 = pct(0.99);
-    let mean = latencies.iter().map(|&d| micros(d)).sum::<f64>() / total as f64;
-
-    let mut table = Table::new(["metric", "value"]);
-    table.row(["queries".into(), total.to_string()]);
-    table.row(["wall ms".into(), f(wall.as_secs_f64() * 1000.0, 1)]);
-    table.row(["throughput q/s".into(), f(throughput, 0)]);
-    table.row(["mean µs".into(), f(mean, 0)]);
-    table.row(["p50 µs".into(), f(micros(p50), 0)]);
-    table.row(["p90 µs".into(), f(micros(p90), 0)]);
-    table.row(["p99 µs".into(), f(micros(p99), 0)]);
-    table.row(["overload retries".into(), retries.to_string()]);
+    let mut table = Table::new(["metric", "read-only", "mixed r/w"]);
+    table.row([
+        "operations".into(),
+        ro_total.to_string(),
+        format!("{} reads + {} inserts", mx_reads.len(), mx_writes.len()),
+    ]);
+    table.row([
+        "wall ms".into(),
+        f(read_phase.wall.as_secs_f64() * 1000.0, 1),
+        f(mixed_phase.wall.as_secs_f64() * 1000.0, 1),
+    ]);
+    table.row([
+        "throughput op/s".into(),
+        f(ro_throughput, 0),
+        f(mx_throughput, 0),
+    ]);
+    table.row(["read mean µs".into(), f(ro.mean, 0), f(mx.mean, 0)]);
+    table.row(["read p50 µs".into(), f(ro.p50, 0), f(mx.p50, 0)]);
+    table.row(["read p90 µs".into(), f(ro.p90, 0), f(mx.p90, 0)]);
+    table.row(["read p99 µs".into(), f(ro.p99, 0), f(mx.p99, 0)]);
+    table.row(["insert p50 µs".into(), "-".into(), f(mw.p50, 0)]);
+    table.row(["insert p99 µs".into(), "-".into(), f(mw.p99, 0)]);
+    table.row([
+        "overload retries".into(),
+        read_phase.retries.to_string(),
+        mixed_phase.retries.to_string(),
+    ]);
     println!("{}", table.render());
-    println!("server stats: {server_stats}\n");
+    println!("mixed read p99 = {:.2}x the read-only read p99", p99_ratio);
+    println!("read-only server stats: {}", read_phase.server_stats);
+    println!("mixed server stats: {}\n", mixed_phase.server_stats);
 
     let json = format!(
         "{{\n  \"experiment\": \"server_load\",\n  \"seed\": {seed},\n  \
          \"connections\": {connections},\n  \"queries_per_connection\": {per_conn},\n  \
-         \"workers\": {workers},\n  \"total_queries\": {total},\n  \
-         \"wall_ms\": {wall_ms:.1},\n  \"throughput_qps\": {throughput:.1},\n  \
+         \"workers\": {workers},\n  \"total_queries\": {ro_total},\n  \
+         \"wall_ms\": {wall_ms:.1},\n  \"throughput_qps\": {ro_throughput:.1},\n  \
          \"latency_us\": {{\"mean\": {mean:.0}, \"p50\": {p50:.0}, \"p90\": {p90:.0}, \
-         \"p99\": {p99:.0}}},\n  \"overload_retries\": {retries},\n  \
-         \"server_stats\": {server_stats}\n}}\n",
-        wall_ms = wall.as_secs_f64() * 1000.0,
-        p50 = micros(p50),
-        p90 = micros(p90),
-        p99 = micros(p99),
+         \"p99\": {p99:.0}}},\n  \"overload_retries\": {ro_retries},\n  \
+         \"mixed\": {{\n    \"reads\": {mx_r},\n    \"inserts\": {mx_w},\n    \
+         \"wall_ms\": {mx_wall:.1},\n    \"throughput_ops\": {mx_throughput:.1},\n    \
+         \"read_latency_us\": {{\"mean\": {mxm:.0}, \"p50\": {mx50:.0}, \"p90\": {mx90:.0}, \
+         \"p99\": {mx99:.0}}},\n    \"insert_latency_us\": {{\"p50\": {mw50:.0}, \
+         \"p99\": {mw99:.0}}},\n    \"read_p99_vs_read_only\": {p99_ratio:.3},\n    \
+         \"overload_retries\": {mx_retries},\n    \"server_stats\": {mx_stats}\n  }},\n  \
+         \"server_stats\": {ro_stats}\n}}\n",
+        wall_ms = read_phase.wall.as_secs_f64() * 1000.0,
+        mean = ro.mean,
+        p50 = ro.p50,
+        p90 = ro.p90,
+        p99 = ro.p99,
+        ro_retries = read_phase.retries,
+        mx_r = mx_reads.len(),
+        mx_w = mx_writes.len(),
+        mx_wall = mixed_phase.wall.as_secs_f64() * 1000.0,
+        mxm = mx.mean,
+        mx50 = mx.p50,
+        mx90 = mx.p90,
+        mx99 = mx.p99,
+        mw50 = mw.p50,
+        mw99 = mw.p99,
+        mx_retries = mixed_phase.retries,
+        mx_stats = mixed_phase.server_stats,
+        ro_stats = read_phase.server_stats,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),

@@ -103,7 +103,8 @@ fn server_load_emits_bench_json() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8(out.stdout).expect("utf8");
-    assert!(stdout.contains("throughput q/s"), "{stdout}");
+    assert!(stdout.contains("throughput op/s"), "{stdout}");
+    assert!(stdout.contains("mixed read p99"), "{stdout}");
     let json = std::fs::read_to_string(&out_path).expect("BENCH_server.json written");
     for key in [
         "\"experiment\": \"server_load\"",
@@ -112,6 +113,9 @@ fn server_load_emits_bench_json() {
         "\"p50\"",
         "\"p99\"",
         "\"server_stats\"",
+        "\"mixed\"",
+        "\"insert_latency_us\"",
+        "\"read_p99_vs_read_only\"",
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
     }

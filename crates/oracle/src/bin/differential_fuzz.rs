@@ -35,9 +35,9 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "differential fuzz: {} seed(s) × {cases} case(s), four levels \
+        "differential fuzz: {} seed(s) × {cases} case(s), five levels \
          (geom predicates, tree queries, frozen/SIMD/batched identity, \
-         PSQL end-to-end)",
+         PSQL end-to-end, mixed read/write frozen+delta)",
         seeds.len()
     );
     let divergences = run_seeds(&seeds, cases);

@@ -2,7 +2,7 @@
 //!
 //! Generates random pictorial datasets — points, rectangles, segments,
 //! including degenerate, touching, and zero-area shapes — plus random
-//! query streams, then runs engine and oracle side by side at three
+//! query streams, then runs engine and oracle side by side at four
 //! levels of the stack (see the crate docs). A divergence is shrunk by
 //! greedy deletion to a minimal counterexample and reported with the
 //! seed and case index that reproduce it:
@@ -58,6 +58,10 @@ pub struct Case {
     /// Whether the PSQL database packs its picture before querying
     /// (exercises the packed path; otherwise the dynamic insert path).
     pub pack_db: bool,
+    /// Mixed read/write split: the first `pack_prefix` objects load
+    /// before the pack, the rest arrive as dynamic inserts that buffer
+    /// in the delta tree while the frozen main tree keeps serving.
+    pub pack_prefix: usize,
 }
 
 /// Configuration of one fuzz run.
@@ -169,6 +173,7 @@ fn generate(rng: &mut StdRng) -> Case {
         })
         .collect();
     let remove_mask = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+    let pack_prefix = rng.gen_range(0..=n);
     Case {
         objects,
         windows,
@@ -177,6 +182,7 @@ fn generate(rng: &mut StdRng) -> Case {
         remove_mask,
         check_disk: rng.gen_bool(0.3),
         pack_db: rng.gen_bool(0.5),
+        pack_prefix,
     }
 }
 
@@ -971,12 +977,171 @@ fn check_psql(case: &Case) -> Option<String> {
     None
 }
 
-/// Runs the full three-level differential check, returning the first
-/// disagreement found.
+// ---------------------------------------------------------------------
+// Level 4: mixed read/write (frozen main ∪ delta)
+// ---------------------------------------------------------------------
+
+/// The sustained-write path: load a prefix of the objects, pack (so the
+/// picture carries a frozen main tree), then insert the rest dynamically
+/// so they buffer in the delta tree. Every query path — stats, scratch,
+/// and batched — must be bit-identical to brute force over *all* objects
+/// (packed ∪ delta), both before and after `merge_deltas` folds the
+/// delta back into a freshly packed main tree.
+fn check_mixed(case: &Case) -> Option<String> {
+    let split = case.pack_prefix.min(case.objects.len());
+    let mut db = PictorialDatabase::new(RTreeConfig::PAPER);
+    if let Err(e) = db.create_picture("pic", Rect::new(-1.0, -1.0, 14.0, 14.0)) {
+        return Some(format!("mixed setup failed: {e}"));
+    }
+    for obj in &case.objects[..split] {
+        if let Err(e) = db.add_object("pic", obj.clone(), "loaded") {
+            return Some(format!("mixed load failed: {e}"));
+        }
+    }
+    db.pack_all();
+    // The frozen-vs-pointer size gate is a performance heuristic; lift
+    // it so small generated pictures drive the frozen+delta merge path.
+    db.picture_mut("pic").expect("pic").force_frozen_queries();
+    for obj in &case.objects[split..] {
+        if let Err(e) = db.add_object("pic", obj.clone(), "delta") {
+            return Some(format!("mixed insert failed: {e}"));
+        }
+    }
+    {
+        let pic = db.picture("pic").expect("pic");
+        if pic.packed_len() != split || pic.delta_len() != case.objects.len() - split {
+            return Some(format!(
+                "mixed partition wrong: packed_len {} / delta_len {} for split \
+                 {split} of {} objects",
+                pic.packed_len(),
+                pic.delta_len(),
+                case.objects.len()
+            ));
+        }
+        if !db.frozen_intact() {
+            return Some("dynamic inserts dropped a frozen tree".into());
+        }
+        if let Some(d) = check_mixed_queries(case, pic, "pre-merge") {
+            return Some(d);
+        }
+    }
+
+    // Folding the delta into a fresh pack must not change one answer.
+    let merged = db.merge_deltas();
+    let pic = db.picture("pic").expect("pic");
+    if (merged > 0) != (split < case.objects.len()) {
+        return Some(format!(
+            "merge_deltas folded {merged} pictures with a delta of {}",
+            case.objects.len() - split
+        ));
+    }
+    if pic.delta_len() != 0 || pic.packed_len() != case.objects.len() {
+        return Some(format!(
+            "post-merge partition wrong: packed_len {} / delta_len {}",
+            pic.packed_len(),
+            pic.delta_len()
+        ));
+    }
+    check_mixed_queries(case, pic, "post-merge")
+}
+
+/// Every picture query path against brute force over all objects.
+fn check_mixed_queries(case: &Case, pic: &psql::picture::Picture, stage: &str) -> Option<String> {
+    let mut scratch = SearchScratch::new();
+    for (wi, w) in case.windows.iter().enumerate() {
+        for op in ALL_OPS {
+            let expect = reference::window_objects(&case.objects, op, w);
+            let mut stats = SearchStats::default();
+            let mut got = pic.search_window(op, w, &mut stats);
+            got.sort_unstable();
+            if got != expect {
+                return Some(format!(
+                    "mixed {stage} window {wi} {op}: engine {got:?} != brute \
+                     force {expect:?}"
+                ));
+            }
+            let mut fast = pic.search_window_fast(op, w, &mut scratch);
+            fast.sort_unstable();
+            if fast != expect {
+                return Some(format!(
+                    "mixed {stage} window {wi} {op}: scratch path {fast:?} != \
+                     brute force {expect:?}"
+                ));
+            }
+        }
+    }
+
+    // The batched executor path over the same query pack.
+    let queries: Vec<(SpatialOp, Rect)> = case
+        .windows
+        .iter()
+        .flat_map(|&w| ALL_OPS.iter().map(move |&op| (op, w)))
+        .collect();
+    let mut batch = BatchScratch::new();
+    for (qi, ((op, w), got)) in queries
+        .iter()
+        .zip(pic.search_windows_batch(&queries, &mut batch))
+        .enumerate()
+    {
+        let mut got = got;
+        got.sort_unstable();
+        if got != reference::window_objects(&case.objects, *op, w) {
+            return Some(format!(
+                "mixed {stage} batched query {qi} ({op}): diverges from brute force"
+            ));
+        }
+    }
+
+    // k-NN compares distance sequences (ties at the cut-off make the
+    // k-th identity legitimately ambiguous).
+    let items: Vec<(Rect, ItemId)> = case
+        .objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.mbr(), ItemId(i as u64)))
+        .collect();
+    let dist = |p: Point, ids: &[u64]| -> Vec<f64> {
+        ids.iter()
+            .map(|&id| case.objects[id as usize].mbr().min_distance_sq(p))
+            .collect()
+    };
+    for (ki, &(p, k)) in case.knn.iter().enumerate() {
+        let expect = reference::nearest_distances(&items, p, k);
+        let mut stats = SearchStats::default();
+        let got = dist(p, &pic.nearest(p, k, &mut stats));
+        if got != expect {
+            return Some(format!(
+                "mixed {stage} knn {ki} (k={k}): distances {got:?} != brute \
+                 force {expect:?}"
+            ));
+        }
+        let fast = dist(p, &pic.nearest_fast(p, k, &mut scratch));
+        if fast != expect {
+            return Some(format!(
+                "mixed {stage} knn {ki} (k={k}): scratch path diverges from \
+                 brute force"
+            ));
+        }
+    }
+    for (ki, got) in pic.nearest_batch(&case.knn, &mut batch).iter().enumerate() {
+        let (p, k) = case.knn[ki];
+        if dist(p, got) != reference::nearest_distances(&items, p, k) {
+            return Some(format!(
+                "mixed {stage} batched knn {ki} (k={k}): diverges from brute force"
+            ));
+        }
+    }
+    None
+}
+
+/// Runs the full differential check — geometry predicates, tree paths,
+/// PSQL end-to-end, and the mixed read/write delta level — returning the
+/// first disagreement found.
 pub fn check_case(case: &Case) -> Option<String> {
     check_geom(case)
         .or_else(|| check_tree(case))
         .or_else(|| check_psql(case))
+        .or_else(|| check_mixed(case))
 }
 
 // ---------------------------------------------------------------------
@@ -1017,6 +1182,9 @@ fn removal_candidates(case: &Case) -> Vec<Case> {
         let mut c = case.clone();
         c.objects.remove(i);
         c.remove_mask.remove(i);
+        if i < c.pack_prefix {
+            c.pack_prefix -= 1;
+        }
         out.push(c);
     }
     for i in 0..case.windows.len() {
@@ -1120,6 +1288,7 @@ mod tests {
             remove_mask: vec![false, false, false],
             check_disk: false,
             pack_db: false,
+            pack_prefix: 2,
         };
         let fails = |c: &Case| {
             c.objects

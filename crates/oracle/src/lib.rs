@@ -7,7 +7,7 @@
 //! representations ([`invariant`] over [`image::TreeImage`]), and a
 //! seeded differential fuzz driver ([`fuzz`]) that generates random
 //! pictorial datasets and query streams, runs engine and oracle side by
-//! side at three levels of the stack, and shrinks any divergence to a
+//! side at four levels of the stack, and shrinks any divergence to a
 //! minimal counterexample:
 //!
 //! 1. **Geometry** — the spatial-operator algebra on object pairs
@@ -22,6 +22,11 @@
 //!    `execute_with_scratch` (the entry point the concurrent query
 //!    service uses), compared against direct evaluation of the operator
 //!    over all objects.
+//! 4. **Mixed read/write** — a prefix of the objects is loaded and
+//!    packed (frozen main tree), the rest arrive as dynamic inserts
+//!    buffered in the delta tree; every query path (stats, scratch,
+//!    batched) must be bit-identical to brute force over packed ∪
+//!    delta, before and after the merge folds the delta back in.
 //!
 //! Reproduction is deterministic: every counterexample carries the seed
 //! and case index that produced it (see `DESIGN.md` §11).

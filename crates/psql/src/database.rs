@@ -231,6 +231,37 @@ impl PictorialDatabase {
         }
     }
 
+    /// Folds every nonempty delta tree back into a freshly packed +
+    /// frozen main tree, leaving untouched pictures alone. Returns the
+    /// number of pictures merged. This is what the server's background
+    /// merge thread runs on a snapshot clone before publishing it.
+    pub fn merge_deltas(&mut self) -> usize {
+        let mut merged = 0;
+        for pic in self.pictures.values_mut() {
+            if pic.needs_merge() {
+                pic.pack();
+                merged += 1;
+            }
+        }
+        merged
+    }
+
+    /// Total objects buffered in delta trees across all pictures.
+    pub fn delta_len(&self) -> usize {
+        self.pictures.values().map(|p| p.delta_len()).sum()
+    }
+
+    /// `true` while no packed picture has lost its frozen compilation to
+    /// a dynamic write — the invariant the write path restores: inserts
+    /// buffer in delta trees and the frozen main tree keeps serving.
+    /// (Never-packed pictures don't count against this.)
+    pub fn frozen_intact(&self) -> bool {
+        self.pictures
+            .values()
+            .filter(|p| p.packed_len() > 0)
+            .all(|p| p.frozen().is_some())
+    }
+
     /// Builds the synthetic US database of `rtree-workload`: pictures
     /// `us-map`, `state-map`, `time-zone-map`, `lake-map`, `highway-map`
     /// and relations `cities`, `states`, `time-zones`, `lakes`,

@@ -4,7 +4,7 @@ use crate::ast::{ColumnRef, Expr, Operand, Query};
 use crate::database::PictorialDatabase;
 use crate::error::PsqlError;
 use crate::functions::FunctionRegistry;
-use crate::join::{frozen_join, rtree_join, JoinStats};
+use crate::join::{picture_join, JoinStats};
 use crate::plan::{self, Access, Plan, Projection, ResolvedColumn, SpatialStrategy};
 use crate::result::{Highlight, ResultSet};
 use crate::spatial::SpatialOp;
@@ -464,12 +464,10 @@ fn candidate_rows(
             let rp = db.picture(right_picture)?;
             let mut join_stats = JoinStats::default();
             // Frozen joins are bit-identical to pointer-tree joins (same
-            // pair order, same stats); use them whenever both sides are
-            // packed and frozen.
-            let pairs = match (lp.frozen(), rp.frozen()) {
-                (Some(lf), Some(rf)) => frozen_join(lf, rf, *op, &mut join_stats),
-                _ => rtree_join(lp.tree(), rp.tree(), *op, &mut join_stats),
-            };
+            // pair order, same stats) and are used whenever both sides
+            // are packed; buffered delta writes merge in as extra join
+            // terms (see `picture_join`).
+            let pairs = picture_join(lp, rp, *op, &mut join_stats);
             let mut rows = Vec::new();
             for (ItemId(lo), ItemId(ro)) in pairs {
                 let lobj = lp.object(lo).ok_or_else(|| {
@@ -979,5 +977,77 @@ mod tests {
         .unwrap();
         assert!(result.is_empty());
         assert!(result.highlights.is_empty());
+    }
+
+    #[test]
+    fn degenerate_windows_are_safe_and_deterministic() {
+        // Hostile window literals whose arithmetic leaves the finite
+        // plane (a 400-digit literal parses to infinity; `inf - inf` is
+        // NaN) must come back as *typed* errors through the executor,
+        // never as a panic or a NaN-poisoned R-tree descent.
+        let db = db();
+        let huge = "9".repeat(400); // f64::from_str → +inf
+        for text in [
+            // Overflowing center, overflowing extent, and the inf-inf
+            // NaN case, through both the at-clause and nearest.
+            format!("select city from cities on us-map at loc covered-by {{{huge} +- 1, 25 +- 20}}"),
+            format!("select city from cities on us-map at loc covered-by {{82.5 +- {huge}, 25 +- 20}}"),
+            format!("select city from cities on us-map at loc overlapping {{{huge} +- {huge}, 25 +- 20}}"),
+            format!("select city from cities on us-map at loc nearest 3 {{{huge} +- {huge}, 25 +- 0}}"),
+        ] {
+            match query(&db, &text) {
+                Err(PsqlError::Parse(msg)) => assert!(msg.contains("finite"), "{text}: {msg}"),
+                other => panic!("{text}: expected typed parse error, got {other:?}"),
+            }
+        }
+
+        // Zero-area (point) windows are the legal degenerate case: all
+        // four operators must answer, deterministically, on reruns.
+        for op in ["covered-by", "overlapping", "covering", "disjoined"] {
+            let text =
+                format!("select city from cities on us-map at loc {op} {{53 +- 0, 32 +- 0}}");
+            let first = query(&db, &text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let again = query(&db, &text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(first.rows, again.rows, "{text} nondeterministic");
+        }
+    }
+
+    #[test]
+    fn order_by_with_nan_keys_is_total_and_stable() {
+        // exec's order-by comparator must be a total order even when the
+        // key column contains NaN (total_cmp, not partial_cmp): every
+        // row survives the sort, NaN lands at a deterministic end, and
+        // reruns agree.
+        let mut db = db();
+        let obj = db
+            .add_object(
+                "state-map",
+                rtree_geom::SpatialObject::Region(rtree_geom::Region::rectangle(
+                    rtree_geom::Rect::new(1.0, 1.0, 2.0, 2.0),
+                )),
+                "Nanland",
+            )
+            .unwrap();
+        db.insert(
+            "states",
+            vec!["Nanland".into(), f64::NAN.into(), Value::Pointer(obj)],
+        )
+        .unwrap();
+        let total = db.catalog().relation("states").unwrap().len();
+
+        let asc = query(&db, "select state from states order by population-density").unwrap();
+        let desc = query(
+            &db,
+            "select state from states order by population-density desc",
+        )
+        .unwrap();
+        assert_eq!(asc.len(), total, "sort dropped rows");
+        assert_eq!(desc.len(), total, "sort dropped rows");
+        // total_cmp orders NaN above every finite float: last ascending,
+        // first descending.
+        assert_eq!(asc.rows[total - 1][0], Value::str("Nanland"));
+        assert_eq!(desc.rows[0][0], Value::str("Nanland"));
+        let again = query(&db, "select state from states order by population-density").unwrap();
+        assert_eq!(asc.rows, again.rows, "NaN sort nondeterministic");
     }
 }

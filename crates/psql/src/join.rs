@@ -10,6 +10,7 @@
 //! emitted for exact refinement by the caller. [`nested_loop_join`] is
 //! the baseline the `fig2_2` experiment compares against.
 
+use crate::picture::Picture;
 use crate::spatial::SpatialOp;
 use rtree_geom::Rect;
 use rtree_index::{FrozenRTree, ItemId, Node, RTree};
@@ -114,6 +115,51 @@ fn join_nodes(
 
 fn intersects_node(mbr: &Rect, node: &Node) -> bool {
     node.mbr().is_some_and(|m| m.intersects(mbr))
+}
+
+/// Juxtaposition join between two [`Picture`]s, merging each side's
+/// frozen main tree with its buffered delta (DESIGN.md §14).
+///
+/// When both sides are packed, the pair set decomposes over the
+/// (disjoint) main/delta partitions:
+///
+/// ```text
+/// join(L, R) = frozen_join(L.main, R.main)      main  × main
+///            ∪ rtree_join(L.all,  R.delta)       all   × delta
+///            ∪ rtree_join(L.delta, R.main)       delta × main
+/// ```
+///
+/// `L.all` is the pointer tree (which indexes main and delta objects
+/// alike), so the middle term already covers `delta × delta`; the last
+/// term filters right-side ids to the main prefix to avoid emitting
+/// those pairs twice. With empty deltas this is exactly the old
+/// `frozen_join` fast path, bit-identical pairs and counters included.
+/// If either side was never packed, its pointer tree holds everything
+/// and the plain lock-step join runs.
+pub fn picture_join(
+    lp: &Picture,
+    rp: &Picture,
+    op: SpatialOp,
+    stats: &mut JoinStats,
+) -> Vec<(ItemId, ItemId)> {
+    match (lp.frozen(), rp.frozen()) {
+        (Some(lf), Some(rf)) => {
+            let mut out = frozen_join(lf, rf, op, stats);
+            if rp.needs_merge() {
+                out.extend(rtree_join(lp.tree(), rp.delta_tree(), op, stats));
+            }
+            if lp.needs_merge() {
+                let cut = rp.packed_len() as u64;
+                out.extend(
+                    rtree_join(lp.delta_tree(), rp.tree(), op, stats)
+                        .into_iter()
+                        .filter(|&(_, ItemId(r))| r < cut),
+                );
+            }
+            out
+        }
+        _ => rtree_join(lp.tree(), rp.tree(), op, stats),
+    }
 }
 
 /// [`rtree_join`] over two frozen trees: the identical simultaneous
@@ -390,6 +436,62 @@ mod tests {
             // Exact emission order, not just the same set.
             assert_eq!(frozen, pointer, "{op}");
             assert_eq!(sf, sp, "{op} counters");
+        }
+    }
+
+    /// `picture_join` with buffered deltas on one or both sides must
+    /// match the pair set of freshly re-packed pictures (pairs compared
+    /// as sorted sets; deltas make the emission order differ).
+    #[test]
+    fn picture_join_merges_deltas() {
+        use rtree_geom::SpatialObject;
+        let mk = |pts: &[(f64, f64)], extra: &[(f64, f64)]| {
+            let mut pic = Picture::new("p", Rect::new(0.0, 0.0, 100.0, 100.0), RTreeConfig::PAPER);
+            for &(x, y) in pts {
+                pic.add(SpatialObject::Point(Point::new(x, y)), "o");
+            }
+            pic.pack();
+            for &(x, y) in extra {
+                pic.add(SpatialObject::Point(Point::new(x, y)), "d");
+            }
+            pic
+        };
+        let grid = grid_points(60);
+        let shifted: Vec<(f64, f64)> = grid.iter().map(|&(x, y)| (x + 1.0, y + 1.0)).collect();
+        let extra_l = [(3.0, 3.0), (50.0, 50.0), (64.0, 8.0)];
+        let extra_r = [(2.5, 2.5), (49.0, 51.0)];
+        for (el, er) in [
+            (&extra_l[..], &extra_r[..]), // deltas on both sides
+            (&extra_l[..], &[][..]),      // left only
+            (&[][..], &extra_r[..]),      // right only
+            (&[][..], &[][..]),           // no deltas: frozen fast path
+        ] {
+            let live_l = mk(&grid, el);
+            let live_r = mk(&shifted, er);
+            let mut packed_l = live_l.clone();
+            let mut packed_r = live_r.clone();
+            packed_l.pack();
+            packed_r.pack();
+            for op in [
+                SpatialOp::CoveredBy,
+                SpatialOp::Overlapping,
+                SpatialOp::Covering,
+                SpatialOp::Disjoined,
+            ] {
+                let mut s1 = JoinStats::default();
+                let mut s2 = JoinStats::default();
+                let mut merged = picture_join(&live_l, &live_r, op, &mut s1);
+                let mut packed = picture_join(&packed_l, &packed_r, op, &mut s2);
+                merged.sort_unstable();
+                packed.sort_unstable();
+                assert_eq!(
+                    merged,
+                    packed,
+                    "{op} diverged (deltas {}/{})",
+                    el.len(),
+                    er.len()
+                );
+            }
         }
     }
 

@@ -69,6 +69,7 @@ pub mod render;
 pub mod result;
 pub mod spatial;
 pub mod token;
+pub mod wal_record;
 
 pub use database::PictorialDatabase;
 pub use error::PsqlError;
@@ -76,3 +77,4 @@ pub use exec::execute;
 pub use parser::parse_query;
 pub use result::ResultSet;
 pub use spatial::SpatialOp;
+pub use wal_record::InsertRecord;

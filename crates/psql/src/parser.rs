@@ -275,7 +275,18 @@ impl Parser {
                 "window half-extents must be non-negative".into(),
             ));
         }
-        Ok(Rect::new(cx - dx, cy - dy, cx + dx, cy + dy))
+        // Literals like `1e400` parse to infinity, and `inf - inf` is
+        // NaN — reject anything whose computed bounds leave the finite
+        // rectangles the geometry layer is defined over, instead of
+        // handing the executor a degenerate window.
+        let (min_x, max_x) = (cx - dx, cx + dx);
+        let (min_y, max_y) = (cy - dy, cy + dy);
+        if !(min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite()) {
+            return Err(PsqlError::Parse(
+                "window bounds must be finite coordinates".into(),
+            ));
+        }
+        Ok(Rect::new(min_x, min_y, max_x, max_y))
     }
 
     fn expr(&mut self) -> Result<Expr, PsqlError> {

@@ -4,7 +4,7 @@ use crate::spatial::SpatialOp;
 use packed_rtree_core::pack;
 use rtree_geom::{Point, Rect, SpatialObject};
 use rtree_index::{
-    BatchScratch, FrozenRTree, ItemId, RTree, RTreeConfig, SearchScratch, SearchStats,
+    BatchScratch, FrozenRTree, ItemId, Neighbor, RTree, RTreeConfig, SearchScratch, SearchStats,
 };
 
 /// Node-count threshold below which queries keep serving the pointer
@@ -28,10 +28,20 @@ const FROZEN_QUERY_MIN_NODES: usize = 4096;
 /// After [`pack`](Picture::pack) the tree is also compiled into a
 /// [`FrozenRTree`] — the cache-conscious SoA layout — and every query
 /// path serves from it (results and counters are bit-identical to the
-/// pointer tree). A dynamic [`add`](Picture::add) invalidates the frozen
-/// form until the next pack.
+/// pointer tree).
 ///
-/// `Clone` deep-copies objects, labels and the R-tree so a snapshot
+/// A dynamic [`add`](Picture::add) after a pack **no longer invalidates
+/// the frozen form** (the §3.4 "update problem"). The new object goes
+/// into a small in-memory Guttman **delta tree** instead, and every
+/// query path merges frozen-main and delta results: the frozen arena
+/// covers object ids `[0, packed_len)`, the delta covers
+/// `[packed_len, len)`, so the two candidate sets are disjoint by
+/// construction. The next [`pack`](Picture::pack) (an explicit REPACK or
+/// the server's background merge) folds the delta back into a freshly
+/// packed + frozen main tree. DESIGN.md §14 describes the full write
+/// path, including the WAL that makes buffered adds durable.
+///
+/// `Clone` deep-copies objects, labels and the R-trees so a snapshot
 /// builder can re-pack a copy without disturbing concurrent readers.
 #[derive(Debug, Clone)]
 pub struct Picture {
@@ -39,8 +49,21 @@ pub struct Picture {
     frame: Rect,
     objects: Vec<SpatialObject>,
     labels: Vec<String>,
+    /// The pointer tree over **all** objects — the fallback query path
+    /// and the substrate `pack`/`freeze` compile from.
     tree: RTree,
     frozen: Option<FrozenRTree>,
+    /// Guttman tree over objects added since the last pack (ids
+    /// `packed_len..len`). Empty whenever `frozen` is `None`.
+    delta: RTree,
+    /// Objects covered by the frozen compilation (prefix of `objects`).
+    packed_len: usize,
+    /// Test hook: serve frozen queries regardless of tree size, so the
+    /// differential fuzzer can drive the frozen+delta merge path on
+    /// small cases (see [`force_frozen_queries`]).
+    ///
+    /// [`force_frozen_queries`]: Picture::force_frozen_queries
+    force_frozen: bool,
 }
 
 impl Picture {
@@ -53,6 +76,9 @@ impl Picture {
             labels: Vec::new(),
             tree: RTree::new(config),
             frozen: None,
+            delta: RTree::new(config),
+            packed_len: 0,
+            force_frozen: false,
         }
     }
 
@@ -81,10 +107,13 @@ impl Picture {
     pub fn add(&mut self, object: SpatialObject, label: &str) -> u64 {
         let id = self.objects.len() as u64;
         self.tree.insert(object.mbr(), ItemId(id));
+        if self.frozen.is_some() {
+            // The frozen arena keeps serving ids [0, packed_len); the
+            // new object joins the delta tree and queries merge both.
+            self.delta.insert(object.mbr(), ItemId(id));
+        }
         self.objects.push(object);
         self.labels.push(label.to_owned());
-        // The frozen compilation no longer matches the pointer tree.
-        self.frozen = None;
         id
     }
 
@@ -100,6 +129,9 @@ impl Picture {
             .collect();
         self.tree = pack(items, self.tree.config());
         self.frozen = Some(FrozenRTree::freeze(&self.tree));
+        // The delta is folded into the fresh main tree.
+        self.delta = RTree::new(self.tree.config());
+        self.packed_len = self.objects.len();
     }
 
     /// The object with id `id`.
@@ -118,9 +150,34 @@ impl Picture {
     }
 
     /// The frozen compilation of the tree, present since the last
-    /// [`pack`](Picture::pack) (and invalidated by [`add`](Picture::add)).
+    /// [`pack`](Picture::pack). It covers ids `[0, packed_len)`; objects
+    /// added since live in the [`delta_tree`](Picture::delta_tree).
     pub fn frozen(&self) -> Option<&FrozenRTree> {
         self.frozen.as_ref()
+    }
+
+    /// The in-memory Guttman delta tree over objects added since the
+    /// last pack (ids `packed_len..len`). Empty on a never-packed or
+    /// freshly packed picture.
+    pub fn delta_tree(&self) -> &RTree {
+        &self.delta
+    }
+
+    /// Objects buffered in the delta tree since the last pack.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Objects covered by the frozen compilation (prefix of the object
+    /// id space). Zero on a never-packed picture.
+    pub fn packed_len(&self) -> usize {
+        self.packed_len
+    }
+
+    /// `true` when the picture has buffered dynamic writes the next
+    /// merge-repack should fold into the main tree.
+    pub fn needs_merge(&self) -> bool {
+        !self.delta.is_empty()
     }
 
     /// The frozen compilation *if queries should serve from it*: present
@@ -128,7 +185,17 @@ impl Picture {
     fn query_frozen(&self) -> Option<&FrozenRTree> {
         self.frozen
             .as_ref()
-            .filter(|f| f.node_count() >= FROZEN_QUERY_MIN_NODES)
+            .filter(|f| self.force_frozen || f.node_count() >= FROZEN_QUERY_MIN_NODES)
+    }
+
+    /// Serve frozen queries regardless of tree size. The size gate in
+    /// [`serves_frozen_queries`](Picture::serves_frozen_queries) is a
+    /// performance heuristic only; the differential fuzzer flips this to
+    /// drive the frozen+delta merged query path on small generated
+    /// pictures, where the gate would otherwise route around it.
+    #[doc(hidden)]
+    pub fn force_frozen_queries(&mut self) {
+        self.force_frozen = true;
     }
 
     /// `true` when spatial queries on this picture are served from the
@@ -145,21 +212,83 @@ impl Picture {
         0..self.objects.len() as u64
     }
 
+    /// Window candidates buffered in the delta tree (empty when there is
+    /// no delta), with traversal counters folded into `stats`.
+    fn delta_window_candidates(
+        &self,
+        within: bool,
+        window: &Rect,
+        stats: &mut SearchStats,
+    ) -> Vec<ItemId> {
+        if self.delta.is_empty() {
+            return Vec::new();
+        }
+        let mut ds = SearchStats::default();
+        let out = if within {
+            self.delta.search_within(window, &mut ds)
+        } else {
+            self.delta.search_intersecting(window, &mut ds)
+        };
+        stats.absorb_traversal(&ds);
+        out
+    }
+
+    /// Merges two distance-ascending neighbour lists into the `k`
+    /// nearest, preferring the frozen-main side on exact distance ties
+    /// (its ids are smaller by construction).
+    fn merge_neighbors(main: &[Neighbor], delta: &[Neighbor], k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::with_capacity(k.min(main.len() + delta.len()));
+        let (mut i, mut j) = (0, 0);
+        while out.len() < k {
+            match (main.get(i), delta.get(j)) {
+                (Some(a), Some(b)) => {
+                    if a.distance_sq.total_cmp(&b.distance_sq).is_le() {
+                        out.push(*a);
+                        i += 1;
+                    } else {
+                        out.push(*b);
+                        j += 1;
+                    }
+                }
+                (Some(a), None) => {
+                    out.push(*a);
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    out.push(*b);
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
     /// Direct spatial search: object ids satisfying `obj op window`,
-    /// pruned through the R-tree and refined with exact geometry.
+    /// pruned through the R-tree and refined with exact geometry. When
+    /// the picture serves frozen queries and holds a delta, the frozen
+    /// arena and the delta tree are both searched and their (disjoint)
+    /// candidate sets merged.
     pub fn search_window(&self, op: SpatialOp, window: &Rect, stats: &mut SearchStats) -> Vec<u64> {
         let candidates: Vec<ItemId> = match (op, self.query_frozen()) {
             // The paper's SEARCH: WITHIN at the leaves.
-            (SpatialOp::CoveredBy, Some(f)) => f.search_within(window, stats),
+            (SpatialOp::CoveredBy, Some(f)) => {
+                let mut c = f.search_within(window, stats);
+                c.extend(self.delta_window_candidates(true, window, stats));
+                c
+            }
             (SpatialOp::CoveredBy, None) => self.tree.search_within(window, stats),
             // Overlap/cover candidates must intersect the window.
             (SpatialOp::Overlapping | SpatialOp::Covering, Some(f)) => {
-                f.search_intersecting(window, stats)
+                let mut c = f.search_intersecting(window, stats);
+                c.extend(self.delta_window_candidates(false, window, stats));
+                c
             }
             (SpatialOp::Overlapping | SpatialOp::Covering, None) => {
                 self.tree.search_intersecting(window, stats)
             }
-            // Disjointness cannot be pruned; enumerate everything.
+            // Disjointness cannot be pruned; enumerate everything (the
+            // pointer tree indexes main and delta objects alike).
             (SpatialOp::Disjoined, _) => {
                 stats.queries += 1;
                 self.tree.items().into_iter().map(|(_, id)| id).collect()
@@ -184,13 +313,29 @@ impl Picture {
     ) -> Vec<u64> {
         match (op, self.query_frozen()) {
             (SpatialOp::CoveredBy, Some(f)) => {
-                self.refine(op, window, f.search_within_into(window, scratch))
+                let mut out = self.refine(op, window, f.search_within_into(window, scratch));
+                if !self.delta.is_empty() {
+                    out.extend(self.refine(
+                        op,
+                        window,
+                        self.delta.search_within_into(window, scratch),
+                    ));
+                }
+                out
             }
             (SpatialOp::CoveredBy, None) => {
                 self.refine(op, window, self.tree.search_within_into(window, scratch))
             }
             (SpatialOp::Overlapping | SpatialOp::Covering, Some(f)) => {
-                self.refine(op, window, f.search_intersecting_into(window, scratch))
+                let mut out = self.refine(op, window, f.search_intersecting_into(window, scratch));
+                if !self.delta.is_empty() {
+                    out.extend(self.refine(
+                        op,
+                        window,
+                        self.delta.search_intersecting_into(window, scratch),
+                    ));
+                }
+                out
             }
             (SpatialOp::Overlapping | SpatialOp::Covering, None) => self.refine(
                 op,
@@ -208,7 +353,17 @@ impl Picture {
     /// ascending distance, with Table 1 counters.
     pub fn nearest(&self, p: Point, k: usize, stats: &mut SearchStats) -> Vec<u64> {
         let neighbors = match self.query_frozen() {
-            Some(f) => f.nearest_neighbors(p, k, stats),
+            Some(f) => {
+                let main = f.nearest_neighbors(p, k, stats);
+                if self.delta.is_empty() {
+                    main
+                } else {
+                    let mut ds = SearchStats::default();
+                    let delta = self.delta.nearest_neighbors(p, k, &mut ds);
+                    stats.absorb_traversal(&ds);
+                    Self::merge_neighbors(&main, &delta, k)
+                }
+            }
             None => self.tree.nearest_neighbors(p, k, stats),
         };
         neighbors.into_iter().map(|n| n.item.0).collect()
@@ -219,12 +374,32 @@ impl Picture {
     /// scratch's embedded [`KnnScratch`](rtree_index::KnnScratch), so
     /// repeated queries allocate nothing once warmed up.
     pub fn nearest_fast(&self, p: Point, k: usize, scratch: &mut SearchScratch) -> Vec<u64> {
-        let knn = scratch.knn();
-        let neighbors = match self.query_frozen() {
-            Some(f) => f.nearest_neighbors_into(p, k, knn),
-            None => self.tree.nearest_neighbors_into(p, k, knn),
-        };
-        neighbors.iter().map(|n| n.item.0).collect()
+        match self.query_frozen() {
+            Some(f) => {
+                if self.delta.is_empty() {
+                    return f
+                        .nearest_neighbors_into(p, k, scratch.knn())
+                        .iter()
+                        .map(|n| n.item.0)
+                        .collect();
+                }
+                let main: Vec<Neighbor> = f.nearest_neighbors_into(p, k, scratch.knn()).to_vec();
+                let delta: Vec<Neighbor> = self
+                    .delta
+                    .nearest_neighbors_into(p, k, scratch.knn())
+                    .to_vec();
+                Self::merge_neighbors(&main, &delta, k)
+                    .into_iter()
+                    .map(|n| n.item.0)
+                    .collect()
+            }
+            None => self
+                .tree
+                .nearest_neighbors_into(p, k, scratch.knn())
+                .iter()
+                .map(|n| n.item.0)
+                .collect(),
+        }
     }
 
     /// Batched [`search_window_fast`](Self::search_window_fast): executes
@@ -269,10 +444,27 @@ impl Picture {
                 continue;
             }
             let windows: Vec<Rect> = group.iter().map(|&i| queries[i].1).collect();
-            let results = f.batch_windows(&windows, within, batch);
-            for (slot, &i) in group.iter().enumerate() {
-                let (op, window) = &queries[i];
-                out[i] = self.refine(*op, window, results.get(slot));
+            {
+                let results = f.batch_windows(&windows, within, batch);
+                for (slot, &i) in group.iter().enumerate() {
+                    let (op, window) = &queries[i];
+                    out[i] = self.refine(*op, window, results.get(slot));
+                }
+            }
+            // Buffered delta objects merge in after the frozen batch
+            // (the batch results borrow the scratch, so this is a
+            // second pass once that borrow ends).
+            if !self.delta.is_empty() {
+                for &i in &group {
+                    let (op, window) = &queries[i];
+                    let candidates = if within {
+                        self.delta.search_within_into(window, batch.search())
+                    } else {
+                        self.delta.search_intersecting_into(window, batch.search())
+                    };
+                    let extra = self.refine(*op, window, candidates);
+                    out[i].extend(extra);
+                }
             }
         }
         out
@@ -289,10 +481,32 @@ impl Picture {
     ) -> Vec<Vec<u64>> {
         match self.query_frozen() {
             Some(f) => {
-                let results = f.batch_knn(queries, batch);
-                results
+                if self.delta.is_empty() {
+                    let results = f.batch_knn(queries, batch);
+                    return results
+                        .iter()
+                        .map(|ns| ns.iter().map(|n| n.item.0).collect())
+                        .collect();
+                }
+                // Copy the frozen batch out (it borrows the scratch),
+                // then merge each query's delta neighbours in.
+                let main: Vec<Vec<Neighbor>> = {
+                    let results = f.batch_knn(queries, batch);
+                    results.iter().map(|ns| ns.to_vec()).collect()
+                };
+                queries
                     .iter()
-                    .map(|ns| ns.iter().map(|n| n.item.0).collect())
+                    .zip(main)
+                    .map(|(&(p, k), m)| {
+                        let delta: Vec<Neighbor> = self
+                            .delta
+                            .nearest_neighbors_into(p, k, batch.search().knn())
+                            .to_vec();
+                        Self::merge_neighbors(&m, &delta, k)
+                            .into_iter()
+                            .map(|n| n.item.0)
+                            .collect()
+                    })
                     .collect()
             }
             None => queries
@@ -381,11 +595,13 @@ mod tests {
     }
 
     #[test]
-    fn pack_freezes_and_add_invalidates() {
+    fn pack_freezes_and_add_opens_delta() {
         let mut pic = sample();
         assert!(pic.frozen().is_none());
+        assert_eq!(pic.delta_len(), 0, "pre-pack adds bypass the delta");
         pic.pack();
         assert!(pic.frozen().is_some());
+        assert_eq!(pic.packed_len(), pic.len());
         // Frozen and pointer paths agree on results and counters.
         let window = Rect::new(0.0, 0.0, 40.0, 40.0);
         let mut frozen_stats = SearchStats::default();
@@ -399,8 +615,109 @@ mod tests {
             .collect();
         assert_eq!(via_frozen, via_tree);
         assert_eq!(frozen_stats, tree_stats);
-        pic.add(SpatialObject::Point(Point::new(1.0, 2.0)), "late");
-        assert!(pic.frozen().is_none(), "dynamic insert must invalidate");
+        // A dynamic insert no longer drops the frozen arena: it buffers
+        // in the delta tree and queries keep merging both.
+        let late = pic.add(SpatialObject::Point(Point::new(1.0, 2.0)), "late");
+        assert!(pic.frozen().is_some(), "add must not drop the frozen tree");
+        assert!(pic.needs_merge());
+        assert_eq!(pic.delta_len(), 1);
+        let mut stats = SearchStats::default();
+        let got = pic.search_window(SpatialOp::Overlapping, &window, &mut stats);
+        assert!(got.contains(&late), "merged query must see the delta");
+        // Re-packing folds the delta back into the main tree.
+        pic.pack();
+        assert!(!pic.needs_merge());
+        assert_eq!(pic.packed_len(), pic.len());
+        let mut stats = SearchStats::default();
+        let after = pic.search_window(SpatialOp::Overlapping, &window, &mut stats);
+        let mut got = got;
+        got.sort_unstable();
+        let mut after = after;
+        after.sort_unstable();
+        assert_eq!(got, after);
+    }
+
+    /// The delta path on a picture large enough to serve frozen queries:
+    /// every query shape (window ops, k-NN, batched forms) must agree
+    /// with a freshly packed copy of the same objects.
+    #[test]
+    fn delta_merge_is_equivalent_to_repacked() {
+        let mut live = big_picture(16_000);
+        assert!(live.serves_frozen_queries());
+        for i in 0..300u64 {
+            let x = (i.wrapping_mul(48271) % 100_000) as f64 / 100.0;
+            let y = (i.wrapping_mul(69621) % 100_000) as f64 / 100.0;
+            live.add(SpatialObject::Point(Point::new(x, y)), &format!("d{i}"));
+        }
+        assert_eq!(live.delta_len(), 300);
+        assert!(
+            live.serves_frozen_queries(),
+            "delta writes must not knock queries off the frozen arena"
+        );
+        let mut repacked = live.clone();
+        repacked.pack();
+
+        let mut batch = BatchScratch::new();
+        let windows: Vec<(SpatialOp, Rect)> = (0..30)
+            .map(|i| {
+                let x = (i * 97 % 800) as f64;
+                let y = (i * 31 % 800) as f64;
+                let op = match i % 4 {
+                    0 => SpatialOp::CoveredBy,
+                    1 => SpatialOp::Overlapping,
+                    2 => SpatialOp::Covering,
+                    _ => SpatialOp::Disjoined,
+                };
+                (op, Rect::new(x, y, x + 120.0, y + 120.0))
+            })
+            .collect();
+        for (op, w) in &windows {
+            let mut s1 = SearchStats::default();
+            let mut s2 = SearchStats::default();
+            let mut merged = live.search_window(*op, w, &mut s1);
+            let mut packed = repacked.search_window(*op, w, &mut s2);
+            merged.sort_unstable();
+            packed.sort_unstable();
+            assert_eq!(merged, packed, "{op:?} {w:?} diverged from repacked");
+            let mut fast = live.search_window_fast(*op, w, batch.search());
+            fast.sort_unstable();
+            assert_eq!(fast, merged, "fast path diverged on {op:?}");
+        }
+        let batched = live.search_windows_batch(&windows, &mut batch);
+        for (got, (op, w)) in batched.iter().zip(&windows) {
+            let single = live.search_window_fast(*op, w, batch.search());
+            assert_eq!(got, &single, "batched {op:?} {w:?} diverged");
+        }
+
+        // k-NN: distances must match the repacked picture (ties at the
+        // cut-off make the identity of the k-th neighbour ambiguous).
+        let dist = |pic: &Picture, p: Point, ids: &[u64]| -> Vec<f64> {
+            ids.iter()
+                .map(|&id| pic.object(id).unwrap().mbr().min_distance_sq(p))
+                .collect()
+        };
+        let knn_queries: Vec<(Point, usize)> = (0..20)
+            .map(|i| {
+                let x = (i * 211 % 1000) as f64;
+                let y = (i * 57 % 1000) as f64;
+                (Point::new(x, y), 1 + i % 9)
+            })
+            .collect();
+        for &(p, k) in &knn_queries {
+            let mut s1 = SearchStats::default();
+            let mut s2 = SearchStats::default();
+            let merged = live.nearest(p, k, &mut s1);
+            let packed = repacked.nearest(p, k, &mut s2);
+            assert_eq!(merged.len(), packed.len());
+            assert_eq!(dist(&live, p, &merged), dist(&repacked, p, &packed));
+            let fast = live.nearest_fast(p, k, batch.search());
+            assert_eq!(merged, fast, "k-NN fast path diverged at {p:?}");
+        }
+        let batched = live.nearest_batch(&knn_queries, &mut batch);
+        for (got, &(p, k)) in batched.iter().zip(&knn_queries) {
+            let single = live.nearest_fast(p, k, batch.search());
+            assert_eq!(got, &single, "batched k-NN at {p:?} k={k} diverged");
+        }
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! WAL record codec for dynamic picture writes.
+//!
+//! The server appends one [`InsertRecord`] to its write-ahead log
+//! (`rtree_storage::wal`) for every acknowledged `INSERT`, and crash
+//! recovery replays the decoded records through
+//! [`PictorialDatabase::add_object`](crate::PictorialDatabase::add_object)
+//! to rebuild the in-memory delta trees (DESIGN.md §14).
+//!
+//! The encoding is a fixed little-endian layout in the repo's
+//! no-external-crates style (the WAL page framing and CRC live a layer
+//! below, in the storage crate):
+//!
+//! ```text
+//! u8            record kind (0 = insert; others reserved)
+//! u16 LE        picture-name length, then that many UTF-8 bytes
+//! u16 LE        label length, then that many UTF-8 bytes
+//! u8            object kind (0 = point, 1 = segment, 2 = region)
+//! point:        2 × f64 LE (x, y)
+//! segment:      4 × f64 LE (ax, ay, bx, by)
+//! region:       u16 LE vertex count, then 2 × f64 LE per vertex
+//! ```
+
+use crate::error::PsqlError;
+use rtree_geom::{Point, Region, Segment, SpatialObject};
+
+/// Record kind tag for an object insert (the only kind so far).
+const KIND_INSERT: u8 = 0;
+
+const OBJ_POINT: u8 = 0;
+const OBJ_SEGMENT: u8 = 1;
+const OBJ_REGION: u8 = 2;
+
+/// One durable dynamic write: `add_object(picture, object, label)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertRecord {
+    /// Target picture name.
+    pub picture: String,
+    /// Object label (the picture-side name of the object).
+    pub label: String,
+    /// The spatial object inserted.
+    pub object: SpatialObject,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), PsqlError> {
+    let len = u16::try_from(s.len()).map_err(|_| {
+        PsqlError::Semantic(format!("string of {} bytes too long for WAL", s.len()))
+    })?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_point(out: &mut Vec<u8>, p: Point) {
+    out.extend_from_slice(&p.x.to_le_bytes());
+    out.extend_from_slice(&p.y.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PsqlError> {
+        let end = self.off.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.off..end];
+                self.off = end;
+                Ok(s)
+            }
+            None => Err(PsqlError::Semantic("truncated WAL record".into())),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, PsqlError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, PsqlError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn f64(&mut self) -> Result<f64, PsqlError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String, PsqlError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PsqlError::Semantic("non-UTF-8 string in WAL record".into()))
+    }
+
+    fn point(&mut self) -> Result<Point, PsqlError> {
+        Ok(Point::new(self.f64()?, self.f64()?))
+    }
+}
+
+impl InsertRecord {
+    /// Serializes the record to the WAL payload encoding.
+    pub fn encode(&self) -> Result<Vec<u8>, PsqlError> {
+        let mut out = Vec::with_capacity(64);
+        out.push(KIND_INSERT);
+        put_str(&mut out, &self.picture)?;
+        put_str(&mut out, &self.label)?;
+        match &self.object {
+            SpatialObject::Point(p) => {
+                out.push(OBJ_POINT);
+                put_point(&mut out, *p);
+            }
+            SpatialObject::Segment(s) => {
+                out.push(OBJ_SEGMENT);
+                put_point(&mut out, s.a);
+                put_point(&mut out, s.b);
+            }
+            SpatialObject::Region(r) => {
+                out.push(OBJ_REGION);
+                let n = u16::try_from(r.vertices().len()).map_err(|_| {
+                    PsqlError::Semantic(format!(
+                        "region with {} vertices too large for WAL",
+                        r.vertices().len()
+                    ))
+                })?;
+                out.extend_from_slice(&n.to_le_bytes());
+                for &v in r.vertices() {
+                    put_point(&mut out, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a record previously produced by
+    /// [`encode`](InsertRecord::encode). Fails loudly on any framing
+    /// violation — a decode error after WAL replay means the log layer
+    /// let a partial record through, which recovery treats as fatal.
+    pub fn decode(buf: &[u8]) -> Result<InsertRecord, PsqlError> {
+        let mut c = Cursor { buf, off: 0 };
+        let kind = c.u8()?;
+        if kind != KIND_INSERT {
+            return Err(PsqlError::Semantic(format!(
+                "unknown WAL record kind {kind}"
+            )));
+        }
+        let picture = c.str()?;
+        let label = c.str()?;
+        let object = match c.u8()? {
+            OBJ_POINT => SpatialObject::Point(c.point()?),
+            OBJ_SEGMENT => SpatialObject::Segment(Segment {
+                a: c.point()?,
+                b: c.point()?,
+            }),
+            OBJ_REGION => {
+                let n = c.u16()? as usize;
+                let mut verts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    verts.push(c.point()?);
+                }
+                SpatialObject::Region(
+                    Region::new(verts)
+                        .map_err(|e| PsqlError::Semantic(format!("WAL region: {e}")))?,
+                )
+            }
+            other => {
+                return Err(PsqlError::Semantic(format!(
+                    "unknown WAL object kind {other}"
+                )))
+            }
+        };
+        if c.off != buf.len() {
+            return Err(PsqlError::Semantic(format!(
+                "{} trailing bytes after WAL record",
+                buf.len() - c.off
+            )));
+        }
+        Ok(InsertRecord {
+            picture,
+            label,
+            object,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_geom::Rect;
+
+    fn samples() -> Vec<InsertRecord> {
+        vec![
+            InsertRecord {
+                picture: "us-map".into(),
+                label: "Pittsburgh".into(),
+                object: SpatialObject::Point(Point::new(-79.99, 40.44)),
+            },
+            InsertRecord {
+                picture: "highway-map".into(),
+                label: "I-376".into(),
+                object: SpatialObject::Segment(Segment {
+                    a: Point::new(0.0, 1.5),
+                    b: Point::new(-3.25, 7.0),
+                }),
+            },
+            InsertRecord {
+                picture: "lake-map".into(),
+                label: "Erie".into(),
+                object: SpatialObject::Region(Region::rectangle(Rect::new(1.0, 2.0, 3.0, 4.0))),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_object_kinds() {
+        for rec in samples() {
+            let bytes = rec.encode().unwrap();
+            let back = InsertRecord::decode(&bytes).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_exact_float_bits() {
+        let rec = InsertRecord {
+            picture: "p".into(),
+            label: "tiny".into(),
+            object: SpatialObject::Point(Point::new(f64::MIN_POSITIVE, -0.0)),
+        };
+        let back = InsertRecord::decode(&rec.encode().unwrap()).unwrap();
+        match back.object {
+            SpatialObject::Point(p) => {
+                assert_eq!(p.x.to_bits(), f64::MIN_POSITIVE.to_bits());
+                assert_eq!(p.y.to_bits(), (-0.0f64).to_bits());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_rejected() {
+        let bytes = samples()[0].encode().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                InsertRecord::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(InsertRecord::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_rejected() {
+        let mut bytes = samples()[0].encode().unwrap();
+        bytes[0] = 9;
+        assert!(InsertRecord::decode(&bytes).is_err());
+    }
+}

@@ -34,6 +34,16 @@ impl SearchStats {
         }
     }
 
+    /// Folds another traversal's work into these counters **without**
+    /// counting an extra logical query: a query that searches two
+    /// structures (frozen main tree + delta tree, DESIGN.md §14) is
+    /// still one query, its `A` cost the sum of both traversals.
+    pub fn absorb_traversal(&mut self, other: &SearchStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.leaf_nodes_visited += other.leaf_nodes_visited;
+        self.items_reported += other.items_reported;
+    }
+
     /// Average results per query.
     pub fn avg_items_reported(&self) -> f64 {
         if self.queries == 0 {

@@ -5,19 +5,26 @@
 //!
 //! ```text
 //! psql-serverd [--addr HOST:PORT] [--workers N] [--queue N]
-//!              [--deadline-ms N] [--smoke]
+//!              [--deadline-ms N] [--wal PATH] [--smoke]
 //! ```
+//!
+//! `--wal PATH` makes dynamic inserts durable: each one is committed to
+//! the write-ahead log at PATH before it is acknowledged, and a restart
+//! on the same PATH replays acknowledged writes into the delta trees
+//! (DESIGN.md §14).
 //!
 //! `--smoke` runs the CI smoke script instead of serving forever: it
 //! starts the server on an ephemeral port, drives one scripted client
-//! session (queries, a malformed frame, a forced timeout, `STATS`), then
-//! asks for graceful shutdown over the wire and waits for the drain.
-//! Exit code 0 means every step behaved.
+//! session (queries, a WAL-committed insert, a malformed frame, a forced
+//! timeout, `STATS`), restarts on the same WAL to prove the insert
+//! survives, then asks for graceful shutdown over the wire and waits for
+//! the drain. Exit code 0 means every step behaved.
 
 use psql::database::PictorialDatabase;
 use psql_server::client::Client;
 use psql_server::protocol::{ErrorKind, Response};
 use psql_server::server::{Server, ServerConfig};
+use rtree_geom::{Point, SpatialObject};
 use std::time::Duration;
 
 fn main() {
@@ -38,11 +45,12 @@ fn main() {
                 config.default_deadline =
                     Duration::from_millis(value("--deadline-ms").parse().expect("deadline-ms"));
             }
+            "--wal" => config.wal_path = Some(value("--wal").into()),
             "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!(
                     "psql-serverd [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--deadline-ms N] [--smoke]"
+                     [--deadline-ms N] [--wal PATH] [--smoke]"
                 );
                 return;
             }
@@ -74,6 +82,11 @@ fn main() {
 /// server's behavioural contract.
 fn run_smoke(mut config: ServerConfig) {
     config.workers = config.workers.max(2);
+    if config.wal_path.is_none() {
+        config.wal_path = Some(
+            std::env::temp_dir().join(format!("psql-serverd-smoke-{}.wal", std::process::id())),
+        );
+    }
     let server = Server::start(
         PictorialDatabase::with_us_map(),
         "127.0.0.1:0",
@@ -114,7 +127,19 @@ fn run_smoke(mut config: ServerConfig) {
     assert_eq!(join.len(), 42, "every city joins exactly one zone");
     println!("[smoke] juxtaposition ok (42 rows)");
 
-    // 4. A PSQL error comes back typed, session survives.
+    // 4. A dynamic insert: WAL-committed before the Done, buffered in
+    // the delta tree while the frozen main tree keeps serving.
+    let insert_epoch = c
+        .insert_expect_done(
+            "us-map",
+            "smoke-pt",
+            SpatialObject::Point(Point::new(50.0, 25.0)),
+        )
+        .expect("insert");
+    assert!(insert_epoch >= 2, "insert must publish a new snapshot");
+    println!("[smoke] durable insert ok (epoch {insert_epoch})");
+
+    // 5. A PSQL error comes back typed, session survives.
     match c.query("select frobnicate from").expect("error roundtrip") {
         Response::Error { kind, .. } => {
             assert!(
@@ -129,7 +154,7 @@ fn run_smoke(mut config: ServerConfig) {
     }
     println!("[smoke] typed PSQL error ok");
 
-    // 5. A malformed payload (junk opcode) gets a Protocol error and the
+    // 6. A malformed payload (junk opcode) gets a Protocol error and the
     // session keeps working.
     let mut junk = Vec::new();
     junk.extend_from_slice(&9u32.to_be_bytes()); // frame length
@@ -146,7 +171,7 @@ fn run_smoke(mut config: ServerConfig) {
     c.ping().expect("session survived junk");
     println!("[smoke] malformed frame answered, session intact");
 
-    // 6. Deadline enforcement: a query that sleeps past its budget.
+    // 7. Deadline enforcement: a query that sleeps past its budget.
     match c
         .query_with_timeout("#sleep 300 select city from cities", 50)
         .expect("timeout roundtrip")
@@ -156,7 +181,7 @@ fn run_smoke(mut config: ServerConfig) {
     }
     println!("[smoke] deadline timeout ok");
 
-    // 7. Admin re-pack publishes a new snapshot …
+    // 8. Admin re-pack publishes a new snapshot …
     let epoch = c.repack().expect("repack");
     assert!(epoch >= 2);
     // … and queries now run against it.
@@ -166,7 +191,7 @@ fn run_smoke(mut config: ServerConfig) {
     assert_eq!(post_epoch, epoch);
     println!("[smoke] repack published epoch {epoch}");
 
-    // 8. STATS reflects the session.
+    // 9. STATS reflects the session, write path included.
     let stats = c.stats().expect("stats");
     assert!(stats.contains("\"queries\":"), "{stats}");
     assert!(
@@ -174,10 +199,31 @@ fn run_smoke(mut config: ServerConfig) {
         "{stats}"
     );
     assert!(stats.contains("\"timeout\":1"), "{stats}");
+    assert!(stats.contains("\"inserts\":1"), "{stats}");
+    assert!(stats.contains("\"wal_appends\":1"), "{stats}");
     println!("[smoke] stats: {stats}");
 
-    // 9. Graceful shutdown over the wire, then drain.
+    // 10. Graceful shutdown over the wire, then drain.
     c.shutdown_server().expect("shutdown");
     server.wait();
-    println!("[smoke] clean shutdown; all good");
+    println!("[smoke] clean shutdown");
+
+    // 11. Restart on the same WAL: the acknowledged insert is replayed
+    // into the delta tree of a fresh base database.
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        config.clone(),
+    )
+    .expect("rebind");
+    let mut c = Client::connect_timeout(server.local_addr(), timeout).expect("reconnect");
+    let stats = c.stats().expect("post-restart stats");
+    assert!(stats.contains("\"wal_recovered\":1"), "{stats}");
+    assert!(stats.contains("\"delta_items\":1"), "{stats}");
+    c.shutdown_server().expect("second shutdown");
+    server.wait();
+    if let Some(path) = &config.wal_path {
+        let _ = std::fs::remove_file(path);
+    }
+    println!("[smoke] restart replayed the WAL insert; all good");
 }

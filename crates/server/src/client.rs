@@ -5,6 +5,7 @@ use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, FrameRead, Request, Response,
 };
 use psql::ResultSet;
+use rtree_geom::SpatialObject;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -112,10 +113,20 @@ impl Client {
     /// the responses with [`read_response`](Self::read_response) and
     /// match them to ids (they may arrive in any order).
     pub fn send_query(&mut self, text: &str) -> Result<u64, ClientError> {
+        self.send_query_with_timeout(text, 0)
+    }
+
+    /// [`send_query`](Self::send_query) with an explicit per-request
+    /// deadline in milliseconds (`0` = server default).
+    pub fn send_query_with_timeout(
+        &mut self,
+        text: &str,
+        timeout_ms: u32,
+    ) -> Result<u64, ClientError> {
         let id = self.take_id();
         let payload = encode_request(&Request::Query {
             id,
-            timeout_ms: 0,
+            timeout_ms,
             text: text.to_owned(),
         });
         write_frame(&mut self.stream, &payload)?;
@@ -129,6 +140,59 @@ impl Client {
             Response::Result { epoch, result, .. } => Ok((epoch, result)),
             other => Err(ClientError::Wire(format!("expected result, got {other:?}"))),
         }
+    }
+
+    /// Inserts one object into a picture and returns the raw response
+    /// (`Done` on success; `Error`, `Timeout`, or `Overloaded` when the
+    /// server declines).
+    pub fn insert(
+        &mut self,
+        picture: &str,
+        label: &str,
+        object: SpatialObject,
+    ) -> Result<Response, ClientError> {
+        let id = self.take_id();
+        let resp = self.roundtrip(&Request::Insert {
+            id,
+            picture: picture.to_owned(),
+            label: label.to_owned(),
+            object,
+        })?;
+        self.expect_id(id, resp)
+    }
+
+    /// [`insert`](Self::insert), insisting on acknowledgement; returns
+    /// the snapshot epoch carrying the write.
+    pub fn insert_expect_done(
+        &mut self,
+        picture: &str,
+        label: &str,
+        object: SpatialObject,
+    ) -> Result<u64, ClientError> {
+        match self.insert(picture, label, object)? {
+            Response::Done { epoch, .. } => Ok(epoch),
+            other => Err(ClientError::Wire(format!("expected done, got {other:?}"))),
+        }
+    }
+
+    /// Sends an insert *without* waiting for the response and returns
+    /// its request id — lets a backlog form so the worker pool group-
+    /// commits the pack under one fsync.
+    pub fn send_insert(
+        &mut self,
+        picture: &str,
+        label: &str,
+        object: SpatialObject,
+    ) -> Result<u64, ClientError> {
+        let id = self.take_id();
+        let payload = encode_request(&Request::Insert {
+            id,
+            picture: picture.to_owned(),
+            label: label.to_owned(),
+            object,
+        });
+        write_frame(&mut self.stream, &payload)?;
+        Ok(id)
     }
 
     /// Fetches the metrics registry as JSON.

@@ -181,6 +181,28 @@ pub struct Metrics {
     pub query_latency: Histogram,
     /// Latency of admin operations (repack).
     pub admin_latency: Histogram,
+    /// Dynamic inserts applied and acknowledged (`Done`).
+    pub inserts: Counter,
+    /// WAL records appended (one per acknowledged insert when a WAL is
+    /// configured).
+    pub wal_appends: Counter,
+    /// WAL record payload bytes appended.
+    pub wal_bytes: Counter,
+    /// WAL group commits (one fsync per worker ingest batch).
+    pub wal_syncs: Counter,
+    /// WAL records replayed into delta trees at startup.
+    pub wal_recovered: Counter,
+    /// Objects currently buffered in delta trees — mirrored from the
+    /// published snapshot when `STATS` is served.
+    pub delta_items: Counter,
+    /// Background merge publications (delta folded into a freshly packed
+    /// + frozen main tree).
+    pub merges: Counter,
+    /// `1` while every packed picture still holds its frozen compilation
+    /// (dynamic writes buffer in deltas instead of dropping the frozen
+    /// arena) — mirrored from the published snapshot when `STATS` is
+    /// served.
+    pub serves_frozen_queries: Counter,
     /// Buffer-pool page requests served from memory.
     pub buffer_hits: Counter,
     /// Buffer-pool page requests that required a disk read.
@@ -221,6 +243,9 @@ impl Metrics {
                 "\"queue\":{{\"depth\":{},\"high_water\":{}}},",
                 "\"query_latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{}}},",
                 "\"admin_latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{}}},",
+                "\"write_path\":{{\"inserts\":{},\"wal_appends\":{},\"wal_bytes\":{},",
+                "\"wal_syncs\":{},\"wal_recovered\":{},\"delta_items\":{},\"merges\":{},",
+                "\"serves_frozen_queries\":{}}},",
                 "\"buffer_pool\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{}}}",
                 "}}"
             ),
@@ -251,6 +276,14 @@ impl Metrics {
             a.mean_micros(),
             a.quantile_micros(0.50),
             a.quantile_micros(0.99),
+            self.inserts.get(),
+            self.wal_appends.get(),
+            self.wal_bytes.get(),
+            self.wal_syncs.get(),
+            self.wal_recovered.get(),
+            self.delta_items.get(),
+            self.merges.get(),
+            self.serves_frozen_queries.get() != 0,
             self.buffer_hits.get(),
             self.buffer_misses.get(),
             self.buffer_evictions.get(),
@@ -342,6 +375,16 @@ mod tests {
         assert!(json.contains("\"queries\":1"));
         assert!(json.contains("\"batching\":{\"batches\":1,\"batched_queries\":5}"));
         assert!(json.contains("\"p99\":"));
+        // Write-path section renders, with the frozen flag as a bool.
+        assert!(json.contains("\"write_path\":{\"inserts\":0"));
+        assert!(json.contains("\"serves_frozen_queries\":false"));
+        m.serves_frozen_queries.store(1);
+        m.inserts.add(7);
+        m.wal_bytes.add(321);
+        let json = m.to_json(3, 64, 4);
+        assert!(json.contains("\"serves_frozen_queries\":true"));
+        assert!(json.contains("\"inserts\":7"));
+        assert!(json.contains("\"wal_bytes\":321"));
         // Balanced braces (cheap well-formedness check without a JSON dep).
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

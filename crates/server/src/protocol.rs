@@ -23,6 +23,7 @@
 use pictorial_relational::Value;
 use psql::result::Highlight;
 use psql::{PsqlError, ResultSet};
+use rtree_geom::{Point, Region, Segment, SpatialObject};
 use std::io::{self, Read, Write};
 
 /// Hard ceiling on a frame's payload size (1 MiB). A header announcing
@@ -63,6 +64,20 @@ pub enum Request {
         /// Correlation id echoed in the response.
         id: u64,
     },
+    /// Insert one spatial object into a picture. Rides the worker pool
+    /// like a query; acknowledged with [`Response::Done`] only after the
+    /// write is durable in the server's WAL (when one is configured) and
+    /// published in a fresh snapshot.
+    Insert {
+        /// Correlation id echoed in the response.
+        id: u64,
+        /// Target picture name.
+        picture: String,
+        /// Object label.
+        label: String,
+        /// The object to insert.
+        object: SpatialObject,
+    },
 }
 
 const OP_QUERY: u8 = 1;
@@ -70,6 +85,7 @@ const OP_STATS: u8 = 2;
 const OP_PING: u8 = 3;
 const OP_REPACK: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
+const OP_INSERT: u8 = 6;
 
 /// Classifies an error reported over the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -390,6 +406,68 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
+const OBJ_POINT: u8 = 0;
+const OBJ_SEGMENT: u8 = 1;
+const OBJ_REGION: u8 = 2;
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_be_bytes());
+}
+
+fn put_object(out: &mut Vec<u8>, obj: &SpatialObject) {
+    match obj {
+        SpatialObject::Point(p) => {
+            out.push(OBJ_POINT);
+            put_f64(out, p.x);
+            put_f64(out, p.y);
+        }
+        SpatialObject::Segment(s) => {
+            out.push(OBJ_SEGMENT);
+            put_f64(out, s.a.x);
+            put_f64(out, s.a.y);
+            put_f64(out, s.b.x);
+            put_f64(out, s.b.y);
+        }
+        SpatialObject::Region(r) => {
+            out.push(OBJ_REGION);
+            out.extend_from_slice(&(r.vertices().len() as u32).to_be_bytes());
+            for v in r.vertices() {
+                put_f64(out, v.x);
+                put_f64(out, v.y);
+            }
+        }
+    }
+}
+
+fn get_f64(c: &mut Cursor<'_>) -> Result<f64, String> {
+    Ok(f64::from_bits(u64::from_be_bytes(c.array()?)))
+}
+
+fn get_point(c: &mut Cursor<'_>) -> Result<Point, String> {
+    Ok(Point::new(get_f64(c)?, get_f64(c)?))
+}
+
+fn get_object(c: &mut Cursor<'_>) -> Result<SpatialObject, String> {
+    Ok(match c.u8()? {
+        OBJ_POINT => SpatialObject::Point(get_point(c)?),
+        OBJ_SEGMENT => SpatialObject::Segment(Segment {
+            a: get_point(c)?,
+            b: get_point(c)?,
+        }),
+        OBJ_REGION => {
+            let n = c.u32()? as usize;
+            // 16 bytes per vertex on the wire.
+            c.check_count(n, 16, "vertices")?;
+            let mut verts = Vec::with_capacity(n);
+            for _ in 0..n {
+                verts.push(get_point(c)?);
+            }
+            SpatialObject::Region(Region::new(verts).map_err(|e| format!("bad region: {e}"))?)
+        }
+        t => return Err(format!("unknown object kind {t}")),
+    })
+}
+
 fn get_value(c: &mut Cursor<'_>) -> Result<Value, String> {
     Ok(match c.u8()? {
         0 => Value::Null,
@@ -431,6 +509,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&id.to_be_bytes());
             out.push(OP_SHUTDOWN);
         }
+        Request::Insert {
+            id,
+            picture,
+            label,
+            object,
+        } => {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.push(OP_INSERT);
+            put_string(&mut out, picture);
+            put_string(&mut out, label);
+            put_object(&mut out, object);
+        }
     }
     out
 }
@@ -455,6 +545,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         OP_PING => Request::Ping { id },
         OP_REPACK => Request::Repack { id },
         OP_SHUTDOWN => Request::Shutdown { id },
+        OP_INSERT => {
+            let picture = c.string()?;
+            let label = c.string()?;
+            let object = get_object(&mut c)?;
+            Request::Insert {
+                id,
+                picture,
+                label,
+                object,
+            }
+        }
         _ => return Err(format!("unknown opcode {op}")),
     };
     c.done()?;
@@ -630,6 +731,65 @@ mod tests {
         roundtrip_request(Request::Ping { id: u64::MAX });
         roundtrip_request(Request::Repack { id: 0 });
         roundtrip_request(Request::Shutdown { id: 3 });
+    }
+
+    #[test]
+    fn insert_request_roundtrips_all_object_kinds() {
+        use rtree_geom::Rect;
+        roundtrip_request(Request::Insert {
+            id: 8,
+            picture: "us-map".into(),
+            label: "Pittsburgh".into(),
+            object: SpatialObject::Point(Point::new(-79.99, 40.44)),
+        });
+        roundtrip_request(Request::Insert {
+            id: 9,
+            picture: "highway-map".into(),
+            label: "I-376".into(),
+            object: SpatialObject::Segment(Segment {
+                a: Point::new(0.0, -0.0),
+                b: Point::new(f64::MIN_POSITIVE, 7.25),
+            }),
+        });
+        roundtrip_request(Request::Insert {
+            id: 10,
+            picture: "lake-map".into(),
+            label: "Erie".into(),
+            object: SpatialObject::Region(Region::rectangle(Rect::new(1.0, 2.0, 3.0, 4.0))),
+        });
+    }
+
+    #[test]
+    fn insert_decode_rejects_bad_objects() {
+        // Unknown object kind.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes());
+        bad.push(OP_INSERT);
+        put_string(&mut bad, "p");
+        put_string(&mut bad, "l");
+        bad.push(7); // junk kind
+        assert!(decode_request(&bad).unwrap_err().contains("object kind"));
+
+        // Vertex-count lie: claims u32::MAX vertices backed by no bytes.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes());
+        bad.push(OP_INSERT);
+        put_string(&mut bad, "p");
+        put_string(&mut bad, "l");
+        bad.push(OBJ_REGION);
+        bad.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_request(&bad).unwrap_err().contains("vertices"));
+
+        // A region the geometry layer refuses (too few vertices).
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u64.to_be_bytes());
+        bad.push(OP_INSERT);
+        put_string(&mut bad, "p");
+        put_string(&mut bad, "l");
+        bad.push(OBJ_REGION);
+        bad.extend_from_slice(&1u32.to_be_bytes());
+        bad.extend_from_slice(&[0u8; 16]);
+        assert!(decode_request(&bad).is_err());
     }
 
     #[test]

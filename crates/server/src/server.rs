@@ -28,11 +28,13 @@ use crate::snapshot::{SnapshotCache, SnapshotCell};
 use psql::ast::Query;
 use psql::database::PictorialDatabase;
 use psql::functions::FunctionRegistry;
-use psql::{PsqlError, ResultSet};
+use psql::{InsertRecord, PsqlError, ResultSet};
 use rtree_index::{BatchScratch, SearchScratch};
+use rtree_storage::{Pager, Wal, WAL_RECORD_MAX};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -56,6 +58,19 @@ pub struct ServerConfig {
     /// executes through the batched query path — spatially grouped
     /// traversal over one shared scratch. `1` disables batching.
     pub max_batch: usize,
+    /// Write-ahead-log file for dynamic inserts. When set, every insert
+    /// is appended + fsynced (group commit per worker batch) *before* it
+    /// is acknowledged, and startup replays the log into the delta trees.
+    /// `None` keeps inserts memory-only (tests, ephemeral servers).
+    pub wal_path: Option<PathBuf>,
+    /// Delta-tree population that wakes the background merge: once this
+    /// many objects sit in delta trees, a merge thread folds them into
+    /// freshly packed + frozen main trees and publishes the result.
+    /// `usize::MAX` disables background merging (admin `REPACK` still
+    /// folds deltas).
+    pub merge_threshold: usize,
+    /// How often the background merge thread polls the delta population.
+    pub merge_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -66,14 +81,25 @@ impl Default for ServerConfig {
             default_deadline: Duration::from_secs(5),
             retry_after_ms: 10,
             max_batch: 32,
+            wal_path: None,
+            merge_threshold: 128,
+            merge_interval: Duration::from_millis(20),
         }
     }
 }
 
-/// One queued query.
+/// What a queued job asks the worker pool to do.
+enum JobKind {
+    /// Parse + execute PSQL text.
+    Query(String),
+    /// Durably insert one object into a picture.
+    Insert(InsertRecord),
+}
+
+/// One queued request.
 struct Job {
     id: u64,
-    text: String,
+    kind: JobKind,
     deadline: Instant,
     session: Arc<Session>,
 }
@@ -102,6 +128,14 @@ struct Shared {
     queue: BoundedQueue<Job>,
     shutting_down: AtomicBool,
     session_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes *writers* (insert batches, background merge, admin
+    /// repack): each clones the latest snapshot, mutates, and publishes.
+    /// Two concurrent clone-mutate-publish cycles would silently drop
+    /// whichever published first, so every mutation holds this lock
+    /// around its whole read-modify-publish. Readers never touch it.
+    /// The WAL lives inside so "durable before published" is one
+    /// critical section.
+    write_lock: Mutex<Option<Wal<Pager>>>,
 }
 
 /// A running query service. Dropping the handle does *not* stop the
@@ -110,6 +144,7 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    merge_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -117,8 +152,58 @@ impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), serves
     /// `db` as the epoch-1 snapshot, and spawns the accept loop plus the
     /// worker pool.
-    pub fn start(db: PictorialDatabase, addr: &str, config: ServerConfig) -> io::Result<Server> {
+    ///
+    /// When [`ServerConfig::wal_path`] is set, the log is opened (or
+    /// created) first and every intact record is replayed into `db`'s
+    /// delta trees before the snapshot is published — crash recovery for
+    /// acknowledged dynamic writes.
+    pub fn start(
+        mut db: PictorialDatabase,
+        addr: &str,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         assert!(config.workers >= 1);
+        let metrics = Metrics::default();
+        let wal = match &config.wal_path {
+            Some(path) => {
+                let pager = if path.exists() {
+                    Pager::open(path)?
+                } else {
+                    Pager::create(path)?
+                };
+                let (wal, records) = Wal::open(pager)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let mut recovered = 0u64;
+                for bytes in &records {
+                    // The WAL layer only surfaces whole records, so a
+                    // decode failure here means corruption beyond a torn
+                    // tail — refuse to start on it.
+                    let rec = InsertRecord::decode(bytes).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("undecodable WAL record: {e}"),
+                        )
+                    })?;
+                    match db.add_object(&rec.picture, rec.object, &rec.label) {
+                        Ok(_) => recovered += 1,
+                        Err(e) => {
+                            // A record for a picture the base database no
+                            // longer has: skip, don't refuse service.
+                            eprintln!("[psql-server] WAL replay skipped a record: {e}");
+                        }
+                    }
+                }
+                metrics.wal_recovered.store(recovered);
+                if recovered > 0 {
+                    eprintln!(
+                        "[psql-server] WAL recovery replayed {recovered} insert(s) into delta trees"
+                    );
+                }
+                Some(wal)
+            }
+            None => None,
+        };
+
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -126,10 +211,11 @@ impl Server {
             config,
             addr: local_addr,
             snapshots: Arc::new(SnapshotCell::new(db)),
-            metrics: Arc::new(Metrics::default()),
+            metrics: Arc::new(metrics),
             functions: FunctionRegistry::with_builtins(),
             shutting_down: AtomicBool::new(false),
             session_threads: Mutex::new(Vec::new()),
+            write_lock: Mutex::new(wal),
         });
 
         let mut workers = Vec::with_capacity(shared.config.workers);
@@ -142,6 +228,17 @@ impl Server {
             );
         }
 
+        let merge_thread = if shared.config.merge_threshold != usize::MAX {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("psql-merge".into())
+                    .spawn(move || merge_loop(&shared))?,
+            )
+        } else {
+            None
+        };
+
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("psql-accept".into())
@@ -150,6 +247,7 @@ impl Server {
         Ok(Server {
             shared,
             accept_thread: Some(accept_thread),
+            merge_thread,
             workers,
         })
     }
@@ -200,6 +298,10 @@ impl Server {
         self.shared.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // The merge thread notices the flag within one poll interval.
+        if let Some(m) = self.merge_thread.take() {
+            let _ = m.join();
         }
     }
 
@@ -313,6 +415,16 @@ fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) ->
         }
         Request::Stats { id } => {
             shared.metrics.control_requests.incr();
+            // Mirror the write-path view of the published snapshot into
+            // the registry so STATS reports the delta population and the
+            // frozen-tree invariant alongside the counters.
+            let snap = shared.snapshots.load();
+            shared.metrics.delta_items.store(snap.db.delta_len() as u64);
+            shared
+                .metrics
+                .serves_frozen_queries
+                .store(snap.db.frozen_intact() as u64);
+            drop(snap);
             let json = shared.metrics.to_json(
                 shared.snapshots.current_epoch(),
                 shared.config.queue_capacity,
@@ -321,12 +433,16 @@ fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) ->
             session.send(&Response::Stats { id, json });
         }
         Request::Repack { id } => {
-            // Admin path: clone + re-pack outside all locks, publish
-            // atomically. Runs on the session thread so the worker pool
-            // stays dedicated to queries.
+            // Admin path: clone + re-pack outside the snapshot lock,
+            // publish atomically. Runs on the session thread so the
+            // worker pool stays dedicated to queries. Holds the writer
+            // lock so a concurrent insert batch or background merge
+            // can't publish a snapshot this clone never saw.
             shared.metrics.control_requests.incr();
             let started = Instant::now();
+            let guard = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
             let epoch = shared.snapshots.update(|db| db.pack_all());
+            drop(guard);
             shared.metrics.snapshots_published.incr();
             shared.metrics.admin_latency.record(started.elapsed());
             session.send(&Response::Done { id, epoch });
@@ -351,32 +467,60 @@ fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) ->
             } else {
                 Duration::from_millis(timeout_ms as u64)
             };
-            let job = Job {
-                id,
-                text,
-                deadline: Instant::now() + budget,
-                session: Arc::clone(session),
+            enqueue(shared, id, JobKind::Query(text), budget, session);
+        }
+        Request::Insert {
+            id,
+            picture,
+            label,
+            object,
+        } => {
+            // Ingest rides the same worker pool and bounded queue as
+            // queries: full queue → Overloaded, never an unbounded
+            // buffer of pending writes.
+            let record = InsertRecord {
+                picture,
+                label,
+                object,
             };
-            match shared.queue.try_push(job) {
-                Ok(()) => shared.metrics.queue_depth.inc(),
-                Err(PushError::Full(job)) => {
-                    shared.metrics.overloads.incr();
-                    job.session.send(&Response::Overloaded {
-                        id,
-                        retry_after_ms: shared.config.retry_after_ms,
-                    });
-                }
-                Err(PushError::Closed(job)) => {
-                    job.session.send(&Response::Error {
-                        id,
-                        kind: ErrorKind::Internal,
-                        message: "server is shutting down".into(),
-                    });
-                }
-            }
+            enqueue(
+                shared,
+                id,
+                JobKind::Insert(record),
+                shared.config.default_deadline,
+                session,
+            );
         }
     }
     true
+}
+
+/// Pushes one job onto the bounded queue, answering `Overloaded` /
+/// shutdown errors inline.
+fn enqueue(shared: &Arc<Shared>, id: u64, kind: JobKind, budget: Duration, session: &Arc<Session>) {
+    let job = Job {
+        id,
+        kind,
+        deadline: Instant::now() + budget,
+        session: Arc::clone(session),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => shared.metrics.queue_depth.inc(),
+        Err(PushError::Full(job)) => {
+            shared.metrics.overloads.incr();
+            job.session.send(&Response::Overloaded {
+                id,
+                retry_after_ms: shared.config.retry_after_ms,
+            });
+        }
+        Err(PushError::Closed(job)) => {
+            job.session.send(&Response::Error {
+                id,
+                kind: ErrorKind::Internal,
+                message: "server is shutting down".into(),
+            });
+        }
+    }
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -392,25 +536,49 @@ fn worker_loop(shared: &Arc<Shared>) {
             break;
         }
         shared.metrics.queue_depth.sub(n as i64);
-        let snapshot = shared.snapshots.load_cached(&mut cache);
-        if jobs.len() == 1 {
-            run_job(shared, &snapshot, &jobs[0], batch.search());
+        let mut snapshot = shared.snapshots.load_cached(&mut cache);
+
+        // Ingest first: all inserts in the dequeued pack WAL-commit as a
+        // group (one fsync) and publish as one snapshot, which the
+        // pack's queries then read — writes ordered before reads that
+        // were queued behind them.
+        if jobs.iter().any(|j| matches!(j.kind, JobKind::Insert(_))) {
+            ingest_batch(shared, &snapshot, &jobs);
+            snapshot = shared.snapshots.load_cached(&mut cache);
+        }
+
+        let query_count = jobs
+            .iter()
+            .filter(|j| matches!(j.kind, JobKind::Query(_)))
+            .count();
+        if query_count == 0 {
+            continue;
+        }
+        if query_count == 1 {
+            if let Some(job) = jobs.iter().find(|j| matches!(j.kind, JobKind::Query(_))) {
+                run_job(shared, &snapshot, job, batch.search());
+            }
             continue;
         }
 
         // A dequeued pack: answer already-expired jobs, run diagnostics
         // directives one at a time (a `#sleep` must not stall the rest
         // of the pack's responses), parse the remainder, and execute the
-        // parsed queries as one spatially-grouped batch.
+        // parsed queries as one spatially-grouped batch. One expired (or
+        // malformed, or panicking) job never poisons its pack-mates:
+        // each is answered individually and the rest still execute.
         let mut pack: Vec<(usize, Query)> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
+            let JobKind::Query(text) = &job.kind else {
+                continue; // inserts already acknowledged above
+            };
             if Instant::now() > job.deadline {
                 shared.metrics.timeouts.incr();
                 job.session.send(&Response::Timeout { id: job.id });
-            } else if job.text.trim_start().starts_with('#') {
+            } else if text.trim_start().starts_with('#') {
                 run_job(shared, &snapshot, job, batch.search());
             } else {
-                match catch_unwind(AssertUnwindSafe(|| psql::parse_query(&job.text))) {
+                match catch_unwind(AssertUnwindSafe(|| psql::parse_query(text))) {
                     Ok(Ok(query)) => pack.push((i, query)),
                     Ok(Err(e)) => {
                         shared.metrics.query_errors.incr();
@@ -494,6 +662,157 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Applies every insert in a dequeued pack as one group commit: validate
+/// against the pinned snapshot, append all records to the WAL under one
+/// fsync, publish one snapshot holding all of them, then acknowledge.
+/// Nothing is acknowledged before it is durable (when a WAL is
+/// configured) *and* published.
+fn ingest_batch(shared: &Arc<Shared>, snapshot: &crate::snapshot::DatabaseSnapshot, jobs: &[Job]) {
+    let mut accepted: Vec<(&Job, &InsertRecord, Vec<u8>)> = Vec::new();
+    for job in jobs {
+        let JobKind::Insert(rec) = &job.kind else {
+            continue;
+        };
+        if Instant::now() > job.deadline {
+            shared.metrics.timeouts.incr();
+            job.session.send(&Response::Timeout { id: job.id });
+            continue;
+        }
+        if let Err(e) = snapshot.db.picture(&rec.picture) {
+            shared.metrics.query_errors.incr();
+            job.session.send(&Response::Error {
+                id: job.id,
+                kind: ErrorKind::from(&e),
+                message: e.to_string(),
+            });
+            continue;
+        }
+        match rec.encode() {
+            Ok(bytes) if bytes.len() <= WAL_RECORD_MAX => accepted.push((job, rec, bytes)),
+            Ok(bytes) => {
+                shared.metrics.query_errors.incr();
+                job.session.send(&Response::Error {
+                    id: job.id,
+                    kind: ErrorKind::Semantic,
+                    message: format!(
+                        "insert of {} bytes exceeds the WAL record limit {WAL_RECORD_MAX}",
+                        bytes.len()
+                    ),
+                });
+            }
+            Err(e) => {
+                shared.metrics.query_errors.incr();
+                job.session.send(&Response::Error {
+                    id: job.id,
+                    kind: ErrorKind::from(&e),
+                    message: e.to_string(),
+                });
+            }
+        }
+    }
+    if accepted.is_empty() {
+        return;
+    }
+
+    // The writer lock spans WAL commit *and* snapshot publication, so
+    // the durable order and the published order can never diverge, and
+    // no concurrent writer can publish a snapshot missing these records.
+    let mut writer = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(wal) = writer.as_mut() {
+        let mut bytes_appended = 0u64;
+        let committed = (|| {
+            for (_, _, bytes) in &accepted {
+                wal.append(bytes)?;
+                bytes_appended += bytes.len() as u64;
+            }
+            wal.sync()
+        })();
+        match committed {
+            Ok(()) => {
+                shared.metrics.wal_appends.add(accepted.len() as u64);
+                shared.metrics.wal_bytes.add(bytes_appended);
+                shared.metrics.wal_syncs.incr();
+            }
+            Err(e) => {
+                // Durability failed: acknowledge nothing, apply nothing.
+                // (The WAL rolls back its in-memory framing on a failed
+                // append, so the next batch starts from a clean tail.)
+                drop(writer);
+                shared.metrics.internal_errors.add(accepted.len() as u64);
+                for (job, _, _) in &accepted {
+                    job.session.send(&Response::Error {
+                        id: job.id,
+                        kind: ErrorKind::Internal,
+                        message: format!("write-ahead log failure: {e}"),
+                    });
+                }
+                return;
+            }
+        }
+    }
+    let epoch = shared.snapshots.update(|db| {
+        for (_, rec, _) in &accepted {
+            let opens_delta = db
+                .picture(&rec.picture)
+                .map(|p| p.frozen().is_some() && p.delta_len() == 0)
+                .unwrap_or(false);
+            match db.add_object(&rec.picture, rec.object.clone(), &rec.label) {
+                Ok(_) => {
+                    if opens_delta {
+                        eprintln!(
+                            "[psql-server] picture {:?}: first dynamic write since pack — \
+                             frozen tree retained, insert buffered in delta (merge pending)",
+                            rec.picture
+                        );
+                    }
+                }
+                Err(e) => {
+                    // Validated above against the same lineage; a failure
+                    // here would be a picture vanishing mid-flight.
+                    eprintln!("[psql-server] insert apply failed after WAL commit: {e}");
+                }
+            }
+        }
+    });
+    drop(writer);
+    shared.metrics.snapshots_published.incr();
+    shared.metrics.inserts.add(accepted.len() as u64);
+    for (job, _, _) in &accepted {
+        shared.metrics.ok.incr();
+        job.session.send(&Response::Done { id: job.id, epoch });
+    }
+}
+
+/// The background merge thread: once the delta population crosses the
+/// configured threshold, fold every delta into a freshly packed + frozen
+/// main tree on a snapshot clone and publish the result. Queries keep
+/// serving the old snapshot throughout; the swap is the usual atomic
+/// epoch bump.
+fn merge_loop(shared: &Arc<Shared>) {
+    loop {
+        std::thread::sleep(shared.config.merge_interval);
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        if shared.snapshots.load().db.delta_len() < shared.config.merge_threshold {
+            continue;
+        }
+        let started = Instant::now();
+        let guard = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut folded = 0;
+        let epoch = shared.snapshots.update(|db| folded = db.merge_deltas());
+        drop(guard);
+        shared.metrics.merges.incr();
+        shared.metrics.snapshots_published.incr();
+        shared.metrics.admin_latency.record(started.elapsed());
+        eprintln!(
+            "[psql-server] background merge folded {folded} delta tree(s) into packed + \
+             frozen main trees (epoch {epoch}, {:?})",
+            started.elapsed()
+        );
+    }
+}
+
 /// Executes one job exactly as the pre-batching worker did: deadline
 /// check, parse + execute under `catch_unwind`, deadline re-check,
 /// respond.
@@ -503,6 +822,9 @@ fn run_job(
     job: &Job,
     scratch: &mut SearchScratch,
 ) {
+    let JobKind::Query(text) = &job.kind else {
+        return; // inserts flow through ingest_batch, never here
+    };
     if Instant::now() > job.deadline {
         // Expired while queued: answer without executing.
         shared.metrics.timeouts.incr();
@@ -510,7 +832,7 @@ fn run_job(
         return;
     }
     let started = Instant::now();
-    let outcome = run_query(&snapshot.db, &job.text, &shared.functions, scratch);
+    let outcome = run_query(&snapshot.db, text, &shared.functions, scratch);
     shared.metrics.query_latency.record(started.elapsed());
     if Instant::now() > job.deadline {
         // Finished, but past the promise: the client already moved

@@ -97,6 +97,85 @@ fn pipelined_backlog_executes_as_batch_with_identical_results() {
     server.stop();
 }
 
+#[test]
+fn expired_job_gets_timeout_without_poisoning_its_batch() {
+    // One worker, so everything pipelined during the #sleep departs as
+    // one pack. One job carries a deadline that expires while the
+    // worker is stalled; batch formation must answer *that job alone*
+    // with Timeout and still execute the rest of the pack.
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 32,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client =
+        Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).expect("connect");
+
+    // Stall the lone worker well past the doomed job's deadline.
+    let sleep_id = client.send_query("#sleep 400").expect("send sleep");
+
+    // The doomed job: 50ms deadline, expires while the worker sleeps.
+    let doomed_id = client
+        .send_query_with_timeout(
+            "select city from cities on us-map at loc covered-by {82.5 +- 17.5, 25 +- 20}",
+            50,
+        )
+        .expect("send doomed");
+
+    // Healthy pack-mates with the (generous) default deadline.
+    let healthy = [
+        "select zone from time-zones on time-zone-map at loc overlapping {50 +- 10, 25 +- 25}",
+        "select city from cities where population >= 6000000",
+        "select city from cities on us-map at loc nearest 3 {53 +- 0, 32 +- 0}",
+    ];
+    let mut healthy_ids = Vec::new();
+    for text in &healthy {
+        healthy_ids.push(client.send_query(text).expect("pipeline query"));
+    }
+
+    let mut responses: HashMap<u64, Response> = HashMap::new();
+    for _ in 0..(2 + healthy.len()) {
+        let resp = client.read_response().expect("response");
+        let id = match &resp {
+            Response::Result { id, .. }
+            | Response::Error { id, .. }
+            | Response::Timeout { id }
+            | Response::Overloaded { id, .. } => *id,
+            other => panic!("unexpected response {other:?}"),
+        };
+        responses.insert(id, resp);
+    }
+
+    assert!(
+        matches!(responses[&sleep_id], Response::Result { .. }),
+        "sleep job: {:?}",
+        responses[&sleep_id]
+    );
+    assert!(
+        matches!(responses[&doomed_id], Response::Timeout { .. }),
+        "doomed job should time out: {:?}",
+        responses[&doomed_id]
+    );
+    for (text, id) in healthy.iter().zip(&healthy_ids) {
+        match &responses[id] {
+            Response::Result { result, .. } => {
+                assert!(!result.rows.is_empty(), "{text} returned nothing")
+            }
+            other => panic!("{text}: healthy pack-mate poisoned: {other:?}"),
+        }
+    }
+
+    let stats = client.stats().expect("stats");
+    assert!(json_u64(&stats, "\"timeout\":") >= 1, "{stats}");
+    server.stop();
+}
+
 /// Extracts the integer following `key` from a flat JSON string.
 fn json_u64(json: &str, key: &str) -> u64 {
     let at = json.find(key).unwrap_or_else(|| panic!("{key} in {json}"));

@@ -1,0 +1,312 @@
+//! End-to-end checks of the sustained-write path: dynamic inserts must
+//! keep the frozen main tree serving (the delta buffers them), the
+//! background merge must fold deltas back into packed + frozen trees,
+//! and a WAL-configured server must recover every acknowledged insert
+//! after a restart.
+
+use psql::database::PictorialDatabase;
+use psql_server::client::Client;
+use psql_server::protocol::Response;
+use psql_server::server::{Server, ServerConfig};
+use rtree_geom::{Point, SpatialObject};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// A unique throwaway WAL path per test (removed on a best-effort basis;
+/// the OS temp dir reaps leftovers).
+fn temp_wal_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "psql-server-wal-{tag}-{}-{n}.wal",
+        std::process::id()
+    ))
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect_timeout(server.local_addr(), Duration::from_secs(30)).expect("connect")
+}
+
+/// Pulls a `"field":value` number out of the flat STATS JSON.
+fn json_u64(json: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let start = json
+        .find(&key)
+        .unwrap_or_else(|| panic!("{field} in {json}"))
+        + key.len();
+    json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("number")
+}
+
+#[test]
+fn inserts_keep_frozen_serving_and_background_merge_folds_delta() {
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            merge_threshold: 4,
+            merge_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = connect(&server);
+
+    let baseline = server
+        .snapshots()
+        .load()
+        .db
+        .picture("us-map")
+        .expect("picture")
+        .len();
+
+    // Acknowledged inserts publish fresh snapshots with monotone epochs.
+    let mut last_epoch = 0;
+    for i in 0..10 {
+        let epoch = client
+            .insert_expect_done(
+                "us-map",
+                &format!("new-city-{i}"),
+                SpatialObject::Point(Point::new(30.0 + i as f64, 20.0 + i as f64)),
+            )
+            .expect("insert acked");
+        assert!(epoch > last_epoch, "epoch went backwards");
+        last_epoch = epoch;
+    }
+
+    // The writes are visible and the frozen compilation survived them —
+    // the regression this PR fixes is `add` dropping it.
+    {
+        let snap = server.snapshots().load();
+        let pic = snap.db.picture("us-map").expect("picture");
+        assert_eq!(pic.len(), baseline + 10);
+        assert!(pic.frozen().is_some(), "insert dropped the frozen tree");
+        assert!(snap.db.frozen_intact());
+    }
+
+    // The background merge (threshold 4) folds the delta into a freshly
+    // packed + frozen tree and publishes it.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let snap = server.snapshots().load();
+        let pic = snap.db.picture("us-map").expect("picture");
+        if !pic.needs_merge() && pic.len() == baseline + 10 {
+            assert_eq!(pic.packed_len(), baseline + 10);
+            assert!(pic.frozen().is_some(), "merge lost the frozen tree");
+            break;
+        }
+        assert!(Instant::now() < deadline, "background merge never ran");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Post-merge STATS pins the whole story: merges ran, the delta is
+    // empty again, and packed pictures still serve frozen queries.
+    let stats = client.stats().expect("stats");
+    assert!(json_u64(&stats, "merges") >= 1, "{stats}");
+    assert_eq!(json_u64(&stats, "delta_items"), 0, "{stats}");
+    assert_eq!(json_u64(&stats, "inserts"), 10, "{stats}");
+    assert!(stats.contains("\"serves_frozen_queries\":true"), "{stats}");
+    // No WAL configured: the write-path counters say so.
+    assert_eq!(json_u64(&stats, "wal_appends"), 0, "{stats}");
+
+    // Inserted objects answer spatial queries after the merge exactly
+    // like loaded ones (they carry no relation tuple, so check through
+    // the picture itself).
+    {
+        let snap = server.snapshots().load();
+        let pic = snap.db.picture("us-map").expect("picture");
+        let mut stats = rtree_index::SearchStats::default();
+        let found = pic.search_window(
+            psql::SpatialOp::CoveredBy,
+            &rtree_geom::Rect::new(29.5, 19.5, 39.5, 29.5),
+            &mut stats,
+        );
+        assert!(
+            found.len() >= 10,
+            "merged tree lost inserted objects: {found:?}"
+        );
+    }
+    server.stop();
+}
+
+#[test]
+fn insert_into_unknown_picture_is_a_typed_error() {
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut client = connect(&server);
+    match client
+        .insert(
+            "no-such-map",
+            "x",
+            SpatialObject::Point(Point::new(0.0, 0.0)),
+        )
+        .expect("roundtrip")
+    {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, psql_server::ErrorKind::Semantic);
+            assert!(message.contains("no-such-map"), "{message}");
+        }
+        other => panic!("expected typed error, got {other:?}"),
+    }
+    // The session survives and the database is untouched.
+    client.ping().expect("ping after error");
+    assert_eq!(server.snapshots().load().db.delta_len(), 0);
+    server.stop();
+}
+
+#[test]
+fn wal_recovery_replays_acknowledged_inserts_across_restarts() {
+    let wal = temp_wal_path("recovery");
+    let config = || ServerConfig {
+        workers: 2,
+        wal_path: Some(wal.clone()),
+        // Merging must not be required for durability; disable it so the
+        // test pins recovery itself.
+        merge_threshold: usize::MAX,
+        ..ServerConfig::default()
+    };
+
+    let baseline;
+    {
+        let server =
+            Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config()).expect("bind");
+        baseline = server
+            .snapshots()
+            .load()
+            .db
+            .picture("us-map")
+            .expect("picture")
+            .len();
+        let mut client = connect(&server);
+        for i in 0..5 {
+            client
+                .insert_expect_done(
+                    "us-map",
+                    &format!("durable-{i}"),
+                    SpatialObject::Point(Point::new(40.0 + i as f64, 22.0)),
+                )
+                .expect("insert acked");
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(json_u64(&stats, "wal_appends"), 5, "{stats}");
+        assert!(json_u64(&stats, "wal_syncs") >= 1, "{stats}");
+        assert_eq!(json_u64(&stats, "delta_items"), 5, "{stats}");
+        server.stop();
+        // The server is gone; only the WAL file remembers the writes.
+    }
+
+    // A fresh process start from the same base database: replay must
+    // rebuild the delta trees exactly.
+    {
+        let server = Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config())
+            .expect("bind after restart");
+        let snap = server.snapshots().load();
+        let pic = snap.db.picture("us-map").expect("picture");
+        assert_eq!(pic.len(), baseline + 5, "recovery lost inserts");
+        assert_eq!(pic.delta_len(), 5);
+        assert!(pic.frozen().is_some());
+        let labels: Vec<_> = (baseline as u64..(baseline + 5) as u64)
+            .map(|id| pic.label(id).expect("label").to_owned())
+            .collect();
+        assert_eq!(
+            labels,
+            (0..5).map(|i| format!("durable-{i}")).collect::<Vec<_>>()
+        );
+
+        let mut client = connect(&server);
+        let stats = client.stats().expect("stats");
+        assert_eq!(json_u64(&stats, "wal_recovered"), 5, "{stats}");
+
+        // New writes append after the recovered tail.
+        client
+            .insert_expect_done(
+                "us-map",
+                "durable-5",
+                SpatialObject::Point(Point::new(45.0, 22.0)),
+            )
+            .expect("insert after recovery");
+        server.stop();
+    }
+
+    // Second restart sees all six.
+    {
+        let server = Server::start(PictorialDatabase::with_us_map(), "127.0.0.1:0", config())
+            .expect("bind after second restart");
+        let snap = server.snapshots().load();
+        assert_eq!(
+            snap.db.picture("us-map").expect("picture").len(),
+            baseline + 6
+        );
+        let mut client = connect(&server);
+        let stats = client.stats().expect("stats");
+        assert_eq!(json_u64(&stats, "wal_recovered"), 6, "{stats}");
+        server.stop();
+    }
+    let _ = std::fs::remove_file(&wal);
+}
+
+#[test]
+fn pipelined_inserts_group_commit_under_one_fsync() {
+    let wal = temp_wal_path("group-commit");
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig {
+            // One worker: the pipelined backlog departs as one pack.
+            workers: 1,
+            max_batch: 32,
+            wal_path: Some(wal.clone()),
+            merge_threshold: usize::MAX,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = connect(&server);
+
+    // Stall the lone worker so a backlog of inserts builds, then let
+    // the pack commit as a group.
+    let sleep_id = client.send_query("#sleep 150").expect("send sleep");
+    let mut ids = Vec::new();
+    for i in 0..8 {
+        ids.push(
+            client
+                .send_insert(
+                    "us-map",
+                    &format!("burst-{i}"),
+                    SpatialObject::Point(Point::new(50.0 + i as f64, 30.0)),
+                )
+                .expect("pipeline insert"),
+        );
+    }
+    let mut done = 0;
+    for _ in 0..=ids.len() {
+        match client.read_response().expect("response") {
+            Response::Done { id, .. } => {
+                assert!(ids.contains(&id));
+                done += 1;
+            }
+            Response::Result { id, .. } => assert_eq!(id, sleep_id),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(done, ids.len());
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(json_u64(&stats, "wal_appends"), 8, "{stats}");
+    // Group commit: eight appends reached disk under very few fsyncs
+    // (one per dequeued pack; the backlog may split across at most a
+    // couple of pops, but never one fsync per insert).
+    assert!(json_u64(&stats, "wal_syncs") < 8, "{stats}");
+    server.stop();
+    let _ = std::fs::remove_file(&wal);
+}

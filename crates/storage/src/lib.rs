@@ -29,7 +29,9 @@
 //!   layout, no external serialization crates);
 //! * [`meta`] — two-slot shadow meta pages for atomic commits;
 //! * [`disk_tree`] — a page-resident R-tree image supporting the paper's
-//!   searches with I/O counted.
+//!   searches with I/O counted;
+//! * [`wal`] — an append-only, CRC-framed write-ahead log that makes
+//!   dynamic inserts durable between repacks (DESIGN.md §14).
 //!
 //! The crash-safety model — what the checksums, the meta pair, and the
 //! fault harness each guarantee — is documented in `DESIGN.md` §9.
@@ -47,6 +49,7 @@ pub mod meta;
 pub mod page;
 pub mod paged_tree;
 pub mod pager;
+pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use disk_tree::DiskRTree;
@@ -55,3 +58,4 @@ pub use fault::{FaultKind, FaultPager, FaultScript, InjectedFault};
 pub use page::{Page, PageId, PageType, PAGE_SIZE, PAYLOAD_SIZE};
 pub use paged_tree::PagedRTree;
 pub use pager::{IoStats, PageStore, Pager};
+pub use wal::{Wal, WAL_RECORD_MAX};

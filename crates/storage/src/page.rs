@@ -47,6 +47,8 @@ pub enum PageType {
     Meta = 2,
     /// A [`PagedRTree`](crate::PagedRTree) meta slot.
     DynMeta = 3,
+    /// A write-ahead-log page ([`wal`](crate::wal)).
+    Wal = 4,
 }
 
 impl PageType {
@@ -57,6 +59,7 @@ impl PageType {
             1 => Some(PageType::Node),
             2 => Some(PageType::Meta),
             3 => Some(PageType::DynMeta),
+            4 => Some(PageType::Wal),
             _ => None,
         }
     }

@@ -33,6 +33,36 @@ pub trait PageStore {
     fn sync(&self) -> StorageResult<()>;
 }
 
+/// A shared reference to any store is itself a store, so components that
+/// own their store by value (e.g. [`Wal`](crate::wal::Wal)) can also
+/// borrow one — the WAL crash matrix runs a `Wal<&FaultPager>` while the
+/// test harness keeps inspecting the wrapper.
+impl<S: PageStore + ?Sized> PageStore for &S {
+    fn allocate(&self) -> PageId {
+        (**self).allocate()
+    }
+
+    fn free(&self, id: PageId) {
+        (**self).free(id)
+    }
+
+    fn page_count(&self) -> u32 {
+        (**self).page_count()
+    }
+
+    fn read_page(&self, id: PageId) -> StorageResult<Page> {
+        (**self).read_page(id)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        (**self).write_page(id, page)
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        (**self).sync()
+    }
+}
+
 /// Raw disk traffic counters (physical page reads/writes issued to the
 /// file, i.e. buffer-pool misses and flushes).
 #[derive(Debug, Default)]

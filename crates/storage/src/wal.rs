@@ -1,0 +1,466 @@
+//! Append-only write-ahead log over the page substrate.
+//!
+//! The packed/frozen main tree is immutable between repacks, so dynamic
+//! inserts buffer in a small in-memory delta tree (DESIGN.md §14). The
+//! WAL is what makes those buffered writes durable: every logical write
+//! is appended here and fsynced **before** it is acknowledged, and crash
+//! recovery replays the log to rebuild the delta.
+//!
+//! # Format
+//!
+//! The log is a sequence of [`PageType::Wal`] pages written through any
+//! [`PageStore`], so the pager's footer CRC covers every page and the
+//! fault layer ([`FaultPager`](crate::FaultPager)) can torn-write or
+//! crash any physical operation. Within a page's payload area:
+//!
+//! ```text
+//! offset 0   u32  magic "WALP" (0x50_4C_41_57 LE)
+//! offset 4   u64  sequence number of the first record in this page
+//! offset 12  u16  record count
+//! offset 14  records: (u32 len, len bytes) …
+//! ```
+//!
+//! # Durability discipline
+//!
+//! * [`append`](Wal::append) rewrites the open **tail page** in place;
+//!   nothing in it is acknowledged yet.
+//! * [`sync`](Wal::sync) flushes to stable storage and then **closes**
+//!   the tail page: subsequent appends start a fresh page. A page that
+//!   holds acknowledged records is therefore never rewritten, so a torn
+//!   write can only ever destroy unacknowledged tail records.
+//! * [`Wal::open`] replays from page 0 and stops at the first page that
+//!   is zeroed, fails its CRC, carries the wrong tag/magic, or breaks
+//!   the sequence chain — the torn tail is truncated by positioning the
+//!   next append there. Replay thus yields every acknowledged record
+//!   plus possibly an intact-but-unacknowledged suffix, never a partial
+//!   record.
+//!
+//! The `wal_crash_matrix` bench bin proves the discipline by crashing
+//! every physical write under [`FaultPager`](crate::FaultPager) and
+//! checking the replayed prefix.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PageType, PAYLOAD_SIZE};
+use crate::pager::PageStore;
+
+/// Bytes of per-page header inside the payload area (magic + seq + count).
+const PAGE_HEADER: usize = 4 + 8 + 2;
+
+/// Per-record framing overhead (length prefix).
+const REC_HEADER: usize = 4;
+
+/// Magic stamped at the start of every WAL page payload.
+const WAL_MAGIC: u32 = 0x504C_4157; // "WALP" little-endian
+
+/// Largest record payload a single WAL page can frame.
+pub const WAL_RECORD_MAX: usize = PAYLOAD_SIZE - PAGE_HEADER - REC_HEADER;
+
+/// An append-only, CRC-framed write-ahead log over a [`PageStore`].
+///
+/// Generic over the store so production code runs it on a
+/// [`Pager`](crate::Pager) while crash tests run it on a
+/// [`FaultPager`](crate::FaultPager) (via the blanket `&S: PageStore`
+/// impl).
+pub struct Wal<S: PageStore> {
+    store: S,
+    /// Page index the open tail occupies (next physical write target).
+    tail_page: u32,
+    /// Records accumulated in the open tail page (none acknowledged).
+    tail: Vec<Vec<u8>>,
+    /// Payload bytes consumed in the tail page (header included).
+    tail_bytes: usize,
+    /// Sequence number of the first record in the open tail page.
+    tail_seq: u64,
+    /// Total records appended (== next sequence number).
+    next_seq: u64,
+    /// Physical WAL page writes issued (tail rewrites included).
+    pages_written: u64,
+    /// `sync` calls issued.
+    syncs: u64,
+}
+
+impl<S: PageStore> Wal<S> {
+    /// Starts an empty log at page 0 of `store` (the store should be a
+    /// fresh file; existing WAL pages are overwritten as the log grows).
+    pub fn create(store: S) -> Wal<S> {
+        Wal {
+            store,
+            tail_page: 0,
+            tail: Vec::new(),
+            tail_bytes: PAGE_HEADER,
+            tail_seq: 0,
+            next_seq: 0,
+            pages_written: 0,
+            syncs: 0,
+        }
+    }
+
+    /// Opens an existing log, replaying every intact record in order.
+    ///
+    /// Returns the log positioned after the last intact page together
+    /// with the replayed record payloads. The first zeroed, corrupt,
+    /// mis-tagged, or out-of-sequence page ends the scan — that torn
+    /// tail is logically truncated (the next append overwrites it). A
+    /// corrupt page therefore never surfaces as an error here: it is
+    /// exactly the crash residue recovery exists to discard.
+    pub fn open(store: S) -> StorageResult<(Wal<S>, Vec<Vec<u8>>)> {
+        let mut records = Vec::new();
+        let mut seq: u64 = 0;
+        let mut page_idx: u32 = 0;
+        // No length limit needed: pages past EOF read back zeroed
+        // (sparse-file semantics) and a zeroed page ends the chain.
+        while page_idx < u32::MAX {
+            let page = match store.read_page(PageId(page_idx)) {
+                Ok(p) => p,
+                // CRC mismatch (torn tail) or an I/O hiccup: stop replay.
+                Err(_) => break,
+            };
+            match Self::decode_page(&page, seq) {
+                Some(recs) => {
+                    seq += recs.len() as u64;
+                    records.extend(recs);
+                    page_idx += 1;
+                }
+                None => break,
+            }
+        }
+        let wal = Wal {
+            store,
+            tail_page: page_idx,
+            tail: Vec::new(),
+            tail_bytes: PAGE_HEADER,
+            tail_seq: seq,
+            next_seq: seq,
+            pages_written: 0,
+            syncs: 0,
+        };
+        Ok((wal, records))
+    }
+
+    /// Decodes one WAL page, or `None` if it is not the next intact page
+    /// of the chain (zeroed, wrong tag/magic, wrong sequence, or a frame
+    /// that overruns the payload).
+    fn decode_page(page: &Page, expect_seq: u64) -> Option<Vec<Vec<u8>>> {
+        if page.is_zeroed() || PageType::from_tag(page.tag()) != Some(PageType::Wal) {
+            return None;
+        }
+        let buf = &page.bytes()[..PAYLOAD_SIZE];
+        let magic = u32::from_le_bytes(buf[0..4].try_into().ok()?);
+        if magic != WAL_MAGIC {
+            return None;
+        }
+        let first_seq = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+        if first_seq != expect_seq {
+            return None;
+        }
+        let count = u16::from_le_bytes(buf[12..14].try_into().ok()?) as usize;
+        let mut recs = Vec::with_capacity(count);
+        let mut off = PAGE_HEADER;
+        for _ in 0..count {
+            if off + REC_HEADER > PAYLOAD_SIZE {
+                return None;
+            }
+            let len = u32::from_le_bytes(buf[off..off + 4].try_into().ok()?) as usize;
+            off += REC_HEADER;
+            if len > WAL_RECORD_MAX || off + len > PAYLOAD_SIZE {
+                return None;
+            }
+            recs.push(buf[off..off + len].to_vec());
+            off += len;
+        }
+        Some(recs)
+    }
+
+    /// Serializes the open tail into a sealed-tag page image.
+    fn tail_image(&self) -> Page {
+        let mut page = Page::zeroed();
+        let buf = page.bytes_mut();
+        buf[0..4].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+        buf[4..12].copy_from_slice(&self.tail_seq.to_le_bytes());
+        buf[12..14].copy_from_slice(&(self.tail.len() as u16).to_le_bytes());
+        let mut off = PAGE_HEADER;
+        for rec in &self.tail {
+            buf[off..off + 4].copy_from_slice(&(rec.len() as u32).to_le_bytes());
+            off += REC_HEADER;
+            buf[off..off + rec.len()].copy_from_slice(rec);
+            off += rec.len();
+        }
+        page.set_type(PageType::Wal);
+        page
+    }
+
+    /// Closes the open tail page: subsequent appends go to a fresh page.
+    fn close_tail(&mut self) {
+        if !self.tail.is_empty() {
+            self.tail_page += 1;
+            self.tail.clear();
+            self.tail_bytes = PAGE_HEADER;
+            self.tail_seq = self.next_seq;
+        }
+    }
+
+    /// Appends one record and writes the (open) tail page through the
+    /// store. The record is **not** durable until [`sync`](Wal::sync)
+    /// returns.
+    pub fn append(&mut self, payload: &[u8]) -> StorageResult<()> {
+        if payload.len() > WAL_RECORD_MAX {
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "WAL record of {} bytes exceeds max {}",
+                    payload.len(),
+                    WAL_RECORD_MAX
+                ),
+            )));
+        }
+        if self.tail_bytes + REC_HEADER + payload.len() > PAYLOAD_SIZE {
+            // Tail page is full; it was already written with its final
+            // contents by the previous append, so just roll over.
+            self.close_tail();
+        }
+        self.tail.push(payload.to_vec());
+        self.tail_bytes += REC_HEADER + payload.len();
+        self.next_seq += 1;
+        let image = self.tail_image();
+        let res = self.store.write_page(PageId(self.tail_page), &image);
+        if res.is_err() {
+            // The record never became part of the persistent log; undo
+            // the in-memory framing so a retry does not double-count.
+            self.tail.pop();
+            self.tail_bytes -= REC_HEADER + payload.len();
+            self.next_seq -= 1;
+        }
+        self.pages_written += 1;
+        res
+    }
+
+    /// Flushes to stable storage and closes the tail page, making every
+    /// record appended so far acknowledged-durable. A page holding
+    /// acknowledged records is never rewritten afterwards, so later torn
+    /// writes cannot destroy them.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.store.sync()?;
+        self.syncs += 1;
+        self.close_tail();
+        Ok(())
+    }
+
+    /// Total records appended over the log's lifetime (replayed ones
+    /// included after [`open`](Wal::open)).
+    pub fn record_count(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// WAL pages the log occupies (open tail included while non-empty).
+    pub fn page_span(&self) -> u32 {
+        self.tail_page + if self.tail.is_empty() { 0 } else { 1 }
+    }
+
+    /// Physical tail-page writes issued so far.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written
+    }
+
+    /// `sync` calls issued so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+}
+
+impl<S: PageStore> std::fmt::Debug for Wal<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("records", &self.next_seq)
+            .field("pages", &self.page_span())
+            .field("syncs", &self.syncs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPager, FaultScript};
+    use crate::pager::Pager;
+
+    fn recs(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("record-{i}-{}", "x".repeat(i % 40)).into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrip() {
+        let pager = Pager::temp().unwrap();
+        let mut wal = Wal::create(&pager);
+        let data = recs(10);
+        for r in &data {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.record_count(), 10);
+
+        let (reopened, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed, data);
+        assert_eq!(reopened.record_count(), 10);
+    }
+
+    #[test]
+    fn sync_closes_page_so_acked_records_are_never_rewritten() {
+        let pager = Pager::temp().unwrap();
+        let mut wal = Wal::create(&pager);
+        wal.append(b"first").unwrap();
+        wal.sync().unwrap();
+        let closed_span = wal.page_span();
+        wal.append(b"second").unwrap();
+        // The second record must live on a fresh page.
+        assert_eq!(wal.page_span(), closed_span + 1);
+        let (_, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed, vec![b"first".to_vec(), b"second".to_vec()]);
+    }
+
+    #[test]
+    fn records_spill_across_pages() {
+        let pager = Pager::temp().unwrap();
+        let mut wal = Wal::create(&pager);
+        let big = vec![0xAB; 1500];
+        for _ in 0..10 {
+            wal.append(&big).unwrap(); // 2 fit per page
+        }
+        wal.sync().unwrap();
+        assert!(wal.page_span() >= 4, "span {}", wal.page_span());
+        let (_, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed.len(), 10);
+        assert!(replayed.iter().all(|r| r == &big));
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let pager = Pager::temp().unwrap();
+        let mut wal = Wal::create(&pager);
+        let err = wal.append(&vec![0u8; WAL_RECORD_MAX + 1]).unwrap_err();
+        assert!(!err.is_corrupt());
+        assert_eq!(wal.record_count(), 0);
+        wal.append(&vec![0u8; WAL_RECORD_MAX]).unwrap();
+    }
+
+    #[test]
+    fn empty_file_replays_empty() {
+        let pager = Pager::temp().unwrap();
+        let (wal, replayed) = Wal::open(&pager).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(wal.record_count(), 0);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_acknowledged_prefix() {
+        let pager = Pager::temp().unwrap();
+        {
+            let mut wal = Wal::create(&pager);
+            wal.append(b"acked-1").unwrap();
+            wal.append(b"acked-2").unwrap();
+            wal.sync().unwrap(); // page 0 closed + durable
+
+            // Crash: the very next tail write (page 1) is torn.
+            let script = FaultScript::new().on_write(1, FaultKind::TornWrite, true);
+            let faulty = FaultPager::new(&pager, script);
+            let mut wal2 = Wal {
+                store: &faulty,
+                tail_page: wal.tail_page,
+                tail: Vec::new(),
+                tail_bytes: PAGE_HEADER,
+                tail_seq: wal.next_seq,
+                next_seq: wal.next_seq,
+                pages_written: 0,
+                syncs: 0,
+            };
+            assert!(wal2.append(b"lost").is_err());
+        }
+        // Reopen cold: the torn page fails its CRC and is truncated.
+        let (wal, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed, vec![b"acked-1".to_vec(), b"acked-2".to_vec()]);
+        assert_eq!(wal.record_count(), 2);
+        // The log is usable again from the truncation point.
+        let mut wal = wal;
+        wal.append(b"after-recovery").unwrap();
+        wal.sync().unwrap();
+        let (_, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[2], b"after-recovery");
+    }
+
+    #[test]
+    fn reopen_appends_to_fresh_page_after_intact_open_tail() {
+        let pager = Pager::temp().unwrap();
+        {
+            let mut wal = Wal::create(&pager);
+            wal.append(b"acked").unwrap();
+            wal.sync().unwrap();
+            wal.append(b"unacked-but-intact").unwrap();
+            // No sync: crash here leaves page 1 intact on disk.
+        }
+        let (mut wal, replayed) = Wal::open(&pager).unwrap();
+        // Intact unacknowledged suffix replays too (never a partial rec).
+        assert_eq!(
+            replayed,
+            vec![b"acked".to_vec(), b"unacked-but-intact".to_vec()]
+        );
+        wal.append(b"next").unwrap();
+        wal.sync().unwrap();
+        let (_, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed.len(), 3);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_framing() {
+        let pager = Pager::temp().unwrap();
+        let script = FaultScript::new().on_write(2, FaultKind::FailWrite, false);
+        let faulty = FaultPager::new(&pager, script);
+        let mut wal = Wal::create(&faulty);
+        wal.append(b"one").unwrap();
+        assert!(wal.append(b"two").is_err());
+        assert_eq!(wal.record_count(), 1);
+        // Retry lands cleanly.
+        wal.append(b"two").unwrap();
+        wal.sync().unwrap();
+        let (_, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn garbage_page_ends_replay_without_error() {
+        let pager = Pager::temp().unwrap();
+        let mut wal = Wal::create(&pager);
+        wal.append(b"good").unwrap();
+        wal.sync().unwrap();
+        // Stamp a sealed non-WAL page where the chain would continue.
+        let mut rogue = Page::zeroed();
+        rogue.bytes_mut()[0] = 0x99;
+        rogue.set_type(PageType::Node);
+        pager.write_page(PageId(1), &rogue).unwrap();
+        let _ = pager.allocate();
+        let _ = pager.allocate();
+        let (_, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn sequence_break_ends_replay() {
+        // Two valid WAL pages but the second repeats sequence 0 (stale
+        // page from a recycled file): replay must stop after page 0.
+        let pager = Pager::temp().unwrap();
+        let mut wal = Wal::create(&pager);
+        wal.append(b"a").unwrap();
+        wal.sync().unwrap();
+        let mut stale = Wal::create(&pager);
+        stale.tail_page = 1; // misplaced page claiming seq 0
+        stale.append(b"stale").unwrap();
+        let (_, replayed) = Wal::open(&pager).unwrap();
+        assert_eq!(replayed, vec![b"a".to_vec()]);
+    }
+}
