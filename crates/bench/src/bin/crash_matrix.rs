@@ -293,6 +293,159 @@ fn paged_matrix(seed: u64, budget: u64) -> io::Result<PagedOutcome> {
     Ok(out)
 }
 
+struct ExtOutcome {
+    trials: u64,
+    preserved: u64,
+    committed: u64,
+    violations: u64,
+}
+
+/// Crash matrix for the out-of-core external packer: tree A is committed
+/// in the destination file, then an external pack of tree B is crashed
+/// at every destination write (torn/dropped, then total I/O failure) and
+/// at sampled spill-file writes. Reopen must see tree A bit-for-bit —
+/// or, only when the crash hit inside the final meta flip, a complete
+/// tree B. A spill fault must never disturb the destination at all.
+fn extpack_matrix(seed: u64, budget: u64) -> io::Result<ExtOutcome> {
+    use rtree_extpack::{pack_external_into, ExtPackConfig};
+
+    let path = scratch("extpack", seed);
+    let mut r = rng(seed ^ 0xec7);
+    let pts = points::uniform(&mut r, &PAPER_UNIVERSE, 900);
+    let items: Vec<(Rect, ItemId)> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (Rect::from_point(p), ItemId(i as u64)))
+        .collect();
+    let (items_a, items_b) = (&items[..300], &items[..900]);
+    let cfg = ExtPackConfig::new(8 * 1024); // tight: forces spilling
+    let window = Rect::new(
+        PAPER_UNIVERSE.min_x,
+        PAPER_UNIVERSE.min_y,
+        PAPER_UNIVERSE.min_x + PAPER_UNIVERSE.width() * 0.4,
+        PAPER_UNIVERSE.min_y + PAPER_UNIVERSE.height() * 0.4,
+    );
+    let answers = |pager: &Pager, disk: &DiskRTree| -> io::Result<Vec<ItemId>> {
+        let pool = BufferPool::new(pager, 64);
+        let mut stats = SearchStats::default();
+        let mut v = disk.search_within(&pool, &window, &mut stats)?;
+        v.sort();
+        Ok(v)
+    };
+
+    // Commit tree A, snapshot the file.
+    {
+        let pager = Pager::create(&path)?;
+        let spill = Pager::temp()?;
+        pack_external_into(items_a.iter().copied(), &cfg, &pager, &spill)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+    }
+    let snapshot = std::fs::read(&path)?;
+    let (epoch_a, expect_a) = {
+        let pager = Pager::open(&path)?;
+        let disk = DiskRTree::open_default(&pager)?;
+        (disk.epoch(), answers(&pager, &disk)?)
+    };
+
+    // Count the physical writes of a clean B pack on each store.
+    let (dest_writes, spill_writes) = {
+        let pager = Pager::open(&path)?;
+        let dest = FaultPager::new(&pager, FaultScript::new());
+        let spill_pager = Pager::temp()?;
+        let spill = FaultPager::new(&spill_pager, FaultScript::new());
+        pack_external_into(items_b.iter().copied(), &cfg, &dest, &spill)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        (dest.writes_seen(), spill.writes_seen())
+    };
+
+    let mut out = ExtOutcome {
+        trials: 0,
+        preserved: 0,
+        committed: 0,
+        violations: 0,
+    };
+
+    // Phase 1: crash the destination at every (sampled) write.
+    for k in crash_points(dest_writes, budget) {
+        out.trials += 1;
+        std::fs::write(&path, &snapshot)?;
+        {
+            let pager = Pager::open(&path)?;
+            let faulty = FaultPager::new(&pager, FaultScript::new().on_write(k, kind_for(k), true));
+            let spill = Pager::temp()?;
+            if pack_external_into(items_b.iter().copied(), &cfg, &faulty, &spill).is_ok() {
+                eprintln!("seed {seed} extpack dest k={k}: pack survived its own crash");
+                out.violations += 1;
+                continue;
+            }
+        }
+        let pager = Pager::open(&path)?;
+        match DiskRTree::open_default(&pager) {
+            Ok(disk) if disk.epoch() == epoch_a && disk.len() == 300 => {
+                match answers(&pager, &disk) {
+                    Ok(hits) if hits == expect_a => out.preserved += 1,
+                    _ => {
+                        eprintln!("seed {seed} extpack dest k={k}: tree A answers wrong");
+                        out.violations += 1;
+                    }
+                }
+            }
+            Ok(disk) if disk.len() == 900 => out.committed += 1, // crash inside meta flip
+            Ok(disk) => {
+                eprintln!(
+                    "seed {seed} extpack dest k={k}: unexpected epoch {} / len {}",
+                    disk.epoch(),
+                    disk.len()
+                );
+                out.violations += 1;
+            }
+            Err(e) => {
+                eprintln!("seed {seed} extpack dest k={k}: reopen failed: {e}");
+                out.violations += 1;
+            }
+        }
+    }
+
+    // Phase 2: fail spill-file writes — the destination must be
+    // untouched (still exactly tree A).
+    for k in crash_points(spill_writes, budget) {
+        out.trials += 1;
+        std::fs::write(&path, &snapshot)?;
+        {
+            let pager = Pager::open(&path)?;
+            let spill_pager = Pager::temp()?;
+            let spill = FaultPager::new(
+                &spill_pager,
+                FaultScript::new().on_write(k, kind_for(k), true),
+            );
+            if pack_external_into(items_b.iter().copied(), &cfg, &pager, &spill).is_ok() {
+                eprintln!("seed {seed} extpack spill k={k}: pack survived its own crash");
+                out.violations += 1;
+                continue;
+            }
+        }
+        let pager = Pager::open(&path)?;
+        match DiskRTree::open_default(&pager) {
+            Ok(disk) if disk.epoch() == epoch_a && disk.len() == 300 => {
+                match answers(&pager, &disk) {
+                    Ok(hits) if hits == expect_a => out.preserved += 1,
+                    _ => {
+                        eprintln!("seed {seed} extpack spill k={k}: tree A answers wrong");
+                        out.violations += 1;
+                    }
+                }
+            }
+            _ => {
+                eprintln!("seed {seed} extpack spill k={k}: spill fault disturbed the dest");
+                out.violations += 1;
+            }
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
+    Ok(out)
+}
+
 fn main() -> io::Result<()> {
     let seeds = env_seeds();
     let budget = env_u64("CRASH_POINTS", 0);
@@ -316,13 +469,17 @@ fn main() -> io::Result<()> {
         "clean pre",
         "clean post",
         "detected",
+        "ext trials",
+        "preserved",
+        "committed",
         "violations",
     ]);
     let mut violations = 0u64;
     for &seed in &seeds {
         let d = disk_matrix(seed, budget)?;
         let p = paged_matrix(seed, budget)?;
-        violations += d.violations + p.violations;
+        let e = extpack_matrix(seed, budget)?;
+        violations += d.violations + p.violations + e.violations;
         table.row([
             seed.to_string(),
             d.trials.to_string(),
@@ -331,13 +488,19 @@ fn main() -> io::Result<()> {
             p.clean_pre.to_string(),
             p.clean_post.to_string(),
             p.detected.to_string(),
-            (d.violations + p.violations).to_string(),
+            e.trials.to_string(),
+            e.preserved.to_string(),
+            e.committed.to_string(),
+            (d.violations + p.violations + e.violations).to_string(),
         ]);
     }
     println!("{}", table.render());
     println!("disk = rebuild-and-swap commit: every crash point must roll back");
     println!("bit-for-bit; paged = in-place updates: reopen must be a clean");
-    println!("pre/post-commit tree or a *reported* inconsistency (DESIGN.md §9).");
+    println!("pre/post-commit tree or a *reported* inconsistency (DESIGN.md §9);");
+    println!("ext = out-of-core external pack: a crash anywhere in the pipeline");
+    println!("preserves the previous tree (or commits fully inside the meta flip),");
+    println!("and spill-file faults never disturb the destination (DESIGN.md §15).");
     if violations > 0 {
         return Err(io::Error::other(format!(
             "{violations} crash-safety violations"

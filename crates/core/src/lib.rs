@@ -63,5 +63,7 @@ pub mod zero_overlap;
 
 pub use grouping::PackStrategy;
 pub use pack::{pack, pack_hilbert, pack_naive, pack_str, pack_with, pack_xsort};
-pub use parallel::{default_threads, effective_threads, pack_parallel, pack_parallel_with};
+pub use parallel::{
+    default_threads, effective_threads, order_parallel, pack_parallel, pack_parallel_with,
+};
 pub use repack::AutoRepack;

@@ -228,6 +228,17 @@ fn fill_slab(
     }
 }
 
+/// The level's sort order under `strategy`, computed with up to
+/// `threads` workers but always equal to [`grouping::order`]'s
+/// sequential result (the comparators have no equal elements, so every
+/// merge schedule produces the same permutation).
+///
+/// Exposed for external packers (the `rtree-extpack` crate) that sort
+/// spill-run buffers with the same key the in-memory packer uses.
+pub fn order_parallel(strategy: PackStrategy, rects: &[Rect], threads: usize) -> Vec<usize> {
+    level_order(strategy, rects, threads)
+}
+
 /// The level's sort order, computed with up to `threads` workers but
 /// always equal to [`grouping::order`]'s sequential result (the
 /// comparators have no equal elements, so every merge schedule produces

@@ -1,0 +1,82 @@
+//! The memory-budget accounting hook.
+//!
+//! Every byte of run buffer and merge head the external packer holds is
+//! charged here before use and released after, so tests can assert that
+//! peak resident buffer usage never exceeded
+//! [`ExtPackConfig::memory_budget_bytes`](crate::ExtPackConfig::memory_budget_bytes).
+
+/// Tracks current and peak accounted bytes against a budget.
+///
+/// The accountant does not *enforce* the budget — the packer sizes its
+/// buffers so charges stay within it (above a small floor: a merge needs
+/// at least two heads and a run buffer at least one record) — it records
+/// what was actually held so the bound is checkable from outside.
+#[derive(Debug, Clone)]
+pub struct BudgetAccountant {
+    budget: u64,
+    current: u64,
+    peak: u64,
+}
+
+impl BudgetAccountant {
+    /// A fresh accountant for `budget` bytes.
+    pub fn new(budget: u64) -> BudgetAccountant {
+        BudgetAccountant {
+            budget,
+            current: 0,
+            peak: 0,
+        }
+    }
+
+    /// Charges `bytes` of resident buffer memory.
+    pub fn charge(&mut self, bytes: u64) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Releases `bytes` previously charged.
+    pub fn release(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// The budget this accountant was created with.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The high-water mark of charged bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut b = BudgetAccountant::new(100);
+        b.charge(30);
+        b.charge(50);
+        b.release(60);
+        b.charge(10);
+        assert_eq!(b.current(), 30);
+        assert_eq!(b.peak(), 80);
+        assert_eq!(b.budget(), 100);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut b = BudgetAccountant::new(10);
+        b.charge(5);
+        b.release(100);
+        assert_eq!(b.current(), 0);
+        assert_eq!(b.peak(), 5);
+    }
+}

@@ -1,0 +1,97 @@
+//! RAII guard for spill-run temp files.
+//!
+//! External packing spills sorted runs into a scratch page file; the
+//! guard owns the directory holding it and removes everything on drop —
+//! on success, on error, and during panic unwinding alike — so no run
+//! files outlive the pack that created them.
+
+use rtree_storage::Pager;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter so concurrent packs get distinct directories.
+static NEXT_SPILL_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named temporary directory for spill-run files, removed
+/// (with everything inside) when the guard drops.
+#[derive(Debug)]
+pub struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    /// Creates a fresh spill directory under `std::env::temp_dir()`.
+    pub fn create() -> io::Result<SpillDir> {
+        Self::create_in(&std::env::temp_dir())
+    }
+
+    /// Creates a fresh spill directory under `parent`. Tests point this
+    /// at a scratch directory to assert it is empty after the pack.
+    pub fn create_in(parent: &Path) -> io::Result<SpillDir> {
+        let path = parent.join(format!(
+            "extpack-spill-{}-{}",
+            std::process::id(),
+            NEXT_SPILL_DIR.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(SpillDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Creates the spill-run page file inside the directory.
+    pub fn create_pager(&self) -> io::Result<Pager> {
+        Pager::create(self.path.join("runs.spill"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_guard_removes_directory_and_contents() {
+        let dir = SpillDir::create().unwrap();
+        let path = dir.path().to_path_buf();
+        let pager = dir.create_pager().unwrap();
+        let id = pager.allocate();
+        pager
+            .write_page(id, &rtree_storage::Page::zeroed())
+            .unwrap();
+        drop(pager);
+        assert!(path.exists());
+        drop(dir);
+        assert!(!path.exists(), "spill dir must be removed on drop");
+    }
+
+    #[test]
+    fn guard_cleans_up_during_panic_unwind() {
+        let observed = std::sync::Mutex::new(PathBuf::new());
+        let result = std::panic::catch_unwind(|| {
+            let dir = SpillDir::create().unwrap();
+            *observed.lock().unwrap() = dir.path().to_path_buf();
+            panic!("mid-pack failure");
+        });
+        assert!(result.is_err());
+        let path = observed.lock().unwrap().clone();
+        assert!(!path.as_os_str().is_empty());
+        assert!(!path.exists(), "spill dir must be removed during unwind");
+    }
+
+    #[test]
+    fn concurrent_guards_get_distinct_paths() {
+        let a = SpillDir::create().unwrap();
+        let b = SpillDir::create().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -1,0 +1,549 @@
+//! The external PACK driver: stream → runs → merge → packed pages.
+//!
+//! Level 0 consumes the caller's item stream through a budget-bounded
+//! [`RunGen`]; every level above is the same pipeline applied to the
+//! group MBRs the level below emitted, "working ever backwards, until
+//! the root is finally reached" (§3.3). The merged stream of each level
+//! is cut into the in-memory packer's deterministic slabs
+//! ([`SlabPlan`]), grouped with the identical [`group_slab`] machinery,
+//! and written as fully packed node pages straight into the destination
+//! store — no intermediate sorted copy of the data ever exists.
+
+use crate::budget::BudgetAccountant;
+use crate::guard::SpillDir;
+use crate::merge::{reduce_runs, MergeCursor, MERGE_HEAD_BYTES};
+use crate::spill::{Run, RunWriter, SpillRecord};
+use packed_rtree_core::grouping::{group_slab, SlabPlan};
+use packed_rtree_core::{effective_threads, order_parallel, PackStrategy};
+use rtree_geom::Rect;
+use rtree_index::{ItemId, RTreeConfig};
+use rtree_storage::codec::{self, DiskNode, MAX_ENTRIES_PER_PAGE};
+use rtree_storage::{DiskRTree, Page, PageId, PageStore, StorageError, StorageResult, PAGE_SIZE};
+use std::fmt;
+
+/// Accounted bytes per buffered run record: the 48-byte [`SpillRecord`]
+/// plus the rect copy (32), ord slot (8), and parallel-sort scratch (8)
+/// the spill sort materializes per record.
+pub const RUN_RECORD_FOOTPRINT: u64 = 96;
+
+/// Resident bytes per slab-buffer entry (record + rect copy + ord slot),
+/// used only for the reported fixed-working-set figure.
+const SLAB_ENTRY_BYTES: u64 = 88;
+
+/// Splits `budget` into `(run_capacity_records, merge_fan_in)`.
+///
+/// While a level is being emitted, the merge heads over that level's
+/// runs and the *next* level's run buffer are resident simultaneously,
+/// so the two shares must sum to the budget. Half the budget buys merge
+/// heads (floored at 2 — a merge needs two inputs to make progress);
+/// run buffers get whatever remains after that possibly-floored reserve
+/// (floored at one record). Peak accounted usage therefore stays within
+/// the budget whenever the budget exceeds the degenerate floor of
+/// `3·MERGE_HEAD_BYTES` (two heads plus a reduce pass's output head).
+fn plan_budget(budget: u64) -> (u64, usize) {
+    let fan_in = (((budget / 2) / MERGE_HEAD_BYTES) as usize).max(2);
+    let merge_reserved = fan_in as u64 * MERGE_HEAD_BYTES;
+    let cap = (budget.saturating_sub(merge_reserved) / RUN_RECORD_FOOTPRINT).max(1);
+    (cap, fan_in)
+}
+
+/// Configuration of an external pack.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtPackConfig {
+    /// Bound on resident run buffers + merge heads, in bytes. Arbitrarily
+    /// small values still work (clamped to one buffered record and a
+    /// 2-way merge); the bound is asserted through [`BudgetAccountant`].
+    pub memory_budget_bytes: u64,
+    /// Packing strategy. [`PackStrategy::Hilbert`] is not supported
+    /// (its sort key needs the global MBR, unknowable while streaming).
+    pub strategy: PackStrategy,
+    /// Worker threads for sorting run buffers (the `pack_parallel` slab
+    /// machinery). `0`/`1` sorts on the calling thread.
+    pub threads: usize,
+    /// Tree parameters; `tree.max_entries` is the node fan-out `M`.
+    pub tree: RTreeConfig,
+}
+
+impl ExtPackConfig {
+    /// A config with the given memory budget, the default strategy, the
+    /// machine's default thread count, and the paper's tree parameters.
+    pub fn new(memory_budget_bytes: u64) -> ExtPackConfig {
+        ExtPackConfig {
+            memory_budget_bytes,
+            strategy: PackStrategy::default(),
+            threads: packed_rtree_core::default_threads(),
+            tree: RTreeConfig::PAPER,
+        }
+    }
+}
+
+/// Errors from external packing.
+#[derive(Debug)]
+pub enum ExtPackError {
+    /// A page-store error (I/O or detected corruption) in the spill or
+    /// destination file.
+    Storage(StorageError),
+    /// Failed to create the spill scratch directory/file.
+    Io(std::io::Error),
+    /// The strategy cannot pack a stream (Hilbert needs the global MBR).
+    UnsupportedStrategy(PackStrategy),
+    /// `tree.max_entries` outside `2..=MAX_ENTRIES_PER_PAGE`.
+    Branching(usize),
+}
+
+impl fmt::Display for ExtPackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtPackError::Storage(e) => write!(f, "storage error: {e}"),
+            ExtPackError::Io(e) => write!(f, "spill dir error: {e}"),
+            ExtPackError::UnsupportedStrategy(s) => {
+                write!(f, "strategy {} cannot pack a stream", s.name())
+            }
+            ExtPackError::Branching(m) => {
+                write!(f, "branching factor {m} outside 2..={MAX_ENTRIES_PER_PAGE}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtPackError {}
+
+impl From<StorageError> for ExtPackError {
+    fn from(e: StorageError) -> ExtPackError {
+        ExtPackError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for ExtPackError {
+    fn from(e: std::io::Error) -> ExtPackError {
+        ExtPackError::Io(e)
+    }
+}
+
+/// Result alias for external packing.
+pub type ExtPackResult<T> = Result<T, ExtPackError>;
+
+/// Counters describing one external pack.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtPackStats {
+    /// Items consumed from the stream.
+    pub items: u64,
+    /// Sorted runs spilled during level-0 run generation.
+    pub initial_runs: u32,
+    /// Records one run buffer holds under the budget.
+    pub run_capacity_records: u64,
+    /// Total spill pages written (initial runs + intermediate merges,
+    /// all levels).
+    pub spill_pages: u64,
+    /// `spill_pages` in bytes.
+    pub spill_bytes: u64,
+    /// Intermediate (non-final) merge passes forced by the fan-in bound.
+    pub intermediate_merges: u32,
+    /// Largest number of runs merged at once.
+    pub max_fan_in: u32,
+    /// Tree levels built (1 = the root is a leaf).
+    pub levels: u32,
+    /// Node pages emitted into the destination store.
+    pub node_pages: u32,
+    /// High-water mark of budget-accounted bytes (run buffers + merge
+    /// heads); the acceptance bound is `peak_budget_bytes ≤ budget`
+    /// (above the degenerate floor).
+    pub peak_budget_bytes: u64,
+    /// Fixed working set of the slab/grouping buffer, reported separately
+    /// from the budget (it is a function of `M`, not of the budget).
+    pub slab_buffer_bytes: u64,
+}
+
+/// Budget-bounded run generation: buffers records, sorts each full
+/// buffer in pack-key order, and spills it as one run.
+struct RunGen<'a> {
+    spill: &'a dyn PageStore,
+    cap: u64,
+    strategy: PackStrategy,
+    threads: usize,
+    buffer: Vec<SpillRecord>,
+    runs: Vec<Run>,
+    count: u64,
+}
+
+impl<'a> RunGen<'a> {
+    fn new(spill: &'a dyn PageStore, cap: u64, strategy: PackStrategy, threads: usize) -> Self {
+        RunGen {
+            spill,
+            cap,
+            strategy,
+            threads,
+            buffer: Vec::new(),
+            runs: Vec::new(),
+            count: 0,
+        }
+    }
+
+    fn push(&mut self, rec: SpillRecord, budget: &mut BudgetAccountant) -> StorageResult<()> {
+        budget.charge(RUN_RECORD_FOOTPRINT);
+        self.buffer.push(rec);
+        self.count += 1;
+        if self.buffer.len() as u64 >= self.cap {
+            self.spill(budget)?;
+        }
+        Ok(())
+    }
+
+    /// Sorts the buffer with the in-memory packer's own comparator
+    /// (ascending center-x, ties by y then buffer index — and buffer
+    /// index order *is* `seq` order, because records arrive in level
+    /// order) and writes it out as one run.
+    fn spill(&mut self, budget: &mut BudgetAccountant) -> StorageResult<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let rects: Vec<Rect> = self.buffer.iter().map(|r| r.rect).collect();
+        let ord = order_parallel(
+            self.strategy,
+            &rects,
+            effective_threads(self.threads, rects.len()),
+        );
+        let mut writer = RunWriter::new(self.spill);
+        for &i in &ord {
+            writer.push(&self.buffer[i])?;
+        }
+        self.runs.push(writer.finish()?);
+        budget.release(self.buffer.len() as u64 * RUN_RECORD_FOOTPRINT);
+        self.buffer.clear();
+        Ok(())
+    }
+
+    fn finish(mut self, budget: &mut BudgetAccountant) -> StorageResult<(Vec<Run>, u64)> {
+        self.spill(budget)?;
+        Ok((self.runs, self.count))
+    }
+}
+
+/// Consumes one level's merged stream: buffers a slab at a time, groups
+/// it exactly as the in-memory packer would, writes every group as one
+/// packed node page, and feeds group MBRs to the next level's [`RunGen`].
+struct LevelBuilder<'a> {
+    dest: &'a dyn PageStore,
+    strategy: PackStrategy,
+    plan: SlabPlan,
+    level: u32,
+    slab: Vec<SpillRecord>,
+    group_seq: u64,
+    next: Option<RunGen<'a>>,
+    last_page: Option<PageId>,
+    pages_emitted: u32,
+}
+
+impl<'a> LevelBuilder<'a> {
+    fn new(
+        dest: &'a dyn PageStore,
+        strategy: PackStrategy,
+        plan: SlabPlan,
+        level: u32,
+        next: Option<RunGen<'a>>,
+    ) -> Self {
+        LevelBuilder {
+            dest,
+            strategy,
+            plan,
+            level,
+            slab: Vec::new(),
+            group_seq: 0,
+            next,
+            last_page: None,
+            pages_emitted: 0,
+        }
+    }
+
+    fn push(&mut self, rec: SpillRecord, budget: &mut BudgetAccountant) -> StorageResult<()> {
+        self.slab.push(rec);
+        if self.slab.len() == self.plan.slab_len() {
+            self.flush(budget)?;
+        }
+        Ok(())
+    }
+
+    /// Groups the buffered slab and emits its node pages. The slab holds
+    /// a contiguous chunk of the level's *globally sorted* order (the
+    /// merge produced it), cut at the same `slab_len` boundaries as the
+    /// in-memory packer — so grouping it with an identity `ord` is
+    /// exactly [`group_slab`] on the corresponding global slab.
+    fn flush(&mut self, budget: &mut BudgetAccountant) -> StorageResult<()> {
+        if self.slab.is_empty() {
+            return Ok(());
+        }
+        let rects: Vec<Rect> = self.slab.iter().map(|r| r.rect).collect();
+        let ord: Vec<usize> = (0..rects.len()).collect();
+        for group in group_slab(self.strategy, &rects, &ord, &self.plan) {
+            let entries = group
+                .iter()
+                .map(|&i| codec::DiskEntry {
+                    mbr: self.slab[i].rect,
+                    child: self.slab[i].child,
+                })
+                .collect::<Vec<_>>();
+            let mbr =
+                Rect::mbr_of_rects(entries.iter().map(|e| e.mbr)).expect("group is never empty");
+            let pid = emit_node(self.dest, self.level, entries)?;
+            self.last_page = Some(pid);
+            self.pages_emitted += 1;
+            if let Some(next) = &mut self.next {
+                next.push(
+                    SpillRecord {
+                        rect: mbr,
+                        child: pid.0 as u64,
+                        seq: self.group_seq,
+                    },
+                    budget,
+                )?;
+            }
+            self.group_seq += 1;
+        }
+        self.slab.clear();
+        Ok(())
+    }
+}
+
+/// Writes one packed node page into the destination store.
+fn emit_node(
+    dest: &dyn PageStore,
+    level: u32,
+    entries: Vec<codec::DiskEntry>,
+) -> StorageResult<PageId> {
+    let mut page = Page::zeroed();
+    codec::encode(&DiskNode { level, entries }, &mut page);
+    let pid = dest.allocate();
+    dest.write_page(pid, &page)?;
+    Ok(pid)
+}
+
+/// Externally packs `items` into `dest`, spilling runs through `spill`.
+///
+/// `dest` must be a fresh file or one holding an earlier
+/// [`DiskRTree`] image (the new image is appended and committed by meta
+/// flip, exactly like [`DiskRTree::store_with_meta`]). The caller owns
+/// `spill`'s lifecycle; [`pack_external`] wraps this with an RAII
+/// [`SpillDir`] so spill files never outlive the pack.
+pub fn pack_external_into<I>(
+    items: I,
+    cfg: &ExtPackConfig,
+    dest: &dyn PageStore,
+    spill: &dyn PageStore,
+) -> ExtPackResult<(DiskRTree, ExtPackStats)>
+where
+    I: IntoIterator<Item = (Rect, ItemId)>,
+{
+    if cfg.strategy == PackStrategy::Hilbert {
+        return Err(ExtPackError::UnsupportedStrategy(cfg.strategy));
+    }
+    let m = cfg.tree.max_entries;
+    if !(2..=MAX_ENTRIES_PER_PAGE).contains(&m) {
+        return Err(ExtPackError::Branching(m));
+    }
+
+    // Reserve the meta pair before any node page, so the commit layout
+    // matches `store_with_meta` and a crash pre-commit is detectable.
+    while dest.page_count() < rtree_storage::meta::META_SLOTS {
+        dest.allocate();
+    }
+
+    let mut budget = BudgetAccountant::new(cfg.memory_budget_bytes);
+    let (cap, fan_in) = plan_budget(cfg.memory_budget_bytes);
+    let mut stats = ExtPackStats {
+        run_capacity_records: cap,
+        ..ExtPackStats::default()
+    };
+
+    // Level 0: run generation straight off the item stream.
+    let mut rungen = RunGen::new(spill, cap, cfg.strategy, cfg.threads);
+    for (i, (rect, item)) in items.into_iter().enumerate() {
+        rungen.push(
+            SpillRecord {
+                rect,
+                child: item.0,
+                seq: i as u64,
+            },
+            &mut budget,
+        )?;
+    }
+    let (mut runs, mut n) = rungen.finish(&mut budget)?;
+    stats.items = n;
+    stats.initial_runs = runs.len() as u32;
+    stats.spill_pages = runs.iter().map(|r| r.pages.len() as u64).sum();
+
+    if n == 0 {
+        let root = emit_node(dest, 0, Vec::new())?;
+        let tree = DiskRTree::commit_external(dest, root, 0, 0, 1)?;
+        stats.levels = 1;
+        stats.node_pages = 1;
+        return Ok((tree, stats));
+    }
+
+    let mut level: u32 = 0;
+    let (root, depth) = loop {
+        let plan = SlabPlan::new(cfg.strategy, n as usize, m);
+        let single = plan.total_groups() == 1;
+        stats.slab_buffer_bytes = stats
+            .slab_buffer_bytes
+            .max(plan.slab_len().min(n as usize) as u64 * SLAB_ENTRY_BYTES);
+
+        // Reduce to at most `fan_in` runs, then hold one head per run
+        // while this level's pages are emitted.
+        let (runs_open, mstats) = reduce_runs(spill, runs, fan_in, &mut budget)?;
+        stats.intermediate_merges += mstats.intermediate_merges;
+        stats.max_fan_in = stats
+            .max_fan_in
+            .max(mstats.max_fan_in)
+            .max(runs_open.len() as u32);
+        stats.spill_pages += mstats.spill_pages;
+
+        let heads = runs_open.len() as u64 * MERGE_HEAD_BYTES;
+        budget.charge(heads);
+        let mut cursor = MergeCursor::open(spill, runs_open)?;
+        let next = (!single).then(|| RunGen::new(spill, cap, cfg.strategy, cfg.threads));
+        let mut builder = LevelBuilder::new(dest, cfg.strategy, plan, level, next);
+        while let Some(rec) = cursor.next_record()? {
+            builder.push(rec, &mut budget)?;
+        }
+        builder.flush(&mut budget)?;
+        cursor.dispose(spill);
+        budget.release(heads);
+        stats.node_pages += builder.pages_emitted;
+
+        match builder.next {
+            None => {
+                let root = builder.last_page.unwrap_or_else(|| {
+                    unreachable!("single-group level always emits its root page")
+                });
+                break (root, level);
+            }
+            Some(next_gen) => {
+                let (next_runs, next_n) = next_gen.finish(&mut budget)?;
+                stats.spill_pages += next_runs.iter().map(|r| r.pages.len() as u64).sum::<u64>();
+                runs = next_runs;
+                n = next_n;
+                level += 1;
+            }
+        }
+    };
+
+    stats.levels = depth + 1;
+    stats.spill_bytes = stats.spill_pages * PAGE_SIZE as u64;
+    stats.peak_budget_bytes = budget.peak();
+    let tree =
+        DiskRTree::commit_external(dest, root, depth, stats.items as usize, stats.node_pages)?;
+    Ok((tree, stats))
+}
+
+/// Externally packs `items` into `dest`, spilling runs through a
+/// temporary [`SpillDir`] that is removed when the pack finishes —
+/// whether it returns, errors, or unwinds.
+pub fn pack_external<I>(
+    items: I,
+    cfg: &ExtPackConfig,
+    dest: &dyn PageStore,
+) -> ExtPackResult<(DiskRTree, ExtPackStats)>
+where
+    I: IntoIterator<Item = (Rect, ItemId)>,
+{
+    let dir = SpillDir::create()?;
+    let spill = dir.create_pager()?;
+    pack_external_into(items, cfg, dest, &spill)
+    // `spill` then `dir` drop here: fd closes, directory is removed.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtree_storage::Pager;
+
+    fn scatter(n: u64) -> Vec<(Rect, ItemId)> {
+        // Deterministic LCG scatter, distinct centers.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        (0..n)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let x = (state >> 40) as f64 / 256.0;
+                let y = ((state >> 16) & 0xFFFFFF) as f64 / 4096.0;
+                (Rect::new(x, y, x + 1.0, y + 1.0), ItemId(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packs_within_tiny_budget_and_accounts_peak() {
+        let dest = Pager::temp().unwrap();
+        let cfg = ExtPackConfig {
+            memory_budget_bytes: 16 * 1024,
+            threads: 1,
+            ..ExtPackConfig::new(0)
+        };
+        let (tree, stats) = pack_external(scatter(3000), &cfg, &dest).unwrap();
+        assert_eq!(tree.len(), 3000);
+        assert!(stats.initial_runs > 1, "{stats:?}");
+        assert!(stats.spill_pages > 0);
+        assert!(
+            stats.peak_budget_bytes <= 16 * 1024,
+            "peak {} exceeds budget",
+            stats.peak_budget_bytes
+        );
+        // Reopens to the same tree.
+        let reopened = DiskRTree::open_default(&dest).unwrap();
+        assert_eq!(reopened.root(), tree.root());
+        assert_eq!(reopened.len(), 3000);
+    }
+
+    #[test]
+    fn zero_budget_clamps_to_degenerate_floor() {
+        let dest = Pager::temp().unwrap();
+        let cfg = ExtPackConfig {
+            threads: 1,
+            ..ExtPackConfig::new(0)
+        };
+        // One-record runs, 2-way merges: slow but correct.
+        let (tree, stats) = pack_external(scatter(150), &cfg, &dest).unwrap();
+        assert_eq!(tree.len(), 150);
+        assert_eq!(stats.run_capacity_records, 1);
+        assert_eq!(stats.initial_runs, 150);
+        // Floor: two merge heads + output head + one buffered record.
+        assert!(stats.peak_budget_bytes <= 4 * MERGE_HEAD_BYTES + RUN_RECORD_FOOTPRINT);
+    }
+
+    #[test]
+    fn empty_stream_builds_empty_tree() {
+        let dest = Pager::temp().unwrap();
+        let (tree, stats) = pack_external(Vec::new(), &ExtPackConfig::new(1 << 20), &dest).unwrap();
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(stats.node_pages, 1);
+        let reopened = DiskRTree::open_default(&dest).unwrap();
+        assert!(reopened.is_empty());
+    }
+
+    #[test]
+    fn hilbert_and_bad_branching_rejected() {
+        let dest = Pager::temp().unwrap();
+        let spill = Pager::temp().unwrap();
+        let cfg = ExtPackConfig {
+            strategy: PackStrategy::Hilbert,
+            ..ExtPackConfig::new(1 << 20)
+        };
+        assert!(matches!(
+            pack_external_into(scatter(10), &cfg, &dest, &spill),
+            Err(ExtPackError::UnsupportedStrategy(_))
+        ));
+        let mut cfg = ExtPackConfig::new(1 << 20);
+        cfg.tree.max_entries = 1;
+        assert!(matches!(
+            pack_external_into(scatter(10), &cfg, &dest, &spill),
+            Err(ExtPackError::Branching(1))
+        ));
+        cfg.tree.max_entries = MAX_ENTRIES_PER_PAGE + 1;
+        assert!(matches!(
+            pack_external_into(scatter(10), &cfg, &dest, &spill),
+            Err(ExtPackError::Branching(_))
+        ));
+    }
+}

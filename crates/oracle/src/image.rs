@@ -45,7 +45,7 @@ pub struct ImageNode {
 
 /// A flattened tree: everything `validate_deep` needs, decoupled from
 /// where the nodes came from.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeImage {
     /// All reachable nodes, keyed by representation-specific id
     /// (arena index or page number).
@@ -164,6 +164,62 @@ impl TreeImage {
             declared_len: tree.len(),
             max_entries: tree.config().max_entries,
             min_entries: tree.config().min_entries,
+        }
+    }
+
+    /// Renumbers the image's node ids into a DFS preorder starting at 0,
+    /// following entries in stored order. Two images of the *same logical
+    /// tree* held in different representations (arena indices vs page
+    /// numbers) canonicalize to equal values, so bit-identity between an
+    /// in-memory pack and an external on-disk pack is a plain `==`.
+    pub fn canonical(&self) -> TreeImage {
+        let mut renamed: HashMap<u64, u64> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            if renamed.contains_key(&id) {
+                continue;
+            }
+            renamed.insert(id, order.len() as u64);
+            order.push(id);
+            // Push children in reverse so DFS visits them left-to-right.
+            for e in self.nodes[&id].entries.iter().rev() {
+                if let ImageChild::Node(c) = e.child {
+                    stack.push(c);
+                }
+            }
+        }
+        let nodes = order
+            .iter()
+            .map(|old| {
+                let node = &self.nodes[old];
+                let entries = node
+                    .entries
+                    .iter()
+                    .map(|e| ImageEntry {
+                        mbr: e.mbr,
+                        child: match e.child {
+                            ImageChild::Node(c) => ImageChild::Node(renamed[&c]),
+                            item => item,
+                        },
+                    })
+                    .collect();
+                (
+                    renamed[old],
+                    ImageNode {
+                        level: node.level,
+                        entries,
+                    },
+                )
+            })
+            .collect();
+        TreeImage {
+            nodes,
+            root: 0,
+            declared_depth: self.declared_depth,
+            declared_len: self.declared_len,
+            max_entries: self.max_entries,
+            min_entries: self.min_entries,
         }
     }
 

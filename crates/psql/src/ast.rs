@@ -4,6 +4,23 @@ use crate::spatial::SpatialOp;
 use pictorial_relational::{CompareOp, Value};
 use rtree_geom::{Point, Rect};
 
+/// A top-level PSQL statement: either a retrieve mapping or an
+/// administrative command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A retrieve mapping (`select … from … on … at … where …`).
+    Retrieve(Box<Query>),
+    /// `pack external <picture> budget <bytes>` — rebuild a picture's
+    /// packed R-tree with the out-of-core external packer, bounding the
+    /// build's resident memory by the given budget.
+    PackExternal {
+        /// Picture whose R-tree is rebuilt.
+        picture: String,
+        /// Memory budget in bytes for the external pack.
+        budget_bytes: u64,
+    },
+}
+
 /// A parsed PSQL retrieve mapping (§2.2):
 ///
 /// ```text

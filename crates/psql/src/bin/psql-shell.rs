@@ -14,9 +14,10 @@
 //! psql> \help
 //! ```
 
+use psql::ast::Statement;
 use psql::database::PictorialDatabase;
 use psql::exec::execute;
-use psql::parser::parse_query;
+use psql::parser::{parse_query, parse_statement};
 use psql::plan::plan;
 use psql::render::render;
 use std::io::{self, BufRead, Write};
@@ -24,6 +25,9 @@ use std::io::{self, BufRead, Write};
 const HELP: &str = "\
 PSQL shell commands:
   <query>;               run a PSQL retrieve mapping (may span lines, end with ;)
+  pack external <picture> budget <bytes>;
+                         rebuild a picture's packed R-tree out-of-core,
+                         bounding build memory by <bytes>
   \\explain <query>;      show the plan without executing
   \\map <picture>         render a picture (us-map, state-map, time-zone-map,
                          lake-map, highway-map)
@@ -44,7 +48,7 @@ Example queries:
 ";
 
 fn main() {
-    let db = PictorialDatabase::with_us_map();
+    let mut db = PictorialDatabase::with_us_map();
     let stdin = io::stdin();
     let mut lines = stdin.lock().lines();
     let mut buffer = String::new();
@@ -79,7 +83,7 @@ fn main() {
         if text.is_empty() {
             continue;
         }
-        run_query(&db, &text, auto_map);
+        run_statement(&mut db, &text, auto_map);
     }
     println!("bye");
 }
@@ -137,8 +141,35 @@ fn run_meta(db: &PictorialDatabase, command: &str, auto_map: &mut bool) -> MetaR
     MetaResult::Continue
 }
 
-fn run_query(db: &PictorialDatabase, text: &str, auto_map: bool) {
-    match parse_query(text).and_then(|q| execute(db, &q)) {
+fn run_statement(db: &mut PictorialDatabase, text: &str, auto_map: bool) {
+    match parse_statement(text) {
+        Ok(Statement::Retrieve(q)) => run_query(db, &q, auto_map),
+        Ok(Statement::PackExternal {
+            picture,
+            budget_bytes,
+        }) => match db.picture_mut(&picture) {
+            Ok(pic) => match pic.pack_external(budget_bytes) {
+                Ok(stats) => println!(
+                    "packed {} objects out-of-core: {} initial runs, {} intermediate \
+                     merges (fan-in {}), {} spill bytes, peak resident {} of {} budget bytes",
+                    stats.items,
+                    stats.initial_runs,
+                    stats.intermediate_merges,
+                    stats.max_fan_in,
+                    stats.spill_bytes,
+                    stats.peak_budget_bytes,
+                    budget_bytes,
+                ),
+                Err(e) => println!("pack external failed: {e}"),
+            },
+            Err(e) => println!("{e}"),
+        },
+        Err(e) => println!("{e}"),
+    }
+}
+
+fn run_query(db: &PictorialDatabase, query: &psql::ast::Query, auto_map: bool) {
+    match execute(db, query) {
         Ok(result) => {
             println!("{result}");
             if auto_map && !result.highlights.is_empty() {

@@ -231,6 +231,36 @@ impl PictorialDatabase {
         }
     }
 
+    /// Re-packs every picture through the **out-of-core** external
+    /// packer (`rtree-extpack`) under a shared per-picture memory
+    /// budget — the `PACK EXTERNAL` admin path. Bit-identical trees to
+    /// [`pack_all`](Self::pack_all), but peak resident buffer memory per
+    /// picture is bounded by `memory_budget_bytes` rather than by the
+    /// largest picture. Returns the summed packer stats.
+    pub fn pack_external_all(
+        &mut self,
+        memory_budget_bytes: u64,
+    ) -> Result<rtree_extpack::ExtPackStats, PsqlError> {
+        let mut total = rtree_extpack::ExtPackStats::default();
+        for pic in self.pictures.values_mut() {
+            let s = pic
+                .pack_external(memory_budget_bytes)
+                .map_err(|e| PsqlError::Internal(format!("external pack failed: {e}")))?;
+            total.items += s.items;
+            total.initial_runs += s.initial_runs;
+            total.run_capacity_records = total.run_capacity_records.max(s.run_capacity_records);
+            total.spill_pages += s.spill_pages;
+            total.spill_bytes += s.spill_bytes;
+            total.intermediate_merges += s.intermediate_merges;
+            total.max_fan_in = total.max_fan_in.max(s.max_fan_in);
+            total.levels = total.levels.max(s.levels);
+            total.node_pages += s.node_pages;
+            total.peak_budget_bytes = total.peak_budget_bytes.max(s.peak_budget_bytes);
+            total.slab_buffer_bytes = total.slab_buffer_bytes.max(s.slab_buffer_bytes);
+        }
+        Ok(total)
+    }
+
     /// Folds every nonempty delta tree back into a freshly packed +
     /// frozen main tree, leaving untouched pictures alone. Returns the
     /// number of pictures merged. This is what the server's background
@@ -530,6 +560,35 @@ mod tests {
         assert!(db
             .create_picture("us-map", Rect::new(0.0, 0.0, 1.0, 1.0))
             .is_err());
+    }
+
+    #[test]
+    fn pack_external_all_matches_pack_all() {
+        let mut a = PictorialDatabase::with_us_map(); // pack_all'd
+        let mut b = a.clone();
+        a.pack_all();
+        let stats = b.pack_external_all(64 * 1024).expect("external pack");
+        let pics = [
+            "us-map",
+            "state-map",
+            "time-zone-map",
+            "lake-map",
+            "highway-map",
+        ];
+        let expected: u64 = pics
+            .iter()
+            .map(|p| b.picture(p).unwrap().len() as u64)
+            .sum();
+        assert_eq!(stats.items, expected, "all pictures packed");
+        for pic in pics {
+            assert_eq!(
+                a.picture(pic).unwrap().tree(),
+                b.picture(pic).unwrap().tree(),
+                "{pic} diverged"
+            );
+            assert!(b.picture(pic).unwrap().frozen().is_some(), "{pic}");
+        }
+        assert!(b.frozen_intact());
     }
 
     #[test]

@@ -8,6 +8,44 @@ use crate::token::Token;
 use pictorial_relational::{CompareOp, Value};
 use rtree_geom::Rect;
 
+/// Parses one PSQL statement: a retrieve mapping, or the administrative
+/// `pack external <picture> budget <bytes>` command.
+pub fn parse_statement(input: &str) -> Result<Statement, PsqlError> {
+    let tokens = lex(input)?;
+    let is_pack_external = matches!(
+        (tokens.first(), tokens.get(1)),
+        (Some(Token::Ident(a)), Some(Token::Ident(b))) if a == "pack" && b == "external"
+    );
+    if !is_pack_external {
+        return parse_query(input).map(|q| Statement::Retrieve(Box::new(q)));
+    }
+    let mut p = Parser { tokens, pos: 2 };
+    let picture = p.ident()?;
+    let keyword = p.ident()?;
+    if keyword != "budget" {
+        return Err(PsqlError::Parse(format!(
+            "expected budget, found {keyword}"
+        )));
+    }
+    let n = p.number()?;
+    if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+        return Err(PsqlError::Parse(format!(
+            "budget must be a non-negative integer byte count, got {n}"
+        )));
+    }
+    if p.pos != p.tokens.len() {
+        return Err(PsqlError::Parse(format!(
+            "trailing input at token {}: {}",
+            p.pos,
+            p.peek().map(|t| t.to_string()).unwrap_or_default()
+        )));
+    }
+    Ok(Statement::PackExternal {
+        picture,
+        budget_bytes: n as u64,
+    })
+}
+
 /// Parses one PSQL query.
 pub fn parse_query(input: &str) -> Result<Query, PsqlError> {
     let tokens = lex(input)?;
@@ -384,6 +422,27 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pack_external_statement() {
+        let s = parse_statement("pack external us-map budget 1048576").unwrap();
+        assert_eq!(
+            s,
+            Statement::PackExternal {
+                picture: "us-map".into(),
+                budget_bytes: 1 << 20,
+            }
+        );
+        // A retrieve mapping still parses through the statement entry.
+        let s = parse_statement("select city from cities on us-map").unwrap();
+        assert!(matches!(s, Statement::Retrieve(_)));
+        // Malformed variants.
+        assert!(parse_statement("pack external us-map").is_err());
+        assert!(parse_statement("pack external us-map budget -1").is_err());
+        assert!(parse_statement("pack external us-map budget 1.5").is_err());
+        assert!(parse_statement("pack external us-map budget 64 extra").is_err());
+        assert!(parse_statement("pack external budget 64").is_err());
+    }
 
     #[test]
     fn figure_2_1_query() {

@@ -2,10 +2,14 @@
 
 use crate::spatial::SpatialOp;
 use packed_rtree_core::pack;
+use rtree_extpack::{ExtPackConfig, ExtPackError, ExtPackResult, ExtPackStats};
 use rtree_geom::{Point, Rect, SpatialObject};
 use rtree_index::{
-    BatchScratch, FrozenRTree, ItemId, Neighbor, RTree, RTreeConfig, SearchScratch, SearchStats,
+    BatchScratch, BottomUpBuilder, FrozenRTree, ItemId, Neighbor, RTree, RTreeConfig,
+    SearchScratch, SearchStats,
 };
+use rtree_storage::{codec, meta::META_SLOTS, DiskRTree, PageId, Pager, StorageError};
+use std::collections::HashMap;
 
 /// Node-count threshold below which queries keep serving the pointer
 /// tree even when a frozen compilation exists. On trees the size of the
@@ -132,6 +136,33 @@ impl Picture {
         // The delta is folded into the fresh main tree.
         self.delta = RTree::new(self.tree.config());
         self.packed_len = self.objects.len();
+    }
+
+    /// Re-packs the picture with the **out-of-core** external packer
+    /// (`PACK EXTERNAL <picture> BUDGET <bytes>` in PSQL): object MBRs
+    /// stream through budget-bounded spill runs into packed disk pages,
+    /// which are then lifted back into the pointer tree and frozen —
+    /// bit-identical to [`pack`](Picture::pack), but with peak resident
+    /// buffer memory bounded by `memory_budget_bytes` instead of the
+    /// dataset size. Returns the packer's counters.
+    pub fn pack_external(&mut self, memory_budget_bytes: u64) -> ExtPackResult<ExtPackStats> {
+        let items: Vec<(Rect, ItemId)> = self
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.mbr(), ItemId(i as u64)))
+            .collect();
+        let dest = Pager::temp().map_err(ExtPackError::Io)?;
+        let cfg = ExtPackConfig {
+            tree: self.tree.config(),
+            ..ExtPackConfig::new(memory_budget_bytes)
+        };
+        let (disk, stats) = rtree_extpack::pack_external(items, &cfg, &dest)?;
+        self.tree = lift_disk_tree(&disk, &dest, self.tree.config())?;
+        self.frozen = Some(FrozenRTree::freeze(&self.tree));
+        self.delta = RTree::new(self.tree.config());
+        self.packed_len = self.objects.len();
+        Ok(stats)
     }
 
     /// The object with id `id`.
@@ -525,6 +556,56 @@ impl Picture {
     }
 }
 
+/// Lifts an externally packed [`DiskRTree`] image back into a pointer
+/// [`RTree`]. The external packer emits node pages level-major (all
+/// leaves, then each internal level, root last) at consecutive page ids
+/// after the meta pair, so a single sequential sweep sees every child
+/// before its parent and can rebuild bottom-up.
+fn lift_disk_tree(
+    disk: &DiskRTree,
+    store: &Pager,
+    config: RTreeConfig,
+) -> Result<RTree, StorageError> {
+    let mut builder = BottomUpBuilder::new(config);
+    if disk.is_empty() {
+        return Ok(builder.finish_empty());
+    }
+    let mut by_page: HashMap<u64, rtree_index::NodeId> = HashMap::new();
+    let mut root = None;
+    for pid in META_SLOTS..META_SLOTS + disk.pages() {
+        let page = store.read_page(PageId(pid))?;
+        let node =
+            codec::decode(&page).map_err(|reason| StorageError::corrupt(PageId(pid), reason))?;
+        let (nid, _) = if node.is_leaf() {
+            let entries = node
+                .entries
+                .iter()
+                .map(|e| (e.mbr, ItemId(e.child)))
+                .collect();
+            builder.add_leaf(entries)
+        } else {
+            let children = node
+                .entries
+                .iter()
+                .map(|e| {
+                    let nid = *by_page.get(&e.child).ok_or_else(|| {
+                        StorageError::corrupt(
+                            PageId(pid),
+                            format!("child page {} appears after its parent", e.child),
+                        )
+                    })?;
+                    Ok::<_, StorageError>((nid, e.mbr))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            builder.add_internal(node.level, children)
+        };
+        by_page.insert(pid as u64, nid);
+        root = Some(nid);
+    }
+    let root = root.ok_or_else(|| StorageError::corrupt(disk.root(), "image has no pages"))?;
+    Ok(builder.finish(root))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,6 +914,64 @@ mod tests {
                 assert_eq!(got, &single, "k-NN at {p:?} k={k} diverged");
             }
         }
+    }
+
+    /// The out-of-core path must reconstruct the very same pointer tree
+    /// (`RTree: PartialEq`, arena layout included) as the in-memory
+    /// packer, and serve identical queries afterwards.
+    #[test]
+    fn pack_external_is_bit_identical_to_pack() {
+        let in_memory = big_picture(5_000); // big_picture packs
+        let mut external = in_memory.clone();
+        // 32 KiB budget: far below the ~480 KiB the items occupy.
+        let stats = external.pack_external(32 * 1024).expect("external pack");
+        assert!(stats.initial_runs > 1, "must have spilled: {stats:?}");
+        assert!(stats.peak_budget_bytes <= 32 * 1024);
+        assert_eq!(
+            external.tree(),
+            in_memory.tree(),
+            "trees must be bit-identical"
+        );
+        assert_eq!(external.packed_len(), external.len());
+        assert!(external.frozen().is_some());
+        assert!(!external.needs_merge());
+
+        let window = Rect::new(100.0, 100.0, 400.0, 400.0);
+        for op in [SpatialOp::CoveredBy, SpatialOp::Overlapping] {
+            let mut s1 = SearchStats::default();
+            let mut s2 = SearchStats::default();
+            assert_eq!(
+                external.search_window(op, &window, &mut s1),
+                in_memory.search_window(op, &window, &mut s2),
+                "{op:?} diverged"
+            );
+            assert_eq!(s1, s2, "{op:?} traversal counters diverged");
+        }
+        let mut s = SearchStats::default();
+        assert_eq!(
+            external.nearest(Point::new(500.0, 500.0), 7, &mut s),
+            in_memory.nearest(Point::new(500.0, 500.0), 7, &mut SearchStats::default())
+        );
+    }
+
+    #[test]
+    fn pack_external_folds_delta_and_empty_picture() {
+        let mut pic = sample();
+        pic.pack();
+        pic.add(SpatialObject::Point(Point::new(2.0, 3.0)), "late");
+        assert!(pic.needs_merge());
+        pic.pack_external(0).expect("degenerate budget still packs");
+        assert!(!pic.needs_merge());
+        assert_eq!(pic.packed_len(), pic.len());
+        let mut twin = sample();
+        twin.add(SpatialObject::Point(Point::new(2.0, 3.0)), "late");
+        twin.pack();
+        assert_eq!(pic.tree(), twin.tree());
+
+        let mut empty = Picture::new("e", Rect::new(0.0, 0.0, 1.0, 1.0), RTreeConfig::PAPER);
+        empty.pack_external(1 << 20).expect("empty pack");
+        assert!(empty.is_empty());
+        assert!(empty.frozen().is_some());
     }
 
     #[test]

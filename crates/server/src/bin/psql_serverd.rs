@@ -191,6 +191,19 @@ fn run_smoke(mut config: ServerConfig) {
     assert_eq!(post_epoch, epoch);
     println!("[smoke] repack published epoch {epoch}");
 
+    // 8b. Admin out-of-core external pack under a 4 MiB memory budget
+    // publishes another snapshot, and queries answer against it with
+    // the same results the in-memory pack produced.
+    let prev_epoch = epoch;
+    let epoch = c.pack_external(4 << 20).expect("pack external");
+    assert!(epoch > prev_epoch, "external pack must publish: {epoch}");
+    let (post_epoch, rows) = c
+        .query_expect_result("select zone from time-zones")
+        .expect("post-external-pack query");
+    assert_eq!(post_epoch, epoch);
+    assert!(!rows.rows.is_empty(), "externally packed picture answers");
+    println!("[smoke] pack external published epoch {epoch}");
+
     // 9. STATS reflects the session, write path included.
     let stats = c.stats().expect("stats");
     assert!(stats.contains("\"queries\":"), "{stats}");

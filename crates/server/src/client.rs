@@ -226,6 +226,18 @@ impl Client {
         }
     }
 
+    /// Admin: rebuild every picture's packed R-tree with the out-of-core
+    /// external packer under the given memory budget and publish a new
+    /// snapshot. Returns the new epoch.
+    pub fn pack_external(&mut self, budget_bytes: u64) -> Result<u64, ClientError> {
+        let id = self.take_id();
+        let resp = self.roundtrip(&Request::PackExternal { id, budget_bytes })?;
+        match self.expect_id(id, resp)? {
+            Response::Done { epoch, .. } => Ok(epoch),
+            other => Err(ClientError::Wire(format!("expected done, got {other:?}"))),
+        }
+    }
+
     /// Admin: ask the server to shut down gracefully.
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         let id = self.take_id();

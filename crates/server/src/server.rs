@@ -447,6 +447,36 @@ fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) ->
             shared.metrics.admin_latency.record(started.elapsed());
             session.send(&Response::Done { id, epoch });
         }
+        Request::PackExternal { id, budget_bytes } => {
+            // Same admin discipline as Repack, but the rebuild runs the
+            // out-of-core external packer under a memory budget. The
+            // clone is published only if every picture repacks cleanly —
+            // a spill-file I/O error must not publish a half-packed db.
+            shared.metrics.control_requests.incr();
+            let started = Instant::now();
+            let guard = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+            let base = shared.snapshots.load();
+            let mut db = base.db.clone();
+            drop(base);
+            match db.pack_external_all(budget_bytes) {
+                Ok(_stats) => {
+                    let epoch = shared.snapshots.publish(db);
+                    drop(guard);
+                    shared.metrics.snapshots_published.incr();
+                    shared.metrics.admin_latency.record(started.elapsed());
+                    session.send(&Response::Done { id, epoch });
+                }
+                Err(e) => {
+                    drop(guard);
+                    shared.metrics.admin_latency.record(started.elapsed());
+                    session.send(&Response::Error {
+                        id,
+                        kind: ErrorKind::from(&e),
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
         Request::Shutdown { id } => {
             shared.metrics.control_requests.incr();
             session.send(&Response::Done {

@@ -310,3 +310,56 @@ fn pipelined_inserts_group_commit_under_one_fsync() {
     server.stop();
     let _ = std::fs::remove_file(&wal);
 }
+
+#[test]
+fn pack_external_over_the_wire_folds_delta_and_preserves_results() {
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            // Keep the background merge out of the way (the threshold is
+            // never reached): this test wants the external pack itself
+            // to fold the delta. The interval stays short because the
+            // merge thread only notices shutdown once per tick.
+            merge_threshold: 1_000_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = connect(&server);
+
+    // Buffer a few dynamic inserts in the delta.
+    for i in 0..6 {
+        client
+            .insert_expect_done(
+                "us-map",
+                &format!("ext-city-{i}"),
+                SpatialObject::Point(Point::new(40.0 + i as f64, 22.0)),
+            )
+            .expect("insert acked");
+    }
+    let query = "select city from cities on us-map at loc overlapping {50 +- 50, 25 +- 25}";
+    let (_, before) = client.query_expect_result(query).expect("pre-pack query");
+    let epoch_before = server.snapshots().current_epoch();
+
+    // External pack over the wire under a tight 64 KiB budget.
+    let epoch = client.pack_external(64 * 1024).expect("pack external");
+    assert!(epoch > epoch_before, "must publish a new snapshot");
+
+    // Same answers, now from the externally packed + refrozen trees,
+    // with the delta folded in.
+    let (post_epoch, after) = client.query_expect_result(query).expect("post-pack query");
+    assert_eq!(post_epoch, epoch);
+    let sorted = |r: &psql::ResultSet| {
+        let mut rows: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(sorted(&before), sorted(&after));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(json_u64(&stats, "delta_items"), 0, "{stats}");
+    assert!(stats.contains("\"serves_frozen_queries\":true"), "{stats}");
+    server.stop();
+}

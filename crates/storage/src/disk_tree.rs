@@ -104,6 +104,47 @@ impl DiskRTree {
         Ok(DiskRTree { epoch, ..disk })
     }
 
+    /// Commits a node image that was written into `store` by an
+    /// *external* builder (the `rtree-extpack` streaming packer), which
+    /// emits fully packed pages itself instead of serializing an
+    /// in-memory [`RTree`].
+    ///
+    /// The caller must have reserved the meta pair (pages 0–1) before
+    /// writing any node page, and `root`/`depth`/`len`/`pages` must
+    /// describe the emitted image. The meta flip performed here is the
+    /// commit point: node pages are synced first (inside
+    /// [`meta::commit`]), so a crash before the flip leaves the previous
+    /// tree — or a cleanly detected "no valid meta" state — never a
+    /// half-written index that opens.
+    pub fn commit_external(
+        store: &dyn PageStore,
+        root: PageId,
+        depth: u32,
+        len: usize,
+        pages: u32,
+    ) -> StorageResult<DiskRTree> {
+        while store.page_count() < META_SLOTS {
+            store.allocate();
+        }
+        let prev_epoch = meta::load_newest(store, PageId(0), META_MAGIC)?
+            .map(|(_, e)| e)
+            .unwrap_or(0);
+        let epoch = prev_epoch + 1;
+        meta::commit(store, PageId(0), META_MAGIC, epoch, PageType::Meta, |b| {
+            b[0..4].copy_from_slice(&root.0.to_le_bytes());
+            b[4..8].copy_from_slice(&depth.to_le_bytes());
+            b[8..16].copy_from_slice(&(len as u64).to_le_bytes());
+            b[16..20].copy_from_slice(&pages.to_le_bytes());
+        })?;
+        Ok(DiskRTree {
+            root,
+            depth,
+            len,
+            pages,
+            epoch,
+        })
+    }
+
     /// Reopens a tree previously committed by
     /// [`store_with_meta`](DiskRTree::store_with_meta), reading the meta
     /// pair whose first slot is `meta` (page 0 by default) and picking

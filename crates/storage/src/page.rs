@@ -49,6 +49,8 @@ pub enum PageType {
     DynMeta = 3,
     /// A write-ahead-log page ([`wal`](crate::wal)).
     Wal = 4,
+    /// An external-pack spill-run page (the `rtree-extpack` crate).
+    Spill = 5,
 }
 
 impl PageType {
@@ -60,6 +62,7 @@ impl PageType {
             2 => Some(PageType::Meta),
             3 => Some(PageType::DynMeta),
             4 => Some(PageType::Wal),
+            5 => Some(PageType::Spill),
             _ => None,
         }
     }
