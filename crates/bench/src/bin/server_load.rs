@@ -9,21 +9,31 @@
 //! costs concurrent readers. Results are written to `BENCH_server.json`
 //! as the machine-readable baseline.
 //!
+//! A third **connection-storm** phase holds 10k simultaneous
+//! connections open against one event-driven server and drives waves of
+//! pipeline-framed requests through all of them, verifying every
+//! response correlates to its request id — the paper-era front end's
+//! "many interactive users" scenario at modern scale.
+//!
 //! Scale via environment (all optional):
 //! `SERVER_LOAD_CONNECTIONS` (default 16), `SERVER_LOAD_QUERIES` per
 //! connection (default 25), `SERVER_LOAD_WORKERS` (default 4),
+//! `SERVER_LOAD_STORM_CONNECTIONS` (default 10000, `0` skips the storm),
+//! `SERVER_LOAD_STORM_WAVES` (default 3),
 //! `SERVER_LOAD_OUT` (default `BENCH_server.json`).
 //!
 //! Run with: `cargo run --release -p rtree-bench --bin server_load`
 
 use psql::database::PictorialDatabase;
 use psql_server::client::Client;
-use psql_server::protocol::Response;
+use psql_server::protocol::{decode_response, encode_request, Request, Response};
 use psql_server::server::{Server, ServerConfig};
 use rtree_bench::report::{f, Table};
 use rtree_bench::SeededWorkload;
 use rtree_geom::{Point, Rect, SpatialObject};
 use rtree_workload::{points, queries, usmap};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -153,6 +163,130 @@ fn run_phase(scripts: Vec<Vec<Op>>, config: ServerConfig) -> PhaseResult {
     }
 }
 
+/// Storm-phase outcome: every request answered and correlated, plus
+/// client-observed latencies.
+struct StormResult {
+    connections: usize,
+    waves: u64,
+    latencies: Vec<Duration>,
+    overloads: u64,
+    wall: Duration,
+    server_stats: String,
+}
+
+/// Holds `connections` simultaneous connections open against one server
+/// and drives `waves` request waves through all of them — mostly pings
+/// (pure connection-scale traffic answered on the reactor) with a real
+/// query on every 16th connection. Panics on any dropped, garbled, or
+/// mis-correlated response.
+fn run_storm(connections: usize, waves: u64, workers: usize) -> StormResult {
+    // Both ends of every connection live in this process.
+    match epoll::raise_nofile_limit((connections as u64) * 2 + 4_096) {
+        Ok(limit) => println!("storm: RLIMIT_NOFILE soft limit now {limit}"),
+        Err(e) => println!("storm: could not raise RLIMIT_NOFILE ({e}); proceeding"),
+    }
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_capacity: 2_048,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind storm server");
+    let addr = server.local_addr();
+
+    const SHARDS: usize = 16;
+    let per_shard = connections.div_ceil(SHARDS);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..SHARDS)
+        .map(|s| {
+            std::thread::spawn(move || {
+                let count = per_shard.min(connections.saturating_sub(s * per_shard));
+                let mut conns: Vec<TcpStream> = (0..count)
+                    .map(|i| {
+                        let stream = TcpStream::connect(addr)
+                            .unwrap_or_else(|e| panic!("shard {s} conn {i}: connect: {e}"));
+                        stream.set_nodelay(true).expect("nodelay");
+                        stream
+                            .set_read_timeout(Some(Duration::from_secs(120)))
+                            .expect("timeout");
+                        stream
+                    })
+                    .collect();
+                let mut latencies = Vec::with_capacity(count * waves as usize);
+                let mut overloads = 0u64;
+                let mut sent = Vec::with_capacity(count);
+                for wave in 0..waves {
+                    sent.clear();
+                    for (i, stream) in conns.iter_mut().enumerate() {
+                        let id = ((s * per_shard + i) as u64) * waves + wave + 1;
+                        let payload = if i % 16 == 0 {
+                            encode_request(&Request::Query {
+                                id,
+                                timeout_ms: 60_000,
+                                text: "select zone from time-zones".into(),
+                            })
+                        } else {
+                            encode_request(&Request::Ping { id })
+                        };
+                        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+                        frame.extend_from_slice(&payload);
+                        let t0 = Instant::now();
+                        stream.write_all(&frame).expect("write request");
+                        sent.push((id, t0));
+                    }
+                    for (i, stream) in conns.iter_mut().enumerate() {
+                        let (id, t0) = sent[i];
+                        let mut header = [0u8; 4];
+                        stream.read_exact(&mut header).expect("frame header");
+                        let len = u32::from_be_bytes(header) as usize;
+                        let mut payload = vec![0u8; len];
+                        stream.read_exact(&mut payload).expect("frame payload");
+                        latencies.push(t0.elapsed());
+                        let got = match decode_response(&payload).expect("decodable response") {
+                            Response::Pong { id } => id,
+                            Response::Result { id, result, .. } => {
+                                assert_eq!(result.len(), 4, "garbled result");
+                                id
+                            }
+                            Response::Overloaded { id, .. } => {
+                                overloads += 1;
+                                id
+                            }
+                            other => panic!("shard {s} conn {i}: unexpected {other:?}"),
+                        };
+                        assert_eq!(got, id, "shard {s} conn {i}: wrong correlation");
+                    }
+                }
+                (latencies, overloads)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut overloads = 0u64;
+    for h in handles {
+        let (l, o) = h.join().expect("storm shard panicked");
+        latencies.extend(l);
+        overloads += o;
+    }
+    let wall = started.elapsed();
+
+    let mut stats_client = Client::connect_timeout(addr, Duration::from_secs(10)).expect("stats");
+    let server_stats = stats_client.stats().expect("stats");
+    drop(stats_client);
+    server.stop();
+    StormResult {
+        connections,
+        waves,
+        latencies,
+        overloads,
+        wall,
+        server_stats,
+    }
+}
+
 struct Percentiles {
     mean: f64,
     p50: f64,
@@ -250,6 +384,17 @@ fn main() {
     let mixed_phase = run_phase(mixed_scripts, mixed_config);
     let _ = std::fs::remove_file(&wal_path);
 
+    let storm_connections = env_usize("SERVER_LOAD_STORM_CONNECTIONS", 10_000);
+    let storm_waves = env_usize("SERVER_LOAD_STORM_WAVES", 3) as u64;
+    let storm = if storm_connections > 0 {
+        println!(
+            "storm: {storm_connections} simultaneous connections x {storm_waves} request waves"
+        );
+        Some(run_storm(storm_connections, storm_waves, workers))
+    } else {
+        None
+    };
+
     let mut ro_reads = read_phase.reads;
     let ro = percentiles(&mut ro_reads);
     let ro_total = ro_reads.len();
@@ -295,6 +440,47 @@ fn main() {
     println!("read-only server stats: {}", read_phase.server_stats);
     println!("mixed server stats: {}\n", mixed_phase.server_stats);
 
+    let storm_json = match &storm {
+        Some(storm) => {
+            let mut lat = storm.latencies.clone();
+            let sp = percentiles(&mut lat);
+            let total = lat.len();
+            let throughput = total as f64 / storm.wall.as_secs_f64();
+            let mut st = Table::new(["storm metric", "value"]);
+            st.row(["connections".into(), storm.connections.to_string()]);
+            st.row(["waves".into(), storm.waves.to_string()]);
+            st.row(["requests answered".into(), total.to_string()]);
+            st.row(["wall ms".into(), f(storm.wall.as_secs_f64() * 1000.0, 1)]);
+            st.row(["throughput req/s".into(), f(throughput, 0)]);
+            st.row(["latency p50 µs".into(), f(sp.p50, 0)]);
+            st.row(["latency p90 µs".into(), f(sp.p90, 0)]);
+            st.row(["latency p99 µs".into(), f(sp.p99, 0)]);
+            st.row(["overloaded answers".into(), storm.overloads.to_string()]);
+            println!("{}", st.render());
+            println!("storm: every one of the {total} responses correlated to its request id\n");
+            format!(
+                ",\n  \"storm\": {{\n    \"connections\": {conns},\n    \
+                 \"waves\": {waves},\n    \"requests\": {total},\n    \
+                 \"wall_ms\": {wall:.1},\n    \"throughput_rps\": {throughput:.1},\n    \
+                 \"latency_us\": {{\"mean\": {mean:.0}, \"p50\": {p50:.0}, \
+                 \"p90\": {p90:.0}, \"p99\": {p99:.0}}},\n    \
+                 \"overloaded_answers\": {overloads},\n    \
+                 \"all_responses_correlated\": true,\n    \
+                 \"server_stats\": {stats}\n  }}",
+                conns = storm.connections,
+                waves = storm.waves,
+                wall = storm.wall.as_secs_f64() * 1000.0,
+                mean = sp.mean,
+                p50 = sp.p50,
+                p90 = sp.p90,
+                p99 = sp.p99,
+                overloads = storm.overloads,
+                stats = storm.server_stats,
+            )
+        }
+        None => String::new(),
+    };
+
     let json = format!(
         "{{\n  \"experiment\": \"server_load\",\n  \"seed\": {seed},\n  \
          \"connections\": {connections},\n  \"queries_per_connection\": {per_conn},\n  \
@@ -307,7 +493,7 @@ fn main() {
          \"read_latency_us\": {{\"mean\": {mxm:.0}, \"p50\": {mx50:.0}, \"p90\": {mx90:.0}, \
          \"p99\": {mx99:.0}}},\n    \"insert_latency_us\": {{\"p50\": {mw50:.0}, \
          \"p99\": {mw99:.0}}},\n    \"read_p99_vs_read_only\": {p99_ratio:.3},\n    \
-         \"overload_retries\": {mx_retries},\n    \"server_stats\": {mx_stats}\n  }},\n  \
+         \"overload_retries\": {mx_retries},\n    \"server_stats\": {mx_stats}\n  }}{storm_json},\n  \
          \"server_stats\": {ro_stats}\n}}\n",
         wall_ms = read_phase.wall.as_secs_f64() * 1000.0,
         mean = ro.mean,

@@ -8,7 +8,13 @@ use psql::ResultSet;
 use rtree_geom::SpatialObject;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Read timeout applied by [`Client::connect`]. A server that accepts
+/// the connection and then never answers must surface as a timeout
+/// error, not a client that hangs forever — generous enough for any
+/// legitimate query, finite so nothing wedges.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -44,22 +50,44 @@ impl From<io::Error> for ClientError {
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server, applying [`DEFAULT_READ_TIMEOUT`] to
+    /// responses (override with
+    /// [`set_read_timeout`](Self::set_read_timeout)).
     pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream, next_id: 1 })
+        Client::finish(stream, DEFAULT_READ_TIMEOUT)
     }
 
-    /// Connects with a connect + read timeout (so tests never hang).
+    /// Connects with an explicit connect + read timeout.
     pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<Client, ClientError> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Client::finish(stream, timeout)
+    }
+
+    fn finish(stream: TcpStream, timeout: Duration) -> Result<Client, ClientError> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
-        Ok(Client { stream, next_id: 1 })
+        Ok(Client {
+            stream,
+            next_id: 1,
+            read_timeout: Some(timeout),
+        })
+    }
+
+    /// Changes the per-response read timeout (`None` waits forever).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    /// The per-response read timeout in force.
+    pub fn read_timeout(&self) -> Option<Duration> {
+        self.read_timeout
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
@@ -68,14 +96,22 @@ impl Client {
         self.read_response()
     }
 
-    /// Reads one response frame.
+    /// Reads one response frame, honoring the read timeout as a
+    /// per-response deadline: the socket's timeout wakes the read, and
+    /// the deadline predicate turns the wake into a hard stop (without
+    /// it, each timeout tick would just re-poll forever).
     pub fn read_response(&mut self) -> Result<Response, ClientError> {
-        match read_frame(&mut self.stream, &|| false) {
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        let stop = move || deadline.is_some_and(|d| Instant::now() >= d);
+        match read_frame(&mut self.stream, &stop) {
             FrameRead::Frame(payload) => decode_response(&payload).map_err(ClientError::Wire),
             FrameRead::Eof => Err(ClientError::Wire("server closed the connection".into())),
             FrameRead::Truncated => Err(ClientError::Wire("truncated response frame".into())),
             FrameRead::TooLarge(n) => Err(ClientError::Wire(format!("oversized response ({n})"))),
-            FrameRead::Stopped => unreachable!("client never stops reads"),
+            FrameRead::Stopped => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "timed out waiting for a response",
+            ))),
             FrameRead::Io(e) => Err(ClientError::Io(e)),
         }
     }
@@ -273,5 +309,44 @@ impl Client {
         self.stream.write_all(bytes)?;
         self.stream.flush()?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn connect_applies_a_default_read_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = Client::connect(listener.local_addr().unwrap()).unwrap();
+        assert_eq!(client.read_timeout(), Some(DEFAULT_READ_TIMEOUT));
+    }
+
+    #[test]
+    fn silent_server_times_out_instead_of_hanging() {
+        // A "server" that accepts the connection and never replies: every
+        // roundtrip must come back as a timeout error, bounded in time.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(120)))
+            .unwrap();
+        let started = Instant::now();
+        let err = client.ping().expect_err("silent server must not succeed");
+        assert!(
+            matches!(&err, ClientError::Io(e) if e.kind() == io::ErrorKind::TimedOut),
+            "expected a timeout, got {err:?}"
+        );
+        let waited = started.elapsed();
+        assert!(
+            waited >= Duration::from_millis(100) && waited < Duration::from_secs(5),
+            "timeout fired after {waited:?}"
+        );
+        drop(hold.join());
     }
 }

@@ -8,10 +8,16 @@
 //!   (request id + PSQL text in; typed result / typed error out), with
 //!   defensive decoding: malformed input gets a typed `Protocol` error,
 //!   never a panic.
-//! * [`server`] — a fixed worker-thread pool over a *bounded* request
-//!   queue: per-request deadlines answered with `Timeout`, a full queue
-//!   answered immediately with `Overloaded` (reject-with-retry
-//!   backpressure), and graceful shutdown that drains in-flight queries.
+//! * [`server`] — an event-driven connection core (one reactor thread
+//!   multiplexing every connection over readiness notifications, with
+//!   request pipelining) feeding a fixed worker-thread pool over a
+//!   *bounded* request queue: per-request deadlines answered with
+//!   `Timeout`, a full queue answered immediately with `Overloaded`
+//!   (reject-with-retry backpressure), and graceful shutdown that
+//!   drains in-flight queries.
+//! * [`plan_cache`] — a bounded LRU cached-plan table keyed by query
+//!   text: parse results are reused forever, compiled plans while their
+//!   snapshot epoch still matches.
 //! * [`snapshot`] — the shared database: an `Arc`-swapped immutable
 //!   [`snapshot::DatabaseSnapshot`] readers pin lock-free while the
 //!   admin path (re-PACK / load picture) builds a replacement off-line
@@ -55,8 +61,10 @@
 
 pub mod client;
 pub mod metrics;
+pub mod plan_cache;
 pub mod protocol;
 pub mod queue;
+mod reactor;
 pub mod server;
 pub mod snapshot;
 

@@ -203,6 +203,21 @@ pub struct Metrics {
     /// arena) — mirrored from the published snapshot when `STATS` is
     /// served.
     pub serves_frozen_queries: Counter,
+    /// Plan-cache probes that found a plan stamped with the executing
+    /// epoch (parse *and* plan skipped).
+    pub plan_cache_hits: Counter,
+    /// Plan-cache probes that found the parsed AST but no epoch-valid
+    /// plan (parse skipped, plan recompiled and restamped).
+    pub plan_cache_parse_hits: Counter,
+    /// Plan-cache probes that found nothing.
+    pub plan_cache_misses: Counter,
+    /// Entries evicted by LRU pressure.
+    pub plan_cache_evictions: Counter,
+    /// Wholesale plan invalidations (`REPACK` / `PACK EXTERNAL`
+    /// rebuilding the physical trees).
+    pub plan_cache_invalidations: Counter,
+    /// Entries currently cached — mirrored when `STATS` is served.
+    pub plan_cache_entries: Counter,
     /// Buffer-pool page requests served from memory.
     pub buffer_hits: Counter,
     /// Buffer-pool page requests that required a disk read.
@@ -246,6 +261,8 @@ impl Metrics {
                 "\"write_path\":{{\"inserts\":{},\"wal_appends\":{},\"wal_bytes\":{},",
                 "\"wal_syncs\":{},\"wal_recovered\":{},\"delta_items\":{},\"merges\":{},",
                 "\"serves_frozen_queries\":{}}},",
+                "\"plan_cache\":{{\"hits\":{},\"parse_hits\":{},\"misses\":{},",
+                "\"evictions\":{},\"invalidations\":{},\"entries\":{}}},",
                 "\"buffer_pool\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{}}}",
                 "}}"
             ),
@@ -284,6 +301,12 @@ impl Metrics {
             self.delta_items.get(),
             self.merges.get(),
             self.serves_frozen_queries.get() != 0,
+            self.plan_cache_hits.get(),
+            self.plan_cache_parse_hits.get(),
+            self.plan_cache_misses.get(),
+            self.plan_cache_evictions.get(),
+            self.plan_cache_invalidations.get(),
+            self.plan_cache_entries.get(),
             self.buffer_hits.get(),
             self.buffer_misses.get(),
             self.buffer_evictions.get(),
@@ -385,6 +408,12 @@ mod tests {
         assert!(json.contains("\"serves_frozen_queries\":true"));
         assert!(json.contains("\"inserts\":7"));
         assert!(json.contains("\"wal_bytes\":321"));
+        // Plan-cache section renders.
+        m.plan_cache_hits.add(9);
+        m.plan_cache_entries.store(2);
+        let json = m.to_json(3, 64, 4);
+        assert!(json.contains("\"plan_cache\":{\"hits\":9,"));
+        assert!(json.contains("\"entries\":2"));
         // Balanced braces (cheap well-formedness check without a JSON dep).
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

@@ -292,6 +292,90 @@ pub fn read_frame<R: Read>(stream: &mut R, stop: &dyn Fn() -> bool) -> FrameRead
     }
 }
 
+/// Incremental frame reassembly for nonblocking streams.
+///
+/// The blocking [`read_frame`] pulls a whole frame per call; an event
+/// loop instead receives arbitrary byte chunks as the socket becomes
+/// readable. `FrameDecoder` buffers those chunks and yields complete
+/// frame payloads as they materialize — a frame may arrive one byte at a
+/// time across many readiness events, or many frames may land in a
+/// single `read`.
+///
+/// A header announcing more than [`MAX_FRAME_LEN`] bytes poisons the
+/// decoder permanently (the remaining stream cannot be re-framed); the
+/// caller reports the error and closes the connection.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`; consumed prefixes
+    /// are compacted away lazily to keep `extend` O(1) amortized.
+    start: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly-read bytes from the socket.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        // Compact once the dead prefix dominates the buffer, so a
+        // long-lived connection doesn't accrete every frame it ever saw.
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Yields the next complete frame payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; `Err(len)` means a header
+    /// claimed `len > MAX_FRAME_LEN` bytes and the stream is
+    /// unrecoverable (the decoder stays poisoned).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, u32> {
+        if self.poisoned {
+            return Ok(None);
+        }
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME_LEN {
+            self.poisoned = true;
+            return Err(len);
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = avail[4..total].to_vec();
+        self.start += total;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// `true` when bytes of an incomplete frame are buffered — EOF now
+    /// means the peer died mid-frame, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        !self.poisoned && self.start < self.buf.len()
+    }
+
+    /// `true` after an oversized header made the stream unrecoverable.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
 /// Writes `payload` as one frame.
 pub fn write_frame<W: Write>(stream: &mut W, payload: &[u8]) -> io::Result<()> {
     debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
@@ -962,6 +1046,92 @@ mod tests {
         assert_eq!(peek_request_id(&[1, 2]), 0);
         let enc = encode_request(&Request::Ping { id: 77 });
         assert_eq!(peek_request_id(&enc), 77);
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_at_a_time() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world!").unwrap();
+
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &b in &wire {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(
+            frames,
+            vec![b"hello".to_vec(), Vec::new(), b"world!".to_vec()]
+        );
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn decoder_yields_many_frames_from_one_chunk() {
+        let mut wire = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut wire, &[i; 3]).unwrap();
+        }
+        // Plus a partial header to leave the decoder mid-frame.
+        wire.extend_from_slice(&[0, 0]);
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        let mut n = 0;
+        while let Some(f) = dec.next_frame().unwrap() {
+            assert_eq!(f, vec![n as u8; 3]);
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert!(dec.mid_frame());
+    }
+
+    #[test]
+    fn decoder_poisons_on_oversized_header() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&0xdead_beefu32.to_be_bytes());
+        dec.extend(b"whatever follows");
+        assert_eq!(dec.next_frame().unwrap_err(), 0xdead_beef);
+        assert!(dec.is_poisoned());
+        // Stays poisoned: later (even valid) bytes yield nothing.
+        let mut valid = Vec::new();
+        write_frame(&mut valid, b"ok").unwrap();
+        dec.extend(&valid);
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn decoder_accepts_exact_limit_frame() {
+        let payload = vec![7u8; MAX_FRAME_LEN as usize];
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        // Split the wire bytes at an awkward boundary inside the header.
+        dec.extend(&wire[..3]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.extend(&wire[3..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), payload);
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        let mut dec = FrameDecoder::new();
+        let mut one = Vec::new();
+        write_frame(&mut one, &[9u8; 100]).unwrap();
+        for _ in 0..1000 {
+            dec.extend(&one);
+            assert_eq!(dec.next_frame().unwrap().unwrap(), vec![9u8; 100]);
+        }
+        // The internal buffer must not have accreted ~100 KB of history.
+        assert!(
+            dec.buf.len() < 16 * 1024,
+            "buffer grew to {}",
+            dec.buf.len()
+        );
     }
 
     #[test]

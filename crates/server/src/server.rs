@@ -1,29 +1,39 @@
-//! The concurrent query service: TCP accept loop, per-session framing,
-//! a fixed worker pool over a bounded queue, per-request deadlines,
-//! backpressure, and graceful drain-on-shutdown.
+//! The concurrent query service: an event-driven I/O core feeding a
+//! fixed worker pool over a bounded queue, with per-request deadlines,
+//! backpressure, a cached-plan table, and graceful drain-on-shutdown.
 //!
 //! ## Threading model
 //!
-//! * One **accept thread** owns the listener and spawns a session thread
-//!   per connection.
-//! * Each **session thread** reads frames, answers cheap control
-//!   requests (`PING`, `STATS`) inline, and enqueues queries on the
-//!   bounded queue. A full queue is answered immediately with
-//!   `Overloaded` — the session thread never blocks on the pool.
-//! * `workers` **worker threads** pop queries, pin the current database
-//!   snapshot through a per-thread lock-free cache, execute, and write
-//!   the response back through the session's write lock.
+//! * One **reactor thread** (see [`crate::reactor`]) owns the listener
+//!   and every connection: nonblocking accept into a slab, incremental
+//!   frame reassembly per connection, and all socket writes. Cheap
+//!   control requests (`PING`, `STATS`) are answered inline on the
+//!   reactor; queries and inserts go to the bounded worker queue; admin
+//!   rebuilds (`REPACK`, `PACK EXTERNAL`) go to a dedicated admin
+//!   thread so a long rebuild never stalls the queue or the loop. A
+//!   full queue is answered immediately with `Overloaded` — the reactor
+//!   never blocks on the pool.
+//! * `workers` **worker threads** pop queries in batches, pin the
+//!   current database snapshot through a per-thread lock-free cache,
+//!   execute (reusing cached plans where the epoch still matches), and
+//!   park response frames in the connection's outbox for the reactor to
+//!   flush.
+//! * One **admin thread** serializes snapshot rebuilds; one **merge
+//!   thread** folds delta trees in the background.
 //!
-//! Responses may interleave across requests of one session (that is what
-//! the request id is for), but each response frame is written atomically
-//! under the session's write mutex.
+//! There are *no per-connection threads*: ten thousand idle connections
+//! cost ten thousand slab entries, not ten thousand stacks.
+//!
+//! Responses may interleave across requests of one connection (that is
+//! what the request id is for): completion order, not submission order.
+//! Each response frame is queued atomically, so frames never interleave
+//! mid-frame.
 
 use crate::metrics::Metrics;
-use crate::protocol::{
-    decode_request, encode_response, peek_request_id, read_frame, write_frame, ErrorKind,
-    FrameRead, Request, Response,
-};
+use crate::plan_cache::{PlanCache, Prepared};
+use crate::protocol::{decode_request, peek_request_id, ErrorKind, Request, Response};
 use crate::queue::{BoundedQueue, PushError};
+use crate::reactor::{reactor_loop, Notifier, Session};
 use crate::snapshot::{SnapshotCache, SnapshotCell};
 use psql::ast::Query;
 use psql::database::PictorialDatabase;
@@ -32,7 +42,8 @@ use psql::{InsertRecord, PsqlError, ResultSet};
 use rtree_index::{BatchScratch, SearchScratch};
 use rtree_storage::{Pager, Wal, WAL_RECORD_MAX};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,6 +82,12 @@ pub struct ServerConfig {
     pub merge_threshold: usize,
     /// How often the background merge thread polls the delta population.
     pub merge_interval: Duration,
+    /// Entries in the cached-plan table (query text → parsed AST +
+    /// epoch-stamped plan). `0` disables plan caching.
+    pub plan_cache_capacity: usize,
+    /// Most bytes of unread responses buffered per connection before the
+    /// server cuts a non-consuming client loose.
+    pub max_conn_backlog_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -84,12 +101,14 @@ impl Default for ServerConfig {
             wal_path: None,
             merge_threshold: 128,
             merge_interval: Duration::from_millis(20),
+            plan_cache_capacity: 256,
+            max_conn_backlog_bytes: 64 << 20,
         }
     }
 }
 
 /// What a queued job asks the worker pool to do.
-enum JobKind {
+pub(crate) enum JobKind {
     /// Parse + execute PSQL text.
     Query(String),
     /// Durably insert one object into a picture.
@@ -97,37 +116,45 @@ enum JobKind {
 }
 
 /// One queued request.
-struct Job {
+pub(crate) struct Job {
     id: u64,
     kind: JobKind,
     deadline: Instant,
     session: Arc<Session>,
 }
 
-/// The per-connection shared state: the write half of the stream.
-struct Session {
-    writer: Mutex<TcpStream>,
+/// One queued admin rebuild — served by the dedicated admin thread so a
+/// multi-second repack never occupies a query worker or the reactor.
+pub(crate) enum AdminJob {
+    /// In-memory re-pack of every picture.
+    Repack { id: u64, session: Arc<Session> },
+    /// Budget-bounded external re-pack of every picture.
+    PackExternal {
+        id: u64,
+        budget_bytes: u64,
+        session: Arc<Session>,
+    },
 }
 
-impl Session {
-    /// Writes one response frame atomically. Errors are swallowed: a
-    /// session whose client vanished mid-response is simply done.
-    fn send(&self, resp: &Response) {
-        let payload = encode_response(resp);
-        let mut stream = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = write_frame(&mut *stream, &payload);
-    }
-}
-
-struct Shared {
-    config: ServerConfig,
-    addr: SocketAddr,
-    snapshots: Arc<SnapshotCell>,
-    metrics: Arc<Metrics>,
-    functions: FunctionRegistry,
-    queue: BoundedQueue<Job>,
-    shutting_down: AtomicBool,
-    session_threads: Mutex<Vec<JoinHandle<()>>>,
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) addr: SocketAddr,
+    pub(crate) snapshots: Arc<SnapshotCell>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) functions: FunctionRegistry,
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) admin_queue: BoundedQueue<AdminJob>,
+    pub(crate) plans: PlanCache,
+    pub(crate) notifier: Arc<Notifier>,
+    pub(crate) shutting_down: AtomicBool,
+    /// Set by the reactor once it has stopped interpreting new requests
+    /// (shutdown observed) — the gate [`Server::wait`] needs before it
+    /// may close the worker queue.
+    pub(crate) reader_stopped: AtomicBool,
+    /// Set by [`Server::wait`] after the workers are joined: every
+    /// response that will ever exist is in an outbox, so the reactor may
+    /// final-flush and exit.
+    pub(crate) workers_done: AtomicBool,
     /// Serializes *writers* (insert batches, background merge, admin
     /// repack): each clones the latest snapshot, mutates, and publishes.
     /// Two concurrent clone-mutate-publish cycles would silently drop
@@ -143,14 +170,15 @@ struct Shared {
 /// request and then [`Server::wait`]).
 pub struct Server {
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor_thread: Option<JoinHandle<()>>,
+    admin_thread: Option<JoinHandle<()>>,
     merge_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), serves
-    /// `db` as the epoch-1 snapshot, and spawns the accept loop plus the
+    /// `db` as the epoch-1 snapshot, and spawns the reactor plus the
     /// worker pool.
     ///
     /// When [`ServerConfig::wal_path`] is set, the log is opened (or
@@ -205,18 +233,29 @@ impl Server {
         };
 
         let listener = TcpListener::bind(addr)?;
+        // std's bind hard-codes a backlog of 128; a connection storm
+        // overflows that into SYN retransmit stalls. Deepen it.
+        let _ = epoll::listen_backlog(listener.as_raw_fd(), 4096);
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
+            admin_queue: BoundedQueue::new(4),
+            plans: PlanCache::new(config.plan_cache_capacity),
+            notifier: Arc::new(Notifier::new()?),
             config,
             addr: local_addr,
             snapshots: Arc::new(SnapshotCell::new(db)),
             metrics: Arc::new(metrics),
             functions: FunctionRegistry::with_builtins(),
             shutting_down: AtomicBool::new(false),
-            session_threads: Mutex::new(Vec::new()),
+            reader_stopped: AtomicBool::new(false),
+            workers_done: AtomicBool::new(false),
             write_lock: Mutex::new(wal),
         });
+        // The registry mirrors the published snapshot from the moment of
+        // publication (not lazily at STATS time) — WAL-recovered deltas
+        // are visible in the gauges immediately.
+        refresh_snapshot_gauges(&shared);
 
         let mut workers = Vec::with_capacity(shared.config.workers);
         for i in 0..shared.config.workers {
@@ -227,6 +266,15 @@ impl Server {
                     .spawn(move || worker_loop(&shared))?,
             );
         }
+
+        let admin_thread = {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("psql-admin".into())
+                    .spawn(move || admin_loop(&shared))?,
+            )
+        };
 
         let merge_thread = if shared.config.merge_threshold != usize::MAX {
             let shared = Arc::clone(&shared);
@@ -239,14 +287,15 @@ impl Server {
             None
         };
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("psql-accept".into())
-            .spawn(move || accept_loop(listener, &accept_shared))?;
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_thread = std::thread::Builder::new()
+            .name("psql-reactor".into())
+            .spawn(move || reactor_loop(listener, &reactor_shared))?;
 
         Ok(Server {
             shared,
-            accept_thread: Some(accept_thread),
+            reactor_thread: Some(reactor_thread),
+            admin_thread,
             merge_thread,
             workers,
         })
@@ -269,7 +318,7 @@ impl Server {
     }
 
     /// Triggers graceful shutdown without waiting: stop accepting, let
-    /// sessions and queued queries drain. Idempotent.
+    /// queued queries drain. Idempotent.
     pub fn begin_shutdown(&self) {
         begin_shutdown(&self.shared);
     }
@@ -278,30 +327,30 @@ impl Server {
     /// triggered it — [`Server::begin_shutdown`] or a protocol
     /// `SHUTDOWN`), joining every thread and draining in-flight queries.
     pub fn wait(mut self) {
-        if let Some(accept) = self.accept_thread.take() {
-            let _ = accept.join();
+        // The reactor observes the shutdown flag (waker poke or its
+        // 100ms tick), stops interpreting new requests, and raises
+        // `reader_stopped` — after which no new jobs can be produced.
+        while !self.shared.reader_stopped.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
         }
-        // No new sessions can appear now; join the existing ones (they
-        // observe the flag within one read-timeout tick).
-        let sessions = std::mem::take(
-            &mut *self
-                .shared
-                .session_threads
-                .lock()
-                .unwrap_or_else(|e| e.into_inner()),
-        );
-        for s in sessions {
-            let _ = s.join();
-        }
-        // Sessions were the only producers; close the queue and let the
-        // workers drain what is already enqueued.
         self.shared.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.shared.admin_queue.close();
+        if let Some(a) = self.admin_thread.take() {
+            let _ = a.join();
+        }
         // The merge thread notices the flag within one poll interval.
         if let Some(m) = self.merge_thread.take() {
             let _ = m.join();
+        }
+        // Every response that will ever exist is now queued; let the
+        // reactor flush them out and exit.
+        self.shared.workers_done.store(true, Ordering::SeqCst);
+        self.shared.notifier.wake();
+        if let Some(r) = self.reactor_thread.take() {
+            let _ = r.join();
         }
     }
 
@@ -314,86 +363,28 @@ impl Server {
 
 fn begin_shutdown(shared: &Shared) {
     if !shared.shutting_down.swap(true, Ordering::SeqCst) {
-        // Poke the accept loop out of its blocking accept().
-        let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(250));
+        // Poke the reactor out of its wait so it observes the flag now.
+        shared.notifier.wake();
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        shared.metrics.connections_opened.incr();
-        let shared2 = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("psql-session".into())
-            .spawn(move || {
-                session_loop(stream, &shared2);
-                shared2.metrics.connections_closed.incr();
-            });
-        if let Ok(handle) = handle {
-            shared
-                .session_threads
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push(handle);
-        }
-    }
+/// Mirrors the published snapshot's write-path view (delta population,
+/// frozen-tree invariant) into the metrics registry. Called at every
+/// snapshot publication — insert batch, background merge, admin rebuild
+/// — so the gauges are always as fresh as the snapshot itself.
+fn refresh_snapshot_gauges(shared: &Shared) {
+    let snap = shared.snapshots.load();
+    shared.metrics.delta_items.store(snap.db.delta_len() as u64);
+    shared
+        .metrics
+        .serves_frozen_queries
+        .store(snap.db.frozen_intact() as u64);
 }
 
-fn session_loop(stream: TcpStream, shared: &Arc<Shared>) {
-    // A short read timeout turns the blocking read into a poll loop so
-    // the session notices shutdown within ~100ms even when idle.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let session = Arc::new(Session {
-        writer: Mutex::new(write_half),
-    });
-    let mut read_half = stream;
-    let stop = {
-        let shared = Arc::clone(shared);
-        move || shared.shutting_down.load(Ordering::SeqCst)
-    };
-    loop {
-        match read_frame(&mut read_half, &stop) {
-            FrameRead::Frame(payload) => {
-                if !handle_frame(&payload, &session, shared) {
-                    break;
-                }
-            }
-            FrameRead::Eof | FrameRead::Stopped | FrameRead::Io(_) => break,
-            FrameRead::Truncated => {
-                // EOF mid-frame: nothing sensible to answer to.
-                shared.metrics.protocol_errors.incr();
-                break;
-            }
-            FrameRead::TooLarge(n) => {
-                // The stream cannot be re-framed after a garbage header;
-                // answer (the frame boundary going *out* is still fine)
-                // and close this session only.
-                shared.metrics.protocol_errors.incr();
-                session.send(&Response::Error {
-                    id: 0,
-                    kind: ErrorKind::Protocol,
-                    message: format!(
-                        "frame of {n} bytes exceeds limit {}; closing connection",
-                        crate::protocol::MAX_FRAME_LEN
-                    ),
-                });
-                break;
-            }
-        }
-    }
-}
-
-/// Handles one well-framed payload. Returns `false` when the session
-/// should end (shutdown requested).
-fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) -> bool {
+/// Handles one well-framed payload on the reactor thread. Returns
+/// `false` when the connection should flush-and-close (shutdown
+/// acknowledged).
+pub(crate) fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) -> bool {
     let request = match decode_request(payload) {
         Ok(r) => r,
         Err(message) => {
@@ -415,16 +406,10 @@ fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) ->
         }
         Request::Stats { id } => {
             shared.metrics.control_requests.incr();
-            // Mirror the write-path view of the published snapshot into
-            // the registry so STATS reports the delta population and the
-            // frozen-tree invariant alongside the counters.
-            let snap = shared.snapshots.load();
-            shared.metrics.delta_items.store(snap.db.delta_len() as u64);
             shared
                 .metrics
-                .serves_frozen_queries
-                .store(snap.db.frozen_intact() as u64);
-            drop(snap);
+                .plan_cache_entries
+                .store(shared.plans.len() as u64);
             let json = shared.metrics.to_json(
                 shared.snapshots.current_epoch(),
                 shared.config.queue_capacity,
@@ -433,49 +418,29 @@ fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<Shared>) ->
             session.send(&Response::Stats { id, json });
         }
         Request::Repack { id } => {
-            // Admin path: clone + re-pack outside the snapshot lock,
-            // publish atomically. Runs on the session thread so the
-            // worker pool stays dedicated to queries. Holds the writer
-            // lock so a concurrent insert batch or background merge
-            // can't publish a snapshot this clone never saw.
             shared.metrics.control_requests.incr();
-            let started = Instant::now();
-            let guard = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
-            let epoch = shared.snapshots.update(|db| db.pack_all());
-            drop(guard);
-            shared.metrics.snapshots_published.incr();
-            shared.metrics.admin_latency.record(started.elapsed());
-            session.send(&Response::Done { id, epoch });
+            enqueue_admin(
+                shared,
+                id,
+                AdminJob::Repack {
+                    id,
+                    session: Arc::clone(session),
+                },
+                session,
+            );
         }
         Request::PackExternal { id, budget_bytes } => {
-            // Same admin discipline as Repack, but the rebuild runs the
-            // out-of-core external packer under a memory budget. The
-            // clone is published only if every picture repacks cleanly —
-            // a spill-file I/O error must not publish a half-packed db.
             shared.metrics.control_requests.incr();
-            let started = Instant::now();
-            let guard = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
-            let base = shared.snapshots.load();
-            let mut db = base.db.clone();
-            drop(base);
-            match db.pack_external_all(budget_bytes) {
-                Ok(_stats) => {
-                    let epoch = shared.snapshots.publish(db);
-                    drop(guard);
-                    shared.metrics.snapshots_published.incr();
-                    shared.metrics.admin_latency.record(started.elapsed());
-                    session.send(&Response::Done { id, epoch });
-                }
-                Err(e) => {
-                    drop(guard);
-                    shared.metrics.admin_latency.record(started.elapsed());
-                    session.send(&Response::Error {
-                        id,
-                        kind: ErrorKind::from(&e),
-                        message: e.to_string(),
-                    });
-                }
-            }
+            enqueue_admin(
+                shared,
+                id,
+                AdminJob::PackExternal {
+                    id,
+                    budget_bytes,
+                    session: Arc::clone(session),
+                },
+                session,
+            );
         }
         Request::Shutdown { id } => {
             shared.metrics.control_requests.incr();
@@ -553,6 +518,92 @@ fn enqueue(shared: &Arc<Shared>, id: u64, kind: JobKind, budget: Duration, sessi
     }
 }
 
+/// Pushes one admin rebuild onto the (small) admin queue.
+fn enqueue_admin(shared: &Arc<Shared>, id: u64, job: AdminJob, session: &Arc<Session>) {
+    match shared.admin_queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared.metrics.overloads.incr();
+            session.send(&Response::Overloaded {
+                id,
+                retry_after_ms: shared.config.retry_after_ms,
+            });
+        }
+        Err(PushError::Closed(_)) => {
+            session.send(&Response::Error {
+                id,
+                kind: ErrorKind::Internal,
+                message: "server is shutting down".into(),
+            });
+        }
+    }
+}
+
+/// The dedicated admin thread: serializes snapshot rebuilds off the
+/// reactor and off the query workers, so a multi-second `REPACK` stalls
+/// neither the event loop nor query execution. Both rebuilds drop every
+/// cached plan — the physical trees the plans were compiled against are
+/// being replaced wholesale.
+fn admin_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.admin_queue.pop() {
+        match job {
+            AdminJob::Repack { id, session } => {
+                // Clone + re-pack outside the snapshot lock, publish
+                // atomically. Holds the writer lock so a concurrent
+                // insert batch or background merge can't publish a
+                // snapshot this clone never saw.
+                let started = Instant::now();
+                let guard = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+                let epoch = shared.snapshots.update(|db| db.pack_all());
+                drop(guard);
+                shared.plans.invalidate_plans();
+                shared.metrics.plan_cache_invalidations.incr();
+                refresh_snapshot_gauges(shared);
+                shared.metrics.snapshots_published.incr();
+                shared.metrics.admin_latency.record(started.elapsed());
+                session.send(&Response::Done { id, epoch });
+            }
+            AdminJob::PackExternal {
+                id,
+                budget_bytes,
+                session,
+            } => {
+                // Same admin discipline, but the rebuild runs the
+                // out-of-core external packer under a memory budget. The
+                // clone is published only if every picture repacks
+                // cleanly — a spill-file I/O error must not publish a
+                // half-packed db.
+                let started = Instant::now();
+                let guard = shared.write_lock.lock().unwrap_or_else(|e| e.into_inner());
+                let base = shared.snapshots.load();
+                let mut db = base.db.clone();
+                drop(base);
+                match db.pack_external_all(budget_bytes) {
+                    Ok(_stats) => {
+                        let epoch = shared.snapshots.publish(db);
+                        drop(guard);
+                        shared.plans.invalidate_plans();
+                        shared.metrics.plan_cache_invalidations.incr();
+                        refresh_snapshot_gauges(shared);
+                        shared.metrics.snapshots_published.incr();
+                        shared.metrics.admin_latency.record(started.elapsed());
+                        session.send(&Response::Done { id, epoch });
+                    }
+                    Err(e) => {
+                        drop(guard);
+                        shared.metrics.admin_latency.record(started.elapsed());
+                        session.send(&Response::Error {
+                            id,
+                            kind: ErrorKind::from(&e),
+                            message: e.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     let mut batch = BatchScratch::new();
     let mut cache = SnapshotCache::new();
@@ -593,10 +644,11 @@ fn worker_loop(shared: &Arc<Shared>) {
 
         // A dequeued pack: answer already-expired jobs, run diagnostics
         // directives one at a time (a `#sleep` must not stall the rest
-        // of the pack's responses), parse the remainder, and execute the
-        // parsed queries as one spatially-grouped batch. One expired (or
-        // malformed, or panicking) job never poisons its pack-mates:
-        // each is answered individually and the rest still execute.
+        // of the pack's responses), parse the remainder (through the
+        // parse half of the plan cache), and execute the parsed queries
+        // as one spatially-grouped batch. One expired (or malformed, or
+        // panicking) job never poisons its pack-mates: each is answered
+        // individually and the rest still execute.
         let mut pack: Vec<(usize, Query)> = Vec::new();
         for (i, job) in jobs.iter().enumerate() {
             let JobKind::Query(text) = &job.kind else {
@@ -608,7 +660,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             } else if text.trim_start().starts_with('#') {
                 run_job(shared, &snapshot, job, batch.search());
             } else {
-                match catch_unwind(AssertUnwindSafe(|| psql::parse_query(text))) {
+                match catch_unwind(AssertUnwindSafe(|| parse_cached(shared, text))) {
                     Ok(Ok(query)) => pack.push((i, query)),
                     Ok(Err(e)) => {
                         shared.metrics.query_errors.incr();
@@ -688,6 +740,29 @@ fn worker_loop(shared: &Arc<Shared>) {
                     run_job(shared, &snapshot, &jobs[i], batch.search());
                 }
             }
+        }
+    }
+}
+
+/// Parse-cache front for the batched path: returns an owned [`Query`]
+/// (cloned out of the cached `Arc` — the batch executor wants a slice of
+/// owned queries), parsing and populating the cache on a miss. The batch
+/// executor re-plans internally, so only the parse stage is reused here;
+/// single-query execution reuses full plans.
+fn parse_cached(shared: &Shared, text: &str) -> Result<Query, PsqlError> {
+    let epoch = shared.snapshots.current_epoch();
+    match shared.plans.prepare(text, epoch) {
+        Prepared::Plan(query, _) | Prepared::Query(query) => {
+            shared.metrics.plan_cache_parse_hits.incr();
+            Ok((*query).clone())
+        }
+        Prepared::Miss => {
+            shared.metrics.plan_cache_misses.incr();
+            let query = Arc::new(psql::parse_query(text)?);
+            if shared.plans.store(text, Arc::clone(&query), None) {
+                shared.metrics.plan_cache_evictions.incr();
+            }
+            Ok((*query).clone())
         }
     }
 }
@@ -805,6 +880,7 @@ fn ingest_batch(shared: &Arc<Shared>, snapshot: &crate::snapshot::DatabaseSnapsh
         }
     });
     drop(writer);
+    refresh_snapshot_gauges(shared);
     shared.metrics.snapshots_published.incr();
     shared.metrics.inserts.add(accepted.len() as u64);
     for (job, _, _) in &accepted {
@@ -832,6 +908,7 @@ fn merge_loop(shared: &Arc<Shared>) {
         let mut folded = 0;
         let epoch = shared.snapshots.update(|db| folded = db.merge_deltas());
         drop(guard);
+        refresh_snapshot_gauges(shared);
         shared.metrics.merges.incr();
         shared.metrics.snapshots_published.incr();
         shared.metrics.admin_latency.record(started.elapsed());
@@ -844,8 +921,8 @@ fn merge_loop(shared: &Arc<Shared>) {
 }
 
 /// Executes one job exactly as the pre-batching worker did: deadline
-/// check, parse + execute under `catch_unwind`, deadline re-check,
-/// respond.
+/// check, prepare (through the plan cache) + execute under
+/// `catch_unwind`, deadline re-check, respond.
 fn run_job(
     shared: &Shared,
     snapshot: &crate::snapshot::DatabaseSnapshot,
@@ -862,7 +939,15 @@ fn run_job(
         return;
     }
     let started = Instant::now();
-    let outcome = run_query(&snapshot.db, text, &shared.functions, scratch);
+    let outcome = run_query(
+        &snapshot.db,
+        snapshot.epoch,
+        text,
+        &shared.functions,
+        scratch,
+        &shared.plans,
+        &shared.metrics,
+    );
     shared.metrics.query_latency.record(started.elapsed());
     if Instant::now() > job.deadline {
         // Finished, but past the promise: the client already moved
@@ -904,17 +989,25 @@ enum QueryFailure {
     Panicked,
 }
 
-/// Parses and executes one query against a pinned snapshot.
+/// Parses, plans, and executes one query against a pinned snapshot,
+/// going through the cached-plan table: a full hit (plan stamped with
+/// this snapshot's epoch) skips parse *and* plan; a parse hit skips the
+/// parse and restamps a fresh plan; a miss prepares from scratch and
+/// populates the cache. Parse/plan failures are never cached.
 ///
 /// Supports one diagnostics directive: a query text of
 /// `#sleep <millis>` (optionally followed by a query) sleeps before
 /// executing — the deterministic way to exercise deadline enforcement
 /// from tests and the CI smoke script.
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     db: &PictorialDatabase,
+    epoch: u64,
     text: &str,
     functions: &FunctionRegistry,
     scratch: &mut SearchScratch,
+    plans: &PlanCache,
+    metrics: &Metrics,
 ) -> Result<ResultSet, QueryFailure> {
     let mut text = text.trim();
     if let Some(rest) = text.strip_prefix("#sleep") {
@@ -935,13 +1028,37 @@ fn run_query(
         }
         text = remainder;
     }
+    let prepared = plans.prepare(text, epoch);
+    match &prepared {
+        Prepared::Plan(..) => metrics.plan_cache_hits.incr(),
+        Prepared::Query(_) => metrics.plan_cache_parse_hits.incr(),
+        Prepared::Miss => metrics.plan_cache_misses.incr(),
+    }
     let text = text.to_owned();
     // Workers must survive any executor bug: contain panics and answer a
     // typed internal error instead. The snapshot is immutable, so no
     // broken invariants can leak out of an unwound execution.
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let query = psql::parse_query(&text)?;
-        psql::exec::execute_with_scratch(db, &query, functions, scratch)
+    let result = catch_unwind(AssertUnwindSafe(|| match prepared {
+        Prepared::Plan(_, plan) => {
+            psql::exec::execute_plan_with_scratch(db, &plan, functions, scratch)
+        }
+        Prepared::Query(query) => {
+            let plan = Arc::new(psql::plan::plan(db, &query)?);
+            let rs = psql::exec::execute_plan_with_scratch(db, &plan, functions, scratch)?;
+            if plans.store(&text, query, Some((epoch, plan))) {
+                metrics.plan_cache_evictions.incr();
+            }
+            Ok(rs)
+        }
+        Prepared::Miss => {
+            let query = Arc::new(psql::parse_query(&text)?);
+            let plan = Arc::new(psql::plan::plan(db, &query)?);
+            let rs = psql::exec::execute_plan_with_scratch(db, &plan, functions, scratch)?;
+            if plans.store(&text, query, Some((epoch, plan))) {
+                metrics.plan_cache_evictions.incr();
+            }
+            Ok(rs)
+        }
     }));
     match result {
         Ok(Ok(rs)) => Ok(rs),
@@ -959,24 +1076,102 @@ mod tests {
         let db = PictorialDatabase::with_us_map();
         let functions = FunctionRegistry::with_builtins();
         let mut scratch = SearchScratch::new();
+        let plans = PlanCache::new(16);
+        let metrics = Metrics::default();
         let t0 = Instant::now();
-        let r = run_query(&db, "#sleep 30", &functions, &mut scratch);
+        let r = run_query(
+            &db,
+            1,
+            "#sleep 30",
+            &functions,
+            &mut scratch,
+            &plans,
+            &metrics,
+        );
         assert!(t0.elapsed() >= Duration::from_millis(30));
         assert!(r.is_ok_and(|rs| rs.is_empty()));
         // Directive followed by a real query.
         let r = run_query(
             &db,
+            1,
             "#sleep 1 select zone from time-zones",
             &functions,
             &mut scratch,
+            &plans,
+            &metrics,
         )
         .ok()
         .unwrap();
         assert_eq!(r.len(), 4);
+        // The directive's trailing query went through the plan cache.
+        assert_eq!(metrics.plan_cache_misses.get(), 1);
         // Bad millis is a parse error, not a hang.
         assert!(matches!(
-            run_query(&db, "#sleep lots", &functions, &mut scratch),
+            run_query(
+                &db,
+                1,
+                "#sleep lots",
+                &functions,
+                &mut scratch,
+                &plans,
+                &metrics
+            ),
             Err(QueryFailure::Psql(PsqlError::Parse(_)))
         ));
+    }
+
+    #[test]
+    fn repeated_query_hits_the_plan_cache() {
+        let db = PictorialDatabase::with_us_map();
+        let functions = FunctionRegistry::with_builtins();
+        let mut scratch = SearchScratch::new();
+        let plans = PlanCache::new(16);
+        let metrics = Metrics::default();
+        let text = "select city from cities on us-map at loc covered-by {82.5 +- 17.5, 25 +- 20}";
+        let first = run_query(&db, 1, text, &functions, &mut scratch, &plans, &metrics)
+            .ok()
+            .unwrap();
+        let second = run_query(&db, 1, text, &functions, &mut scratch, &plans, &metrics)
+            .ok()
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(metrics.plan_cache_misses.get(), 1);
+        assert_eq!(metrics.plan_cache_hits.get(), 1);
+        // A new epoch demotes to a parse hit, then re-stamps.
+        let third = run_query(&db, 2, text, &functions, &mut scratch, &plans, &metrics)
+            .ok()
+            .unwrap();
+        assert_eq!(first, third);
+        assert_eq!(metrics.plan_cache_parse_hits.get(), 1);
+        let fourth = run_query(&db, 2, text, &functions, &mut scratch, &plans, &metrics)
+            .ok()
+            .unwrap();
+        assert_eq!(first, fourth);
+        assert_eq!(metrics.plan_cache_hits.get(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let db = PictorialDatabase::with_us_map();
+        let functions = FunctionRegistry::with_builtins();
+        let mut scratch = SearchScratch::new();
+        let plans = PlanCache::new(16);
+        let metrics = Metrics::default();
+        for _ in 0..3 {
+            assert!(matches!(
+                run_query(
+                    &db,
+                    1,
+                    "selectt nonsense",
+                    &functions,
+                    &mut scratch,
+                    &plans,
+                    &metrics
+                ),
+                Err(QueryFailure::Psql(_))
+            ));
+        }
+        assert!(plans.is_empty());
+        assert_eq!(metrics.plan_cache_misses.get(), 3);
     }
 }

@@ -136,6 +136,56 @@ fn inserts_keep_frozen_serving_and_background_merge_folds_delta() {
 }
 
 #[test]
+fn snapshot_gauges_refresh_at_publication_not_stats_time() {
+    // The regression: `delta_items` / `serves_frozen_queries` were only
+    // mirrored into the registry while serving a STATS request, so an
+    // embedder reading `server.metrics()` directly (or a scraper that
+    // never sends STATS) saw stale zeros. They must track publication.
+    let server = Server::start(
+        PictorialDatabase::with_us_map(),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            merge_threshold: usize::MAX,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let metrics = server.metrics();
+    // Fresh from startup publication: no deltas, frozen trees intact.
+    assert_eq!(metrics.delta_items.get(), 0);
+    assert_eq!(metrics.serves_frozen_queries.get(), 1);
+
+    let mut client = connect(&server);
+    for i in 0..3u64 {
+        client
+            .insert_expect_done(
+                "us-map",
+                &format!("gauge-{i}"),
+                SpatialObject::Point(Point::new(33.0 + i as f64, 21.0)),
+            )
+            .expect("insert acked");
+        // No STATS request has been served; the gauge is fresh anyway.
+        assert_eq!(
+            metrics.delta_items.get(),
+            i + 1,
+            "delta gauge stale after insert publication"
+        );
+    }
+    assert_eq!(metrics.serves_frozen_queries.get(), 1);
+
+    // Repack folds the delta; the gauge follows at publication again.
+    client.repack().expect("repack");
+    assert_eq!(
+        metrics.delta_items.get(),
+        0,
+        "delta gauge stale after repack publication"
+    );
+    assert_eq!(metrics.serves_frozen_queries.get(), 1);
+    server.stop();
+}
+
+#[test]
 fn insert_into_unknown_picture_is_a_typed_error() {
     let server = Server::start(
         PictorialDatabase::with_us_map(),
