@@ -1,13 +1,17 @@
-//! **EXT-13**: out-of-core external PACK scaling — wall time, spill
-//! traffic and merge shape across dataset sizes and memory budgets, with
-//! the in-memory packer as the baseline.
+//! **EXT-13 / EXT-15**: out-of-core external PACK scaling — wall time,
+//! spill traffic, merge shape, and the pipelined packer's per-phase
+//! breakdown across dataset sizes, memory budgets, and pipeline thread
+//! counts, with the in-memory packer as the baseline.
 //!
 //! The external packer must produce the *same tree* the in-memory packer
 //! does (that is its contract, checked by the differential suite); this
 //! sweep measures what the streaming spill/merge pipeline costs to get
 //! there when the run buffer is squeezed. Per configuration it reports:
 //!
-//! * build wall time, external vs in-memory;
+//! * build wall time, external vs in-memory, at 1 and 4 pipeline
+//!   threads (the trees are bit-identical; only wall time may differ);
+//! * the per-phase split (produce / sort / spill / merge / emit) that
+//!   shows where each budget spends its time (EXT-15);
 //! * spill bytes written and the initial/merged run counts (the merge
 //!   fan-in shows how many passes the budget forced);
 //! * peak accounted memory against the budget (the accounting hook);
@@ -52,12 +56,16 @@ fn main() {
     let mut table = Table::new([
         "n",
         "budget",
+        "thr",
         "ext ms",
         "inmem ms",
         "spill MiB",
         "runs",
+        "parts",
         "fan-in",
         "merges",
+        "merge ms",
+        "emit ms",
         "peak MiB",
         "A ext",
         "A mem",
@@ -94,61 +102,80 @@ fn main() {
             if n >= 10_000_000 && budget != 4 << 20 {
                 continue;
             }
-            let dest = Pager::temp().expect("dest pager");
-            let cfg = ExtPackConfig::new(budget);
-            let start = Instant::now();
-            let (disk, stats) =
-                pack_external(items.iter().copied(), &cfg, &dest).expect("external pack");
-            let ext_ms = start.elapsed().as_secs_f64() * 1000.0;
-            assert_eq!(disk.len(), n);
-            assert!(
-                stats.peak_budget_bytes <= budget,
-                "peak {} exceeded budget {budget}",
-                stats.peak_budget_bytes
-            );
+            for threads in [1usize, 4] {
+                let dest = Pager::temp().expect("dest pager");
+                let cfg = ExtPackConfig {
+                    threads,
+                    ..ExtPackConfig::new(budget)
+                };
+                let start = Instant::now();
+                let (disk, stats) =
+                    pack_external(items.iter().copied(), &cfg, &dest).expect("external pack");
+                let ext_ms = start.elapsed().as_secs_f64() * 1000.0;
+                assert_eq!(disk.len(), n);
+                assert!(
+                    stats.peak_budget_bytes <= budget,
+                    "peak {} exceeded budget {budget}",
+                    stats.peak_budget_bytes
+                );
 
-            // `A` on the disk image: identical traversal counts prove the
-            // external tree is the same tree, measured from cold pages.
-            let pool = BufferPool::new(&dest, 4096);
-            let mut disk_stats = SearchStats::default();
-            for &q in &query_points {
-                disk.point_query(&pool, q, &mut disk_stats)
-                    .expect("disk point query");
+                // `A` on the disk image: identical traversal counts prove
+                // the external tree is the same tree, from cold pages.
+                let pool = BufferPool::new(&dest, 4096);
+                let mut disk_stats = SearchStats::default();
+                for &q in &query_points {
+                    disk.point_query(&pool, q, &mut disk_stats)
+                        .expect("disk point query");
+                }
+                let a_ext = disk_stats.avg_nodes_visited();
+                assert_eq!(
+                    a_ext.to_bits(),
+                    a_mem.to_bits(),
+                    "external tree diverged at n={n} budget={label} threads={threads}"
+                );
+
+                table.row([
+                    n.to_string(),
+                    label.to_string(),
+                    threads.to_string(),
+                    f(ext_ms, 1),
+                    f(inmem_ms, 1),
+                    f(stats.spill_bytes as f64 / (1 << 20) as f64, 1),
+                    format!("{}", stats.initial_runs),
+                    format!("{}", stats.merge_partitions),
+                    format!("{}", stats.max_fan_in),
+                    format!("{}", stats.intermediate_merges),
+                    f(stats.merge_us as f64 / 1000.0, 0),
+                    f(stats.emit_us as f64 / 1000.0, 0),
+                    f(stats.peak_budget_bytes as f64 / (1 << 20) as f64, 2),
+                    f(a_ext, 2),
+                    f(a_mem, 2),
+                ]);
+                rows.push(format!(
+                    "    {{\"n\": {n}, \"budget_bytes\": {budget}, \"threads\": {threads}, \
+                     \"ext_ms\": {ext_ms:.1}, \
+                     \"inmem_ms\": {inmem_ms:.1}, \"spill_bytes\": {sb}, \"initial_runs\": {ir}, \
+                     \"merge_partitions\": {mp}, \
+                     \"max_fan_in\": {fi}, \"intermediate_merges\": {im}, \"peak_bytes\": {pk}, \
+                     \"produce_ms\": {pr:.1}, \"sort_ms\": {so:.1}, \"spill_ms\": {sp:.1}, \
+                     \"merge_ms\": {me:.1}, \"emit_ms\": {em:.1}, \
+                     \"coverage\": {cov:.1}, \"overlap\": {ov:.1}, \"avg_visited_ext\": {a_ext:.3}, \
+                     \"avg_visited_mem\": {a_mem:.3}}}",
+                    sb = stats.spill_bytes,
+                    ir = stats.initial_runs,
+                    mp = stats.merge_partitions,
+                    fi = stats.max_fan_in,
+                    im = stats.intermediate_merges,
+                    pk = stats.peak_budget_bytes,
+                    pr = stats.produce_us as f64 / 1000.0,
+                    so = stats.sort_us as f64 / 1000.0,
+                    sp = stats.spill_us as f64 / 1000.0,
+                    me = stats.merge_us as f64 / 1000.0,
+                    em = stats.emit_us as f64 / 1000.0,
+                    cov = coverage,
+                    ov = overlap,
+                ));
             }
-            let a_ext = disk_stats.avg_nodes_visited();
-            assert_eq!(
-                a_ext.to_bits(),
-                a_mem.to_bits(),
-                "external tree diverged from in-memory pack at n={n} budget={label}"
-            );
-
-            table.row([
-                n.to_string(),
-                label.to_string(),
-                f(ext_ms, 1),
-                f(inmem_ms, 1),
-                f(stats.spill_bytes as f64 / (1 << 20) as f64, 1),
-                format!("{}", stats.initial_runs),
-                format!("{}", stats.max_fan_in),
-                format!("{}", stats.intermediate_merges),
-                f(stats.peak_budget_bytes as f64 / (1 << 20) as f64, 2),
-                f(a_ext, 2),
-                f(a_mem, 2),
-            ]);
-            rows.push(format!(
-                "    {{\"n\": {n}, \"budget_bytes\": {budget}, \"ext_ms\": {ext_ms:.1}, \
-                 \"inmem_ms\": {inmem_ms:.1}, \"spill_bytes\": {sb}, \"initial_runs\": {ir}, \
-                 \"max_fan_in\": {fi}, \"intermediate_merges\": {im}, \"peak_bytes\": {pk}, \
-                 \"coverage\": {cov:.1}, \"overlap\": {ov:.1}, \"avg_visited_ext\": {a_ext:.3}, \
-                 \"avg_visited_mem\": {a_mem:.3}}}",
-                sb = stats.spill_bytes,
-                ir = stats.initial_runs,
-                fi = stats.max_fan_in,
-                im = stats.intermediate_merges,
-                pk = stats.peak_budget_bytes,
-                cov = coverage,
-                ov = overlap,
-            ));
         }
     }
     println!("{}", table.render());

@@ -65,5 +65,6 @@ pub use grouping::PackStrategy;
 pub use pack::{pack, pack_hilbert, pack_naive, pack_str, pack_with, pack_xsort};
 pub use parallel::{
     default_threads, effective_threads, order_parallel, pack_parallel, pack_parallel_with,
+    par_sort_values,
 };
 pub use repack::AutoRepack;

@@ -321,6 +321,78 @@ fn par_sort_by(ord: &mut [usize], threads: usize, cmp: &(dyn Fn(usize, usize) ->
     }
 }
 
+/// Sorts a slice of values across up to `threads` workers: chunk-sort
+/// concurrently, then a bottom-up merge cascade over the sorted runs.
+/// With a tie-free comparator the result is independent of the chunk
+/// boundaries — hence of `threads` — and equals `sort_unstable_by`.
+///
+/// Exposed for external packers (the `rtree-extpack` crate), which sort
+/// spill-run record buffers by the pack key directly instead of through
+/// an index permutation.
+pub fn par_sort_values<T, F>(data: &mut [T], threads: usize, cmp: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = data.len();
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    if threads <= 1 || chunk >= n || n < PARALLEL_CUTOFF {
+        data.sort_unstable_by(&cmp);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for part in data.chunks_mut(chunk) {
+            let cmp = &cmp;
+            scope.spawn(move || part.sort_unstable_by(cmp));
+        }
+    });
+    let mut buf: Vec<T> = data.to_vec();
+    let mut src_is_data = true;
+    let mut width = chunk;
+    while width < n {
+        {
+            let (src, dst): (&[T], &mut [T]) = if src_is_data {
+                (&*data, &mut buf)
+            } else {
+                (&*buf, data)
+            };
+            let mut lo = 0;
+            while lo < n {
+                let mid = (lo + width).min(n);
+                let hi = (lo + 2 * width).min(n);
+                merge_value_runs(&src[lo..mid], &src[mid..hi], &mut dst[lo..hi], &cmp);
+                lo = hi;
+            }
+        }
+        src_is_data = !src_is_data;
+        width *= 2;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&buf);
+    }
+}
+
+/// Stable two-run merge over values (left run wins ties).
+fn merge_value_runs<T: Copy>(
+    left: &[T],
+    right: &[T],
+    out: &mut [T],
+    cmp: &(dyn Fn(&T, &T) -> Ordering + Sync),
+) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        *slot = if i < left.len()
+            && (j >= right.len() || cmp(&left[i], &right[j]) != Ordering::Greater)
+        {
+            i += 1;
+            left[i - 1]
+        } else {
+            j += 1;
+            right[j - 1]
+        };
+    }
+}
+
 /// Stable two-run merge (left run wins ties).
 fn merge_runs(
     left: &[usize],
@@ -430,6 +502,35 @@ mod tests {
         let auto = pack_parallel(items.clone(), RTreeConfig::PAPER, 0);
         let one = pack_parallel(items, RTreeConfig::PAPER, 1);
         assert_eq!(auto, one);
+    }
+
+    #[test]
+    fn par_sort_values_matches_sequential_at_every_thread_count() {
+        let mut s = 41u64;
+        let base: Vec<(u64, u64)> = (0..9_000u64)
+            .map(|i| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Duplicate primary keys force the tie-break to matter.
+                ((s >> 33) % 512, i)
+            })
+            .collect();
+        let cmp = |a: &(u64, u64), b: &(u64, u64)| a.0.cmp(&b.0).then(a.1.cmp(&b.1));
+        let mut expect = base.clone();
+        expect.sort_unstable_by(cmp);
+        for threads in [1, 2, 3, 4, 8] {
+            let mut got = base.clone();
+            par_sort_values(&mut got, threads, cmp);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        // Tiny and empty inputs take the inline path.
+        let mut tiny: Vec<(u64, u64)> = vec![(3, 0), (1, 1), (2, 2)];
+        par_sort_values(&mut tiny, 4, cmp);
+        assert_eq!(tiny, vec![(1, 1), (2, 2), (3, 0)]);
+        let mut empty: Vec<(u64, u64)> = Vec::new();
+        par_sort_values(&mut empty, 4, cmp);
+        assert!(empty.is_empty());
     }
 
     #[test]

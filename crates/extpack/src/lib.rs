@@ -7,35 +7,49 @@
 //!
 //! 1. **Run generation** — the item stream fills a budget-bounded
 //!    buffer; each full buffer is sorted in pack-key order (ascending
-//!    center-x, ties by y then arrival, via the same
-//!    [`order_parallel`](packed_rtree_core::order_parallel) machinery
-//!    the in-memory parallel packer uses) and spilled as a CRC-framed
-//!    run of [`PageType::Spill`](rtree_storage::PageType) pages.
-//! 2. **Merge → emit** — the runs are k-way merged; the merged stream is
-//!    cut into the *same* deterministic slabs as the in-memory packer
+//!    center-x, ties by y then arrival, via the same comparator as the
+//!    in-memory packer, applied with
+//!    [`par_sort_values`](packed_rtree_core::par_sort_values)) and
+//!    spilled as a CRC-framed run of
+//!    [`PageType::Spill`](rtree_storage::PageType) pages. With
+//!    `threads ≥ 2` production is **overlapped**: a background sorter
+//!    sorts and spills run N while the producer fills run N+1
+//!    (double-buffered, both buffers budget-accounted).
+//! 2. **Merge → emit** — the runs are k-way merged, **partitioned by
+//!    key range across worker threads** when budget and thread count
+//!    allow (keys are unique per level, so the stitched partitions equal
+//!    the global merge record for record); the merged stream is cut into
+//!    the *same* deterministic slabs as the in-memory packer
 //!    ([`SlabPlan`](packed_rtree_core::grouping::SlabPlan)), each slab is
 //!    grouped with [`group_slab`](packed_rtree_core::grouping::group_slab),
-//!    and every group is written as one fully packed node page straight
-//!    into the destination file. Group MBRs feed the next level through
-//!    the same run machinery, "working ever backwards, until the root is
-//!    finally reached" (§3.3).
+//!    and every group is written as one fully packed node page into the
+//!    destination file in contiguous batches
+//!    ([`PageStore::write_pages`](rtree_storage::PageStore::write_pages)).
+//!    A [`NodeSink`] observes every emitted node, so callers can build
+//!    the frozen query arena *during* the pack. Group MBRs feed the next
+//!    level through the same run machinery, "working ever backwards,
+//!    until the root is finally reached" (§3.3).
 //! 3. **Commit** — the two-slot meta pair flips only after every node
 //!    page is durable ([`DiskRTree::commit_external`]), so a crash at
 //!    any point leaves the previous tree or a detectably-absent one.
 //!
-//! Because run boundaries are contiguous arrival chunks, the merge
+//! Because run boundaries are contiguous arrival chunks whose size
+//! depends only on the budget (never the thread count), the merge
 //! comparator (center-x, center-y, arrival order) reproduces exactly the
 //! global sorted permutation of the in-memory packer, and because the
 //! slab plan is a pure function of `(strategy, n, m)`, the resulting
 //! tree is **bit-identical** to [`pack`](packed_rtree_core::pack) at any
-//! memory budget — the differential suite asserts this down to budgets
-//! that force one-record runs.
+//! memory budget *and any thread count* — the differential suite asserts
+//! this down to budgets that force one-record runs.
 //!
 //! Memory is governed by one knob,
-//! [`ExtPackConfig::memory_budget_bytes`], which bounds run buffers and
-//! merge heads (asserted through the [`BudgetAccountant`] hook); the
-//! slab buffer is a fixed working set of ~`512·M` entries reported
-//! separately in [`ExtPackStats`]. See `DESIGN.md` §15.
+//! [`ExtPackConfig::memory_budget_bytes`], which bounds run buffers,
+//! merge heads, partition chunks, and the emission batch (asserted
+//! through the [`BudgetAccountant`] hook); worker counts are clamped to
+//! what the budget affords, so over-subscribed `threads` degrade rather
+//! than overshoot. The slab buffer is a fixed working set of ~`512·M`
+//! entries reported separately in [`ExtPackStats`]. See `DESIGN.md`
+//! §15 and §17.
 //!
 //! # Quick start
 //!
@@ -72,7 +86,8 @@ pub use budget::BudgetAccountant;
 pub use guard::SpillDir;
 pub use merge::MERGE_HEAD_BYTES;
 pub use pack::{
-    pack_external, pack_external_into, ExtPackConfig, ExtPackError, ExtPackResult, ExtPackStats,
+    pack_external, pack_external_into, pack_external_into_sink, pack_external_with_sink,
+    ExtPackConfig, ExtPackError, ExtPackResult, ExtPackStats, NodeSink, NullSink, MAX_RUN_RECORDS,
     RUN_RECORD_FOOTPRINT,
 };
 pub use spill::{SpillRecord, RECORDS_PER_PAGE, RECORD_SIZE};

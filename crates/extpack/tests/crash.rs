@@ -154,6 +154,63 @@ fn dest_crash_mid_emission_preserves_previous_tree() {
 }
 
 #[test]
+fn dest_crash_mid_parallel_merge_preserves_previous_tree() {
+    // A budget and thread count that genuinely activate the partitioned
+    // final merge (multiple runs, multiple partition workers), then a
+    // destination crash mid-leaf-emission: the previously committed tree
+    // must survive untouched, and the pack must surface the error
+    // instead of hanging any worker.
+    let par_cfg = ExtPackConfig {
+        memory_budget_bytes: 2 << 20,
+        strategy: PackStrategy::NearestNeighbor,
+        threads: 4,
+        tree: RTreeConfig::PAPER,
+    };
+    let n = 30_000;
+
+    // Clean reference pass, counted through a no-fault FaultPager so the
+    // fault indices below match what the faulted pass will observe.
+    let dest0 = Pager::temp().expect("dest");
+    let spill0 = Pager::temp().expect("spill");
+    let counted = FaultPager::new(&dest0, FaultScript::new());
+    let (_, stats) = pack_external_into(items(n), &par_cfg, &counted, &spill0).expect("clean pack");
+    assert!(stats.initial_runs > 1, "need a real multi-run merge");
+    assert!(
+        stats.merge_partitions > 1,
+        "config must activate the partitioned merge, got {} partitions",
+        stats.merge_partitions
+    );
+    let dest_writes = counted.writes_seen();
+    assert!(dest_writes > 100);
+
+    for nth in [dest_writes / 4, dest_writes / 2, dest_writes - 2] {
+        let dest = Pager::temp().expect("dest");
+        // Commit tree A cleanly first.
+        let spill_a = Pager::temp().expect("spill a");
+        let (tree_a, _) =
+            pack_external_into(items(500), &cfg(64 * 1024), &dest, &spill_a).expect("tree A");
+
+        // Pack B with the partitioned-merge config through a crashing
+        // destination.
+        let spill_b = Pager::temp().expect("spill b");
+        let faulty = FaultPager::new(
+            &dest,
+            FaultScript::new().on_write(nth, FaultKind::TornWrite, true),
+        );
+        let result = pack_external_into(items(n), &par_cfg, &faulty, &spill_b);
+        assert!(result.is_err(), "crash at write {nth} must abort");
+
+        // Recovery sees tree A.
+        let recovered = DiskRTree::open_default(&dest).expect("previous tree survives");
+        assert_eq!(recovered.root(), tree_a.root(), "write {nth}");
+        assert_eq!(recovered.len(), 500, "write {nth}");
+        let pool = BufferPool::new(&dest, 64);
+        let img = TreeImage::of_disk_tree(&recovered, &pool, 4, 2).expect("readable");
+        validate_deep(&img, DeepChecks::packed()).expect("tree A still valid");
+    }
+}
+
+#[test]
 fn transient_spill_read_aborts_cleanly() {
     let dest = Pager::temp().expect("dest");
     let spill = Pager::temp().expect("spill");

@@ -54,6 +54,16 @@ fn query_windows() -> Vec<Rect> {
     ]
 }
 
+/// Pipeline thread count under test: `EXTPACK_TEST_THREADS` (the CI
+/// thread matrix sets 1 and 4), defaulting to 2 so the overlapped and
+/// partitioned paths are exercised locally.
+fn test_threads() -> usize {
+    std::env::var("EXTPACK_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
 /// Packs `items` both ways and asserts logical bit-identity, deep
 /// validity, query equality, and the budget bound.
 fn assert_identical(items: &[(Rect, ItemId)], strategy: PackStrategy, budget: u64) {
@@ -65,7 +75,7 @@ fn assert_identical(items: &[(Rect, ItemId)], strategy: PackStrategy, budget: u6
     let cfg = ExtPackConfig {
         memory_budget_bytes: budget,
         strategy,
-        threads: 2,
+        threads: test_threads(),
         tree: tree_cfg,
     };
     let (disk, stats) = pack_external(items.to_vec(), &cfg, &dest).expect("external pack");
@@ -136,6 +146,48 @@ fn identical_under_degenerate_one_record_runs() {
 fn identical_at_100k() {
     let items = workload(100_000);
     assert_identical(&items, PackStrategy::NearestNeighbor, 256 * 1024);
+}
+
+#[test]
+fn identical_across_thread_matrix() {
+    // The *physical* destination file — every byte of every page — must
+    // be identical at every thread count, for tiny, medium, and huge
+    // budgets. This is stronger than logical tree equality: it pins the
+    // page layout, the emission order, and the commit record.
+    use rtree_storage::PageId;
+    let items = workload(10_000);
+    for budget in [FLOOR_BYTES, 256 * 1024, u64::MAX / 2] {
+        let mut images: Vec<(usize, Vec<u8>)> = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let dest = Pager::temp().expect("dest pager");
+            let cfg = ExtPackConfig {
+                memory_budget_bytes: budget,
+                strategy: PackStrategy::NearestNeighbor,
+                threads,
+                tree: RTreeConfig::PAPER,
+            };
+            let (tree, stats) = pack_external(items.clone(), &cfg, &dest).expect("external pack");
+            assert_eq!(tree.len(), items.len());
+            assert_eq!(stats.threads_used as usize, threads);
+            assert!(
+                stats.peak_budget_bytes <= budget.max(FLOOR_BYTES),
+                "threads={threads} b={budget}: peak {} over budget",
+                stats.peak_budget_bytes
+            );
+            let mut image = Vec::new();
+            for p in 0..dest.page_count() {
+                image.extend_from_slice(dest.read_page_raw(PageId(p)).expect("raw page").bytes());
+            }
+            images.push((threads, image));
+        }
+        for pair in images.windows(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "budget {budget}: threads {} and {} produced different files",
+                pair[0].0, pair[1].0
+            );
+        }
+    }
 }
 
 #[test]

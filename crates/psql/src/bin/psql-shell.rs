@@ -25,7 +25,7 @@ use std::io::{self, BufRead, Write};
 const HELP: &str = "\
 PSQL shell commands:
   <query>;               run a PSQL retrieve mapping (may span lines, end with ;)
-  pack external <picture> budget <bytes>;
+  pack external <picture> budget <bytes> [threads <n>];
                          rebuild a picture's packed R-tree out-of-core,
                          bounding build memory by <bytes>
   \\explain <query>;      show the plan without executing
@@ -147,11 +147,14 @@ fn run_statement(db: &mut PictorialDatabase, text: &str, auto_map: bool) {
         Ok(Statement::PackExternal {
             picture,
             budget_bytes,
+            threads,
         }) => match db.picture_mut(&picture) {
-            Ok(pic) => match pic.pack_external(budget_bytes) {
+            Ok(pic) => match pic.pack_external(budget_bytes, threads) {
                 Ok(stats) => println!(
                     "packed {} objects out-of-core: {} initial runs, {} intermediate \
-                     merges (fan-in {}), {} spill bytes, peak resident {} of {} budget bytes",
+                     merges (fan-in {}), {} spill bytes, peak resident {} of {} budget \
+                     bytes; {} threads, {} merge partitions; phases (ms) produce {} \
+                     sort {} spill {} merge {} emit {}",
                     stats.items,
                     stats.initial_runs,
                     stats.intermediate_merges,
@@ -159,6 +162,13 @@ fn run_statement(db: &mut PictorialDatabase, text: &str, auto_map: bool) {
                     stats.spill_bytes,
                     stats.peak_budget_bytes,
                     budget_bytes,
+                    stats.threads_used,
+                    stats.merge_partitions,
+                    stats.produce_us / 1000,
+                    stats.sort_us / 1000,
+                    stats.spill_us / 1000,
+                    stats.merge_us / 1000,
+                    stats.emit_us / 1000,
                 ),
                 Err(e) => println!("pack external failed: {e}"),
             },

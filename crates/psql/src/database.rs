@@ -236,15 +236,18 @@ impl PictorialDatabase {
     /// budget — the `PACK EXTERNAL` admin path. Bit-identical trees to
     /// [`pack_all`](Self::pack_all), but peak resident buffer memory per
     /// picture is bounded by `memory_budget_bytes` rather than by the
-    /// largest picture. Returns the summed packer stats.
+    /// largest picture. `threads` sizes the packer's pipeline (0 =
+    /// machine default) without affecting the trees. Returns the summed
+    /// packer stats.
     pub fn pack_external_all(
         &mut self,
         memory_budget_bytes: u64,
+        threads: usize,
     ) -> Result<rtree_extpack::ExtPackStats, PsqlError> {
         let mut total = rtree_extpack::ExtPackStats::default();
         for pic in self.pictures.values_mut() {
             let s = pic
-                .pack_external(memory_budget_bytes)
+                .pack_external(memory_budget_bytes, threads)
                 .map_err(|e| PsqlError::Internal(format!("external pack failed: {e}")))?;
             total.items += s.items;
             total.initial_runs += s.initial_runs;
@@ -257,6 +260,13 @@ impl PictorialDatabase {
             total.node_pages += s.node_pages;
             total.peak_budget_bytes = total.peak_budget_bytes.max(s.peak_budget_bytes);
             total.slab_buffer_bytes = total.slab_buffer_bytes.max(s.slab_buffer_bytes);
+            total.threads_used = total.threads_used.max(s.threads_used);
+            total.merge_partitions = total.merge_partitions.max(s.merge_partitions);
+            total.produce_us += s.produce_us;
+            total.sort_us += s.sort_us;
+            total.spill_us += s.spill_us;
+            total.merge_us += s.merge_us;
+            total.emit_us += s.emit_us;
         }
         Ok(total)
     }
@@ -567,7 +577,7 @@ mod tests {
         let mut a = PictorialDatabase::with_us_map(); // pack_all'd
         let mut b = a.clone();
         a.pack_all();
-        let stats = b.pack_external_all(64 * 1024).expect("external pack");
+        let stats = b.pack_external_all(64 * 1024, 2).expect("external pack");
         let pics = [
             "us-map",
             "state-map",

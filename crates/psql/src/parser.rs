@@ -9,7 +9,7 @@ use pictorial_relational::{CompareOp, Value};
 use rtree_geom::Rect;
 
 /// Parses one PSQL statement: a retrieve mapping, or the administrative
-/// `pack external <picture> budget <bytes>` command.
+/// `pack external <picture> budget <bytes> [threads <n>]` command.
 pub fn parse_statement(input: &str) -> Result<Statement, PsqlError> {
     let tokens = lex(input)?;
     let is_pack_external = matches!(
@@ -33,6 +33,17 @@ pub fn parse_statement(input: &str) -> Result<Statement, PsqlError> {
             "budget must be a non-negative integer byte count, got {n}"
         )));
     }
+    let mut threads = 0usize;
+    if matches!(p.peek(), Some(Token::Ident(w)) if w == "threads") {
+        p.pos += 1;
+        let t = p.number()?;
+        if t < 0.0 || t.fract() != 0.0 || t > 1024.0 {
+            return Err(PsqlError::Parse(format!(
+                "threads must be an integer in 0..=1024, got {t}"
+            )));
+        }
+        threads = t as usize;
+    }
     if p.pos != p.tokens.len() {
         return Err(PsqlError::Parse(format!(
             "trailing input at token {}: {}",
@@ -43,6 +54,7 @@ pub fn parse_statement(input: &str) -> Result<Statement, PsqlError> {
     Ok(Statement::PackExternal {
         picture,
         budget_bytes: n as u64,
+        threads,
     })
 }
 
@@ -431,6 +443,17 @@ mod tests {
             Statement::PackExternal {
                 picture: "us-map".into(),
                 budget_bytes: 1 << 20,
+                threads: 0,
+            }
+        );
+        // Optional threads clause.
+        let s = parse_statement("pack external us-map budget 65536 threads 4").unwrap();
+        assert_eq!(
+            s,
+            Statement::PackExternal {
+                picture: "us-map".into(),
+                budget_bytes: 64 * 1024,
+                threads: 4,
             }
         );
         // A retrieve mapping still parses through the statement entry.
@@ -442,6 +465,9 @@ mod tests {
         assert!(parse_statement("pack external us-map budget 1.5").is_err());
         assert!(parse_statement("pack external us-map budget 64 extra").is_err());
         assert!(parse_statement("pack external budget 64").is_err());
+        assert!(parse_statement("pack external us-map budget 64 threads -1").is_err());
+        assert!(parse_statement("pack external us-map budget 64 threads 1.5").is_err());
+        assert!(parse_statement("pack external us-map budget 64 threads 4 junk").is_err());
     }
 
     #[test]

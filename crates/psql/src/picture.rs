@@ -2,13 +2,13 @@
 
 use crate::spatial::SpatialOp;
 use packed_rtree_core::pack;
-use rtree_extpack::{ExtPackConfig, ExtPackError, ExtPackResult, ExtPackStats};
+use rtree_extpack::{ExtPackConfig, ExtPackError, ExtPackResult, ExtPackStats, NodeSink};
 use rtree_geom::{Point, Rect, SpatialObject};
 use rtree_index::{
-    BatchScratch, BottomUpBuilder, FrozenRTree, ItemId, Neighbor, RTree, RTreeConfig,
-    SearchScratch, SearchStats,
+    BatchScratch, BottomUpBuilder, FrozenChild, FrozenRTree, ItemId, Neighbor, NodeId, RTree,
+    RTreeConfig, SearchScratch, SearchStats,
 };
-use rtree_storage::{codec, meta::META_SLOTS, DiskRTree, PageId, Pager, StorageError};
+use rtree_storage::{codec, PageId, Pager};
 use std::collections::HashMap;
 
 /// Node-count threshold below which queries keep serving the pointer
@@ -139,13 +139,21 @@ impl Picture {
     }
 
     /// Re-packs the picture with the **out-of-core** external packer
-    /// (`PACK EXTERNAL <picture> BUDGET <bytes>` in PSQL): object MBRs
-    /// stream through budget-bounded spill runs into packed disk pages,
-    /// which are then lifted back into the pointer tree and frozen —
-    /// bit-identical to [`pack`](Picture::pack), but with peak resident
-    /// buffer memory bounded by `memory_budget_bytes` instead of the
-    /// dataset size. Returns the packer's counters.
-    pub fn pack_external(&mut self, memory_budget_bytes: u64) -> ExtPackResult<ExtPackStats> {
+    /// (`PACK EXTERNAL <picture> BUDGET <bytes> [THREADS <n>]` in PSQL):
+    /// object MBRs stream through budget-bounded spill runs into packed
+    /// disk pages — overlapped, multi-threaded, and partition-merged
+    /// when `threads ≥ 2` — while a [`NodeSink`] rebuilds the pointer
+    /// tree **and** the frozen SoA arena directly from the emission
+    /// stream (no post-pack re-read of the destination, no separate
+    /// freeze pass). Bit-identical to [`pack`](Picture::pack) at every
+    /// budget and thread count, with peak resident buffer memory bounded
+    /// by `memory_budget_bytes` instead of the dataset size. `threads`
+    /// 0 selects the machine default. Returns the packer's counters.
+    pub fn pack_external(
+        &mut self,
+        memory_budget_bytes: u64,
+        threads: usize,
+    ) -> ExtPackResult<ExtPackStats> {
         let items: Vec<(Rect, ItemId)> = self
             .objects
             .iter()
@@ -155,11 +163,40 @@ impl Picture {
         let dest = Pager::temp().map_err(ExtPackError::Io)?;
         let cfg = ExtPackConfig {
             tree: self.tree.config(),
+            threads,
             ..ExtPackConfig::new(memory_budget_bytes)
         };
-        let (disk, stats) = rtree_extpack::pack_external(items, &cfg, &dest)?;
-        self.tree = lift_disk_tree(&disk, &dest, self.tree.config())?;
-        self.frozen = Some(FrozenRTree::freeze(&self.tree));
+        let mut sink = RebuildSink {
+            builder: BottomUpBuilder::new(self.tree.config()),
+            nodes: HashMap::new(),
+            by_page: HashMap::new(),
+            root: None,
+            root_page: 0,
+            depth: 0,
+        };
+        let (_disk, stats) = rtree_extpack::pack_external_with_sink(items, &cfg, &dest, &mut sink)?;
+        if self.objects.is_empty() {
+            // The packer emits a single empty leaf page; the canonical
+            // in-memory form of that is an empty tree, so discard the
+            // sink state and build the empty forms directly.
+            self.tree = BottomUpBuilder::new(self.tree.config()).finish_empty();
+            self.frozen = Some(FrozenRTree::freeze(&self.tree));
+        } else {
+            let root = sink.root.expect("non-empty pack emits a root");
+            self.tree = sink.builder.finish(root);
+            let mut nodes = sink.nodes;
+            self.frozen = Some(FrozenRTree::from_nodes(
+                self.tree.config(),
+                sink.depth,
+                self.objects.len(),
+                sink.root_page,
+                |key| {
+                    nodes
+                        .remove(&key)
+                        .expect("every referenced page was emitted")
+                },
+            ));
+        }
         self.delta = RTree::new(self.tree.config());
         self.packed_len = self.objects.len();
         Ok(stats)
@@ -556,54 +593,72 @@ impl Picture {
     }
 }
 
-/// Lifts an externally packed [`DiskRTree`] image back into a pointer
-/// [`RTree`]. The external packer emits node pages level-major (all
-/// leaves, then each internal level, root last) at consecutive page ids
-/// after the meta pair, so a single sequential sweep sees every child
-/// before its parent and can rebuild bottom-up.
-fn lift_disk_tree(
-    disk: &DiskRTree,
-    store: &Pager,
-    config: RTreeConfig,
-) -> Result<RTree, StorageError> {
-    let mut builder = BottomUpBuilder::new(config);
-    if disk.is_empty() {
-        return Ok(builder.finish_empty());
-    }
-    let mut by_page: HashMap<u64, rtree_index::NodeId> = HashMap::new();
-    let mut root = None;
-    for pid in META_SLOTS..META_SLOTS + disk.pages() {
-        let page = store.read_page(PageId(pid))?;
-        let node =
-            codec::decode(&page).map_err(|reason| StorageError::corrupt(PageId(pid), reason))?;
-        let (nid, _) = if node.is_leaf() {
-            let entries = node
-                .entries
-                .iter()
-                .map(|e| (e.mbr, ItemId(e.child)))
-                .collect();
-            builder.add_leaf(entries)
+/// Rebuilds the pointer tree **and** captures the node stream for the
+/// frozen SoA arena during the external pack, straight from the packer's
+/// [`NodeSink`] — no post-pack sweep of the destination file. The packer
+/// emits nodes level-major (all leaves, then each internal level, root
+/// last), so every child is observed before its parent and the pointer
+/// tree assembles bottom-up. Emission order within a level is *run
+/// order*, not the BFS sibling order the frozen layout wants (the NN
+/// strategy reorders entries within a group), so the frozen arena is
+/// compiled afterwards by [`FrozenRTree::from_nodes`], whose own
+/// breadth-first walk over the buffered nodes reproduces exactly the
+/// layout [`FrozenRTree::freeze`] would build from the rebuilt tree.
+struct RebuildSink {
+    builder: BottomUpBuilder,
+    /// Emitted nodes by destination page id, fed to `from_nodes`.
+    nodes: HashMap<u64, (u32, Vec<(Rect, FrozenChild)>)>,
+    /// Destination page id → pointer-tree node, for parent resolution.
+    by_page: HashMap<u64, NodeId>,
+    /// Last node seen; the packer emits the root last.
+    root: Option<NodeId>,
+    /// Destination page of the root (last node emitted).
+    root_page: u64,
+    /// Root level — the pointer tree's `depth()`.
+    depth: u32,
+}
+
+impl NodeSink for RebuildSink {
+    fn node(&mut self, level: u32, page: PageId, entries: &[codec::DiskEntry]) {
+        if entries.is_empty() {
+            // Empty-picture pack: the packer still emits one empty root
+            // leaf page, but the caller rebuilds the canonical empty
+            // forms directly, so there is nothing to buffer.
+            return;
+        }
+        let frozen_entries: Vec<(Rect, FrozenChild)> = entries
+            .iter()
+            .map(|e| {
+                let child = if level == 0 {
+                    FrozenChild::Item(ItemId(e.child))
+                } else {
+                    FrozenChild::Node(e.child)
+                };
+                (e.mbr, child)
+            })
+            .collect();
+        self.nodes.insert(page.0 as u64, (level, frozen_entries));
+        let (nid, _) = if level == 0 {
+            self.builder
+                .add_leaf(entries.iter().map(|e| (e.mbr, ItemId(e.child))).collect())
         } else {
-            let children = node
-                .entries
+            let children = entries
                 .iter()
                 .map(|e| {
-                    let nid = *by_page.get(&e.child).ok_or_else(|| {
-                        StorageError::corrupt(
-                            PageId(pid),
-                            format!("child page {} appears after its parent", e.child),
-                        )
-                    })?;
-                    Ok::<_, StorageError>((nid, e.mbr))
+                    let nid = *self
+                        .by_page
+                        .get(&e.child)
+                        .expect("packer emits children before parents");
+                    (nid, e.mbr)
                 })
-                .collect::<Result<Vec<_>, _>>()?;
-            builder.add_internal(node.level, children)
+                .collect();
+            self.builder.add_internal(level, children)
         };
-        by_page.insert(pid as u64, nid);
-        root = Some(nid);
+        self.by_page.insert(page.0 as u64, nid);
+        self.root = Some(nid);
+        self.root_page = page.0 as u64;
+        self.depth = level;
     }
-    let root = root.ok_or_else(|| StorageError::corrupt(disk.root(), "image has no pages"))?;
-    Ok(builder.finish(root))
 }
 
 #[cfg(test)]
@@ -923,10 +978,12 @@ mod tests {
     fn pack_external_is_bit_identical_to_pack() {
         let in_memory = big_picture(5_000); // big_picture packs
         let mut external = in_memory.clone();
-        // 32 KiB budget: far below the ~480 KiB the items occupy.
-        let stats = external.pack_external(32 * 1024).expect("external pack");
+        // 32 KiB budget: far below the ~480 KiB the items occupy. Two
+        // pipeline threads drive the overlapped produce/sort/spill path.
+        let stats = external.pack_external(32 * 1024, 2).expect("external pack");
         assert!(stats.initial_runs > 1, "must have spilled: {stats:?}");
         assert!(stats.peak_budget_bytes <= 32 * 1024);
+        assert_eq!(stats.threads_used, 2);
         assert_eq!(
             external.tree(),
             in_memory.tree(),
@@ -934,6 +991,13 @@ mod tests {
         );
         assert_eq!(external.packed_len(), external.len());
         assert!(external.frozen().is_some());
+        // The sink-built arena must equal a from-scratch freeze of the
+        // rebuilt pointer tree (direct emission skipped that pass).
+        assert_eq!(
+            external.frozen().expect("frozen"),
+            &FrozenRTree::freeze(external.tree()),
+            "sink-built frozen arena diverged from freeze()"
+        );
         assert!(!external.needs_merge());
 
         let window = Rect::new(100.0, 100.0, 400.0, 400.0);
@@ -960,7 +1024,8 @@ mod tests {
         pic.pack();
         pic.add(SpatialObject::Point(Point::new(2.0, 3.0)), "late");
         assert!(pic.needs_merge());
-        pic.pack_external(0).expect("degenerate budget still packs");
+        pic.pack_external(0, 1)
+            .expect("degenerate budget still packs");
         assert!(!pic.needs_merge());
         assert_eq!(pic.packed_len(), pic.len());
         let mut twin = sample();
@@ -969,7 +1034,7 @@ mod tests {
         assert_eq!(pic.tree(), twin.tree());
 
         let mut empty = Picture::new("e", Rect::new(0.0, 0.0, 1.0, 1.0), RTreeConfig::PAPER);
-        empty.pack_external(1 << 20).expect("empty pack");
+        empty.pack_external(1 << 20, 4).expect("empty pack");
         assert!(empty.is_empty());
         assert!(empty.frozen().is_some());
     }

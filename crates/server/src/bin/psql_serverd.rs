@@ -192,10 +192,11 @@ fn run_smoke(mut config: ServerConfig) {
     println!("[smoke] repack published epoch {epoch}");
 
     // 8b. Admin out-of-core external pack under a 4 MiB memory budget
-    // publishes another snapshot, and queries answer against it with
-    // the same results the in-memory pack produced.
+    // with a 2-thread pipeline publishes another snapshot, and queries
+    // answer against it with the same results the in-memory pack
+    // produced (the packer is bit-identical at every thread count).
     let prev_epoch = epoch;
-    let epoch = c.pack_external(4 << 20).expect("pack external");
+    let epoch = c.pack_external_with(4 << 20, 2).expect("pack external");
     assert!(epoch > prev_epoch, "external pack must publish: {epoch}");
     let (post_epoch, rows) = c
         .query_expect_result("select zone from time-zones")

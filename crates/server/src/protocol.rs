@@ -86,6 +86,8 @@ pub enum Request {
         id: u64,
         /// Memory budget in bytes for the external pack.
         budget_bytes: u64,
+        /// Packer pipeline thread count (0 = machine default).
+        threads: u32,
     },
 }
 
@@ -615,10 +617,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_string(&mut out, label);
             put_object(&mut out, object);
         }
-        Request::PackExternal { id, budget_bytes } => {
+        Request::PackExternal {
+            id,
+            budget_bytes,
+            threads,
+        } => {
             out.extend_from_slice(&id.to_be_bytes());
             out.push(OP_PACK_EXTERNAL);
             out.extend_from_slice(&budget_bytes.to_be_bytes());
+            out.extend_from_slice(&threads.to_be_bytes());
         }
     }
     out
@@ -658,6 +665,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         OP_PACK_EXTERNAL => Request::PackExternal {
             id,
             budget_bytes: c.u64()?,
+            threads: c.u32()?,
         },
         _ => return Err(format!("unknown opcode {op}")),
     };
@@ -837,6 +845,7 @@ mod tests {
         roundtrip_request(Request::PackExternal {
             id: 11,
             budget_bytes: 64 * 1024 * 1024,
+            threads: 4,
         });
     }
 

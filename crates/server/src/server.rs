@@ -132,6 +132,7 @@ pub(crate) enum AdminJob {
     PackExternal {
         id: u64,
         budget_bytes: u64,
+        threads: u32,
         session: Arc<Session>,
     },
 }
@@ -429,7 +430,11 @@ pub(crate) fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<
                 session,
             );
         }
-        Request::PackExternal { id, budget_bytes } => {
+        Request::PackExternal {
+            id,
+            budget_bytes,
+            threads,
+        } => {
             shared.metrics.control_requests.incr();
             enqueue_admin(
                 shared,
@@ -437,6 +442,7 @@ pub(crate) fn handle_frame(payload: &[u8], session: &Arc<Session>, shared: &Arc<
                 AdminJob::PackExternal {
                     id,
                     budget_bytes,
+                    threads,
                     session: Arc::clone(session),
                 },
                 session,
@@ -566,6 +572,7 @@ fn admin_loop(shared: &Arc<Shared>) {
             AdminJob::PackExternal {
                 id,
                 budget_bytes,
+                threads,
                 session,
             } => {
                 // Same admin discipline, but the rebuild runs the
@@ -578,7 +585,7 @@ fn admin_loop(shared: &Arc<Shared>) {
                 let base = shared.snapshots.load();
                 let mut db = base.db.clone();
                 drop(base);
-                match db.pack_external_all(budget_bytes) {
+                match db.pack_external_all(budget_bytes, threads as usize) {
                     Ok(_stats) => {
                         let epoch = shared.snapshots.publish(db);
                         drop(guard);
